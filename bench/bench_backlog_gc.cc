@@ -1,0 +1,210 @@
+// Experiment E1 (paper §3.1, Figure 1): backlogs, retention GC, and silent
+// message loss.
+//
+// A producer emits events at a fixed rate. The consumer suffers an outage of
+// varying length. The pubsub pipeline (durable log, time-based retention,
+// consumer group) garbage-collects messages the consumer never saw and gives
+// it no signal; the storage+watch pipeline (ingest store + watch system with
+// a bounded soft-state window) either replays the gap or sends an explicit
+// resync, after which the consumer recovers complete state from the store.
+//
+// Also runs ablation A1: retained-window size vs resync rate and recovery.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "bench/table.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/ingest_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/store_watch.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+constexpr std::uint64_t kKeys = 2000;
+constexpr common::TimeMicros kEventPeriod = 2 * kMs;  // 500 events/sec.
+constexpr common::TimeMicros kRetention = 3 * kSec;
+constexpr common::TimeMicros kOutageStart = 2 * kSec;
+constexpr common::TimeMicros kRunFor = 30 * kSec;
+
+struct PubsubResult {
+  std::uint64_t published = 0;
+  std::uint64_t received = 0;
+  std::uint64_t lost = 0;
+  bool loss_signalled = false;  // Pubsub never signals it.
+  double catchup_ms = -1;
+};
+
+PubsubResult RunPubsub(common::TimeMicros outage) {
+  sim::Simulator sim(42);
+  sim::Network net(&sim, {.base = 200, .jitter = 0});
+  pubsub::Broker broker(&sim, &net, "broker", 100 * kMs);
+  (void)broker.CreateTopic("events", {.partitions = 4,
+                                      .retention = {.retention = kRetention}});
+  PubsubResult result;
+  std::set<std::string> seen;
+  pubsub::GroupConsumer consumer(
+      &sim, &net, &broker, "ingestors", "events", "consumer-0",
+      [&](pubsub::PartitionId, const pubsub::StoredMessage& m) {
+        seen.insert(m.message.key);
+        return true;
+      },
+      {.poll_period = 10 * kMs, .heartbeat_period = 200 * kMs, .max_poll_messages = 64});
+  consumer.Start();
+
+  common::Rng rng(7);
+  std::uint64_t seq = 0;
+  sim::PeriodicTask producer(&sim, kEventPeriod, [&] {
+    (void)broker.Publish("events",
+                         pubsub::Message{"ev-" + std::to_string(seq++),
+                                         std::string(64, 'x'), 0});
+    ++result.published;
+  });
+
+  sim::FailureInjector injector(&sim, &net);
+  injector.Register("consumer-0", {.on_crash = [&] { consumer.OnCrash(); },
+                                   .on_restart = [&] { consumer.OnRestart(); }});
+  if (outage > 0) {
+    injector.ScheduleCrash("consumer-0", kOutageStart, outage);
+  }
+
+  sim.RunUntil(kRunFor);
+  producer.Stop();
+
+  // Catch-up time: after production stops, drain; record when backlog hits 0.
+  const common::TimeMicros drain_start = sim.Now();
+  common::TimeMicros done_at = -1;
+  for (common::TimeMicros t = drain_start; t < drain_start + 60 * kSec; t += 50 * kMs) {
+    sim.RunUntil(t);
+    if (broker.GroupBacklog("ingestors", "events") == 0) {
+      done_at = sim.Now();
+      break;
+    }
+  }
+  result.received = seen.size();
+  result.lost = result.published - result.received;
+  result.catchup_ms = done_at < 0 ? -1 : static_cast<double>(done_at - drain_start) / kMs;
+  return result;
+}
+
+struct WatchResult {
+  std::uint64_t published = 0;
+  std::uint64_t final_state_complete = 0;  // Keys materialized after recovery.
+  std::uint64_t lost = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t session_repairs = 0;
+  double catchup_ms = -1;
+};
+
+WatchResult RunWatch(common::TimeMicros outage, std::size_t window_events) {
+  sim::Simulator sim(42);
+  sim::Network net(&sim, {.base = 200, .jitter = 0});
+  storage::IngestStore store("events");
+  watch::IngestStoreWatch store_watch(
+      &sim, &net, &store, "ingest-watch",
+      {.window = {.max_events = window_events},
+       .delivery_latency = 1 * kMs,
+       .progress_period = 20 * kMs});
+  watch::IngestSnapshotSource source(&store);
+  watch::MaterializedRange consumer(&sim, &store_watch, &source, common::KeyRange::All(),
+                                    {.resync_delay = 20 * kMs,
+                                     .session_check_period = 50 * kMs,
+                                     .node = "consumer-0",
+                                     .net = &net});
+  net.AddNode("consumer-0");
+  consumer.Start();
+
+  WatchResult result;
+  std::uint64_t seq = 0;
+  sim::PeriodicTask producer(&sim, kEventPeriod, [&] {
+    store.Append("ev-" + std::to_string(seq++), std::string(64, 'x'), sim.Now());
+    ++result.published;
+  });
+  // The ingest store trims raw history on the same retention as pubsub — but
+  // being a store, it keeps the latest state per key queryable forever.
+  sim::PeriodicTask retention(&sim, 100 * kMs,
+                              [&] { store.RetainAfter(sim.Now() - kRetention); });
+
+  sim::FailureInjector injector(&sim, &net);
+  injector.Register("consumer-0",
+                    {.on_crash = [] {}, .on_restart = [] {}});
+  if (outage > 0) {
+    injector.ScheduleCrash("consumer-0", kOutageStart, outage);
+  }
+
+  sim.RunUntil(kRunFor);
+  producer.Stop();
+
+  const common::TimeMicros drain_start = sim.Now();
+  common::TimeMicros done_at = -1;
+  for (common::TimeMicros t = drain_start; t < drain_start + 60 * kSec; t += 50 * kMs) {
+    sim.RunUntil(t);
+    if (consumer.ready() &&
+        consumer.LatestScan(common::KeyRange::All()).size() >= result.published) {
+      done_at = sim.Now();
+      break;
+    }
+  }
+  result.final_state_complete = consumer.LatestScan(common::KeyRange::All()).size();
+  result.lost = result.published - result.final_state_complete;
+  result.resyncs = consumer.resyncs();
+  result.session_repairs = consumer.session_repairs();
+  result.catchup_ms = done_at < 0 ? -1 : static_cast<double>(done_at - drain_start) / kMs;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: backlog + retention GC (paper §3.1)\n");
+  std::printf("rate=500 ev/s, pubsub retention=%llds, watch window=4096 events\n",
+              static_cast<long long>(kRetention / kSec));
+
+  bench::Table table(
+      "Consumer outage vs. loss and recovery (pubsub log vs. store+watch)",
+      {"outage_s", "pub_lost", "pub_signal", "pub_catchup_ms", "watch_lost", "watch_signal",
+       "watch_resyncs", "watch_catchup_ms"});
+  for (common::TimeMicros outage :
+       {common::TimeMicros(0), 1 * kSec, 2 * kSec, 5 * kSec, 10 * kSec, 20 * kSec}) {
+    PubsubResult p = RunPubsub(outage);
+    WatchResult w = RunWatch(outage, 4096);
+    // "Signal" means the explicit may-have-missed-events notification
+    // (OnResync); a transparent session repair that replays the gap needs no
+    // signal because nothing was missed.
+    const bool watch_signalled = w.resyncs > 0;
+    table.AddRow({bench::F(static_cast<double>(outage) / kSec, 1), bench::I(p.lost),
+                  bench::B(p.loss_signalled), bench::F(p.catchup_ms, 0), bench::I(w.lost),
+                  bench::B(watch_signalled), bench::I(w.resyncs),
+                  bench::F(w.catchup_ms, 0)});
+  }
+  table.Print();
+
+  bench::Table ablation(
+      "A1: retained-window size vs resync (outage fixed at 5s)",
+      {"window_events", "resyncs", "session_repairs", "lost", "catchup_ms"});
+  for (std::size_t window : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    WatchResult w = RunWatch(5 * kSec, window);
+    ablation.AddRow({bench::I(window), bench::I(w.resyncs), bench::I(w.session_repairs),
+                     bench::I(w.lost), bench::F(w.catchup_ms, 0)});
+  }
+  ablation.Print();
+
+  std::printf(
+      "\nShape check: pubsub loses messages exactly when outage approaches/exceeds retention,\n"
+      "with no signal; watch loses nothing (state recovered from the store), signals resync\n"
+      "when the window is exceeded, and catches up. Small windows resync more; recovery\n"
+      "stays bounded.\n");
+  (void)kKeys;
+  return 0;
+}

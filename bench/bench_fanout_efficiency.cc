@@ -1,0 +1,201 @@
+// Experiment E8 (paper §3.2.2, §4.4): free consumers vs range watches.
+//
+// The paper notes that some cache fleets fall back to every server
+// subscribing to the ENTIRE feed with free consumers, "an approach that does
+// not scale as update rates increase". Here S cache servers each need only
+// 1/S of the key space. With free consumers every server still receives every
+// byte; with range watches each server receives only its slice.
+//
+// Sweep server count and update rate; report per-server and aggregate
+// delivered bytes.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/table.h"
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/api.h"
+#include "watch/proxy.h"
+#include "watch/watch_system.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+constexpr std::uint64_t kKeys = 1000;
+constexpr std::size_t kValueBytes = 256;
+constexpr common::TimeMicros kRunFor = 10 * kSec;
+
+struct Result {
+  double per_server_mb = 0;
+  double aggregate_mb = 0;
+};
+
+void Workload(sim::Simulator& sim, storage::MvccStore& store, common::TimeMicros period) {
+  common::Rng rng(61);
+  sim::PeriodicTask writer(&sim, period, [&] {
+    store.Apply(common::IndexKey(rng.Below(kKeys), 4),
+                common::Mutation::Put(std::string(kValueBytes, 'x')));
+  });
+  sim.RunUntil(kRunFor);
+  writer.Stop();
+  sim.RunUntil(kRunFor + 5 * kSec);
+}
+
+Result RunFreeConsumers(std::uint32_t servers, common::TimeMicros update_period) {
+  sim::Simulator sim(67);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  pubsub::Broker broker(&sim, &net, "broker", 500 * kMs);
+  (void)broker.CreateTopic("feed", {.partitions = 8});
+  storage::MvccStore store("source");
+  cdc::CdcPubsubFeed feed(&sim, &net, &store, nullptr, &broker, "feed");
+
+  std::vector<std::unique_ptr<pubsub::FreeConsumer>> consumers;
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    consumers.push_back(std::make_unique<pubsub::FreeConsumer>(
+        &sim, &net, &broker, "feed", "server-" + std::to_string(s),
+        [](pubsub::PartitionId, const pubsub::StoredMessage&) { return true; },
+        pubsub::ConsumerOptions{.poll_period = 5 * kMs, .max_poll_messages = 4096}));
+    consumers.back()->Start();
+  }
+  Workload(sim, store, update_period);
+
+  Result r;
+  std::uint64_t total = 0;
+  for (const auto& c : consumers) {
+    total += c->delivered_bytes();
+  }
+  r.aggregate_mb = static_cast<double>(total) / 1e6;
+  r.per_server_mb = r.aggregate_mb / servers;
+  return r;
+}
+
+// Counts bytes delivered to one range watcher.
+class ByteCounter : public watch::WatchCallback {
+ public:
+  void OnEvent(const watch::ChangeEvent& ev) override {
+    bytes += ev.key.size() + ev.mutation.value.size();
+  }
+  void OnProgress(const watch::ProgressEvent&) override {}
+  void OnResync() override {}
+
+  std::uint64_t bytes = 0;
+};
+
+Result RunRangeWatch(std::uint32_t servers, common::TimeMicros update_period) {
+  sim::Simulator sim(67);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store("source");
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &ws, {.progress_period = 10 * kMs});
+
+  std::vector<ByteCounter> counters(servers);
+  std::vector<std::unique_ptr<watch::WatchHandle>> handles;
+  auto shards = cdc::UniformShards(kKeys, servers, 4);
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    handles.push_back(ws.Watch(shards[s].low, shards[s].high, 0, &counters[s]));
+  }
+  Workload(sim, store, update_period);
+
+  Result r;
+  std::uint64_t total = 0;
+  for (const auto& c : counters) {
+    total += c.bytes;
+  }
+  r.aggregate_mb = static_cast<double>(total) / 1e6;
+  r.per_server_mb = r.aggregate_mb / servers;
+  return r;
+}
+
+struct TierResult {
+  std::uint64_t root_deliveries = 0;
+  std::uint64_t tier_deliveries = 0;  // Sum over proxies (0 when direct).
+};
+
+// S replicas each need the FULL feed (think: read replicas / analytics
+// taps). Directly attached, the root delivers every event S times; behind a
+// proxy tier, the root delivers once per proxy and the tier absorbs the rest.
+TierResult RunFullFeedReplicas(std::uint32_t servers, std::uint32_t proxies) {
+  sim::Simulator sim(71);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store("source");
+  watch::WatchSystem root(&sim, &net, "root",
+                          {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &root, {.progress_period = 10 * kMs});
+
+  std::vector<std::unique_ptr<watch::WatchProxy>> tier;
+  for (std::uint32_t i = 0; i < proxies; ++i) {
+    tier.push_back(std::make_unique<watch::WatchProxy>(
+        &sim, &net, &root, common::KeyRange::All(), "proxy-" + std::to_string(i),
+        watch::WatchProxyOptions{
+            .system = {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs}}));
+  }
+  std::vector<ByteCounter> counters(servers);
+  std::vector<std::unique_ptr<watch::WatchHandle>> handles;
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    watch::Watchable* upstream =
+        tier.empty() ? static_cast<watch::Watchable*>(&root) : tier[s % tier.size()].get();
+    handles.push_back(upstream->Watch("", "", 0, &counters[s]));
+  }
+  Workload(sim, store, 1 * kMs);
+
+  TierResult r;
+  r.root_deliveries = root.events_delivered();
+  for (const auto& proxy : tier) {
+    r.tier_deliveries += proxy->system().events_delivered();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: free consumers vs range watches (paper §3.2.2, §4.4)\n");
+  std::printf("%llu keys, %zu-byte values, each server responsible for 1/S of the space\n",
+              static_cast<unsigned long long>(kKeys), kValueBytes);
+
+  bench::Table table("Per-server delivered data: full feed vs owned range",
+                     {"servers", "updates/s", "free_per_srv_MB", "free_total_MB",
+                      "watch_per_srv_MB", "watch_total_MB"});
+  for (std::uint32_t servers : {2u, 4u, 8u, 16u}) {
+    for (common::TimeMicros period : {4 * kMs, 1 * kMs}) {
+      const double rate = 1.0 / (static_cast<double>(period) / kSec);
+      Result f = RunFreeConsumers(servers, period);
+      Result w = RunRangeWatch(servers, period);
+      table.AddRow({bench::I(servers), bench::F(rate, 0), bench::F(f.per_server_mb, 2),
+                    bench::F(f.aggregate_mb, 2), bench::F(w.per_server_mb, 2),
+                    bench::F(w.aggregate_mb, 2)});
+    }
+  }
+  table.Print();
+
+  // Second table: scaling FULL-FEED fan-out with a proxy tier (the paper's
+  // §5 "watch systems optimized for different scale points, e.g. degree of
+  // fan out").
+  bench::Table tier_table("Full-feed replicas: root egress, direct vs 2-proxy tier",
+                          {"replicas", "direct_root_deliveries", "tiered_root_deliveries",
+                           "tier_deliveries"});
+  for (std::uint32_t servers : {2u, 4u, 8u, 16u}) {
+    TierResult direct = RunFullFeedReplicas(servers, 0);
+    TierResult tiered = RunFullFeedReplicas(servers, 2);
+    tier_table.AddRow({bench::I(servers), bench::I(direct.root_deliveries),
+                       bench::I(tiered.root_deliveries), bench::I(tiered.tier_deliveries)});
+  }
+  tier_table.Print();
+
+  std::printf(
+      "\nShape check: free-consumer per-server traffic equals the whole feed regardless of\n"
+      "server count (aggregate grows ~linearly with S); range-watch per-server traffic is\n"
+      "~1/S of the feed and the aggregate stays flat — affinitized delivery scales. With a\n"
+      "proxy tier, root egress is constant (one stream per proxy) no matter how many\n"
+      "full-feed replicas attach — fan-out scales by adding tiers, not root load.\n");
+  return 0;
+}

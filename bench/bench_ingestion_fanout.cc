@@ -1,0 +1,200 @@
+// Experiment E5 (paper §3.2.3): event ingestion and fanout.
+//
+// Producers ingest events; F downstream consumers should see every event
+// promptly. One consumer suffers an outage. We measure steady-state delivery
+// latency and what an outage does: with pubsub, the victim must replay the
+// log through the broker (and loses anything beyond retention); with
+// storage+watch, it resumes from the window or re-reads state from the
+// ingestion store, with an explicit signal either way.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/table.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/ingest_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/store_watch.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+constexpr int kFanout = 5;                         // Downstream consumers.
+constexpr common::TimeMicros kRetention = 4 * kSec;
+constexpr common::TimeMicros kOutageStart = 3 * kSec;
+constexpr common::TimeMicros kOutage = 6 * kSec;
+constexpr common::TimeMicros kRunFor = 20 * kSec;
+
+struct Result {
+  std::uint64_t published = 0;
+  double p50_ms = 0;   // Steady-state delivery latency (healthy consumers).
+  double p99_ms = 0;
+  std::uint64_t victim_lost = 0;
+  bool victim_signalled = false;
+  double victim_catchup_ms = -1;  // From recovery to fully caught up.
+};
+
+Result RunPubsub(common::TimeMicros event_period) {
+  sim::Simulator sim(3);
+  sim::Network net(&sim, {.base = 300, .jitter = 100});
+  pubsub::Broker broker(&sim, &net, "broker", 200 * kMs);
+  (void)broker.CreateTopic("events",
+                           {.partitions = 8, .retention = {.retention = kRetention}});
+  Result result;
+  common::Histogram healthy_latency;
+  std::vector<std::unique_ptr<pubsub::FreeConsumer>> consumers;
+  std::uint64_t victim_seen = 0;
+  for (int c = 0; c < kFanout; ++c) {
+    const bool is_victim = c == 0;
+    const sim::NodeId node = "consumer-" + std::to_string(c);
+    consumers.push_back(std::make_unique<pubsub::FreeConsumer>(
+        &sim, &net, &broker, "events", node,
+        [&sim, &healthy_latency, &victim_seen, is_victim](pubsub::PartitionId,
+                                                          const pubsub::StoredMessage& m) {
+          if (is_victim) {
+            ++victim_seen;
+          } else {
+            healthy_latency.Record(
+                static_cast<double>(sim.Now() - m.message.publish_time) / kMs);
+          }
+          return true;
+        },
+        pubsub::ConsumerOptions{.poll_period = 5 * kMs, .max_poll_messages = 128}));
+    consumers.back()->Start();
+  }
+
+  sim::PeriodicTask producer(&sim, event_period, [&] {
+    (void)broker.Publish("events", pubsub::Message{"ev-" + std::to_string(result.published),
+                                                   std::string(128, 'x'), 0});
+    ++result.published;
+  });
+  sim.At(kOutageStart, [&] { net.SetUp("consumer-0", false); });
+  sim.At(kOutageStart + kOutage, [&] { net.SetUp("consumer-0", true); });
+
+  sim.RunUntil(kRunFor);
+  producer.Stop();
+  // Victim catch-up: drain until its backlog is empty.
+  const common::TimeMicros drain_start = sim.Now();
+  common::TimeMicros caught_up = -1;
+  for (common::TimeMicros t = drain_start; t < drain_start + 60 * kSec; t += 20 * kMs) {
+    sim.RunUntil(t);
+    if (consumers[0]->Backlog() == 0) {
+      caught_up = sim.Now();
+      break;
+    }
+  }
+  result.p50_ms = healthy_latency.Percentile(50);
+  result.p99_ms = healthy_latency.Percentile(99);
+  result.victim_lost = result.published - victim_seen;
+  result.victim_signalled = false;  // The gap is invisible to the application.
+  result.victim_catchup_ms =
+      caught_up < 0 ? -1 : static_cast<double>(caught_up - drain_start) / kMs;
+  return result;
+}
+
+Result RunWatch(common::TimeMicros event_period) {
+  sim::Simulator sim(3);
+  sim::Network net(&sim, {.base = 300, .jitter = 100});
+  storage::IngestStore store("events");
+  watch::IngestStoreWatch store_watch(&sim, &net, &store, "ingest-watch",
+                                      {.window = {.max_events = 8192},
+                                       .delivery_latency = 1 * kMs,
+                                       .progress_period = 20 * kMs});
+  watch::IngestSnapshotSource source(&store);
+
+  Result result;
+  common::Histogram healthy_latency;
+  std::vector<std::unique_ptr<watch::MaterializedRange>> consumers;
+  for (int c = 0; c < kFanout; ++c) {
+    const sim::NodeId node = "consumer-" + std::to_string(c);
+    net.AddNode(node);
+    auto mr = std::make_unique<watch::MaterializedRange>(
+        &sim, &store_watch, &source, common::KeyRange::All(),
+        watch::MaterializedOptions{.resync_delay = 20 * kMs,
+                                   .session_check_period = 50 * kMs,
+                                   .node = node,
+                                   .net = &net});
+    if (c != 0) {
+      mr->set_apply_hook([&sim, &healthy_latency](const common::ChangeEvent& ev) {
+        // Payload prefix carries the publish time.
+        const common::TimeMicros sent = std::stoll(ev.mutation.value);
+        healthy_latency.Record(static_cast<double>(sim.Now() - sent) / kMs);
+      });
+    }
+    mr->Start();
+    consumers.push_back(std::move(mr));
+  }
+
+  sim::PeriodicTask producer(&sim, event_period, [&] {
+    store.Append("ev-" + std::to_string(result.published), std::to_string(sim.Now()),
+                 sim.Now());
+    ++result.published;
+  });
+  sim::PeriodicTask retention(&sim, 200 * kMs,
+                              [&] { store.RetainAfter(sim.Now() - kRetention); });
+  sim.At(kOutageStart, [&] { net.SetUp("consumer-0", false); });
+  sim.At(kOutageStart + kOutage, [&] { net.SetUp("consumer-0", true); });
+
+  sim.RunUntil(kRunFor);
+  producer.Stop();
+  const common::TimeMicros drain_start = sim.Now();
+  common::TimeMicros caught_up = -1;
+  for (common::TimeMicros t = drain_start; t < drain_start + 60 * kSec; t += 20 * kMs) {
+    sim.RunUntil(t);
+    if (consumers[0]->ready() &&
+        consumers[0]->LatestScan(common::KeyRange::All()).size() >= result.published) {
+      caught_up = sim.Now();
+      break;
+    }
+  }
+  result.p50_ms = healthy_latency.Percentile(50);
+  result.p99_ms = healthy_latency.Percentile(99);
+  result.victim_lost =
+      result.published - consumers[0]->LatestScan(common::KeyRange::All()).size();
+  result.victim_signalled =
+      consumers[0]->resyncs() > 0 || consumers[0]->session_repairs() > 0;
+  result.victim_catchup_ms =
+      caught_up < 0 ? -1 : static_cast<double>(caught_up - drain_start) / kMs;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: event ingestion and fanout (paper §3.2.3)\n");
+  std::printf("%d consumers; consumer-0 down %lld-%llds; retention %llds\n", kFanout,
+              static_cast<long long>(kOutageStart / kSec),
+              static_cast<long long>((kOutageStart + kOutage) / kSec),
+              static_cast<long long>(kRetention / kSec));
+
+  bench::Table table("Event rate vs delivery latency and outage recovery",
+                     {"pipeline", "events/s", "p50_ms", "p99_ms", "victim_lost",
+                      "victim_signalled", "victim_catchup_ms"});
+  for (common::TimeMicros period : {10 * kMs, 4 * kMs, 1 * kMs}) {
+    const double rate = 1.0 / (static_cast<double>(period) / kSec);
+    Result p = RunPubsub(period);
+    table.AddRow({"pubsub", bench::F(rate, 0), bench::F(p.p50_ms, 1), bench::F(p.p99_ms, 1),
+                  bench::I(p.victim_lost), bench::B(p.victim_signalled),
+                  bench::F(p.victim_catchup_ms, 0)});
+    Result w = RunWatch(period);
+    table.AddRow({"store+watch", bench::F(rate, 0), bench::F(w.p50_ms, 1),
+                  bench::F(w.p99_ms, 1), bench::I(w.victim_lost),
+                  bench::B(w.victim_signalled), bench::F(w.victim_catchup_ms, 0)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: steady-state latency is comparable (both are push/pull pipelines over\n"
+      "the same simulated network). The difference is the outage column: the pubsub victim\n"
+      "silently loses whatever retention GC took (growing with event rate); the watch victim\n"
+      "loses nothing — it is explicitly resynced from the ingestion store.\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Experiment E9 (paper §4, Figures 3 & 4): the unbundling design space.
+//
+// Figure 3 spans storage type (producer vs ingestion) x notification
+// placement (built into the store vs an external watch system). This bench
+// runs the SAME consumer protocol (MaterializedRange: snapshot + watch +
+// resync) against all four quadrants and checks that the consumer-visible
+// guarantees are identical: complete convergence to the store and explicit
+// resync on lag — independent of how the watch layer is deployed.
+#include <cstdio>
+#include <string>
+
+#include "bench/table.h"
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/ingest_store.h"
+#include "storage/mvcc_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/store_watch.h"
+#include "watch/watch_system.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+constexpr std::uint64_t kKeys = 300;
+constexpr int kWrites = 2000;
+
+struct Result {
+  std::uint64_t events_applied = 0;
+  std::uint64_t resyncs = 0;
+  bool converged = false;
+  double convergence_lag_ms = -1;
+};
+
+// Runs the standard consumer against a Watchable + snapshot source, driving
+// `write` for the workload, and checks convergence against `truth_size` and
+// `verify`.
+template <typename WriteFn, typename VerifyFn>
+Result Consume(sim::Simulator& sim, watch::NodeAwareWatchable* watchable,
+               const watch::SnapshotSource* source, WriteFn write, VerifyFn verify) {
+  watch::MaterializedRange consumer(&sim, watchable, source, common::KeyRange::All(),
+                                    {.resync_delay = 5 * kMs});
+  consumer.Start();
+  sim.RunUntil(50 * kMs);
+
+  common::Rng rng(71);
+  for (int i = 0; i < kWrites; ++i) {
+    write(common::IndexKey(rng.Below(kKeys), 4), "w" + std::to_string(i));
+    if (i % 20 == 0) {
+      sim.RunUntil(sim.Now() + 2 * kMs);
+    }
+  }
+  const common::TimeMicros last_write = sim.Now();
+  common::TimeMicros converged_at = -1;
+  for (common::TimeMicros t = sim.Now(); t < last_write + 30 * kSec; t += 10 * kMs) {
+    sim.RunUntil(t);
+    if (verify(consumer)) {
+      converged_at = sim.Now();
+      break;
+    }
+  }
+  Result r;
+  r.events_applied = consumer.events_applied();
+  r.resyncs = consumer.resyncs();
+  r.converged = converged_at >= 0;
+  r.convergence_lag_ms =
+      converged_at < 0 ? -1 : static_cast<double>(converged_at - last_write) / kMs;
+  return r;
+}
+
+// Verification for producer-storage quadrants: materialization == store scan.
+bool MatchesMvcc(const watch::MaterializedRange& consumer, const storage::MvccStore& store) {
+  auto truth = store.Scan(common::KeyRange::All(), store.LatestVersion());
+  if (!truth.ok()) {
+    return false;
+  }
+  auto mine = consumer.LatestScan(common::KeyRange::All());
+  if (mine.size() != truth->size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (mine[i].key != (*truth)[i].key || mine[i].value != (*truth)[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result ProducerBuiltIn() {
+  sim::Simulator sim(73);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store("producer");
+  watch::StoreWatch sw(&sim, &net, &store, "store-watch",
+                       {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  watch::StoreSnapshotSource source(&store);
+  return Consume(
+      sim, &sw, &source,
+      [&store](const common::Key& k, const common::Value& v) {
+        store.Apply(k, common::Mutation::Put(v));
+      },
+      [&store](const watch::MaterializedRange& c) { return MatchesMvcc(c, store); });
+}
+
+Result ProducerExternal() {
+  sim::Simulator sim(73);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store("producer");
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &ws,
+                            {.shards = cdc::UniformShards(kKeys, 4, 4),
+                             .base_latency = 1 * kMs,
+                             .stagger = 2 * kMs,
+                             .progress_period = 10 * kMs});
+  watch::StoreSnapshotSource source(&store);
+  return Consume(
+      sim, &ws, &source,
+      [&store](const common::Key& k, const common::Value& v) {
+        store.Apply(k, common::Mutation::Put(v));
+      },
+      [&store](const watch::MaterializedRange& c) { return MatchesMvcc(c, store); });
+}
+
+bool MatchesIngest(const watch::MaterializedRange& consumer,
+                   const storage::IngestStore& store) {
+  auto latest = store.ScanLatest(common::KeyRange::All());
+  auto mine = consumer.LatestScan(common::KeyRange::All());
+  if (mine.size() != latest.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    if (mine[i].key != latest[i].key || mine[i].value != latest[i].payload) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result IngestBuiltIn() {
+  sim::Simulator sim(73);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::IngestStore store("ingest");
+  watch::IngestStoreWatch sw(&sim, &net, &store, "ingest-watch",
+                             {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  watch::IngestSnapshotSource source(&store);
+  return Consume(
+      sim, &sw, &source,
+      [&sim, &store](const common::Key& k, const common::Value& v) {
+        store.Append(k, v, sim.Now());
+      },
+      [&store](const watch::MaterializedRange& c) { return MatchesIngest(c, store); });
+}
+
+Result IngestExternal() {
+  sim::Simulator sim(73);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::IngestStore store("ingest");
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  // External layering over an ingestion store: its event observer feeds the
+  // standalone watch system through the Ingester contract.
+  store.AddEventObserver([&sim, &ws](const storage::IngestEvent& ev) {
+    sim.After(1 * kMs, [&ws, ev] {
+      ws.Append(common::ChangeEvent{ev.key, common::Mutation::Put(ev.payload), ev.version,
+                                    true});
+      ws.Progress(common::ProgressEvent{common::KeyRange::All(), ev.version});
+    });
+  });
+  watch::IngestSnapshotSource source(&store);
+  return Consume(
+      sim, &ws, &source,
+      [&sim, &store](const common::Key& k, const common::Value& v) {
+        store.Append(k, v, sim.Now());
+      },
+      [&store](const watch::MaterializedRange& c) { return MatchesIngest(c, store); });
+}
+
+void AddRow(bench::Table& table, const std::string& quadrant, const Result& r) {
+  table.AddRow({quadrant, bench::I(r.events_applied), bench::I(r.resyncs),
+                bench::B(r.converged), bench::F(r.convergence_lag_ms, 0)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: the Figure 3 quadrants — one consumer protocol, four deployments\n");
+  std::printf("%d writes over %llu keys; identical MaterializedRange consumer in each run\n",
+              kWrites, static_cast<unsigned long long>(kKeys));
+
+  bench::Table table("Storage type x notification placement",
+                     {"quadrant", "events_applied", "resyncs", "converged", "lag_ms"});
+  AddRow(table, "producer-store + built-in watch", ProducerBuiltIn());
+  AddRow(table, "producer-store + external watch", ProducerExternal());
+  AddRow(table, "ingest-store   + built-in watch", IngestBuiltIn());
+  AddRow(table, "ingest-store   + external watch", IngestExternal());
+  table.Print();
+
+  std::printf(
+      "\nShape check: all four quadrants converge with the same consumer code and the same\n"
+      "guarantees — the watch contract abstracts where notification is implemented,\n"
+      "which is the generality claim of Section 4 / Figure 3.\n");
+  return 0;
+}

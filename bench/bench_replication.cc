@@ -1,0 +1,222 @@
+// Experiment E4 (paper §3.2.1): replication across storage systems.
+//
+// A producer store commits a transaction mix (including the paper's
+// membership/ACL pairs and multi-key transactions); five replication
+// pipelines apply the change feed to a target store:
+//
+//   serial-pubsub          1 partition, 1 applier, txn-atomic apply
+//   concurrent-naive       keyless routing, 4 appliers, blind writes
+//   concurrent-versioned   keyless routing, 4 appliers, version checks
+//   partitioned-pubsub     key-hash routing, 4 appliers, blind writes
+//   watch                  4 range shards, frontier-batched atomic apply
+//
+// Metrics: apply throughput, eventual convergence, point-in-time (snapshot)
+// anomalies, and violations of the paper's ACL invariant.
+//
+// Note on pubsub transactions: the CDC feed publishes each source commit's
+// events in one atomic step (they become visible together, in order) — i.e.
+// the baseline already enjoys transactional PUBLICATION, the strongest
+// pubsub-layer transaction guarantee. The anomalies below happen anyway,
+// on the CONSUME side, which is the paper's point: guarantees at the pubsub
+// layer do not compose into end-to-end guarantees (§3.2.1).
+#include <cstdio>
+#include <string>
+
+#include "bench/table.h"
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "pubsub/broker.h"
+#include "replication/checker.h"
+#include "replication/pubsub_replicator.h"
+#include "replication/target_store.h"
+#include "replication/watch_replicator.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+constexpr std::uint64_t kKeys = 500;
+constexpr int kTxns = 3000;
+
+struct Result {
+  double throughput_eps = 0;  // Events applied per simulated second.
+  double lag_ms = -1;          // Time from last commit to full application.
+  bool converged = false;
+  std::uint64_t snapshot_anomalies = 0;
+  std::uint64_t acl_violations = 0;
+};
+
+// Issues the workload: random multi-key txns + the ordered ACL pair.
+void Workload(sim::Simulator& sim, storage::MvccStore& source) {
+  common::Rng rng(31);
+  for (int t = 0; t < kTxns; ++t) {
+    if (t % 20 == 7) {
+      // The §3.2.1 example: remove member, THEN grant access.
+      storage::Transaction setup = source.Begin();
+      setup.Put("group/eng/member/mallory", "IN");
+      setup.Put("doc/secret/acl", "eng:DENY");
+      (void)source.Commit(std::move(setup));
+      source.Apply("group/eng/member/mallory", common::Mutation::Put("OUT"));
+      source.Apply("doc/secret/acl", common::Mutation::Put("eng:ALLOW"));
+    } else {
+      storage::Transaction txn = source.Begin();
+      const int writes = 1 + static_cast<int>(rng.Below(3));
+      for (int w = 0; w < writes; ++w) {
+        const common::Key key = common::IndexKey(rng.Zipf(kKeys, 0.6), 4);
+        if (rng.Bernoulli(0.1)) {
+          txn.Delete(key);
+        } else {
+          txn.Put(key, "t" + std::to_string(t));
+        }
+      }
+      (void)source.Commit(std::move(txn));
+    }
+    if (t % 10 == 0) {
+      sim.RunUntil(sim.Now() + 1 * kMs);  // ~20k events/s offered load.
+    }
+  }
+}
+
+Result Finish(sim::Simulator& sim, const replication::SourceHistory& history,
+              const replication::TargetStore& target,
+              const replication::PointInTimeChecker& pit,
+              const replication::AclInvariantChecker& acl,
+              common::TimeMicros last_commit_time) {
+  // Drain until converged (or give up after 120 simulated seconds).
+  common::TimeMicros converged_at = -1;
+  for (common::TimeMicros t = sim.Now(); t < last_commit_time + 120 * kSec; t += 20 * kMs) {
+    sim.RunUntil(t);
+    if (target.state_hash() == history.final_hash()) {
+      converged_at = sim.Now();
+      break;
+    }
+  }
+  Result r;
+  r.converged = pit.Converged(target);
+  r.snapshot_anomalies = pit.anomalies();
+  r.acl_violations = acl.violations();
+  r.lag_ms = converged_at < 0
+                 ? -1
+                 : static_cast<double>(converged_at - last_commit_time) / kMs;
+  // Throughput over the active window (workload start at 100ms to drain end).
+  const double seconds =
+      static_cast<double>((converged_at < 0 ? sim.Now() : converged_at) - 100 * kMs) / kSec;
+  r.throughput_eps = seconds > 0 ? static_cast<double>(target.applied()) / seconds : 0;
+  return r;
+}
+
+Result RunPubsub(replication::PubsubReplicationMode mode, std::uint32_t appliers = 4) {
+  sim::Simulator sim(37);
+  sim::Network net(&sim, {.base = 200, .jitter = 0});
+  pubsub::Broker broker(&sim, &net, "broker", 200 * kMs);
+  const bool serial = mode == replication::PubsubReplicationMode::kSerial;
+  (void)broker.CreateTopic("repl", {.partitions = serial ? 1u : 16u});
+  storage::MvccStore source("source");
+  replication::SourceHistory history(&source);
+  const bool keyless = mode == replication::PubsubReplicationMode::kConcurrentNaive ||
+                       mode == replication::PubsubReplicationMode::kConcurrentVersioned;
+  cdc::CdcPubsubFeed feed(&sim, &net, &source, nullptr, &broker, "repl",
+                          {.keyed = !keyless});
+  replication::TargetStore target;
+  replication::PointInTimeChecker pit(&history, &target);
+  replication::AclInvariantChecker acl(&target, "group/eng/member/mallory", "IN",
+                                       "doc/secret/acl", "eng:ALLOW");
+  replication::PubsubReplicatorOptions options;
+  options.appliers = appliers;
+  // Each applier moves at most 32 events per 4ms poll (8k events/s): the
+  // per-applier bottleneck that serial mode cannot scale past.
+  options.consumer.poll_period = 4 * kMs;
+  options.consumer.max_poll_messages = 32;
+  replication::PubsubReplicator replicator(&sim, &net, &broker, "repl", "repl-g", &target,
+                                           mode, options);
+  sim.RunUntil(100 * kMs);
+  Workload(sim, source);
+  return Finish(sim, history, target, pit, acl, sim.Now());
+}
+
+Result RunWatch(std::uint32_t shards = 4) {
+  sim::Simulator sim(37);
+  sim::Network net(&sim, {.base = 200, .jitter = 0});
+  storage::MvccStore source("source");
+  replication::SourceHistory history(&source);
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.window = {.max_events = 200000},
+                         .delivery_latency = 1 * kMs,
+                         .progress_period = 4 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &source, nullptr, &ws,
+                            {.shards = cdc::UniformShards(kKeys, shards, 4),
+                             .base_latency = 1 * kMs,
+                             .stagger = 1 * kMs,
+                             .progress_period = 4 * kMs});
+  watch::StoreSnapshotSource snap(&source);
+  replication::TargetStore target;
+  replication::PointInTimeChecker pit(&history, &target);
+  replication::AclInvariantChecker acl(&target, "group/eng/member/mallory", "IN",
+                                       "doc/secret/acl", "eng:ALLOW");
+  replication::WatchReplicator replicator(&sim, &ws, &snap, &target,
+                                          cdc::UniformShards(kKeys, shards, 4),
+                                          {.apply_period = 4 * kMs});
+  replicator.Start();
+  sim.RunUntil(100 * kMs);
+  Workload(sim, source);
+  return Finish(sim, history, target, pit, acl, sim.Now());
+}
+
+void AddRow(bench::Table& table, const std::string& name, const Result& r) {
+  // Throughput is only meaningful for pipelines that converge.
+  table.AddRow({name, r.converged ? bench::F(r.throughput_eps, 0) : "-",
+                bench::F(r.lag_ms, 0),
+                bench::B(r.converged), bench::I(r.snapshot_anomalies),
+                bench::I(r.acl_violations)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: cross-store replication (paper §3.2.1)\n");
+  std::printf("%d txns over %llu keys incl. member/ACL pairs; 4 appliers where applicable\n",
+              kTxns, static_cast<unsigned long long>(kKeys));
+
+  bench::Table table("Replication discipline vs scalability and consistency",
+                     {"pipeline", "apply_eps", "drain_lag_ms", "eventual", "snap_anomalies",
+                      "acl_violations"});
+  AddRow(table, "serial-pubsub", RunPubsub(replication::PubsubReplicationMode::kSerial));
+  AddRow(table, "concurrent-naive",
+         RunPubsub(replication::PubsubReplicationMode::kConcurrentNaive));
+  AddRow(table, "concurrent-versioned",
+         RunPubsub(replication::PubsubReplicationMode::kConcurrentVersioned));
+  AddRow(table, "partitioned-pubsub",
+         RunPubsub(replication::PubsubReplicationMode::kPartitioned));
+  AddRow(table, "watch", RunWatch());
+  table.Print();
+
+  // A4: scaling the consistent pipelines. Serial cannot use more appliers at
+  // all; partitioned scales but stays inconsistent; watch scales its shard
+  // pipelines while keeping 0 anomalies.
+  bench::Table scaling("A4: parallelism vs drain lag for the consistent disciplines",
+                       {"pipeline", "parallelism", "drain_lag_ms", "snap_anomalies"});
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    Result p = RunPubsub(replication::PubsubReplicationMode::kPartitioned, n);
+    scaling.AddRow({"partitioned-pubsub", bench::I(n), bench::F(p.lag_ms, 0),
+                    bench::I(p.snapshot_anomalies)});
+  }
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    Result w = RunWatch(n);
+    scaling.AddRow({"watch", bench::I(n), bench::F(w.lag_ms, 0),
+                    bench::I(w.snapshot_anomalies)});
+  }
+  scaling.Print();
+
+  std::printf(
+      "\nShape check: serial is consistent but slowest to drain (single applier ceiling);\n"
+      "concurrent-naive is fast but does not even converge; version checks restore\n"
+      "convergence but not snapshot consistency; partitioned converges but tears\n"
+      "transactions (ACL violations > 0); watch matches concurrent ingest while\n"
+      "externalizing only source states (0 anomalies, 0 violations).\n");
+  return 0;
+}

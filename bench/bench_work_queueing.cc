@@ -1,0 +1,165 @@
+// Experiment E6 (paper §3.2.4, §4.3): work queueing and balancing.
+//
+// Entities have a desired and an actual state in the producer store; the job
+// is to reconcile them. Two architectures:
+//   pubsub  — desired changes are enqueued as task messages; a consumer group
+//             of workers executes them (event-carried state);
+//   watch   — workers own auto-sharded entity ranges, watch desired/actual,
+//             and reconcile current state, highest priority first.
+//
+// Scenario: bulk low-priority churn + occasional urgent entities + a worker
+// crash mid-run. Metrics: completions, convergence latency (p50/p99 overall
+// and for urgent work), stuck entities, stale executions, warm-work ratio.
+#include <cstdio>
+#include <string>
+
+#include "bench/table.h"
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "pubsub/broker.h"
+#include "sharding/autosharder.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+#include "workqueue/pubsub_queue.h"
+#include "workqueue/tracker.h"
+#include "workqueue/watch_queue.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+constexpr std::uint64_t kEntities = 200;
+constexpr std::uint32_t kWorkers = 4;
+constexpr common::TimeMicros kRunFor = 13 * kSec;
+constexpr common::TimeMicros kChangePeriod = 20 * kMs;  // 50 desired changes/s.
+
+struct Result {
+  std::uint64_t completed = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t stale_executions = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double urgent_p99_ms = 0;
+  double warm_ratio = 0;
+};
+
+// Shared workload: mostly bulk priority-0 changes, every 25th entity urgent.
+// The desired-state churn stops at t=13s — three seconds AFTER the worker
+// crash — so changes issued into the crash window are the entities' final
+// ones. Whether those entities ever reach their desired state is then purely
+// a property of the work-distribution architecture.
+template <typename CrashFn>
+void Drive(sim::Simulator& sim, storage::MvccStore& store, CrashFn crash_worker) {
+  common::Rng rng(41);
+  std::uint64_t seq = 0;
+  sim::PeriodicTask changer(&sim, kChangePeriod, [&] {
+    const std::uint64_t entity = rng.Zipf(kEntities, 0.5);
+    const bool urgent = seq % 25 == 24;
+    store.Apply(workqueue::DesiredKey(entity),
+                common::Mutation::Put(workqueue::EncodeDesired(
+                    urgent ? 9 : 0, "cfg-" + std::to_string(seq))));
+    ++seq;
+  });
+  sim.At(10 * kSec, crash_worker);
+  sim.At(13 * kSec, [&changer] { changer.Stop(); });
+  sim.RunUntil(kRunFor + 30 * kSec);  // Drain / reconcile.
+}
+
+Result Collect(const workqueue::ConvergenceTracker& tracker, std::uint64_t completed,
+               std::uint64_t warm, std::uint64_t cold) {
+  Result r;
+  r.completed = completed;
+  r.stuck = tracker.StuckEntities();
+  r.stale_executions = tracker.stale_executions();
+  r.p50_ms = tracker.latency_ms().Percentile(50);
+  r.p99_ms = tracker.latency_ms().Percentile(99);
+  auto it = tracker.latency_by_priority().find(9);
+  r.urgent_p99_ms = it == tracker.latency_by_priority().end() ? 0 : it->second.Percentile(99);
+  r.warm_ratio = warm + cold == 0
+                     ? 0
+                     : static_cast<double>(warm) / static_cast<double>(warm + cold);
+  return r;
+}
+
+Result RunPubsub() {
+  sim::Simulator sim(47);
+  sim::Network net(&sim, {.base = 300, .jitter = 100});
+  pubsub::Broker broker(&sim, &net, "broker", 200 * kMs);
+  // A 5s group-session timeout (detecting the dead worker takes a while) over
+  // a 2s task-retention window: the classic configuration gap of §3.1.
+  broker.set_session_timeout(5 * kSec);
+  (void)broker.CreateTopic("tasks",
+                           {.partitions = 8, .retention = {.retention = 2 * kSec}});
+  storage::MvccStore store("control");
+  workqueue::ConvergenceTracker tracker(&sim, &store);
+  workqueue::PubsubQueueOptions options;
+  options.workers = kWorkers;
+  options.costs = {.warm = 2 * kMs, .cold = 20 * kMs};
+  options.consumer.poll_period = 2 * kMs;
+  workqueue::PubsubWorkQueue queue(&sim, &net, &broker, "tasks", "workers", &store, options);
+  sim.RunUntil(100 * kMs);
+
+  Drive(sim, store, [&] {
+    // Crash worker 0 permanently; the group rebalances after session timeout.
+    net.SetUp(queue.WorkerNodes()[0], false);
+  });
+  return Collect(tracker, queue.tasks_completed(), queue.warm_hits(), queue.cold_misses());
+}
+
+Result RunWatch() {
+  sim::Simulator sim(47);
+  sim::Network net(&sim, {.base = 300, .jitter = 100});
+  storage::MvccStore store("control");
+  workqueue::ConvergenceTracker tracker(&sim, &store);
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &ws, {.progress_period = 5 * kMs});
+  watch::StoreSnapshotSource source(&store);
+  sharding::AutoSharder sharder(&sim, &net, {.rebalance_period = 1 * kSec});
+  workqueue::WatchQueueOptions options;
+  options.workers = kWorkers;
+  options.costs = {.warm = 2 * kMs, .cold = 20 * kMs};
+  options.reconcile_period = 2 * kMs;
+  workqueue::WatchWorkQueue queue(&sim, &net, &sharder, &ws, &source, &store, options);
+  sim.RunUntil(200 * kMs);
+
+  Drive(sim, store, [&] {
+    net.SetUp(queue.WorkerNodes()[0], false);
+    // The sharder's health pass reassigns the dead worker's ranges.
+  });
+  return Collect(tracker, queue.tasks_completed(), queue.warm_hits(), queue.cold_misses());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: work queueing and balancing (paper §3.2.4, §4.3)\n");
+  std::printf(
+      "%llu entities, %u workers (one crashes at t=10s; churn stops at 13s),\n"
+      "50 changes/s incl. urgent, warm step 2ms vs cold 20ms\n",
+      static_cast<unsigned long long>(kEntities), kWorkers);
+
+  bench::Table table("Task queue (pubsub) vs reconciliation on watch",
+                     {"architecture", "completed", "stuck", "stale_exec", "p50_ms", "p99_ms",
+                      "urgent_p99_ms", "warm_ratio"});
+  Result p = RunPubsub();
+  table.AddRow({"pubsub-queue", bench::I(p.completed), bench::I(p.stuck),
+                bench::I(p.stale_executions), bench::F(p.p50_ms, 0), bench::F(p.p99_ms, 0),
+                bench::F(p.urgent_p99_ms, 0), bench::F(p.warm_ratio, 2)});
+  Result w = RunWatch();
+  table.AddRow({"watch-reconcile", bench::I(w.completed), bench::I(w.stuck),
+                bench::I(w.stale_executions), bench::F(w.p50_ms, 0), bench::F(w.p99_ms, 0),
+                bench::F(w.urgent_p99_ms, 0), bench::F(w.warm_ratio, 2)});
+  table.Print();
+
+  std::printf(
+      "\nShape check: the pubsub queue executes stale configs, strands entities when tasks\n"
+      "die with the crashed worker (stuck > 0), and cannot prioritize (urgent p99 tracks\n"
+      "bulk p99). The watch coordinator executes only current state (0 stale terminal\n"
+      "states), strands nothing (ranges move to the survivor), serves urgent work first,\n"
+      "and keeps a higher warm ratio through range affinity.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared output helpers for the experiment harness. Each bench binary prints
+// the table(s) a paper evaluation section would contain; EXPERIMENTS.md
+// records the measured output against the paper's qualitative predictions.
+#ifndef BENCH_TABLE_H_
+#define BENCH_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    PrintRow(columns_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      rule += (c + 1 < columns_.size()) ? "-+-" : "";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line += " | ";
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string F(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string I(std::uint64_t v) { return std::to_string(v); }
+inline std::string B(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace bench
+
+#endif  // BENCH_TABLE_H_

@@ -1,0 +1,127 @@
+// Example: the Figure 2 cache-invalidation race, step by step — and why the
+// watch-based cache cannot have it.
+//
+// Scenario (paper §3.2.2): object x is reassigned from cache pod p_old to
+// p_new by an auto-sharder. p_new learns about the reassignment before the
+// pubsub system does, and fills the current value of x. When x is then
+// updated, the pubsub system delivers (and the consumer group acknowledges)
+// the invalidation at p_old. p_new never hears about it and serves the stale
+// value forever.
+//
+// Build & run:  ./build/examples/cache_invalidation
+#include <cstdio>
+
+#include "cache/pubsub_cache.h"
+#include "cache/watch_cache.h"
+#include "cdc/feeds.h"
+#include "pubsub/broker.h"
+#include "sharding/autosharder.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace {
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+void Show(const char* who, const common::Result<common::Value>& got,
+          const common::Value& truth) {
+  if (got.ok()) {
+    std::printf("  %-12s -> %-6s (store has %-6s) %s\n", who, got->c_str(), truth.c_str(),
+                *got == truth ? "FRESH" : "** STALE **");
+  } else {
+    std::printf("  %-12s -> <%s>  (store has %s)\n", who, got.status().ToString().c_str(),
+                truth.c_str());
+  }
+}
+}  // namespace
+
+int main() {
+  std::printf("=== Part 1: pubsub-invalidated cache reproduces Figure 2 ===\n\n");
+  {
+    sim::Simulator sim(7);
+    sim::Network net(&sim, {.base = 200, .jitter = 0});
+    storage::MvccStore store("producer");
+    pubsub::Broker broker(&sim, &net);
+    (void)broker.CreateTopic("inval", {.partitions = 8});
+    cdc::CdcPubsubFeed cdc_feed(&sim, &net, &store, nullptr, &broker, "inval");
+    sharding::AutoSharder sharder(&sim, &net, {.rebalance_period = 60 * kSec});
+
+    cache::PubsubCacheOptions opts;
+    opts.pods = 2;
+    opts.fill_latency = 0;
+    opts.consumer.poll_period = 5 * kMs;
+    cache::PubsubCacheFleet fleet(&sim, &net, &sharder, &store, &broker, "inval", "pods",
+                                  opts);
+
+    store.Apply("x", common::Mutation::Put("v1"));
+    sim.RunUntil(200 * kMs);
+
+    const sim::NodeId p_old = *sharder.Owner("x");
+    const sim::NodeId p_new = fleet.PodNodes()[0] == p_old ? fleet.PodNodes()[1]
+                                                           : fleet.PodNodes()[0];
+    std::printf("x lives on %s; caching it there:\n", p_old.c_str());
+    Show(p_old.c_str(), fleet.Get("x"), *store.GetLatest("x"));
+    sim.RunUntil(300 * kMs);
+
+    std::printf("\nThe auto-sharder moves x: %s -> %s. %s learns immediately and refills;\n"
+                "the pubsub layer still routes x's invalidations to %s for a while.\n",
+                p_old.c_str(), p_new.c_str(), p_new.c_str(), p_old.c_str());
+    sharder.MoveShard("x", p_new);
+    Show(p_new.c_str(), fleet.Get("x"), *store.GetLatest("x"));  // Fills v1.
+
+    std::printf("\nNow x is updated to v2. The invalidation is consumed and ACKNOWLEDGED —\n"
+                "by the wrong pod.\n");
+    store.Apply("x", common::Mutation::Put("v2"));
+    sim.RunUntil(5 * kSec);  // Plenty of time for everything to settle.
+
+    std::printf("\nLong after all queues drained:\n");
+    Show(p_new.c_str(), fleet.Get("x"), *store.GetLatest("x"));
+    std::printf("\n  stale entries stranded: %llu (invalidations applied: %llu, "
+                "consumed-without-effect: %llu)\n",
+                static_cast<unsigned long long>(fleet.AuditStaleEntries()),
+                static_cast<unsigned long long>(fleet.invalidations_applied()),
+                static_cast<unsigned long long>(fleet.invalidations_ignored()));
+  }
+
+  std::printf("\n=== Part 2: the watch cache under the identical race ===\n\n");
+  {
+    sim::Simulator sim(7);
+    sim::Network net(&sim, {.base = 200, .jitter = 0});
+    storage::MvccStore store("producer");
+    watch::WatchSystem snappy(&sim, &net, "snappy",
+                              {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+    cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &snappy, {.progress_period = 10 * kMs});
+    watch::StoreSnapshotSource source(&store);
+    sharding::AutoSharder sharder(&sim, &net, {.rebalance_period = 60 * kSec});
+    cache::WatchCacheFleet fleet(&sim, &net, &sharder, &snappy, &source, &store, {.pods = 2});
+
+    store.Apply("x", common::Mutation::Put("v1"));
+    sim.RunUntil(200 * kMs);
+
+    const sim::NodeId p_old = *sharder.Owner("x");
+    const sim::NodeId p_new = fleet.PodNodes()[0] == p_old ? fleet.PodNodes()[1]
+                                                           : fleet.PodNodes()[0];
+    Show(p_old.c_str(), fleet.Get("x"), *store.GetLatest("x"));
+
+    std::printf("\nSame move (%s -> %s), same concurrent update to v2.\n", p_old.c_str(),
+                p_new.c_str());
+    sharder.MoveShard("x", p_new);
+    store.Apply("x", common::Mutation::Put("v2"));
+    std::printf("During the handoff the new owner is honestly unavailable, not wrong:\n");
+    Show(p_new.c_str(), fleet.Get("x"), *store.GetLatest("x"));
+
+    sim.RunUntil(5 * kSec);
+    std::printf("\nAfter the handoff completes (snapshot at acquire + own watch stream):\n");
+    Show(p_new.c_str(), fleet.Get("x"), *store.GetLatest("x"));
+    std::printf("\n  stale entries stranded: %llu\n",
+                static_cast<unsigned long long>(fleet.AuditStaleEntries()));
+  }
+
+  std::printf("\nWhy: the watch cache's new owner does not depend on someone forwarding the\n"
+              "right invalidation to the right pod at the right time. It reads a snapshot\n"
+              "and subscribes to ITS OWN range from that version — the guarantee is end to\n"
+              "end against the store (paper §4.4).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Example: event ingestion and fanout (paper §2, §3.2.3, §4.3) — sensor
+// events flow into an ingestion store and fan out to analytics consumers.
+//
+// The paper's §4.3 recipe: "the publisher exposes an ingestion store, e.g. a
+// time-series database optimized for ingestion of events. [...] Producers
+// insert events into the ingestion store. Consumers watch all or a portion of
+// the key range of the database to learn about new events. They may also
+// query the ingestion store to obtain state if needed."
+//
+// We run a fraud-detection consumer (full feed), a region-scoped alerting
+// consumer (range watch), and knock the alerting consumer offline long enough
+// that raw history ages out — then show it recovering exact state from the
+// store, with an explicit signal.
+//
+// Build & run:  ./build/examples/event_fanout
+#include <cstdio>
+
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/ingest_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/store_watch.h"
+
+namespace {
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+}  // namespace
+
+int main() {
+  sim::Simulator sim(29);
+  sim::Network net(&sim, {.base = 300, .jitter = 100});
+
+  // The ingestion store: isolates the main application DB from ingest load
+  // and risk (the role a pubsub topic played), but it IS a store: queryable,
+  // with explicit retention that always keeps current state per key.
+  storage::IngestStore events("sensor-events");
+  watch::IngestStoreWatch watch_layer(&sim, &net, &events, "events-watch",
+                                      {.window = {.max_events = 512},
+                                       .delivery_latency = 1 * kMs,
+                                       .progress_period = 20 * kMs});
+  watch::IngestSnapshotSource source(&events);
+
+  // Consumer 1: fraud detection wants EVERY event, promptly.
+  std::uint64_t fraud_seen = 0;
+  watch::MaterializedRange fraud(&sim, &watch_layer, &source, common::KeyRange::All(),
+                                 {.resync_delay = 10 * kMs, .node = "fraud-svc", .net = &net});
+  net.AddNode("fraud-svc");
+  fraud.set_apply_hook([&fraud_seen](const common::ChangeEvent&) { ++fraud_seen; });
+  fraud.Start();
+
+  // Consumer 2: alerting for region "eu/" only — a range watch; it never
+  // receives (or pays for) the rest of the feed.
+  std::uint64_t eu_seen = 0;
+  watch::MaterializedRange alerts(&sim, &watch_layer, &source,
+                                  common::KeyRange{"eu/", "eu0"},
+                                  {.resync_delay = 10 * kMs, .node = "alert-svc", .net = &net});
+  net.AddNode("alert-svc");
+  alerts.set_apply_hook([&eu_seen](const common::ChangeEvent&) { ++eu_seen; });
+  alerts.Start();
+
+  // Producers: sensors in two regions, 200 ev/s total; store retention 2s.
+  std::uint64_t seq = 0;
+  std::uint64_t eu_published = 0;
+  common::Rng rng(31);
+  sim::PeriodicTask sensors(&sim, 5 * kMs, [&] {
+    const bool eu = rng.Bernoulli(0.4);
+    eu_published += eu ? 1 : 0;
+    events.Append((eu ? "eu/" : "us/") + std::string("sensor-") + std::to_string(seq % 50),
+                  "reading-" + std::to_string(seq), sim.Now());
+    ++seq;
+  });
+  sim::PeriodicTask retention(&sim, 250 * kMs,
+                              [&] { events.RetainAfter(sim.Now() - 2 * kSec); });
+
+  sim.RunUntil(2 * kSec);
+  std::printf("t=2s   steady state: %llu events ingested; fraud saw %llu, eu-alerts saw "
+              "%llu (of %llu eu)\n",
+              static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(fraud_seen),
+              static_cast<unsigned long long>(eu_seen),
+              static_cast<unsigned long long>(eu_published));
+
+  std::printf("\nt=2s   alert-svc goes down for 5s — far beyond the 2s raw-event "
+              "retention...\n");
+  net.SetUp("alert-svc", false);
+  sim.RunUntil(7 * kSec);
+  net.SetUp("alert-svc", true);
+  sim.RunUntil(12 * kSec);
+  sensors.Stop();
+  sim.RunUntil(13 * kSec);
+
+  const auto eu_state = alerts.LatestScan(common::KeyRange::All());
+  auto truth = events.ScanLatest(common::KeyRange{"eu/", "eu0"});
+  bool exact = eu_state.size() == truth.size();
+  for (std::size_t i = 0; exact && i < truth.size(); ++i) {
+    exact = eu_state[i].key == truth[i].key && eu_state[i].value == truth[i].payload;
+  }
+  std::printf("t=13s  alert-svc recovered: resyncs=%llu session_repairs=%llu\n",
+              static_cast<unsigned long long>(alerts.resyncs()),
+              static_cast<unsigned long long>(alerts.session_repairs()));
+  std::printf("       its materialized eu/ state is %s with the ingestion store "
+              "(%zu sensors)\n",
+              exact ? "EXACT" : "DIVERGED (bug!)", eu_state.size());
+  std::printf("       raw events it slept through were retained-out — but they were\n"
+              "       STORE rows, so current state survived and the gap was signalled.\n");
+  std::printf("\nContrast (§3.2.3): a pubsub topic with the same 2s retention would have\n"
+              "garbage-collected those messages and told no one — see bench_backlog_gc\n"
+              "and bench_ingestion_fanout for the measured comparison.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Quickstart: the storage + watch model in ~five minutes.
+//
+// This walks the paper's Section 4 end to end:
+//   1. a producer store (MVCC, monotonic commit versions);
+//   2. a standalone watch system fed through the Ingester contract;
+//   3. a watcher using the Section 4.2.1 API: snapshot, watch(low, high,
+//      version), onEvent / onProgress / onResync;
+//   4. what happens when the watcher falls too far behind (resync — never
+//      silent loss).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "cdc/feeds.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+
+// A minimal watcher that implements the paper's WatchCallback interface
+// directly (applications may instead use watch::MaterializedRange, which
+// packages this whole protocol).
+class PrintingWatcher : public watch::WatchCallback {
+ public:
+  void OnEvent(const watch::ChangeEvent& event) override {
+    std::printf("  [watcher] onEvent   key=%-8s version=%llu %s\n", event.key.c_str(),
+                static_cast<unsigned long long>(event.version),
+                event.mutation.kind == common::MutationKind::kPut
+                    ? ("value=" + event.mutation.value).c_str()
+                    : "DELETE");
+  }
+  void OnProgress(const watch::ProgressEvent& event) override {
+    std::printf("  [watcher] onProgress[%s, %s) complete up to version %llu\n",
+                event.range.low.c_str(),
+                event.range.unbounded_above() ? "+inf" : event.range.high.c_str(),
+                static_cast<unsigned long long>(event.version));
+  }
+  void OnResync() override {
+    std::printf("  [watcher] onResync  -> my version is no longer retained; I must read\n"
+                "            a fresh snapshot from the store and watch again from there.\n");
+    resyncs++;
+  }
+
+  int resyncs = 0;
+};
+
+}  // namespace
+
+int main() {
+  // Everything runs on a deterministic discrete-event simulator.
+  sim::Simulator sim(/*seed=*/1);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+
+  // 1. Producer storage: an MVCC store whose commits carry monotonic versions
+  //    (the paper's "simplifying assumption" — TrueTime/TSO/gtid stand-ins).
+  storage::MvccStore store("accounts-db");
+
+  // 2. A standalone watch system ("Snappy"-style). Its state is SOFT: a
+  //    bounded window of recent events plus a progress frontier. We keep the
+  //    window tiny here so step 4 can demonstrate resync.
+  watch::WatchSystem snappy(&sim, &net, "snappy",
+                            {.window = {.max_events = 4},
+                             .delivery_latency = 1 * kMs,
+                             .progress_period = 10 * kMs});
+
+  // 3. CDC feeds the store's commits into the watch system through the
+  //    Ingester contract — two key-range shards, each with its own pipeline
+  //    and range-scoped progress.
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &snappy,
+                            {.shards = {{"", "m"}, {"m", ""}},
+                             .base_latency = 1 * kMs,
+                             .stagger = 2 * kMs,
+                             .progress_period = 10 * kMs});
+
+  std::printf("== 1. Write through the store; the watcher sees ordered change events ==\n");
+  PrintingWatcher watcher;
+  // Watch the whole key space from "the beginning" (version 0).
+  auto handle = snappy.Watch("", "", common::kNoVersion, &watcher);
+
+  store.Apply("alice", common::Mutation::Put("$20"));
+  store.Apply("bob", common::Mutation::Put("$35"));
+  sim.RunUntil(50 * kMs);
+
+  std::printf("\n== 2. Transactions commit atomically at one version ==\n");
+  storage::Transaction txn = store.Begin();
+  txn.Put("alice", "$10");  // Alice pays Bob 10.
+  txn.Put("bob", "$45");
+  auto version = store.Commit(std::move(txn));
+  std::printf("  committed transfer at version %llu\n",
+              static_cast<unsigned long long>(*version));
+  sim.RunUntil(100 * kMs);
+
+  std::printf("\n== 3. Range watches only receive their keys ==\n");
+  PrintingWatcher bob_only;
+  auto bob_handle = snappy.Watch("bob", "bob\xff", snappy.MaxIngestedVersion(), &bob_only);
+  store.Apply("alice", common::Mutation::Put("$5"));
+  store.Apply("bob", common::Mutation::Put("$50"));
+  sim.RunUntil(150 * kMs);
+
+  std::printf("\n== 4. Falling behind the retained window is LOUD (resync), never silent ==\n");
+  PrintingWatcher laggard;
+  // Ask for history the 4-event window no longer retains:
+  auto lag_handle = snappy.Watch("", "", common::kNoVersion, &laggard);
+  sim.RunUntil(200 * kMs);
+
+  std::printf("\n  Recovery: read a snapshot from the store, then watch from its version.\n");
+  auto snapshot = store.Scan(common::KeyRange::All(), store.LatestVersion());
+  for (const storage::Entry& e : *snapshot) {
+    std::printf("  [snapshot] %s = %s (version %llu)\n", e.key.c_str(), e.value.c_str(),
+                static_cast<unsigned long long>(e.version));
+  }
+  PrintingWatcher recovered;
+  auto rec_handle = snappy.Watch("", "", store.LatestVersion(), &recovered);
+  store.Apply("carol", common::Mutation::Put("$100"));
+  sim.RunUntil(250 * kMs);
+
+  std::printf("\nDone. The store remained the single source of truth throughout; the watch\n"
+              "system carried only recoverable soft state.\n");
+  return 0;
+}

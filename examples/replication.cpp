@@ -1,0 +1,119 @@
+// Example: replicating a source store into a target store — the paper's
+// §3.2.1 scenario, including the membership/ACL anomaly.
+//
+// The source removes mallory from group "eng" and THEN grants eng access to a
+// secret document. A partitioned pubsub replicator applies the two changes on
+// different partitions, so the target can transiently show a state that never
+// existed: mallory in the group AND the group allowed. The watch replicator
+// applies changes at progress frontiers, so the target only ever externalizes
+// states the source actually passed through.
+//
+// Build & run:  ./build/examples/replication
+#include <cstdio>
+
+#include "cdc/feeds.h"
+#include "pubsub/broker.h"
+#include "replication/checker.h"
+#include "replication/pubsub_replicator.h"
+#include "replication/target_store.h"
+#include "replication/watch_replicator.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace {
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+const char kMember[] = "group/eng/member/mallory";
+const char kAcl[] = "doc/secret/acl";
+
+void RunScenario(sim::Simulator& sim, storage::MvccStore& source, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    storage::Transaction setup = source.Begin();
+    setup.Put(kMember, "IN");
+    setup.Put(kAcl, "eng:DENY");
+    (void)source.Commit(std::move(setup));
+    sim.RunUntil(sim.Now() + 15 * kMs);
+    // The security-critical order: revoke membership FIRST...
+    source.Apply(kMember, common::Mutation::Put("OUT"));
+    // ...and only then open up the document.
+    source.Apply(kAcl, common::Mutation::Put("eng:ALLOW"));
+    sim.RunUntil(sim.Now() + 15 * kMs);
+  }
+}
+}  // namespace
+
+int main() {
+  std::printf("=== Part 1: partitioned pubsub replication tears the ordering ===\n\n");
+  {
+    sim::Simulator sim(11);
+    sim::Network net(&sim, {.base = 200, .jitter = 0});
+    pubsub::Broker broker(&sim, &net);
+    (void)broker.CreateTopic("cdc", {.partitions = 8});
+    storage::MvccStore source("source-db");
+    replication::SourceHistory history(&source);
+    cdc::CdcPubsubFeed feed(&sim, &net, &source, nullptr, &broker, "cdc");
+
+    replication::TargetStore target;
+    replication::PointInTimeChecker pit(&history, &target);
+    replication::AclInvariantChecker acl(&target, kMember, "IN", kAcl, "eng:ALLOW");
+    replication::PubsubReplicatorOptions opts;
+    opts.appliers = 4;
+    opts.consumer.poll_period = 3 * kMs;
+    replication::PubsubReplicator replicator(&sim, &net, &broker, "cdc", "appliers", &target,
+                                             replication::PubsubReplicationMode::kPartitioned,
+                                             opts);
+    sim.RunUntil(100 * kMs);
+    RunScenario(sim, source, 30);
+    sim.RunUntil(sim.Now() + 3 * kSec);
+
+    std::printf("  target converged to source:   %s\n", pit.Converged(target) ? "yes" : "no");
+    std::printf("  states that never existed:    %llu of %llu externalized\n",
+                static_cast<unsigned long long>(pit.anomalies()),
+                static_cast<unsigned long long>(pit.externalized()));
+    std::printf("  ACL invariant violations:     %llu  <- mallory could read the secret\n",
+                static_cast<unsigned long long>(acl.violations()));
+  }
+
+  std::printf("\n=== Part 2: watch replication with frontier-atomic application ===\n\n");
+  {
+    sim::Simulator sim(11);
+    sim::Network net(&sim, {.base = 200, .jitter = 0});
+    storage::MvccStore source("source-db");
+    replication::SourceHistory history(&source);
+    watch::WatchSystem snappy(&sim, &net, "snappy",
+                              {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+    cdc::CdcIngesterFeed feed(&sim, &source, nullptr, &snappy,
+                              {.shards = {{"", "g"}, {"g", "m"}, {"m", ""}},
+                               .base_latency = 1 * kMs,
+                               .stagger = 2 * kMs,
+                               .progress_period = 5 * kMs});
+    watch::StoreSnapshotSource snap(&source);
+
+    replication::TargetStore target;
+    replication::PointInTimeChecker pit(&history, &target);
+    replication::AclInvariantChecker acl(&target, kMember, "IN", kAcl, "eng:ALLOW");
+    replication::WatchReplicator replicator(&sim, &snappy, &snap, &target,
+                                            {{"", "g"}, {"g", "m"}, {"m", ""}});
+    replicator.Start();
+    sim.RunUntil(100 * kMs);
+    RunScenario(sim, source, 30);
+    sim.RunUntil(sim.Now() + 3 * kSec);
+
+    std::printf("  target converged to source:   %s\n", pit.Converged(target) ? "yes" : "no");
+    std::printf("  states that never existed:    %llu of %llu externalized\n",
+                static_cast<unsigned long long>(pit.anomalies()),
+                static_cast<unsigned long long>(pit.externalized()));
+    std::printf("  ACL invariant violations:     %llu\n",
+                static_cast<unsigned long long>(acl.violations()));
+    std::printf("  events flowed over 3 independent shard pipelines; application waited\n"
+                "  for the cross-range progress frontier before externalizing.\n");
+  }
+
+  std::printf("\nThe point (paper §4.4): ordering at the pubsub layer is the wrong layer.\n"
+              "Range-scoped progress against the source's version order gives the target\n"
+              "end-to-end snapshot consistency without serializing ingest.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Example: the paper's VM-provisioning coordinator (§4.3), built as a
+// watch-based reconciliation loop.
+//
+// "This coordinator service's goal is to ensure that every workload is
+//  running on some set of virtual machines. [...] By watching both the
+//  desired configuration (which workloads should be running) and the actual
+//  configuration (the states of the available VMs and allocations of work),
+//  the coordinator can correctly advance the actual state to the desired
+//  configuration."
+//
+// We provision workloads, change our minds mid-flight, and crash a worker —
+// and the fleet still converges, because work is derived from CURRENT state,
+// not from a queue of stale task events.
+//
+// Build & run:  ./build/examples/work_coordinator
+#include <cstdio>
+
+#include "cdc/feeds.h"
+#include "sharding/autosharder.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+#include "workqueue/tracker.h"
+#include "workqueue/types.h"
+#include "workqueue/watch_queue.h"
+
+namespace {
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+void PrintFleet(const storage::MvccStore& store, std::uint64_t n) {
+  std::printf("  %-10s %-24s %-24s %s\n", "workload", "desired", "actual", "status");
+  for (std::uint64_t id = 0; id < n; ++id) {
+    auto desired_raw = store.GetLatest(workqueue::DesiredKey(id));
+    auto actual = store.GetLatest(workqueue::ActualKey(id));
+    if (!desired_raw.ok()) {
+      continue;
+    }
+    auto desired = workqueue::DecodeDesired(*desired_raw);
+    const std::string want = desired.has_value() ? desired->config : "?";
+    const std::string have = actual.ok() ? *actual : "<unprovisioned>";
+    std::printf("  %-10llu %-24s %-24s %s\n", static_cast<unsigned long long>(id),
+                want.c_str(), have.c_str(), want == have ? "READY" : "converging...");
+  }
+}
+}  // namespace
+
+int main() {
+  sim::Simulator sim(5);
+  sim::Network net(&sim, {.base = 300, .jitter = 100});
+
+  // The control-plane database holds both tables the coordinator watches:
+  // ent/<id>/desired (what should run) and ent/<id>/actual (what does run).
+  storage::MvccStore control("control-plane-db");
+  workqueue::ConvergenceTracker tracker(&sim, &control);
+
+  watch::WatchSystem snappy(&sim, &net, "snappy",
+                            {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &control, nullptr, &snappy, {.progress_period = 5 * kMs});
+  watch::StoreSnapshotSource source(&control);
+
+  // Three coordinator workers own dynamically sharded ranges of workloads.
+  sharding::AutoSharder sharder(&sim, &net, {.rebalance_period = 1 * kSec});
+  workqueue::WatchQueueOptions opts;
+  opts.workers = 3;
+  opts.costs = {.warm = 5 * kMs, .cold = 30 * kMs};  // "Acquire VMs, bootstrap, start".
+  opts.reconcile_period = 3 * kMs;
+  workqueue::WatchWorkQueue coordinator(&sim, &net, &sharder, &snappy, &source, &control,
+                                        opts);
+  sim.RunUntil(300 * kMs);
+
+  std::printf("== t=0.3s: operator requests 6 workloads (one urgent) ==\n");
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    const bool urgent = id == 3;
+    control.Apply(workqueue::DesiredKey(id),
+                  common::Mutation::Put(workqueue::EncodeDesired(
+                      urgent ? 9 : 1, urgent ? "vms=8,tier=gold" : "vms=2,tier=std")));
+  }
+  PrintFleet(control, 6);
+
+  sim.RunUntil(2 * kSec);
+  std::printf("\n== t=2s: the fleet has reconciled ==\n");
+  PrintFleet(control, 6);
+
+  std::printf("\n== t=2s: operator resizes workload 1 while worker-0 CRASHES ==\n");
+  control.Apply(workqueue::DesiredKey(1),
+                common::Mutation::Put(workqueue::EncodeDesired(1, "vms=16,tier=std")));
+  net.SetUp(coordinator.WorkerNodes()[0], false);
+  std::printf("  (killed %s; the auto-sharder will hand its workloads to the survivors)\n",
+              coordinator.WorkerNodes()[0].c_str());
+
+  sim.RunUntil(8 * kSec);
+  std::printf("\n== t=8s: reconciled again, two workers doing three workers' ranges ==\n");
+  PrintFleet(control, 6);
+
+  std::printf("\n== scale-down: desired can also shrink; reconciliation is symmetric ==\n");
+  control.Apply(workqueue::DesiredKey(3),
+                common::Mutation::Put(workqueue::EncodeDesired(1, "vms=1,tier=std")));
+  sim.RunUntil(12 * kSec);
+  PrintFleet(control, 6);
+
+  std::printf("\nSummary: %llu reconciliation steps executed, %llu workloads stuck, "
+              "%llu stale steps,\nconvergence p99 = %.0f ms.\n",
+              static_cast<unsigned long long>(coordinator.tasks_completed()),
+              static_cast<unsigned long long>(tracker.StuckEntities()),
+              static_cast<unsigned long long>(tracker.stale_executions()),
+              tracker.latency_ms().Percentile(99));
+  std::printf("\nNo task queue, no dead letters, no manual replays: the desired/actual\n"
+              "tables plus watch ARE the work queue (paper §4.3).\n");
+  return 0;
+}

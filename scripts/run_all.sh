@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every experiment, and every
+# example. Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done
+for e in "$BUILD"/examples/*; do
+  [ -x "$e" ] && [ -f "$e" ] && "$e"
+done

@@ -1,0 +1,178 @@
+// LinkedCache: a client-side look-aside cache that speaks the watch protocol
+// — the paper's "applications ... may leverage linked caches similar to [2]
+// that speak that protocol" (§4.2.1, citing Adya et al., "Fast key-value
+// stores", HotOS '19).
+//
+// Each cached entry is *linked*: on fill, the client reads the value from the
+// store and opens a watch on exactly that key from the read version. The
+// entry then stays correct forever — updates and deletes stream in, a resync
+// (or broken session) invalidates just that entry, and LRU eviction closes
+// the link. Unlike a TTL cache there is no freshness/efficiency dial to
+// mis-set, and unlike pubsub invalidation there is no routing race: the link
+// is end-to-end between this client and the store's version order.
+#ifndef SRC_CACHE_LINKED_CACHE_H_
+#define SRC_CACHE_LINKED_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/api.h"
+
+namespace cache {
+
+struct LinkedCacheOptions {
+  std::size_t capacity = 1024;  // Entries; LRU beyond this.
+  // The network identity of this client ("" = co-located).
+  sim::NodeId node;
+};
+
+class LinkedCache {
+ public:
+  LinkedCache(sim::Simulator* sim, watch::NodeAwareWatchable* watchable,
+              const storage::MvccStore* store, LinkedCacheOptions options = {})
+      : sim_(sim), watchable_(watchable), store_(store), options_(options) {}
+
+  LinkedCache(const LinkedCache&) = delete;
+  LinkedCache& operator=(const LinkedCache&) = delete;
+
+  // Serves from cache when the entry's link is live; otherwise reads the
+  // store, installs the entry, and links it.
+  common::Result<common::Value> Get(const common::Key& key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second->handle->active()) {
+      Touch(it->second.get());
+      ++hits_;
+      if (!it->second->value.has_value()) {
+        return common::Status::NotFound("cached absence");
+      }
+      return *it->second->value;
+    }
+    if (it != entries_.end()) {
+      Erase(it);  // Link died (resync / break): the value is untrusted.
+    }
+    ++misses_;
+    // Fill: read the current value AND the store version, then link from
+    // that version so no update can fall between the read and the watch.
+    const common::Version version = store_->LatestVersion();
+    auto value = store_->Get(key, version);
+    if (!value.ok() && value.status().code() != common::StatusCode::kNotFound) {
+      return value.status();
+    }
+    Install(key, value.ok() ? std::optional<common::Value>(*value) : std::nullopt, version);
+    if (!value.ok()) {
+      return common::Status::NotFound(key);
+    }
+    return *value;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidation_updates() const { return invalidation_updates_; }
+  std::uint64_t links_dropped() const { return links_dropped_; }
+
+  bool IsLinked(const common::Key& key) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() && it->second->handle->active();
+  }
+
+ private:
+  struct Entry;
+
+  // Per-entry watch callback: routes events for exactly one key.
+  class Link : public watch::WatchCallback {
+   public:
+    Link(LinkedCache* owner, Entry* entry) : owner_(owner), entry_(entry) {}
+
+    void OnEvent(const watch::ChangeEvent& event) override {
+      owner_->OnEntryEvent(entry_, event);
+    }
+    void OnProgress(const watch::ProgressEvent&) override {}
+    void OnResync() override { owner_->OnEntryResync(entry_); }
+
+   private:
+    LinkedCache* owner_;
+    Entry* entry_;
+  };
+
+  struct Entry {
+    common::Key key;
+    std::optional<common::Value> value;  // nullopt: known-absent.
+    std::unique_ptr<Link> link;
+    std::unique_ptr<watch::WatchHandle> handle;
+    std::list<common::Key>::iterator lru_pos;
+  };
+
+  void Install(const common::Key& key, std::optional<common::Value> value,
+               common::Version version) {
+    auto entry = std::make_unique<Entry>();
+    entry->key = key;
+    entry->value = std::move(value);
+    entry->link = std::make_unique<Link>(this, entry.get());
+    entry->handle = watchable_->WatchFrom(common::KeyRange::Single(key).low,
+                                          common::KeyRange::Single(key).high, version,
+                                          entry->link.get(), options_.node);
+    lru_.push_front(key);
+    entry->lru_pos = lru_.begin();
+    entries_[key] = std::move(entry);
+    while (entries_.size() > options_.capacity) {
+      auto victim = entries_.find(lru_.back());
+      Erase(victim);
+    }
+  }
+
+  void Touch(Entry* entry) {
+    lru_.erase(entry->lru_pos);
+    lru_.push_front(entry->key);
+    entry->lru_pos = lru_.begin();
+  }
+
+  void Erase(std::map<common::Key, std::unique_ptr<Entry>>::iterator it) {
+    it->second->handle->Cancel();
+    lru_.erase(it->second->lru_pos);
+    entries_.erase(it);
+  }
+
+  void OnEntryEvent(Entry* entry, const watch::ChangeEvent& event) {
+    if (event.mutation.kind == common::MutationKind::kPut) {
+      entry->value = event.mutation.value;
+    } else {
+      entry->value = std::nullopt;  // Cache the absence; the link keeps it honest.
+    }
+    ++invalidation_updates_;
+  }
+
+  void OnEntryResync(Entry* entry) {
+    // The link fell behind: this value can no longer be trusted. Drop the
+    // entry; the next Get refills and relinks.
+    ++links_dropped_;
+    auto it = entries_.find(entry->key);
+    if (it != entries_.end() && it->second.get() == entry) {
+      Erase(it);
+    }
+  }
+
+  sim::Simulator* sim_;
+  watch::NodeAwareWatchable* watchable_;
+  const storage::MvccStore* store_;
+  LinkedCacheOptions options_;
+  std::map<common::Key, std::unique_ptr<Entry>> entries_;
+  std::list<common::Key> lru_;  // Front: most recent.
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidation_updates_ = 0;
+  std::uint64_t links_dropped_ = 0;
+};
+
+}  // namespace cache
+
+#endif  // SRC_CACHE_LINKED_CACHE_H_

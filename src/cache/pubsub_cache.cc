@@ -1,0 +1,164 @@
+#include "cache/pubsub_cache.h"
+
+#include "cdc/codec.h"
+
+namespace cache {
+
+PubsubCacheFleet::PubsubCacheFleet(sim::Simulator* sim, sim::Network* net,
+                                   sharding::AutoSharder* sharder,
+                                   const storage::MvccStore* store, pubsub::Broker* broker,
+                                   const std::string& topic, const pubsub::GroupId& group,
+                                   PubsubCacheOptions options)
+    : sim_(sim), net_(net), sharder_(sharder), store_(store), options_(options) {
+  // The pubsub layer learns about cache (re)assignments later than the pods
+  // do. Registered before the pods join so it sees the initial assignment.
+  sharder_subscription_ = sharder_->Subscribe(
+      [this](const common::KeyRange& range, const std::optional<sharding::WorkerId>& owner,
+             sharding::Generation) {
+        pubsub_view_.Assign(range, owner.value_or(sim::NodeId()));
+      },
+      options_.pubsub_routing_latency);
+  for (std::uint32_t i = 0; i < options_.pods; ++i) {
+    auto pod = std::make_unique<Pod>();
+    pod->node = options_.pod_prefix + std::to_string(i);
+    net_->AddNode(pod->node);
+    pod->consumer = std::make_unique<pubsub::GroupConsumer>(
+        sim_, net_, broker, group, topic, pod->node,
+        [this](pubsub::PartitionId, const pubsub::StoredMessage& m) {
+          auto ev = cdc::DecodeChangeEvent(m.message.value);
+          if (!ev.ok()) {
+            return true;  // Drop undecodable messages.
+          }
+          // The consumer-group contract: the message is acknowledged once the
+          // pod the PUBSUB LAYER believes owns the key has processed it —
+          // whether or not that pod still owns the key. This ack is what
+          // loses the invalidation in the Figure 2 race. (With owner_ack_only
+          // the handler withholds the ack until routing and ownership agree.)
+          return HandleInvalidation(*ev);
+        },
+        options_.consumer);
+    pod->consumer->Start();
+    sharder_->AddWorker(pod->node);
+    pods_.push_back(std::move(pod));
+  }
+}
+
+PubsubCacheFleet::~PubsubCacheFleet() {
+  sharder_->Unsubscribe(sharder_subscription_);
+}
+
+PubsubCacheFleet::Pod* PubsubCacheFleet::PodByNode(const sim::NodeId& node) {
+  for (auto& pod : pods_) {
+    if (pod->node == node) {
+      return pod.get();
+    }
+  }
+  return nullptr;
+}
+
+bool PubsubCacheFleet::HandleInvalidation(const common::ChangeEvent& event) {
+  // The pubsub layer routes the invalidation to the pod *it believes* owns
+  // the key. During a reassignment window that is the old owner (Figure 2);
+  // the new owner never hears about it, and the message is consumed.
+  const sim::NodeId& believed_owner = pubsub_view_.Get(event.key);
+  if (options_.owner_ack_only &&
+      sharder_->Owner(event.key) != (believed_owner.empty()
+                                         ? std::optional<sharding::WorkerId>()
+                                         : std::optional<sharding::WorkerId>(believed_owner))) {
+    // Lease discipline: routing disagrees with the authoritative owner (or
+    // there is no owner). Withhold the ack; the message is redelivered —
+    // and everything behind it in the partition waits.
+    return false;
+  }
+  Pod* pod = believed_owner.empty() ? nullptr : PodByNode(believed_owner);
+  if (pod == nullptr) {
+    ++invalidations_ignored_;
+    return !options_.owner_ack_only;
+  }
+  auto it = pod->entries.find(event.key);
+  if (it == pod->entries.end()) {
+    ++invalidations_ignored_;
+    return true;
+  }
+  pod->entries.erase(it);
+  ++invalidations_applied_;
+  return true;
+}
+
+bool PubsubCacheFleet::Expired(const Entry& entry) const {
+  return options_.ttl > 0 && sim_->Now() - entry.installed_at >= options_.ttl;
+}
+
+common::Result<common::Value> PubsubCacheFleet::Get(const common::Key& key) {
+  const std::optional<sharding::WorkerId> owner = sharder_->Owner(key);
+  if (!owner.has_value()) {
+    ++unavailable_;  // Lease gap: no pod may serve this key.
+    return common::Status::Unavailable("no owner for key (lease gap)");
+  }
+  Pod* pod = PodByNode(*owner);
+  if (pod == nullptr || !net_->IsUp(pod->node)) {
+    ++unavailable_;
+    return common::Status::Unavailable("owner pod down");
+  }
+  auto it = pod->entries.find(key);
+  if (it != pod->entries.end() && !Expired(it->second)) {
+    ++hits_;
+    // Harness-side freshness audit (invisible to the application).
+    auto truth = store_->GetLatest(key);
+    if (!truth.ok() || *truth != it->second.value) {
+      ++stale_serves_;
+    }
+    return it->second.value;
+  }
+  // Miss: fill from the store. The value is read now but installed after
+  // fill_latency — an invalidation that races into the gap is applied to the
+  // (absent) old entry and the stale install wins.
+  ++misses_;
+  auto value = store_->GetLatest(key);
+  if (!value.ok()) {
+    return value.status();
+  }
+  const common::Value to_install = *value;
+  const sim::NodeId owner_node = pod->node;
+  sim_->After(options_.fill_latency, [this, owner_node, key, to_install] {
+    Pod* p = PodByNode(owner_node);
+    if (p == nullptr) {
+      return;
+    }
+    // Install only if this pod still owns the key (standard guard).
+    if (sharder_->Owner(key) == std::optional<sharding::WorkerId>(owner_node)) {
+      p->entries[key] = Entry{to_install, sim_->Now()};
+    }
+  });
+  return *value;
+}
+
+std::uint64_t PubsubCacheFleet::AuditStaleEntries() const {
+  std::uint64_t stale = 0;
+  for (const auto& pod : pods_) {
+    for (const auto& [key, entry] : pod->entries) {
+      if (Expired(entry)) {
+        continue;  // Will age out: not permanently stale.
+      }
+      if (sharder_->Owner(key) != std::optional<sharding::WorkerId>(pod->node)) {
+        continue;  // Not servable from this pod; harmless residue.
+      }
+      auto truth = store_->GetLatest(key);
+      if (!truth.ok() || *truth != entry.value) {
+        ++stale;
+      }
+    }
+  }
+  return stale;
+}
+
+std::vector<sim::NodeId> PubsubCacheFleet::PodNodes() const {
+  std::vector<sim::NodeId> out;
+  out.reserve(pods_.size());
+  for (const auto& pod : pods_) {
+    out.push_back(pod->node);
+  }
+  return out;
+}
+
+}  // namespace cache

@@ -1,0 +1,133 @@
+// PubsubCacheFleet: a distributed look-aside cache kept fresh by pubsub
+// invalidations — the architecture of Section 3.2.2. Cache pods own dynamic
+// key ranges assigned by an AutoSharder; fills are demand reads from the
+// store; invalidations flow producer store -> CDC -> pubsub topic -> a
+// consumer group over the pods.
+//
+// The fleet deliberately reproduces the paper's failure structure:
+//   * the pubsub consumer group partitions messages by key hash, while the
+//     auto-sharder partitions ownership by key range — two independent
+//     assignment maps that disagree during moves (Figure 2);
+//   * an invalidation delivered to (and acknowledged by) a pod that no longer
+//     owns the key is simply lost; a pod that just took ownership and filled
+//     a stale value keeps serving it indefinitely;
+//   * the classic mitigations are available as options: entry TTLs (staleness
+//     eventually ages out) and sharder leases (no-owner gaps trade
+//     availability for fewer races).
+#ifndef SRC_CACHE_PUBSUB_CACHE_H_
+#define SRC_CACHE_PUBSUB_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval_map.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "sharding/autosharder.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+
+namespace cache {
+
+struct PubsubCacheOptions {
+  std::uint32_t pods = 4;
+  std::string pod_prefix = "cache-pod-";
+  // Simulated delay between reading a fill value from the store and
+  // installing it in the pod (the in-flight window of the install race).
+  common::TimeMicros fill_latency = 2 * common::kMicrosPerMilli;
+  // Entry TTL; 0 disables (the paper's fallback for papering over misses).
+  common::TimeMicros ttl = 0;
+  // How long the pubsub layer takes to learn about an auto-sharder
+  // reassignment (Figure 2: "p_new may learn about the reassignment before
+  // the pubsub system"). Until it learns, it keeps delivering invalidations
+  // to the old owner.
+  common::TimeMicros pubsub_routing_latency = 20 * common::kMicrosPerMilli;
+  // The paper's leasing mitigation (§3.2.2): "a leasing mechanism to ensure
+  // that at most one cache server at a time is allowed to acknowledge a
+  // change event". When true, an invalidation is acknowledged only once the
+  // pubsub layer's routing agrees with the authoritative owner; otherwise it
+  // is redelivered (stalling the partition behind it).
+  bool owner_ack_only = false;
+  pubsub::ConsumerOptions consumer;
+};
+
+class PubsubCacheFleet {
+ public:
+  // The invalidation topic must already exist on `broker`; `sharder` assigns
+  // cache ownership; `store` is the authority used for fills and audits.
+  PubsubCacheFleet(sim::Simulator* sim, sim::Network* net, sharding::AutoSharder* sharder,
+                   const storage::MvccStore* store, pubsub::Broker* broker,
+                   const std::string& topic, const pubsub::GroupId& group,
+                   PubsubCacheOptions options = {});
+  ~PubsubCacheFleet();
+
+  PubsubCacheFleet(const PubsubCacheFleet&) = delete;
+  PubsubCacheFleet& operator=(const PubsubCacheFleet&) = delete;
+
+  // Client read: routes to the owning pod. Serves the cached entry if
+  // present/unexpired; otherwise fills from the store. Returns kUnavailable
+  // when no pod owns the key (lease gap) or the owner is down.
+  common::Result<common::Value> Get(const common::Key& key);
+
+  // -- Harness metrics / audit ----------------------------------------------------
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t unavailable() const { return unavailable_; }
+  std::uint64_t stale_serves() const { return stale_serves_; }
+  std::uint64_t invalidations_applied() const { return invalidations_applied_; }
+  std::uint64_t invalidations_ignored() const { return invalidations_ignored_; }
+
+  // Counts cached entries whose value differs from the store right now. Run
+  // after quiescing: any remaining mismatch is a permanently stale entry (the
+  // paper's "stale value cached indefinitely").
+  std::uint64_t AuditStaleEntries() const;
+
+  std::vector<sim::NodeId> PodNodes() const;
+
+ private:
+  struct Entry {
+    common::Value value;
+    common::TimeMicros installed_at = 0;
+  };
+
+  struct Pod {
+    sim::NodeId node;
+    std::map<common::Key, Entry> entries;
+    std::unique_ptr<pubsub::GroupConsumer> consumer;
+  };
+
+  Pod* PodByNode(const sim::NodeId& node);
+  // Returns whether the message should be acknowledged.
+  bool HandleInvalidation(const common::ChangeEvent& event);
+  bool Expired(const Entry& entry) const;
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  sharding::AutoSharder* sharder_;
+  const storage::MvccStore* store_;
+  PubsubCacheOptions options_;
+  std::vector<std::unique_ptr<Pod>> pods_;
+  // The pubsub layer's (lagging) view of key ownership: which member it
+  // routes a key's invalidations to. Empty owner: not yet assigned.
+  common::IntervalMap<sim::NodeId> pubsub_view_{sim::NodeId()};
+  std::uint64_t sharder_subscription_ = 0;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t unavailable_ = 0;
+  std::uint64_t stale_serves_ = 0;
+  std::uint64_t invalidations_applied_ = 0;
+  std::uint64_t invalidations_ignored_ = 0;
+};
+
+}  // namespace cache
+
+#endif  // SRC_CACHE_PUBSUB_CACHE_H_

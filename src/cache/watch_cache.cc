@@ -1,0 +1,249 @@
+#include "cache/watch_cache.h"
+
+#include <algorithm>
+
+namespace cache {
+
+WatchCacheFleet::WatchCacheFleet(sim::Simulator* sim, sim::Network* net,
+                                 sharding::AutoSharder* sharder,
+                                 watch::NodeAwareWatchable* watchable,
+                                 const watch::SnapshotSource* source,
+                                 const storage::MvccStore* store, WatchCacheOptions options)
+    : sim_(sim),
+      net_(net),
+      sharder_(sharder),
+      watchable_(watchable),
+      source_(source),
+      store_(store),
+      options_(options) {
+  for (std::uint32_t i = 0; i < options_.pods; ++i) {
+    auto pod = std::make_unique<Pod>();
+    pod->node = options_.pod_prefix + std::to_string(i);
+    net_->AddNode(pod->node);
+    Pod* raw = pod.get();
+    pod->subscription = sharder_->Subscribe(
+        [this, raw](const common::KeyRange& range,
+                    const std::optional<sharding::WorkerId>& owner, sharding::Generation) {
+          OnAssignment(raw, range, owner);
+        },
+        options_.assignment_latency);
+    sharder_->AddWorker(pod->node);
+    pods_.push_back(std::move(pod));
+  }
+}
+
+WatchCacheFleet::~WatchCacheFleet() {
+  for (auto& pod : pods_) {
+    sharder_->Unsubscribe(pod->subscription);
+  }
+}
+
+void WatchCacheFleet::OnAssignment(Pod* pod, const common::KeyRange& range,
+                                   const std::optional<sharding::WorkerId>& owner) {
+  const bool mine = owner == std::optional<sharding::WorkerId>(pod->node);
+  // If the pod already materializes exactly this range and keeps it, no churn.
+  auto exact = pod->ranges.find(range.low);
+  if (mine && exact != pod->ranges.end() && exact->second->range() == range) {
+    return;
+  }
+  // Drop any existing materializations overlapping the (re)assigned range —
+  // shard boundaries changed or ownership moved away.
+  for (auto it = pod->ranges.begin(); it != pod->ranges.end();) {
+    if (it->second->range().Overlaps(range)) {
+      it->second->Stop();
+      it = pod->ranges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (mine) {
+    watch::MaterializedOptions mopts = options_.materialized;
+    mopts.node = pod->node;
+    auto mr = std::make_unique<watch::MaterializedRange>(sim_, watchable_, source_, range,
+                                                         mopts);
+    mr->Start();
+    pod->ranges.emplace(range.low, std::move(mr));
+  }
+}
+
+const watch::MaterializedRange* WatchCacheFleet::RangeFor(const Pod& pod,
+                                                          const common::Key& key) const {
+  auto it = pod.ranges.upper_bound(key);
+  if (it == pod.ranges.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (!it->second->range().Contains(key)) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+common::Result<common::Value> WatchCacheFleet::Get(const common::Key& key,
+                                                   common::Version min_version) {
+  const std::optional<sharding::WorkerId> owner = sharder_->Owner(key);
+  if (!owner.has_value()) {
+    ++unavailable_;
+    return common::Status::Unavailable("no owner for key");
+  }
+  Pod* pod = nullptr;
+  for (auto& p : pods_) {
+    if (p->node == *owner) {
+      pod = p.get();
+      break;
+    }
+  }
+  if (pod == nullptr || !net_->IsUp(pod->node)) {
+    ++unavailable_;
+    return common::Status::Unavailable("owner pod down");
+  }
+  const watch::MaterializedRange* mr = RangeFor(*pod, key);
+  if (mr == nullptr || !mr->ready()) {
+    ++unavailable_;  // Handoff in progress: honest unavailability, not staleness.
+    return common::Status::Unavailable("materialization not ready");
+  }
+  auto value = min_version == common::kNoVersion ? mr->Get(key)
+                                                 : mr->GetAtLeast(key, min_version);
+  if (value.ok()) {
+    ++hits_;
+    auto truth = store_->GetLatest(key);
+    if (!truth.ok() || *truth != *value) {
+      ++stale_serves_;  // Bounded staleness while events are in flight.
+    }
+  } else if (value.status().code() == common::StatusCode::kNotFound) {
+    ++hits_;  // A materialized miss is an authoritative "absent".
+  } else if (value.status().code() == common::StatusCode::kUnavailable) {
+    ++unavailable_;  // Read-your-writes refusal: behind the client's token.
+  }
+  return value;
+}
+
+common::Result<WatchCacheFleet::StitchedSnapshot> WatchCacheFleet::SnapshotReadAtLeast(
+    const common::KeyRange& range, common::Version min_version) {
+  auto snap = SnapshotRead(range);
+  if (snap.ok() && snap->version < min_version) {
+    ++snapshot_reads_failed_;
+    return common::Status::Unavailable("stitchable snapshot is below the requested version");
+  }
+  return snap;
+}
+
+void WatchCacheFleet::ReadAtVersion(common::KeyRange range, common::Version min_version,
+                                    common::TimeMicros timeout, SnapshotCallback callback) {
+  // Poll the fleet's pooled knowledge until the snapshot becomes servable at
+  // or above min_version, or give up at the deadline. (A production system
+  // would subscribe to knowledge-change notifications; the sim's cadence
+  // bounds wait latency at poll_period.)
+  constexpr common::TimeMicros kPollPeriod = 2 * common::kMicrosPerMilli;
+  const common::TimeMicros deadline = sim_->Now() + timeout;
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, range = std::move(range), min_version, deadline,
+              callback = std::move(callback), attempt]() mutable {
+    auto snap = SnapshotReadAtLeast(range, min_version);
+    if (snap.ok()) {
+      callback(std::move(snap));
+      *attempt = nullptr;  // Break the self-reference cycle.
+      return;
+    }
+    if (sim_->Now() + kPollPeriod > deadline) {
+      callback(common::Status::Unavailable("snapshot at requested version not available "
+                                           "before the deadline"));
+      *attempt = nullptr;
+      return;
+    }
+    sim_->After(kPollPeriod, [attempt] {
+      if (*attempt) {
+        (*attempt)();
+      }
+    });
+  };
+  (*attempt)();
+}
+
+common::Result<WatchCacheFleet::StitchedSnapshot> WatchCacheFleet::SnapshotRead(
+    const common::KeyRange& range) {
+  // Gather every ready materialization overlapping the range, fleet-wide.
+  std::vector<const watch::MaterializedRange*> pieces;
+  std::vector<const watch::KnowledgeMap*> maps;
+  for (const auto& pod : pods_) {
+    for (const auto& [low, mr] : pod->ranges) {
+      if (mr->ready() && mr->range().Overlaps(range)) {
+        pieces.push_back(mr.get());
+        maps.push_back(&mr->knowledge());
+      }
+    }
+  }
+  const std::optional<common::Version> version =
+      watch::KnowledgeMap::MaxStitchableVersion(maps, range);
+  if (!version.has_value()) {
+    ++snapshot_reads_failed_;
+    return common::Status::Unavailable("no common version covers the range");
+  }
+  // Collect entries from each piece at the common version; pieces may
+  // overlap (redundant knowledge), so deduplicate by key.
+  std::map<common::Key, storage::Entry> merged;
+  for (const watch::MaterializedRange* mr : pieces) {
+    const common::KeyRange clipped = range.Intersect(mr->range());
+    if (clipped.Empty() || !mr->knowledge().ServableAt(clipped, *version)) {
+      continue;  // Another piece covers this span at the stitched version.
+    }
+    auto entries = mr->SnapshotScan(clipped, *version);
+    if (!entries.ok()) {
+      continue;
+    }
+    for (storage::Entry& e : *entries) {
+      merged.emplace(e.key, std::move(e));
+    }
+  }
+  StitchedSnapshot out;
+  out.version = *version;
+  out.entries.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    out.entries.push_back(std::move(entry));
+  }
+  ++snapshot_reads_served_;
+  return out;
+}
+
+std::uint64_t WatchCacheFleet::TotalResyncs() const {
+  std::uint64_t total = 0;
+  for (const auto& pod : pods_) {
+    for (const auto& [low, mr] : pod->ranges) {
+      total += mr->resyncs();
+    }
+  }
+  return total;
+}
+
+std::uint64_t WatchCacheFleet::AuditStaleEntries() const {
+  std::uint64_t stale = 0;
+  for (const auto& pod : pods_) {
+    for (const auto& [low, mr] : pod->ranges) {
+      if (!mr->ready()) {
+        continue;
+      }
+      auto truth = store_->Scan(mr->range(), store_->LatestVersion());
+      if (!truth.ok()) {
+        continue;
+      }
+      for (const storage::Entry& e : *truth) {
+        auto mine = mr->Get(e.key);
+        if (!mine.ok() || *mine != e.value) {
+          ++stale;
+        }
+      }
+    }
+  }
+  return stale;
+}
+
+std::vector<sim::NodeId> WatchCacheFleet::PodNodes() const {
+  std::vector<sim::NodeId> out;
+  out.reserve(pods_.size());
+  for (const auto& pod : pods_) {
+    out.push_back(pod->node);
+  }
+  return out;
+}
+
+}  // namespace cache

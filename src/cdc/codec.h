@@ -1,0 +1,89 @@
+// Wire codec for change events carried through the pubsub substrate (the
+// watch path passes ChangeEvent structs natively; pubsub carries opaque
+// bytes, so CDC-over-pubsub must serialize).
+//
+// Format (length-prefixed, so keys/values may contain any byte):
+//   <kind:1>' '<version>' '<txn_last:1>' '<key_len>' '<key><value>
+#ifndef SRC_CDC_CODEC_H_
+#define SRC_CDC_CODEC_H_
+
+#include <charconv>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace cdc {
+
+inline common::Value EncodeChangeEvent(const common::ChangeEvent& event) {
+  common::Value out;
+  out.push_back(event.mutation.kind == common::MutationKind::kPut ? 'P' : 'D');
+  out.push_back(' ');
+  out += std::to_string(event.version);
+  out.push_back(' ');
+  out.push_back(event.txn_last ? '1' : '0');
+  out.push_back(' ');
+  out += std::to_string(event.key.size());
+  out.push_back(' ');
+  out += event.key;
+  if (event.mutation.kind == common::MutationKind::kPut) {
+    out += event.mutation.value;
+  }
+  return out;
+}
+
+inline common::Result<common::ChangeEvent> DecodeChangeEvent(const common::Value& data) {
+  common::ChangeEvent event;
+  if (data.size() < 2 || (data[0] != 'P' && data[0] != 'D') || data[1] != ' ') {
+    return common::Status::InvalidArgument("bad change event header");
+  }
+  const bool is_put = data[0] == 'P';
+  std::size_t pos = 2;
+
+  auto parse_u64 = [&data, &pos](std::uint64_t* out) -> bool {
+    const char* begin = data.data() + pos;
+    const char* end = data.data() + data.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc() || ptr == end || *ptr != ' ') {
+      return false;
+    }
+    pos = static_cast<std::size_t>(ptr - data.data()) + 1;
+    return true;
+  };
+
+  std::uint64_t version = 0;
+  if (!parse_u64(&version)) {
+    return common::Status::InvalidArgument("bad version");
+  }
+  event.version = version;
+
+  if (pos + 1 >= data.size() || (data[pos] != '0' && data[pos] != '1') ||
+      data[pos + 1] != ' ') {
+    return common::Status::InvalidArgument("bad txn_last flag");
+  }
+  event.txn_last = data[pos] == '1';
+  pos += 2;
+
+  std::uint64_t key_len = 0;
+  if (!parse_u64(&key_len)) {
+    return common::Status::InvalidArgument("bad key length");
+  }
+  if (pos + key_len > data.size()) {
+    return common::Status::InvalidArgument("truncated key");
+  }
+  event.key = data.substr(pos, key_len);
+  pos += key_len;
+  if (is_put) {
+    event.mutation = common::Mutation::Put(data.substr(pos));
+  } else {
+    if (pos != data.size()) {
+      return common::Status::InvalidArgument("delete event carries a value");
+    }
+    event.mutation = common::Mutation::Delete();
+  }
+  return event;
+}
+
+}  // namespace cdc
+
+#endif  // SRC_CDC_CODEC_H_

@@ -1,0 +1,142 @@
+#include "cdc/feeds.h"
+
+#include "cdc/codec.h"
+
+namespace cdc {
+
+CdcPubsubFeed::CdcPubsubFeed(sim::Simulator* sim, sim::Network* net, storage::MvccStore* store,
+                             const storage::FilteredView* view, pubsub::Broker* broker,
+                             std::string topic, PubsubFeedOptions options)
+    : sim_(sim),
+      net_(net),
+      view_(view),
+      broker_(broker),
+      topic_(std::move(topic)),
+      options_(options) {
+  if (!net_->IsUp(options_.node)) {
+    net_->AddNode(options_.node);
+  }
+  store->AddCommitObserver(
+      [this](const storage::CommitRecord& record) { OnCommit(record); });
+  retry_task_ =
+      std::make_unique<sim::PeriodicTask>(sim_, options_.retry_period, [this] { Pump(); });
+}
+
+CdcPubsubFeed::~CdcPubsubFeed() = default;
+
+void CdcPubsubFeed::OnCommit(const storage::CommitRecord& record) {
+  if (view_ != nullptr) {
+    std::optional<storage::CommitRecord> filtered = view_->FilterCommit(record);
+    if (!filtered.has_value()) {
+      return;
+    }
+    for (common::ChangeEvent& ev : filtered->changes) {
+      queue_.push_back(std::move(ev));
+    }
+  } else {
+    for (const common::ChangeEvent& ev : record.changes) {
+      queue_.push_back(ev);
+    }
+  }
+  sim_->After(options_.publish_latency, [this] { Pump(); });
+}
+
+void CdcPubsubFeed::Pump() {
+  if (queue_.empty() || !net_->Reachable(options_.node, broker_->node())) {
+    return;
+  }
+  for (const common::ChangeEvent& ev : queue_) {
+    // Keyed publish routes per-key to a stable partition; keyless round-robins.
+    auto res = broker_->Publish(
+        topic_, pubsub::Message{options_.keyed ? ev.key : common::Key(),
+                                EncodeChangeEvent(ev), 0});
+    if (!res.ok()) {
+      return;  // Topic missing; keep the queue and retry.
+    }
+    ++published_;
+  }
+  queue_.clear();
+}
+
+CdcIngesterFeed::CdcIngesterFeed(sim::Simulator* sim, storage::MvccStore* store,
+                                 const storage::FilteredView* view, watch::Ingester* ingester,
+                                 IngesterFeedOptions options)
+    : sim_(sim), store_(store), view_(view), ingester_(ingester), options_(options) {
+  std::vector<common::KeyRange> ranges = options_.shards;
+  if (ranges.empty()) {
+    ranges.push_back(common::KeyRange::All());
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    shards_.push_back(Shard{ranges[i],
+                            options_.base_latency +
+                                static_cast<common::TimeMicros>(i) * options_.stagger,
+                            common::kNoVersion});
+  }
+  store->AddCommitObserver(
+      [this](const storage::CommitRecord& record) { OnCommit(record); });
+  if (options_.progress_period > 0) {
+    progress_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.progress_period,
+                                                         [this] { EmitProgress(); });
+  }
+}
+
+CdcIngesterFeed::~CdcIngesterFeed() = default;
+
+void CdcIngesterFeed::OnCommit(const storage::CommitRecord& record) {
+  const storage::CommitRecord* effective = &record;
+  std::optional<storage::CommitRecord> filtered;
+  if (view_ != nullptr) {
+    filtered = view_->FilterCommit(record);
+    if (!filtered.has_value()) {
+      // Invisible commit: it still advances each shard's fed frontier (there
+      // is nothing to deliver below this version).
+      for (Shard& shard : shards_) {
+        shard.fed_version = record.version;
+      }
+      return;
+    }
+    effective = &*filtered;
+  }
+  for (Shard& shard : shards_) {
+    for (const common::ChangeEvent& ev : effective->changes) {
+      if (!shard.range.Contains(ev.key)) {
+        continue;
+      }
+      ++appended_;
+      sim_->After(shard.latency, [this, ev] { ingester_->Append(ev); });
+    }
+    // Everything at or below this commit version has now been handed to the
+    // shard's (FIFO) pipeline.
+    shard.fed_version = effective->version;
+  }
+}
+
+void CdcIngesterFeed::EmitProgress() {
+  // Progress for versions with no changes in a shard is still progress: use
+  // the store's latest version as the frontier for every shard, delivered
+  // behind that shard's pipeline so it arrives after the events it covers.
+  const common::Version latest = store_->LatestVersion();
+  for (Shard& shard : shards_) {
+    shard.fed_version = latest;
+    const common::ProgressEvent ev{shard.range, latest};
+    sim_->After(shard.latency, [this, ev] { ingester_->Progress(ev); });
+  }
+}
+
+std::vector<common::KeyRange> UniformShards(std::uint64_t universe, std::uint32_t n,
+                                            int key_width) {
+  std::vector<common::KeyRange> out;
+  if (n == 0) {
+    return out;
+  }
+  common::Key prev_low;  // "" — start of key space.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    common::Key boundary = common::IndexKey(universe * i / n, key_width);
+    out.push_back(common::KeyRange{prev_low, boundary});
+    prev_low = std::move(boundary);
+  }
+  out.push_back(common::KeyRange{prev_low, common::Key()});  // Tail to +inf.
+  return out;
+}
+
+}  // namespace cdc

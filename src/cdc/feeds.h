@@ -1,0 +1,129 @@
+// Change-data-capture feeds: tail an MvccStore's commit stream into either
+//   * a pubsub topic (CdcPubsubFeed) — the architecture Section 3.2.1
+//     critiques: the pubsub log becomes a competing intermediate store; or
+//   * a watch system's Ingester (CdcIngesterFeed) — the paper's proposal:
+//     sharded delivery with range-scoped progress, soft state only.
+//
+// Both feeds can apply a FilteredView (Section 4.1) so only exposed derived
+// values leave the producer.
+#ifndef SRC_CDC_FEEDS_H_
+#define SRC_CDC_FEEDS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "storage/view.h"
+#include "watch/api.h"
+
+namespace cdc {
+
+// -- Store -> pubsub -----------------------------------------------------------
+
+struct PubsubFeedOptions {
+  // Node the CDC process runs on (publishes fail while unreachable —
+  // the events are buffered and retried, as a real CDC connector would).
+  sim::NodeId node = "cdc";
+  common::TimeMicros publish_latency = 1 * common::kMicrosPerMilli;
+  common::TimeMicros retry_period = 50 * common::kMicrosPerMilli;
+  // true: publish with the change key (key-hash partition routing, per-key
+  // order). false: keyless publish (round-robin partitions) — the "arbitrary
+  // order" concurrent-replication configuration of Section 3.2.1.
+  bool keyed = true;
+};
+
+class CdcPubsubFeed {
+ public:
+  // If `view` is non-null, commits are filtered through it first.
+  CdcPubsubFeed(sim::Simulator* sim, sim::Network* net, storage::MvccStore* store,
+                const storage::FilteredView* view, pubsub::Broker* broker, std::string topic,
+                PubsubFeedOptions options = {});
+  ~CdcPubsubFeed();
+
+  CdcPubsubFeed(const CdcPubsubFeed&) = delete;
+  CdcPubsubFeed& operator=(const CdcPubsubFeed&) = delete;
+
+  std::uint64_t published() const { return published_; }
+  std::uint64_t pending() const { return queue_.size(); }
+
+ private:
+  void OnCommit(const storage::CommitRecord& record);
+  void Pump();
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  const storage::FilteredView* view_;
+  pubsub::Broker* broker_;
+  std::string topic_;
+  PubsubFeedOptions options_;
+  std::vector<common::ChangeEvent> queue_;  // FIFO of events awaiting publish.
+  std::uint64_t published_ = 0;
+  std::unique_ptr<sim::PeriodicTask> retry_task_;
+};
+
+// -- Store -> watch ingester ------------------------------------------------------
+
+struct IngesterFeedOptions {
+  // Key-range shards with independent delivery pipelines; empty means one
+  // shard covering everything. Shards let the CDC layer choose its own
+  // partitioning, decoupled from both the store and the watch system
+  // (Section 4.2.2).
+  std::vector<common::KeyRange> shards;
+  // Base one-way pipeline latency; shard i adds i * stagger on top, so
+  // cross-shard delivery is out of order (the realistic case progress events
+  // exist to cope with).
+  common::TimeMicros base_latency = 1 * common::kMicrosPerMilli;
+  common::TimeMicros stagger = 2 * common::kMicrosPerMilli;
+  // Cadence of range-scoped progress emission per shard.
+  common::TimeMicros progress_period = 20 * common::kMicrosPerMilli;
+};
+
+class CdcIngesterFeed {
+ public:
+  CdcIngesterFeed(sim::Simulator* sim, storage::MvccStore* store,
+                  const storage::FilteredView* view, watch::Ingester* ingester,
+                  IngesterFeedOptions options = {});
+  ~CdcIngesterFeed();
+
+  CdcIngesterFeed(const CdcIngesterFeed&) = delete;
+  CdcIngesterFeed& operator=(const CdcIngesterFeed&) = delete;
+
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  struct Shard {
+    common::KeyRange range;
+    common::TimeMicros latency;
+    // Highest version fully handed to the pipeline for this shard.
+    common::Version fed_version = 0;
+  };
+
+  void OnCommit(const storage::CommitRecord& record);
+  void EmitProgress();
+
+  sim::Simulator* sim_;
+  storage::MvccStore* store_;
+  const storage::FilteredView* view_;
+  watch::Ingester* ingester_;
+  IngesterFeedOptions options_;
+  std::vector<Shard> shards_;
+  std::uint64_t appended_ = 0;
+  std::unique_ptr<sim::PeriodicTask> progress_task_;
+};
+
+// Splits the IndexKey space [0, universe) into `n` contiguous shards — a
+// convenience for experiments that use common::IndexKey keys.
+std::vector<common::KeyRange> UniformShards(std::uint64_t universe, std::uint32_t n,
+                                            int key_width = 8);
+
+}  // namespace cdc
+
+#endif  // SRC_CDC_FEEDS_H_

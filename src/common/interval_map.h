@@ -1,0 +1,170 @@
+// IntervalMap<V>: a total map from the key space to values of type V,
+// represented as ordered, disjoint, contiguous segments. This is the
+// load-bearing structure behind range-scoped progress tracking (watch),
+// dynamic shard assignment tables (sharding), and knowledge regions (Figure 5
+// of the paper).
+//
+// Segments are half-open [start, next_start); the final segment extends to
+// +infinity. The map always covers the entire key space: constructing it
+// requires a default value.
+#ifndef SRC_COMMON_INTERVAL_MAP_H_
+#define SRC_COMMON_INTERVAL_MAP_H_
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace common {
+
+template <typename V>
+class IntervalMap {
+ public:
+  struct Segment {
+    KeyRange range;
+    V value;
+  };
+
+  explicit IntervalMap(V default_value) { segments_[Key()] = std::move(default_value); }
+
+  // The value governing `key`.
+  const V& Get(std::string_view key) const {
+    auto it = segments_.upper_bound(Key(key));
+    assert(it != segments_.begin());
+    --it;
+    return it->second;
+  }
+
+  // Sets [range.low, range.high) to `value`, splitting overlapping segments at
+  // the boundaries.
+  void Assign(const KeyRange& range, V value) {
+    Transform(range, [&value](const V&) { return value; });
+  }
+
+  // Applies `fn` to every segment overlapping `range`, after splitting
+  // segments at the range boundaries so `fn` sees only fully-covered
+  // segments. `fn` receives the current value and returns the new value.
+  void Transform(const KeyRange& range, const std::function<V(const V&)>& fn) {
+    if (range.Empty()) {
+      return;
+    }
+    SplitAt(range.low);
+    if (!range.unbounded_above()) {
+      SplitAt(range.high);
+    }
+    auto it = segments_.find(range.low);
+    assert(it != segments_.end());
+    while (it != segments_.end()) {
+      if (!range.unbounded_above() && it->first >= range.high) {
+        break;
+      }
+      it->second = fn(it->second);
+      ++it;
+    }
+    Coalesce(range);
+  }
+
+  // Visits every segment overlapping `range` without modifying the map. The
+  // visited ranges are clipped to `range`.
+  void Visit(const KeyRange& range,
+             const std::function<void(const KeyRange&, const V&)>& visit) const {
+    if (range.Empty()) {
+      return;
+    }
+    auto it = segments_.upper_bound(range.low);
+    assert(it != segments_.begin());
+    --it;
+    for (; it != segments_.end(); ++it) {
+      KeyRange seg_range = SegmentRange(it);
+      KeyRange clipped = seg_range.Intersect(range);
+      if (clipped.Empty()) {
+        if (!range.unbounded_above() && seg_range.low >= range.high) {
+          break;
+        }
+        continue;
+      }
+      visit(clipped, it->second);
+    }
+  }
+
+  // All segments, in key order.
+  std::vector<Segment> Segments() const {
+    std::vector<Segment> out;
+    out.reserve(segments_.size());
+    for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+      out.push_back(Segment{SegmentRange(it), it->second});
+    }
+    return out;
+  }
+
+  std::size_t segment_count() const { return segments_.size(); }
+
+  // Folds `fn` over all segment values overlapping `range` (clipped), starting
+  // from `init`. Convenient for min/max queries, e.g. the progress frontier of
+  // a watched range.
+  template <typename Acc>
+  Acc Fold(const KeyRange& range, Acc init,
+           const std::function<Acc(Acc, const KeyRange&, const V&)>& fn) const {
+    Acc acc = std::move(init);
+    Visit(range, [&acc, &fn](const KeyRange& r, const V& v) { acc = fn(std::move(acc), r, v); });
+    return acc;
+  }
+
+ private:
+  using Map = std::map<Key, V>;
+
+  KeyRange SegmentRange(typename Map::const_iterator it) const {
+    auto next = std::next(it);
+    return KeyRange{it->first, next == segments_.end() ? Key() : next->first};
+  }
+
+  // Ensures a segment boundary exists at `key` (no-op at the key-space start).
+  void SplitAt(const Key& key) {
+    if (key.empty()) {
+      return;
+    }
+    auto it = segments_.upper_bound(key);
+    assert(it != segments_.begin());
+    --it;
+    if (it->first == key) {
+      return;
+    }
+    segments_.emplace(key, it->second);
+  }
+
+  // Merges adjacent equal-valued segments in the neighbourhood of `range`.
+  void Coalesce(const KeyRange& range) {
+    auto it = segments_.upper_bound(range.low);
+    if (it != segments_.begin()) {
+      --it;
+    }
+    if (it != segments_.begin()) {
+      --it;  // Also consider the segment immediately preceding the range.
+    }
+    while (it != segments_.end()) {
+      auto next = std::next(it);
+      if (next == segments_.end()) {
+        break;
+      }
+      const bool past_range = !range.unbounded_above() && it->first > range.high;
+      if (past_range) {
+        break;
+      }
+      if (it->second == next->second) {
+        segments_.erase(next);
+        continue;  // Re-examine the same segment against its new neighbour.
+      }
+      ++it;
+    }
+  }
+
+  Map segments_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_INTERVAL_MAP_H_

@@ -1,0 +1,89 @@
+// Lightweight metrics used by the experiment harness: counters, gauges, and
+// sample-based histograms with percentile queries. Deterministic (no clock
+// reads); values come from the simulator.
+#ifndef SRC_COMMON_METRICS_H_
+#define SRC_COMMON_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace common {
+
+class Counter {
+ public:
+  void Increment(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Stores raw samples; percentile queries sort a copy. Fine at the sample
+// volumes the harness produces (bounded by simulated events).
+class Histogram {
+ public:
+  void Record(double sample) { samples_.push_back(sample); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double Sum() const {
+    double s = 0;
+    for (double v : samples_) {
+      s += v;
+    }
+    return s;
+  }
+
+  double Mean() const { return samples_.empty() ? 0.0 : Sum() / static_cast<double>(count()); }
+
+  double Max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // p in [0, 100].
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  void Reset() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// A named registry so components can export metrics without wiring plumbing
+// through every constructor. One registry per experiment run.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  void Reset() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_METRICS_H_

@@ -1,0 +1,121 @@
+// Deterministic PRNG used throughout the simulator and workload generators.
+// All experiments are seeded so anomaly counts are exactly reproducible.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace common {
+
+// xoshiro256** seeded via splitmix64. Small, fast, and deterministic across
+// platforms (unlike std::default_random_engine / std::*_distribution).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    while (true) {
+      const std::uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (used for inter-arrival times).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    while (u <= 0.0) {
+      u = NextDouble();
+    }
+    return -mean * std::log(u);
+  }
+
+  // Zipf-like skewed index in [0, n): rank r is chosen with probability
+  // proportional to 1/(r+1)^theta. theta = 0 is uniform.
+  std::uint64_t Zipf(std::uint64_t n, double theta) {
+    assert(n > 0);
+    if (theta <= 0.0) {
+      return Below(n);
+    }
+    // Inverse-CDF on the (approximate) continuous Zipf distribution; accurate
+    // enough for workload skew and much cheaper than tabulating harmonics.
+    const double u = NextDouble();
+    if (theta == 1.0) {
+      const double h = std::log(static_cast<double>(n) + 1.0);
+      const double x = std::exp(u * h) - 1.0;
+      const auto idx = static_cast<std::uint64_t>(x);
+      return idx < n ? idx : n - 1;
+    }
+    const double e = 1.0 - theta;
+    const double h = (std::pow(static_cast<double>(n) + 1.0, e) - 1.0) / e;
+    const double x = std::pow(u * h * e + 1.0, 1.0 / e) - 1.0;
+    const auto idx = static_cast<std::uint64_t>(x);
+    return idx < n ? idx : n - 1;
+  }
+
+  // Derives an independent child stream (for per-component determinism).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4] = {};
+};
+
+// Fixed-width zero-padded decimal keys ("k00001234") so lexicographic key
+// order matches numeric order; used by workload generators and tests.
+inline std::string IndexKey(std::uint64_t index, int width = 8) {
+  std::string digits = std::to_string(index);
+  std::string out = "k";
+  if (static_cast<int>(digits.size()) < width) {
+    out.append(static_cast<std::size_t>(width) - digits.size(), '0');
+  }
+  out += digits;
+  return out;
+}
+
+}  // namespace common
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,145 @@
+// Core value types shared across the library: keys, versions, key ranges, and
+// mutations. These mirror the vocabulary of the paper's Section 4.2 watch API:
+// change events are organized "by key and by transaction version".
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace common {
+
+// Keys are ordered byte strings; ranges over them are half-open [low, high).
+using Key = std::string;
+using Value = std::string;
+
+// A monotonic transaction version (the paper's "simplifying assumption": the
+// source of truth has monotonic transaction versions, e.g. TrueTime / TSO /
+// gtid). Version 0 is reserved to mean "before any committed state".
+using Version = std::uint64_t;
+inline constexpr Version kNoVersion = 0;
+inline constexpr Version kMaxVersion = ~static_cast<Version>(0);
+
+// Simulated time, in microseconds since simulation start.
+using TimeMicros = std::int64_t;
+inline constexpr TimeMicros kMicrosPerMilli = 1000;
+inline constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+// A half-open key range [low, high). An empty `high` means "unbounded above"
+// (the range extends to the end of the key space); this makes the full key
+// space representable as KeyRange{"", ""}.
+struct KeyRange {
+  Key low;
+  Key high;  // Exclusive; empty means +infinity.
+
+  static KeyRange All() { return KeyRange{"", ""}; }
+  static KeyRange Single(Key k) {
+    Key next = k;
+    next.push_back('\0');  // The smallest key strictly greater than k.
+    return KeyRange{std::move(k), std::move(next)};
+  }
+
+  bool unbounded_above() const { return high.empty(); }
+
+  bool Contains(std::string_view key) const {
+    if (key < low) {
+      return false;
+    }
+    return unbounded_above() || key < high;
+  }
+
+  bool Empty() const { return !unbounded_above() && high <= low; }
+
+  // True when the two ranges share at least one key.
+  bool Overlaps(const KeyRange& other) const {
+    if (Empty() || other.Empty()) {
+      return false;
+    }
+    const bool this_below = !unbounded_above() && high <= other.low;
+    const bool other_below = !other.unbounded_above() && other.high <= low;
+    return !this_below && !other_below;
+  }
+
+  // True when `other` is fully contained within this range.
+  bool Covers(const KeyRange& other) const {
+    if (other.Empty()) {
+      return true;
+    }
+    if (other.low < low) {
+      return false;
+    }
+    if (unbounded_above()) {
+      return true;
+    }
+    if (other.unbounded_above()) {
+      return false;
+    }
+    return other.high <= high;
+  }
+
+  // The overlap of the two ranges (possibly empty).
+  KeyRange Intersect(const KeyRange& other) const {
+    KeyRange out;
+    out.low = std::max(low, other.low);
+    if (unbounded_above()) {
+      out.high = other.high;
+    } else if (other.unbounded_above()) {
+      out.high = high;
+    } else {
+      out.high = std::min(high, other.high);
+    }
+    if (!out.unbounded_above() && out.high < out.low) {
+      out.high = out.low;  // Normalize to an empty range at `low`.
+    }
+    return out;
+  }
+
+  friend bool operator==(const KeyRange&, const KeyRange&) = default;
+};
+
+// The kind of change applied to a key. `kPut` carries the new value; `kDelete`
+// removes the key (replication layers may turn this into a tombstone).
+enum class MutationKind : std::uint8_t {
+  kPut,
+  kDelete,
+};
+
+// A single-key mutation, as carried by change events.
+struct Mutation {
+  MutationKind kind = MutationKind::kPut;
+  Value value;  // Meaningful only for kPut.
+
+  static Mutation Put(Value v) { return Mutation{MutationKind::kPut, std::move(v)}; }
+  static Mutation Delete() { return Mutation{MutationKind::kDelete, {}}; }
+
+  friend bool operator==(const Mutation&, const Mutation&) = default;
+};
+
+// A change event: "key K changed to M as of version V" (paper Section 4.2.1).
+// `txn_last` marks the final event of a transaction so consumers can apply
+// transactions atomically if they choose to.
+struct ChangeEvent {
+  Key key;
+  Mutation mutation;
+  Version version = kNoVersion;
+  bool txn_last = true;
+
+  friend bool operator==(const ChangeEvent&, const ChangeEvent&) = default;
+};
+
+// A progress event: all change events affecting [low, high) have been supplied
+// up to and including `version` (paper Section 4.2.1). Progress is range
+// scoped rather than global or tied to static partitions.
+struct ProgressEvent {
+  KeyRange range;
+  Version version = kNoVersion;
+
+  friend bool operator==(const ProgressEvent&, const ProgressEvent&) = default;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_TYPES_H_

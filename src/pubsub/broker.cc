@@ -1,0 +1,290 @@
+#include "pubsub/broker.h"
+
+#include <algorithm>
+
+namespace pubsub {
+
+Broker::Broker(sim::Simulator* sim, sim::Network* net, sim::NodeId node,
+               common::TimeMicros gc_period)
+    : sim_(sim), net_(net), node_(std::move(node)) {
+  net_->AddNode(node_);
+  maintenance_ = std::make_unique<sim::PeriodicTask>(sim_, gc_period, [this] {
+    EnforceRetention();
+    SweepDeadMembers();
+  });
+}
+
+common::Status Broker::CreateTopic(const std::string& topic, TopicConfig config) {
+  if (topics_.count(topic) > 0) {
+    return common::Status::AlreadyExists(topic);
+  }
+  if (config.partitions == 0) {
+    return common::Status::InvalidArgument("topic needs at least one partition");
+  }
+  Topic t;
+  t.config = config;
+  t.partitions.reserve(config.partitions);
+  for (PartitionId p = 0; p < config.partitions; ++p) {
+    t.partitions.push_back(std::make_unique<PartitionLog>(config.retention));
+  }
+  topics_.emplace(topic, std::move(t));
+  return common::Status::Ok();
+}
+
+std::uint64_t Broker::HashKey(const common::Key& key) {
+  // FNV-1a: deterministic across platforms.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+common::Result<PublishResult> Broker::Publish(const std::string& topic, Message msg,
+                                              std::optional<PartitionId> partition) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  Topic& t = it->second;
+  PartitionId p;
+  if (partition.has_value()) {
+    if (*partition >= t.config.partitions) {
+      return common::Status::InvalidArgument("partition out of range");
+    }
+    p = *partition;
+  } else if (!msg.key.empty()) {
+    p = static_cast<PartitionId>(HashKey(msg.key) % t.config.partitions);
+  } else {
+    p = t.next_round_robin;
+    t.next_round_robin = (t.next_round_robin + 1) % t.config.partitions;
+  }
+  msg.publish_time = sim_->Now();
+  const Offset offset = t.partitions[p]->Append(std::move(msg));
+  return PublishResult{p, offset};
+}
+
+common::Result<std::vector<StoredMessage>> Broker::Fetch(const std::string& topic,
+                                                         PartitionId partition, Offset offset,
+                                                         std::size_t max) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (partition >= it->second.config.partitions) {
+    return common::Status::InvalidArgument("partition out of range");
+  }
+  return it->second.partitions[partition]->Read(offset, max);
+}
+
+Offset Broker::EndOffset(const std::string& topic, PartitionId partition) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return 0;
+  }
+  return it->second.partitions[partition]->end_offset();
+}
+
+Offset Broker::FirstOffset(const std::string& topic, PartitionId partition) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return 0;
+  }
+  return it->second.partitions[partition]->first_offset();
+}
+
+std::uint64_t Broker::JoinGroup(const GroupId& group, const std::string& topic,
+                                const MemberId& member) {
+  Group& g = groups_[group];
+  g.topic = topic;
+  g.members[member] = sim_->Now();
+  Rebalance(g);
+  return g.generation;
+}
+
+void Broker::LeaveGroup(const GroupId& group, const MemberId& member) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return;
+  }
+  if (it->second.members.erase(member) > 0) {
+    Rebalance(it->second);
+  }
+}
+
+void Broker::Heartbeat(const GroupId& group, const MemberId& member) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return;
+  }
+  auto m = it->second.members.find(member);
+  if (m != it->second.members.end()) {
+    m->second = sim_->Now();
+  }
+}
+
+std::vector<PartitionId> Broker::AssignedPartitions(const GroupId& group, const MemberId& member,
+                                                    std::uint64_t generation) const {
+  std::vector<PartitionId> out;
+  auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.generation != generation) {
+    return out;
+  }
+  for (const auto& [partition, owner] : it->second.assignment) {
+    if (owner == member) {
+      out.push_back(partition);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Broker::GroupGeneration(const GroupId& group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.generation;
+}
+
+void Broker::CommitOffset(const GroupId& group, PartitionId partition, Offset offset) {
+  Group& g = groups_[group];
+  Offset& committed = g.committed[partition];
+  committed = std::max(committed, offset);
+}
+
+void Broker::SeekGroup(const GroupId& group, PartitionId partition, Offset offset) {
+  groups_[group].committed[partition] = offset;  // May rewind: that is the point.
+}
+
+void Broker::SeekGroupToTime(const GroupId& group, const std::string& topic,
+                             common::TimeMicros timestamp) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return;
+  }
+  for (PartitionId p = 0; p < it->second.config.partitions; ++p) {
+    const PartitionLog& log = *it->second.partitions[p];
+    // First retained message at or after the timestamp; if everything is
+    // older, land at the end (nothing replays).
+    Offset target = log.end_offset();
+    for (const StoredMessage& m : log.Read(log.first_offset())) {
+      if (m.message.publish_time >= timestamp) {
+        target = m.offset;
+        break;
+      }
+    }
+    groups_[group].committed[p] = target;
+  }
+}
+
+Offset Broker::CommittedOffset(const GroupId& group, PartitionId partition) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return 0;
+  }
+  auto c = it->second.committed.find(partition);
+  return c == it->second.committed.end() ? 0 : c->second;
+}
+
+std::uint64_t Broker::GroupBacklog(const GroupId& group, const std::string& topic) const {
+  auto t = topics_.find(topic);
+  if (t == topics_.end()) {
+    return 0;
+  }
+  std::uint64_t backlog = 0;
+  for (PartitionId p = 0; p < t->second.config.partitions; ++p) {
+    const Offset end = t->second.partitions[p]->end_offset();
+    const Offset committed = CommittedOffset(group, p);
+    backlog += end > committed ? end - committed : 0;
+  }
+  return backlog;
+}
+
+std::uint64_t Broker::TotalGced(const std::string& topic) const {
+  auto t = topics_.find(topic);
+  if (t == topics_.end()) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const auto& p : t->second.partitions) {
+    total += p->gced();
+  }
+  return total;
+}
+
+std::uint64_t Broker::TotalCompactedAway(const std::string& topic) const {
+  auto t = topics_.find(topic);
+  if (t == topics_.end()) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const auto& p : t->second.partitions) {
+    total += p->compacted_away();
+  }
+  return total;
+}
+
+std::uint64_t Broker::TotalSilentSkips(const std::string& topic) const {
+  auto t = topics_.find(topic);
+  if (t == topics_.end()) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const auto& p : t->second.partitions) {
+    total += p->silent_skips();
+  }
+  return total;
+}
+
+void Broker::EnforceRetention() {
+  const common::TimeMicros now = sim_->Now();
+  for (auto& [name, topic] : topics_) {
+    const RetentionPolicy& policy = topic.config.retention;
+    for (auto& log : topic.partitions) {
+      if (policy.compacted && policy.compaction_window > 0) {
+        log->Compact(now - policy.compaction_window);
+      }
+      if (policy.retention > 0) {
+        log->GcBefore(now - policy.retention);
+      }
+    }
+  }
+}
+
+void Broker::SweepDeadMembers() {
+  const common::TimeMicros now = sim_->Now();
+  for (auto& [id, group] : groups_) {
+    bool changed = false;
+    for (auto it = group.members.begin(); it != group.members.end();) {
+      if (now - it->second > session_timeout_) {
+        it = group.members.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (changed) {
+      Rebalance(group);
+    }
+  }
+}
+
+void Broker::Rebalance(Group& group) {
+  ++group.generation;
+  group.assignment.clear();
+  auto topic = topics_.find(group.topic);
+  if (topic == topics_.end() || group.members.empty()) {
+    return;
+  }
+  // Range assignment: contiguous partition blocks over sorted members
+  // (std::map iteration is already sorted, giving determinism).
+  std::vector<MemberId> members;
+  members.reserve(group.members.size());
+  for (const auto& [m, hb] : group.members) {
+    members.push_back(m);
+  }
+  const PartitionId n = topic->second.config.partitions;
+  for (PartitionId p = 0; p < n; ++p) {
+    group.assignment[p] = members[p % members.size()];
+  }
+}
+
+}  // namespace pubsub

@@ -1,0 +1,152 @@
+// Broker: topics, partitions, publish routing, retention enforcement, and
+// group-coordinator state (member liveness, partition assignment, committed
+// offsets, generations). Runs as a node ("broker") on the simulated network;
+// consumers interact with it through poll/heartbeat RPCs gated on
+// reachability.
+#ifndef SRC_PUBSUB_BROKER_H_
+#define SRC_PUBSUB_BROKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "pubsub/log.h"
+#include "pubsub/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pubsub {
+
+using GroupId = std::string;
+using MemberId = std::string;  // Also the member's network node id.
+
+struct PublishResult {
+  PartitionId partition = 0;
+  Offset offset = 0;
+};
+
+class Broker {
+ public:
+  // `node` is the broker's network identity. Retention is enforced every
+  // `gc_period` of simulated time.
+  Broker(sim::Simulator* sim, sim::Network* net, sim::NodeId node = "broker",
+         common::TimeMicros gc_period = 500 * common::kMicrosPerMilli);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  const sim::NodeId& node() const { return node_; }
+
+  // -- Topics -----------------------------------------------------------------
+
+  common::Status CreateTopic(const std::string& topic, TopicConfig config);
+  bool HasTopic(const std::string& topic) const { return topics_.count(topic) > 0; }
+  PartitionId PartitionCount(const std::string& topic) const {
+    auto it = topics_.find(topic);
+    return it == topics_.end() ? 0 : it->second.config.partitions;
+  }
+
+  // -- Publishing ---------------------------------------------------------------
+
+  // Routes by config (key hash / round robin) unless `partition` is given.
+  common::Result<PublishResult> Publish(const std::string& topic, Message msg,
+                                        std::optional<PartitionId> partition = std::nullopt);
+
+  // -- Fetching -----------------------------------------------------------------
+
+  // Reads up to `max` messages from `offset`. Silently resumes at the
+  // earliest retained offset if `offset` has been garbage collected — the
+  // behaviour Section 3.1 identifies as undetectable message loss.
+  common::Result<std::vector<StoredMessage>> Fetch(const std::string& topic,
+                                                   PartitionId partition, Offset offset,
+                                                   std::size_t max) const;
+
+  Offset EndOffset(const std::string& topic, PartitionId partition) const;
+  Offset FirstOffset(const std::string& topic, PartitionId partition) const;
+
+  // -- Consumer groups ----------------------------------------------------------
+
+  // Joins (or re-joins) a group consuming `topic`; triggers a rebalance.
+  // Returns the new group generation.
+  std::uint64_t JoinGroup(const GroupId& group, const std::string& topic,
+                          const MemberId& member);
+  void LeaveGroup(const GroupId& group, const MemberId& member);
+
+  // Records member liveness; members that miss `session_timeout` are evicted
+  // by the liveness sweep (run with the GC timer) and the group rebalances.
+  void Heartbeat(const GroupId& group, const MemberId& member);
+
+  // The partitions currently assigned to `member` under `generation`;
+  // empty if the generation is stale (member must re-join).
+  std::vector<PartitionId> AssignedPartitions(const GroupId& group, const MemberId& member,
+                                              std::uint64_t generation) const;
+  std::uint64_t GroupGeneration(const GroupId& group) const;
+
+  // Offset commit/fetch (per group, per partition).
+  void CommitOffset(const GroupId& group, PartitionId partition, Offset offset);
+  Offset CommittedOffset(const GroupId& group, PartitionId partition) const;
+
+  // -- "Replay and snapshot" (the ad hoc extension surface of §3.3) -------------
+  //
+  // Modeled on GCP Pub/Sub's seek-to-offset/timestamp: rewinds (or advances)
+  // a group's committed position, causing redelivery of everything after the
+  // seek point. The paper's observation: this is a storage read API grafted
+  // onto a messaging system — it bypasses the normal commit discipline, and a
+  // seek below the retained log silently lands at the earliest offset.
+  void SeekGroup(const GroupId& group, PartitionId partition, Offset offset);
+  // Seeks every partition of `topic` to the first message published at or
+  // after `timestamp`.
+  void SeekGroupToTime(const GroupId& group, const std::string& topic,
+                       common::TimeMicros timestamp);
+
+  // -- Backlog / loss accounting (harness-visible, not consumer-visible) --------
+
+  // Consumer lag: end_offset - committed, summed over partitions.
+  std::uint64_t GroupBacklog(const GroupId& group, const std::string& topic) const;
+  std::uint64_t TotalGced(const std::string& topic) const;
+  std::uint64_t TotalCompactedAway(const std::string& topic) const;
+  std::uint64_t TotalSilentSkips(const std::string& topic) const;
+
+  void set_session_timeout(common::TimeMicros t) { session_timeout_ = t; }
+
+ private:
+  struct Topic {
+    TopicConfig config;
+    std::vector<std::unique_ptr<PartitionLog>> partitions;
+    PartitionId next_round_robin = 0;
+  };
+
+  struct Group {
+    std::string topic;
+    std::uint64_t generation = 0;
+    // Member -> last heartbeat time.
+    std::map<MemberId, common::TimeMicros> members;
+    // Partition -> member (range assignment over sorted members).
+    std::map<PartitionId, MemberId> assignment;
+    std::map<PartitionId, Offset> committed;
+  };
+
+  void EnforceRetention();
+  void SweepDeadMembers();
+  void Rebalance(Group& group);
+  static std::uint64_t HashKey(const common::Key& key);
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  sim::NodeId node_;
+  common::TimeMicros session_timeout_ = 3 * common::kMicrosPerSecond;
+  std::map<std::string, Topic> topics_;
+  std::map<GroupId, Group> groups_;
+  std::unique_ptr<sim::PeriodicTask> maintenance_;
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_BROKER_H_

@@ -1,0 +1,188 @@
+#include "pubsub/consumer.h"
+
+namespace pubsub {
+
+GroupConsumer::GroupConsumer(sim::Simulator* sim, sim::Network* net, Broker* broker,
+                             GroupId group, std::string topic, MemberId member,
+                             MessageHandler handler, ConsumerOptions options)
+    : sim_(sim),
+      net_(net),
+      broker_(broker),
+      group_(std::move(group)),
+      topic_(std::move(topic)),
+      member_(std::move(member)),
+      handler_(std::move(handler)),
+      options_(options) {
+  if (!net_->IsUp(member_)) {
+    net_->AddNode(member_);
+  }
+}
+
+GroupConsumer::~GroupConsumer() = default;
+
+void GroupConsumer::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  if (net_->Reachable(member_, broker_->node())) {
+    broker_->JoinGroup(group_, topic_, member_);
+  }
+  poll_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
+  heartbeat_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.heartbeat_period,
+                                                        [this] { SendHeartbeat(); });
+}
+
+void GroupConsumer::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  poll_task_.reset();
+  heartbeat_task_.reset();
+  if (net_->Reachable(member_, broker_->node())) {
+    broker_->LeaveGroup(group_, member_);
+  }
+}
+
+void GroupConsumer::OnCrash() {
+  // Node is already marked down by the injector; in-memory delivery state is
+  // lost (anything delivered-but-uncommitted will be redelivered).
+  delivery_attempts_.clear();
+}
+
+void GroupConsumer::OnRestart() {
+  if (running_ && net_->Reachable(member_, broker_->node())) {
+    broker_->JoinGroup(group_, topic_, member_);
+  }
+}
+
+void GroupConsumer::SendHeartbeat() {
+  if (!running_ || !net_->Reachable(member_, broker_->node())) {
+    return;
+  }
+  broker_->Heartbeat(group_, member_);
+}
+
+void GroupConsumer::Poll() {
+  if (!running_ || !net_->Reachable(member_, broker_->node())) {
+    return;
+  }
+  const std::uint64_t generation = broker_->GroupGeneration(group_);
+  std::vector<PartitionId> assigned = broker_->AssignedPartitions(group_, member_, generation);
+  if (assigned.empty()) {
+    // Possibly evicted (e.g. after a long outage): re-join.
+    broker_->JoinGroup(group_, topic_, member_);
+    return;
+  }
+  std::size_t budget = options_.max_poll_messages;
+  for (PartitionId p : assigned) {
+    if (budget == 0) {
+      break;
+    }
+    const Offset committed = broker_->CommittedOffset(group_, p);
+    auto batch = broker_->Fetch(topic_, p, committed, budget);
+    if (!batch.ok()) {
+      continue;
+    }
+    for (const StoredMessage& m : *batch) {
+      bool ack = handler_(p, m);
+      if (ack) {
+        ++delivered_;
+        delivered_bytes_ += m.message.key.size() + m.message.value.size();
+        broker_->CommitOffset(group_, p, m.offset + 1);
+        delivery_attempts_[p].erase(m.offset);
+        --budget;
+        continue;
+      }
+      // Nack: leave uncommitted so it is redelivered, unless the redelivery
+      // budget is exhausted — then dead-letter (or drop) and move on.
+      std::uint32_t& attempts = delivery_attempts_[p][m.offset];
+      ++attempts;
+      if (options_.max_redeliveries > 0 && attempts >= options_.max_redeliveries) {
+        if (!options_.dead_letter_topic.empty()) {
+          (void)broker_->Publish(options_.dead_letter_topic, m.message);
+        }
+        ++dead_lettered_;
+        broker_->CommitOffset(group_, p, m.offset + 1);
+        delivery_attempts_[p].erase(m.offset);
+        continue;
+      }
+      break;  // Head-of-line: retry this partition from the nack next poll.
+    }
+  }
+}
+
+FreeConsumer::FreeConsumer(sim::Simulator* sim, sim::Network* net, Broker* broker,
+                           std::string topic, sim::NodeId node, MessageHandler handler,
+                           ConsumerOptions options, StartAt start_at)
+    : sim_(sim),
+      net_(net),
+      broker_(broker),
+      topic_(std::move(topic)),
+      node_(std::move(node)),
+      handler_(std::move(handler)),
+      options_(options),
+      start_at_(start_at) {
+  if (!net_->IsUp(node_)) {
+    net_->AddNode(node_);
+  }
+}
+
+FreeConsumer::~FreeConsumer() = default;
+
+void FreeConsumer::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  poll_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
+}
+
+void FreeConsumer::Stop() {
+  running_ = false;
+  poll_task_.reset();
+}
+
+std::uint64_t FreeConsumer::Backlog() const {
+  std::uint64_t backlog = 0;
+  for (const auto& [partition, position] : positions_) {
+    const Offset end = broker_->EndOffset(topic_, partition);
+    backlog += end > position ? end - position : 0;
+  }
+  return backlog;
+}
+
+void FreeConsumer::Poll() {
+  if (!running_ || !net_->Reachable(node_, broker_->node())) {
+    return;
+  }
+  if (!positions_initialized_) {
+    // Discover partitions on first contact with the broker.
+    const PartitionId n = broker_->PartitionCount(topic_);
+    for (PartitionId p = 0; p < n; ++p) {
+      positions_[p] = start_at_ == StartAt::kEarliest ? broker_->FirstOffset(topic_, p)
+                                                      : broker_->EndOffset(topic_, p);
+    }
+    positions_initialized_ = n > 0;
+  }
+  std::size_t budget = options_.max_poll_messages;
+  for (auto& [partition, position] : positions_) {
+    if (budget == 0) {
+      break;
+    }
+    auto batch = broker_->Fetch(topic_, partition, position, budget);
+    if (!batch.ok()) {
+      continue;
+    }
+    for (const StoredMessage& m : *batch) {
+      (void)handler_(partition, m);
+      ++delivered_;
+      delivered_bytes_ += m.message.key.size() + m.message.value.size();
+      position = m.offset + 1;
+      --budget;
+    }
+  }
+}
+
+}  // namespace pubsub

@@ -1,0 +1,38 @@
+#include "pubsub/log.h"
+
+#include <unordered_map>
+
+namespace pubsub {
+
+std::uint64_t PartitionLog::Compact(common::TimeMicros horizon) {
+  // Find, among messages older than the horizon, the last offset per key.
+  std::unordered_map<common::Key, Offset> last_old_offset;
+  for (const StoredMessage& m : log_) {
+    if (m.message.publish_time >= horizon) {
+      break;
+    }
+    last_old_offset[m.message.key] = m.offset;
+  }
+  if (last_old_offset.empty()) {
+    return 0;
+  }
+  std::deque<StoredMessage> kept;
+  std::uint64_t removed = 0;
+  for (StoredMessage& m : log_) {
+    if (m.message.publish_time >= horizon) {
+      kept.push_back(std::move(m));
+      continue;
+    }
+    auto it = last_old_offset.find(m.message.key);
+    if (it != last_old_offset.end() && it->second == m.offset) {
+      kept.push_back(std::move(m));
+    } else {
+      ++removed;
+    }
+  }
+  log_ = std::move(kept);
+  compacted_away_ += removed;
+  return removed;
+}
+
+}  // namespace pubsub

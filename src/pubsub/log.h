@@ -1,0 +1,111 @@
+// PartitionLog: one partition's durable, offset-addressed message log, with
+// the two head-trimming behaviours the paper analyzes:
+//
+//  * retention GC — messages older than the retention period (or beyond the
+//    size cap) are dropped entirely; and
+//  * compaction — messages older than the compaction window keep only the
+//    latest version per key.
+//
+// Crucially (Section 3.1), a reader positioned below the first retained
+// offset is silently repositioned to the earliest retained message — exactly
+// Kafka's `auto.offset.reset=earliest` — and nothing in the consumer-visible
+// API reports how many messages were skipped. The log *does* track the skip
+// internally so experiments can count the loss the application cannot see.
+#ifndef SRC_PUBSUB_LOG_H_
+#define SRC_PUBSUB_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pubsub/types.h"
+
+namespace pubsub {
+
+class PartitionLog {
+ public:
+  explicit PartitionLog(RetentionPolicy policy) : policy_(policy) {}
+
+  // Appends a message, returning its offset.
+  Offset Append(Message msg) {
+    log_.push_back(StoredMessage{next_offset_++, std::move(msg)});
+    EnforceSizeCap();
+    return log_.back().offset;
+  }
+
+  // First offset still present (== end_offset() when empty after GC).
+  Offset first_offset() const { return log_.empty() ? next_offset_ : log_.front().offset; }
+  // One past the last appended offset.
+  Offset end_offset() const { return next_offset_; }
+  std::size_t size() const { return log_.size(); }
+
+  // Reads up to `max` messages starting at `from`. If `from` precedes the
+  // first retained offset, reading silently resumes at the earliest retained
+  // message (the Kafka reset behaviour). `max` == 0 means unlimited.
+  std::vector<StoredMessage> Read(Offset from, std::size_t max = 0) const {
+    std::vector<StoredMessage> out;
+    for (const StoredMessage& m : log_) {
+      if (m.offset < from) {
+        continue;
+      }
+      out.push_back(m);
+      if (max != 0 && out.size() >= max) {
+        break;
+      }
+    }
+    if (!out.empty() && out.front().offset > from) {
+      // Reader fell below retained history; it cannot observe this, but the
+      // harness can.
+      silent_skips_ += out.front().offset - from;
+    } else if (out.empty() && from < first_offset()) {
+      silent_skips_ += first_offset() - from;
+    }
+    return out;
+  }
+
+  // Time-based retention: drops messages published before `horizon`.
+  // Returns the number of messages garbage collected.
+  std::uint64_t GcBefore(common::TimeMicros horizon) {
+    std::uint64_t dropped = 0;
+    while (!log_.empty() && log_.front().message.publish_time < horizon) {
+      log_.pop_front();
+      ++dropped;
+    }
+    gced_ += dropped;
+    return dropped;
+  }
+
+  // Compaction: for messages published before `horizon`, keeps only the last
+  // message per key (later messages keep every version). Returns the number
+  // of messages removed. Offsets of surviving messages are unchanged, so the
+  // log acquires offset gaps — indistinguishable, to a reader, from normal
+  // consumption.
+  std::uint64_t Compact(common::TimeMicros horizon);
+
+  // Harness-only accounting (not part of the consumer-visible API).
+  std::uint64_t gced() const { return gced_; }
+  std::uint64_t compacted_away() const { return compacted_away_; }
+  std::uint64_t silent_skips() const { return silent_skips_; }
+
+ private:
+  void EnforceSizeCap() {
+    if (policy_.max_messages == 0) {
+      return;
+    }
+    while (log_.size() > policy_.max_messages) {
+      log_.pop_front();
+      ++gced_;
+    }
+  }
+
+  RetentionPolicy policy_;
+  std::deque<StoredMessage> log_;
+  Offset next_offset_ = 0;
+  std::uint64_t gced_ = 0;
+  std::uint64_t compacted_away_ = 0;
+  mutable std::uint64_t silent_skips_ = 0;
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_LOG_H_

@@ -1,0 +1,49 @@
+// Producer: a thin publishing client bound to a network node. Publishes are
+// gated on reachability to the broker (an unreachable producer's publishes
+// fail with kUnavailable and are counted).
+#ifndef SRC_PUBSUB_PRODUCER_H_
+#define SRC_PUBSUB_PRODUCER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "pubsub/broker.h"
+#include "sim/network.h"
+
+namespace pubsub {
+
+class Producer {
+ public:
+  Producer(sim::Network* net, Broker* broker, sim::NodeId node, std::string topic)
+      : net_(net), broker_(broker), node_(std::move(node)), topic_(std::move(topic)) {
+    if (!net_->IsUp(node_)) {
+      net_->AddNode(node_);
+    }
+  }
+
+  common::Result<PublishResult> Publish(common::Key key, common::Value value) {
+    if (!net_->Reachable(node_, broker_->node())) {
+      ++failed_;
+      return common::Status::Unavailable("producer cannot reach broker");
+    }
+    ++published_;
+    return broker_->Publish(topic_, Message{std::move(key), std::move(value), 0});
+  }
+
+  std::uint64_t published() const { return published_; }
+  std::uint64_t failed() const { return failed_; }
+
+ private:
+  sim::Network* net_;
+  Broker* broker_;
+  sim::NodeId node_;
+  std::string topic_;
+  std::uint64_t published_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_PRODUCER_H_

@@ -1,0 +1,59 @@
+// Message and policy types for the pubsub substrate (the Kafka-style system
+// the paper critiques: a bundled, hidden, durable message log with retention
+// GC and compaction).
+#ifndef SRC_PUBSUB_TYPES_H_
+#define SRC_PUBSUB_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pubsub {
+
+using Offset = std::uint64_t;
+using PartitionId = std::uint32_t;
+
+struct Message {
+  common::Key key;     // Routing / compaction key (may be empty).
+  common::Value value; // Opaque payload.
+  common::TimeMicros publish_time = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+struct StoredMessage {
+  Offset offset = 0;
+  Message message;
+
+  friend bool operator==(const StoredMessage&, const StoredMessage&) = default;
+};
+
+// Log retention: the policies whose interaction with backlogs Section 3.1
+// identifies as the source of silent data loss.
+struct RetentionPolicy {
+  // Messages older than this are garbage collected (<= 0: no time limit).
+  common::TimeMicros retention = 0;
+  // Partition logs longer than this are truncated from the head (0: no
+  // size limit).
+  std::uint64_t max_messages = 0;
+  // When true the log is compacted instead of truncated: messages older than
+  // `compaction_window` keep only the latest version per key.
+  bool compacted = false;
+  common::TimeMicros compaction_window = 0;
+};
+
+struct TopicConfig {
+  PartitionId partitions = 1;
+  RetentionPolicy retention;
+};
+
+// How publishes pick a partition when no explicit partition is given.
+enum class Routing : std::uint8_t {
+  kByKeyHash,   // Deterministic: hash(key) % partitions.
+  kRoundRobin,  // "Select a consumer at random" in the paper's terms.
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_TYPES_H_

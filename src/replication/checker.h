@@ -1,0 +1,127 @@
+// Consistency checkers for replication experiments (Section 3.2.1).
+//
+// SourceHistory observes every commit on the source MvccStore and keeps the
+// fingerprint of the source state after each commit. PointInTimeChecker then
+// classifies each externalized target state:
+//
+//   * point-in-time consistent — the target state equals some state the
+//     source actually passed through (its fingerprint is in the history);
+//   * snapshot anomaly — a state that NEVER existed in the source (the
+//     paper's member-removed-then-group-granted example is one of these).
+//
+// Eventual consistency is checked separately: after quiescing, the target's
+// final state must equal the source's final state.
+#ifndef SRC_REPLICATION_CHECKER_H_
+#define SRC_REPLICATION_CHECKER_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "replication/target_store.h"
+#include "storage/mvcc_store.h"
+
+namespace replication {
+
+class SourceHistory {
+ public:
+  explicit SourceHistory(storage::MvccStore* store) {
+    hashes_.insert(0);  // The empty initial state.
+    store->AddCommitObserver([this](const storage::CommitRecord& record) {
+      for (const common::ChangeEvent& ev : record.changes) {
+        auto it = live_.find(ev.key);
+        if (it != live_.end()) {
+          hash_ ^= it->second;
+        }
+        if (ev.mutation.kind == common::MutationKind::kPut) {
+          const std::uint64_t fp = EntryFingerprint(ev.key, ev.mutation.value);
+          live_[ev.key] = fp;
+          hash_ ^= fp;
+        } else {
+          live_.erase(ev.key);
+        }
+      }
+      hashes_.insert(hash_);
+      latest_ = record.version;
+    });
+  }
+
+  SourceHistory(const SourceHistory&) = delete;
+  SourceHistory& operator=(const SourceHistory&) = delete;
+
+  bool Existed(std::uint64_t state_hash) const { return hashes_.count(state_hash) > 0; }
+  std::uint64_t final_hash() const { return hash_; }
+  common::Version latest_version() const { return latest_; }
+  std::size_t states() const { return hashes_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> hashes_;
+  std::map<common::Key, std::uint64_t> live_;  // key -> its current fingerprint.
+  std::uint64_t hash_ = 0;
+  common::Version latest_ = common::kNoVersion;
+};
+
+class PointInTimeChecker {
+ public:
+  PointInTimeChecker(const SourceHistory* history, TargetStore* target) : history_(history) {
+    target->AddExternalizeHook([this](const TargetStore& t) {
+      ++externalized_;
+      if (!history_->Existed(t.state_hash())) {
+        ++anomalies_;
+      }
+    });
+  }
+
+  PointInTimeChecker(const PointInTimeChecker&) = delete;
+  PointInTimeChecker& operator=(const PointInTimeChecker&) = delete;
+
+  // Externalized target states that never existed in the source.
+  std::uint64_t anomalies() const { return anomalies_; }
+  std::uint64_t externalized() const { return externalized_; }
+
+  // Eventual-consistency check (run after quiescing).
+  bool Converged(const TargetStore& target) const {
+    return target.state_hash() == history_->final_hash();
+  }
+
+ private:
+  const SourceHistory* history_;
+  std::uint64_t externalized_ = 0;
+  std::uint64_t anomalies_ = 0;
+};
+
+// Domain invariant from the paper's Section 3.2.1 example: the source first
+// removes member M from group G, then grants G access to document D. Under
+// snapshot-consistent replication the target never simultaneously shows
+// "M in G" and "G can access D". This checker watches for that forbidden
+// conjunction on every externalized target state.
+class AclInvariantChecker {
+ public:
+  AclInvariantChecker(TargetStore* target, common::Key member_key, common::Value member_in,
+                      common::Key acl_key, common::Value acl_granted)
+      : member_key_(std::move(member_key)),
+        member_in_(std::move(member_in)),
+        acl_key_(std::move(acl_key)),
+        acl_granted_(std::move(acl_granted)) {
+    target->AddExternalizeHook([this](const TargetStore& t) {
+      auto member = t.Get(member_key_);
+      auto acl = t.Get(acl_key_);
+      if (member.ok() && *member == member_in_ && acl.ok() && *acl == acl_granted_) {
+        ++violations_;
+      }
+    });
+  }
+
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  common::Key member_key_;
+  common::Value member_in_;
+  common::Key acl_key_;
+  common::Value acl_granted_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace replication
+
+#endif  // SRC_REPLICATION_CHECKER_H_

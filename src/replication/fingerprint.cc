@@ -1,0 +1,27 @@
+#include "replication/target_store.h"
+
+namespace replication {
+
+std::uint64_t EntryFingerprint(const common::Key& key, const common::Value& value) {
+  // FNV-1a over key, a separator that cannot appear via length ambiguity, and
+  // the value. Order-independence comes from XOR-combining entry fingerprints
+  // at the store level, not from this function.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](const std::string& s) {
+    const std::uint64_t len = s.size();
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(len >> (i * 8));
+      h *= 1099511628211ULL;
+    }
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(key);
+  mix(value);
+  // Avoid the degenerate 0 fingerprint (would be invisible under XOR).
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace replication

@@ -1,0 +1,56 @@
+#include "replication/pubsub_replicator.h"
+
+#include "cdc/codec.h"
+
+namespace replication {
+
+PubsubReplicator::PubsubReplicator(sim::Simulator* sim, sim::Network* net,
+                                   pubsub::Broker* broker, std::string topic,
+                                   pubsub::GroupId group, TargetStore* target,
+                                   PubsubReplicationMode mode, PubsubReplicatorOptions options)
+    : sim_(sim), target_(target), mode_(mode) {
+  const std::uint32_t appliers =
+      mode_ == PubsubReplicationMode::kSerial ? 1 : options.appliers;
+  for (std::uint32_t i = 0; i < appliers; ++i) {
+    auto consumer = std::make_unique<pubsub::GroupConsumer>(
+        sim_, net, broker, group, topic, options.applier_prefix + std::to_string(i),
+        [this](pubsub::PartitionId, const pubsub::StoredMessage& m) {
+          return HandleMessage(m);
+        },
+        options.consumer);
+    consumer->Start();
+    appliers_.push_back(std::move(consumer));
+  }
+}
+
+PubsubReplicator::~PubsubReplicator() = default;
+
+bool PubsubReplicator::HandleMessage(const pubsub::StoredMessage& message) {
+  auto event = cdc::DecodeChangeEvent(message.message.value);
+  if (!event.ok()) {
+    ++decode_errors_;
+    return true;  // Ack poison rather than wedging the partition.
+  }
+  ++events_applied_;
+  switch (mode_) {
+    case PubsubReplicationMode::kSerial:
+      // One partition, publish order == commit order: accumulate the
+      // transaction and externalize atomically at its final event.
+      txn_buffer_.push_back(std::move(*event));
+      if (txn_buffer_.back().txn_last) {
+        target_->ApplyBatch(txn_buffer_);
+        txn_buffer_.clear();
+      }
+      break;
+    case PubsubReplicationMode::kConcurrentNaive:
+    case PubsubReplicationMode::kPartitioned:
+      target_->ApplyBlind(*event);
+      break;
+    case PubsubReplicationMode::kConcurrentVersioned:
+      target_->ApplyVersioned(*event);
+      break;
+  }
+  return true;
+}
+
+}  // namespace replication

@@ -1,0 +1,143 @@
+// TargetStore: the destination of cross-store replication (Section 3.2.1) —
+// a simple key-value store with three application disciplines:
+//
+//   * ApplyBlind      — last writer (by arrival order) wins;
+//   * ApplyVersioned  — version checks + tombstones: a mutation applies only
+//                       if its source version exceeds the version recorded
+//                       for the key (the paper's mitigation that fixes
+//                       eventual consistency but not snapshot consistency);
+//   * ApplyBatch      — atomic application of a group of mutations with a
+//                       single externally visible transition (what the
+//                       watch replicator uses at progress frontiers).
+//
+// The store maintains an incremental, order-independent hash of its live
+// contents so checkers can test point-in-time consistency: every externally
+// visible target state should equal SOME state the source actually passed
+// through.
+#ifndef SRC_REPLICATION_TARGET_STORE_H_
+#define SRC_REPLICATION_TARGET_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace replication {
+
+// Order-independent state fingerprint: XOR of per-entry hashes. Two stores
+// hold identical live contents iff (with overwhelming probability) their
+// fingerprints match.
+std::uint64_t EntryFingerprint(const common::Key& key, const common::Value& value);
+
+class TargetStore {
+ public:
+  // Invoked after every externally visible state transition.
+  using ExternalizeHook = std::function<void(const TargetStore&)>;
+
+  TargetStore() = default;
+
+  TargetStore(const TargetStore&) = delete;
+  TargetStore& operator=(const TargetStore&) = delete;
+
+  void ApplyBlind(const common::ChangeEvent& event) {
+    MutateBlind(event);
+    Externalize();
+  }
+
+  void ApplyVersioned(const common::ChangeEvent& event) {
+    auto it = rows_.find(event.key);
+    if (it != rows_.end() && it->second.version >= event.version) {
+      ++version_rejects_;
+      return;  // Stale mutation: version check wins.
+    }
+    Mutate(event.key, event.mutation, event.version, /*keep_tombstone=*/true);
+    Externalize();
+  }
+
+  // Applies all events atomically: one externalized transition.
+  void ApplyBatch(std::span<const common::ChangeEvent> events) {
+    for (const common::ChangeEvent& event : events) {
+      MutateBlind(event);
+    }
+    Externalize();
+  }
+
+  common::Result<common::Value> Get(const common::Key& key) const {
+    auto it = rows_.find(key);
+    if (it == rows_.end() || !it->second.value.has_value()) {
+      return common::Status::NotFound(key);
+    }
+    return *it->second.value;
+  }
+
+  std::vector<std::pair<common::Key, common::Value>> ScanAll() const {
+    std::vector<std::pair<common::Key, common::Value>> out;
+    for (const auto& [key, row] : rows_) {
+      if (row.value.has_value()) {
+        out.emplace_back(key, *row.value);
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t state_hash() const { return hash_; }
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t version_rejects() const { return version_rejects_; }
+  std::uint64_t externalizations() const { return externalizations_; }
+
+  void AddExternalizeHook(ExternalizeHook hook) { hooks_.push_back(std::move(hook)); }
+
+ private:
+  struct Row {
+    std::optional<common::Value> value;  // nullopt: tombstone.
+    common::Version version = common::kNoVersion;
+  };
+
+  void MutateBlind(const common::ChangeEvent& event) {
+    Mutate(event.key, event.mutation, event.version, /*keep_tombstone=*/false);
+  }
+
+  void Mutate(const common::Key& key, const common::Mutation& mutation,
+              common::Version version, bool keep_tombstone) {
+    Row& row = rows_[key];
+    if (row.value.has_value()) {
+      hash_ ^= EntryFingerprint(key, *row.value);
+    }
+    if (mutation.kind == common::MutationKind::kPut) {
+      row.value = mutation.value;
+      row.version = version;
+      hash_ ^= EntryFingerprint(key, mutation.value);
+    } else if (keep_tombstone) {
+      row.value = std::nullopt;
+      row.version = version;
+    } else {
+      // Blind mode drops the row record entirely (no tombstone memory).
+      rows_.erase(key);
+    }
+    ++applied_;
+  }
+
+  void Externalize() {
+    ++externalizations_;
+    for (const ExternalizeHook& hook : hooks_) {
+      hook(*this);
+    }
+  }
+
+  std::map<common::Key, Row> rows_;
+  std::uint64_t hash_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t version_rejects_ = 0;
+  std::uint64_t externalizations_ = 0;
+  std::vector<ExternalizeHook> hooks_;
+};
+
+}  // namespace replication
+
+#endif  // SRC_REPLICATION_TARGET_STORE_H_

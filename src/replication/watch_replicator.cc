@@ -1,0 +1,132 @@
+#include "replication/watch_replicator.h"
+
+#include <algorithm>
+
+namespace replication {
+
+// One watched shard: forwards events/progress/resync to the replicator.
+class WatchReplicator::ShardWatcher : public watch::WatchCallback {
+ public:
+  ShardWatcher(WatchReplicator* owner, std::size_t index, common::KeyRange range)
+      : owner_(owner), index_(index), range_(std::move(range)) {}
+
+  void WatchFromVersion(common::Version version) {
+    handle_ = owner_->watchable_->WatchFrom(range_.low, range_.high, version, this, "");
+    ready_ = true;
+  }
+
+  void OnEvent(const watch::ChangeEvent& event) override { owner_->OnShardEvent(event); }
+  void OnProgress(const watch::ProgressEvent& event) override {
+    owner_->OnShardProgress(index_, event.version);
+  }
+  void OnResync() override { owner_->OnShardResync(index_); }
+
+  const common::KeyRange& range() const { return range_; }
+  bool ready() const { return ready_; }
+  common::Version progress = common::kNoVersion;
+
+ private:
+  WatchReplicator* owner_;
+  std::size_t index_;
+  common::KeyRange range_;
+  std::unique_ptr<watch::WatchHandle> handle_;
+  bool ready_ = false;
+};
+
+WatchReplicator::WatchReplicator(sim::Simulator* sim, watch::NodeAwareWatchable* watchable,
+                                 const watch::SnapshotSource* source, TargetStore* target,
+                                 std::vector<common::KeyRange> shards,
+                                 WatchReplicatorOptions options)
+    : sim_(sim), watchable_(watchable), source_(source), target_(target), options_(options) {
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards_.push_back(std::make_unique<ShardWatcher>(this, i, shards[i]));
+  }
+}
+
+WatchReplicator::~WatchReplicator() = default;
+
+void WatchReplicator::Start() {
+  // Bootstrap with ONE snapshot spanning every shard, so the target's very
+  // first externalized state is a source state, then watch each shard from
+  // that common version.
+  sim_->After(options_.resync_delay, [this] {
+    auto snap = source_->ReadSnapshot(common::KeyRange::All());
+    if (!snap.ok()) {
+      sim_->After(options_.resync_delay, [this] { Start(); });
+      return;
+    }
+    std::vector<common::ChangeEvent> bootstrap;
+    bootstrap.reserve(snap->entries.size());
+    for (storage::Entry& e : snap->entries) {
+      bootstrap.push_back(common::ChangeEvent{std::move(e.key),
+                                              common::Mutation::Put(std::move(e.value)),
+                                              snap->version, true});
+    }
+    target_->ApplyBatch(bootstrap);
+    events_applied_ += bootstrap.size();
+    applied_version_ = snap->version;
+    for (auto& shard : shards_) {
+      shard->progress = snap->version;
+      shard->WatchFromVersion(snap->version);
+    }
+    apply_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.apply_period,
+                                                      [this] { AdvanceFrontier(); });
+  });
+}
+
+void WatchReplicator::OnShardEvent(const common::ChangeEvent& event) {
+  if (event.version <= applied_version_) {
+    return;  // Duplicate from a session overlap: already applied.
+  }
+  pending_[event.version].push_back(event);
+}
+
+void WatchReplicator::OnShardProgress(std::size_t shard_index, common::Version version) {
+  shards_[shard_index]->progress = std::max(shards_[shard_index]->progress, version);
+}
+
+void WatchReplicator::OnShardResync(std::size_t shard_index) {
+  // The shard fell behind the watch system's retained window. Re-snapshot
+  // just that range and resume. The cross-range apply frontier stalls while
+  // this happens, so the target never externalizes a torn state.
+  ++resyncs_;
+  ShardWatcher* shard = shards_[shard_index].get();
+  sim_->After(options_.resync_delay, [this, shard] {
+    auto snap = source_->ReadSnapshot(shard->range());
+    if (!snap.ok()) {
+      return;
+    }
+    // Stage the snapshot contents as pending events at the snapshot version;
+    // they apply when the global frontier reaches them.
+    for (storage::Entry& e : snap->entries) {
+      pending_[snap->version].push_back(common::ChangeEvent{
+          std::move(e.key), common::Mutation::Put(std::move(e.value)), snap->version, true});
+    }
+    shard->progress = std::max(shard->progress, snap->version);
+    shard->WatchFromVersion(snap->version);
+  });
+}
+
+void WatchReplicator::AdvanceFrontier() {
+  common::Version frontier = common::kMaxVersion;
+  for (const auto& shard : shards_) {
+    if (!shard->ready()) {
+      return;  // A shard is resyncing: hold the frontier.
+    }
+    frontier = std::min(frontier, shard->progress);
+  }
+  if (frontier == common::kMaxVersion || frontier <= applied_version_) {
+    return;
+  }
+  // Apply every buffered version at or below the frontier, one atomic batch
+  // per source commit, in version order.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first <= frontier) {
+    target_->ApplyBatch(it->second);
+    events_applied_ += it->second.size();
+    it = pending_.erase(it);
+  }
+  applied_version_ = frontier;
+}
+
+}  // namespace replication

@@ -1,0 +1,327 @@
+#include "sharding/autosharder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sharding {
+
+AutoSharder::AutoSharder(sim::Simulator* sim, sim::Network* net, SharderOptions options)
+    : sim_(sim), net_(net), options_(options) {
+  shards_.emplace(common::Key(), Shard{});  // One ownerless shard covering everything.
+  rebalance_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.rebalance_period,
+                                                        [this] { RebalanceNow(); });
+}
+
+AutoSharder::~AutoSharder() = default;
+
+common::KeyRange AutoSharder::RangeOf(std::map<common::Key, Shard>::const_iterator it) const {
+  auto next = std::next(it);
+  return common::KeyRange{it->first, next == shards_.end() ? common::Key() : next->first};
+}
+
+std::map<common::Key, AutoSharder::Shard>::iterator AutoSharder::ShardIter(
+    const common::Key& key) {
+  auto it = shards_.upper_bound(key);
+  assert(it != shards_.begin());
+  return std::prev(it);
+}
+
+void AutoSharder::AddWorker(const WorkerId& worker) {
+  workers_.insert(worker);
+  // Bootstrap: if any shard is ownerless (and not in a lease gap —
+  // bootstrapping precedes leasing), give it to the new worker immediately so
+  // a fresh deployment does not wait a full rebalance period.
+  bool assigned_any = false;
+  for (auto& [low, shard] : shards_) {
+    if (!shard.owner.has_value() && shard.generation == 0) {
+      AssignShard(low, worker);
+      assigned_any = true;
+    }
+  }
+  (void)assigned_any;
+}
+
+void AutoSharder::RemoveWorker(const WorkerId& worker) {
+  workers_.erase(worker);
+}
+
+std::vector<WorkerId> AutoSharder::Workers() const {
+  return {workers_.begin(), workers_.end()};
+}
+
+std::optional<WorkerId> AutoSharder::Owner(const common::Key& key) const {
+  auto it = shards_.upper_bound(key);
+  assert(it != shards_.begin());
+  return std::prev(it)->second.owner;
+}
+
+ShardInfo AutoSharder::ShardFor(const common::Key& key) const {
+  auto it = shards_.upper_bound(key);
+  assert(it != shards_.begin());
+  --it;
+  return ShardInfo{RangeOf(it), it->second.owner, it->second.generation, it->second.load};
+}
+
+std::vector<ShardInfo> AutoSharder::Shards() const {
+  std::vector<ShardInfo> out;
+  out.reserve(shards_.size());
+  for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+    out.push_back(ShardInfo{RangeOf(it), it->second.owner, it->second.generation,
+                            it->second.load});
+  }
+  return out;
+}
+
+void AutoSharder::ReportLoad(const common::Key& key, double amount) {
+  auto it = ShardIter(key);
+  Shard& shard = it->second;
+  shard.load += amount;
+  if (shard.samples.size() < options_.max_samples) {
+    shard.samples.push_back(key);
+  } else {
+    // Reservoir sampling keeps the sample set representative of recent load.
+    const std::uint64_t slot = sim_->rng().Below(options_.max_samples * 4);
+    if (slot < options_.max_samples) {
+      shard.samples[slot] = key;
+    }
+  }
+}
+
+std::uint64_t AutoSharder::Subscribe(Listener listener, common::TimeMicros latency) {
+  const std::uint64_t id = next_subscriber_id_++;
+  subscribers_.push_back(Subscriber{id, std::move(listener), latency});
+  return id;
+}
+
+void AutoSharder::Unsubscribe(std::uint64_t id) {
+  subscribers_.erase(std::remove_if(subscribers_.begin(), subscribers_.end(),
+                                    [id](const Subscriber& s) { return s.id == id; }),
+                     subscribers_.end());
+}
+
+void AutoSharder::NotifyChange(const common::KeyRange& range,
+                               const std::optional<WorkerId>& owner, Generation generation) {
+  for (const Subscriber& sub : subscribers_) {
+    sim_->After(sub.latency, [listener = sub.listener, range, owner, generation] {
+      listener(range, owner, generation);
+    });
+  }
+}
+
+void AutoSharder::AssignShard(const common::Key& low, const std::optional<WorkerId>& owner) {
+  auto it = shards_.find(low);
+  assert(it != shards_.end());
+  it->second.owner = owner;
+  it->second.generation = ++generation_;
+  NotifyChange(RangeOf(it), owner, it->second.generation);
+}
+
+void AutoSharder::MoveShard(const common::Key& key_in_shard, const WorkerId& to) {
+  auto it = ShardIter(key_in_shard);
+  const common::Key low = it->first;
+  if (it->second.owner == std::optional<WorkerId>(to)) {
+    return;
+  }
+  ++moves_;
+  if (options_.lease_duration > 0 && it->second.owner.has_value()) {
+    // Lease protocol: revoke now; the new owner takes over only after the old
+    // owner's lease has surely expired.
+    AssignShard(low, std::nullopt);
+    sim_->After(options_.lease_duration, [this, low, to] {
+      auto shard = shards_.find(low);
+      // The shard may have been split/merged meanwhile; assign only if the
+      // boundary still exists and is still ownerless.
+      if (shard != shards_.end() && !shard->second.owner.has_value()) {
+        AssignShard(low, to);
+      }
+    });
+  } else {
+    AssignShard(low, to);
+  }
+}
+
+std::map<WorkerId, double> AutoSharder::WorkerLoads() const {
+  // Only live workers are assignment candidates; a dead worker's shards show
+  // up as orphaned instead.
+  std::map<WorkerId, double> loads;
+  for (const WorkerId& w : workers_) {
+    if (net_->IsUp(w)) {
+      loads[w] = 0;
+    }
+  }
+  for (const auto& [low, shard] : shards_) {
+    if (shard.owner.has_value() && loads.count(*shard.owner) > 0) {
+      loads[*shard.owner] += shard.load;
+    }
+  }
+  return loads;
+}
+
+WorkerId AutoSharder::LeastLoadedWorker(const std::map<WorkerId, double>& loads) const {
+  assert(!loads.empty());
+  auto best = loads.begin();
+  for (auto it = loads.begin(); it != loads.end(); ++it) {
+    if (it->second < best->second) {
+      best = it;
+    }
+  }
+  return best->first;
+}
+
+bool AutoSharder::TrySplit(const common::Key& low) {
+  auto it = shards_.find(low);
+  if (it == shards_.end()) {
+    return false;
+  }
+  Shard& shard = it->second;
+  if (shard.samples.size() < 2) {
+    return false;
+  }
+  std::vector<common::Key> samples = shard.samples;
+  std::sort(samples.begin(), samples.end());
+  const common::Key split_point = samples[samples.size() / 2];
+  if (split_point <= low) {
+    return false;  // Degenerate: all load on the lowest key.
+  }
+  auto next = std::next(it);
+  if (next != shards_.end() && split_point >= next->first) {
+    return false;
+  }
+  // Split: the upper half becomes a new shard with the same owner.
+  Shard upper;
+  upper.owner = shard.owner;
+  upper.generation = ++generation_;
+  upper.load = shard.load / 2;
+  shard.load /= 2;
+  // Partition samples between the halves.
+  std::vector<common::Key> lower_samples;
+  for (common::Key& s : shard.samples) {
+    if (s < split_point) {
+      lower_samples.push_back(std::move(s));
+    } else {
+      upper.samples.push_back(std::move(s));
+    }
+  }
+  shard.samples = std::move(lower_samples);
+  auto inserted = shards_.emplace(split_point, std::move(upper)).first;
+  ++splits_;
+  NotifyChange(RangeOf(inserted), inserted->second.owner, inserted->second.generation);
+  return true;
+}
+
+void AutoSharder::RebalanceNow() {
+  if (workers_.empty()) {
+    return;
+  }
+  // Pass 1: reassign shards owned by dead/removed workers.
+  std::map<WorkerId, double> loads = WorkerLoads();
+  if (loads.empty()) {
+    return;  // No live workers to assign to.
+  }
+  std::vector<common::Key> orphaned;
+  for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+    const Shard& shard = it->second;
+    const bool dead_owner = shard.owner.has_value() &&
+                            (workers_.count(*shard.owner) == 0 || !net_->IsUp(*shard.owner));
+    const bool never_assigned = !shard.owner.has_value() && shard.generation == 0;
+    if (dead_owner || never_assigned) {
+      orphaned.push_back(it->first);
+    }
+  }
+  for (const common::Key& low : orphaned) {
+    const WorkerId target = LeastLoadedWorker(loads);
+    loads[target] += shards_[low].load;
+    ++moves_;
+    AssignShard(low, target);  // Dead-owner handoff: no lease wait (owner is gone).
+  }
+
+  // Pass 2: split hot shards.
+  std::vector<common::Key> hot;
+  for (const auto& [low, shard] : shards_) {
+    if (shard.load > options_.split_threshold) {
+      hot.push_back(low);
+    }
+  }
+  for (const common::Key& low : hot) {
+    TrySplit(low);
+  }
+
+  // Pass 3: level load across live workers by moving shards off the most
+  // loaded worker while it exceeds mean * imbalance_factor.
+  for (int iter = 0; iter < 8; ++iter) {
+    loads = WorkerLoads();
+    if (loads.empty()) {
+      break;
+    }
+    double total = 0;
+    for (const auto& [w, l] : loads) {
+      total += l;
+    }
+    const double mean = total / static_cast<double>(loads.size());
+    auto hottest = std::max_element(loads.begin(), loads.end(),
+                                    [](const auto& a, const auto& b) {
+                                      return a.second < b.second;
+                                    });
+    if (mean <= 0 || hottest->second <= mean * options_.imbalance_factor) {
+      break;
+    }
+    // Move the hottest worker's lightest shard that still helps.
+    const WorkerId overloaded = hottest->first;
+    common::Key best_low;
+    double best_load = -1;
+    for (const auto& [low, shard] : shards_) {
+      if (shard.owner == std::optional<WorkerId>(overloaded) && shard.load > best_load) {
+        best_load = shard.load;
+        best_low = low;
+      }
+    }
+    if (best_load < 0) {
+      break;
+    }
+    const WorkerId target = LeastLoadedWorker(loads);
+    if (target == overloaded) {
+      break;
+    }
+    MoveShard(best_low, target);
+  }
+
+  // Pass 4: merge cold adjacent shards so the table tracks load, not history.
+  if (options_.merge_threshold > 0) {
+    MergeColdShards();
+  }
+
+  // Pass 5: decay load so balancing tracks recent traffic.
+  for (auto& [low, shard] : shards_) {
+    shard.load *= options_.load_decay;
+  }
+}
+
+void AutoSharder::MergeColdShards() {
+  auto it = shards_.begin();
+  while (it != shards_.end() && shards_.size() > options_.min_shards) {
+    auto next = std::next(it);
+    if (next == shards_.end()) {
+      break;
+    }
+    Shard& a = it->second;
+    Shard& b = next->second;
+    const bool same_owner = a.owner.has_value() && a.owner == b.owner;
+    if (!same_owner || a.load + b.load > options_.merge_threshold) {
+      ++it;
+      continue;
+    }
+    // Merge b into a: the combined shard keeps a's lower bound.
+    a.load += b.load;
+    for (common::Key& sample : b.samples) {
+      if (a.samples.size() < options_.max_samples) {
+        a.samples.push_back(std::move(sample));
+      }
+    }
+    a.generation = ++generation_;
+    shards_.erase(next);
+    NotifyChange(RangeOf(it), a.owner, a.generation);
+    // Re-examine the same shard against its new right neighbour.
+  }
+}
+
+}  // namespace sharding

@@ -1,0 +1,159 @@
+// AutoSharder: dynamic key-range -> worker assignment in the style of Slicer
+// (OSDI '16) / Shard Manager (SOSP '21), which the paper cites as the
+// auto-sharding substrate for caches and workers ([3, 27]).
+//
+// The sharder owns an authoritative assignment table of contiguous key-range
+// shards. It rebalances periodically: shards owned by dead workers are
+// reassigned, hot shards are split at a sampled median key, and load is
+// levelled by moving shards from overloaded to underloaded workers.
+//
+// Subscribers (cache pods, workers, a pubsub control plane, a watch system)
+// learn about reassignments via listener callbacks delivered after a
+// per-subscriber latency. Different subscribers therefore observe the *same*
+// move at *different* times — exactly the disagreement window that produces
+// the Figure 2 missed-invalidation race.
+//
+// Optional leasing reproduces Section 3.2.2's trade-off: with a lease
+// duration configured, a moved shard has *no* owner until the old owner's
+// lease expires, trading correctness for an availability gap.
+#ifndef SRC_SHARDING_AUTOSHARDER_H_
+#define SRC_SHARDING_AUTOSHARDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sharding {
+
+using WorkerId = sim::NodeId;
+using Generation = std::uint64_t;
+
+struct ShardInfo {
+  common::KeyRange range;
+  std::optional<WorkerId> owner;  // nullopt: no owner (lease gap).
+  Generation generation = 0;
+  double load = 0;
+};
+
+struct SharderOptions {
+  common::TimeMicros rebalance_period = 1 * common::kMicrosPerSecond;
+  // A shard hotter than this (load units per rebalance period) is split.
+  double split_threshold = 1000;
+  // Move shards when a worker's load exceeds mean * imbalance_factor.
+  double imbalance_factor = 1.5;
+  // Exponential decay applied to shard load each rebalance.
+  double load_decay = 0.5;
+  // > 0 enables leasing: a moved shard is ownerless for this long.
+  common::TimeMicros lease_duration = 0;
+  // Load samples retained per shard for split-point selection.
+  std::size_t max_samples = 64;
+  // Adjacent same-owner shards whose combined load is below this are merged,
+  // keeping the assignment table proportional to actual load skew rather
+  // than historical splits. 0 disables merging.
+  double merge_threshold = 0;
+  // Never merge below this many shards (keeps some parallelism).
+  std::size_t min_shards = 1;
+};
+
+class AutoSharder {
+ public:
+  // Assignment-change notification: `owner` is nullopt during a lease gap.
+  // Invoked once per affected shard, after the subscriber's latency.
+  using Listener =
+      std::function<void(const common::KeyRange&, const std::optional<WorkerId>&, Generation)>;
+
+  AutoSharder(sim::Simulator* sim, sim::Network* net, SharderOptions options = {});
+  ~AutoSharder();
+
+  AutoSharder(const AutoSharder&) = delete;
+  AutoSharder& operator=(const AutoSharder&) = delete;
+
+  // -- Workers ------------------------------------------------------------------
+
+  // Registers a worker; newly added workers pick up shards at the next
+  // rebalance (or immediately if nothing is assigned yet).
+  void AddWorker(const WorkerId& worker);
+  void RemoveWorker(const WorkerId& worker);
+  std::vector<WorkerId> Workers() const;
+
+  // -- Assignment queries ---------------------------------------------------------
+
+  // The authoritative current owner of `key` (nullopt during a lease gap).
+  std::optional<WorkerId> Owner(const common::Key& key) const;
+  ShardInfo ShardFor(const common::Key& key) const;
+  std::vector<ShardInfo> Shards() const;
+  Generation generation() const { return generation_; }
+
+  // -- Load & rebalancing -----------------------------------------------------------
+
+  // Reports load on a key (e.g. one request = 1.0).
+  void ReportLoad(const common::Key& key, double amount = 1.0);
+
+  // Runs one rebalance pass now (also runs periodically).
+  void RebalanceNow();
+
+  // Explicit move, for tests and experiments. Honors leasing.
+  void MoveShard(const common::Key& key_in_shard, const WorkerId& to);
+
+  // -- Subscriptions ---------------------------------------------------------------
+
+  // Subscribes to assignment changes; notifications arrive `latency` after
+  // each change. Returns a subscriber id.
+  std::uint64_t Subscribe(Listener listener, common::TimeMicros latency);
+  void Unsubscribe(std::uint64_t id);
+
+  // Harness metrics.
+  std::uint64_t moves() const { return moves_; }
+  std::uint64_t splits() const { return splits_; }
+
+ private:
+  struct Shard {
+    // `high` is implied by the next map key (or +inf for the last shard).
+    std::optional<WorkerId> owner;
+    Generation generation = 0;
+    double load = 0;
+    std::vector<common::Key> samples;  // Reservoir for split-point selection.
+  };
+
+  struct Subscriber {
+    std::uint64_t id;
+    Listener listener;
+    common::TimeMicros latency;
+  };
+
+  common::KeyRange RangeOf(std::map<common::Key, Shard>::const_iterator it) const;
+  std::map<common::Key, Shard>::iterator ShardIter(const common::Key& key);
+  void AssignShard(const common::Key& low, const std::optional<WorkerId>& owner);
+  void NotifyChange(const common::KeyRange& range, const std::optional<WorkerId>& owner,
+                    Generation generation);
+  std::map<WorkerId, double> WorkerLoads() const;
+  WorkerId LeastLoadedWorker(const std::map<WorkerId, double>& loads) const;
+  bool TrySplit(const common::Key& low);
+  void MergeColdShards();
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  SharderOptions options_;
+  std::set<WorkerId> workers_;
+  std::map<common::Key, Shard> shards_;  // Keyed by shard low bound; tiles the key space.
+  Generation generation_ = 0;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t next_subscriber_id_ = 1;
+  std::uint64_t moves_ = 0;
+  std::uint64_t splits_ = 0;
+  std::unique_ptr<sim::PeriodicTask> rebalance_task_;
+};
+
+}  // namespace sharding
+
+#endif  // SRC_SHARDING_AUTOSHARDER_H_

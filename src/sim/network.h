@@ -1,0 +1,139 @@
+// A simulated datacenter network: named nodes with up/down state, per-message
+// latency (base + jitter), partitions, and drop accounting. Components send
+// closures to each other; a delivered closure runs at the destination after
+// the sampled latency, and is dropped (counted) if the destination is down or
+// partitioned from the sender at delivery time.
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace sim {
+
+using NodeId = std::string;
+
+struct LatencyModel {
+  common::TimeMicros base = 200;    // One-way base latency.
+  common::TimeMicros jitter = 100;  // Uniform extra in [0, jitter].
+};
+
+class Network {
+ public:
+  explicit Network(Simulator* sim, LatencyModel latency = {})
+      : sim_(sim), latency_(latency) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void AddNode(const NodeId& node) { up_[node] = true; }
+
+  bool IsUp(const NodeId& node) const {
+    auto it = up_.find(node);
+    return it != up_.end() && it->second;
+  }
+
+  void SetUp(const NodeId& node, bool is_up) { up_[node] = is_up; }
+
+  // Severs connectivity between two nodes (both directions).
+  void Partition(const NodeId& a, const NodeId& b) { partitions_.insert(Edge(a, b)); }
+  void Heal(const NodeId& a, const NodeId& b) { partitions_.erase(Edge(a, b)); }
+
+  bool Reachable(const NodeId& from, const NodeId& to) const {
+    return IsUp(from) && IsUp(to) && partitions_.count(Edge(from, to)) == 0;
+  }
+
+  // Sends `handler` from `from` to `to`. The handler runs after the sampled
+  // latency if the destination is reachable from the sender both now and at
+  // delivery time; otherwise the message is dropped and counted.
+  void Send(const NodeId& from, const NodeId& to, std::function<void()> handler) {
+    if (!Reachable(from, to)) {
+      ++dropped_;
+      return;
+    }
+    const common::TimeMicros lat = SampleLatency();
+    sim_->After(lat, [this, from, to, h = std::move(handler)] {
+      if (!Reachable(from, to)) {
+        ++dropped_;
+        return;
+      }
+      h();
+    });
+    ++sent_;
+  }
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  common::TimeMicros SampleLatency() {
+    common::TimeMicros lat = latency_.base;
+    if (latency_.jitter > 0) {
+      lat += static_cast<common::TimeMicros>(
+          sim_->rng().Below(static_cast<std::uint64_t>(latency_.jitter) + 1));
+    }
+    return lat;
+  }
+
+ private:
+  static std::pair<NodeId, NodeId> Edge(const NodeId& a, const NodeId& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  Simulator* sim_;
+  LatencyModel latency_;
+  std::unordered_map<NodeId, bool> up_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// Schedules a crash + restart for a node, invoking the component's lifecycle
+// callbacks so it can discard in-memory state and re-join.
+class FailureInjector {
+ public:
+  FailureInjector(Simulator* sim, Network* net) : sim_(sim), net_(net) {}
+
+  struct Hooks {
+    std::function<void()> on_crash;
+    std::function<void()> on_restart;
+  };
+
+  void Register(const NodeId& node, Hooks hooks) { hooks_[node] = std::move(hooks); }
+
+  // Crashes `node` at `at`, restarting it `downtime` later (no restart if
+  // downtime < 0).
+  void ScheduleCrash(const NodeId& node, common::TimeMicros at, common::TimeMicros downtime) {
+    sim_->At(at, [this, node, downtime] {
+      net_->SetUp(node, false);
+      auto it = hooks_.find(node);
+      if (it != hooks_.end() && it->second.on_crash) {
+        it->second.on_crash();
+      }
+      if (downtime >= 0) {
+        sim_->After(downtime, [this, node] {
+          net_->SetUp(node, true);
+          auto h = hooks_.find(node);
+          if (h != hooks_.end() && h->second.on_restart) {
+            h->second.on_restart();
+          }
+        });
+      }
+    });
+  }
+
+ private:
+  Simulator* sim_;
+  Network* net_;
+  std::unordered_map<NodeId, Hooks> hooks_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_NETWORK_H_

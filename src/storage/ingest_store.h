@@ -1,0 +1,142 @@
+// IngestStore: an append-optimized event store (the paper's "ingestion
+// storage" — think time-series DB / structured store used for event ingestion
+// and fanout, Section 2 and Figure 3). Producers insert immutable events;
+// consumers query by key range and version range, or attach to the live
+// commit feed (which can drive a built-in or external watch layer).
+//
+// Unlike a pubsub log, retention here is a property of an explicit store with
+// a queryable API: a lagging consumer can always re-read whatever is retained,
+// and discover exactly where retained history begins (MinRetainedVersion).
+#ifndef SRC_STORAGE_INGEST_STORE_H_
+#define SRC_STORAGE_INGEST_STORE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/oracle.h"
+
+namespace storage {
+
+struct IngestEvent {
+  common::Key key;
+  common::Value payload;
+  common::Version version = common::kNoVersion;
+  common::TimeMicros ingest_time = 0;
+
+  friend bool operator==(const IngestEvent&, const IngestEvent&) = default;
+};
+
+class IngestStore {
+ public:
+  using EventObserver = std::function<void(const IngestEvent&)>;
+
+  explicit IngestStore(std::string name = "ingest") : name_(std::move(name)) {}
+
+  IngestStore(const IngestStore&) = delete;
+  IngestStore& operator=(const IngestStore&) = delete;
+
+  const std::string& name() const { return name_; }
+  common::Version LatestVersion() const { return oracle_.last(); }
+  common::Version MinRetainedVersion() const { return min_retained_; }
+  std::size_t EventCount() const { return log_.size(); }
+
+  // Appends an event, assigning it the next version. `now` stamps the event
+  // for time-based retention.
+  common::Version Append(common::Key key, common::Value payload, common::TimeMicros now) {
+    IngestEvent ev;
+    ev.key = std::move(key);
+    ev.payload = std::move(payload);
+    ev.version = oracle_.Allocate();
+    ev.ingest_time = now;
+    for (const EventObserver& obs : observers_) {
+      obs(ev);
+    }
+    log_.push_back(std::move(ev));
+    return log_.back().version;
+  }
+
+  // Events with key in `range` and version in (after_version, up_to_version],
+  // in version order. Fails with kOutOfRange if `after_version` precedes
+  // retained history (the caller must fall back to ScanLatest + resume).
+  common::Result<std::vector<IngestEvent>> Query(const common::KeyRange& range,
+                                                 common::Version after_version,
+                                                 common::Version up_to_version,
+                                                 std::size_t limit = 0) const {
+    if (after_version + 1 < min_retained_) {
+      return common::Status::OutOfRange("requested events below retained history");
+    }
+    std::vector<IngestEvent> out;
+    for (const IngestEvent& ev : log_) {
+      if (ev.version <= after_version) {
+        continue;
+      }
+      if (ev.version > up_to_version) {
+        break;
+      }
+      if (range.Contains(ev.key)) {
+        out.push_back(ev);
+        if (limit != 0 && out.size() >= limit) {
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // The latest retained event per key in `range` — the "current state"
+  // snapshot a resyncing consumer reads. Returned entries are in key order;
+  // the snapshot is consistent as of LatestVersion().
+  std::vector<IngestEvent> ScanLatest(const common::KeyRange& range) const {
+    std::map<common::Key, const IngestEvent*> latest;
+    for (const IngestEvent& ev : log_) {
+      if (range.Contains(ev.key)) {
+        latest[ev.key] = &ev;
+      }
+    }
+    std::vector<IngestEvent> out;
+    out.reserve(latest.size());
+    for (const auto& [key, ev] : latest) {
+      out.push_back(*ev);
+    }
+    return out;
+  }
+
+  // Drops events older than `horizon`, except the latest event per key (the
+  // store keeps current state queryable even after raw history ages out).
+  void RetainAfter(common::TimeMicros horizon) {
+    std::map<common::Key, common::Version> latest_version;
+    for (const IngestEvent& ev : log_) {
+      latest_version[ev.key] = ev.version;
+    }
+    std::deque<IngestEvent> kept;
+    for (IngestEvent& ev : log_) {
+      const bool is_latest = latest_version[ev.key] == ev.version;
+      if (ev.ingest_time >= horizon || is_latest) {
+        kept.push_back(std::move(ev));
+      } else if (ev.version >= min_retained_) {
+        min_retained_ = ev.version + 1;
+      }
+    }
+    log_ = std::move(kept);
+  }
+
+  // Live feed of appended events (e.g. for a watch ingester).
+  void AddEventObserver(EventObserver observer) { observers_.push_back(std::move(observer)); }
+
+ private:
+  std::string name_;
+  TimestampOracle oracle_;
+  std::deque<IngestEvent> log_;  // Version order.
+  common::Version min_retained_ = common::kNoVersion;
+  std::vector<EventObserver> observers_;
+};
+
+}  // namespace storage
+
+#endif  // SRC_STORAGE_INGEST_STORE_H_

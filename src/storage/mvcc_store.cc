@@ -1,0 +1,138 @@
+#include "storage/mvcc_store.h"
+
+#include <algorithm>
+
+namespace storage {
+
+common::Result<common::Value> MvccStore::Get(const common::Key& key,
+                                             common::Version version) const {
+  if (version < gc_watermark_) {
+    return common::Status::OutOfRange("snapshot version below GC watermark");
+  }
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    return common::Status::NotFound(key);
+  }
+  const std::vector<Cell>& history = it->second;
+  // Find the last cell with cell.version <= version.
+  auto pos = std::upper_bound(
+      history.begin(), history.end(), version,
+      [](common::Version v, const Cell& c) { return v < c.version; });
+  if (pos == history.begin()) {
+    return common::Status::NotFound("no value at or before requested version");
+  }
+  --pos;
+  if (!pos->value.has_value()) {
+    return common::Status::NotFound("deleted");
+  }
+  return *pos->value;
+}
+
+common::Result<std::vector<Entry>> MvccStore::Scan(const common::KeyRange& range,
+                                                   common::Version version,
+                                                   std::size_t limit) const {
+  if (version < gc_watermark_) {
+    return common::Status::OutOfRange("snapshot version below GC watermark");
+  }
+  std::vector<Entry> out;
+  auto it = cells_.lower_bound(range.low);
+  for (; it != cells_.end(); ++it) {
+    if (!range.unbounded_above() && it->first >= range.high) {
+      break;
+    }
+    const std::vector<Cell>& history = it->second;
+    auto pos = std::upper_bound(
+        history.begin(), history.end(), version,
+        [](common::Version v, const Cell& c) { return v < c.version; });
+    if (pos == history.begin()) {
+      continue;
+    }
+    --pos;
+    if (!pos->value.has_value()) {
+      continue;
+    }
+    out.push_back(Entry{it->first, *pos->value, pos->version});
+    if (limit != 0 && out.size() >= limit) {
+      break;
+    }
+  }
+  return out;
+}
+
+common::Result<common::Value> MvccStore::TxnGet(Transaction& txn, const common::Key& key) const {
+  txn.reads_[key] = KeyVersion(key);
+  return Get(key, txn.snapshot_);
+}
+
+common::Version MvccStore::KeyVersion(const common::Key& key) const {
+  auto it = cells_.find(key);
+  if (it == cells_.end() || it->second.empty()) {
+    return common::kNoVersion;
+  }
+  return it->second.back().version;
+}
+
+common::Result<common::Version> MvccStore::Commit(Transaction txn) {
+  if (!txn.began_) {
+    return common::Status::FailedPrecondition("transaction was not started with Begin()");
+  }
+  // OCC validation: every key read must still be at the version observed.
+  for (const auto& [key, seen_version] : txn.reads_) {
+    if (KeyVersion(key) != seen_version) {
+      return common::Status::Aborted("read-write conflict on key " + key);
+    }
+  }
+  if (txn.writes_.empty()) {
+    return txn.snapshot_;  // Read-only transactions commit at their snapshot.
+  }
+  const common::Version version = oracle_.Allocate();
+  CommitRecord record;
+  record.version = version;
+  record.changes.reserve(txn.writes_.size());
+  for (auto& [key, mutation] : txn.writes_) {
+    std::vector<Cell>& history = cells_[key];
+    if (mutation.kind == common::MutationKind::kPut) {
+      history.push_back(Cell{version, mutation.value});
+    } else {
+      history.push_back(Cell{version, std::nullopt});
+    }
+    record.changes.push_back(common::ChangeEvent{key, mutation, version, /*txn_last=*/false});
+  }
+  record.changes.back().txn_last = true;
+  ++committed_txns_;
+  for (const CommitObserver& obs : observers_) {
+    obs(record);
+  }
+  return version;
+}
+
+void MvccStore::AdvanceGcWatermark(common::Version version) {
+  if (version <= gc_watermark_) {
+    return;
+  }
+  gc_watermark_ = version;
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    std::vector<Cell>& history = it->second;
+    // Keep the last cell with version < watermark (it is the base state at
+    // the watermark) plus everything at or above the watermark.
+    auto first_at_or_above = std::lower_bound(
+        history.begin(), history.end(), gc_watermark_,
+        [](const Cell& c, common::Version v) { return c.version < v; });
+    if (first_at_or_above != history.begin()) {
+      auto base = std::prev(first_at_or_above);
+      if (base != history.begin()) {
+        history.erase(history.begin(), base);
+      }
+    }
+    // Drop keys whose entire (folded) history is a single tombstone below the
+    // watermark: no snapshot at or above the watermark can observe them.
+    if (history.size() == 1 && !history[0].value.has_value() &&
+        history[0].version < gc_watermark_) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace storage

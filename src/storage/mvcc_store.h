@@ -1,0 +1,167 @@
+// MvccStore: the producer storage substrate. A multi-version key-value store
+// with snapshot reads, optimistic transactions committed at oracle-issued
+// monotonic versions, a GC watermark bounding retained history, and commit
+// observers that feed change-data-capture (CDC).
+//
+// This stands in for Spanner / MySQL / TiDB in the paper's architecture
+// (Figure 3, "producer storage"); the monotonic commit version is the paper's
+// Section 4.2 simplifying assumption.
+#ifndef SRC_STORAGE_MVCC_STORE_H_
+#define SRC_STORAGE_MVCC_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/oracle.h"
+
+namespace storage {
+
+// A key-value pair as returned by snapshot reads.
+struct Entry {
+  common::Key key;
+  common::Value value;
+  common::Version version = common::kNoVersion;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+// Everything a single commit changed, in write order, all at one version.
+// txn_last is set on the final event (see common::ChangeEvent).
+struct CommitRecord {
+  common::Version version = common::kNoVersion;
+  std::vector<common::ChangeEvent> changes;
+};
+
+// A read-write transaction under optimistic concurrency control: reads record
+// the version they observed; Commit validates that no read key changed since.
+class Transaction {
+ public:
+  void Put(common::Key key, common::Value value) {
+    writes_[std::move(key)] = common::Mutation::Put(std::move(value));
+  }
+  void Delete(common::Key key) { writes_[std::move(key)] = common::Mutation::Delete(); }
+
+  bool empty() const { return writes_.empty(); }
+
+ private:
+  friend class MvccStore;
+
+  // Keys read, with the store version at read time (for OCC validation).
+  std::map<common::Key, common::Version> reads_;
+  // Writes are buffered and applied atomically at commit. std::map gives a
+  // deterministic event order within the commit.
+  std::map<common::Key, common::Mutation> writes_;
+  common::Version snapshot_ = common::kNoVersion;
+  bool began_ = false;
+};
+
+class MvccStore {
+ public:
+  using CommitObserver = std::function<void(const CommitRecord&)>;
+
+  explicit MvccStore(std::string name = "store") : name_(std::move(name)) {}
+
+  MvccStore(const MvccStore&) = delete;
+  MvccStore& operator=(const MvccStore&) = delete;
+
+  const std::string& name() const { return name_; }
+  TimestampOracle& oracle() { return oracle_; }
+
+  // The version of the latest committed transaction.
+  common::Version LatestVersion() const { return oracle_.last(); }
+
+  // The oldest version at which snapshot reads are still exact. Reading below
+  // this returns kOutOfRange ("snapshot too old").
+  common::Version MinRetainedVersion() const { return gc_watermark_; }
+
+  // -- Snapshot reads ---------------------------------------------------------
+
+  // Value of `key` as of `version` (NotFound if absent or deleted there).
+  common::Result<common::Value> Get(const common::Key& key, common::Version version) const;
+
+  // Latest value of `key`.
+  common::Result<common::Value> GetLatest(const common::Key& key) const {
+    return Get(key, common::kMaxVersion);
+  }
+
+  // All live entries in `range` as of `version`, in key order. `limit` == 0
+  // means unlimited.
+  common::Result<std::vector<Entry>> Scan(const common::KeyRange& range, common::Version version,
+                                          std::size_t limit = 0) const;
+
+  // -- Transactions -----------------------------------------------------------
+
+  // Starts a transaction reading at the current latest version.
+  Transaction Begin() const {
+    Transaction txn;
+    txn.snapshot_ = LatestVersion();
+    txn.began_ = true;
+    return txn;
+  }
+
+  // Transactional read: records the key in the read set for OCC validation.
+  common::Result<common::Value> TxnGet(Transaction& txn, const common::Key& key) const;
+
+  // Commits: validates the read set, allocates a version, applies all writes
+  // atomically, and notifies commit observers. Returns the commit version.
+  // Fails with kAborted on a read-write conflict.
+  common::Result<common::Version> Commit(Transaction txn);
+
+  // Convenience: blind single-key write (no read set).
+  common::Version Apply(common::Key key, common::Mutation mutation) {
+    Transaction txn = Begin();
+    txn.writes_[std::move(key)] = std::move(mutation);
+    auto res = Commit(std::move(txn));
+    return res.value();  // Blind writes cannot conflict.
+  }
+
+  // -- History GC -------------------------------------------------------------
+
+  // Advances the GC watermark: versions strictly below `version` are folded
+  // into a single base version per key. Snapshot reads below the watermark
+  // subsequently fail with kOutOfRange.
+  void AdvanceGcWatermark(common::Version version);
+
+  // -- CDC --------------------------------------------------------------------
+
+  // Registers an observer invoked synchronously, in commit order, with every
+  // commit record. Observers must not re-enter the store's write path.
+  void AddCommitObserver(CommitObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  // -- Introspection -----------------------------------------------------------
+
+  std::size_t KeyCount() const { return cells_.size(); }
+  std::uint64_t CommittedTxns() const { return committed_txns_; }
+
+  // The version of the most recent change to `key` (kNoVersion if never
+  // written). Used by OCC validation and tests.
+  common::Version KeyVersion(const common::Key& key) const;
+
+ private:
+  struct Cell {
+    common::Version version;
+    std::optional<common::Value> value;  // nullopt == tombstone.
+  };
+
+  std::string name_;
+  TimestampOracle oracle_;
+  // Per key: version history, ascending. The vector is small in practice and
+  // periodically folded by GC.
+  std::map<common::Key, std::vector<Cell>> cells_;
+  common::Version gc_watermark_ = common::kNoVersion;
+  std::vector<CommitObserver> observers_;
+  std::uint64_t committed_txns_ = 0;
+};
+
+}  // namespace storage
+
+#endif  // SRC_STORAGE_MVCC_STORE_H_

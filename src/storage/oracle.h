@@ -1,0 +1,25 @@
+// A monotonic timestamp oracle — the paper's "simplifying assumption" that the
+// source of truth has monotonic transaction versions (TrueTime in Spanner, TSO
+// in TiDB, gtid in MySQL). One oracle per authoritative store.
+#ifndef SRC_STORAGE_ORACLE_H_
+#define SRC_STORAGE_ORACLE_H_
+
+#include "common/types.h"
+
+namespace storage {
+
+class TimestampOracle {
+ public:
+  // Returns a fresh version strictly greater than any previously allocated.
+  common::Version Allocate() { return ++last_; }
+
+  // The most recently allocated version (kNoVersion if none).
+  common::Version last() const { return last_; }
+
+ private:
+  common::Version last_ = common::kNoVersion;
+};
+
+}  // namespace storage
+
+#endif  // SRC_STORAGE_ORACLE_H_

@@ -1,0 +1,85 @@
+// StaleReplica: a read-only replica of an MvccStore that applies the commit
+// feed after a configurable lag. Section 4.2.1 of the paper notes that resync
+// snapshots may be read from a (stale) replica to reduce load on the primary;
+// this models that replica.
+#ifndef SRC_STORAGE_REPLICA_H_
+#define SRC_STORAGE_REPLICA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+
+namespace storage {
+
+class StaleReplica {
+ public:
+  // Attaches to `primary`'s commit feed; commits become visible on the
+  // replica `lag` microseconds after they happen on the primary.
+  StaleReplica(sim::Simulator* sim, MvccStore* primary, common::TimeMicros lag)
+      : sim_(sim), lag_(lag) {
+    primary->AddCommitObserver([this](const CommitRecord& record) {
+      sim_->After(lag_, [this, record] { ApplyNow(record); });
+    });
+  }
+
+  StaleReplica(const StaleReplica&) = delete;
+  StaleReplica& operator=(const StaleReplica&) = delete;
+
+  // The highest version applied so far; all reads are served at this version.
+  common::Version AppliedVersion() const { return applied_version_; }
+
+  common::Result<common::Value> Get(const common::Key& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end() || !it->second.has_value()) {
+      return common::Status::NotFound(key);
+    }
+    return *it->second;
+  }
+
+  std::vector<Entry> Scan(const common::KeyRange& range, std::size_t limit = 0) const {
+    std::vector<Entry> out;
+    auto it = data_.lower_bound(range.low);
+    for (; it != data_.end(); ++it) {
+      if (!range.unbounded_above() && it->first >= range.high) {
+        break;
+      }
+      if (!it->second.has_value()) {
+        continue;
+      }
+      out.push_back(Entry{it->first, *it->second, applied_version_});
+      if (limit != 0 && out.size() >= limit) {
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  void ApplyNow(const CommitRecord& record) {
+    for (const common::ChangeEvent& ev : record.changes) {
+      if (ev.mutation.kind == common::MutationKind::kPut) {
+        data_[ev.key] = ev.mutation.value;
+      } else {
+        data_[ev.key] = std::nullopt;
+      }
+    }
+    if (record.version > applied_version_) {
+      applied_version_ = record.version;
+    }
+  }
+
+  sim::Simulator* sim_;
+  common::TimeMicros lag_;
+  std::map<common::Key, std::optional<common::Value>> data_;
+  common::Version applied_version_ = common::kNoVersion;
+};
+
+}  // namespace storage
+
+#endif  // SRC_STORAGE_REPLICA_H_

@@ -1,0 +1,114 @@
+// FilteredView — the paper's Section 4.1 mechanism for hiding producer store
+// internals: the producer exposes "a filtered view that exposes a limited
+// subset of derived values to consumers". A view restricts reads to a key
+// range and applies an optional per-value projection; the same projection is
+// applied to the CDC/watch feed so consumers never observe unexposed state.
+#ifndef SRC_STORAGE_VIEW_H_
+#define SRC_STORAGE_VIEW_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/mvcc_store.h"
+
+namespace storage {
+
+class FilteredView {
+ public:
+  // Projects a stored value to the exposed derived value; returning nullopt
+  // hides the row entirely (row-level filtering).
+  using Projection = std::function<std::optional<common::Value>(const common::Key&,
+                                                                const common::Value&)>;
+
+  FilteredView(const MvccStore* store, common::KeyRange range, Projection projection = nullptr)
+      : store_(store), range_(std::move(range)), projection_(std::move(projection)) {}
+
+  const common::KeyRange& range() const { return range_; }
+  common::Version LatestVersion() const { return store_->LatestVersion(); }
+  common::Version MinRetainedVersion() const { return store_->MinRetainedVersion(); }
+
+  common::Result<common::Value> Get(const common::Key& key, common::Version version) const {
+    if (!range_.Contains(key)) {
+      return common::Status::NotFound("key outside view range");
+    }
+    auto res = store_->Get(key, version);
+    if (!res.ok()) {
+      return res;
+    }
+    return Project(key, std::move(res).value());
+  }
+
+  common::Result<std::vector<Entry>> Scan(const common::KeyRange& scan_range,
+                                          common::Version version,
+                                          std::size_t limit = 0) const {
+    auto res = store_->Scan(scan_range.Intersect(range_), version, limit);
+    if (!res.ok()) {
+      return res;
+    }
+    std::vector<Entry> out;
+    out.reserve(res->size());
+    for (Entry& e : *res) {
+      if (projection_ == nullptr) {
+        out.push_back(std::move(e));
+        continue;
+      }
+      std::optional<common::Value> projected = projection_(e.key, e.value);
+      if (projected.has_value()) {
+        out.push_back(Entry{std::move(e.key), std::move(*projected), e.version});
+      }
+    }
+    return out;
+  }
+
+  // Rewrites a commit record so it only reveals what the view exposes.
+  // Returns nullopt when the commit touches nothing visible through the view.
+  std::optional<CommitRecord> FilterCommit(const CommitRecord& record) const {
+    CommitRecord out;
+    out.version = record.version;
+    for (const common::ChangeEvent& ev : record.changes) {
+      if (!range_.Contains(ev.key)) {
+        continue;
+      }
+      common::ChangeEvent filtered = ev;
+      filtered.txn_last = false;
+      if (ev.mutation.kind == common::MutationKind::kPut && projection_ != nullptr) {
+        std::optional<common::Value> projected = projection_(ev.key, ev.mutation.value);
+        if (!projected.has_value()) {
+          continue;  // Row hidden by the view.
+        }
+        filtered.mutation = common::Mutation::Put(std::move(*projected));
+      }
+      out.changes.push_back(std::move(filtered));
+    }
+    if (out.changes.empty()) {
+      return std::nullopt;
+    }
+    out.changes.back().txn_last = true;
+    return out;
+  }
+
+ private:
+  common::Result<common::Value> Project(const common::Key& key, common::Value value) const {
+    if (projection_ == nullptr) {
+      return value;
+    }
+    std::optional<common::Value> projected = projection_(key, value);
+    if (!projected.has_value()) {
+      return common::Status::NotFound("row hidden by view projection");
+    }
+    return *projected;
+  }
+
+  const MvccStore* store_;
+  common::KeyRange range_;
+  Projection projection_;
+};
+
+}  // namespace storage
+
+#endif  // SRC_STORAGE_VIEW_H_

@@ -1,0 +1,175 @@
+#include "watch/knowledge.h"
+
+#include <algorithm>
+
+namespace watch {
+
+WindowSet UnionWindow(const WindowSet& set, VersionWindow w) {
+  if (w.Empty()) {
+    return set;
+  }
+  WindowSet out;
+  out.reserve(set.size() + 1);
+  bool placed = false;
+  for (const VersionWindow& existing : set) {
+    if (placed) {
+      out.push_back(existing);
+      continue;
+    }
+    // Overlapping or adjacent (w.high + 1 >= existing.low handles adjacency;
+    // guard against overflow at kMaxVersion).
+    const bool mergeable =
+        existing.low <= (w.high == common::kMaxVersion ? w.high : w.high + 1) &&
+        w.low <= (existing.high == common::kMaxVersion ? existing.high : existing.high + 1);
+    if (mergeable) {
+      w.low = std::min(w.low, existing.low);
+      w.high = std::max(w.high, existing.high);
+      continue;  // Keep absorbing subsequent overlaps.
+    }
+    if (existing.high < w.low) {
+      out.push_back(existing);
+    } else {
+      out.push_back(w);
+      out.push_back(existing);
+      placed = true;
+    }
+  }
+  if (!placed) {
+    out.push_back(w);
+  }
+  return out;
+}
+
+WindowSet IntersectSets(const WindowSet& a, const WindowSet& b) {
+  WindowSet out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const common::Version lo = std::max(a[i].low, b[j].low);
+    const common::Version hi = std::min(a[i].high, b[j].high);
+    if (lo <= hi) {
+      out.push_back(VersionWindow{lo, hi});
+    }
+    if (a[i].high < b[j].high) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::optional<common::Version> MaxOf(const WindowSet& set) {
+  if (set.empty()) {
+    return std::nullopt;
+  }
+  return set.back().high;
+}
+
+void KnowledgeMap::AddSnapshot(const common::KeyRange& range, common::Version version) {
+  regions_.Transform(range, [version](const WindowSet& windows) {
+    return UnionWindow(windows, VersionWindow{version, version});
+  });
+}
+
+void KnowledgeMap::ExtendTo(const common::KeyRange& range, common::Version version) {
+  regions_.Transform(range, [version](const WindowSet& windows) {
+    if (windows.empty()) {
+      return windows;  // No base snapshot: progress alone teaches nothing.
+    }
+    WindowSet out = windows;
+    VersionWindow& last = out.back();
+    if (version > last.high) {
+      last.high = version;
+    }
+    // Growing the last window may swallow nothing (windows are sorted and the
+    // last one only grew upward), so no re-merge is needed.
+    return out;
+  });
+}
+
+void KnowledgeMap::Forget(const common::KeyRange& range) {
+  regions_.Assign(range, WindowSet{});
+}
+
+void KnowledgeMap::Clear() {
+  regions_.Assign(common::KeyRange::All(), WindowSet{});
+}
+
+bool KnowledgeMap::ServableAt(const common::KeyRange& range, common::Version version) const {
+  bool ok = true;
+  regions_.Visit(range, [&ok, version](const common::KeyRange&, const WindowSet& windows) {
+    if (!ok) {
+      return;
+    }
+    for (const VersionWindow& w : windows) {
+      if (w.Contains(version)) {
+        return;
+      }
+    }
+    ok = false;
+  });
+  return ok;
+}
+
+WindowSet KnowledgeMap::ServableWindows(const common::KeyRange& range) const {
+  bool first = true;
+  WindowSet acc;
+  regions_.Visit(range, [&](const common::KeyRange&, const WindowSet& windows) {
+    if (first) {
+      acc = windows;
+      first = false;
+    } else {
+      acc = IntersectSets(acc, windows);
+    }
+  });
+  return acc;
+}
+
+std::optional<common::Version> KnowledgeMap::MaxServableVersion(
+    const common::KeyRange& range) const {
+  return MaxOf(ServableWindows(range));
+}
+
+std::vector<KnowledgeMap::Region> KnowledgeMap::Regions() const {
+  std::vector<Region> out;
+  for (const auto& seg : regions_.Segments()) {
+    if (!seg.value.empty()) {
+      out.push_back(Region{seg.range, seg.value});
+    }
+  }
+  return out;
+}
+
+WindowSet KnowledgeMap::StitchableWindows(const std::vector<const KnowledgeMap*>& maps,
+                                          const common::KeyRange& range) {
+  // Per key segment, pool every map's windows (union), then intersect across
+  // segments. Build the pooled map on a fresh IntervalMap so segment
+  // boundaries from all maps refine each other.
+  common::IntervalMap<WindowSet> pooled{WindowSet{}};
+  for (const KnowledgeMap* map : maps) {
+    map->regions_.Visit(range, [&pooled](const common::KeyRange& r, const WindowSet& windows) {
+      for (const VersionWindow& w : windows) {
+        pooled.Transform(r, [&w](const WindowSet& cur) { return UnionWindow(cur, w); });
+      }
+    });
+  }
+  bool first = true;
+  WindowSet acc;
+  pooled.Visit(range, [&](const common::KeyRange&, const WindowSet& windows) {
+    if (first) {
+      acc = windows;
+      first = false;
+    } else {
+      acc = IntersectSets(acc, windows);
+    }
+  });
+  return acc;
+}
+
+std::optional<common::Version> KnowledgeMap::MaxStitchableVersion(
+    const std::vector<const KnowledgeMap*>& maps, const common::KeyRange& range) {
+  return MaxOf(StitchableWindows(maps, range));
+}
+
+}  // namespace watch

@@ -1,0 +1,101 @@
+// Knowledge regions (Figure 5 of the paper). A watcher's knowledge is a set
+// of (key range × version window) rectangles: for that range, the watcher
+// knows the exact versioned state at every version inside the window. A
+// region is created by reading a snapshot ([v, v]) and grows as range-scoped
+// progress confirms that all change events up to a later version have been
+// applied ([v, v'] — the rectangle gets taller). A resync starts a new
+// rectangle; old rectangles remain valid knowledge of historical state
+// because each version of a value is immutable.
+//
+// Queries answer the paper's headline capability: can this watcher (or a
+// group of watchers pooled together) serve a snapshot-consistent read of a
+// key range at some version — the "green box" stitched across rectangles.
+#ifndef SRC_WATCH_KNOWLEDGE_H_
+#define SRC_WATCH_KNOWLEDGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/interval_map.h"
+#include "common/types.h"
+
+namespace watch {
+
+// An inclusive version window [low, high].
+struct VersionWindow {
+  common::Version low = 0;
+  common::Version high = 0;
+
+  bool Contains(common::Version v) const { return v >= low && v <= high; }
+  bool Empty() const { return high < low; }
+
+  friend bool operator==(const VersionWindow&, const VersionWindow&) = default;
+};
+
+// Sorted, disjoint, non-adjacent window lists with set algebra.
+using WindowSet = std::vector<VersionWindow>;
+
+// Inserts `w` into `set`, merging overlapping or adjacent windows.
+WindowSet UnionWindow(const WindowSet& set, VersionWindow w);
+// Intersection of two window sets.
+WindowSet IntersectSets(const WindowSet& a, const WindowSet& b);
+// Highest version present in the set (nullopt if empty).
+std::optional<common::Version> MaxOf(const WindowSet& set);
+
+class KnowledgeMap {
+ public:
+  KnowledgeMap() : regions_(WindowSet{}) {}
+
+  // Knowledge from a snapshot read of `range` at `version`: rectangle
+  // [version, version].
+  void AddSnapshot(const common::KeyRange& range, common::Version version);
+
+  // Progress: all change events affecting `range` up to `version` have been
+  // applied. Grows the *latest* window of every overlapping segment (earlier,
+  // pre-resync rectangles cannot grow: events between them and the live
+  // stream were never applied). Segments of `range` with no knowledge at all
+  // are unaffected — progress without a base snapshot teaches nothing about
+  // state.
+  void ExtendTo(const common::KeyRange& range, common::Version version);
+
+  // Forgets knowledge of `range` (e.g. shard handed away, cache eviction).
+  void Forget(const common::KeyRange& range);
+
+  // Drops everything.
+  void Clear();
+
+  // True iff every key in `range` has a window containing `version`.
+  bool ServableAt(const common::KeyRange& range, common::Version version) const;
+
+  // Versions at which ALL of `range` is servable (intersection across the
+  // range's segments).
+  WindowSet ServableWindows(const common::KeyRange& range) const;
+
+  // The highest version at which all of `range` can be served
+  // snapshot-consistently (nullopt if none).
+  std::optional<common::Version> MaxServableVersion(const common::KeyRange& range) const;
+
+  // The knowledge rectangles, for introspection/diagnostics.
+  struct Region {
+    common::KeyRange range;
+    WindowSet windows;
+  };
+  std::vector<Region> Regions() const;
+
+  // -- Stitching (the Figure 5 "green box" across watchers) --------------------
+
+  // Versions at which `range` is fully covered by pooling the knowledge of
+  // all `maps`: per key segment the *union* of every map's windows, then the
+  // intersection across segments.
+  static WindowSet StitchableWindows(const std::vector<const KnowledgeMap*>& maps,
+                                     const common::KeyRange& range);
+  static std::optional<common::Version> MaxStitchableVersion(
+      const std::vector<const KnowledgeMap*>& maps, const common::KeyRange& range);
+
+ private:
+  common::IntervalMap<WindowSet> regions_;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_KNOWLEDGE_H_

@@ -1,0 +1,234 @@
+#include "watch/materialized.h"
+
+#include <algorithm>
+
+namespace watch {
+
+MaterializedRange::MaterializedRange(sim::Simulator* sim, NodeAwareWatchable* watchable,
+                                     const SnapshotSource* source, common::KeyRange range,
+                                     MaterializedOptions options)
+    : sim_(sim),
+      watchable_(watchable),
+      source_(source),
+      range_(std::move(range)),
+      options_(options) {}
+
+MaterializedRange::~MaterializedRange() = default;
+
+void MaterializedRange::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  BeginSync(/*is_resync=*/false);
+  if (options_.session_check_period > 0) {
+    session_check_ = std::make_unique<sim::PeriodicTask>(
+        sim_, options_.session_check_period, [this] { EnsureSession(); });
+  }
+}
+
+void MaterializedRange::Stop() {
+  started_ = false;
+  ready_ = false;
+  syncing_ = false;
+  handle_.reset();
+  session_check_.reset();
+  data_.clear();
+  knowledge_.Clear();
+}
+
+void MaterializedRange::CrashLocalState() {
+  Stop();
+  applied_frontier_ = common::kNoVersion;
+  progress_frontier_ = common::kNoVersion;
+}
+
+void MaterializedRange::BeginSync(bool is_resync) {
+  if (syncing_) {
+    return;
+  }
+  syncing_ = true;
+  ready_ = false;
+  handle_.reset();
+  if (is_resync) {
+    ++resyncs_;
+  }
+  sim_->After(options_.resync_delay, [this] {
+    syncing_ = false;
+    if (!started_) {
+      return;
+    }
+    auto snap = source_->ReadSnapshot(range_);
+    if (!snap.ok()) {
+      // Source unavailable; retry at the session-check cadence.
+      sim_->After(options_.session_check_period, [this] {
+        if (started_ && !ready_) {
+          BeginSync(/*is_resync=*/false);
+        }
+      });
+      return;
+    }
+    // Replace local state in the range with the snapshot.
+    data_.clear();
+    for (storage::Entry& e : snap->entries) {
+      data_[e.key].push_back(Cell{snap->version, std::move(e.value)});
+    }
+    knowledge_.Forget(range_);
+    knowledge_.AddSnapshot(range_, snap->version);
+    applied_frontier_ = std::max(applied_frontier_, snap->version);
+    progress_frontier_ = std::max(progress_frontier_, snap->version);
+    if (snapshot_hook_) {
+      snapshot_hook_(*snap);
+    }
+    handle_ = watchable_->WatchFrom(range_.low, range_.high, snap->version, this,
+                                    options_.node);
+    ready_ = true;
+  });
+}
+
+bool MaterializedRange::NodeUp() const {
+  return options_.net == nullptr || options_.node.empty() || options_.net->IsUp(options_.node);
+}
+
+void MaterializedRange::EnsureSession() {
+  if (!started_ || syncing_ || !ready_ || !NodeUp()) {
+    return;
+  }
+  if (handle_ != nullptr && handle_->active()) {
+    return;
+  }
+  // Session broke (watcher was unreachable, or the system restarted). Resume
+  // from the PROGRESS frontier — the highest version for which we have
+  // confirmed complete delivery. The applied frontier would be wrong here:
+  // events arrive in ingest order, which across independently-lagged CDC
+  // shards is not version order, so the max applied version can be ahead of
+  // undelivered events from a slower shard. Resuming from the progress
+  // frontier replays a little (applies are idempotent) and skips nothing; if
+  // the watch layer no longer retains that point it answers with OnResync and
+  // we re-snapshot.
+  ++session_repairs_;
+  handle_ = watchable_->WatchFrom(range_.low, range_.high, progress_frontier_, this,
+                                  options_.node);
+}
+
+void MaterializedRange::OnEvent(const ChangeEvent& event) {
+  if (!started_) {
+    return;
+  }
+  std::vector<Cell>& history = data_[event.key];
+  if (!history.empty() && history.back().version >= event.version) {
+    return;  // Replay duplicate (e.g. session repair overlap): idempotent.
+  }
+  if (event.mutation.kind == common::MutationKind::kPut) {
+    history.push_back(Cell{event.version, event.mutation.value});
+  } else {
+    history.push_back(Cell{event.version, std::nullopt});
+  }
+  applied_frontier_ = std::max(applied_frontier_, event.version);
+  ++events_applied_;
+  if (apply_hook_) {
+    apply_hook_(event);
+  }
+}
+
+void MaterializedRange::OnProgress(const ProgressEvent& event) {
+  if (!started_) {
+    return;
+  }
+  // The watch stream delivers progress behind the events it covers, so all
+  // change events in `event.range` up to `event.version` have been applied:
+  // knowledge grows (the Figure 5 rectangle gets taller).
+  knowledge_.ExtendTo(event.range.Intersect(range_), event.version);
+  progress_frontier_ = std::max(progress_frontier_, event.version);
+}
+
+void MaterializedRange::OnResync() {
+  if (!started_) {
+    return;
+  }
+  BeginSync(/*is_resync=*/true);
+}
+
+common::Result<common::Value> MaterializedRange::Get(const common::Key& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty() || !it->second.back().value.has_value()) {
+    return common::Status::NotFound(key);
+  }
+  return *it->second.back().value;
+}
+
+common::Result<common::Value> MaterializedRange::GetAtLeast(
+    const common::Key& key, common::Version min_version) const {
+  if (progress_frontier_ < min_version) {
+    return common::Status::Unavailable("materialization behind requested version");
+  }
+  return Get(key);
+}
+
+common::Result<common::Value> MaterializedRange::SnapshotGet(const common::Key& key,
+                                                             common::Version version) const {
+  if (!knowledge_.ServableAt(common::KeyRange::Single(key), version)) {
+    return common::Status::FailedPrecondition("no knowledge of key at version");
+  }
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return common::Status::NotFound(key);
+  }
+  const std::vector<Cell>& history = it->second;
+  auto pos = std::upper_bound(history.begin(), history.end(), version,
+                              [](common::Version v, const Cell& c) { return v < c.version; });
+  if (pos == history.begin()) {
+    return common::Status::NotFound("key absent at version");
+  }
+  --pos;
+  if (!pos->value.has_value()) {
+    return common::Status::NotFound("deleted at version");
+  }
+  return *pos->value;
+}
+
+std::vector<storage::Entry> MaterializedRange::LatestScan(const common::KeyRange& scan) const {
+  const common::KeyRange effective = scan.Intersect(range_);
+  std::vector<storage::Entry> out;
+  auto it = data_.lower_bound(effective.low);
+  for (; it != data_.end(); ++it) {
+    if (!effective.unbounded_above() && it->first >= effective.high) {
+      break;
+    }
+    const std::vector<Cell>& history = it->second;
+    if (history.empty() || !history.back().value.has_value()) {
+      continue;
+    }
+    out.push_back(storage::Entry{it->first, *history.back().value, history.back().version});
+  }
+  return out;
+}
+
+common::Result<std::vector<storage::Entry>> MaterializedRange::SnapshotScan(
+    const common::KeyRange& scan, common::Version version) const {
+  const common::KeyRange effective = scan.Intersect(range_);
+  if (!knowledge_.ServableAt(effective, version)) {
+    return common::Status::FailedPrecondition("no knowledge of range at version");
+  }
+  std::vector<storage::Entry> out;
+  auto it = data_.lower_bound(effective.low);
+  for (; it != data_.end(); ++it) {
+    if (!effective.unbounded_above() && it->first >= effective.high) {
+      break;
+    }
+    const std::vector<Cell>& history = it->second;
+    auto pos = std::upper_bound(history.begin(), history.end(), version,
+                                [](common::Version v, const Cell& c) { return v < c.version; });
+    if (pos == history.begin()) {
+      continue;
+    }
+    --pos;
+    if (!pos->value.has_value()) {
+      continue;
+    }
+    out.push_back(storage::Entry{it->first, *pos->value, pos->version});
+  }
+  return out;
+}
+
+}  // namespace watch

@@ -1,0 +1,170 @@
+// MaterializedRange: the canonical watcher. It maintains a local,
+// multi-versioned materialization of one key range by running the full
+// Section 4.2.1 client protocol:
+//
+//   1. read a snapshot of the range from a SnapshotSource (primary, view,
+//      stale replica, or ingestion store);
+//   2. watch from the snapshot version;
+//   3. apply change events as they stream in;
+//   4. grow knowledge regions (Figure 5) as range-scoped progress arrives;
+//   5. on resync — or on a broken session whose resume point has aged out —
+//      go back to step 1. Nothing is ever lost silently.
+//
+// Because it keeps bounded version history inside its knowledge window, it
+// can serve *snapshot reads at any known version*, which is what lets
+// dynamically sharded caches stitch consistent results (Section 4.3).
+//
+// Cache pods, replication appliers, and workers all reuse this type.
+#ifndef SRC_WATCH_MATERIALIZED_H_
+#define SRC_WATCH_MATERIALIZED_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/api.h"
+#include "watch/knowledge.h"
+#include "watch/snapshot_source.h"
+
+namespace watch {
+
+struct MaterializedOptions {
+  // Simulated time to read + apply a snapshot (the resync cost).
+  common::TimeMicros resync_delay = 5 * common::kMicrosPerMilli;
+  // How often to check for (and repair) a broken watch session.
+  common::TimeMicros session_check_period = 100 * common::kMicrosPerMilli;
+  // The node this watcher lives on ("" = co-located with the watch system).
+  sim::NodeId node;
+  // When set (with a non-empty node), sync and session-repair attempts are
+  // suspended while the node is down — a crashed process does not retry.
+  sim::Network* net = nullptr;
+};
+
+class MaterializedRange : public WatchCallback {
+ public:
+  MaterializedRange(sim::Simulator* sim, NodeAwareWatchable* watchable,
+                    const SnapshotSource* source, common::KeyRange range,
+                    MaterializedOptions options = {});
+  ~MaterializedRange() override;
+
+  MaterializedRange(const MaterializedRange&) = delete;
+  MaterializedRange& operator=(const MaterializedRange&) = delete;
+
+  // Begins the initial snapshot + watch. Idempotent.
+  void Start();
+  // Stops watching and drops all local state (e.g. shard handed away).
+  void Stop();
+  // Simulates a crash of this watcher: local data and knowledge are lost;
+  // Start() must be called again (e.g. from a FailureInjector restart hook).
+  void CrashLocalState();
+
+  const common::KeyRange& range() const { return range_; }
+
+  // True once the initial snapshot has been applied and a session is up.
+  bool ready() const { return ready_; }
+
+  // -- Reads ---------------------------------------------------------------------
+
+  // Latest applied value (no snapshot guarantee).
+  common::Result<common::Value> Get(const common::Key& key) const;
+
+  // Read-your-writes support: the latest value, guaranteed to reflect every
+  // commit up to `min_version`. A client that wrote at version v passes v as
+  // its token; if this materialization has not yet confirmed completeness to
+  // v (progress frontier < v) the read fails with kUnavailable instead of
+  // returning a possibly pre-write value.
+  common::Result<common::Value> GetAtLeast(const common::Key& key,
+                                           common::Version min_version) const;
+
+  // Value as of `version`; fails with kFailedPrecondition unless the key is
+  // inside a knowledge window containing `version`.
+  common::Result<common::Value> SnapshotGet(const common::Key& key,
+                                            common::Version version) const;
+
+  // All live entries of `scan` as of `version` (requires full knowledge of
+  // `scan` at `version`).
+  common::Result<std::vector<storage::Entry>> SnapshotScan(const common::KeyRange& scan,
+                                                           common::Version version) const;
+
+  // Latest applied values in `scan` — no snapshot guarantee (what a
+  // level-triggered reconciliation loop reads).
+  std::vector<storage::Entry> LatestScan(const common::KeyRange& scan) const;
+
+  // The highest version at which `scan` is snapshot-servable locally.
+  std::optional<common::Version> MaxServableVersion(const common::KeyRange& scan) const {
+    return knowledge_.MaxServableVersion(scan.Intersect(range_));
+  }
+
+  const KnowledgeMap& knowledge() const { return knowledge_; }
+
+  // Highest change-event version applied (the live frontier of local data).
+  common::Version applied_frontier() const { return applied_frontier_; }
+  // Version of the knowledge frontier confirmed by progress events.
+  common::Version progress_frontier() const { return progress_frontier_; }
+
+  // -- Hooks (for applications layered on top) --------------------------------------
+
+  // Invoked for every applied change event (replication appliers, caches).
+  void set_apply_hook(std::function<void(const ChangeEvent&)> hook) {
+    apply_hook_ = std::move(hook);
+  }
+  // Invoked after each (re)sync snapshot is applied.
+  void set_snapshot_hook(std::function<void(const Snapshot&)> hook) {
+    snapshot_hook_ = std::move(hook);
+  }
+
+  // -- Metrics ------------------------------------------------------------------------
+
+  std::uint64_t resyncs() const { return resyncs_; }
+  std::uint64_t events_applied() const { return events_applied_; }
+  std::uint64_t session_repairs() const { return session_repairs_; }
+
+  // -- WatchCallback ---------------------------------------------------------------
+
+  void OnEvent(const ChangeEvent& event) override;
+  void OnProgress(const ProgressEvent& event) override;
+  void OnResync() override;
+
+ private:
+  struct Cell {
+    common::Version version;
+    std::optional<common::Value> value;  // nullopt: tombstone.
+  };
+
+  void BeginSync(bool is_resync);
+  void EnsureSession();
+  bool NodeUp() const;
+
+  sim::Simulator* sim_;
+  NodeAwareWatchable* watchable_;
+  const SnapshotSource* source_;
+  common::KeyRange range_;
+  MaterializedOptions options_;
+
+  bool started_ = false;
+  bool ready_ = false;
+  bool syncing_ = false;
+  std::map<common::Key, std::vector<Cell>> data_;  // Bounded version history.
+  KnowledgeMap knowledge_;
+  common::Version applied_frontier_ = common::kNoVersion;
+  common::Version progress_frontier_ = common::kNoVersion;
+  std::unique_ptr<WatchHandle> handle_;
+  std::function<void(const ChangeEvent&)> apply_hook_;
+  std::function<void(const Snapshot&)> snapshot_hook_;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t events_applied_ = 0;
+  std::uint64_t session_repairs_ = 0;
+  std::unique_ptr<sim::PeriodicTask> session_check_;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_MATERIALIZED_H_

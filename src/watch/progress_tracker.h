@@ -1,0 +1,61 @@
+// ProgressTracker: the range-scoped progress frontier of the watch system.
+// Each ingested ProgressEvent asserts "all changes to [low, high) up to
+// version v have been supplied"; the tracker folds these into a per-range
+// frontier and answers "up to what version is [low, high) complete?" —
+// the minimum frontier across the range.
+//
+// Because progress is scoped to arbitrary key ranges (not global, not static
+// partitions), each layer can define its own partition boundaries and evolve
+// them independently (Section 4.2.2).
+#ifndef SRC_WATCH_PROGRESS_TRACKER_H_
+#define SRC_WATCH_PROGRESS_TRACKER_H_
+
+#include <algorithm>
+
+#include "common/interval_map.h"
+#include "common/types.h"
+
+namespace watch {
+
+class ProgressTracker {
+ public:
+  ProgressTracker() : frontier_(common::kNoVersion) {}
+
+  // Applies a progress assertion. Frontiers never regress: a stale or
+  // re-delivered progress event is a no-op on already-ahead subranges.
+  void Apply(const common::ProgressEvent& event) {
+    frontier_.Transform(event.range, [&event](const common::Version& cur) {
+      return std::max(cur, event.version);
+    });
+  }
+
+  // The version up to which knowledge of `range` is complete: the minimum
+  // frontier over all subranges.
+  common::Version FrontierFor(const common::KeyRange& range) const {
+    return frontier_.Fold<common::Version>(
+        range, common::kMaxVersion,
+        [](common::Version acc, const common::KeyRange&, const common::Version& v) {
+          return std::min(acc, v);
+        });
+  }
+
+  // Per-subrange frontier segments overlapping `range` (clipped), for
+  // emitting fine-grained progress to watchers.
+  void VisitSegments(const common::KeyRange& range,
+                     const std::function<void(const common::KeyRange&, common::Version)>& fn)
+      const {
+    frontier_.Visit(range, [&fn](const common::KeyRange& r, const common::Version& v) {
+      fn(r, v);
+    });
+  }
+
+  // Drops all progress state (soft-state crash).
+  void Clear() { frontier_ = common::IntervalMap<common::Version>(common::kNoVersion); }
+
+ private:
+  common::IntervalMap<common::Version> frontier_;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_PROGRESS_TRACKER_H_

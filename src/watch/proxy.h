@@ -1,0 +1,130 @@
+// WatchProxy: a fan-out tier for the watch contract — one answer to the
+// paper's Section 5 research question of a standalone watch system scaled
+// "to different scale points, e.g. degree of fan out".
+//
+// A proxy subscribes ONCE to an upstream Watchable for a covering range and
+// re-serves any number of downstream watchers from its own soft state (a
+// nested WatchSystem). Because the proxy is itself an ordinary watcher:
+//   * its state is soft — on upstream resync it resyncs downstream watchers,
+//     preserving the end-to-end guarantee against the authoritative store;
+//   * proxies compose into trees: upstream load is one session per proxy
+//     regardless of downstream fan-out;
+//   * range-scoped progress flows through, so downstream knowledge regions
+//     grow exactly as they would against the root.
+#ifndef SRC_WATCH_PROXY_H_
+#define SRC_WATCH_PROXY_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/api.h"
+#include "watch/watch_system.h"
+
+namespace watch {
+
+struct WatchProxyOptions {
+  // Soft state of the proxy tier.
+  WatchSystemOptions system;
+  // How often to re-establish a broken upstream session.
+  common::TimeMicros upstream_check_period = 100 * common::kMicrosPerMilli;
+};
+
+class WatchProxy : public NodeAwareWatchable, private WatchCallback {
+ public:
+  // Proxies `range` from `upstream`. `node` is the proxy's network identity
+  // (used both as the upstream watcher node and the downstream server node).
+  WatchProxy(sim::Simulator* sim, sim::Network* net, NodeAwareWatchable* upstream,
+             common::KeyRange range, sim::NodeId node, WatchProxyOptions options = {})
+      : sim_(sim),
+        upstream_(upstream),
+        range_(std::move(range)),
+        node_(std::move(node)),
+        options_(options),
+        system_(sim, net, node_, options.system) {
+    Connect(common::kNoVersion);
+    check_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.upstream_check_period,
+                                                      [this] { EnsureUpstream(); });
+  }
+
+  WatchProxy(const WatchProxy&) = delete;
+  WatchProxy& operator=(const WatchProxy&) = delete;
+
+  // -- Watchable (downstream) ---------------------------------------------------
+
+  std::unique_ptr<WatchHandle> Watch(common::Key low, common::Key high,
+                                     common::Version version, WatchCallback* callback) override {
+    return system_.Watch(std::move(low), std::move(high), version, callback);
+  }
+
+  std::unique_ptr<WatchHandle> WatchFrom(common::Key low, common::Key high,
+                                         common::Version version, WatchCallback* callback,
+                                         sim::NodeId watcher_node) override {
+    return system_.WatchFrom(std::move(low), std::move(high), version, callback,
+                             std::move(watcher_node));
+  }
+
+  const common::KeyRange& range() const { return range_; }
+  std::uint64_t upstream_reconnects() const { return reconnects_; }
+  std::uint64_t upstream_resyncs() const { return upstream_resyncs_; }
+  WatchSystem& system() { return system_; }
+
+ private:
+  // -- WatchCallback (upstream) ----------------------------------------------------
+
+  void OnEvent(const ChangeEvent& event) override { system_.Append(event); }
+
+  void OnProgress(const ProgressEvent& event) override {
+    // Progress is the only safe resume point: events arrive in upstream
+    // ingest order, which is not version order across CDC shards, so the max
+    // event version seen may be ahead of still-undelivered earlier versions.
+    last_progress_ = std::max(last_progress_, event.version);
+    system_.Progress(event);
+  }
+
+  void OnResync() override {
+    // The proxy's own position aged out upstream. It has no store of its
+    // own; the honest move is to wipe the tier's soft state, which resyncs
+    // every downstream watcher against the real store — end-to-end recovery
+    // (the proxy adds no hard state and no new failure semantics).
+    ++upstream_resyncs_;
+    system_.CrashSoftState();
+    Connect(common::kMaxVersion);  // Rejoin at the live edge.
+  }
+
+  void Connect(common::Version from) {
+    // kMaxVersion passes through: the upstream interprets it as "live edge".
+    upstream_handle_ = upstream_->WatchFrom(range_.low, range_.high, from, this, node_);
+  }
+
+  void EnsureUpstream() {
+    if (upstream_handle_ != nullptr && upstream_handle_->active()) {
+      return;
+    }
+    // Reconnect from the confirmed-complete frontier. The overlap
+    // (last_progress_, last event seen] is re-appended to the proxy's window;
+    // downstream appliers deduplicate by per-key version (at-least-once
+    // across repairs, exactly-once in effect).
+    ++reconnects_;
+    Connect(last_progress_);
+  }
+
+  sim::Simulator* sim_;
+  NodeAwareWatchable* upstream_;
+  common::KeyRange range_;
+  sim::NodeId node_;
+  WatchProxyOptions options_;
+  WatchSystem system_;
+  std::unique_ptr<WatchHandle> upstream_handle_;
+  common::Version last_progress_ = common::kNoVersion;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t upstream_resyncs_ = 0;
+  std::unique_ptr<sim::PeriodicTask> check_task_;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_PROXY_H_

@@ -1,0 +1,103 @@
+// RetainedWindow: the watch system's bounded, soft-state buffer of recent
+// change events, ordered by version. Unlike a pubsub log this is *not* hard
+// state (Section 4.2.2): it can be dropped and rebuilt at any time — watchers
+// whose position falls below the window simply resync from the store.
+//
+// The window supports trimming by event count and by age; MinRetainedVersion
+// is the oldest version from which a watcher can be served without resync.
+#ifndef SRC_WATCH_RETAINED_WINDOW_H_
+#define SRC_WATCH_RETAINED_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace watch {
+
+class RetainedWindow {
+ public:
+  struct Options {
+    std::size_t max_events = 100000;     // 0: unbounded.
+    common::TimeMicros max_age = 0;      // 0: no age limit (trimmed by TrimBefore).
+  };
+
+  RetainedWindow() = default;
+  explicit RetainedWindow(Options options) : options_(options) {}
+
+  struct StampedEvent {
+    common::ChangeEvent event;
+    common::TimeMicros ingest_time = 0;
+  };
+
+  // Adds an event (versions must be non-decreasing across Append calls for
+  // events of the same key; cross-key interleaving at equal versions is
+  // fine). Trims by count.
+  void Append(const common::ChangeEvent& event, common::TimeMicros now) {
+    events_.push_back(StampedEvent{event, now});
+    if (event.version > max_version_) {
+      max_version_ = event.version;
+    }
+    if (options_.max_events > 0) {
+      while (events_.size() > options_.max_events) {
+        DropFront();
+      }
+    }
+  }
+
+  // Trims events ingested before `horizon` (age-based policy).
+  void TrimOlderThan(common::TimeMicros horizon) {
+    while (!events_.empty() && events_.front().ingest_time < horizon) {
+      DropFront();
+    }
+  }
+
+  // Drops everything (e.g. simulated crash of the soft-state layer). The
+  // floor rises to just above the highest version ever buffered, so every
+  // watcher positioned below that resyncs.
+  void Clear() {
+    events_.clear();
+    min_retained_ = max_version_ + 1;
+  }
+
+  // A watcher may start from `version` iff version + 1 >= MinRetainedVersion:
+  // i.e. every event with version' > version is still buffered (or never
+  // existed).
+  common::Version MinRetainedVersion() const { return min_retained_; }
+  common::Version MaxVersion() const { return max_version_; }
+  bool CanServeFrom(common::Version version) const { return version + 1 >= min_retained_; }
+
+  // Buffered events with key in `range` and version > `after`, in ingest
+  // (hence version) order.
+  std::vector<common::ChangeEvent> EventsAfter(const common::KeyRange& range,
+                                               common::Version after) const {
+    std::vector<common::ChangeEvent> out;
+    for (const StampedEvent& se : events_) {
+      if (se.event.version > after && range.Contains(se.event.key)) {
+        out.push_back(se.event);
+      }
+    }
+    return out;
+  }
+
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  void DropFront() {
+    const common::Version dropped = events_.front().event.version;
+    events_.pop_front();
+    if (dropped + 1 > min_retained_) {
+      min_retained_ = dropped + 1;
+    }
+  }
+
+  Options options_{};
+  std::deque<StampedEvent> events_;
+  common::Version min_retained_ = 0;  // Serve-from floor.
+  common::Version max_version_ = 0;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_RETAINED_WINDOW_H_

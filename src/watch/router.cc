@@ -1,0 +1,128 @@
+#include "watch/router.h"
+
+namespace watch {
+
+// Per-downstream-session fan-in: receives the sub-watch streams from every
+// overlapping partition and presents them as one stream with the single-
+// system contract (min-progress, any-resync-resyncs-all, cancel-all).
+class WatchRouter::FanIn {
+ public:
+  FanIn(WatchCallback* downstream, std::size_t legs)
+      : downstream_(downstream), leg_progress_(legs, common::kNoVersion) {}
+
+  // One leg (sub-watch) of the fan-in. Legs are owned by (and never outlive)
+  // their FanIn, so the back-pointer is raw — a shared_ptr here would create
+  // an ownership cycle.
+  class Leg : public WatchCallback {
+   public:
+    Leg(FanIn* owner, std::size_t index) : owner_(owner), index_(index) {}
+
+    void OnEvent(const ChangeEvent& event) override { owner_->Event(event); }
+    void OnProgress(const ProgressEvent& event) override {
+      owner_->ProgressFrom(index_, event);
+    }
+    void OnResync() override { owner_->Resync(); }
+
+   private:
+    FanIn* owner_;
+    std::size_t index_;
+  };
+
+  void Event(const ChangeEvent& event) {
+    if (!cancelled_ && !resynced_) {
+      downstream_->OnEvent(event);
+    }
+  }
+
+  void ProgressFrom(std::size_t leg, const ProgressEvent& event) {
+    if (cancelled_ || resynced_) {
+      return;
+    }
+    leg_progress_[leg] = std::max(leg_progress_[leg], event.version);
+    // The composite frontier: every leg has confirmed completeness up to the
+    // minimum. (Legs whose partition saw no progress yet hold it at 0.)
+    const common::Version frontier =
+        *std::min_element(leg_progress_.begin(), leg_progress_.end());
+    if (frontier > reported_) {
+      reported_ = frontier;
+      downstream_->OnProgress(ProgressEvent{watched_range_, frontier});
+    }
+  }
+
+  void Resync() {
+    if (cancelled_ || resynced_) {
+      return;
+    }
+    resynced_ = true;  // One loud signal; remaining legs are ignored.
+    downstream_->OnResync();
+  }
+
+  void Cancel() { cancelled_ = true; }
+  bool cancelled() const { return cancelled_; }
+  bool resynced() const { return resynced_; }
+  void set_watched_range(common::KeyRange range) { watched_range_ = std::move(range); }
+
+  std::vector<std::unique_ptr<Leg>> legs;
+  std::vector<std::unique_ptr<WatchHandle>> handles;
+
+ private:
+  WatchCallback* downstream_;
+  std::vector<common::Version> leg_progress_;
+  common::Version reported_ = common::kNoVersion;
+  common::KeyRange watched_range_;
+  bool cancelled_ = false;
+  bool resynced_ = false;
+};
+
+class WatchRouter::FanInHandle : public WatchHandle {
+ public:
+  explicit FanInHandle(std::shared_ptr<FanIn> fan) : fan_(std::move(fan)) {}
+
+  ~FanInHandle() override { Cancel(); }
+
+  void Cancel() override {
+    fan_->Cancel();
+    for (auto& handle : fan_->handles) {
+      handle->Cancel();
+    }
+  }
+
+  bool active() const override {
+    if (fan_->cancelled() || fan_->resynced()) {
+      return false;
+    }
+    for (const auto& handle : fan_->handles) {
+      if (!handle->active()) {
+        return false;
+      }
+    }
+    return !fan_->handles.empty();
+  }
+
+ private:
+  std::shared_ptr<FanIn> fan_;
+};
+
+std::unique_ptr<WatchHandle> WatchRouter::WatchFrom(common::Key low, common::Key high,
+                                                    common::Version version,
+                                                    WatchCallback* callback,
+                                                    sim::NodeId watcher_node) {
+  const common::KeyRange requested{std::move(low), std::move(high)};
+  std::vector<Partition*> overlapping;
+  for (Partition& part : parts_) {
+    if (part.range.Overlaps(requested)) {
+      overlapping.push_back(&part);
+    }
+  }
+  auto fan = std::make_shared<FanIn>(callback, overlapping.size());
+  fan->set_watched_range(requested);
+  for (std::size_t i = 0; i < overlapping.size(); ++i) {
+    fan->legs.push_back(std::make_unique<FanIn::Leg>(fan.get(), i));
+    const common::KeyRange clipped = requested.Intersect(overlapping[i]->range);
+    fan->handles.push_back(overlapping[i]->system->WatchFrom(
+        clipped.low, clipped.high, version, fan->legs.back().get(), watcher_node));
+  }
+  return std::make_unique<FanInHandle>(std::move(fan));
+}
+
+}  // namespace watch

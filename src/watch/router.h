@@ -1,0 +1,115 @@
+// WatchRouter: a horizontally partitioned watch layer — the other §5 scale
+// axis (WatchProxy scales fan-out; WatchRouter scales ingest and session
+// count). The key space is statically partitioned across N independent
+// WatchSystem instances; the router implements:
+//
+//   * Ingester — appends route to the partition owning the key; progress
+//     routes clipped to each overlapping partition;
+//   * Watchable — a watch spanning multiple partitions becomes one sub-watch
+//     per overlapping partition, fanned back into the caller's callback.
+//     Progress surfaced to the caller is the MINIMUM frontier across its
+//     sub-watches (so "complete up to v" stays true for the whole range), and
+//     a resync on ANY sub-watch resyncs the whole watch — the composite keeps
+//     exactly the single-system contract.
+//
+// Cross-partition event order is per-partition ingest order (not global
+// version order) — the same property as sharded CDC pipelines, and the
+// reason progress events exist. MaterializedRange and friends are built for
+// that contract and work unchanged against a router.
+#ifndef SRC_WATCH_ROUTER_H_
+#define SRC_WATCH_ROUTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/api.h"
+#include "watch/watch_system.h"
+
+namespace watch {
+
+class WatchRouter : public NodeAwareWatchable, public Ingester {
+ public:
+  // `partitions` must tile the key space the router will serve (they are
+  // used verbatim; keys outside every partition are dropped on Append).
+  WatchRouter(sim::Simulator* sim, sim::Network* net, const std::string& name_prefix,
+              std::vector<common::KeyRange> partitions, WatchSystemOptions options = {}) {
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      parts_.push_back(Partition{
+          partitions[i],
+          std::make_unique<WatchSystem>(sim, net, name_prefix + "-" + std::to_string(i),
+                                        options)});
+    }
+  }
+
+  // -- Ingester -------------------------------------------------------------------
+
+  void Append(const ChangeEvent& event) override {
+    for (Partition& part : parts_) {
+      if (part.range.Contains(event.key)) {
+        part.system->Append(event);
+        return;
+      }
+    }
+  }
+
+  void Progress(const ProgressEvent& event) override {
+    for (Partition& part : parts_) {
+      const common::KeyRange clipped = event.range.Intersect(part.range);
+      if (!clipped.Empty()) {
+        part.system->Progress(ProgressEvent{clipped, event.version});
+      }
+    }
+  }
+
+  // -- Watchable ---------------------------------------------------------------------
+
+  std::unique_ptr<WatchHandle> Watch(common::Key low, common::Key high,
+                                     common::Version version, WatchCallback* callback) override {
+    return WatchFrom(std::move(low), std::move(high), version, callback, sim::NodeId());
+  }
+
+  std::unique_ptr<WatchHandle> WatchFrom(common::Key low, common::Key high,
+                                         common::Version version, WatchCallback* callback,
+                                         sim::NodeId watcher_node) override;
+
+  WatchSystem& partition(std::size_t i) { return *parts_[i].system; }
+  std::size_t partition_count() const { return parts_.size(); }
+
+  // Aggregate metrics.
+  std::uint64_t events_delivered() const {
+    std::uint64_t total = 0;
+    for (const Partition& part : parts_) {
+      total += part.system->events_delivered();
+    }
+    return total;
+  }
+
+  // Wipes every partition's soft state.
+  void CrashSoftState() {
+    for (Partition& part : parts_) {
+      part.system->CrashSoftState();
+    }
+  }
+
+ private:
+  struct Partition {
+    common::KeyRange range;
+    std::unique_ptr<WatchSystem> system;
+  };
+
+  class FanIn;
+  class FanInHandle;
+
+  std::vector<Partition> parts_;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_ROUTER_H_

@@ -1,0 +1,207 @@
+#include "watch/watch_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace watch {
+
+// Owning handle for one session; cancellation marks the session dead so any
+// in-flight deliveries are dropped at dispatch time.
+class WatchSystem::Handle : public WatchHandle {
+ public:
+  explicit Handle(std::weak_ptr<Session> session) : session_(std::move(session)) {}
+
+  ~Handle() override { Cancel(); }
+
+  void Cancel() override {
+    if (auto s = session_.lock()) {
+      s->state = SessionState::kDead;
+      s->callback = nullptr;
+    }
+  }
+
+  bool active() const override {
+    auto s = session_.lock();
+    return s != nullptr && s->state == SessionState::kLive;
+  }
+
+ private:
+  std::weak_ptr<Session> session_;
+};
+
+WatchSystem::WatchSystem(sim::Simulator* sim, sim::Network* net, sim::NodeId node,
+                         WatchSystemOptions options)
+    : sim_(sim), net_(net), node_(std::move(node)), options_(options), window_(options.window) {
+  if (net_ != nullptr && !net_->IsUp(node_)) {
+    net_->AddNode(node_);
+  }
+  if (options_.progress_period > 0) {
+    progress_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.progress_period,
+                                                         [this] { PumpProgress(); });
+  }
+}
+
+WatchSystem::~WatchSystem() = default;
+
+bool WatchSystem::Reachable(const Session& session) const {
+  if (net_ == nullptr || session.watcher_node.empty()) {
+    return true;
+  }
+  return net_->Reachable(node_, session.watcher_node);
+}
+
+void WatchSystem::Append(const ChangeEvent& event) {
+  window_.Append(event, sim_->Now());
+  for (auto& [id, session] : sessions_) {
+    if (session->state != SessionState::kLive) {
+      continue;
+    }
+    if (!session->range.Contains(event.key) || event.version <= session->start_version) {
+      continue;
+    }
+    if (options_.max_session_backlog > 0 &&
+        session->in_flight >= options_.max_session_backlog) {
+      // Lagging consumer: tell it to resync instead of queueing unboundedly —
+      // the paper's "better treatment of backlogs" (Section 4.4).
+      ForceResync(session);
+      continue;
+    }
+    DeliverEvent(session, event);
+  }
+}
+
+void WatchSystem::DeliverEvent(const std::shared_ptr<Session>& session,
+                               const ChangeEvent& event) {
+  ++session->in_flight;
+  sim_->After(options_.delivery_latency, [this, session, event] {
+    if (session->in_flight > 0) {
+      --session->in_flight;
+    }
+    if (session->state != SessionState::kLive || session->callback == nullptr) {
+      return;  // Cancelled or resynced while in flight.
+    }
+    if (!Reachable(*session)) {
+      // Stream broken: the watcher re-watches from its last applied version
+      // when it recovers. Nothing is silently skipped.
+      session->state = SessionState::kDead;
+      ++sessions_broken_;
+      return;
+    }
+    ++events_delivered_;
+    session->callback->OnEvent(event);
+  });
+}
+
+void WatchSystem::ForceResync(const std::shared_ptr<Session>& session) {
+  if (session->state != SessionState::kLive) {
+    return;
+  }
+  session->state = SessionState::kResyncing;
+  sim_->After(options_.delivery_latency, [this, session] {
+    session->state = SessionState::kDead;
+    if (session->callback == nullptr || !Reachable(*session)) {
+      ++sessions_broken_;
+      return;
+    }
+    ++resyncs_sent_;
+    session->callback->OnResync();
+  });
+}
+
+void WatchSystem::Progress(const ProgressEvent& event) {
+  tracker_.Apply(event);
+}
+
+void WatchSystem::PumpProgress() {
+  for (auto& [id, session] : sessions_) {
+    if (session->state != SessionState::kLive) {
+      continue;
+    }
+    const common::Version frontier = tracker_.FrontierFor(session->range);
+    if (frontier <= session->last_progress || frontier < session->start_version) {
+      continue;
+    }
+    session->last_progress = frontier;
+    const ProgressEvent event{session->range, frontier};
+    sim_->After(options_.delivery_latency, [this, session, event] {
+      if (session->state != SessionState::kLive || session->callback == nullptr) {
+        return;
+      }
+      if (!Reachable(*session)) {
+        session->state = SessionState::kDead;
+        ++sessions_broken_;
+        return;
+      }
+      session->callback->OnProgress(event);
+    });
+  }
+}
+
+std::unique_ptr<WatchHandle> WatchSystem::Watch(common::Key low, common::Key high,
+                                                common::Version version,
+                                                WatchCallback* callback) {
+  return WatchFrom(std::move(low), std::move(high), version, callback, sim::NodeId());
+}
+
+std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key high,
+                                                    common::Version version,
+                                                    WatchCallback* callback,
+                                                    sim::NodeId watcher_node) {
+  // version == kMaxVersion means "join at the live edge": no replay, no
+  // resync — used by store-less intermediaries (e.g. WatchProxy) that have no
+  // snapshot to recover from and only need a valid forward stream.
+  if (version == common::kMaxVersion) {
+    version = window_.MaxVersion();
+  }
+  auto session = std::make_shared<Session>();
+  session->id = next_session_id_++;
+  session->range = common::KeyRange{std::move(low), std::move(high)};
+  session->start_version = version;
+  session->callback = callback;
+  session->watcher_node = std::move(watcher_node);
+  session->last_progress = version;
+  sessions_.emplace(session->id, session);
+
+  // Opportunistic session-table hygiene: drop dead sessions.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->state == SessionState::kDead && it->second->in_flight == 0) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!window_.CanServeFrom(version)) {
+    // The requested version predates retained history: resync, loudly.
+    ForceResync(session);
+    return std::make_unique<Handle>(session);
+  }
+  // Replay buffered events the watcher has not seen, then go live. Replay and
+  // live dispatch share the fixed delivery latency, so ordering holds.
+  for (const ChangeEvent& event : window_.EventsAfter(session->range, version)) {
+    DeliverEvent(session, event);
+  }
+  return std::make_unique<Handle>(session);
+}
+
+void WatchSystem::CrashSoftState() {
+  window_.Clear();
+  tracker_.Clear();
+  for (auto& [id, session] : sessions_) {
+    if (session->state == SessionState::kLive) {
+      ForceResync(session);
+    }
+  }
+}
+
+std::size_t WatchSystem::active_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->state == SessionState::kLive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace watch

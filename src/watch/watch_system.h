@@ -1,0 +1,141 @@
+// WatchSystem: a standalone watch layer in the spirit of the paper's Snappy
+// (Section 5, "Standalone watch system"). It implements both halves of the
+// Section 4.2 contract:
+//
+//   * Ingester — a store / CDC pipeline appends change events and
+//     range-scoped progress;
+//   * Watchable — watchers subscribe to key ranges from a version.
+//
+// All state here is SOFT state (Section 4.2.2): a bounded retained window of
+// recent events plus a progress frontier. Deleting it loses no data — the
+// system simply forces watchers to resync from the authoritative store. This
+// is the architectural difference from pubsub, whose log is hard state whose
+// garbage collection silently destroys unconsumed messages.
+//
+// Delivery guarantees (tested as properties in tests/watch):
+//   * No gaps: a live session delivers every ingested event in its range with
+//     version > the watch version, in ingest order.
+//   * Loud fallback: when the system cannot honor that guarantee (watch
+//     version below the retained window, session backlog overflow, soft-state
+//     crash), the watcher receives OnResync — never a silent skip.
+#ifndef SRC_WATCH_WATCH_SYSTEM_H_
+#define SRC_WATCH_WATCH_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/api.h"
+#include "watch/progress_tracker.h"
+#include "watch/retained_window.h"
+
+namespace watch {
+
+struct WatchSystemOptions {
+  RetainedWindow::Options window;
+  // One-way latency for event/progress/resync delivery to a watcher. Fixed
+  // (not jittered) per system so in-order delivery within a session holds.
+  common::TimeMicros delivery_latency = 1 * common::kMicrosPerMilli;
+  // Cadence at which sessions receive progress notifications.
+  common::TimeMicros progress_period = 100 * common::kMicrosPerMilli;
+  // A session with more than this many undelivered events is judged lagging:
+  // it receives OnResync and is terminated (the watcher re-snapshots). 0
+  // disables the check.
+  std::size_t max_session_backlog = 0;
+};
+
+class WatchSystem : public NodeAwareWatchable, public Ingester {
+ public:
+  // `net`/`node` give the system a network identity; watchers registered with
+  // a node id are subject to reachability. Pass net == nullptr for a fully
+  // local (always-reachable) system.
+  WatchSystem(sim::Simulator* sim, sim::Network* net, sim::NodeId node,
+              WatchSystemOptions options = {});
+  ~WatchSystem() override;
+
+  WatchSystem(const WatchSystem&) = delete;
+  WatchSystem& operator=(const WatchSystem&) = delete;
+
+  // -- Ingester ---------------------------------------------------------------
+
+  void Append(const ChangeEvent& event) override;
+  void Progress(const ProgressEvent& event) override;
+
+  // -- Watchable ----------------------------------------------------------------
+
+  // Local watcher (co-located; always reachable). Passing
+  // version == common::kMaxVersion joins at the live edge (no replay).
+  std::unique_ptr<WatchHandle> Watch(common::Key low, common::Key high,
+                                     common::Version version, WatchCallback* callback) override;
+
+  // Watcher living on `watcher_node`: deliveries stop if the node becomes
+  // unreachable (the session breaks; the watcher re-watches on recovery).
+  std::unique_ptr<WatchHandle> WatchFrom(common::Key low, common::Key high,
+                                         common::Version version, WatchCallback* callback,
+                                         sim::NodeId watcher_node) override;
+
+  // -- Soft-state lifecycle ------------------------------------------------------
+
+  // Simulates losing the watch system's soft state (process restart, cache
+  // wipe). Every active session receives OnResync; the retained window and
+  // progress frontier restart empty. No data is lost end-to-end: watchers
+  // recover from the store.
+  void CrashSoftState();
+
+  // The oldest version a new watch can start from without resync.
+  common::Version MinRetainedVersion() const { return window_.MinRetainedVersion(); }
+  common::Version MaxIngestedVersion() const { return window_.MaxVersion(); }
+  const ProgressTracker& progress_tracker() const { return tracker_; }
+
+  // -- Metrics --------------------------------------------------------------------
+
+  std::uint64_t events_delivered() const { return events_delivered_; }
+  std::uint64_t resyncs_sent() const { return resyncs_sent_; }
+  std::uint64_t sessions_broken() const { return sessions_broken_; }
+  std::size_t active_sessions() const;
+  std::size_t retained_events() const { return window_.size(); }
+
+ private:
+  enum class SessionState : std::uint8_t { kLive, kResyncing, kDead };
+
+  struct Session {
+    std::uint64_t id = 0;
+    common::KeyRange range;
+    common::Version start_version = 0;
+    WatchCallback* callback = nullptr;
+    sim::NodeId watcher_node;  // Empty: local.
+    SessionState state = SessionState::kLive;
+    std::size_t in_flight = 0;
+    common::Version last_progress = 0;
+  };
+
+  class Handle;
+
+  bool Reachable(const Session& session) const;
+  void DeliverEvent(const std::shared_ptr<Session>& session, const ChangeEvent& event);
+  void ForceResync(const std::shared_ptr<Session>& session);
+  void PumpProgress();
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  sim::NodeId node_;
+  WatchSystemOptions options_;
+  RetainedWindow window_;
+  ProgressTracker tracker_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t events_delivered_ = 0;
+  std::uint64_t resyncs_sent_ = 0;
+  std::uint64_t sessions_broken_ = 0;
+  std::unique_ptr<sim::PeriodicTask> progress_task_;
+};
+
+}  // namespace watch
+
+#endif  // SRC_WATCH_WATCH_SYSTEM_H_

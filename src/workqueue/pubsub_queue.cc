@@ -1,0 +1,89 @@
+#include "workqueue/pubsub_queue.h"
+
+namespace workqueue {
+
+PubsubWorkQueue::PubsubWorkQueue(sim::Simulator* sim, sim::Network* net,
+                                 pubsub::Broker* broker, std::string topic,
+                                 pubsub::GroupId group, storage::MvccStore* store,
+                                 PubsubQueueOptions options)
+    : sim_(sim),
+      net_(net),
+      broker_(broker),
+      topic_(std::move(topic)),
+      store_(store),
+      options_(options) {
+  // Enqueue a task for every desired-state commit: message key = entity key
+  // (per-entity ordering via key-hash partitioning), value = desired state at
+  // enqueue time (event-carried state).
+  store_->AddCommitObserver([this](const storage::CommitRecord& record) {
+    for (const common::ChangeEvent& ev : record.changes) {
+      if (ev.mutation.kind != common::MutationKind::kPut || !IsDesiredKey(ev.key)) {
+        continue;
+      }
+      ++tasks_enqueued_;
+      (void)broker_->Publish(topic_, pubsub::Message{ev.key, ev.mutation.value, 0});
+    }
+  });
+
+  for (std::uint32_t i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->node = options_.worker_prefix + std::to_string(i);
+    Worker* raw = worker.get();
+    worker->consumer = std::make_unique<pubsub::GroupConsumer>(
+        sim_, net_, broker_, group, topic_, worker->node,
+        [this, raw](pubsub::PartitionId, const pubsub::StoredMessage& m) {
+          return HandleTask(raw, m);
+        },
+        options_.consumer);
+    worker->consumer->Start();
+    workers_.push_back(std::move(worker));
+  }
+}
+
+PubsubWorkQueue::~PubsubWorkQueue() = default;
+
+bool PubsubWorkQueue::HandleTask(Worker* worker, const pubsub::StoredMessage& message) {
+  if (worker->busy) {
+    // Still processing the previous task: nack. The partition's entire
+    // backlog — including urgent tasks — waits behind this head (FIFO).
+    return false;
+  }
+  auto id = EntityIdOf(message.message.key);
+  auto desired = DecodeDesired(message.message.value);
+  if (!id.has_value() || !desired.has_value()) {
+    return true;  // Malformed task: drop.
+  }
+  const bool warm = worker->warm_entities.count(*id) > 0;
+  if (warm) {
+    ++warm_hits_;
+  } else {
+    ++cold_misses_;
+    worker->warm_entities.insert(*id);
+  }
+  const common::TimeMicros cost = warm ? options_.costs.warm : options_.costs.cold;
+  worker->busy = true;
+  // The task is acknowledged now (at-least-once, early ack) and the effect
+  // lands after the processing time — executing the config the task CARRIED,
+  // which may no longer be what is desired.
+  const std::string config = desired->config;
+  const std::uint64_t entity = *id;
+  sim_->After(cost, [this, worker, entity, config] {
+    worker->busy = false;
+    if (!net_->IsUp(worker->node)) {
+      return;  // Crashed mid-task: the acked task's effect is lost.
+    }
+    store_->Apply(ActualKey(entity), common::Mutation::Put(config));
+    ++tasks_completed_;
+  });
+  return true;
+}
+
+std::vector<sim::NodeId> PubsubWorkQueue::WorkerNodes() const {
+  std::vector<sim::NodeId> out;
+  for (const auto& w : workers_) {
+    out.push_back(w->node);
+  }
+  return out;
+}
+
+}  // namespace workqueue

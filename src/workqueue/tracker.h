@@ -1,0 +1,102 @@
+// ConvergenceTracker: harness-side oracle for the work-queueing experiments.
+// It observes the producer store and measures, per desired-state change, how
+// long the system takes to make the entity's actual state match — and, at the
+// end of a run, which entities never converged ("stuck workflows").
+#ifndef SRC_WORKQUEUE_TRACKER_H_
+#define SRC_WORKQUEUE_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "workqueue/types.h"
+
+namespace workqueue {
+
+class ConvergenceTracker {
+ public:
+  ConvergenceTracker(sim::Simulator* sim, storage::MvccStore* store) : sim_(sim) {
+    store->AddCommitObserver([this](const storage::CommitRecord& record) {
+      for (const common::ChangeEvent& ev : record.changes) {
+        if (ev.mutation.kind != common::MutationKind::kPut) {
+          continue;
+        }
+        auto id = EntityIdOf(ev.key);
+        if (!id.has_value()) {
+          continue;
+        }
+        if (IsDesiredKey(ev.key)) {
+          Pending& p = pending_[*id];
+          p.desired = ev.mutation.value;
+          p.changed_at = sim_->Now();
+          p.converged = false;
+          auto decoded = DecodeDesired(ev.mutation.value);
+          p.priority = decoded.has_value() ? decoded->priority : 0;
+        } else if (IsActualKey(ev.key)) {
+          auto it = pending_.find(*id);
+          if (it == pending_.end() || it->second.converged) {
+            continue;
+          }
+          // Converged only if the applied actual matches the CURRENT desired
+          // (a stale execution does not count).
+          auto desired = DecodeDesired(it->second.desired);
+          if (desired.has_value() && ev.mutation.value == desired->config) {
+            it->second.converged = true;
+            const double latency_ms =
+                static_cast<double>(sim_->Now() - it->second.changed_at) /
+                common::kMicrosPerMilli;
+            latency_.Record(latency_ms);
+            by_priority_[it->second.priority].Record(latency_ms);
+            ++converged_;
+          } else {
+            ++stale_executions_;
+          }
+        }
+      }
+    });
+  }
+
+  ConvergenceTracker(const ConvergenceTracker&) = delete;
+  ConvergenceTracker& operator=(const ConvergenceTracker&) = delete;
+
+  // Entities whose latest desired change never converged.
+  std::uint64_t StuckEntities() const {
+    std::uint64_t stuck = 0;
+    for (const auto& [id, p] : pending_) {
+      if (!p.converged) {
+        ++stuck;
+      }
+    }
+    return stuck;
+  }
+
+  std::uint64_t converged() const { return converged_; }
+  std::uint64_t stale_executions() const { return stale_executions_; }
+  const common::Histogram& latency_ms() const { return latency_; }
+  const std::map<std::uint32_t, common::Histogram>& latency_by_priority() const {
+    return by_priority_;
+  }
+
+ private:
+  struct Pending {
+    common::Value desired;
+    common::TimeMicros changed_at = 0;
+    std::uint32_t priority = 0;
+    bool converged = true;
+  };
+
+  sim::Simulator* sim_;
+  std::map<std::uint64_t, Pending> pending_;
+  common::Histogram latency_;
+  std::map<std::uint32_t, common::Histogram> by_priority_;
+  std::uint64_t converged_ = 0;
+  std::uint64_t stale_executions_ = 0;
+};
+
+}  // namespace workqueue
+
+#endif  // SRC_WORKQUEUE_TRACKER_H_

@@ -1,0 +1,83 @@
+// Shared vocabulary for the work-queueing experiments (Section 3.2.4 / 4.3):
+// entities with a *desired* and an *actual* state, both rows in the producer
+// store. Work means advancing an entity's actual state to its desired state
+// (the paper's example: ensuring every workload runs on some set of VMs).
+//
+// Key layout groups an entity's rows together so key-range sharding
+// affinitizes whole entities:   ent/<id>/desired   ent/<id>/actual
+#ifndef SRC_WORKQUEUE_TYPES_H_
+#define SRC_WORKQUEUE_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace workqueue {
+
+inline common::Key EntityPrefix(std::uint64_t id) {
+  return "ent/" + common::IndexKey(id) + "/";
+}
+inline common::Key DesiredKey(std::uint64_t id) { return EntityPrefix(id) + "desired"; }
+inline common::Key ActualKey(std::uint64_t id) { return EntityPrefix(id) + "actual"; }
+
+// Key range covering entities [lo, hi).
+inline common::KeyRange EntityRange(std::uint64_t lo, std::uint64_t hi) {
+  return common::KeyRange{"ent/" + common::IndexKey(lo) + "/",
+                          "ent/" + common::IndexKey(hi) + "/"};
+}
+
+// Extracts the entity id from an ent/… key (nullopt for foreign keys).
+inline std::optional<std::uint64_t> EntityIdOf(std::string_view key) {
+  constexpr std::string_view kPrefix = "ent/k";
+  if (key.substr(0, kPrefix.size()) != kPrefix) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  std::size_t i = kPrefix.size();
+  bool any = false;
+  for (; i < key.size() && key[i] >= '0' && key[i] <= '9'; ++i) {
+    id = id * 10 + static_cast<std::uint64_t>(key[i] - '0');
+    any = true;
+  }
+  if (!any || i >= key.size() || key[i] != '/') {
+    return std::nullopt;
+  }
+  return id;
+}
+
+inline bool IsDesiredKey(std::string_view key) {
+  return key.size() > 8 && key.substr(key.size() - 8) == "/desired";
+}
+inline bool IsActualKey(std::string_view key) {
+  return key.size() > 7 && key.substr(key.size() - 7) == "/actual";
+}
+
+// Desired-state value encoding: "<priority>|<config>". Priority 0 is lowest.
+inline common::Value EncodeDesired(std::uint32_t priority, const std::string& config) {
+  return std::to_string(priority) + "|" + config;
+}
+
+struct DesiredState {
+  std::uint32_t priority = 0;
+  std::string config;
+};
+
+inline std::optional<DesiredState> DecodeDesired(const common::Value& value) {
+  const std::size_t bar = value.find('|');
+  if (bar == std::string::npos) {
+    return std::nullopt;
+  }
+  DesiredState out;
+  out.priority = static_cast<std::uint32_t>(std::strtoul(value.substr(0, bar).c_str(),
+                                                         nullptr, 10));
+  out.config = value.substr(bar + 1);
+  return out;
+}
+
+}  // namespace workqueue
+
+#endif  // SRC_WORKQUEUE_TYPES_H_

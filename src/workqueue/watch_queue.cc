@@ -1,0 +1,146 @@
+#include "workqueue/watch_queue.h"
+
+namespace workqueue {
+
+WatchWorkQueue::WatchWorkQueue(sim::Simulator* sim, sim::Network* net,
+                               sharding::AutoSharder* sharder,
+                               watch::NodeAwareWatchable* watchable,
+                               const watch::SnapshotSource* source, storage::MvccStore* store,
+                               WatchQueueOptions options)
+    : sim_(sim),
+      net_(net),
+      sharder_(sharder),
+      watchable_(watchable),
+      source_(source),
+      store_(store),
+      options_(options) {
+  for (std::uint32_t i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->node = options_.worker_prefix + std::to_string(i);
+    net_->AddNode(worker->node);
+    Worker* raw = worker.get();
+    worker->subscription = sharder_->Subscribe(
+        [this, raw](const common::KeyRange& range,
+                    const std::optional<sharding::WorkerId>& owner, sharding::Generation) {
+          OnAssignment(raw, range, owner);
+        },
+        options_.assignment_latency);
+    worker->reconcile_task = std::make_unique<sim::PeriodicTask>(
+        sim_, options_.reconcile_period, [this, raw] { Reconcile(raw); });
+    sharder_->AddWorker(worker->node);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+WatchWorkQueue::~WatchWorkQueue() {
+  for (auto& worker : workers_) {
+    sharder_->Unsubscribe(worker->subscription);
+  }
+}
+
+void WatchWorkQueue::OnAssignment(Worker* worker, const common::KeyRange& range,
+                                  const std::optional<sharding::WorkerId>& owner) {
+  const bool mine = owner == std::optional<sharding::WorkerId>(worker->node);
+  auto exact = worker->ranges.find(range.low);
+  if (mine && exact != worker->ranges.end() && exact->second->range() == range) {
+    return;
+  }
+  for (auto it = worker->ranges.begin(); it != worker->ranges.end();) {
+    if (it->second->range().Overlaps(range)) {
+      it->second->Stop();
+      it = worker->ranges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (mine) {
+    watch::MaterializedOptions mopts = options_.materialized;
+    mopts.node = worker->node;
+    auto mr = std::make_unique<watch::MaterializedRange>(sim_, watchable_, source_, range,
+                                                         mopts);
+    mr->Start();
+    worker->ranges.emplace(range.low, std::move(mr));
+  }
+}
+
+void WatchWorkQueue::Reconcile(Worker* worker) {
+  if (worker->busy || !net_->IsUp(worker->node)) {
+    return;
+  }
+  // Scan owned materializations for the highest-priority divergent entity.
+  // Observing current state (not queued events) means stale work is never
+  // executed and nothing is ever lost.
+  std::optional<std::uint64_t> best_entity;
+  std::uint32_t best_priority = 0;
+  std::string best_config;
+  for (const auto& [low, mr] : worker->ranges) {
+    if (!mr->ready()) {
+      continue;
+    }
+    const std::vector<storage::Entry> entries = mr->LatestScan(mr->range());
+    // Single pass: remember each entity's desired, compare to its actual
+    // (keys are adjacent: .../actual sorts before .../desired).
+    std::map<std::uint64_t, std::string> actuals;
+    for (const storage::Entry& e : entries) {
+      auto id = EntityIdOf(e.key);
+      if (!id.has_value()) {
+        continue;
+      }
+      if (IsActualKey(e.key)) {
+        actuals[*id] = e.value;
+        continue;
+      }
+      if (!IsDesiredKey(e.key)) {
+        continue;
+      }
+      auto desired = DecodeDesired(e.value);
+      if (!desired.has_value()) {
+        continue;
+      }
+      auto actual = actuals.find(*id);
+      const bool divergent =
+          actual == actuals.end() || actual->second != desired->config;
+      if (!divergent) {
+        continue;
+      }
+      if (!best_entity.has_value() || desired->priority > best_priority) {
+        best_entity = *id;
+        best_priority = desired->priority;
+        best_config = desired->config;
+      }
+    }
+  }
+  if (!best_entity.has_value()) {
+    return;
+  }
+  const bool warm = worker->warm_entities.count(*best_entity) > 0;
+  if (warm) {
+    ++warm_hits_;
+  } else {
+    ++cold_misses_;
+    worker->warm_entities.insert(*best_entity);
+  }
+  const common::TimeMicros cost = warm ? options_.costs.warm : options_.costs.cold;
+  worker->busy = true;
+  const std::uint64_t entity = *best_entity;
+  const std::string config = best_config;
+  sim_->After(cost, [this, worker, entity, config] {
+    worker->busy = false;
+    if (!net_->IsUp(worker->node)) {
+      return;  // Crashed mid-step; the entity stays divergent and the range's
+               // next owner (or this worker after restart) reconciles it.
+    }
+    store_->Apply(ActualKey(entity), common::Mutation::Put(config));
+    ++tasks_completed_;
+  });
+}
+
+std::vector<sim::NodeId> WatchWorkQueue::WorkerNodes() const {
+  std::vector<sim::NodeId> out;
+  for (const auto& w : workers_) {
+    out.push_back(w->node);
+  }
+  return out;
+}
+
+}  // namespace workqueue

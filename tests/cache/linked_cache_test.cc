@@ -1,0 +1,156 @@
+#include "cache/linked_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace cache {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+using common::Mutation;
+using common::StatusCode;
+
+class LinkedCacheTest : public ::testing::Test {
+ protected:
+  LinkedCacheTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        ws_(&sim_, &net_, "ws", {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs}),
+        feed_(&sim_, &store_, nullptr, &ws_, {.progress_period = 10 * kMs}) {}
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  storage::MvccStore store_;
+  watch::WatchSystem ws_;
+  cdc::CdcIngesterFeed feed_;
+};
+
+TEST_F(LinkedCacheTest, MissFillsThenHits) {
+  store_.Apply("k", Mutation::Put("v1"));
+  LinkedCache cache(&sim_, &ws_, &store_);
+  EXPECT_EQ(*cache.Get("k"), "v1");
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(*cache.Get("k"), "v1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_TRUE(cache.IsLinked("k"));
+}
+
+TEST_F(LinkedCacheTest, LinkKeepsEntryFresh) {
+  store_.Apply("k", Mutation::Put("v1"));
+  LinkedCache cache(&sim_, &ws_, &store_);
+  (void)cache.Get("k");
+  store_.Apply("k", Mutation::Put("v2"));
+  sim_.RunUntil(50 * kMs);  // The update streams in; no invalidation routing.
+  EXPECT_EQ(*cache.Get("k"), "v2");
+  EXPECT_EQ(cache.hits(), 1u);  // Still a cache hit, not a refill.
+  EXPECT_GE(cache.invalidation_updates(), 1u);
+}
+
+TEST_F(LinkedCacheTest, DeleteStreamsInAsKnownAbsence) {
+  store_.Apply("k", Mutation::Put("v"));
+  LinkedCache cache(&sim_, &ws_, &store_);
+  (void)cache.Get("k");
+  store_.Apply("k", Mutation::Delete());
+  sim_.RunUntil(50 * kMs);
+  EXPECT_EQ(cache.Get("k").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.misses(), 1u);  // The absence was served from cache.
+}
+
+TEST_F(LinkedCacheTest, NegativeCachingOfMissingKeys) {
+  LinkedCache cache(&sim_, &ws_, &store_);
+  EXPECT_EQ(cache.Get("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.Get("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);  // Second lookup hit the cached absence.
+  // And when the key appears, the link updates the cached absence.
+  store_.Apply("ghost", Mutation::Put("now-exists"));
+  sim_.RunUntil(50 * kMs);
+  EXPECT_EQ(*cache.Get("ghost"), "now-exists");
+}
+
+TEST_F(LinkedCacheTest, NoFillRaceWindow) {
+  // An update committed immediately after the fill read still reaches the
+  // entry, because the link starts at the read version.
+  store_.Apply("k", Mutation::Put("v1"));
+  LinkedCache cache(&sim_, &ws_, &store_);
+  (void)cache.Get("k");                      // Read v1, link from that version.
+  store_.Apply("k", Mutation::Put("v2"));    // Commits before any delivery ran.
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(*cache.Get("k"), "v2");
+}
+
+TEST_F(LinkedCacheTest, LruEvictionClosesLinks) {
+  LinkedCache cache(&sim_, &ws_, &store_, {.capacity = 2});
+  store_.Apply("a", Mutation::Put("1"));
+  store_.Apply("b", Mutation::Put("2"));
+  store_.Apply("c", Mutation::Put("3"));
+  (void)cache.Get("a");
+  (void)cache.Get("b");
+  (void)cache.Get("c");  // Evicts "a".
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.IsLinked("a"));
+  EXPECT_TRUE(cache.IsLinked("b"));
+  EXPECT_TRUE(cache.IsLinked("c"));
+  // Touching "b" then inserting keeps "b", evicts "c".
+  store_.Apply("d", Mutation::Put("4"));
+  (void)cache.Get("b");
+  (void)cache.Get("d");
+  EXPECT_TRUE(cache.IsLinked("b"));
+  EXPECT_FALSE(cache.IsLinked("c"));
+}
+
+TEST_F(LinkedCacheTest, ResyncDropsEntryAndRefills) {
+  store_.Apply("k", Mutation::Put("v1"));
+  LinkedCache cache(&sim_, &ws_, &store_);
+  (void)cache.Get("k");
+  ws_.CrashSoftState();  // Every link resyncs.
+  store_.Apply("k", Mutation::Put("v2"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_GE(cache.links_dropped(), 1u);
+  EXPECT_FALSE(cache.IsLinked("k"));
+  // Next Get refills from the store and relinks — fresh, not stale.
+  EXPECT_EQ(*cache.Get("k"), "v2");
+  EXPECT_TRUE(cache.IsLinked("k"));
+}
+
+TEST_F(LinkedCacheTest, NeverServesStaleAfterQuiesce) {
+  LinkedCache cache(&sim_, &ws_, &store_, {.capacity = 64});
+  common::Rng rng(7);
+  for (int step = 0; step < 300; ++step) {
+    const common::Key key = common::IndexKey(rng.Below(40), 2);
+    if (rng.Bernoulli(0.4)) {
+      store_.Apply(key, rng.Bernoulli(0.2)
+                            ? Mutation::Delete()
+                            : Mutation::Put("s" + std::to_string(step)));
+    } else {
+      (void)cache.Get(key);
+    }
+    if (step % 60 == 30) {
+      ws_.CrashSoftState();
+    }
+    sim_.RunUntil(sim_.Now() + 2 * kMs);
+  }
+  sim_.RunUntil(sim_.Now() + 500 * kMs);
+  // Every linked entry agrees with the store.
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const common::Key key = common::IndexKey(i, 2);
+    if (!cache.IsLinked(key)) {
+      continue;
+    }
+    auto cached = cache.Get(key);
+    auto truth = store_.GetLatest(key);
+    if (truth.ok()) {
+      ASSERT_TRUE(cached.ok()) << key;
+      EXPECT_EQ(*cached, *truth) << key;
+    } else {
+      EXPECT_FALSE(cached.ok()) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cache

@@ -1,0 +1,182 @@
+#include "cache/pubsub_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+
+namespace cache {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+using common::Mutation;
+
+// Full pubsub-invalidation stack: store -> CDC -> broker topic -> consumer
+// group over cache pods, with an auto-sharder assigning ownership.
+class PubsubCacheTest : public ::testing::Test {
+ protected:
+  PubsubCacheTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        broker_(&sim_, &net_),
+        sharder_(&sim_, &net_, {.rebalance_period = 10 * kSec}) {
+    EXPECT_TRUE(broker_.CreateTopic("inval", {.partitions = 8}).ok());
+    feed_ = std::make_unique<cdc::CdcPubsubFeed>(&sim_, &net_, &store_, nullptr, &broker_,
+                                                 "inval");
+  }
+
+  std::unique_ptr<PubsubCacheFleet> MakeFleet(PubsubCacheOptions options = {}) {
+    options.consumer.poll_period = 5 * kMs;
+    return std::make_unique<PubsubCacheFleet>(&sim_, &net_, &sharder_, &store_, &broker_,
+                                              "inval", "cache-group", options);
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  storage::MvccStore store_;
+  pubsub::Broker broker_;
+  sharding::AutoSharder sharder_;
+  std::unique_ptr<cdc::CdcPubsubFeed> feed_;
+};
+
+TEST_F(PubsubCacheTest, MissFillsAndHitServes) {
+  store_.Apply("k", Mutation::Put("v1"));
+  auto fleet = MakeFleet();
+  sim_.RunUntil(100 * kMs);
+
+  auto first = fleet->Get("k");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "v1");
+  EXPECT_EQ(fleet->misses(), 1u);
+  sim_.RunUntil(200 * kMs);  // Let the fill install.
+  auto second = fleet->Get("k");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(fleet->hits(), 1u);
+}
+
+TEST_F(PubsubCacheTest, InvalidationDropsEntryOnOwningPod) {
+  store_.Apply("k", Mutation::Put("v1"));
+  auto fleet = MakeFleet({.pods = 1});
+  sim_.RunUntil(100 * kMs);
+  (void)fleet->Get("k");
+  sim_.RunUntil(200 * kMs);  // Entry installed.
+  store_.Apply("k", Mutation::Put("v2"));
+  sim_.RunUntil(400 * kMs);  // Invalidation flows through CDC + group.
+  EXPECT_EQ(fleet->invalidations_applied(), 1u);
+  auto value = fleet->Get("k");  // Miss again; fills fresh value.
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "v2");
+  EXPECT_EQ(fleet->stale_serves(), 0u);
+}
+
+TEST_F(PubsubCacheTest, SteadyStateStaysFresh) {
+  auto fleet = MakeFleet({.pods = 4});
+  for (int i = 0; i < 50; ++i) {
+    store_.Apply(common::IndexKey(i), Mutation::Put("v0"));
+  }
+  sim_.RunUntil(200 * kMs);
+  for (int i = 0; i < 50; ++i) {
+    (void)fleet->Get(common::IndexKey(i));
+  }
+  sim_.RunUntil(400 * kMs);
+  // Update half the keys; invalidations should keep things fresh (no moves).
+  for (int i = 0; i < 25; ++i) {
+    store_.Apply(common::IndexKey(i), Mutation::Put("v1"));
+  }
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(fleet->AuditStaleEntries(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    auto v = fleet->Get(common::IndexKey(i));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i < 25 ? "v1" : "v0");
+  }
+  EXPECT_EQ(fleet->stale_serves(), 0u);
+}
+
+TEST_F(PubsubCacheTest, Figure2RaceStrandsStaleEntry) {
+  // The paper's Figure 2: invalidation of x races with the reassignment of x
+  // from p_old to p_new.
+  auto fleet = MakeFleet({.pods = 2, .fill_latency = 0});
+  store_.Apply("x", Mutation::Put("v1"));
+  sim_.RunUntil(100 * kMs);
+
+  auto pods = fleet->PodNodes();
+  const auto owner0 = sharder_.Owner("x");
+  ASSERT_TRUE(owner0.has_value());
+  const sim::NodeId p_old = *owner0;
+  const sim::NodeId p_new = pods[0] == p_old ? pods[1] : pods[0];
+
+  // p_old caches x.
+  (void)fleet->Get("x");
+  sim_.RunUntil(200 * kMs);
+
+  // The auto-sharder moves x to p_new, and immediately afterwards the store
+  // updates x: the CDC invalidation will be consumed (and acked) through the
+  // consumer group, but p_new has already filled the old value.
+  sharder_.MoveShard("x", p_new);
+  (void)fleet->Get("x");  // p_new fills v1 (still current at fill time).
+  store_.Apply("x", Mutation::Put("v2"));
+  sim_.RunUntil(2 * kSec);  // Invalidation long since delivered... somewhere.
+
+  // p_new still serves v1: a permanently stale entry.
+  auto served = fleet->Get("x");
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(*served, "v1");
+  EXPECT_GE(fleet->stale_serves(), 1u);
+  EXPECT_EQ(fleet->AuditStaleEntries(), 1u);
+}
+
+TEST_F(PubsubCacheTest, TtlEventuallyAgesOutStaleEntry) {
+  auto fleet = MakeFleet({.pods = 2, .fill_latency = 0, .ttl = 1 * kSec});
+  store_.Apply("x", Mutation::Put("v1"));
+  sim_.RunUntil(100 * kMs);
+  auto pods = fleet->PodNodes();
+  const sim::NodeId p_old = *sharder_.Owner("x");
+  const sim::NodeId p_new = pods[0] == p_old ? pods[1] : pods[0];
+  (void)fleet->Get("x");
+  sim_.RunUntil(200 * kMs);
+  sharder_.MoveShard("x", p_new);
+  (void)fleet->Get("x");
+  store_.Apply("x", Mutation::Put("v2"));
+  sim_.RunUntil(500 * kMs);
+  EXPECT_EQ(fleet->AuditStaleEntries(), 1u);  // Stale for now...
+  sim_.RunUntil(2 * kSec);
+  EXPECT_EQ(fleet->AuditStaleEntries(), 0u);  // ...until the TTL expires it.
+  auto v = fleet->Get("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2");
+}
+
+TEST_F(PubsubCacheTest, LeaseGapMakesKeysUnavailable) {
+  sharding::AutoSharder leased(&sim_, &net_,
+                               {.rebalance_period = 10 * kSec, .lease_duration = 500 * kMs});
+  PubsubCacheOptions options;
+  options.pods = 2;
+  options.consumer.poll_period = 5 * kMs;
+  PubsubCacheFleet fleet(&sim_, &net_, &leased, &store_, &broker_, "inval", "lease-group",
+                         options);
+  store_.Apply("x", Mutation::Put("v1"));
+  sim_.RunUntil(100 * kMs);
+  auto pods = fleet.PodNodes();
+  const sim::NodeId p_old = *leased.Owner("x");
+  const sim::NodeId p_new = pods[0] == p_old ? pods[1] : pods[0];
+  leased.MoveShard("x", p_new);
+  // During the lease gap the key has no owner: reads fail (availability cost).
+  EXPECT_EQ(fleet.Get("x").status().code(), common::StatusCode::kUnavailable);
+  EXPECT_GE(fleet.unavailable(), 1u);
+  sim_.RunUntil(2 * kSec);
+  EXPECT_TRUE(fleet.Get("x").ok());  // Lease expired; new owner serves.
+}
+
+TEST_F(PubsubCacheTest, DownedOwnerIsUnavailable) {
+  store_.Apply("k", Mutation::Put("v"));
+  auto fleet = MakeFleet({.pods = 1});
+  sim_.RunUntil(100 * kMs);
+  net_.SetUp(fleet->PodNodes()[0], false);
+  EXPECT_EQ(fleet->Get("k").status().code(), common::StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace cache

@@ -1,0 +1,286 @@
+#include "cache/watch_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace cache {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+using common::KeyRange;
+using common::Mutation;
+
+// Full watch stack: store -> CDC ingester feed -> watch system -> auto-
+// sharded watch-cache fleet.
+class WatchCacheTest : public ::testing::Test {
+ protected:
+  WatchCacheTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        sharder_(&sim_, &net_, {.rebalance_period = 10 * kSec}),
+        ws_(&sim_, &net_, "snappy", {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}),
+        feed_(&sim_, &store_, nullptr, &ws_,
+              {.shards = cdc::UniformShards(1000, 4),
+               .base_latency = 1 * kMs,
+               .stagger = 1 * kMs,
+               .progress_period = 5 * kMs}),
+        source_(&store_) {}
+
+  std::unique_ptr<WatchCacheFleet> MakeFleet(WatchCacheOptions options = {}) {
+    return std::make_unique<WatchCacheFleet>(&sim_, &net_, &sharder_, &ws_, &source_, &store_,
+                                             options);
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  storage::MvccStore store_;
+  sharding::AutoSharder sharder_;
+  watch::WatchSystem ws_;
+  cdc::CdcIngesterFeed feed_;
+  watch::StoreSnapshotSource source_;
+};
+
+TEST_F(WatchCacheTest, ServesMaterializedValues) {
+  store_.Apply(common::IndexKey(1), Mutation::Put("v1"));
+  auto fleet = MakeFleet({.pods = 2});
+  sim_.RunUntil(200 * kMs);
+  auto v = fleet->Get(common::IndexKey(1));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v1");
+  EXPECT_EQ(fleet->hits(), 1u);
+}
+
+TEST_F(WatchCacheTest, UpdatesFlowThroughWithoutInvalidations) {
+  auto fleet = MakeFleet({.pods = 2});
+  sim_.RunUntil(200 * kMs);
+  store_.Apply(common::IndexKey(5), Mutation::Put("fresh"));
+  sim_.RunUntil(400 * kMs);
+  auto v = fleet->Get(common::IndexKey(5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "fresh");
+}
+
+TEST_F(WatchCacheTest, ShardMoveCannotStrandStaleness) {
+  // The same scenario that permanently strands a stale entry in the pubsub
+  // cache (Figure 2): move + concurrent update. The watch cache's new owner
+  // snapshots at acquire time and then receives the update via its own watch.
+  auto fleet = MakeFleet({.pods = 2});
+  store_.Apply(common::IndexKey(7), Mutation::Put("v1"));
+  sim_.RunUntil(200 * kMs);
+
+  auto pods = fleet->PodNodes();
+  const sim::NodeId p_old = *sharder_.Owner(common::IndexKey(7));
+  const sim::NodeId p_new = pods[0] == p_old ? pods[1] : pods[0];
+  sharder_.MoveShard(common::IndexKey(7), p_new);
+  store_.Apply(common::IndexKey(7), Mutation::Put("v2"));
+  sim_.RunUntil(2 * kSec);
+
+  auto v = fleet->Get(common::IndexKey(7));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v2");
+  EXPECT_EQ(fleet->AuditStaleEntries(), 0u);
+}
+
+TEST_F(WatchCacheTest, HandoffIsUnavailableNotWrong) {
+  auto fleet = MakeFleet({.pods = 2, .materialized = {.resync_delay = 50 * kMs}});
+  store_.Apply(common::IndexKey(3), Mutation::Put("v"));
+  sim_.RunUntil(500 * kMs);
+  auto pods = fleet->PodNodes();
+  const sim::NodeId p_old = *sharder_.Owner(common::IndexKey(3));
+  const sim::NodeId p_new = pods[0] == p_old ? pods[1] : pods[0];
+  sharder_.MoveShard(common::IndexKey(3), p_new);
+  sim_.RunUntil(sim_.Now() + 5 * kMs);
+  // Mid-handoff: the new owner's materialization is still loading.
+  auto during = fleet->Get(common::IndexKey(3));
+  EXPECT_EQ(during.status().code(), common::StatusCode::kUnavailable);
+  sim_.RunUntil(sim_.Now() + 1 * kSec);
+  EXPECT_TRUE(fleet->Get(common::IndexKey(3)).ok());
+}
+
+TEST_F(WatchCacheTest, StitchedSnapshotAcrossPods) {
+  for (int i = 0; i < 100; ++i) {
+    store_.Apply(common::IndexKey(i * 10), Mutation::Put("v" + std::to_string(i)));
+  }
+  auto fleet = MakeFleet({.pods = 3});
+  sim_.RunUntil(500 * kMs);
+  // Split ownership so the range spans pods.
+  auto pods = fleet->PodNodes();
+  sharder_.MoveShard(common::IndexKey(0), pods[0]);
+  sim_.RunUntil(1 * kSec);
+
+  auto snap = fleet->SnapshotRead(KeyRange::All());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->entries.size(), 100u);
+  // Verify against the store at the stitched version.
+  auto truth = store_.Scan(KeyRange::All(), snap->version);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_EQ(snap->entries.size(), truth->size());
+  for (std::size_t i = 0; i < truth->size(); ++i) {
+    EXPECT_EQ(snap->entries[i].key, (*truth)[i].key);
+    EXPECT_EQ(snap->entries[i].value, (*truth)[i].value);
+  }
+}
+
+TEST_F(WatchCacheTest, StitchedSnapshotIsPointInTimeUnderWrites) {
+  // Two keys updated together in transactions; a stitched snapshot must show
+  // a consistent pair even while updates stream in.
+  storage::Transaction init = store_.Begin();
+  init.Put(common::IndexKey(100), "pair-0");
+  init.Put(common::IndexKey(900), "pair-0");
+  ASSERT_TRUE(store_.Commit(std::move(init)).ok());
+
+  auto fleet = MakeFleet({.pods = 2});
+  sim_.RunUntil(300 * kMs);
+
+  for (int round = 1; round <= 20; ++round) {
+    storage::Transaction txn = store_.Begin();
+    txn.Put(common::IndexKey(100), "pair-" + std::to_string(round));
+    txn.Put(common::IndexKey(900), "pair-" + std::to_string(round));
+    ASSERT_TRUE(store_.Commit(std::move(txn)).ok());
+    sim_.RunUntil(sim_.Now() + 7 * kMs);
+
+    auto snap = fleet->SnapshotRead(KeyRange::All());
+    if (!snap.ok()) {
+      continue;  // Transiently unavailable is acceptable; wrong is not.
+    }
+    common::Value a;
+    common::Value b;
+    for (const auto& e : snap->entries) {
+      if (e.key == common::IndexKey(100)) {
+        a = e.value;
+      }
+      if (e.key == common::IndexKey(900)) {
+        b = e.value;
+      }
+    }
+    EXPECT_EQ(a, b) << "torn snapshot at round " << round;
+  }
+}
+
+TEST_F(WatchCacheTest, QuiescedFleetHasZeroStaleEntries) {
+  auto fleet = MakeFleet({.pods = 3});
+  common::Rng rng(99);
+  sim_.RunUntil(200 * kMs);
+  for (int step = 0; step < 300; ++step) {
+    store_.Apply(common::IndexKey(rng.Below(200)),
+                 rng.Bernoulli(0.1) ? Mutation::Delete()
+                                    : Mutation::Put("s" + std::to_string(step)));
+    if (step % 50 == 25) {
+      // Random shard churn while writes are in flight.
+      auto pods = fleet->PodNodes();
+      sharder_.MoveShard(common::IndexKey(rng.Below(200)),
+                         pods[rng.Below(pods.size())]);
+    }
+    sim_.RunUntil(sim_.Now() + 2 * kMs);
+  }
+  sim_.RunUntil(sim_.Now() + 3 * kSec);
+  EXPECT_EQ(fleet->AuditStaleEntries(), 0u);
+}
+
+
+TEST_F(WatchCacheTest, PodCrashMovesOwnershipToSurvivor) {
+  sharding::AutoSharder fast_sharder(&sim_, &net_, {.rebalance_period = 300 * kMs});
+  cache::WatchCacheFleet fleet(&sim_, &net_, &fast_sharder, &ws_, &source_, &store_,
+                               {.pods = 2});
+  store_.Apply(common::IndexKey(5), Mutation::Put("v"));
+  sim_.RunUntil(500 * kMs);
+  ASSERT_TRUE(fleet.Get(common::IndexKey(5)).ok());
+
+  // Crash the current owner; the sharder health pass reassigns.
+  const sim::NodeId victim = *fast_sharder.Owner(common::IndexKey(5));
+  net_.SetUp(victim, false);
+  sim_.RunUntil(sim_.Now() + 3 * kSec);
+  const auto new_owner = fast_sharder.Owner(common::IndexKey(5));
+  ASSERT_TRUE(new_owner.has_value());
+  EXPECT_NE(*new_owner, victim);
+  auto v = fleet.Get(common::IndexKey(5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v");
+  EXPECT_EQ(fleet.AuditStaleEntries(), 0u);
+}
+
+
+TEST_F(WatchCacheTest, ReadYourWritesTokenNeverServesPreWriteState) {
+  auto fleet = MakeFleet({.pods = 2});
+  store_.Apply(common::IndexKey(11), Mutation::Put("v1"));
+  sim_.RunUntil(300 * kMs);
+
+  // A client writes and keeps the commit version as its session token.
+  const common::Version token = store_.Apply(common::IndexKey(11), Mutation::Put("v2"));
+
+  // Immediately (events still in flight): the cache either refuses or serves
+  // v2 — it NEVER serves v1 to this client.
+  auto immediate = fleet->Get(common::IndexKey(11), token);
+  if (immediate.ok()) {
+    EXPECT_EQ(*immediate, "v2");
+  } else {
+    EXPECT_EQ(immediate.status().code(), common::StatusCode::kUnavailable);
+  }
+  // Untokened readers may still see the (bounded-stale) old value meanwhile.
+  sim_.RunUntil(sim_.Now() + 1 * kSec);
+  auto later = fleet->Get(common::IndexKey(11), token);
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ(*later, "v2");
+}
+
+TEST_F(WatchCacheTest, ReadAtVersionWaitsForKnowledgeThenServesExactly) {
+  for (int i = 0; i < 20; ++i) {
+    store_.Apply(common::IndexKey(i), Mutation::Put("base"));
+  }
+  auto fleet = MakeFleet({.pods = 2});
+  sim_.RunUntil(300 * kMs);
+
+  // Transactionally update two keys; ask for a snapshot at that version.
+  storage::Transaction txn = store_.Begin();
+  txn.Put(common::IndexKey(2), "pair");
+  txn.Put(common::IndexKey(15), "pair");
+  const common::Version v = *store_.Commit(std::move(txn));
+
+  bool fired = false;
+  fleet->ReadAtVersion(KeyRange::All(), v, 2 * kSec,
+                       [&](common::Result<WatchCacheFleet::StitchedSnapshot> snap) {
+                         fired = true;
+                         ASSERT_TRUE(snap.ok());
+                         EXPECT_GE(snap->version, v);
+                         // Both halves of the transaction visible together.
+                         common::Value a;
+                         common::Value b;
+                         for (const auto& e : snap->entries) {
+                           if (e.key == common::IndexKey(2)) {
+                             a = e.value;
+                           }
+                           if (e.key == common::IndexKey(15)) {
+                             b = e.value;
+                           }
+                         }
+                         EXPECT_EQ(a, "pair");
+                         EXPECT_EQ(b, "pair");
+                       });
+  EXPECT_FALSE(fired);  // Knowledge cannot cover v synchronously.
+  sim_.RunUntil(sim_.Now() + 2 * kSec);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(WatchCacheTest, ReadAtVersionTimesOutHonestly) {
+  auto fleet = MakeFleet({.pods = 2});
+  sim_.RunUntil(300 * kMs);
+  bool fired = false;
+  // Ask for a version far in the future that no write will ever produce.
+  fleet->ReadAtVersion(KeyRange::All(), store_.LatestVersion() + 1000, 200 * kMs,
+                       [&](common::Result<WatchCacheFleet::StitchedSnapshot> snap) {
+                         fired = true;
+                         EXPECT_FALSE(snap.ok());
+                         EXPECT_EQ(snap.status().code(), common::StatusCode::kUnavailable);
+                       });
+  sim_.RunUntil(sim_.Now() + 1 * kSec);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace cache

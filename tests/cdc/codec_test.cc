@@ -1,0 +1,84 @@
+#include "cdc/codec.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cdc {
+namespace {
+
+using common::ChangeEvent;
+using common::Mutation;
+using common::StatusCode;
+
+TEST(CodecTest, PutRoundTrip) {
+  ChangeEvent ev{"user/42", Mutation::Put("payload"), 123, true};
+  auto decoded = DecodeChangeEvent(EncodeChangeEvent(ev));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ev);
+}
+
+TEST(CodecTest, DeleteRoundTrip) {
+  ChangeEvent ev{"k", Mutation::Delete(), 7, false};
+  auto decoded = DecodeChangeEvent(EncodeChangeEvent(ev));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ev);
+}
+
+TEST(CodecTest, BinarySafeKeysAndValues) {
+  std::string key("a\0b c|d\n", 8);
+  std::string value("\x01\x02 \x00|", 5);
+  ChangeEvent ev{key, Mutation::Put(value), 99, true};
+  auto decoded = DecodeChangeEvent(EncodeChangeEvent(ev));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->key, key);
+  EXPECT_EQ(decoded->mutation.value, value);
+}
+
+TEST(CodecTest, EmptyKeyAndValue) {
+  ChangeEvent ev{"", Mutation::Put(""), 1, true};
+  auto decoded = DecodeChangeEvent(EncodeChangeEvent(ev));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ev);
+}
+
+TEST(CodecTest, RejectsGarbage) {
+  EXPECT_EQ(DecodeChangeEvent("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeChangeEvent("X 1 1 1 k").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeChangeEvent("P nope").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeChangeEvent("P 5 2 1 k").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeChangeEvent("P 5 1 99 k").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, RejectsDeleteWithTrailingValue) {
+  // "D 5 1 1 kEXTRA": key length 1, but bytes remain after the key.
+  EXPECT_EQ(DecodeChangeEvent("D 5 1 1 kEXTRA").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, FuzzRoundTrip) {
+  common::Rng rng(31337);
+  for (int i = 0; i < 500; ++i) {
+    std::string key;
+    std::string value;
+    const std::size_t klen = rng.Below(20);
+    const std::size_t vlen = rng.Below(40);
+    for (std::size_t c = 0; c < klen; ++c) {
+      key.push_back(static_cast<char>(rng.Below(256)));
+    }
+    for (std::size_t c = 0; c < vlen; ++c) {
+      value.push_back(static_cast<char>(rng.Below(256)));
+    }
+    ChangeEvent ev{key,
+                   rng.Bernoulli(0.2) ? Mutation::Delete() : Mutation::Put(value),
+                   rng.Next(), rng.Bernoulli(0.5)};
+    auto decoded = DecodeChangeEvent(EncodeChangeEvent(ev));
+    ASSERT_TRUE(decoded.ok()) << "iteration " << i;
+    EXPECT_EQ(*decoded, ev);
+  }
+}
+
+}  // namespace
+}  // namespace cdc

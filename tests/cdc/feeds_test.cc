@@ -1,0 +1,183 @@
+#include "cdc/feeds.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdc/codec.h"
+#include "pubsub/consumer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/watch_system.h"
+
+namespace cdc {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+using common::KeyRange;
+using common::Mutation;
+
+TEST(UniformShardsTest, CoversKeySpaceContiguously) {
+  auto shards = UniformShards(1000, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards.front().low, "");
+  EXPECT_TRUE(shards.back().unbounded_above());
+  for (std::size_t i = 0; i + 1 < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].high, shards[i + 1].low);
+  }
+  // Every IndexKey falls in exactly one shard.
+  for (std::uint64_t k = 0; k < 1000; k += 37) {
+    int hits = 0;
+    for (const auto& s : shards) {
+      if (s.Contains(common::IndexKey(k))) {
+        ++hits;
+      }
+    }
+    EXPECT_EQ(hits, 1) << k;
+  }
+}
+
+TEST(UniformShardsTest, SingleShardIsAll) {
+  auto shards = UniformShards(100, 1);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0], KeyRange::All());
+}
+
+class PubsubFeedTest : public ::testing::Test {
+ protected:
+  PubsubFeedTest() : net_(&sim_, {.base = 0, .jitter = 0}), broker_(&sim_, &net_) {
+    EXPECT_TRUE(broker_.CreateTopic("cdc", {.partitions = 4}).ok());
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  pubsub::Broker broker_;
+  storage::MvccStore store_;
+};
+
+TEST_F(PubsubFeedTest, CommitsArriveAsDecodableMessages) {
+  CdcPubsubFeed feed(&sim_, &net_, &store_, nullptr, &broker_, "cdc");
+  storage::Transaction txn = store_.Begin();
+  txn.Put("alpha", "1");
+  txn.Delete("beta");
+  const common::Version v = *store_.Commit(std::move(txn));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(feed.published(), 2u);
+
+  std::vector<common::ChangeEvent> got;
+  for (pubsub::PartitionId p = 0; p < 4; ++p) {
+    auto batch = broker_.Fetch("cdc", p, 0, 100);
+    ASSERT_TRUE(batch.ok());
+    for (const auto& m : *batch) {
+      auto ev = DecodeChangeEvent(m.message.value);
+      ASSERT_TRUE(ev.ok());
+      got.push_back(*ev);
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& ev : got) {
+    EXPECT_EQ(ev.version, v);
+  }
+}
+
+TEST_F(PubsubFeedTest, BuffersWhileBrokerUnreachableThenRetries) {
+  CdcPubsubFeed feed(&sim_, &net_, &store_, nullptr, &broker_, "cdc",
+                     {.node = "cdc-node", .retry_period = 20 * kMs});
+  net_.SetUp("cdc-node", false);
+  store_.Apply("k", Mutation::Put("v"));
+  sim_.RunUntil(200 * kMs);
+  EXPECT_EQ(feed.published(), 0u);
+  EXPECT_EQ(feed.pending(), 1u);
+  net_.SetUp("cdc-node", true);
+  sim_.RunUntil(400 * kMs);
+  EXPECT_EQ(feed.published(), 1u);
+  EXPECT_EQ(feed.pending(), 0u);
+}
+
+TEST_F(PubsubFeedTest, ViewFilteringHidesPrivateKeys) {
+  storage::FilteredView view(&store_, KeyRange{"public/", "public0"});
+  CdcPubsubFeed feed(&sim_, &net_, &store_, &view, &broker_, "cdc");
+  store_.Apply("public/a", Mutation::Put("1"));
+  store_.Apply("secret/b", Mutation::Put("2"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(feed.published(), 1u);
+}
+
+class IngesterFeedTest : public ::testing::Test {
+ protected:
+  IngesterFeedTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        ws_(&sim_, &net_, "watch", {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs}) {
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  storage::MvccStore store_;
+  watch::WatchSystem ws_;
+};
+
+TEST_F(IngesterFeedTest, EventsReachIngesterPerShard) {
+  CdcIngesterFeed feed(&sim_, &store_, nullptr, &ws_,
+                       {.shards = UniformShards(100, 2, 2)});
+  store_.Apply(common::IndexKey(10, 2), Mutation::Put("lo"));
+  store_.Apply(common::IndexKey(90, 2), Mutation::Put("hi"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(feed.appended(), 2u);
+  EXPECT_EQ(ws_.MaxIngestedVersion(), store_.LatestVersion());
+}
+
+TEST_F(IngesterFeedTest, ProgressAdvancesAllShardFrontiers) {
+  CdcIngesterFeed feed(&sim_, &store_, nullptr, &ws_,
+                       {.shards = UniformShards(100, 4, 2), .progress_period = 10 * kMs});
+  store_.Apply(common::IndexKey(5, 2), Mutation::Put("x"));
+  const common::Version v = store_.LatestVersion();
+  sim_.RunUntil(200 * kMs);
+  EXPECT_EQ(ws_.progress_tracker().FrontierFor(KeyRange::All()), v);
+}
+
+TEST_F(IngesterFeedTest, StaggeredShardsDeliverOutOfOrderAcrossRanges) {
+  // Shard 0 has lower latency than shard 3; a later commit to shard 0 can
+  // arrive before an earlier commit to shard 3 — the cross-range disorder
+  // that range-scoped progress exists to describe.
+  std::vector<common::Version> arrival_order;
+  class Recorder : public watch::Ingester {
+   public:
+    explicit Recorder(std::vector<common::Version>* order) : order_(order) {}
+    void Append(const common::ChangeEvent& ev) override { order_->push_back(ev.version); }
+    void Progress(const common::ProgressEvent&) override {}
+
+   private:
+    std::vector<common::Version>* order_;
+  };
+  Recorder recorder(&arrival_order);
+  CdcIngesterFeed feed(&sim_, &store_, nullptr, &recorder,
+                       {.shards = UniformShards(100, 4, 2),
+                        .base_latency = 1 * kMs,
+                        .stagger = 10 * kMs,
+                        .progress_period = 0});
+  const common::Version v_slow =
+      store_.Apply(common::IndexKey(99, 2), Mutation::Put("slow-shard"));
+  const common::Version v_fast =
+      store_.Apply(common::IndexKey(1, 2), Mutation::Put("fast-shard"));
+  ASSERT_LT(v_slow, v_fast);
+  sim_.RunUntil(200 * kMs);
+  ASSERT_EQ(arrival_order.size(), 2u);
+  EXPECT_EQ(arrival_order[0], v_fast);  // Out of version order.
+  EXPECT_EQ(arrival_order[1], v_slow);
+}
+
+TEST_F(IngesterFeedTest, InvisibleCommitsStillAdvanceProgress) {
+  storage::FilteredView view(&store_, KeyRange{"public/", "public0"});
+  CdcIngesterFeed feed(&sim_, &store_, &view, &ws_, {.progress_period = 10 * kMs});
+  store_.Apply("secret/x", Mutation::Put("hidden"));
+  const common::Version v = store_.LatestVersion();
+  sim_.RunUntil(100 * kMs);
+  // No event was delivered, but the frontier covers the hidden commit.
+  EXPECT_EQ(ws_.progress_tracker().FrontierFor(KeyRange::All()), v);
+  EXPECT_EQ(feed.appended(), 0u);
+}
+
+}  // namespace
+}  // namespace cdc

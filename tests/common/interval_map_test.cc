@@ -1,0 +1,193 @@
+#include "common/interval_map.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace common {
+namespace {
+
+TEST(IntervalMapTest, DefaultCoversEverything) {
+  IntervalMap<int> m(7);
+  EXPECT_EQ(m.Get(""), 7);
+  EXPECT_EQ(m.Get("zzz"), 7);
+  EXPECT_EQ(m.segment_count(), 1u);
+}
+
+TEST(IntervalMapTest, AssignMiddleRange) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"c", "f"}, 1);
+  EXPECT_EQ(m.Get("b"), 0);
+  EXPECT_EQ(m.Get("c"), 1);
+  EXPECT_EQ(m.Get("e"), 1);
+  EXPECT_EQ(m.Get("f"), 0);
+  EXPECT_EQ(m.segment_count(), 3u);
+}
+
+TEST(IntervalMapTest, AssignUnboundedTail) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"m", ""}, 5);
+  EXPECT_EQ(m.Get("a"), 0);
+  EXPECT_EQ(m.Get("m"), 5);
+  EXPECT_EQ(m.Get("zzzz"), 5);
+}
+
+TEST(IntervalMapTest, AssignFromKeySpaceStart) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"", "g"}, 3);
+  EXPECT_EQ(m.Get(""), 3);
+  EXPECT_EQ(m.Get("f"), 3);
+  EXPECT_EQ(m.Get("g"), 0);
+}
+
+TEST(IntervalMapTest, OverlappingAssignsSplitCorrectly) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"b", "h"}, 1);
+  m.Assign(KeyRange{"e", "k"}, 2);
+  EXPECT_EQ(m.Get("a"), 0);
+  EXPECT_EQ(m.Get("b"), 1);
+  EXPECT_EQ(m.Get("d"), 1);
+  EXPECT_EQ(m.Get("e"), 2);
+  EXPECT_EQ(m.Get("j"), 2);
+  EXPECT_EQ(m.Get("k"), 0);
+}
+
+TEST(IntervalMapTest, CoalescesAdjacentEqualValues) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"b", "d"}, 1);
+  m.Assign(KeyRange{"d", "f"}, 1);
+  EXPECT_EQ(m.segment_count(), 3u);  // [ ,b)=0 [b,f)=1 [f, )=0.
+  m.Assign(KeyRange{"b", "f"}, 0);
+  EXPECT_EQ(m.segment_count(), 1u);  // Everything back to default.
+}
+
+TEST(IntervalMapTest, EmptyRangeAssignIsNoOp) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"c", "c"}, 9);
+  EXPECT_EQ(m.Get("c"), 0);
+  EXPECT_EQ(m.segment_count(), 1u);
+}
+
+TEST(IntervalMapTest, TransformAppliesToOverlapOnly) {
+  IntervalMap<int> m(10);
+  m.Assign(KeyRange{"d", "g"}, 20);
+  m.Transform(KeyRange{"a", "e"}, [](const int& v) { return v + 1; });
+  EXPECT_EQ(m.Get(""), 10);   // Before "a": untouched.
+  EXPECT_EQ(m.Get("a"), 11);  // [a,d): bumped default.
+  EXPECT_EQ(m.Get("d"), 21);  // [d,e): bumped assigned value.
+  EXPECT_EQ(m.Get("e"), 20);  // [e,g): untouched.
+  EXPECT_EQ(m.Get("g"), 10);
+}
+
+TEST(IntervalMapTest, VisitClipsToRange) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"c", "f"}, 1);
+  m.Assign(KeyRange{"f", "j"}, 2);
+  std::vector<std::pair<KeyRange, int>> seen;
+  m.Visit(KeyRange{"d", "h"},
+          [&seen](const KeyRange& r, const int& v) { seen.emplace_back(r, v); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, (KeyRange{"d", "f"}));
+  EXPECT_EQ(seen[0].second, 1);
+  EXPECT_EQ(seen[1].first, (KeyRange{"f", "h"}));
+  EXPECT_EQ(seen[1].second, 2);
+}
+
+TEST(IntervalMapTest, VisitFullRangeSeesAllSegments) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"c", "f"}, 1);
+  int count = 0;
+  m.Visit(KeyRange::All(), [&count](const KeyRange&, const int&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(IntervalMapTest, SegmentsAreContiguousAndOrdered) {
+  IntervalMap<int> m(0);
+  m.Assign(KeyRange{"b", "e"}, 1);
+  m.Assign(KeyRange{"h", "m"}, 2);
+  auto segs = m.Segments();
+  ASSERT_GE(segs.size(), 2u);
+  EXPECT_EQ(segs.front().range.low, "");
+  EXPECT_TRUE(segs.back().range.unbounded_above());
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].range.high, segs[i + 1].range.low);
+  }
+}
+
+TEST(IntervalMapTest, FoldComputesMin) {
+  IntervalMap<Version> m(100);
+  m.Assign(KeyRange{"c", "f"}, 40);
+  m.Assign(KeyRange{"f", "j"}, 60);
+  const Version min_all = m.Fold<Version>(
+      KeyRange::All(), kMaxVersion,
+      [](Version acc, const KeyRange&, const Version& v) { return std::min(acc, v); });
+  EXPECT_EQ(min_all, 40u);
+  const Version min_tail = m.Fold<Version>(
+      KeyRange{"g", ""}, kMaxVersion,
+      [](Version acc, const KeyRange&, const Version& v) { return std::min(acc, v); });
+  EXPECT_EQ(min_tail, 60u);
+}
+
+// Property test: a random sequence of Assigns agrees with a brute-force model
+// evaluated at probe keys, and segments always tile the key space.
+class IntervalMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalMapPropertyTest, MatchesBruteForceModel) {
+  Rng rng(GetParam());
+  IntervalMap<int> m(-1);
+
+  struct Op {
+    KeyRange range;
+    int value;
+  };
+  std::vector<Op> ops;
+
+  auto random_key = [&rng]() { return IndexKey(rng.Below(100), 3); };
+
+  for (int step = 0; step < 200; ++step) {
+    Key a = random_key();
+    Key b = rng.Bernoulli(0.1) ? Key() : random_key();
+    if (!b.empty() && b < a) {
+      std::swap(a, b);
+    }
+    Op op{KeyRange{a, b}, static_cast<int>(rng.Below(5))};
+    m.Assign(op.range, op.value);
+    ops.push_back(op);
+
+    // Model lookup: last op whose range contains the key, else default.
+    auto model = [&ops](const Key& k) {
+      int v = -1;
+      for (const Op& o : ops) {
+        if (o.range.Contains(k)) {
+          v = o.value;
+        }
+      }
+      return v;
+    };
+
+    for (int probe = 0; probe < 10; ++probe) {
+      const Key k = IndexKey(rng.Below(100), 3);
+      EXPECT_EQ(m.Get(k), model(k)) << "key " << k << " at step " << step;
+    }
+
+    // Structural invariants: segments tile the space, no adjacent equal pair.
+    auto segs = m.Segments();
+    EXPECT_EQ(segs.front().range.low, "");
+    EXPECT_TRUE(segs.back().range.unbounded_above());
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+      EXPECT_EQ(segs[i].range.high, segs[i + 1].range.low);
+      EXPECT_NE(segs[i].value, segs[i + 1].value) << "uncoalesced at " << segs[i].range.high;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalMapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace common

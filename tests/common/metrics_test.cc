@@ -1,0 +1,62 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace common {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 6);
+  c.Increment(-2);
+  EXPECT_EQ(c.value(), 4);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.51);
+  EXPECT_NEAR(h.Percentile(99), 99, 1.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Record(0);
+  h.Record(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+}
+
+TEST(MetricsRegistryTest, NamedAccessCreatesOnce) {
+  MetricsRegistry reg;
+  reg.counter("a").Increment(3);
+  reg.counter("a").Increment(4);
+  reg.histogram("lat").Record(1.5);
+  EXPECT_EQ(reg.counter("a").value(), 7);
+  EXPECT_EQ(reg.histogram("lat").count(), 1u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  reg.Reset();
+  EXPECT_EQ(reg.counters().size(), 0u);
+}
+
+}  // namespace
+}  // namespace common

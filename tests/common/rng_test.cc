@@ -1,0 +1,138 @@
+#include "common/rng.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace common {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(50.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(19);
+  const std::uint64_t n = 1000;
+  int low_rank = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t idx = rng.Zipf(n, 0.99);
+    EXPECT_LT(idx, n);
+    if (idx < 10) {
+      ++low_rank;
+    }
+  }
+  // With theta ~1, the top 1% of ranks should absorb far more than 1% of
+  // draws.
+  EXPECT_GT(low_rank, draws / 20);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniform) {
+  Rng rng(21);
+  const std::uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.Zipf(n, 0.0)];
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], 5000, 450) << "bucket " << i;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's output.
+  Rng parent_copy(23);
+  (void)parent_copy.Next();  // Fork consumed one draw.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == parent_copy.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(IndexKeyTest, FixedWidthAndOrdered) {
+  EXPECT_EQ(IndexKey(0), "k00000000");
+  EXPECT_EQ(IndexKey(1234), "k00001234");
+  EXPECT_EQ(IndexKey(7, 3), "k007");
+  EXPECT_LT(IndexKey(99), IndexKey(100));  // Lexicographic == numeric.
+  EXPECT_LT(IndexKey(999), IndexKey(10000));
+}
+
+}  // namespace
+}  // namespace common

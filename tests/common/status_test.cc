@@ -1,0 +1,75 @@
+#include "common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesAndMessages) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Aborted().code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::OutOfRange().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unavailable().code(), StatusCode::kUnavailable);
+  Status s = Status::InvalidArgument("bad key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad key");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad key");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Aborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsThrough() {
+  RETURN_IF_ERROR(Status::Aborted("inner"));
+  return Status::Ok();
+}
+
+Status Passes() {
+  RETURN_IF_ERROR(Status::Ok());
+  return Status::Internal("reached end");
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kAborted);
+  EXPECT_EQ(Passes().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace common

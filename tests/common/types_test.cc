@@ -1,0 +1,117 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace common {
+namespace {
+
+TEST(KeyRangeTest, ContainsHalfOpen) {
+  KeyRange r{"b", "d"};
+  EXPECT_FALSE(r.Contains("a"));
+  EXPECT_TRUE(r.Contains("b"));
+  EXPECT_TRUE(r.Contains("c"));
+  EXPECT_TRUE(r.Contains("czzz"));
+  EXPECT_FALSE(r.Contains("d"));
+  EXPECT_FALSE(r.Contains("e"));
+}
+
+TEST(KeyRangeTest, AllContainsEverything) {
+  KeyRange all = KeyRange::All();
+  EXPECT_TRUE(all.Contains(""));
+  EXPECT_TRUE(all.Contains("anything"));
+  EXPECT_TRUE(all.unbounded_above());
+  EXPECT_FALSE(all.Empty());
+}
+
+TEST(KeyRangeTest, SingleContainsExactlyOneKey) {
+  KeyRange r = KeyRange::Single("k");
+  EXPECT_TRUE(r.Contains("k"));
+  EXPECT_FALSE(r.Contains("j"));
+  EXPECT_FALSE(r.Contains("k0"));
+  EXPECT_FALSE(r.Contains("l"));
+  // The only key between "k" and "k\0" is "k" itself.
+  EXPECT_TRUE(r.Contains(std::string("k")));
+}
+
+TEST(KeyRangeTest, EmptyRanges) {
+  EXPECT_TRUE((KeyRange{"b", "b"}.Empty()));
+  EXPECT_TRUE((KeyRange{"c", "b"}.Empty()));
+  EXPECT_FALSE((KeyRange{"b", "c"}.Empty()));
+  EXPECT_FALSE((KeyRange{"b", ""}.Empty()));  // Unbounded above.
+}
+
+TEST(KeyRangeTest, UnboundedAboveContainsLargeKeys) {
+  KeyRange r{"m", ""};
+  EXPECT_TRUE(r.Contains("m"));
+  EXPECT_TRUE(r.Contains("zzzzzz"));
+  EXPECT_FALSE(r.Contains("a"));
+}
+
+TEST(KeyRangeTest, Overlaps) {
+  KeyRange ab{"a", "b"};
+  KeyRange bc{"b", "c"};
+  KeyRange ac{"a", "c"};
+  KeyRange cd{"c", "d"};
+  EXPECT_FALSE(ab.Overlaps(bc));  // Half-open: share no key.
+  EXPECT_TRUE(ab.Overlaps(ac));
+  EXPECT_TRUE(ac.Overlaps(bc));
+  EXPECT_FALSE(ab.Overlaps(cd));
+  EXPECT_TRUE(KeyRange::All().Overlaps(ab));
+  EXPECT_FALSE((KeyRange{"a", "a"}).Overlaps(ab));  // Empty never overlaps.
+}
+
+TEST(KeyRangeTest, OverlapsUnbounded) {
+  KeyRange tail{"m", ""};
+  EXPECT_TRUE(tail.Overlaps(KeyRange{"z", ""}));
+  EXPECT_TRUE(tail.Overlaps(KeyRange{"a", "n"}));
+  EXPECT_FALSE(tail.Overlaps(KeyRange{"a", "m"}));
+}
+
+TEST(KeyRangeTest, Covers) {
+  KeyRange outer{"b", "y"};
+  EXPECT_TRUE(outer.Covers(KeyRange{"b", "y"}));
+  EXPECT_TRUE(outer.Covers(KeyRange{"c", "d"}));
+  EXPECT_FALSE(outer.Covers(KeyRange{"a", "c"}));
+  EXPECT_FALSE(outer.Covers(KeyRange{"x", "z"}));
+  EXPECT_FALSE(outer.Covers(KeyRange{"x", ""}));
+  EXPECT_TRUE(KeyRange::All().Covers(KeyRange{"x", ""}));
+  EXPECT_TRUE(outer.Covers(KeyRange{"q", "q"}));  // Empty range always covered.
+}
+
+TEST(KeyRangeTest, Intersect) {
+  KeyRange a{"b", "m"};
+  KeyRange b{"h", "z"};
+  KeyRange i = a.Intersect(b);
+  EXPECT_EQ(i.low, "h");
+  EXPECT_EQ(i.high, "m");
+
+  KeyRange disjoint = a.Intersect(KeyRange{"n", "z"});
+  EXPECT_TRUE(disjoint.Empty());
+
+  KeyRange with_unbounded = a.Intersect(KeyRange{"c", ""});
+  EXPECT_EQ(with_unbounded.low, "c");
+  EXPECT_EQ(with_unbounded.high, "m");
+
+  KeyRange both_unbounded = KeyRange{"c", ""}.Intersect(KeyRange{"e", ""});
+  EXPECT_EQ(both_unbounded.low, "e");
+  EXPECT_TRUE(both_unbounded.unbounded_above());
+}
+
+TEST(MutationTest, FactoryFunctions) {
+  Mutation put = Mutation::Put("v1");
+  EXPECT_EQ(put.kind, MutationKind::kPut);
+  EXPECT_EQ(put.value, "v1");
+  Mutation del = Mutation::Delete();
+  EXPECT_EQ(del.kind, MutationKind::kDelete);
+}
+
+TEST(ChangeEventTest, Equality) {
+  ChangeEvent a{"k", Mutation::Put("v"), 7, true};
+  ChangeEvent b{"k", Mutation::Put("v"), 7, true};
+  ChangeEvent c{"k", Mutation::Put("v"), 8, true};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace common

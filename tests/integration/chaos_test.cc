@@ -1,0 +1,231 @@
+// Chaos integration tests: the paper's end-to-end claim, adversarially.
+//
+// The promise of the storage+watch architecture (§4.4) is that NO failure of
+// the notification plane can silently lose data: watchers converge to the
+// authoritative store after any combination of watcher crashes, watch-system
+// soft-state wipes, network partitions, and CDC lag — because every gap is
+// either replayed or surfaced as a resync against the store.
+//
+// Each test drives a full stack (MvccStore -> sharded CdcIngesterFeed ->
+// WatchSystem [-> WatchProxy] -> MaterializedRange fleet) under a seeded
+// random failure schedule, then quiesces and requires BYTE-EXACT convergence
+// of every watcher with the store.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/materialized.h"
+#include "watch/proxy.h"
+#include "watch/snapshot_source.h"
+#include "watch/watch_system.h"
+
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+constexpr std::uint64_t kKeys = 150;
+
+// Compares a watcher's materialization to the store, byte for byte.
+void ExpectConverged(const watch::MaterializedRange& mr, const storage::MvccStore& store,
+                     const std::string& who) {
+  ASSERT_TRUE(mr.ready()) << who;
+  auto truth = store.Scan(mr.range(), store.LatestVersion());
+  ASSERT_TRUE(truth.ok()) << who;
+  auto mine = mr.LatestScan(mr.range());
+  ASSERT_EQ(mine.size(), truth->size()) << who;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].key, (*truth)[i].key) << who;
+    EXPECT_EQ(mine[i].value, (*truth)[i].value) << who;
+  }
+}
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, WatcherFleetSurvivesArbitraryFailures) {
+  sim::Simulator sim(GetParam());
+  sim::Network net(&sim, {.base = 200, .jitter = 100});
+  storage::MvccStore store("source");
+  // A deliberately small window so crashes regularly exceed it (forcing the
+  // resync path, not just session replay).
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.window = {.max_events = 300},
+                         .delivery_latency = 1 * kMs,
+                         .progress_period = 10 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &ws,
+                            {.shards = cdc::UniformShards(kKeys, 3, 4),
+                             .base_latency = 1 * kMs,
+                             .stagger = 2 * kMs,
+                             .progress_period = 10 * kMs});
+  watch::StoreSnapshotSource source(&store);
+
+  // 4 watchers: 3 sharded + 1 full-range.
+  std::vector<std::unique_ptr<watch::MaterializedRange>> fleet;
+  std::vector<sim::NodeId> nodes;
+  auto shards = cdc::UniformShards(kKeys, 3, 4);
+  shards.push_back(common::KeyRange::All());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const sim::NodeId node = "watcher-" + std::to_string(i);
+    net.AddNode(node);
+    nodes.push_back(node);
+    auto mr = std::make_unique<watch::MaterializedRange>(
+        &sim, &ws, &source, shards[i],
+        watch::MaterializedOptions{.resync_delay = 5 * kMs,
+                                   .session_check_period = 50 * kMs,
+                                   .node = node,
+                                   .net = &net});
+    mr->Start();
+    fleet.push_back(std::move(mr));
+  }
+  sim.RunUntil(100 * kMs);
+
+  common::Rng rng(GetParam() * 7919 + 3);
+  common::Rng fail_rng(GetParam() * 104729 + 11);
+
+  // Writer: continuous commits, some transactional, some deletes.
+  sim::PeriodicTask writer(&sim, 3 * kMs, [&] {
+    storage::Transaction txn = store.Begin();
+    const int writes = 1 + static_cast<int>(rng.Below(3));
+    for (int w = 0; w < writes; ++w) {
+      const common::Key key = common::IndexKey(rng.Below(kKeys), 4);
+      if (rng.Bernoulli(0.15)) {
+        txn.Delete(key);
+      } else {
+        txn.Put(key, "v" + std::to_string(sim.Now()));
+      }
+    }
+    ASSERT_TRUE(store.Commit(std::move(txn)).ok());
+  });
+
+  // Failure schedule: every 300ms, something bad happens.
+  sim::PeriodicTask chaos(&sim, 300 * kMs, [&] {
+    switch (fail_rng.Below(4)) {
+      case 0: {  // Watcher node outage (500ms - 2s).
+        const auto victim = fail_rng.Below(nodes.size());
+        if (net.IsUp(nodes[victim])) {
+          net.SetUp(nodes[victim], false);
+          sim.After(500 * kMs + fail_rng.Below(1500) * kMs,
+                    [&net, node = nodes[victim]] { net.SetUp(node, true); });
+        }
+        break;
+      }
+      case 1:  // The watch system loses all soft state.
+        ws.CrashSoftState();
+        break;
+      case 2: {  // Network partition between the watch system and a watcher.
+        const auto victim = fail_rng.Below(nodes.size());
+        net.Partition("snappy", nodes[victim]);
+        sim.After(400 * kMs + fail_rng.Below(800) * kMs,
+                  [&net, node = nodes[victim]] { net.Heal("snappy", node); });
+        break;
+      }
+      case 3: {  // Watcher process crash: local data lost entirely.
+        const auto victim = fail_rng.Below(fleet.size());
+        fleet[victim]->CrashLocalState();
+        sim.After(200 * kMs, [&fleet, victim] { fleet[victim]->Start(); });
+        break;
+      }
+    }
+  });
+
+  sim.RunUntil(10 * kSec);
+  writer.Stop();
+  chaos.Stop();
+  // Heal everything and quiesce.
+  for (const auto& node : nodes) {
+    net.SetUp(node, true);
+    net.Heal("snappy", node);
+  }
+  sim.RunUntil(20 * kSec);
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    ExpectConverged(*fleet[i], store, "watcher-" + std::to_string(i));
+  }
+}
+
+TEST_P(ChaosTest, ProxyTierSurvivesArbitraryFailures) {
+  sim::Simulator sim(GetParam() + 1000);
+  sim::Network net(&sim, {.base = 200, .jitter = 100});
+  storage::MvccStore store("source");
+  watch::WatchSystem root(&sim, &net, "root",
+                          {.window = {.max_events = 300},
+                           .delivery_latency = 1 * kMs,
+                           .progress_period = 10 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &root, {.progress_period = 10 * kMs});
+  watch::StoreSnapshotSource source(&store);
+
+  // Two proxies, two watchers behind each.
+  watch::WatchProxy proxy_a(&sim, &net, &root, common::KeyRange::All(), "proxy-a",
+                            {.system = {.window = {.max_events = 300},
+                                        .delivery_latency = 1 * kMs,
+                                        .progress_period = 10 * kMs}});
+  watch::WatchProxy proxy_b(&sim, &net, &root, common::KeyRange::All(), "proxy-b",
+                            {.system = {.window = {.max_events = 300},
+                                        .delivery_latency = 1 * kMs,
+                                        .progress_period = 10 * kMs}});
+  std::vector<std::unique_ptr<watch::MaterializedRange>> fleet;
+  for (int i = 0; i < 4; ++i) {
+    const sim::NodeId node = "watcher-" + std::to_string(i);
+    net.AddNode(node);
+    auto mr = std::make_unique<watch::MaterializedRange>(
+        &sim, i < 2 ? static_cast<watch::NodeAwareWatchable*>(&proxy_a) : &proxy_b, &source,
+        common::KeyRange::All(),
+        watch::MaterializedOptions{.resync_delay = 5 * kMs,
+                                   .session_check_period = 50 * kMs,
+                                   .node = node,
+                                   .net = &net});
+    mr->Start();
+    fleet.push_back(std::move(mr));
+  }
+  sim.RunUntil(100 * kMs);
+
+  common::Rng rng(GetParam() * 31 + 17);
+  common::Rng fail_rng(GetParam() * 173 + 29);
+  sim::PeriodicTask writer(&sim, 3 * kMs, [&] {
+    store.Apply(common::IndexKey(rng.Below(kKeys), 4),
+                rng.Bernoulli(0.15) ? common::Mutation::Delete()
+                                    : common::Mutation::Put("v" + std::to_string(sim.Now())));
+  });
+  sim::PeriodicTask chaos(&sim, 400 * kMs, [&] {
+    switch (fail_rng.Below(3)) {
+      case 0:
+        root.CrashSoftState();
+        break;
+      case 1: {
+        const sim::NodeId proxy = fail_rng.Bernoulli(0.5) ? "proxy-a" : "proxy-b";
+        net.SetUp(proxy, false);
+        sim.After(600 * kMs, [&net, proxy] { net.SetUp(proxy, true); });
+        break;
+      }
+      case 2: {
+        const auto victim = fail_rng.Below(fleet.size());
+        fleet[victim]->CrashLocalState();
+        sim.After(200 * kMs, [&fleet, victim] { fleet[victim]->Start(); });
+        break;
+      }
+    }
+  });
+
+  sim.RunUntil(8 * kSec);
+  writer.Stop();
+  chaos.Stop();
+  net.SetUp("proxy-a", true);
+  net.SetUp("proxy-b", true);
+  sim.RunUntil(20 * kSec);
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    ExpectConverged(*fleet[i], store, "proxied-watcher-" + std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Bounded model checking of the §3.2.1 replication anomaly (the member/ACL
+// example), companion to figure2_model_test.cc.
+//
+// Source history (two single-key commits, in this order):
+//   T1: member := OUT   (revoke mallory's membership)      version 1
+//   T2: acl    := ALLOW  (then open the document to the group) version 2
+// Initial state: member = IN, acl = DENY.
+//
+// A partitioned pubsub replicator routes the two keys to different
+// partitions, applied by independent consumers: the two apply events may
+// interleave arbitrarily. The forbidden target state is {member=IN,
+// acl=ALLOW} — "a state that never existed in producer storage".
+//
+// A frontier-atomic applier (the watch replicator) buffers events and applies
+// version prefixes atomically once progress covers them; the target steps
+// only through source states in every interleaving of event ARRIVAL.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// The two replicated apply-events.
+enum Apply { kApplyMemberOut, kApplyAclAllow };
+
+struct TargetState {
+  bool member_in = true;
+  bool acl_allow = false;
+
+  bool Forbidden() const { return member_in && acl_allow; }
+  friend bool operator==(const TargetState&, const TargetState&) = default;
+};
+
+// Source states, in commit order.
+const TargetState kSourceStates[] = {
+    {true, false},   // Initial.
+    {false, false},  // After T1.
+    {false, true},   // After T2.
+};
+
+bool IsSourceState(const TargetState& s) {
+  for (const TargetState& src : kSourceStates) {
+    if (s == src) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ReplicationModelTest, PartitionedApplyReachesForbiddenState) {
+  // Two possible arrival orders at the target (per-partition consumers are
+  // independent). Applying immediately on arrival:
+  bool forbidden_reachable = false;
+  int never_existed_states = 0;
+  for (const std::vector<Apply>& order :
+       {std::vector<Apply>{kApplyMemberOut, kApplyAclAllow},
+        std::vector<Apply>{kApplyAclAllow, kApplyMemberOut}}) {
+    TargetState t;
+    for (Apply a : order) {
+      if (a == kApplyMemberOut) {
+        t.member_in = false;
+      } else {
+        t.acl_allow = true;
+      }
+      if (t.Forbidden()) {
+        forbidden_reachable = true;
+      }
+      if (!IsSourceState(t)) {
+        ++never_existed_states;
+      }
+    }
+    // Both orders converge to the same final state (per-key order held)...
+    EXPECT_EQ(t, (TargetState{false, true}));
+  }
+  // ...but one order externalizes mallory-with-access on the way.
+  EXPECT_TRUE(forbidden_reachable);
+  EXPECT_EQ(never_existed_states, 1);
+}
+
+TEST(ReplicationModelTest, FrontierAtomicApplyNeverLeavesSourceStates) {
+  // The watch replicator buffers arrivals and applies version prefixes only
+  // when the progress frontier (min across shards) covers them. Model: for
+  // every arrival order AND every schedule of frontier advances, the target
+  // externalizes only source states.
+  struct Arrival {
+    Apply apply;
+    int version;  // T1 = 1, T2 = 2.
+  };
+  for (const std::vector<Arrival>& order :
+       {std::vector<Arrival>{{kApplyMemberOut, 1}, {kApplyAclAllow, 2}},
+        std::vector<Arrival>{{kApplyAclAllow, 2}, {kApplyMemberOut, 1}}}) {
+    // Frontier can advance to 0, 1, or 2 after each arrival; enumerate all
+    // monotonic schedules. The frontier for a shard only reaches v when that
+    // shard has supplied everything <= v, so the min frontier reaches v only
+    // once every event with version <= v has ARRIVED.
+    for (int advance_after_first = 0; advance_after_first <= 2; ++advance_after_first) {
+      TargetState t;
+      std::vector<Arrival> buffered;
+      int applied_version = 0;
+
+      auto apply_up_to = [&](int frontier) {
+        // Apply buffered events with version <= frontier, version order,
+        // atomically per version (each version is one commit here).
+        std::sort(buffered.begin(), buffered.end(),
+                  [](const Arrival& a, const Arrival& b) { return a.version < b.version; });
+        std::vector<Arrival> rest;
+        for (const Arrival& a : buffered) {
+          if (a.version <= frontier && a.version == applied_version + 1) {
+            if (a.apply == kApplyMemberOut) {
+              t.member_in = false;
+            } else {
+              t.acl_allow = true;
+            }
+            applied_version = a.version;
+            EXPECT_TRUE(IsSourceState(t)) << "externalized a never-existed state";
+          } else {
+            rest.push_back(a);
+          }
+        }
+        buffered = rest;
+      };
+
+      // First arrival, then a frontier advance attempt.
+      buffered.push_back(order[0]);
+      // The frontier cannot exceed what has arrived: min-frontier semantics.
+      const int max_frontier_now = order[0].version == 1 ? 1 : 0;
+      apply_up_to(std::min(advance_after_first, max_frontier_now));
+      // Second arrival; now everything <= 2 has arrived, frontier may reach 2.
+      buffered.push_back(order[1]);
+      apply_up_to(2);
+
+      EXPECT_EQ(t, (TargetState{false, true}));  // Converged.
+      EXPECT_EQ(applied_version, 2);
+    }
+  }
+}
+
+TEST(ReplicationModelTest, VersionChecksDoNotPreventTheTear) {
+  // Version checks (kConcurrentVersioned) only suppress PER-KEY staleness;
+  // the two events touch different keys, so both always apply — the tear is
+  // unchanged. This is why §3.2.1 says tombstones/version checks "still risk
+  // snapshot consistency violations".
+  TargetState t;
+  // Arrival order: ACL first (higher version — passes any version check).
+  t.acl_allow = true;
+  EXPECT_TRUE(t.Forbidden());  // The forbidden state is externalized.
+  t.member_in = false;         // The member event applies later (also passes).
+  EXPECT_EQ(t, (TargetState{false, true}));
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+#include "pubsub/consumer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pubsub/broker.h"
+#include "pubsub/producer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pubsub {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+class ConsumerTest : public ::testing::Test {
+ protected:
+  ConsumerTest() : net_(&sim_, {.base = 0, .jitter = 0}), broker_(&sim_, &net_) {
+    EXPECT_TRUE(broker_.CreateTopic("t", {.partitions = 4}).ok());
+  }
+
+  void PublishN(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(broker_.Publish("t", Message{"key" + std::to_string(i),
+                                               "v" + std::to_string(i), 0}).ok());
+    }
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  Broker broker_;
+};
+
+TEST_F(ConsumerTest, SingleMemberReceivesEverything) {
+  std::vector<std::string> got;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage& m) {
+                    got.push_back(m.message.value);
+                    return true;
+                  });
+  c.Start();
+  PublishN(20);
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(got.size(), 20u);
+  EXPECT_EQ(c.delivered(), 20u);
+  EXPECT_EQ(broker_.GroupBacklog("g", "t"), 0u);
+}
+
+TEST_F(ConsumerTest, GroupMembersPartitionTheWork) {
+  std::map<std::string, int> per_member;
+  auto handler = [&per_member](const std::string& who) {
+    return [&per_member, who](PartitionId, const StoredMessage&) {
+      ++per_member[who];
+      return true;
+    };
+  };
+  GroupConsumer c1(&sim_, &net_, &broker_, "g", "t", "m1", handler("m1"));
+  GroupConsumer c2(&sim_, &net_, &broker_, "g", "t", "m2", handler("m2"));
+  c1.Start();
+  c2.Start();
+  PublishN(40);
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(per_member["m1"] + per_member["m2"], 40);
+  EXPECT_GT(per_member["m1"], 0);
+  EXPECT_GT(per_member["m2"], 0);
+}
+
+TEST_F(ConsumerTest, EachMessageDeliveredToExactlyOneGroupMember) {
+  std::multiset<std::string> seen;
+  auto handler = [&seen](PartitionId, const StoredMessage& m) {
+    seen.insert(m.message.value);
+    return true;
+  };
+  GroupConsumer c1(&sim_, &net_, &broker_, "g", "t", "m1", handler);
+  GroupConsumer c2(&sim_, &net_, &broker_, "g", "t", "m2", handler);
+  GroupConsumer c3(&sim_, &net_, &broker_, "g", "t", "m3", handler);
+  c1.Start();
+  c2.Start();
+  c3.Start();
+  PublishN(30);
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(seen.size(), 30u);
+  for (const auto& v : seen) {
+    EXPECT_EQ(seen.count(v), 1u) << v;
+  }
+}
+
+TEST_F(ConsumerTest, NackCausesRedeliveryAtLeastOnce) {
+  int attempts = 0;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) {
+                    ++attempts;
+                    return attempts >= 3;  // Fail twice, then succeed.
+                  });
+  c.Start();
+  broker_.Publish("t", Message{"k", "v", 0});
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(c.delivered(), 1u);
+  EXPECT_EQ(broker_.GroupBacklog("g", "t"), 0u);
+}
+
+TEST_F(ConsumerTest, NackBlocksPartitionHeadOfLine) {
+  // One poisoned message at the head of a partition blocks everything behind
+  // it (no redelivery cap configured).
+  std::vector<std::string> processed;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage& m) {
+                    if (m.message.value == "poison") {
+                      return false;
+                    }
+                    processed.push_back(m.message.value);
+                    return true;
+                  });
+  c.Start();
+  // Force same partition via explicit partition.
+  broker_.Publish("t", Message{"", "poison", 0}, 0);
+  broker_.Publish("t", Message{"", "behind", 0}, 0);
+  sim_.RunUntil(2 * kSec);
+  EXPECT_TRUE(processed.empty());
+  EXPECT_GE(broker_.GroupBacklog("g", "t"), 2u);
+}
+
+TEST_F(ConsumerTest, DeadLetterUnblocksAfterMaxRedeliveries) {
+  ASSERT_TRUE(broker_.CreateTopic("dlq", {.partitions = 1}).ok());
+  std::vector<std::string> processed;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage& m) {
+                    if (m.message.value == "poison") {
+                      return false;
+                    }
+                    processed.push_back(m.message.value);
+                    return true;
+                  },
+                  {.max_redeliveries = 3, .dead_letter_topic = "dlq"});
+  c.Start();
+  broker_.Publish("t", Message{"", "poison", 0}, 0);
+  broker_.Publish("t", Message{"", "behind", 0}, 0);
+  sim_.RunUntil(2 * kSec);
+  EXPECT_EQ(processed, std::vector<std::string>{"behind"});
+  EXPECT_EQ(c.dead_lettered(), 1u);
+  auto dlq = broker_.Fetch("dlq", 0, 0, 10);
+  ASSERT_TRUE(dlq.ok());
+  ASSERT_EQ(dlq->size(), 1u);
+  EXPECT_EQ((*dlq)[0].message.value, "poison");
+}
+
+TEST_F(ConsumerTest, CrashedMemberLosesUncommittedWorkToPeer) {
+  broker_.set_session_timeout(500 * kMs);
+  std::multiset<std::string> seen;
+  auto handler = [&seen](PartitionId, const StoredMessage& m) {
+    seen.insert(m.message.value);
+    return true;
+  };
+  GroupConsumer c1(&sim_, &net_, &broker_, "g", "t", "m1", handler,
+                   {.poll_period = 50 * kMs, .heartbeat_period = 100 * kMs});
+  GroupConsumer c2(&sim_, &net_, &broker_, "g", "t", "m2", handler,
+                   {.poll_period = 50 * kMs, .heartbeat_period = 100 * kMs});
+  c1.Start();
+  c2.Start();
+  sim_.RunUntil(200 * kMs);
+
+  // Crash m2; publish while it is down.
+  net_.SetUp("m2", false);
+  c2.OnCrash();
+  PublishN(20);
+  sim_.RunUntil(3 * kSec);  // m2 evicted; m1 takes over all partitions.
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(broker_.GroupBacklog("g", "t"), 0u);
+}
+
+TEST_F(ConsumerTest, RestartedMemberRejoins) {
+  broker_.set_session_timeout(500 * kMs);
+  int m1_count = 0;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) {
+                    ++m1_count;
+                    return true;
+                  },
+                  {.poll_period = 50 * kMs, .heartbeat_period = 100 * kMs});
+  c.Start();
+  sim_.RunUntil(200 * kMs);
+  net_.SetUp("m1", false);
+  c.OnCrash();
+  sim_.RunUntil(2 * kSec);  // Evicted.
+  EXPECT_TRUE(broker_.AssignedPartitions("g", "m1", broker_.GroupGeneration("g")).empty());
+
+  net_.SetUp("m1", true);
+  c.OnRestart();
+  PublishN(5);
+  sim_.RunUntil(4 * kSec);
+  EXPECT_EQ(m1_count, 5);
+}
+
+TEST_F(ConsumerTest, ThroughputBoundedByPollBudget) {
+  int count = 0;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) {
+                    ++count;
+                    return true;
+                  },
+                  {.poll_period = 100 * kMs, .max_poll_messages = 10});
+  c.Start();
+  PublishN(100);
+  sim_.RunUntil(500 * kMs);  // 5 polls * 10 messages.
+  EXPECT_LE(count, 50);
+  EXPECT_GE(count, 40);
+  sim_.RunUntil(2 * kSec);
+  EXPECT_EQ(count, 100);  // Eventually drains.
+}
+
+TEST_F(ConsumerTest, FreeConsumerSeesAllMessagesFromEarliest) {
+  PublishN(10);
+  std::vector<std::string> got;
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage& m) {
+                    got.push_back(m.message.value);
+                    return true;
+                  });
+  fc.Start();
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(fc.Backlog(), 0u);
+}
+
+TEST_F(ConsumerTest, FreeConsumerFromLatestSkipsHistory) {
+  PublishN(10);
+  sim_.RunUntil(100 * kMs);
+  int count = 0;
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage&) {
+                    ++count;
+                    return true;
+                  },
+                  {}, FreeConsumer::StartAt::kLatest);
+  fc.Start();
+  sim_.RunUntil(200 * kMs);  // First poll initializes positions at latest.
+  PublishN(5);
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(ConsumerTest, TwoFreeConsumersBothGetFullFeed) {
+  int count1 = 0;
+  int count2 = 0;
+  FreeConsumer fc1(&sim_, &net_, &broker_, "t", "fc1",
+                   [&](PartitionId, const StoredMessage&) { ++count1; return true; });
+  FreeConsumer fc2(&sim_, &net_, &broker_, "t", "fc2",
+                   [&](PartitionId, const StoredMessage&) { ++count2; return true; });
+  fc1.Start();
+  fc2.Start();
+  PublishN(15);
+  sim_.RunUntil(1 * kSec);
+  // Unlike a consumer group, every free consumer receives every message.
+  EXPECT_EQ(count1, 15);
+  EXPECT_EQ(count2, 15);
+}
+
+TEST_F(ConsumerTest, DisconnectedFreeConsumerMakesNoProgress) {
+  int count = 0;
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage&) { ++count; return true; });
+  fc.Start();
+  sim_.RunUntil(100 * kMs);
+  net_.SetUp("fc1", false);
+  PublishN(10);
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(count, 0);
+  net_.SetUp("fc1", true);
+  sim_.RunUntil(2 * kSec);
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,133 @@
+#include "pubsub/log.h"
+
+#include <gtest/gtest.h>
+
+namespace pubsub {
+namespace {
+
+Message Msg(const std::string& key, const std::string& value, common::TimeMicros t) {
+  return Message{key, value, t};
+}
+
+TEST(PartitionLogTest, AppendAssignsSequentialOffsets) {
+  PartitionLog log({});
+  EXPECT_EQ(log.Append(Msg("a", "1", 0)), 0u);
+  EXPECT_EQ(log.Append(Msg("b", "2", 0)), 1u);
+  EXPECT_EQ(log.end_offset(), 2u);
+  EXPECT_EQ(log.first_offset(), 0u);
+}
+
+TEST(PartitionLogTest, ReadFromOffset) {
+  PartitionLog log({});
+  for (int i = 0; i < 5; ++i) {
+    log.Append(Msg("k", std::to_string(i), 0));
+  }
+  auto msgs = log.Read(2);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].offset, 2u);
+  EXPECT_EQ(msgs[0].message.value, "2");
+}
+
+TEST(PartitionLogTest, ReadHonorsMax) {
+  PartitionLog log({});
+  for (int i = 0; i < 10; ++i) {
+    log.Append(Msg("k", "v", 0));
+  }
+  EXPECT_EQ(log.Read(0, 4).size(), 4u);
+  EXPECT_EQ(log.Read(0, 0).size(), 10u);  // 0 == unlimited.
+}
+
+TEST(PartitionLogTest, TimeRetentionDropsOldMessages) {
+  PartitionLog log({});
+  log.Append(Msg("a", "1", 100));
+  log.Append(Msg("b", "2", 200));
+  log.Append(Msg("c", "3", 300));
+  EXPECT_EQ(log.GcBefore(250), 2u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.first_offset(), 2u);
+  EXPECT_EQ(log.gced(), 2u);
+}
+
+TEST(PartitionLogTest, SilentSkipOnGcedRead) {
+  PartitionLog log({});
+  for (int i = 0; i < 10; ++i) {
+    log.Append(Msg("k", "v", i));
+  }
+  log.GcBefore(5);  // Offsets 0-4 gone.
+  // A reader at offset 0 is silently repositioned — the messages are simply
+  // absent from what it receives, with no error.
+  auto msgs = log.Read(0, 3);
+  ASSERT_FALSE(msgs.empty());
+  EXPECT_EQ(msgs[0].offset, 5u);
+  EXPECT_EQ(log.silent_skips(), 5u);
+}
+
+TEST(PartitionLogTest, SilentSkipWhenLogFullyGced) {
+  PartitionLog log({});
+  log.Append(Msg("k", "v", 0));
+  log.Append(Msg("k", "v", 1));
+  log.GcBefore(100);
+  EXPECT_TRUE(log.Read(0).empty());
+  EXPECT_EQ(log.silent_skips(), 2u);
+}
+
+TEST(PartitionLogTest, SizeCapTruncatesHead) {
+  PartitionLog log({.max_messages = 3});
+  for (int i = 0; i < 5; ++i) {
+    log.Append(Msg("k", std::to_string(i), 0));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.first_offset(), 2u);
+  EXPECT_EQ(log.gced(), 2u);
+}
+
+TEST(PartitionLogTest, CompactionKeepsLatestPerKeyBeforeHorizon) {
+  PartitionLog log({});
+  log.Append(Msg("a", "a1", 10));  // offset 0 — compacted away.
+  log.Append(Msg("b", "b1", 20));  // offset 1 — kept (latest old "b").
+  log.Append(Msg("a", "a2", 30));  // offset 2 — kept (latest old "a").
+  log.Append(Msg("a", "a3", 90));  // offset 3 — kept (inside window).
+  const std::uint64_t removed = log.Compact(/*horizon=*/50);
+  EXPECT_EQ(removed, 1u);
+  auto msgs = log.Read(0);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].offset, 1u);
+  EXPECT_EQ(msgs[1].offset, 2u);
+  EXPECT_EQ(msgs[2].offset, 3u);
+}
+
+TEST(PartitionLogTest, CompactionCreatesUndetectableOffsetGaps) {
+  PartitionLog log({});
+  log.Append(Msg("a", "a1", 10));
+  log.Append(Msg("a", "a2", 20));
+  log.Append(Msg("b", "b1", 30));
+  log.Compact(100);
+  // A consumer at offset 0 receives offset 1 next — there is no signal that
+  // offset 0 once held a version it never saw.
+  auto msgs = log.Read(0, 1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].offset, 1u);
+  EXPECT_EQ(log.compacted_away(), 1u);
+}
+
+TEST(PartitionLogTest, CompactionIdempotentWhenClean) {
+  PartitionLog log({});
+  log.Append(Msg("a", "1", 10));
+  log.Append(Msg("b", "2", 20));
+  EXPECT_EQ(log.Compact(100), 0u);
+  EXPECT_EQ(log.Compact(100), 0u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(PartitionLogTest, EmptyLogEdgeCases) {
+  PartitionLog log({});
+  EXPECT_EQ(log.first_offset(), 0u);
+  EXPECT_EQ(log.end_offset(), 0u);
+  EXPECT_TRUE(log.Read(0).empty());
+  EXPECT_EQ(log.GcBefore(100), 0u);
+  EXPECT_EQ(log.Compact(100), 0u);
+  EXPECT_EQ(log.silent_skips(), 0u);  // Reading at end of empty log is not a skip.
+}
+
+}  // namespace
+}  // namespace pubsub

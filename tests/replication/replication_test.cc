@@ -1,0 +1,298 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "replication/checker.h"
+#include "replication/pubsub_replicator.h"
+#include "replication/target_store.h"
+#include "replication/watch_replicator.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace replication {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+using common::Mutation;
+
+TEST(TargetStoreTest, BlindApplyLastWriterWins) {
+  TargetStore t;
+  t.ApplyBlind({"k", Mutation::Put("v2"), 2, true});
+  t.ApplyBlind({"k", Mutation::Put("v1"), 1, true});  // Stale arrives late.
+  EXPECT_EQ(*t.Get("k"), "v1");                        // Blind: stale wins.
+}
+
+TEST(TargetStoreTest, VersionedApplyRejectsStale) {
+  TargetStore t;
+  t.ApplyVersioned({"k", Mutation::Put("v2"), 2, true});
+  t.ApplyVersioned({"k", Mutation::Put("v1"), 1, true});
+  EXPECT_EQ(*t.Get("k"), "v2");
+  EXPECT_EQ(t.version_rejects(), 1u);
+}
+
+TEST(TargetStoreTest, TombstonePreventsResurrection) {
+  TargetStore t;
+  t.ApplyVersioned({"k", Mutation::Put("v1"), 1, true});
+  t.ApplyVersioned({"k", Mutation::Delete(), 3, true});
+  t.ApplyVersioned({"k", Mutation::Put("zombie"), 2, true});  // Late, pre-delete.
+  EXPECT_EQ(t.Get("k").status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(TargetStoreTest, BlindDeleteAllowsResurrection) {
+  TargetStore t;
+  t.ApplyBlind({"k", Mutation::Put("v1"), 1, true});
+  t.ApplyBlind({"k", Mutation::Delete(), 3, true});
+  t.ApplyBlind({"k", Mutation::Put("zombie"), 2, true});
+  EXPECT_EQ(*t.Get("k"), "zombie");  // The failure mode version checks fix.
+}
+
+TEST(TargetStoreTest, StateHashTracksContents) {
+  TargetStore a;
+  TargetStore b;
+  a.ApplyBlind({"x", Mutation::Put("1"), 1, true});
+  a.ApplyBlind({"y", Mutation::Put("2"), 2, true});
+  b.ApplyBlind({"y", Mutation::Put("2"), 2, true});
+  b.ApplyBlind({"x", Mutation::Put("1"), 1, true});
+  EXPECT_EQ(a.state_hash(), b.state_hash());  // Order independent.
+  a.ApplyBlind({"x", Mutation::Delete(), 3, true});
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  b.ApplyBlind({"x", Mutation::Delete(), 3, true});
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+TEST(TargetStoreTest, BatchExternalizesOnce) {
+  TargetStore t;
+  int externalizations = 0;
+  t.AddExternalizeHook([&externalizations](const TargetStore&) { ++externalizations; });
+  std::vector<common::ChangeEvent> batch = {
+      {"a", Mutation::Put("1"), 5, false},
+      {"b", Mutation::Put("2"), 5, true},
+  };
+  t.ApplyBatch(batch);
+  EXPECT_EQ(externalizations, 1);
+  EXPECT_EQ(t.applied(), 2u);
+}
+
+TEST(SourceHistoryTest, TracksEveryCommitState) {
+  storage::MvccStore store;
+  SourceHistory history(&store);
+  store.Apply("a", Mutation::Put("1"));
+  const std::uint64_t h1 = history.final_hash();
+  store.Apply("b", Mutation::Put("2"));
+  EXPECT_TRUE(history.Existed(0));   // Empty initial state.
+  EXPECT_TRUE(history.Existed(h1));  // Intermediate state.
+  EXPECT_TRUE(history.Existed(history.final_hash()));
+  EXPECT_EQ(history.states(), 3u);
+
+  // A state that never existed: {a:1, b:WRONG}.
+  TargetStore fake;
+  fake.ApplyBlind({"a", Mutation::Put("1"), 1, true});
+  fake.ApplyBlind({"b", Mutation::Put("WRONG"), 2, true});
+  EXPECT_FALSE(history.Existed(fake.state_hash()));
+}
+
+// -- Full-stack replication fixtures -------------------------------------------------
+
+struct AclWorkloadResult {
+  std::uint64_t acl_violations = 0;
+  std::uint64_t snapshot_anomalies = 0;
+  bool converged = false;
+};
+
+// Runs the paper's ACL scenario through a pubsub replicator in `mode`:
+// remove member from group, THEN grant group access — repeatedly, across
+// partitions — and checks whether the target ever externalizes the forbidden
+// combined state.
+AclWorkloadResult RunAclScenario(PubsubReplicationMode mode, std::uint32_t partitions,
+                                 std::uint32_t appliers) {
+  sim::Simulator sim(7);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  pubsub::Broker broker(&sim, &net);
+  EXPECT_TRUE(broker.CreateTopic("repl", {.partitions = partitions}).ok());
+  storage::MvccStore source;
+  SourceHistory history(&source);
+  cdc::CdcPubsubFeed feed(&sim, &net, &source, nullptr, &broker, "repl",
+                          {.keyed = mode != PubsubReplicationMode::kConcurrentNaive &&
+                                    mode != PubsubReplicationMode::kConcurrentVersioned});
+  TargetStore target;
+  PointInTimeChecker pit(&history, &target);
+  AclInvariantChecker acl(&target, "group/eng/member/mallory", "IN",
+                          "doc/secret/acl", "eng:ALLOW");
+  PubsubReplicatorOptions options;
+  options.appliers = appliers;
+  options.consumer.poll_period = 3 * kMs;
+  PubsubReplicator replicator(&sim, &net, &broker, "repl", "repl-group", &target, mode,
+                              options);
+  sim.RunUntil(100 * kMs);
+
+  for (int round = 0; round < 40; ++round) {
+    // Setup: mallory in group, doc denied.
+    {
+      storage::Transaction txn = source.Begin();
+      txn.Put("group/eng/member/mallory", "IN");
+      txn.Put("doc/secret/acl", "eng:DENY");
+      EXPECT_TRUE(source.Commit(std::move(txn)).ok());
+    }
+    sim.RunUntil(sim.Now() + 30 * kMs);
+    // The ordered pair whose reversal is the violation.
+    source.Apply("group/eng/member/mallory", Mutation::Put("OUT"));
+    source.Apply("doc/secret/acl", Mutation::Put("eng:ALLOW"));
+    sim.RunUntil(sim.Now() + 30 * kMs);
+  }
+  sim.RunUntil(sim.Now() + 3 * kSec);
+
+  AclWorkloadResult out;
+  out.acl_violations = acl.violations();
+  out.snapshot_anomalies = pit.anomalies();
+  out.converged = pit.Converged(target);
+  return out;
+}
+
+TEST(PubsubReplicationTest, SerialModeIsPointInTimeConsistent) {
+  auto result = RunAclScenario(PubsubReplicationMode::kSerial, 1, 1);
+  EXPECT_EQ(result.acl_violations, 0u);
+  EXPECT_EQ(result.snapshot_anomalies, 0u);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(PubsubReplicationTest, PartitionedModeConvergesButTearsTransactions) {
+  auto result = RunAclScenario(PubsubReplicationMode::kPartitioned, 8, 4);
+  EXPECT_TRUE(result.converged);           // Per-key order held.
+  EXPECT_GT(result.snapshot_anomalies, 0u);  // Cross-partition txns torn.
+}
+
+TEST(PubsubReplicationTest, PartitionedModeViolatesAclInvariant) {
+  // The member-removal and the ACL-grant live on different partitions; the
+  // grant can apply before the removal.
+  auto result = RunAclScenario(PubsubReplicationMode::kPartitioned, 8, 4);
+  EXPECT_GT(result.acl_violations, 0u);
+}
+
+TEST(PubsubReplicationTest, ConcurrentVersionedConvergesWithAnomalies) {
+  auto result = RunAclScenario(PubsubReplicationMode::kConcurrentVersioned, 8, 4);
+  EXPECT_TRUE(result.converged);  // Version checks restore eventual consistency.
+  EXPECT_GT(result.snapshot_anomalies, 0u);
+}
+
+TEST(PubsubReplicationTest, ConcurrentNaiveCanLoseEventualConsistency) {
+  // Round-robin partitioning + blind writes: per-key order is lost entirely;
+  // with hot keys rewritten constantly, stale overwrites strand wrong finals.
+  sim::Simulator sim(11);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  pubsub::Broker broker(&sim, &net);
+  ASSERT_TRUE(broker.CreateTopic("repl", {.partitions = 8}).ok());
+  storage::MvccStore source;
+  SourceHistory history(&source);
+  cdc::CdcPubsubFeed feed(&sim, &net, &source, nullptr, &broker, "repl", {.keyed = false});
+  TargetStore target;
+  PointInTimeChecker pit(&history, &target);
+  PubsubReplicatorOptions options;
+  options.appliers = 4;
+  options.consumer.poll_period = 3 * kMs;
+  PubsubReplicator replicator(&sim, &net, &broker, "repl", "g", &target,
+                              PubsubReplicationMode::kConcurrentNaive, options);
+  common::Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    source.Apply(common::IndexKey(rng.Below(5)), Mutation::Put("v" + std::to_string(i)));
+    if (i % 10 == 0) {
+      sim.RunUntil(sim.Now() + 4 * kMs);
+    }
+  }
+  sim.RunUntil(sim.Now() + 5 * kSec);
+  EXPECT_FALSE(pit.Converged(target));  // Stale overwrites stuck in the final state.
+}
+
+TEST(WatchReplicationTest, PointInTimeConsistentAndConverges) {
+  sim::Simulator sim(13);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore source;
+  SourceHistory history(&source);
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &source, nullptr, &ws,
+                            {.shards = cdc::UniformShards(100, 4, 2),
+                             .base_latency = 1 * kMs,
+                             .stagger = 2 * kMs,
+                             .progress_period = 5 * kMs});
+  watch::StoreSnapshotSource snap(&source);
+  TargetStore target;
+  PointInTimeChecker pit(&history, &target);
+  AclInvariantChecker acl(&target, "group", "IN", "doc", "ALLOW");
+  WatchReplicator replicator(&sim, &ws, &snap, &target, cdc::UniformShards(100, 4, 2));
+  replicator.Start();
+  sim.RunUntil(100 * kMs);
+
+  common::Rng rng(17);
+  for (int round = 0; round < 50; ++round) {
+    storage::Transaction setup = source.Begin();
+    setup.Put("group", "IN");
+    setup.Put("doc", "DENY");
+    ASSERT_TRUE(source.Commit(std::move(setup)).ok());
+    sim.RunUntil(sim.Now() + 10 * kMs);
+    source.Apply("group", Mutation::Put("OUT"));
+    source.Apply("doc", Mutation::Put("ALLOW"));
+    // Plus random traffic across the key space.
+    for (int i = 0; i < 5; ++i) {
+      source.Apply(common::IndexKey(rng.Below(100), 2),
+                   Mutation::Put("r" + std::to_string(round)));
+    }
+    sim.RunUntil(sim.Now() + 10 * kMs);
+  }
+  sim.RunUntil(sim.Now() + 3 * kSec);
+
+  EXPECT_EQ(acl.violations(), 0u);
+  EXPECT_EQ(pit.anomalies(), 0u);
+  EXPECT_TRUE(pit.Converged(target));
+  EXPECT_EQ(replicator.applied_version(), source.LatestVersion());
+  EXPECT_EQ(replicator.resyncs(), 0u);
+}
+
+TEST(WatchReplicationTest, DeletesReplicate) {
+  sim::Simulator sim(19);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore source;
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &source, nullptr, &ws, {.progress_period = 5 * kMs});
+  watch::StoreSnapshotSource snap(&source);
+  TargetStore target;
+  WatchReplicator replicator(&sim, &ws, &snap, &target, {common::KeyRange::All()});
+  replicator.Start();
+  sim.RunUntil(50 * kMs);
+  source.Apply("k", Mutation::Put("v"));
+  sim.RunUntil(200 * kMs);
+  EXPECT_TRUE(target.Get("k").ok());
+  source.Apply("k", Mutation::Delete());
+  sim.RunUntil(400 * kMs);
+  EXPECT_EQ(target.Get("k").status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(WatchReplicationTest, BootstrapsFromNonEmptySource) {
+  sim::Simulator sim(23);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore source;
+  source.Apply("pre/a", Mutation::Put("1"));
+  source.Apply("pre/b", Mutation::Put("2"));
+  watch::WatchSystem ws(&sim, &net, "snappy",
+                        {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &source, nullptr, &ws, {.progress_period = 5 * kMs});
+  watch::StoreSnapshotSource snap(&source);
+  TargetStore target;
+  SourceHistory history(&source);  // Note: attached after the pre-writes.
+  WatchReplicator replicator(&sim, &ws, &snap, &target, {common::KeyRange::All()});
+  replicator.Start();
+  sim.RunUntil(200 * kMs);
+  EXPECT_EQ(*target.Get("pre/a"), "1");
+  EXPECT_EQ(*target.Get("pre/b"), "2");
+  source.Apply("post/c", Mutation::Put("3"));
+  sim.RunUntil(400 * kMs);
+  EXPECT_EQ(*target.Get("post/c"), "3");
+}
+
+}  // namespace
+}  // namespace replication

@@ -1,0 +1,368 @@
+#include "sharding/autosharder.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sharding {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+class AutoSharderTest : public ::testing::Test {
+ protected:
+  AutoSharderTest() : net_(&sim_, {.base = 0, .jitter = 0}) {
+    net_.AddNode("w1");
+    net_.AddNode("w2");
+    net_.AddNode("w3");
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+};
+
+TEST_F(AutoSharderTest, FirstWorkerGetsEverythingImmediately) {
+  AutoSharder sharder(&sim_, &net_);
+  EXPECT_EQ(sharder.Owner("any"), std::nullopt);
+  sharder.AddWorker("w1");
+  EXPECT_EQ(sharder.Owner("any"), std::optional<WorkerId>("w1"));
+  EXPECT_EQ(sharder.Owner(""), std::optional<WorkerId>("w1"));
+  EXPECT_EQ(sharder.Shards().size(), 1u);
+}
+
+TEST_F(AutoSharderTest, ShardsTileKeySpace) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  for (int i = 0; i < 1000; ++i) {
+    sharder.ReportLoad(common::IndexKey(sim_.rng().Below(1000)));
+  }
+  sharder.RebalanceNow();
+  auto shards = sharder.Shards();
+  EXPECT_EQ(shards.front().range.low, "");
+  EXPECT_TRUE(shards.back().range.unbounded_above());
+  for (std::size_t i = 0; i + 1 < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].range.high, shards[i + 1].range.low);
+  }
+}
+
+TEST_F(AutoSharderTest, HotShardSplits) {
+  AutoSharder sharder(&sim_, &net_, {.split_threshold = 100});
+  sharder.AddWorker("w1");
+  for (int i = 0; i < 500; ++i) {
+    sharder.ReportLoad(common::IndexKey(i % 100));
+  }
+  sharder.RebalanceNow();
+  EXPECT_GT(sharder.splits(), 0u);
+  EXPECT_GT(sharder.Shards().size(), 1u);
+}
+
+TEST_F(AutoSharderTest, LoadLevelsAcrossWorkers) {
+  AutoSharder sharder(&sim_, &net_, {.split_threshold = 50, .imbalance_factor = 1.2});
+  sharder.AddWorker("w1");
+  common::Rng rng(7);
+  // Several rebalance rounds with uniform load.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      sharder.ReportLoad(common::IndexKey(rng.Below(10000)));
+    }
+    sharder.RebalanceNow();
+  }
+  sharder.AddWorker("w2");
+  sharder.AddWorker("w3");
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      sharder.ReportLoad(common::IndexKey(rng.Below(10000)));
+    }
+    sharder.RebalanceNow();
+  }
+  // Every worker should own something by now.
+  std::map<WorkerId, int> shard_counts;
+  for (const ShardInfo& s : sharder.Shards()) {
+    ASSERT_TRUE(s.owner.has_value());
+    ++shard_counts[*s.owner];
+  }
+  EXPECT_EQ(shard_counts.size(), 3u);
+}
+
+TEST_F(AutoSharderTest, DeadWorkerShardsReassigned) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  // Force w2 to own something.
+  sharder.MoveShard("", "w2");
+  EXPECT_EQ(sharder.Owner("x"), std::optional<WorkerId>("w2"));
+  net_.SetUp("w2", false);
+  sharder.RebalanceNow();
+  EXPECT_EQ(sharder.Owner("x"), std::optional<WorkerId>("w1"));
+}
+
+TEST_F(AutoSharderTest, RemovedWorkerShardsReassigned) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  sharder.MoveShard("", "w2");
+  sharder.RemoveWorker("w2");
+  sharder.RebalanceNow();
+  EXPECT_EQ(sharder.Owner("x"), std::optional<WorkerId>("w1"));
+}
+
+TEST_F(AutoSharderTest, MoveBumpsGeneration) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  const Generation g0 = sharder.generation();
+  sharder.MoveShard("k", "w2");
+  EXPECT_GT(sharder.generation(), g0);
+  EXPECT_EQ(sharder.ShardFor("k").generation, sharder.generation());
+}
+
+TEST_F(AutoSharderTest, MoveToCurrentOwnerIsNoOp) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  const Generation g = sharder.generation();
+  sharder.MoveShard("k", "w1");
+  EXPECT_EQ(sharder.generation(), g);
+  EXPECT_EQ(sharder.moves(), 0u);
+}
+
+TEST_F(AutoSharderTest, SubscribersNotifiedWithTheirLatency) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+
+  std::vector<std::pair<common::TimeMicros, std::optional<WorkerId>>> fast_events;
+  std::vector<std::pair<common::TimeMicros, std::optional<WorkerId>>> slow_events;
+  sharder.Subscribe(
+      [&](const common::KeyRange&, const std::optional<WorkerId>& owner, Generation) {
+        fast_events.emplace_back(sim_.Now(), owner);
+      },
+      10 * kMs);
+  sharder.Subscribe(
+      [&](const common::KeyRange&, const std::optional<WorkerId>& owner, Generation) {
+        slow_events.emplace_back(sim_.Now(), owner);
+      },
+      200 * kMs);
+
+  sim_.RunUntil(1 * kMs);
+  sharder.MoveShard("k", "w2");
+  sim_.RunUntil(500 * kMs);
+
+  ASSERT_EQ(fast_events.size(), 1u);
+  ASSERT_EQ(slow_events.size(), 1u);
+  EXPECT_EQ(fast_events[0].first, 11 * kMs);
+  EXPECT_EQ(slow_events[0].first, 201 * kMs);
+  // The disagreement window: between the two notifications, the fast
+  // subscriber routes to w2 while the slow one still routes to w1.
+  EXPECT_EQ(fast_events[0].second, std::optional<WorkerId>("w2"));
+}
+
+TEST_F(AutoSharderTest, UnsubscribeStopsNotifications) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  int count = 0;
+  const auto id = sharder.Subscribe(
+      [&](const common::KeyRange&, const std::optional<WorkerId>&, Generation) { ++count; }, 0);
+  sharder.MoveShard("k", "w2");
+  sim_.RunUntil(1 * kMs);
+  EXPECT_EQ(count, 1);
+  sharder.Unsubscribe(id);
+  sharder.MoveShard("k", "w1");
+  sim_.RunUntil(10 * kMs);
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(AutoSharderTest, LeaseCreatesOwnerlessWindow) {
+  AutoSharder sharder(&sim_, &net_, {.lease_duration = 100 * kMs});
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  sim_.RunUntil(1 * kMs);
+
+  sharder.MoveShard("k", "w2");
+  // Immediately after the move: lease revoked, no owner.
+  EXPECT_EQ(sharder.Owner("k"), std::nullopt);
+  sim_.RunUntil(50 * kMs);
+  EXPECT_EQ(sharder.Owner("k"), std::nullopt);  // Still in the gap.
+  sim_.RunUntil(102 * kMs);
+  EXPECT_EQ(sharder.Owner("k"), std::optional<WorkerId>("w2"));
+}
+
+TEST_F(AutoSharderTest, WithoutLeaseMoveIsImmediate) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  sharder.MoveShard("k", "w2");
+  EXPECT_EQ(sharder.Owner("k"), std::optional<WorkerId>("w2"));
+}
+
+TEST_F(AutoSharderTest, PeriodicRebalanceRunsOnTimer) {
+  AutoSharder sharder(&sim_, &net_, {.rebalance_period = 100 * kMs, .split_threshold = 50});
+  sharder.AddWorker("w1");
+  for (int i = 0; i < 500; ++i) {
+    sharder.ReportLoad(common::IndexKey(i));
+  }
+  EXPECT_EQ(sharder.splits(), 0u);
+  sim_.RunUntil(150 * kMs);  // Timer fired once.
+  EXPECT_GT(sharder.splits(), 0u);
+}
+
+TEST_F(AutoSharderTest, SplitPreservesOwnership) {
+  AutoSharder sharder(&sim_, &net_, {.split_threshold = 10});
+  sharder.AddWorker("w1");
+  for (int i = 0; i < 100; ++i) {
+    sharder.ReportLoad(common::IndexKey(i));
+  }
+  sharder.RebalanceNow();
+  for (const ShardInfo& s : sharder.Shards()) {
+    EXPECT_EQ(s.owner, std::optional<WorkerId>("w1"));
+  }
+}
+
+TEST_F(AutoSharderTest, NoWorkersMeansNoAssignment) {
+  AutoSharder sharder(&sim_, &net_);
+  sharder.ReportLoad("k");
+  sharder.RebalanceNow();
+  EXPECT_EQ(sharder.Owner("k"), std::nullopt);
+}
+
+
+TEST_F(AutoSharderTest, ColdAdjacentShardsMerge) {
+  AutoSharder sharder(&sim_, &net_,
+                      {.split_threshold = 50, .merge_threshold = 10, .min_shards = 1});
+  sharder.AddWorker("w1");
+  // Heat the space so it splits into several shards.
+  for (int i = 0; i < 400; ++i) {
+    sharder.ReportLoad(common::IndexKey(i % 200));
+  }
+  sharder.RebalanceNow();
+  const std::size_t peak = sharder.Shards().size();
+  ASSERT_GT(peak, 1u);
+  // Now go cold: repeated rebalances decay load and merge shards back.
+  for (int round = 0; round < 12; ++round) {
+    sharder.RebalanceNow();
+  }
+  EXPECT_LT(sharder.Shards().size(), peak);
+  EXPECT_EQ(sharder.Shards().size(), 1u);
+  // The table still tiles the key space.
+  auto shards = sharder.Shards();
+  EXPECT_EQ(shards.front().range.low, "");
+  EXPECT_TRUE(shards.back().range.unbounded_above());
+}
+
+TEST_F(AutoSharderTest, MergeRespectsMinShards) {
+  AutoSharder sharder(&sim_, &net_,
+                      {.split_threshold = 50, .merge_threshold = 1e9, .min_shards = 3});
+  sharder.AddWorker("w1");
+  for (int i = 0; i < 400; ++i) {
+    sharder.ReportLoad(common::IndexKey(i % 200));
+  }
+  sharder.RebalanceNow();
+  for (int round = 0; round < 12; ++round) {
+    sharder.RebalanceNow();
+  }
+  EXPECT_GE(sharder.Shards().size(), 3u);
+}
+
+TEST_F(AutoSharderTest, MergeDoesNotCrossOwners) {
+  AutoSharder sharder(&sim_, &net_, {.merge_threshold = 1e9, .min_shards = 1});
+  sharder.AddWorker("w1");
+  sharder.AddWorker("w2");
+  // Carve the space into [ ,m) -> w1 and [m, ) -> w2 via an explicit split:
+  for (int i = 0; i < 200; ++i) {
+    sharder.ReportLoad(common::IndexKey(i));
+  }
+  sharder.RebalanceNow();
+  // Assign alternating owners to whatever shards exist.
+  bool flip = false;
+  for (const ShardInfo& info : sharder.Shards()) {
+    sharder.MoveShard(info.range.low, flip ? "w1" : "w2");
+    flip = !flip;
+  }
+  sharder.RebalanceNow();
+  // No shard pair with different owners merged: every boundary between
+  // different owners is preserved.
+  auto shards = sharder.Shards();
+  for (std::size_t i = 0; i + 1 < shards.size(); ++i) {
+    if (shards[i].owner != shards[i + 1].owner) {
+      EXPECT_NE(shards[i].range.high, "");
+    }
+  }
+}
+
+// Property: across random worker churn and load, the assignment table always
+// tiles the key space and generations are strictly monotonic per change.
+class SharderPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SharderPropertyTest, TilingAndGenerationInvariants) {
+  sim::Simulator sim(GetParam());
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  for (int w = 0; w < 5; ++w) {
+    net.AddNode("w" + std::to_string(w));
+  }
+  AutoSharder sharder(&sim, &net, {.split_threshold = 30});
+  common::Rng rng(GetParam() * 31 + 1);
+
+  Generation last_gen = 0;
+  sharder.Subscribe(
+      [&last_gen](const common::KeyRange&, const std::optional<WorkerId>&, Generation g) {
+        EXPECT_GT(g, last_gen);
+        last_gen = g;
+      },
+      0);
+
+  std::set<std::string> live;
+  for (int step = 0; step < 60; ++step) {
+    const std::string worker = "w" + std::to_string(rng.Below(5));
+    switch (rng.Below(4)) {
+      case 0:
+        net.SetUp(worker, true);
+        sharder.AddWorker(worker);
+        live.insert(worker);
+        break;
+      case 1:
+        if (live.size() > 1) {
+          net.SetUp(worker, false);
+          sharder.RemoveWorker(worker);
+          live.erase(worker);
+        }
+        break;
+      default:
+        for (int i = 0; i < 50; ++i) {
+          sharder.ReportLoad(common::IndexKey(rng.Zipf(1000, 0.9)));
+        }
+        break;
+    }
+    sharder.RebalanceNow();
+    sim.RunUntil(sim.Now() + 10 * kMs);
+
+    auto shards = sharder.Shards();
+    ASSERT_FALSE(shards.empty());
+    EXPECT_EQ(shards.front().range.low, "");
+    EXPECT_TRUE(shards.back().range.unbounded_above());
+    for (std::size_t i = 0; i + 1 < shards.size(); ++i) {
+      EXPECT_EQ(shards[i].range.high, shards[i + 1].range.low);
+    }
+    if (!live.empty()) {
+      // After a rebalance with live workers, every shard has a live owner.
+      for (const ShardInfo& s : shards) {
+        ASSERT_TRUE(s.owner.has_value());
+        EXPECT_TRUE(live.count(*s.owner) > 0) << *s.owner;
+      }
+    }
+  }
+  sim.RunUntil(sim.Now() + 1 * kSec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharderPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace sharding

@@ -1,0 +1,117 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sim_, LatencyModel{.base = 100, .jitter = 0}) {
+    net_.AddNode("a");
+    net_.AddNode("b");
+  }
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  common::TimeMicros delivered_at = -1;
+  net_.Send("a", "b", [&] { delivered_at = sim_.Now(); });
+  sim_.Run();
+  EXPECT_EQ(delivered_at, 100);
+  EXPECT_EQ(net_.sent(), 1u);
+  EXPECT_EQ(net_.dropped(), 0u);
+}
+
+TEST_F(NetworkTest, DropsToDownNode) {
+  net_.SetUp("b", false);
+  bool delivered = false;
+  net_.Send("a", "b", [&] { delivered = true; });
+  sim_.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DropsFromDownSender) {
+  net_.SetUp("a", false);
+  bool delivered = false;
+  net_.Send("a", "b", [&] { delivered = true; });
+  sim_.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(NetworkTest, DropsIfDestinationDiesInFlight) {
+  bool delivered = false;
+  net_.Send("a", "b", [&] { delivered = true; });
+  sim_.At(50, [&] { net_.SetUp("b", false); });
+  sim_.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.dropped(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  net_.Partition("a", "b");
+  EXPECT_FALSE(net_.Reachable("a", "b"));
+  EXPECT_FALSE(net_.Reachable("b", "a"));
+  int delivered = 0;
+  net_.Send("a", "b", [&] { ++delivered; });
+  net_.Send("b", "a", [&] { ++delivered; });
+  sim_.Run();
+  EXPECT_EQ(delivered, 0);
+
+  net_.Heal("a", "b");
+  net_.Send("a", "b", [&] { ++delivered; });
+  sim_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, UnknownNodeIsUnreachable) {
+  EXPECT_FALSE(net_.IsUp("ghost"));
+  EXPECT_FALSE(net_.Reachable("a", "ghost"));
+}
+
+TEST(NetworkJitterTest, LatencyWithinBounds) {
+  Simulator sim(5);
+  Network net(&sim, LatencyModel{.base = 100, .jitter = 50});
+  for (int i = 0; i < 1000; ++i) {
+    const common::TimeMicros lat = net.SampleLatency();
+    EXPECT_GE(lat, 100);
+    EXPECT_LE(lat, 150);
+  }
+}
+
+TEST(FailureInjectorTest, CrashAndRestartHooks) {
+  Simulator sim;
+  Network net(&sim, LatencyModel{.base = 10, .jitter = 0});
+  net.AddNode("n");
+  FailureInjector inj(&sim, &net);
+  std::vector<std::string> events;
+  inj.Register("n", {.on_crash = [&] { events.push_back("crash@" + std::to_string(sim.Now())); },
+                     .on_restart = [&] {
+                       events.push_back("restart@" + std::to_string(sim.Now()));
+                     }});
+  inj.ScheduleCrash("n", 100, 50);
+  sim.RunUntil(120);
+  EXPECT_FALSE(net.IsUp("n"));
+  sim.Run();
+  EXPECT_TRUE(net.IsUp("n"));
+  EXPECT_EQ(events, (std::vector<std::string>{"crash@100", "restart@150"}));
+}
+
+TEST(FailureInjectorTest, NoRestartWhenDowntimeNegative) {
+  Simulator sim;
+  Network net(&sim, LatencyModel{});
+  net.AddNode("n");
+  FailureInjector inj(&sim, &net);
+  inj.Register("n", {});
+  inj.ScheduleCrash("n", 10, -1);
+  sim.Run();
+  EXPECT_FALSE(net.IsUp("n"));
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,122 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, TimeAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  std::vector<common::TimeMicros> fired;
+  sim.After(100, [&] { fired.push_back(sim.Now()); });
+  sim.After(50, [&] { fired.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 50);
+  EXPECT_EQ(fired[1], 100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(10, [&] { order.push_back(2); });
+  sim.At(10, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventsScheduledFromHandlersRun) {
+  Simulator sim;
+  int depth = 0;
+  sim.After(1, [&] {
+    depth = 1;
+    sim.After(1, [&] {
+      depth = 2;
+      sim.After(1, [&] { depth = 3; });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(depth, 3);
+  EXPECT_EQ(sim.Now(), 3);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.After(10, [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.At(10, [&] { fired.push_back(10); });
+  sim.At(20, [&] { fired.push_back(20); });
+  sim.At(30, [&] { fired.push_back(30); });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.After(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 10; ++i) {
+      sim.After(static_cast<common::TimeMicros>(sim.rng().Below(100) + 1),
+                [&] { draws.push_back(sim.rng().Next()); });
+    }
+    sim.Run();
+    return draws;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<common::TimeMicros> fires;
+  PeriodicTask task(&sim, 10, [&] { fires.push_back(sim.Now()); });
+  sim.RunUntil(35);
+  task.Stop();
+  sim.RunUntil(100);
+  EXPECT_EQ(fires, (std::vector<common::TimeMicros>{10, 20, 30}));
+}
+
+TEST(PeriodicTaskTest, DestructionCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTask task(&sim, 10, [&] { ++fires; });
+    sim.RunUntil(25);
+  }
+  sim.RunUntil(200);
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,119 @@
+#include "storage/ingest_store.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace storage {
+namespace {
+
+using common::KeyRange;
+using common::StatusCode;
+using common::Version;
+
+TEST(IngestStoreTest, AppendAssignsMonotonicVersions) {
+  IngestStore store;
+  const Version v1 = store.Append("a", "p1", 0);
+  const Version v2 = store.Append("b", "p2", 1);
+  EXPECT_LT(v1, v2);
+  EXPECT_EQ(store.LatestVersion(), v2);
+  EXPECT_EQ(store.EventCount(), 2u);
+}
+
+TEST(IngestStoreTest, QueryByVersionWindow) {
+  IngestStore store;
+  const Version v1 = store.Append("a", "1", 0);
+  const Version v2 = store.Append("b", "2", 0);
+  const Version v3 = store.Append("a", "3", 0);
+
+  auto res = store.Query(KeyRange::All(), v1, v3);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 2u);
+  EXPECT_EQ((*res)[0].version, v2);
+  EXPECT_EQ((*res)[1].version, v3);
+}
+
+TEST(IngestStoreTest, QueryFiltersKeyRange) {
+  IngestStore store;
+  store.Append("apple", "1", 0);
+  store.Append("banana", "2", 0);
+  store.Append("cherry", "3", 0);
+  auto res = store.Query(KeyRange{"b", "c"}, 0, common::kMaxVersion);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  EXPECT_EQ((*res)[0].key, "banana");
+}
+
+TEST(IngestStoreTest, QueryHonorsLimit) {
+  IngestStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Append("k", std::to_string(i), 0);
+  }
+  auto res = store.Query(KeyRange::All(), 0, common::kMaxVersion, 4);
+  ASSERT_EQ(res->size(), 4u);
+}
+
+TEST(IngestStoreTest, ScanLatestReturnsCurrentStatePerKey) {
+  IngestStore store;
+  store.Append("a", "old", 0);
+  store.Append("b", "only", 0);
+  store.Append("a", "new", 0);
+  auto latest = store.ScanLatest(KeyRange::All());
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[0].key, "a");
+  EXPECT_EQ(latest[0].payload, "new");
+  EXPECT_EQ(latest[1].key, "b");
+}
+
+TEST(IngestStoreTest, RetentionDropsOldButKeepsLatestPerKey) {
+  IngestStore store;
+  store.Append("a", "v1", /*now=*/0);
+  store.Append("a", "v2", /*now=*/100);
+  store.Append("b", "only", /*now=*/0);  // Old, but latest for "b".
+  store.RetainAfter(/*horizon=*/50);
+
+  EXPECT_EQ(store.EventCount(), 2u);  // a@v2 and b.
+  auto latest = store.ScanLatest(KeyRange::All());
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[0].payload, "v2");
+}
+
+TEST(IngestStoreTest, QueryBelowRetainedHistoryFailsDetectably) {
+  IngestStore store;
+  const Version v1 = store.Append("a", "1", 0);
+  store.Append("a", "2", 100);
+  store.Append("a", "3", 200);
+  store.RetainAfter(150);
+
+  // History starting before retained events must fail loudly, not silently
+  // return a gap — this is the property pubsub GC lacks.
+  auto res = store.Query(KeyRange::All(), 0, common::kMaxVersion);
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+  EXPECT_GT(store.MinRetainedVersion(), v1);
+
+  // Resuming at/after the retained horizon works.
+  auto ok = store.Query(KeyRange::All(), store.MinRetainedVersion() - 1, common::kMaxVersion);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(IngestStoreTest, EventObserverSeesLiveAppends) {
+  IngestStore store;
+  std::vector<IngestEvent> seen;
+  store.AddEventObserver([&seen](const IngestEvent& ev) { seen.push_back(ev); });
+  store.Append("k", "p", 42);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].key, "k");
+  EXPECT_EQ(seen[0].payload, "p");
+  EXPECT_EQ(seen[0].ingest_time, 42);
+}
+
+TEST(IngestStoreTest, QueryAfterLatestIsEmpty) {
+  IngestStore store;
+  store.Append("k", "p", 0);
+  auto res = store.Query(KeyRange::All(), store.LatestVersion(), common::kMaxVersion);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->empty());
+}
+
+}  // namespace
+}  // namespace storage

@@ -1,0 +1,292 @@
+#include "storage/mvcc_store.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace storage {
+namespace {
+
+using common::ChangeEvent;
+using common::Key;
+using common::KeyRange;
+using common::Mutation;
+using common::MutationKind;
+using common::StatusCode;
+using common::Value;
+using common::Version;
+
+TEST(MvccStoreTest, GetMissingKey) {
+  MvccStore store;
+  EXPECT_EQ(store.GetLatest("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MvccStoreTest, PutThenGet) {
+  MvccStore store;
+  const Version v = store.Apply("k", Mutation::Put("v1"));
+  EXPECT_GT(v, common::kNoVersion);
+  auto res = store.GetLatest("k");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, "v1");
+}
+
+TEST(MvccStoreTest, SnapshotReadsSeePastVersions) {
+  MvccStore store;
+  const Version v1 = store.Apply("k", Mutation::Put("old"));
+  const Version v2 = store.Apply("k", Mutation::Put("new"));
+  ASSERT_LT(v1, v2);
+  EXPECT_EQ(*store.Get("k", v1), "old");
+  EXPECT_EQ(*store.Get("k", v2), "new");
+  EXPECT_EQ(store.Get("k", v1 - 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MvccStoreTest, DeleteProducesNotFoundAtLaterVersions) {
+  MvccStore store;
+  const Version v1 = store.Apply("k", Mutation::Put("x"));
+  const Version v2 = store.Apply("k", Mutation::Delete());
+  EXPECT_EQ(*store.Get("k", v1), "x");
+  EXPECT_EQ(store.Get("k", v2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.GetLatest("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MvccStoreTest, ScanRespectsRangeVersionAndLimit) {
+  MvccStore store;
+  store.Apply("a", Mutation::Put("1"));
+  store.Apply("b", Mutation::Put("2"));
+  const Version mid = store.LatestVersion();
+  store.Apply("c", Mutation::Put("3"));
+  store.Apply("b", Mutation::Put("2b"));
+
+  auto all = store.Scan(KeyRange::All(), store.LatestVersion());
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ((*all)[1].value, "2b");
+
+  auto at_mid = store.Scan(KeyRange::All(), mid);
+  ASSERT_TRUE(at_mid.ok());
+  ASSERT_EQ(at_mid->size(), 2u);
+  EXPECT_EQ((*at_mid)[1].value, "2");
+
+  auto limited = store.Scan(KeyRange::All(), store.LatestVersion(), 2);
+  ASSERT_EQ(limited->size(), 2u);
+
+  auto ranged = store.Scan(KeyRange{"b", "c"}, store.LatestVersion());
+  ASSERT_EQ(ranged->size(), 1u);
+  EXPECT_EQ((*ranged)[0].key, "b");
+}
+
+TEST(MvccStoreTest, TransactionCommitsAtomically) {
+  MvccStore store;
+  Transaction txn = store.Begin();
+  txn.Put("x", "1");
+  txn.Put("y", "2");
+  txn.Delete("z");
+  auto res = store.Commit(std::move(txn));
+  ASSERT_TRUE(res.ok());
+  // Both writes share the commit version.
+  auto scan = store.Scan(KeyRange::All(), *res);
+  ASSERT_EQ(scan->size(), 2u);
+  EXPECT_EQ((*scan)[0].version, *res);
+  EXPECT_EQ((*scan)[1].version, *res);
+}
+
+TEST(MvccStoreTest, ReadOnlyTransactionCommitsAtSnapshot) {
+  MvccStore store;
+  store.Apply("k", Mutation::Put("v"));
+  Transaction txn = store.Begin();
+  auto read = store.TxnGet(txn, "k");
+  ASSERT_TRUE(read.ok());
+  auto res = store.Commit(std::move(txn));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, store.LatestVersion());
+}
+
+TEST(MvccStoreTest, OccDetectsReadWriteConflict) {
+  MvccStore store;
+  store.Apply("k", Mutation::Put("v0"));
+
+  Transaction t1 = store.Begin();
+  (void)store.TxnGet(t1, "k");
+  t1.Put("k", "from-t1");
+
+  // A concurrent writer commits first.
+  store.Apply("k", Mutation::Put("interloper"));
+
+  auto res = store.Commit(std::move(t1));
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(*store.GetLatest("k"), "interloper");
+}
+
+TEST(MvccStoreTest, OccAllowsDisjointConcurrentCommits) {
+  MvccStore store;
+  store.Apply("a", Mutation::Put("0"));
+  store.Apply("b", Mutation::Put("0"));
+
+  Transaction t1 = store.Begin();
+  (void)store.TxnGet(t1, "a");
+  t1.Put("a", "1");
+
+  Transaction t2 = store.Begin();
+  (void)store.TxnGet(t2, "b");
+  t2.Put("b", "1");
+
+  EXPECT_TRUE(store.Commit(std::move(t2)).ok());
+  EXPECT_TRUE(store.Commit(std::move(t1)).ok());  // Disjoint: no conflict.
+}
+
+TEST(MvccStoreTest, OccReadOfMissingKeyConflictsWithInsert) {
+  MvccStore store;
+  Transaction t1 = store.Begin();
+  EXPECT_EQ(store.TxnGet(t1, "new").status().code(), StatusCode::kNotFound);
+  t1.Put("new", "mine");
+  store.Apply("new", Mutation::Put("theirs"));
+  EXPECT_EQ(store.Commit(std::move(t1)).status().code(), StatusCode::kAborted);
+}
+
+TEST(MvccStoreTest, CommitWithoutBeginFails) {
+  MvccStore store;
+  Transaction txn;
+  EXPECT_EQ(store.Commit(std::move(txn)).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MvccStoreTest, CommitObserverSeesChangesInOrder) {
+  MvccStore store;
+  std::vector<CommitRecord> records;
+  store.AddCommitObserver([&records](const CommitRecord& r) { records.push_back(r); });
+
+  Transaction txn = store.Begin();
+  txn.Put("a", "1");
+  txn.Delete("b");
+  const Version v = *store.Commit(std::move(txn));
+
+  ASSERT_EQ(records.size(), 1u);
+  const CommitRecord& rec = records[0];
+  EXPECT_EQ(rec.version, v);
+  ASSERT_EQ(rec.changes.size(), 2u);
+  EXPECT_EQ(rec.changes[0].key, "a");
+  EXPECT_EQ(rec.changes[0].mutation.kind, MutationKind::kPut);
+  EXPECT_FALSE(rec.changes[0].txn_last);
+  EXPECT_EQ(rec.changes[1].key, "b");
+  EXPECT_EQ(rec.changes[1].mutation.kind, MutationKind::kDelete);
+  EXPECT_TRUE(rec.changes[1].txn_last);
+}
+
+TEST(MvccStoreTest, GcWatermarkInvalidatesOldSnapshots) {
+  MvccStore store;
+  const Version v1 = store.Apply("k", Mutation::Put("old"));
+  const Version v2 = store.Apply("k", Mutation::Put("mid"));
+  const Version v3 = store.Apply("k", Mutation::Put("new"));
+
+  store.AdvanceGcWatermark(v2);
+  EXPECT_EQ(store.MinRetainedVersion(), v2);
+  EXPECT_EQ(store.Get("k", v1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(*store.Get("k", v2), "mid");
+  EXPECT_EQ(*store.Get("k", v3), "new");
+  EXPECT_EQ(store.Scan(KeyRange::All(), v1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MvccStoreTest, GcFoldsHistoryButKeepsBase) {
+  MvccStore store;
+  store.Apply("k", Mutation::Put("a"));
+  store.Apply("k", Mutation::Put("b"));
+  const Version vb = store.LatestVersion();
+  store.Apply("other", Mutation::Put("x"));
+  const Version wm = store.LatestVersion();
+  store.AdvanceGcWatermark(wm);
+  // Version vb < wm, but it is the base state at the watermark for "k".
+  EXPECT_EQ(*store.Get("k", wm), "b");
+  (void)vb;
+}
+
+TEST(MvccStoreTest, GcDropsFullyDeletedKeys) {
+  MvccStore store;
+  store.Apply("gone", Mutation::Put("x"));
+  store.Apply("gone", Mutation::Delete());
+  store.Apply("kept", Mutation::Put("y"));
+  const Version wm = store.LatestVersion();
+  store.AdvanceGcWatermark(wm + 1);
+  EXPECT_EQ(store.KeyCount(), 1u);
+  EXPECT_EQ(store.GetLatest("kept").status().code(), StatusCode::kOk);
+}
+
+TEST(MvccStoreTest, WatermarkNeverRegresses) {
+  MvccStore store;
+  store.Apply("k", Mutation::Put("v"));
+  store.AdvanceGcWatermark(10);
+  store.AdvanceGcWatermark(5);
+  EXPECT_EQ(store.MinRetainedVersion(), 10u);
+}
+
+// Property test: random workload; snapshot reads at every recorded version
+// must match a brute-force model reconstructed from the committed history.
+class MvccPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvccPropertyTest, SnapshotReadsMatchHistoryModel) {
+  common::Rng rng(GetParam());
+  MvccStore store;
+
+  // Model: full change history (version -> key -> value-or-deleted).
+  std::vector<std::pair<Version, std::map<Key, std::optional<Value>>>> history;
+
+  for (int step = 0; step < 150; ++step) {
+    Transaction txn = store.Begin();
+    std::map<Key, std::optional<Value>> writes;
+    const int n_writes = 1 + static_cast<int>(rng.Below(3));
+    for (int w = 0; w < n_writes; ++w) {
+      const Key key = common::IndexKey(rng.Below(20), 2);
+      if (rng.Bernoulli(0.2)) {
+        txn.Delete(key);
+        writes[key] = std::nullopt;
+      } else {
+        Value val = "v" + std::to_string(step) + "-" + std::to_string(w);
+        txn.Put(key, val);
+        writes[key] = val;
+      }
+    }
+    auto res = store.Commit(std::move(txn));
+    ASSERT_TRUE(res.ok());
+    history.emplace_back(*res, std::move(writes));
+  }
+
+  // Verify snapshots at each commit version (and at version 0).
+  auto state_at = [&history](Version v) {
+    std::map<Key, Value> state;
+    for (const auto& [version, writes] : history) {
+      if (version > v) {
+        break;
+      }
+      for (const auto& [key, val] : writes) {
+        if (val.has_value()) {
+          state[key] = *val;
+        } else {
+          state.erase(key);
+        }
+      }
+    }
+    return state;
+  };
+
+  for (std::size_t i = 0; i < history.size(); i += 7) {
+    const Version v = history[i].first;
+    const std::map<Key, Value> expect = state_at(v);
+    auto scan = store.Scan(KeyRange::All(), v);
+    ASSERT_TRUE(scan.ok());
+    std::map<Key, Value> got;
+    for (const Entry& e : *scan) {
+      got[e.key] = e.value;
+    }
+    EXPECT_EQ(got, expect) << "at version " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvccPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+}  // namespace
+}  // namespace storage

@@ -1,0 +1,100 @@
+#include "storage/replica.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+
+namespace storage {
+namespace {
+
+using common::KeyRange;
+using common::Mutation;
+using common::StatusCode;
+
+TEST(StaleReplicaTest, AppliesAfterLag) {
+  sim::Simulator sim;
+  MvccStore primary;
+  StaleReplica replica(&sim, &primary, /*lag=*/1000);
+
+  primary.Apply("k", Mutation::Put("v1"));
+  EXPECT_EQ(replica.Get("k").status().code(), StatusCode::kNotFound);
+
+  sim.RunUntil(999);
+  EXPECT_EQ(replica.Get("k").status().code(), StatusCode::kNotFound);
+  sim.RunUntil(1000);
+  EXPECT_EQ(*replica.Get("k"), "v1");
+}
+
+TEST(StaleReplicaTest, AppliedVersionTracksPrimary) {
+  sim::Simulator sim;
+  MvccStore primary;
+  StaleReplica replica(&sim, &primary, 500);
+
+  const auto v1 = primary.Apply("a", Mutation::Put("1"));
+  sim.RunUntil(100);
+  const auto v2 = primary.Apply("b", Mutation::Put("2"));
+
+  EXPECT_EQ(replica.AppliedVersion(), common::kNoVersion);
+  sim.RunUntil(500);
+  EXPECT_EQ(replica.AppliedVersion(), v1);
+  sim.RunUntil(600);
+  EXPECT_EQ(replica.AppliedVersion(), v2);
+}
+
+TEST(StaleReplicaTest, DeletesPropagate) {
+  sim::Simulator sim;
+  MvccStore primary;
+  StaleReplica replica(&sim, &primary, 10);
+  primary.Apply("k", Mutation::Put("v"));
+  sim.RunUntil(10);
+  EXPECT_TRUE(replica.Get("k").ok());
+  primary.Apply("k", Mutation::Delete());
+  sim.RunUntil(20);
+  EXPECT_EQ(replica.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(StaleReplicaTest, ScanReflectsAppliedStateOnly) {
+  sim::Simulator sim;
+  MvccStore primary;
+  StaleReplica replica(&sim, &primary, 100);
+  primary.Apply("a", Mutation::Put("1"));
+  sim.RunUntil(50);
+  primary.Apply("b", Mutation::Put("2"));
+  sim.RunUntil(100);  // Only "a" has landed.
+  auto entries = replica.Scan(KeyRange::All());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "a");
+  sim.RunUntil(150);
+  EXPECT_EQ(replica.Scan(KeyRange::All()).size(), 2u);
+}
+
+TEST(StaleReplicaTest, ScanHonorsRangeAndLimit) {
+  sim::Simulator sim;
+  MvccStore primary;
+  StaleReplica replica(&sim, &primary, 1);
+  primary.Apply("a", Mutation::Put("1"));
+  primary.Apply("b", Mutation::Put("2"));
+  primary.Apply("c", Mutation::Put("3"));
+  sim.Run();
+  EXPECT_EQ(replica.Scan(KeyRange{"b", ""}).size(), 2u);
+  EXPECT_EQ(replica.Scan(KeyRange::All(), 2).size(), 2u);
+  EXPECT_EQ(replica.Scan(KeyRange{"a", "b"}).size(), 1u);
+}
+
+TEST(StaleReplicaTest, TransactionAppliedAtomicallyAfterLag) {
+  sim::Simulator sim;
+  MvccStore primary;
+  StaleReplica replica(&sim, &primary, 100);
+  Transaction txn = primary.Begin();
+  txn.Put("x", "1");
+  txn.Put("y", "2");
+  ASSERT_TRUE(primary.Commit(std::move(txn)).ok());
+  sim.RunUntil(100);
+  EXPECT_TRUE(replica.Get("x").ok());
+  EXPECT_TRUE(replica.Get("y").ok());
+}
+
+}  // namespace
+}  // namespace storage

@@ -1,0 +1,118 @@
+#include "storage/view.h"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "storage/mvcc_store.h"
+
+namespace storage {
+namespace {
+
+using common::KeyRange;
+using common::Mutation;
+using common::MutationKind;
+using common::StatusCode;
+using common::Value;
+
+class FilteredViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.Apply("contacts/alice", Mutation::Put("alice@x.com|555-1234"));
+    store_.Apply("contacts/bob", Mutation::Put("bob@x.com|555-9999"));
+    store_.Apply("secrets/key1", Mutation::Put("hunter2"));
+  }
+
+  MvccStore store_;
+};
+
+TEST_F(FilteredViewTest, RangeRestrictsVisibility) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"});
+  EXPECT_TRUE(view.Get("contacts/alice", store_.LatestVersion()).ok());
+  EXPECT_EQ(view.Get("secrets/key1", store_.LatestVersion()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FilteredViewTest, ScanClipsToViewRange) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"});
+  auto res = view.Scan(KeyRange::All(), store_.LatestVersion());
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 2u);
+  EXPECT_EQ((*res)[0].key, "contacts/alice");
+  EXPECT_EQ((*res)[1].key, "contacts/bob");
+}
+
+// Projection exposing only the email (the derived-value example of §4.1).
+std::optional<Value> EmailOnly(const common::Key&, const Value& v) {
+  const auto pos = v.find('|');
+  if (pos == Value::npos) {
+    return std::nullopt;
+  }
+  return v.substr(0, pos);
+}
+
+TEST_F(FilteredViewTest, ProjectionDerivesValues) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"}, EmailOnly);
+  auto res = view.Get("contacts/alice", store_.LatestVersion());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, "alice@x.com");
+
+  auto scan = view.Scan(KeyRange::All(), store_.LatestVersion());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)[1].value, "bob@x.com");
+}
+
+TEST_F(FilteredViewTest, ProjectionCanHideRows) {
+  store_.Apply("contacts/hidden", Mutation::Put("no-delimiter"));
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"}, EmailOnly);
+  EXPECT_EQ(view.Get("contacts/hidden", store_.LatestVersion()).status().code(),
+            StatusCode::kNotFound);
+  auto scan = view.Scan(KeyRange::All(), store_.LatestVersion());
+  EXPECT_EQ(scan->size(), 2u);  // Hidden row absent.
+}
+
+TEST_F(FilteredViewTest, FilterCommitRewritesEvents) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"}, EmailOnly);
+
+  CommitRecord record;
+  record.version = 99;
+  record.changes.push_back(
+      {"contacts/carol", Mutation::Put("carol@x.com|555-0000"), 99, false});
+  record.changes.push_back({"secrets/key2", Mutation::Put("shh"), 99, true});
+
+  auto filtered = view.FilterCommit(record);
+  ASSERT_TRUE(filtered.has_value());
+  ASSERT_EQ(filtered->changes.size(), 1u);
+  EXPECT_EQ(filtered->changes[0].key, "contacts/carol");
+  EXPECT_EQ(filtered->changes[0].mutation.value, "carol@x.com");
+  EXPECT_TRUE(filtered->changes[0].txn_last);  // Re-marked after filtering.
+}
+
+TEST_F(FilteredViewTest, FilterCommitDropsInvisibleCommits) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"});
+  CommitRecord record;
+  record.version = 100;
+  record.changes.push_back({"secrets/key3", Mutation::Put("x"), 100, true});
+  EXPECT_FALSE(view.FilterCommit(record).has_value());
+}
+
+TEST_F(FilteredViewTest, DeletesPassThroughUnprojected) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"}, EmailOnly);
+  CommitRecord record;
+  record.version = 101;
+  record.changes.push_back({"contacts/alice", Mutation::Delete(), 101, true});
+  auto filtered = view.FilterCommit(record);
+  ASSERT_TRUE(filtered.has_value());
+  EXPECT_EQ(filtered->changes[0].mutation.kind, MutationKind::kDelete);
+}
+
+TEST_F(FilteredViewTest, SnapshotSemanticsPreserved) {
+  FilteredView view(&store_, KeyRange{"contacts/", "contacts0"});
+  const common::Version before = store_.LatestVersion();
+  store_.Apply("contacts/alice", Mutation::Put("new@x.com|1"));
+  EXPECT_EQ(*view.Get("contacts/alice", before), "alice@x.com|555-1234");
+  EXPECT_EQ(*view.Get("contacts/alice", store_.LatestVersion()), "new@x.com|1");
+}
+
+}  // namespace
+}  // namespace storage

@@ -1,0 +1,226 @@
+#include "watch/knowledge.h"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+namespace watch {
+namespace {
+
+using common::KeyRange;
+using common::Version;
+
+// -- Window-set algebra ---------------------------------------------------------
+
+TEST(WindowSetTest, UnionIntoEmpty) {
+  WindowSet s = UnionWindow({}, {5, 10});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (VersionWindow{5, 10}));
+}
+
+TEST(WindowSetTest, UnionDisjointKeepsSorted) {
+  WindowSet s = UnionWindow({{10, 20}}, {30, 40});
+  s = UnionWindow(s, {1, 3});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], (VersionWindow{1, 3}));
+  EXPECT_EQ(s[1], (VersionWindow{10, 20}));
+  EXPECT_EQ(s[2], (VersionWindow{30, 40}));
+}
+
+TEST(WindowSetTest, UnionMergesOverlap) {
+  WindowSet s = UnionWindow({{10, 20}}, {15, 30});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (VersionWindow{10, 30}));
+}
+
+TEST(WindowSetTest, UnionMergesAdjacent) {
+  WindowSet s = UnionWindow({{10, 20}}, {21, 25});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (VersionWindow{10, 25}));
+}
+
+TEST(WindowSetTest, UnionBridgesMultipleWindows) {
+  WindowSet s = UnionWindow({{1, 3}, {10, 12}, {20, 22}}, {4, 19});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (VersionWindow{1, 22}));
+}
+
+TEST(WindowSetTest, UnionEmptyWindowIsNoOp) {
+  WindowSet s = UnionWindow({{1, 3}}, {10, 5});
+  ASSERT_EQ(s.size(), 1u);
+}
+
+TEST(WindowSetTest, IntersectBasic) {
+  WindowSet out = IntersectSets({{1, 10}, {20, 30}}, {{5, 25}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (VersionWindow{5, 10}));
+  EXPECT_EQ(out[1], (VersionWindow{20, 25}));
+}
+
+TEST(WindowSetTest, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(IntersectSets({{1, 5}}, {{6, 9}}).empty());
+  EXPECT_TRUE(IntersectSets({}, {{1, 5}}).empty());
+}
+
+TEST(WindowSetTest, MaxOf) {
+  EXPECT_EQ(MaxOf({{1, 5}, {7, 12}}), std::optional<Version>(12));
+  EXPECT_EQ(MaxOf({}), std::nullopt);
+}
+
+// -- KnowledgeMap -----------------------------------------------------------------
+
+TEST(KnowledgeMapTest, SnapshotCreatesPointWindow) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "m"}, 10);
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "m"}, 10));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "m"}, 9));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "m"}, 11));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "n"}, 10));  // Beyond known range.
+}
+
+TEST(KnowledgeMapTest, ProgressGrowsRectangle) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "m"}, 10);
+  k.ExtendTo(KeyRange{"a", "m"}, 15);
+  for (Version v = 10; v <= 15; ++v) {
+    EXPECT_TRUE(k.ServableAt(KeyRange{"a", "m"}, v)) << v;
+  }
+  EXPECT_EQ(k.MaxServableVersion(KeyRange{"a", "m"}), std::optional<Version>(15));
+}
+
+TEST(KnowledgeMapTest, ProgressWithoutSnapshotTeachesNothing) {
+  KnowledgeMap k;
+  k.ExtendTo(KeyRange{"a", "m"}, 15);
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "m"}, 15));
+  EXPECT_EQ(k.MaxServableVersion(KeyRange{"a", "m"}), std::nullopt);
+}
+
+TEST(KnowledgeMapTest, ResyncCreatesSecondRectangle) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "m"}, 10);
+  k.ExtendTo(KeyRange{"a", "m"}, 12);
+  // Gap (events 13..19 missed), then a new snapshot at 20.
+  k.AddSnapshot(KeyRange{"a", "m"}, 20);
+  k.ExtendTo(KeyRange{"a", "m"}, 25);
+  // Old knowledge remains valid (immutability), the gap does not.
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "m"}, 11));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "m"}, 15));
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "m"}, 22));
+  auto windows = k.ServableWindows(KeyRange{"a", "m"});
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (VersionWindow{10, 12}));
+  EXPECT_EQ(windows[1], (VersionWindow{20, 25}));
+}
+
+TEST(KnowledgeMapTest, DifferentRangesDifferentWindows) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "g"}, 10);
+  k.ExtendTo(KeyRange{"a", "g"}, 30);
+  k.AddSnapshot(KeyRange{"g", "p"}, 20);
+  k.ExtendTo(KeyRange{"g", "p"}, 25);
+  // Individually servable at different windows...
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "g"}, 12));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"g", "p"}, 12));
+  // ...the combined range only where the windows intersect: [20, 25].
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "p"}, 15));
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "p"}, 22));
+  EXPECT_EQ(k.MaxServableVersion(KeyRange{"a", "p"}), std::optional<Version>(25));
+}
+
+TEST(KnowledgeMapTest, ForgetDropsRange) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "z"}, 10);
+  k.Forget(KeyRange{"g", "m"});
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "g"}, 10));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"g", "m"}, 10));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"a", "z"}, 10));
+}
+
+TEST(KnowledgeMapTest, RegionsIntrospection) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "g"}, 5);
+  k.AddSnapshot(KeyRange{"m", "t"}, 9);
+  auto regions = k.Regions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].range, (KeyRange{"a", "g"}));
+  EXPECT_EQ(regions[0].windows[0], (VersionWindow{5, 5}));
+  EXPECT_EQ(regions[1].range, (KeyRange{"m", "t"}));
+}
+
+TEST(KnowledgeMapTest, PartialProgressSplitsKnowledge) {
+  KnowledgeMap k;
+  k.AddSnapshot(KeyRange{"a", "z"}, 10);
+  k.ExtendTo(KeyRange{"a", "m"}, 20);  // Only the lower half advances.
+  EXPECT_TRUE(k.ServableAt(KeyRange{"a", "m"}, 20));
+  EXPECT_FALSE(k.ServableAt(KeyRange{"m", "z"}, 20));
+  EXPECT_EQ(k.MaxServableVersion(KeyRange{"a", "z"}), std::optional<Version>(10));
+}
+
+// -- Stitching across watchers (Figure 5's green box at fleet scale) -----------------
+
+TEST(KnowledgeStitchTest, StitchAcrossTwoWatchers) {
+  KnowledgeMap w1;
+  w1.AddSnapshot(KeyRange{"a", "m"}, 10);
+  w1.ExtendTo(KeyRange{"a", "m"}, 30);
+  KnowledgeMap w2;
+  w2.AddSnapshot(KeyRange{"m", "z"}, 20);
+  w2.ExtendTo(KeyRange{"m", "z"}, 40);
+
+  // Neither watcher alone can serve [a, z)...
+  EXPECT_EQ(w1.MaxServableVersion(KeyRange{"a", "z"}), std::nullopt);
+  EXPECT_EQ(w2.MaxServableVersion(KeyRange{"a", "z"}), std::nullopt);
+  // ...together they can, at any version in [20, 30].
+  auto stitched = KnowledgeMap::StitchableWindows({&w1, &w2}, KeyRange{"a", "z"});
+  ASSERT_EQ(stitched.size(), 1u);
+  EXPECT_EQ(stitched[0], (VersionWindow{20, 30}));
+  EXPECT_EQ(KnowledgeMap::MaxStitchableVersion({&w1, &w2}, KeyRange{"a", "z"}),
+            std::optional<Version>(30));
+}
+
+TEST(KnowledgeStitchTest, OverlappingWatchersPoolWindows) {
+  // Redundant coverage (the paper: "overlapping and redundant knowledge
+  // regions for improved availability"): either watcher can cover the
+  // overlap, so the union of their windows counts.
+  KnowledgeMap w1;
+  w1.AddSnapshot(KeyRange{"a", "p"}, 10);
+  w1.ExtendTo(KeyRange{"a", "p"}, 20);
+  KnowledgeMap w2;
+  w2.AddSnapshot(KeyRange{"g", "z"}, 25);
+  w2.ExtendTo(KeyRange{"g", "z"}, 35);
+
+  // [g, p) is known over [10,20] (w1) and [25,35] (w2) — the union.
+  auto stitched = KnowledgeMap::StitchableWindows({&w1, &w2}, KeyRange{"g", "p"});
+  ASSERT_EQ(stitched.size(), 2u);
+  // But the whole range [a, z) has no common version: w1 stops at 20, w2
+  // starts at 25, and the ends only one of them covers pin each side.
+  EXPECT_EQ(KnowledgeMap::MaxStitchableVersion({&w1, &w2}, KeyRange{"a", "z"}), std::nullopt);
+}
+
+TEST(KnowledgeStitchTest, GapInCoverageBlocksStitch) {
+  KnowledgeMap w1;
+  w1.AddSnapshot(KeyRange{"a", "g"}, 10);
+  KnowledgeMap w2;
+  w2.AddSnapshot(KeyRange{"m", "z"}, 10);
+  // [g, m) is nobody's.
+  EXPECT_EQ(KnowledgeMap::MaxStitchableVersion({&w1, &w2}, KeyRange{"a", "z"}), std::nullopt);
+  EXPECT_EQ(KnowledgeMap::MaxStitchableVersion({&w1, &w2}, KeyRange{"a", "g"}),
+            std::optional<Version>(10));
+}
+
+TEST(KnowledgeStitchTest, ThreeWatcherChain) {
+  KnowledgeMap a;
+  a.AddSnapshot(KeyRange{"", "f"}, 5);
+  a.ExtendTo(KeyRange{"", "f"}, 50);
+  KnowledgeMap b;
+  b.AddSnapshot(KeyRange{"f", "q"}, 30);
+  b.ExtendTo(KeyRange{"f", "q"}, 45);
+  KnowledgeMap c;
+  c.AddSnapshot(KeyRange{"q", ""}, 20);
+  c.ExtendTo(KeyRange{"q", ""}, 60);
+  EXPECT_EQ(KnowledgeMap::MaxStitchableVersion({&a, &b, &c}, KeyRange::All()),
+            std::optional<Version>(45));
+  EXPECT_FALSE(KnowledgeMap::StitchableWindows({&a, &b, &c}, KeyRange::All()).empty());
+}
+
+}  // namespace
+}  // namespace watch

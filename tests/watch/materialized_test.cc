@@ -1,0 +1,291 @@
+#include "watch/materialized.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/store_watch.h"
+#include "watch/watch_system.h"
+
+namespace watch {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+using common::KeyRange;
+using common::Mutation;
+using common::StatusCode;
+
+// Stack: MvccStore --(built-in watch)--> MaterializedRange.
+class MaterializedTest : public ::testing::Test {
+ protected:
+  MaterializedTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        store_("primary"),
+        store_watch_(&sim_, &net_, &store_, "store-watch",
+                     {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs}),
+        source_(&store_) {}
+
+  std::unique_ptr<MaterializedRange> MakeRange(KeyRange range,
+                                               MaterializedOptions options = {}) {
+    return std::make_unique<MaterializedRange>(&sim_, &store_watch_, &source_,
+                                               std::move(range), options);
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  storage::MvccStore store_;
+  StoreWatch store_watch_;
+  StoreSnapshotSource source_;
+};
+
+TEST_F(MaterializedTest, InitialSnapshotServed) {
+  store_.Apply("a", Mutation::Put("1"));
+  store_.Apply("b", Mutation::Put("2"));
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  EXPECT_FALSE(mr->ready());
+  sim_.RunUntil(50 * kMs);
+  ASSERT_TRUE(mr->ready());
+  EXPECT_EQ(*mr->Get("a"), "1");
+  EXPECT_EQ(*mr->Get("b"), "2");
+  EXPECT_EQ(mr->Get("zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MaterializedTest, LiveUpdatesApplied) {
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  store_.Apply("k", Mutation::Put("fresh"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(*mr->Get("k"), "fresh");
+  EXPECT_GE(mr->events_applied(), 1u);
+}
+
+TEST_F(MaterializedTest, DeletesApplied) {
+  store_.Apply("k", Mutation::Put("v"));
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  EXPECT_TRUE(mr->Get("k").ok());
+  store_.Apply("k", Mutation::Delete());
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(mr->Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MaterializedTest, RangeRestriction) {
+  store_.Apply("apple", Mutation::Put("1"));
+  store_.Apply("zebra", Mutation::Put("2"));
+  auto mr = MakeRange(KeyRange{"a", "m"});
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  EXPECT_TRUE(mr->Get("apple").ok());
+  EXPECT_EQ(mr->Get("zebra").status().code(), StatusCode::kNotFound);
+  store_.Apply("banana", Mutation::Put("3"));
+  store_.Apply("yak", Mutation::Put("4"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_TRUE(mr->Get("banana").ok());
+  EXPECT_EQ(mr->Get("yak").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MaterializedTest, KnowledgeGrowsWithProgress) {
+  store_.Apply("a", Mutation::Put("1"));
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  const common::Version v0 = mr->progress_frontier();
+  store_.Apply("b", Mutation::Put("2"));
+  const common::Version v1 = store_.LatestVersion();
+  sim_.RunUntil(200 * kMs);
+  EXPECT_GT(mr->progress_frontier(), v0);
+  EXPECT_TRUE(mr->knowledge().ServableAt(KeyRange::All(), v1));
+  EXPECT_GE(*mr->MaxServableVersion(KeyRange::All()), v1);
+}
+
+TEST_F(MaterializedTest, SnapshotGetAtHistoricalVersion) {
+  store_.Apply("k", Mutation::Put("old"));
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  const common::Version v_old = *mr->MaxServableVersion(KeyRange::All());
+  store_.Apply("k", Mutation::Put("new"));
+  sim_.RunUntil(200 * kMs);
+  const common::Version v_new = *mr->MaxServableVersion(KeyRange::All());
+  ASSERT_GT(v_new, v_old);
+  // Both versions servable — the multi-version history inside the window.
+  EXPECT_EQ(*mr->SnapshotGet("k", v_old), "old");
+  EXPECT_EQ(*mr->SnapshotGet("k", v_new), "new");
+  // Outside the knowledge window: refused, not silently wrong.
+  EXPECT_EQ(mr->SnapshotGet("k", v_old - 1).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializedTest, SnapshotScanMatchesStore) {
+  for (int i = 0; i < 10; ++i) {
+    store_.Apply(common::IndexKey(i), Mutation::Put("v" + std::to_string(i)));
+  }
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  store_.Apply(common::IndexKey(3), Mutation::Delete());
+  store_.Apply(common::IndexKey(11), Mutation::Put("new"));
+  sim_.RunUntil(200 * kMs);
+  const common::Version v = *mr->MaxServableVersion(KeyRange::All());
+  auto mine = mr->SnapshotScan(KeyRange::All(), v);
+  ASSERT_TRUE(mine.ok());
+  auto truth = store_.Scan(KeyRange::All(), v);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_EQ(mine->size(), truth->size());
+  for (std::size_t i = 0; i < truth->size(); ++i) {
+    EXPECT_EQ((*mine)[i].key, (*truth)[i].key);
+    EXPECT_EQ((*mine)[i].value, (*truth)[i].value);
+  }
+}
+
+TEST_F(MaterializedTest, SoftStateCrashTriggersResyncAndRecovers) {
+  store_.Apply("k", Mutation::Put("v1"));
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  EXPECT_EQ(mr->resyncs(), 0u);
+
+  store_watch_.system().CrashSoftState();
+  store_.Apply("k", Mutation::Put("v2"));  // Committed around the crash.
+  sim_.RunUntil(300 * kMs);
+  EXPECT_GE(mr->resyncs(), 1u);
+  EXPECT_EQ(*mr->Get("k"), "v2");  // Recovered from the store; nothing lost.
+}
+
+TEST_F(MaterializedTest, WatcherOutageRepairsBySessionResume) {
+  auto mr = MakeRange(KeyRange::All(), {.node = "pod1"});
+  net_.AddNode("pod1");
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+
+  net_.SetUp("pod1", false);
+  store_.Apply("k", Mutation::Put("missed"));
+  sim_.RunUntil(300 * kMs);
+  EXPECT_EQ(mr->Get("k").status().code(), StatusCode::kNotFound);
+
+  net_.SetUp("pod1", true);
+  sim_.RunUntil(600 * kMs);
+  // The gap was replayed from the retained window (session resume), without
+  // a full snapshot resync.
+  EXPECT_EQ(*mr->Get("k"), "missed");
+  EXPECT_GE(mr->session_repairs(), 1u);
+  EXPECT_EQ(mr->resyncs(), 0u);
+}
+
+TEST_F(MaterializedTest, LongOutageFallsBackToResync) {
+  // Tiny retained window: an outage longer than the window forces the full
+  // snapshot path — loudly, via OnResync.
+  StoreWatch small_watch(&sim_, &net_, &store_, "small-watch",
+                         {.window = {.max_events = 2},
+                          .delivery_latency = 1 * kMs,
+                          .progress_period = 10 * kMs});
+  MaterializedRange mr(&sim_, &small_watch, &source_, KeyRange::All(), {.node = "pod2"});
+  net_.AddNode("pod2");
+  mr.Start();
+  sim_.RunUntil(50 * kMs);
+
+  net_.SetUp("pod2", false);
+  for (int i = 0; i < 10; ++i) {
+    store_.Apply(common::IndexKey(i), Mutation::Put("x"));
+  }
+  sim_.RunUntil(300 * kMs);
+  net_.SetUp("pod2", true);
+  sim_.RunUntil(800 * kMs);
+  EXPECT_GE(mr.resyncs(), 1u);
+  // End state still correct.
+  EXPECT_EQ(*mr.Get(common::IndexKey(9)), "x");
+}
+
+TEST_F(MaterializedTest, StopDropsState) {
+  store_.Apply("k", Mutation::Put("v"));
+  auto mr = MakeRange(KeyRange::All());
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  mr->Stop();
+  EXPECT_FALSE(mr->ready());
+  EXPECT_EQ(mr->Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MaterializedTest, ApplyAndSnapshotHooksFire) {
+  int snapshots = 0;
+  int applies = 0;
+  auto mr = MakeRange(KeyRange::All());
+  mr->set_snapshot_hook([&snapshots](const Snapshot&) { ++snapshots; });
+  mr->set_apply_hook([&applies](const ChangeEvent&) { ++applies; });
+  store_.Apply("a", Mutation::Put("1"));
+  mr->Start();
+  sim_.RunUntil(50 * kMs);
+  store_.Apply("b", Mutation::Put("2"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(snapshots, 1);
+  EXPECT_EQ(applies, 1);
+}
+
+// End-to-end through the EXTERNAL path: MvccStore -> CdcIngesterFeed (4
+// staggered shards, out-of-order across shards) -> WatchSystem ->
+// MaterializedRange. After quiescence the materialization converges to the
+// store, and knowledge reaches the store's version. This is the full
+// unbundled architecture of Figure 4.
+class ExternalPathPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExternalPathPropertyTest, ConvergesToStoreState) {
+  sim::Simulator sim(GetParam());
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store("primary");
+  WatchSystem ws(&sim, &net, "snappy",
+                 {.delivery_latency = 1 * kMs, .progress_period = 10 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &ws,
+                            {.shards = cdc::UniformShards(100, 4, 2),
+                             .base_latency = 1 * kMs,
+                             .stagger = 3 * kMs,
+                             .progress_period = 15 * kMs});
+  StoreSnapshotSource source(&store);
+  MaterializedRange mr(&sim, &ws, &source, KeyRange::All());
+  mr.Start();
+  sim.RunUntil(50 * kMs);
+
+  common::Rng rng(GetParam() * 13 + 7);
+  for (int step = 0; step < 200; ++step) {
+    storage::Transaction txn = store.Begin();
+    const int writes = 1 + static_cast<int>(rng.Below(4));
+    for (int w = 0; w < writes; ++w) {
+      const common::Key key = common::IndexKey(rng.Below(100), 2);
+      if (rng.Bernoulli(0.15)) {
+        txn.Delete(key);
+      } else {
+        txn.Put(key, "s" + std::to_string(step));
+      }
+    }
+    ASSERT_TRUE(store.Commit(std::move(txn)).ok());
+    if (rng.Bernoulli(0.1)) {
+      sim.RunUntil(sim.Now() + 5 * kMs);
+    }
+  }
+  sim.RunUntil(sim.Now() + 2000 * kMs);  // Quiesce.
+
+  const common::Version latest = store.LatestVersion();
+  ASSERT_TRUE(mr.knowledge().ServableAt(KeyRange::All(), latest));
+  auto truth = store.Scan(KeyRange::All(), latest);
+  ASSERT_TRUE(truth.ok());
+  auto mine = mr.SnapshotScan(KeyRange::All(), latest);
+  ASSERT_TRUE(mine.ok());
+  ASSERT_EQ(mine->size(), truth->size());
+  for (std::size_t i = 0; i < truth->size(); ++i) {
+    EXPECT_EQ((*mine)[i].key, (*truth)[i].key);
+    EXPECT_EQ((*mine)[i].value, (*truth)[i].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExternalPathPropertyTest,
+                         ::testing::Values(21, 42, 63, 84, 105, 126, 147, 168));
+
+}  // namespace
+}  // namespace watch

@@ -1,0 +1,88 @@
+#include "watch/progress_tracker.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace watch {
+namespace {
+
+using common::KeyRange;
+using common::ProgressEvent;
+using common::Version;
+
+TEST(ProgressTrackerTest, InitialFrontierIsZero) {
+  ProgressTracker t;
+  EXPECT_EQ(t.FrontierFor(KeyRange::All()), common::kNoVersion);
+}
+
+TEST(ProgressTrackerTest, GlobalProgressAdvancesEverything) {
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange::All(), 10});
+  EXPECT_EQ(t.FrontierFor(KeyRange::All()), 10u);
+  EXPECT_EQ(t.FrontierFor(KeyRange{"m", "n"}), 10u);
+}
+
+TEST(ProgressTrackerTest, RangeFrontierIsMinimumAcrossSubranges) {
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange{"a", "m"}, 20});
+  t.Apply(ProgressEvent{KeyRange{"m", ""}, 5});
+  EXPECT_EQ(t.FrontierFor(KeyRange{"a", "m"}), 20u);
+  EXPECT_EQ(t.FrontierFor(KeyRange{"m", "z"}), 5u);
+  // A range spanning both is limited by the slower shard.
+  EXPECT_EQ(t.FrontierFor(KeyRange{"a", "z"}), 5u);
+  // The untouched space below "a" is still at zero.
+  EXPECT_EQ(t.FrontierFor(KeyRange::All()), 0u);
+}
+
+TEST(ProgressTrackerTest, ProgressNeverRegresses) {
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange{"a", "z"}, 30});
+  t.Apply(ProgressEvent{KeyRange{"a", "z"}, 10});  // Stale redelivery.
+  EXPECT_EQ(t.FrontierFor(KeyRange{"a", "z"}), 30u);
+}
+
+TEST(ProgressTrackerTest, PartialOverlapOnlyAdvancesOverlap) {
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange{"a", "m"}, 10});
+  t.Apply(ProgressEvent{KeyRange{"g", "t"}, 25});
+  EXPECT_EQ(t.FrontierFor(KeyRange{"a", "g"}), 10u);
+  EXPECT_EQ(t.FrontierFor(KeyRange{"g", "m"}), 25u);
+  EXPECT_EQ(t.FrontierFor(KeyRange{"m", "t"}), 25u);
+  EXPECT_EQ(t.FrontierFor(KeyRange{"a", "t"}), 10u);
+}
+
+TEST(ProgressTrackerTest, LayersCanUseDifferentPartitionBoundaries) {
+  // The CDC layer reports in 2 shards; a watcher asks about a range aligned
+  // with neither — the point of range-scoped progress (Section 4.2.2).
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange{"", "h"}, 40});
+  t.Apply(ProgressEvent{KeyRange{"h", ""}, 38});
+  EXPECT_EQ(t.FrontierFor(KeyRange{"e", "k"}), 38u);
+  EXPECT_EQ(t.FrontierFor(KeyRange{"a", "c"}), 40u);
+}
+
+TEST(ProgressTrackerTest, VisitSegmentsExposesFineStructure) {
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange{"a", "m"}, 10});
+  t.Apply(ProgressEvent{KeyRange{"m", "z"}, 20});
+  std::vector<std::pair<KeyRange, Version>> segs;
+  t.VisitSegments(KeyRange{"b", "y"}, [&segs](const KeyRange& r, Version v) {
+    segs.emplace_back(r, v);
+  });
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].first, (KeyRange{"b", "m"}));
+  EXPECT_EQ(segs[0].second, 10u);
+  EXPECT_EQ(segs[1].first, (KeyRange{"m", "y"}));
+  EXPECT_EQ(segs[1].second, 20u);
+}
+
+TEST(ProgressTrackerTest, ClearResetsToZero) {
+  ProgressTracker t;
+  t.Apply(ProgressEvent{KeyRange::All(), 99});
+  t.Clear();
+  EXPECT_EQ(t.FrontierFor(KeyRange::All()), 0u);
+}
+
+}  // namespace
+}  // namespace watch

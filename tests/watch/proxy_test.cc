@@ -1,0 +1,173 @@
+#include "watch/proxy.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/watch_system.h"
+
+namespace watch {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+using common::KeyRange;
+using common::Mutation;
+
+class RecordingCallback : public WatchCallback {
+ public:
+  void OnEvent(const ChangeEvent& event) override { events.push_back(event); }
+  void OnProgress(const ProgressEvent& event) override { progress.push_back(event); }
+  void OnResync() override { ++resyncs; }
+
+  std::vector<ChangeEvent> events;
+  std::vector<ProgressEvent> progress;
+  int resyncs = 0;
+};
+
+class WatchProxyTest : public ::testing::Test {
+ protected:
+  WatchProxyTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        root_(&sim_, &net_, "root", {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}),
+        feed_(&sim_, &store_, nullptr, &root_, {.progress_period = 5 * kMs}) {}
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  storage::MvccStore store_;
+  WatchSystem root_;
+  cdc::CdcIngesterFeed feed_;
+};
+
+TEST_F(WatchProxyTest, EventsFlowThroughProxy) {
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange::All(), "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  RecordingCallback cb;
+  auto handle = proxy.Watch("", "", 0, &cb);
+  store_.Apply("k", Mutation::Put("v1"));
+  store_.Apply("k", Mutation::Put("v2"));
+  sim_.RunUntil(100 * kMs);
+  ASSERT_EQ(cb.events.size(), 2u);
+  EXPECT_EQ(cb.events[0].mutation.value, "v1");
+  EXPECT_EQ(cb.events[1].mutation.value, "v2");
+}
+
+TEST_F(WatchProxyTest, ProgressFlowsThroughProxy) {
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange::All(), "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  RecordingCallback cb;
+  auto handle = proxy.Watch("", "", 0, &cb);
+  store_.Apply("k", Mutation::Put("v"));
+  const common::Version v = store_.LatestVersion();
+  sim_.RunUntil(200 * kMs);
+  ASSERT_FALSE(cb.progress.empty());
+  EXPECT_GE(cb.progress.back().version, v);
+}
+
+TEST_F(WatchProxyTest, ProxyServesItsRangeOnly) {
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange{"a", "m"}, "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  RecordingCallback cb;
+  auto handle = proxy.Watch("", "", 0, &cb);
+  store_.Apply("banana", Mutation::Put("in"));
+  store_.Apply("zebra", Mutation::Put("out"));
+  sim_.RunUntil(100 * kMs);
+  ASSERT_EQ(cb.events.size(), 1u);
+  EXPECT_EQ(cb.events[0].key, "banana");
+}
+
+TEST_F(WatchProxyTest, OneUpstreamSessionManyDownstreamWatchers) {
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange::All(), "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  std::vector<std::unique_ptr<RecordingCallback>> cbs;
+  std::vector<std::unique_ptr<WatchHandle>> handles;
+  for (int i = 0; i < 20; ++i) {
+    cbs.push_back(std::make_unique<RecordingCallback>());
+    handles.push_back(proxy.Watch("", "", 0, cbs.back().get()));
+  }
+  store_.Apply("k", Mutation::Put("v"));
+  sim_.RunUntil(100 * kMs);
+  for (const auto& cb : cbs) {
+    EXPECT_EQ(cb->events.size(), 1u);
+  }
+  // The root saw exactly one session (the proxy), not 20.
+  EXPECT_EQ(root_.active_sessions(), 1u);
+  EXPECT_EQ(proxy.system().active_sessions(), 20u);
+}
+
+TEST_F(WatchProxyTest, ProxiesComposeIntoTrees) {
+  WatchProxy mid(&sim_, &net_, &root_, KeyRange::All(), "proxy-mid",
+                 {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  WatchProxy leaf(&sim_, &net_, &mid, KeyRange::All(), "proxy-leaf",
+                  {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  RecordingCallback cb;
+  auto handle = leaf.Watch("", "", 0, &cb);
+  store_.Apply("k", Mutation::Put("deep"));
+  sim_.RunUntil(200 * kMs);
+  ASSERT_EQ(cb.events.size(), 1u);
+  EXPECT_EQ(cb.events[0].mutation.value, "deep");
+}
+
+TEST_F(WatchProxyTest, UpstreamSoftStateCrashResyncsThroughProxy) {
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange::All(), "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  RecordingCallback cb;
+  auto handle = proxy.Watch("", "", 0, &cb);
+  store_.Apply("k", Mutation::Put("v1"));
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(cb.events.size(), 1u);
+
+  root_.CrashSoftState();
+  sim_.RunUntil(500 * kMs);
+  // The proxy was resynced upstream and honestly resynced its watchers.
+  EXPECT_GE(proxy.upstream_resyncs(), 1u);
+  EXPECT_EQ(cb.resyncs, 1);
+}
+
+TEST_F(WatchProxyTest, MaterializedRangeWorksThroughProxyAfterCrash) {
+  // The full client protocol against a proxy tier: crash the ROOT's soft
+  // state mid-run; the materialization recovers from the store and converges.
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange::All(), "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  StoreSnapshotSource source(&store_);
+  MaterializedRange mr(&sim_, &proxy, &source, KeyRange::All(),
+                       {.resync_delay = 5 * kMs});
+  mr.Start();
+  sim_.RunUntil(100 * kMs);
+  store_.Apply("a", Mutation::Put("1"));
+  sim_.RunUntil(200 * kMs);
+  EXPECT_EQ(*mr.Get("a"), "1");
+
+  root_.CrashSoftState();
+  store_.Apply("b", Mutation::Put("2"));
+  sim_.RunUntil(1500 * kMs);
+  EXPECT_EQ(*mr.Get("a"), "1");
+  EXPECT_EQ(*mr.Get("b"), "2");  // Nothing lost end to end.
+}
+
+TEST_F(WatchProxyTest, ProxyNodeOutageRecovers) {
+  WatchProxy proxy(&sim_, &net_, &root_, KeyRange::All(), "proxy-0",
+                   {.system = {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}});
+  StoreSnapshotSource source(&store_);
+  MaterializedRange mr(&sim_, &proxy, &source, KeyRange::All(),
+                       {.resync_delay = 5 * kMs});
+  mr.Start();
+  sim_.RunUntil(100 * kMs);
+
+  net_.SetUp("proxy-0", false);  // The proxy tier drops off the network.
+  store_.Apply("k", Mutation::Put("during-outage"));
+  sim_.RunUntil(400 * kMs);
+  net_.SetUp("proxy-0", true);
+  sim_.RunUntil(1500 * kMs);
+  EXPECT_EQ(*mr.Get("k"), "during-outage");
+  EXPECT_GE(proxy.upstream_reconnects(), 1u);
+}
+
+}  // namespace
+}  // namespace watch

@@ -1,0 +1,88 @@
+#include "watch/retained_window.h"
+
+#include <gtest/gtest.h>
+
+namespace watch {
+namespace {
+
+common::ChangeEvent Ev(const std::string& key, common::Version v) {
+  return common::ChangeEvent{key, common::Mutation::Put("v" + std::to_string(v)), v, true};
+}
+
+TEST(RetainedWindowTest, EmptyWindowServesFromAnywhere) {
+  RetainedWindow w;
+  EXPECT_TRUE(w.CanServeFrom(0));
+  EXPECT_TRUE(w.CanServeFrom(100));
+  EXPECT_EQ(w.MinRetainedVersion(), 0u);
+  EXPECT_TRUE(w.EventsAfter(common::KeyRange::All(), 0).empty());
+}
+
+TEST(RetainedWindowTest, EventsAfterFiltersVersionAndRange) {
+  RetainedWindow w;
+  w.Append(Ev("a", 1), 0);
+  w.Append(Ev("b", 2), 0);
+  w.Append(Ev("c", 3), 0);
+  auto all = w.EventsAfter(common::KeyRange::All(), 1);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].key, "b");
+  auto ranged = w.EventsAfter(common::KeyRange{"a", "b"}, 0);
+  ASSERT_EQ(ranged.size(), 1u);
+  EXPECT_EQ(ranged[0].key, "a");
+}
+
+TEST(RetainedWindowTest, CountTrimRaisesFloor) {
+  RetainedWindow w(RetainedWindow::Options{.max_events = 3});
+  for (common::Version v = 1; v <= 5; ++v) {
+    w.Append(Ev("k", v), 0);
+  }
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.MinRetainedVersion(), 3u);  // v1, v2 dropped.
+  EXPECT_FALSE(w.CanServeFrom(1));        // Would miss v2.
+  EXPECT_TRUE(w.CanServeFrom(2));         // v3..v5 all buffered.
+  EXPECT_TRUE(w.CanServeFrom(5));
+}
+
+TEST(RetainedWindowTest, AgeTrim) {
+  RetainedWindow w;
+  w.Append(Ev("k", 1), /*now=*/100);
+  w.Append(Ev("k", 2), /*now=*/200);
+  w.Append(Ev("k", 3), /*now=*/300);
+  w.TrimOlderThan(250);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.MinRetainedVersion(), 3u);
+}
+
+TEST(RetainedWindowTest, ClearLosesEverythingLoudly) {
+  RetainedWindow w;
+  w.Append(Ev("k", 7), 0);
+  w.Append(Ev("k", 9), 0);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  // After a soft-state wipe, positions below the pre-crash frontier are not
+  // servable (events 8..9 may have been missed)...
+  EXPECT_FALSE(w.CanServeFrom(7));
+  EXPECT_FALSE(w.CanServeFrom(8));
+  // ...but a watcher already at the frontier has missed nothing.
+  EXPECT_TRUE(w.CanServeFrom(9));
+  EXPECT_TRUE(w.CanServeFrom(10));
+}
+
+TEST(RetainedWindowTest, CanServeFromExactFloorBoundary) {
+  RetainedWindow w(RetainedWindow::Options{.max_events = 1});
+  w.Append(Ev("k", 10), 0);
+  w.Append(Ev("k", 20), 0);  // Drops v10; floor = 11.
+  EXPECT_EQ(w.MinRetainedVersion(), 11u);
+  EXPECT_TRUE(w.CanServeFrom(10));   // All events > 10 (just v20) retained.
+  EXPECT_FALSE(w.CanServeFrom(9));   // v10 is gone.
+}
+
+TEST(RetainedWindowTest, MaxVersionTracksHighestSeen) {
+  RetainedWindow w;
+  EXPECT_EQ(w.MaxVersion(), 0u);
+  w.Append(Ev("k", 5), 0);
+  w.Append(Ev("j", 3), 0);  // Lower version on a different key.
+  EXPECT_EQ(w.MaxVersion(), 5u);
+}
+
+}  // namespace
+}  // namespace watch

@@ -1,0 +1,174 @@
+#include "watch/router.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+
+namespace watch {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+using common::KeyRange;
+using common::Mutation;
+
+class Recorder : public WatchCallback {
+ public:
+  void OnEvent(const ChangeEvent& event) override { events.push_back(event); }
+  void OnProgress(const ProgressEvent& event) override { progress.push_back(event); }
+  void OnResync() override { ++resyncs; }
+
+  std::vector<ChangeEvent> events;
+  std::vector<ProgressEvent> progress;
+  int resyncs = 0;
+};
+
+class WatchRouterTest : public ::testing::Test {
+ protected:
+  WatchRouterTest()
+      : net_(&sim_, {.base = 0, .jitter = 0}),
+        router_(&sim_, &net_, "router", {{"", "h"}, {"h", "p"}, {"p", ""}},
+                {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs}) {}
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  WatchRouter router_;
+};
+
+TEST_F(WatchRouterTest, AppendsRouteToOwningPartition) {
+  router_.Append({"apple", Mutation::Put("1"), 1, true});
+  router_.Append({"kiwi", Mutation::Put("2"), 2, true});
+  router_.Append({"zebra", Mutation::Put("3"), 3, true});
+  EXPECT_EQ(router_.partition(0).retained_events(), 1u);
+  EXPECT_EQ(router_.partition(1).retained_events(), 1u);
+  EXPECT_EQ(router_.partition(2).retained_events(), 1u);
+}
+
+TEST_F(WatchRouterTest, SinglePartitionWatchBehavesNormally) {
+  Recorder cb;
+  auto handle = router_.Watch("a", "c", 0, &cb);
+  router_.Append({"banana", Mutation::Put("v"), 1, true});
+  router_.Append({"kiwi", Mutation::Put("v"), 2, true});  // Other partition.
+  sim_.RunUntil(20 * kMs);
+  ASSERT_EQ(cb.events.size(), 1u);
+  EXPECT_EQ(cb.events[0].key, "banana");
+  EXPECT_TRUE(handle->active());
+}
+
+TEST_F(WatchRouterTest, SpanningWatchReceivesFromAllPartitions) {
+  Recorder cb;
+  auto handle = router_.Watch("", "", 0, &cb);
+  router_.Append({"apple", Mutation::Put("1"), 1, true});
+  router_.Append({"kiwi", Mutation::Put("2"), 2, true});
+  router_.Append({"zebra", Mutation::Put("3"), 3, true});
+  sim_.RunUntil(20 * kMs);
+  EXPECT_EQ(cb.events.size(), 3u);
+}
+
+TEST_F(WatchRouterTest, CompositeProgressIsMinAcrossPartitions) {
+  Recorder cb;
+  auto handle = router_.Watch("", "", 0, &cb);
+  router_.Progress({KeyRange{"", "h"}, 30});
+  router_.Progress({KeyRange{"h", "p"}, 10});
+  router_.Progress({KeyRange{"p", ""}, 20});
+  sim_.RunUntil(50 * kMs);
+  ASSERT_FALSE(cb.progress.empty());
+  EXPECT_EQ(cb.progress.back().version, 10u);  // Slowest partition bounds it.
+  // Advance the laggard: the composite frontier rises to the new minimum.
+  router_.Progress({KeyRange{"h", "p"}, 25});
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(cb.progress.back().version, 20u);
+}
+
+TEST_F(WatchRouterTest, ProgressReportsTheWatchedRange) {
+  Recorder cb;
+  auto handle = router_.Watch("b", "k", 0, &cb);  // Spans partitions 0 and 1.
+  router_.Progress({KeyRange::All(), 7});
+  sim_.RunUntil(50 * kMs);
+  ASSERT_FALSE(cb.progress.empty());
+  EXPECT_EQ(cb.progress.back().range, (KeyRange{"b", "k"}));
+  EXPECT_EQ(cb.progress.back().version, 7u);
+}
+
+TEST_F(WatchRouterTest, AnyPartitionResyncResyncsTheWholeWatch) {
+  Recorder cb;
+  auto handle = router_.Watch("", "", 0, &cb);
+  sim_.RunUntil(5 * kMs);
+  router_.partition(1).CrashSoftState();  // Only one partition dies.
+  sim_.RunUntil(50 * kMs);
+  EXPECT_EQ(cb.resyncs, 1);  // Exactly one loud signal.
+  EXPECT_FALSE(handle->active());
+}
+
+TEST_F(WatchRouterTest, CancelStopsAllLegs) {
+  Recorder cb;
+  auto handle = router_.Watch("", "", 0, &cb);
+  handle->Cancel();
+  router_.Append({"apple", Mutation::Put("1"), 1, true});
+  router_.Append({"zebra", Mutation::Put("2"), 2, true});
+  sim_.RunUntil(20 * kMs);
+  EXPECT_TRUE(cb.events.empty());
+  EXPECT_FALSE(handle->active());
+}
+
+TEST_F(WatchRouterTest, WatchBelowRetentionResyncsOnce) {
+  WatchRouter tiny(&sim_, &net_, "tiny", {{"", "m"}, {"m", ""}},
+                   {.window = {.max_events = 1}, .delivery_latency = 1 * kMs});
+  for (common::Version v = 1; v <= 6; ++v) {
+    tiny.Append({v % 2 == 0 ? "a" : "z", Mutation::Put("v"), v, true});
+  }
+  Recorder cb;
+  auto handle = tiny.Watch("", "", 1, &cb);  // Both partitions must resync.
+  sim_.RunUntil(20 * kMs);
+  EXPECT_EQ(cb.resyncs, 1);  // Deduplicated to one signal.
+}
+
+// The full client protocol against a router: MaterializedRange converges and
+// survives a partition's soft-state crash, exactly as with a single system.
+TEST_F(WatchRouterTest, MaterializedRangeConvergesThroughRouter) {
+  storage::MvccStore store;
+  cdc::CdcIngesterFeed feed(&sim_, &store, nullptr, &router_,
+                            {.shards = {{"", "h"}, {"h", "p"}, {"p", ""}},
+                             .base_latency = 1 * kMs,
+                             .stagger = 2 * kMs,
+                             .progress_period = 5 * kMs});
+  StoreSnapshotSource source(&store);
+  MaterializedRange mr(&sim_, &router_, &source, KeyRange::All(),
+                       {.resync_delay = 5 * kMs});
+  mr.Start();
+  sim_.RunUntil(50 * kMs);
+
+  common::Rng rng(3);
+  const char* prefixes[] = {"a", "j", "t"};
+  for (int i = 0; i < 150; ++i) {
+    store.Apply(std::string(prefixes[rng.Below(3)]) + std::to_string(rng.Below(30)),
+                Mutation::Put("v" + std::to_string(i)));
+    if (i == 75) {
+      router_.partition(rng.Below(3)).CrashSoftState();
+    }
+    if (i % 10 == 0) {
+      sim_.RunUntil(sim_.Now() + 5 * kMs);
+    }
+  }
+  sim_.RunUntil(sim_.Now() + 3000 * kMs);
+
+  auto truth = store.Scan(KeyRange::All(), store.LatestVersion());
+  ASSERT_TRUE(truth.ok());
+  auto mine = mr.LatestScan(KeyRange::All());
+  ASSERT_EQ(mine.size(), truth->size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].key, (*truth)[i].key);
+    EXPECT_EQ(mine[i].value, (*truth)[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace watch

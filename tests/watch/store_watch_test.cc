@@ -1,0 +1,133 @@
+#include "watch/store_watch.h"
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/ingest_store.h"
+#include "storage/mvcc_store.h"
+#include "storage/view.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/watch_system.h"
+
+namespace watch {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+using common::KeyRange;
+using common::Mutation;
+
+class Recorder : public WatchCallback {
+ public:
+  void OnEvent(const ChangeEvent& event) override { events.push_back(event); }
+  void OnProgress(const ProgressEvent& event) override { progress.push_back(event); }
+  void OnResync() override { ++resyncs; }
+
+  std::vector<ChangeEvent> events;
+  std::vector<ProgressEvent> progress;
+  int resyncs = 0;
+};
+
+TEST(StoreWatchTest, CommitsBecomeEventsImmediately) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store;
+  StoreWatch sw(&sim, &net, &store, "sw", {.delivery_latency = 1 * kMs});
+  Recorder cb;
+  auto handle = sw.Watch("", "", 0, &cb);
+  storage::Transaction txn = store.Begin();
+  txn.Put("a", "1");
+  txn.Put("b", "2");
+  ASSERT_TRUE(store.Commit(std::move(txn)).ok());
+  sim.RunUntil(10 * kMs);
+  ASSERT_EQ(cb.events.size(), 2u);
+  EXPECT_EQ(cb.events[0].key, "a");
+  EXPECT_FALSE(cb.events[0].txn_last);
+  EXPECT_TRUE(cb.events[1].txn_last);
+  EXPECT_EQ(cb.events[0].version, cb.events[1].version);
+}
+
+TEST(StoreWatchTest, ProgressIsTheCommitFrontier) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store;
+  StoreWatch sw(&sim, &net, &store, "sw",
+                {.delivery_latency = 1 * kMs, .progress_period = 5 * kMs});
+  Recorder cb;
+  auto handle = sw.Watch("", "", 0, &cb);
+  store.Apply("k", Mutation::Put("v"));
+  const common::Version v = store.LatestVersion();
+  sim.RunUntil(50 * kMs);
+  ASSERT_FALSE(cb.progress.empty());
+  EXPECT_EQ(cb.progress.back().version, v);
+}
+
+TEST(StoreWatchTest, IngestStoreWatchDeliversAppends) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::IngestStore store;
+  IngestStoreWatch sw(&sim, &net, &store, "isw", {.delivery_latency = 1 * kMs});
+  Recorder cb;
+  auto handle = sw.Watch("", "", 0, &cb);
+  store.Append("sensor-1", "23.4C", 0);
+  sim.RunUntil(10 * kMs);
+  ASSERT_EQ(cb.events.size(), 1u);
+  EXPECT_EQ(cb.events[0].key, "sensor-1");
+  EXPECT_EQ(cb.events[0].mutation.value, "23.4C");
+}
+
+// Section 4.1 end-to-end: a consumer watching through a FilteredView never
+// observes hidden rows or unprojected values, across BOTH the live path and
+// the resync/snapshot path.
+TEST(ViewSecurityTest, WatcherNeverSeesHiddenState) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store;
+  // Expose only contacts/, and only the part of the value before '|'.
+  storage::FilteredView view(
+      &store, KeyRange{"contacts/", "contacts0"},
+      [](const common::Key&, const common::Value& v) -> std::optional<common::Value> {
+        const auto bar = v.find('|');
+        if (bar == common::Value::npos) {
+          return std::nullopt;
+        }
+        return v.substr(0, bar);
+      });
+  WatchSystem ws(&sim, &net, "ws",
+                 {.window = {.max_events = 4},  // Tiny: force the resync path too.
+                  .delivery_latency = 1 * kMs,
+                  .progress_period = 5 * kMs});
+  cdc::CdcIngesterFeed feed(&sim, &store, &view, &ws, {.progress_period = 5 * kMs});
+  ViewSnapshotSource source(&view);
+  MaterializedRange consumer(&sim, &ws, &source, KeyRange::All(),
+                             {.resync_delay = 5 * kMs});
+
+  // Pre-populate (these flow through the snapshot path), including secrets.
+  store.Apply("contacts/alice", Mutation::Put("alice@x.com|555-0001"));
+  store.Apply("secrets/root-password", Mutation::Put("hunter2"));
+  consumer.Start();
+  sim.RunUntil(50 * kMs);
+
+  // Live path, incl. a burst that overflows the window (forcing resync).
+  for (int i = 0; i < 20; ++i) {
+    store.Apply("contacts/bob", Mutation::Put("bob" + std::to_string(i) + "@x.com|555"));
+    store.Apply("secrets/api-key", Mutation::Put("sk-" + std::to_string(i)));
+  }
+  sim.RunUntil(500 * kMs);
+
+  // The consumer converged on the exposed data...
+  EXPECT_EQ(*consumer.Get("contacts/alice"), "alice@x.com");
+  EXPECT_EQ(*consumer.Get("contacts/bob"), "bob19@x.com");
+  // ...and holds nothing outside the view: no secret keys, no phone numbers.
+  for (const storage::Entry& e : consumer.LatestScan(KeyRange::All())) {
+    EXPECT_TRUE(e.key.rfind("contacts/", 0) == 0) << e.key;
+    EXPECT_EQ(e.value.find('|'), std::string::npos) << e.value;
+    EXPECT_EQ(e.value.find("hunter2"), std::string::npos);
+    EXPECT_EQ(e.value.find("sk-"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace watch
