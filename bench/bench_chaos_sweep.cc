@@ -1,0 +1,109 @@
+// Chaos sweep driver: runs the cross-layer invariant oracle over many seeded
+// fault schedules (crashes, partitions, GC pressure, shard moves, group
+// churn, soft-state wipes, seeks) and reports per-seed stats. On a violation
+// it shrinks the schedule to a minimal reproducer and prints it, then exits
+// nonzero — a reproducing seed + schedule is the whole point.
+//
+//   ./bench_chaos_sweep [seeds] [first_seed]   (defaults: 50 1)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "oracle/chaos.h"
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 50;
+  std::uint64_t first_seed = 1;
+  if (argc > 1) {
+    char* end = nullptr;
+    seeds = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || seeds == 0) {
+      std::fprintf(stderr, "usage: %s [seeds>0] [first_seed]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (argc > 2) {
+    char* end = nullptr;
+    first_seed = std::strtoull(argv[2], &end, 10);
+    if (end == argv[2] || *end != '\0') {
+      std::fprintf(stderr, "usage: %s [seeds>0] [first_seed]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  oracle::ChaosSweep sweep;
+  oracle::SweepStats totals;
+  std::uint64_t violating_seeds = 0;
+
+  std::printf("chaos sweep: %llu seeds starting at %llu\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(first_seed));
+  std::printf("%8s %9s %10s %8s %8s %10s %7s %7s %s\n", "seed", "commits", "delivered",
+              "resyncs", "gced", "compacted", "skips", "checks", "result");
+
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = first_seed + i;  // Wraps mod 2^64; any u64 seeds.
+    const oracle::SweepResult result = sweep.Run(seed);
+    const oracle::SweepStats& s = result.stats;
+    std::printf("%8llu %9llu %10llu %8llu %8llu %10llu %7llu %7llu %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(s.commits),
+                static_cast<unsigned long long>(s.watch_events_delivered),
+                static_cast<unsigned long long>(s.watch_resyncs),
+                static_cast<unsigned long long>(s.broker_gced),
+                static_cast<unsigned long long>(s.broker_compacted),
+                static_cast<unsigned long long>(s.silent_skips),
+                static_cast<unsigned long long>(s.checks),
+                result.ok() ? "ok" : "VIOLATION");
+    totals.commits += s.commits;
+    totals.watch_events_delivered += s.watch_events_delivered;
+    totals.watch_resyncs += s.watch_resyncs;
+    totals.broker_gced += s.broker_gced;
+    totals.broker_compacted += s.broker_compacted;
+    totals.silent_skips += s.silent_skips;
+    totals.checks += s.checks;
+
+    if (!result.ok()) {
+      ++violating_seeds;
+      std::printf("\nseed %llu violated %zu invariant(s):\n",
+                  static_cast<unsigned long long>(seed), result.violations.size());
+      for (const oracle::Violation& v : result.violations) {
+        std::printf("  [%s] t=%lldus: %s\n", v.invariant.c_str(),
+                    static_cast<long long>(v.at), v.detail.c_str());
+      }
+      std::printf("shrinking schedule (%zu events)...\n", result.schedule.size());
+      const oracle::SweepResult minimal = sweep.Shrink(seed, result.schedule);
+      std::printf("minimal reproducing schedule for seed %llu (%zu events):\n",
+                  static_cast<unsigned long long>(seed), minimal.schedule.size());
+      for (const oracle::ChaosEvent& ev : minimal.schedule) {
+        std::printf("  %s\n", oracle::DescribeChaosEvent(ev).c_str());
+      }
+      std::printf("first violation under minimal schedule:\n");
+      for (const oracle::Violation& v : minimal.violations) {
+        std::printf("  [%s] t=%lldus: %s\n", v.invariant.c_str(),
+                    static_cast<long long>(v.at), v.detail.c_str());
+        break;
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\ntotals: %llu commits, %llu watch deliveries, %llu resyncs, %llu gced, "
+              "%llu compacted, %llu silent skips, %llu oracle checks\n",
+              static_cast<unsigned long long>(totals.commits),
+              static_cast<unsigned long long>(totals.watch_events_delivered),
+              static_cast<unsigned long long>(totals.watch_resyncs),
+              static_cast<unsigned long long>(totals.broker_gced),
+              static_cast<unsigned long long>(totals.broker_compacted),
+              static_cast<unsigned long long>(totals.silent_skips),
+              static_cast<unsigned long long>(totals.checks));
+  if (violating_seeds != 0) {
+    std::printf("RESULT: %llu/%llu seeds violated invariants\n",
+                static_cast<unsigned long long>(violating_seeds),
+                static_cast<unsigned long long>(seeds));
+    return 1;
+  }
+  std::printf("RESULT: all %llu seeds violation-free\n",
+              static_cast<unsigned long long>(seeds));
+  return 0;
+}

@@ -1,0 +1,327 @@
+#include "oracle/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "cache/watch_cache.h"
+#include "cdc/feeds.h"
+#include "common/rng.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "replication/checker.h"
+#include "replication/pubsub_replicator.h"
+#include "replication/target_store.h"
+#include "sharding/autosharder.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/materialized.h"
+#include "watch/snapshot_source.h"
+#include "watch/watch_system.h"
+
+namespace oracle {
+
+namespace {
+
+const char* KindName(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kCrashWatcher:
+      return "crash-watcher";
+    case ChaosKind::kCrashCachePod:
+      return "crash-cache-pod";
+    case ChaosKind::kPartitionApplier:
+      return "partition-applier";
+    case ChaosKind::kPartitionCdc:
+      return "partition-cdc";
+    case ChaosKind::kStoreGc:
+      return "store-gc";
+    case ChaosKind::kShardMove:
+      return "shard-move";
+    case ChaosKind::kGroupChurn:
+      return "group-churn";
+    case ChaosKind::kSoftStateCrash:
+      return "soft-state-crash";
+    case ChaosKind::kSeekToTime:
+      return "seek-to-time";
+  }
+  return "unknown";
+}
+
+constexpr const char* kLossyTopic = "lossy";
+constexpr const char* kLossyGroup = "lossy-group";
+constexpr const char* kReplTopic = "repl";
+constexpr const char* kReplGroup = "repl-group";
+
+}  // namespace
+
+std::string DescribeChaosEvent(const ChaosEvent& event) {
+  std::ostringstream os;
+  os << KindName(event.kind) << " at=" << event.at << "us";
+  if (event.duration > 0) {
+    os << " for=" << event.duration << "us";
+  }
+  os << " arg=" << event.arg;
+  return os.str();
+}
+
+std::vector<ChaosEvent> ChaosSweep::MakeSchedule(std::uint64_t seed) const {
+  // A stream independent of the simulator's (which the workload and network
+  // consume), so the schedule is a pure function of the seed.
+  common::Rng rng(seed ^ 0x5eedc0ffee15f00dULL);
+  const common::TimeMicros lo = 100 * common::kMicrosPerMilli;
+  const common::TimeMicros hi = options_.fault_window - 500 * common::kMicrosPerMilli;
+  std::vector<ChaosEvent> out;
+  out.reserve(options_.events);
+  for (std::size_t i = 0; i < options_.events; ++i) {
+    ChaosEvent ev;
+    ev.kind = static_cast<ChaosKind>(rng.Below(kChaosKinds));
+    ev.at = rng.Range(lo, hi);
+    ev.duration = rng.Range(20 * common::kMicrosPerMilli, 400 * common::kMicrosPerMilli);
+    // Every outage heals inside the fault window, so quiesce needs no
+    // schedule-specific repair pass.
+    ev.duration = std::min(ev.duration, options_.fault_window - ev.at);
+    ev.arg = rng.Next();
+    out.push_back(ev);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+SweepResult ChaosSweep::RunSchedule(std::uint64_t seed,
+                                    const std::vector<ChaosEvent>& schedule) const {
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, sim::LatencyModel{200, 100});
+
+  // -- Producer store + seeded workload --------------------------------------
+  storage::MvccStore store;
+  replication::SourceHistory history(&store);
+
+  // -- Watch side: sharded CDC feed -> watch system -> caches + watchers ------
+  watch::WatchSystemOptions wopts;
+  wopts.window.max_events = 4096;
+  wopts.max_session_backlog = 256;
+  watch::WatchSystem ws(&sim, &net, "watch", wopts);
+
+  cdc::IngesterFeedOptions iopts;
+  iopts.shards = cdc::UniformShards(options_.keys, 4);
+  cdc::CdcIngesterFeed ingester_feed(&sim, &store, nullptr, &ws, iopts);
+
+  watch::StoreSnapshotSource snapshot_source(&store);
+
+  sharding::SharderOptions shopts;
+  shopts.rebalance_period = 500 * common::kMicrosPerMilli;
+  sharding::AutoSharder sharder(&sim, &net, shopts);
+  cache::WatchCacheOptions copts;
+  copts.pods = 3;
+  copts.materialized.net = &net;  // Crashed pods pause instead of spinning.
+  cache::WatchCacheFleet fleet(&sim, &net, &sharder, &ws, &snapshot_source, &store, copts);
+  const std::vector<sim::NodeId> pod_nodes = fleet.PodNodes();
+
+  std::vector<std::unique_ptr<watch::MaterializedRange>> watchers;
+  const std::vector<common::KeyRange> watcher_ranges = cdc::UniformShards(options_.keys, 2);
+  for (std::size_t i = 0; i < watcher_ranges.size(); ++i) {
+    watch::MaterializedOptions mopts;
+    mopts.node = "watcher-" + std::to_string(i);
+    mopts.net = &net;
+    net.AddNode(mopts.node);
+    auto mr = std::make_unique<watch::MaterializedRange>(&sim, &ws, &snapshot_source,
+                                                         watcher_ranges[i], mopts);
+    mr->Start();
+    watchers.push_back(std::move(mr));
+  }
+
+  // -- Pubsub side: lossless replicated topic + lossy churned topic -----------
+  pubsub::Broker broker(&sim, &net, "broker", /*gc_period=*/200 * common::kMicrosPerMilli);
+
+  pubsub::TopicConfig repl_config;
+  repl_config.partitions = 1;  // kSerial needs publish order == commit order.
+  (void)broker.CreateTopic(kReplTopic, repl_config);
+
+  pubsub::TopicConfig lossy_config;
+  lossy_config.partitions = 2;
+  lossy_config.retention.retention = 600 * common::kMicrosPerMilli;
+  lossy_config.retention.compacted = true;
+  lossy_config.retention.compaction_window = 300 * common::kMicrosPerMilli;
+  (void)broker.CreateTopic(kLossyTopic, lossy_config);
+
+  cdc::PubsubFeedOptions repl_feed_opts;
+  repl_feed_opts.node = "cdc-repl";
+  cdc::CdcPubsubFeed repl_feed(&sim, &net, &store, nullptr, &broker, kReplTopic,
+                               repl_feed_opts);
+  cdc::PubsubFeedOptions lossy_feed_opts;
+  lossy_feed_opts.node = "cdc-lossy";
+  cdc::CdcPubsubFeed lossy_feed(&sim, &net, &store, nullptr, &broker, kLossyTopic,
+                                lossy_feed_opts);
+
+  replication::TargetStore target;
+  replication::PointInTimeChecker checker(&history, &target);
+  replication::PubsubReplicatorOptions replicator_opts;
+  replicator_opts.consumer.poll_period = 20 * common::kMicrosPerMilli;
+  replication::PubsubReplicator replicator(&sim, &net, &broker, kReplTopic, kReplGroup, &target,
+                                           replication::PubsubReplicationMode::kSerial,
+                                           replicator_opts);
+
+  std::vector<std::unique_ptr<pubsub::GroupConsumer>> lossy_consumers;
+  std::vector<bool> lossy_running;
+  for (int i = 0; i < 3; ++i) {
+    auto consumer = std::make_unique<pubsub::GroupConsumer>(
+        &sim, &net, &broker, kLossyGroup, kLossyTopic, "lossy-" + std::to_string(i),
+        [](pubsub::PartitionId, const pubsub::StoredMessage&) { return true; });
+    consumer->Start();
+    lossy_consumers.push_back(std::move(consumer));
+    lossy_running.push_back(true);
+  }
+
+  // -- Oracle ------------------------------------------------------------------
+  InvariantOracle oracle(&sim);
+  oracle.ObserveBroker(&broker);
+  oracle.ObserveWatchSystem(&ws);
+  oracle.ObserveCache(&fleet);
+  oracle.ObserveReplication(&checker, &target);
+
+  // -- Seeded write workload ---------------------------------------------------
+  std::uint64_t commits = 0;
+  sim::PeriodicTask writer(&sim, options_.write_period, [&] {
+    if (sim.Now() > options_.fault_window) {
+      return;  // Quiescing: no new commits.
+    }
+    common::Rng& rng = sim.rng();
+    storage::Transaction txn = store.Begin();
+    const std::uint64_t n = 1 + rng.Below(3);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const common::Key key = common::IndexKey(rng.Below(options_.keys));
+      if (rng.Bernoulli(0.1)) {
+        txn.Delete(key);
+      } else {
+        txn.Put(key, "v" + std::to_string(commits) + "." + std::to_string(i));
+      }
+    }
+    if (store.Commit(std::move(txn)).ok()) {
+      ++commits;
+    }
+  });
+
+  // -- Fault injection ---------------------------------------------------------
+  auto apply = [&](const ChaosEvent& ev) {
+    switch (ev.kind) {
+      case ChaosKind::kCrashWatcher: {
+        const std::size_t i = ev.arg % watchers.size();
+        const sim::NodeId node = "watcher-" + std::to_string(i);
+        net.SetUp(node, false);
+        watchers[i]->CrashLocalState();
+        sim.After(ev.duration, [&net, &watchers, node, i] {
+          net.SetUp(node, true);
+          watchers[i]->Start();
+        });
+        break;
+      }
+      case ChaosKind::kCrashCachePod: {
+        const sim::NodeId node = pod_nodes[ev.arg % pod_nodes.size()];
+        net.SetUp(node, false);
+        sim.After(ev.duration, [&net, node] { net.SetUp(node, true); });
+        break;
+      }
+      case ChaosKind::kPartitionApplier: {
+        net.Partition("broker", "applier-0");
+        sim.After(ev.duration, [&net] { net.Heal("broker", "applier-0"); });
+        break;
+      }
+      case ChaosKind::kPartitionCdc: {
+        const sim::NodeId node = (ev.arg % 2 == 0) ? "cdc-repl" : "cdc-lossy";
+        net.Partition("broker", node);
+        sim.After(ev.duration, [&net, node] { net.Heal("broker", node); });
+        break;
+      }
+      case ChaosKind::kStoreGc:
+        store.AdvanceGcWatermark(store.LatestVersion());
+        break;
+      case ChaosKind::kShardMove: {
+        const common::Key key = common::IndexKey(ev.arg % options_.keys);
+        const sim::NodeId to = pod_nodes[(ev.arg / options_.keys) % pod_nodes.size()];
+        sharder.MoveShard(key, to);
+        break;
+      }
+      case ChaosKind::kGroupChurn: {
+        const std::size_t i = ev.arg % lossy_consumers.size();
+        if (lossy_running[i]) {
+          lossy_running[i] = false;
+          lossy_consumers[i]->Stop();
+          sim.After(ev.duration, [&lossy_consumers, &lossy_running, i] {
+            lossy_consumers[i]->Start();
+            lossy_running[i] = true;
+          });
+        }
+        break;
+      }
+      case ChaosKind::kSoftStateCrash:
+        ws.CrashSoftState();
+        break;
+      case ChaosKind::kSeekToTime: {
+        const common::TimeMicros back =
+            static_cast<common::TimeMicros>(ev.arg % (2 * common::kMicrosPerSecond));
+        const common::TimeMicros t = sim.Now() > back ? sim.Now() - back : 0;
+        broker.SeekGroupToTime(kLossyGroup, kLossyTopic, t);
+        break;
+      }
+    }
+  };
+  for (const ChaosEvent& ev : schedule) {
+    sim.At(ev.at, [&apply, &oracle, ev] {
+      apply(ev);
+      oracle.Check();  // Continuous invariants must hold right after the fault.
+    });
+  }
+  sim::PeriodicTask checker_task(&sim, 100 * common::kMicrosPerMilli,
+                                 [&oracle] { oracle.Check(); });
+
+  // -- Run, quiesce, and audit -------------------------------------------------
+  sim.RunUntil(options_.fault_window);
+  // Outages self-heal inside the window (MakeSchedule clamps durations), but
+  // belt-and-braces: re-heal the fixed fault surface before draining.
+  net.Heal("broker", "applier-0");
+  net.Heal("broker", "cdc-repl");
+  net.Heal("broker", "cdc-lossy");
+  sim.RunUntil(options_.fault_window + options_.quiesce_grace);
+  oracle.CheckQuiesced();
+
+  SweepResult result;
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.schedule = schedule;
+  result.stats.commits = commits;
+  result.stats.watch_events_delivered = ws.events_delivered();
+  result.stats.watch_resyncs = ws.resyncs_sent();
+  result.stats.broker_gced = broker.TotalGced(kLossyTopic);
+  result.stats.broker_compacted = broker.TotalCompactedAway(kLossyTopic);
+  result.stats.silent_skips = broker.TotalSilentSkips(kLossyTopic);
+  result.stats.checks = oracle.checks_run();
+  return result;
+}
+
+SweepResult ChaosSweep::Shrink(std::uint64_t seed, std::vector<ChaosEvent> schedule) const {
+  SweepResult last = RunSchedule(seed, schedule);
+  if (last.ok()) {
+    return last;
+  }
+  bool improved = true;
+  while (improved && !schedule.empty()) {
+    improved = false;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      std::vector<ChaosEvent> candidate = schedule;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      SweepResult attempt = RunSchedule(seed, candidate);
+      if (!attempt.ok()) {
+        schedule = std::move(candidate);
+        last = std::move(attempt);
+        improved = true;
+        break;  // Restart the scan over the smaller schedule.
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace oracle

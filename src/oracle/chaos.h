@@ -1,0 +1,106 @@
+// ChaosSweep: a deterministic fault-schedule driver for the invariant oracle.
+//
+// Each run builds the full cross-layer stack — MVCC store with a seeded write
+// workload, CDC into both a watch system (sharded ingester feed) and a pubsub
+// broker (a lossless serially-replicated topic plus a lossy
+// retention+compaction topic with a churned consumer group), an auto-sharded
+// watch-cache fleet, standalone materialized watchers, and a replication
+// target with point-in-time checking — then injects a seeded schedule of
+// crashes, partitions, GC pressure, shard moves, group churn, soft-state
+// wipes, and seeks. The oracle's Check() runs after every injected fault and
+// on a periodic cadence; after the schedule drains and faults heal,
+// CheckQuiesced() asserts completeness, cache freshness, and replication
+// consistency.
+//
+// Everything derives from the seed through the simulator's event queue, so a
+// violating schedule replays exactly — which is what makes Shrink() possible:
+// it greedily deletes events while the violation reproduces, returning a
+// minimal reproducing schedule.
+#ifndef SRC_ORACLE_CHAOS_H_
+#define SRC_ORACLE_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "oracle/invariant_oracle.h"
+
+namespace oracle {
+
+enum class ChaosKind : std::uint8_t {
+  kCrashWatcher,      // Crash a standalone watcher node (loses local state).
+  kCrashCachePod,     // Take a cache pod's node down; restore later.
+  kPartitionApplier,  // Partition the broker from the replication applier.
+  kPartitionCdc,      // Partition the broker from a CDC publisher.
+  kStoreGc,           // Advance the MVCC GC watermark to the latest version.
+  kShardMove,         // Move a cache shard to another pod.
+  kGroupChurn,        // Stop a lossy-topic group consumer; restart it later.
+  kSoftStateCrash,    // Drop the watch system's soft state.
+  kSeekToTime,        // Seek the lossy group to a past timestamp.
+};
+inline constexpr int kChaosKinds = 9;
+
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kStoreGc;
+  common::TimeMicros at = 0;        // Absolute injection time.
+  common::TimeMicros duration = 0;  // Outage length for events that heal.
+  std::uint64_t arg = 0;            // Kind-specific selector (node, key, ...).
+};
+
+std::string DescribeChaosEvent(const ChaosEvent& event);
+
+struct ChaosOptions {
+  std::size_t events = 24;  // Faults per schedule.
+  // Faults and writes happen in (0, fault_window]; the run then heals and
+  // drains until fault_window + quiesce_grace before CheckQuiesced().
+  common::TimeMicros fault_window = 6 * common::kMicrosPerSecond;
+  common::TimeMicros quiesce_grace = 4 * common::kMicrosPerSecond;
+  std::uint64_t keys = 256;  // IndexKey universe for the write workload.
+  common::TimeMicros write_period = 2 * common::kMicrosPerMilli;
+};
+
+struct SweepStats {
+  std::uint64_t commits = 0;
+  std::uint64_t watch_events_delivered = 0;
+  std::uint64_t watch_resyncs = 0;
+  std::uint64_t broker_gced = 0;
+  std::uint64_t broker_compacted = 0;
+  std::uint64_t silent_skips = 0;
+  std::uint64_t checks = 0;
+};
+
+struct SweepResult {
+  std::uint64_t seed = 0;
+  std::vector<Violation> violations;
+  std::vector<ChaosEvent> schedule;  // The schedule that produced this result.
+  SweepStats stats;
+
+  bool ok() const { return violations.empty(); }
+};
+
+class ChaosSweep {
+ public:
+  explicit ChaosSweep(ChaosOptions options = {}) : options_(options) {}
+
+  // The seed's full fault schedule, sorted by injection time.
+  std::vector<ChaosEvent> MakeSchedule(std::uint64_t seed) const;
+
+  // Runs the seed's full schedule.
+  SweepResult Run(std::uint64_t seed) const { return RunSchedule(seed, MakeSchedule(seed)); }
+
+  // Runs an explicit (possibly reduced) schedule under the seed's workload.
+  SweepResult RunSchedule(std::uint64_t seed, const std::vector<ChaosEvent>& schedule) const;
+
+  // Greedily deletes schedule events while the violation still reproduces;
+  // returns the result of the minimal reproducing schedule. If `schedule`
+  // does not violate, returns its (clean) result unchanged.
+  SweepResult Shrink(std::uint64_t seed, std::vector<ChaosEvent> schedule) const;
+
+ private:
+  ChaosOptions options_;
+};
+
+}  // namespace oracle
+
+#endif  // SRC_ORACLE_CHAOS_H_

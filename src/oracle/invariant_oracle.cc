@@ -1,0 +1,406 @@
+#include "oracle/invariant_oracle.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace oracle {
+
+namespace {
+
+std::string DescribeEvent(const common::ChangeEvent& event) {
+  std::ostringstream os;
+  os << (event.mutation.kind == common::MutationKind::kPut ? "put" : "del") << " " << event.key
+     << " @v" << event.version;
+  return os.str();
+}
+
+std::string RangeKey(const common::KeyRange& range) {
+  return range.low + '\0' + range.high;
+}
+
+}  // namespace
+
+std::optional<std::string> FindShadowedSurvivor(const std::deque<pubsub::StoredMessage>& log,
+                                                common::TimeMicros horizon,
+                                                pubsub::Offset compact_end) {
+  // Newest retained offset per key among records the last compaction saw.
+  std::unordered_map<common::Key, pubsub::Offset> newest;
+  for (const pubsub::StoredMessage& m : log) {
+    if (m.offset >= compact_end) {
+      continue;  // Appended after the compaction pass; exempt until the next.
+    }
+    auto [it, inserted] = newest.try_emplace(m.message.key, m.offset);
+    if (!inserted && m.offset > it->second) {
+      it->second = m.offset;
+    }
+  }
+  for (const pubsub::StoredMessage& m : log) {
+    if (m.offset >= compact_end || m.message.publish_time >= horizon) {
+      continue;
+    }
+    const pubsub::Offset newest_offset = newest.at(m.message.key);
+    if (newest_offset != m.offset) {
+      std::ostringstream os;
+      os << "offset " << m.offset << " (key " << m.message.key << ", published at "
+         << m.message.publish_time << ") survived compaction at horizon " << horizon
+         << " despite newer retained offset " << newest_offset;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+void InvariantOracle::ObserveBroker(pubsub::Broker* broker) {
+  broker_ = broker;
+  broker_->set_observer(this);
+}
+
+void InvariantOracle::ObserveWatchSystem(watch::WatchSystem* system) {
+  watch_ = system;
+  watch_->set_observer(this);
+}
+
+void InvariantOracle::AddViolation(std::string invariant, std::string detail) {
+  if (violations_.size() >= kMaxViolations) {
+    return;
+  }
+  if (!seen_.insert(invariant + '|' + detail).second) {
+    return;  // Already recorded; continuous checks would otherwise flood.
+  }
+  violations_.push_back(Violation{std::move(invariant), std::move(detail), sim_->Now()});
+}
+
+std::string InvariantOracle::Report() const {
+  std::ostringstream os;
+  for (const Violation& v : violations_) {
+    os << "[" << v.invariant << "] t=" << v.at << "us: " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+// -- Broker hooks --------------------------------------------------------------
+
+void InvariantOracle::OnRebalance(const pubsub::GroupId& group, std::uint64_t generation,
+                                  const std::vector<pubsub::MemberId>& members,
+                                  const std::map<pubsub::PartitionId, pubsub::MemberId>&
+                                      assignment) {
+  GroupTrack& track = groups_[group];
+  if (track.saw_rebalance) {
+    if (generation <= track.generation) {
+      std::ostringstream os;
+      os << "group " << group << " generation went " << track.generation << " -> " << generation;
+      AddViolation("group-generation-monotonic", os.str());
+    }
+    if (members == track.last_members) {
+      std::ostringstream os;
+      os << "group " << group << " rebalanced to generation " << generation
+         << " with unchanged membership (" << members.size()
+         << " members) — a no-op rejoin must not invalidate assignments";
+      AddViolation("group-spurious-rebalance", os.str());
+    }
+  }
+  track.saw_rebalance = true;
+  track.generation = generation;
+  track.last_members = members;
+
+  // Assignment soundness: every owner is a member. (Coverage of all
+  // partitions is checked against the broker's topic config in CheckBroker,
+  // where the partition count is known.)
+  for (const auto& [partition, owner] : assignment) {
+    if (std::find(members.begin(), members.end(), owner) == members.end()) {
+      std::ostringstream os;
+      os << "group " << group << " partition " << partition << " assigned to non-member "
+         << owner;
+      AddViolation("group-assignment-soundness", os.str());
+    }
+  }
+  if (members.empty() && !assignment.empty()) {
+    AddViolation("group-assignment-soundness",
+                 "group " + group + " has an assignment but no members");
+  }
+}
+
+void InvariantOracle::OnSeek(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                             pubsub::Offset offset) {
+  // A seek is the one legitimate committed-offset rewind: lower the floor.
+  committed_floor_[group][partition] = offset;
+}
+
+// -- Watch hooks ---------------------------------------------------------------
+
+void InvariantOracle::OnIngest(const common::ChangeEvent& event) {
+  ingest_history_.push_back(event);
+  for (auto& [id, track] : sessions_) {
+    if (event.version > track.start_version && track.range.Contains(event.key)) {
+      track.expected.push_back(event);
+    }
+  }
+}
+
+void InvariantOracle::OnSessionStart(std::uint64_t session_id, const common::KeyRange& range,
+                                     common::Version start_version) {
+  SessionTrack track;
+  track.range = range;
+  track.start_version = start_version;
+  // Events ingested before the session existed are owed as replay iff the
+  // window can serve them; if it cannot, the session is resynced before any
+  // delivery and OnResync drops this track.
+  for (const common::ChangeEvent& event : ingest_history_) {
+    if (event.version > start_version && range.Contains(event.key)) {
+      track.expected.push_back(event);
+    }
+  }
+  sessions_[session_id] = std::move(track);
+}
+
+void InvariantOracle::OnDeliver(std::uint64_t session_id, const common::ChangeEvent& event) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    AddViolation("watch-no-gap", "delivery on untracked session " +
+                                     std::to_string(session_id) + ": " + DescribeEvent(event));
+    return;
+  }
+  SessionTrack& track = it->second;
+  if (track.expected.empty()) {
+    AddViolation("watch-no-gap", "session " + std::to_string(session_id) +
+                                     " received unexpected " + DescribeEvent(event));
+    return;
+  }
+  const common::ChangeEvent& want = track.expected.front();
+  if (!(want == event)) {
+    std::ostringstream os;
+    os << "session " << session_id << " expected " << DescribeEvent(want) << " but received "
+       << DescribeEvent(event) << " (gap or reorder)";
+    AddViolation("watch-no-gap", os.str());
+    // Resynchronize the shadow stream at the delivered event so one gap does
+    // not cascade into a violation per subsequent delivery.
+    while (!track.expected.empty() && !(track.expected.front() == event)) {
+      track.expected.pop_front();
+    }
+  }
+  if (!track.expected.empty()) {
+    track.expected.pop_front();
+  }
+  ++track.delivered;
+}
+
+void InvariantOracle::OnResync(std::uint64_t session_id) {
+  // The contract transfers responsibility to the watcher's re-snapshot; the
+  // session owes nothing further.
+  sessions_.erase(session_id);
+}
+
+void InvariantOracle::OnSoftStateCrash() {
+  // The window floor rises above everything ever buffered: pre-crash events
+  // can never again be replayed (sessions needing them get resyncs), so the
+  // shadow history restarts. Progress frontiers legitimately regress.
+  ingest_history_.clear();
+  frontier_floor_.clear();
+}
+
+// -- Checks --------------------------------------------------------------------
+
+void InvariantOracle::CheckBroker() {
+  for (const std::string& topic : broker_->TopicNames()) {
+    const pubsub::PartitionId partitions = broker_->PartitionCount(topic);
+    for (pubsub::PartitionId p = 0; p < partitions; ++p) {
+      const pubsub::PartitionLog* log = broker_->Log(topic, p);
+      std::ostringstream where;
+      where << topic << "/" << p;
+
+      // Conservation: every allocated offset is retained or accounted.
+      const std::uint64_t accounted = log->size() + log->gced() + log->compacted_away();
+      if (accounted != log->end_offset()) {
+        std::ostringstream os;
+        os << where.str() << ": size " << log->size() << " + gced " << log->gced()
+           << " + compacted " << log->compacted_away() << " != end offset "
+           << log->end_offset();
+        AddViolation("log-conservation", os.str());
+      }
+
+      // Offset monotonicity of the retained window.
+      LogTrack& track = log_tracks_[topic][p];
+      if (log->first_offset() < track.first) {
+        std::ostringstream os;
+        os << where.str() << ": first offset regressed " << track.first << " -> "
+           << log->first_offset();
+        AddViolation("log-offset-monotonic", os.str());
+      }
+      if (log->end_offset() < track.end) {
+        std::ostringstream os;
+        os << where.str() << ": end offset regressed " << track.end << " -> "
+           << log->end_offset();
+        AddViolation("log-offset-monotonic", os.str());
+      }
+      track.first = log->first_offset();
+      track.end = log->end_offset();
+
+      // Compaction left no shadowed pre-horizon survivors.
+      if (auto shadowed = FindShadowedSurvivor(log->entries(), log->last_compaction_horizon(),
+                                               log->compact_end_offset())) {
+        AddViolation("log-compaction-shadow", where.str() + ": " + *shadowed);
+      }
+    }
+  }
+
+  for (const pubsub::GroupId& group : broker_->GroupIds()) {
+    const pubsub::GroupView view = broker_->ViewGroup(group);
+    GroupTrack& track = groups_[group];
+
+    // Topic binding is immutable.
+    if (track.topic.empty()) {
+      track.topic = view.topic;
+    } else if (!view.topic.empty() && view.topic != track.topic) {
+      AddViolation("group-topic-binding",
+                   "group " + group + " moved from topic " + track.topic + " to " + view.topic);
+    }
+    if (view.generation < track.generation) {
+      std::ostringstream os;
+      os << "group " << group << " generation regressed " << track.generation << " -> "
+         << view.generation;
+      AddViolation("group-generation-monotonic", os.str());
+    }
+    track.generation = view.generation;
+
+    // Assignment soundness against the topic's actual partition count: with
+    // members present, every partition has exactly one owner, and owners are
+    // members. (The assignment map gives at-most-one by construction; this
+    // checks coverage and membership.)
+    if (!view.members.empty() && broker_->HasTopic(view.topic)) {
+      const pubsub::PartitionId partitions = broker_->PartitionCount(view.topic);
+      for (pubsub::PartitionId p = 0; p < partitions; ++p) {
+        auto owner = view.assignment.find(p);
+        if (owner == view.assignment.end()) {
+          std::ostringstream os;
+          os << "group " << group << " partition " << p << " has no owner despite "
+             << view.members.size() << " members";
+          AddViolation("group-assignment-soundness", os.str());
+        } else if (std::find(view.members.begin(), view.members.end(), owner->second) ==
+                   view.members.end()) {
+          std::ostringstream os;
+          os << "group " << group << " partition " << p << " owned by non-member "
+             << owner->second;
+          AddViolation("group-assignment-soundness", os.str());
+        }
+      }
+    }
+
+    // Committed offsets: bounded by the log end, monotone except across seeks.
+    for (const auto& [partition, committed] : view.committed) {
+      const pubsub::PartitionLog* log = broker_->Log(view.topic, partition);
+      if (log != nullptr && committed > log->end_offset()) {
+        std::ostringstream os;
+        os << "group " << group << " partition " << partition << " committed " << committed
+           << " beyond end offset " << log->end_offset();
+        AddViolation("group-committed-bounded", os.str());
+      }
+      pubsub::Offset& floor = committed_floor_[group][partition];
+      if (committed < floor) {
+        std::ostringstream os;
+        os << "group " << group << " partition " << partition << " committed offset regressed "
+           << floor << " -> " << committed << " without a seek";
+        AddViolation("group-committed-monotonic", os.str());
+      }
+      floor = committed;
+    }
+  }
+}
+
+void InvariantOracle::CheckWatch() {
+  // Exact in-flight accounting: only live sessions may carry in-flight
+  // deliveries (the counter resets the moment a session leaves kLive).
+  watch_->VisitSessions([this](const watch::WatchSystem::SessionInfo& info) {
+    if (!info.live && info.in_flight != 0) {
+      std::ostringstream os;
+      os << "session " << info.id << " is not live but has " << info.in_flight
+         << " in-flight deliveries";
+      AddViolation("watch-in-flight-exact", os.str());
+    }
+  });
+
+  // Progress-frontier monotonicity, probed over the full key space and every
+  // tracked session range. Floors reset on soft-state crash.
+  auto probe = [this](const common::KeyRange& range) {
+    const common::Version frontier = watch_->progress_tracker().FrontierFor(range);
+    common::Version& floor = frontier_floor_[RangeKey(range)];
+    if (frontier < floor) {
+      std::ostringstream os;
+      os << "progress frontier for [" << range.low << ", " << range.high << ") regressed "
+         << floor << " -> " << frontier;
+      AddViolation("progress-frontier-monotonic", os.str());
+    }
+    floor = std::max(floor, frontier);
+  };
+  probe(common::KeyRange::All());
+  for (const auto& [id, track] : sessions_) {
+    probe(track.range);
+  }
+}
+
+void InvariantOracle::Check() {
+  ++checks_run_;
+  if (broker_ != nullptr) {
+    CheckBroker();
+  }
+  if (watch_ != nullptr) {
+    CheckWatch();
+  }
+}
+
+void InvariantOracle::CheckQuiesced() {
+  Check();
+
+  if (watch_ != nullptr) {
+    // Completeness: a still-live session has been delivered every event it is
+    // owed, with nothing left in flight. Broken sessions are exempt — their
+    // watchers re-snapshot, which is the loud path the contract allows.
+    std::map<std::uint64_t, watch::WatchSystem::SessionInfo> live;
+    watch_->VisitSessions([&live](const watch::WatchSystem::SessionInfo& info) {
+      if (info.live) {
+        live[info.id] = info;
+      }
+    });
+    for (const auto& [id, track] : sessions_) {
+      auto it = live.find(id);
+      if (it == live.end()) {
+        continue;
+      }
+      if (!track.expected.empty()) {
+        std::ostringstream os;
+        os << "live session " << id << " is owed " << track.expected.size()
+           << " undelivered events after quiesce (next: " << DescribeEvent(track.expected.front())
+           << ")";
+        AddViolation("watch-no-gap", os.str());
+      }
+      if (it->second.in_flight != 0) {
+        std::ostringstream os;
+        os << "live session " << id << " still has " << it->second.in_flight
+           << " in-flight deliveries after quiesce";
+        AddViolation("watch-in-flight-exact", os.str());
+      }
+    }
+  }
+
+  if (fleet_ != nullptr) {
+    const std::uint64_t stale = fleet_->AuditStaleEntries();
+    if (stale != 0) {
+      AddViolation("cache-freshness", "watch cache fleet holds " + std::to_string(stale) +
+                                          " stale entries after quiesce");
+    }
+  }
+
+  if (repl_checker_ != nullptr) {
+    if (repl_checker_->anomalies() != 0) {
+      AddViolation("replication-point-in-time",
+                   std::to_string(repl_checker_->anomalies()) +
+                       " externalized target states never existed in the source");
+    }
+    if (repl_target_ != nullptr && !repl_checker_->Converged(*repl_target_)) {
+      AddViolation("replication-convergence",
+                   "target state hash does not match the source's final state after quiesce");
+    }
+  }
+}
+
+}  // namespace oracle

@@ -1,0 +1,170 @@
+// InvariantOracle: a cross-layer runtime checker. It subscribes to the
+// harness-side observer hooks of the pubsub broker and the watch system and
+// keeps its own shadow bookkeeping, so it can continuously assert the
+// correctness contracts the paper's analysis turns on:
+//
+//   * watch no-gap — a live watch session receives exactly the ingested
+//     events in its range with version > its start version, in ingest order;
+//     anything else must surface as a loud resync, never a silent skip
+//     (Section 4.2's delivery contract);
+//   * log conservation — every offset a partition ever allocated is either
+//     retained or accounted to GC / compaction, and reads that skip history
+//     are counted in silent_skips (Section 3.1's "undetectable loss" made
+//     detectable harness-side);
+//   * group-assignment soundness — every partition of a group's topic is
+//     owned by exactly one current member per generation, generations only
+//     grow, a group's topic binding never changes, and no rebalance fires
+//     without a membership change;
+//   * progress-frontier monotonicity — range-scoped progress never regresses
+//     (except across an explicit soft-state crash);
+//   * cache freshness / replication consistency — after quiescing, watch-fed
+//     caches hold no stale entries, and the serially replicated target is
+//     point-in-time consistent and converged.
+//
+// Check() runs the continuous invariants and may be called at any instant
+// (the chaos driver calls it after every injected fault). CheckQuiesced()
+// adds the completeness invariants that only hold once the system has been
+// healed and drained. Violations accumulate with the simulated time at which
+// they were detected; a clean run has ok() == true.
+#ifndef SRC_ORACLE_INVARIANT_ORACLE_H_
+#define SRC_ORACLE_INVARIANT_ORACLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/watch_cache.h"
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "pubsub/log.h"
+#include "replication/checker.h"
+#include "replication/target_store.h"
+#include "sim/simulator.h"
+#include "watch/watch_system.h"
+
+namespace oracle {
+
+struct Violation {
+  std::string invariant;  // Stable identifier, e.g. "watch-no-gap".
+  std::string detail;     // Human-readable context.
+  common::TimeMicros at = 0;
+};
+
+// Pure predicate behind the compaction-shadowing invariant, exposed for unit
+// tests (the fixed PartitionLog::Compact can no longer be driven into the bad
+// state through its API). Returns a description of the first retained
+// pre-horizon record that is shadowed by a newer retained record for the same
+// key, considering only records present at the last compaction
+// (offset < compact_end); nullopt if the log is compaction-clean.
+std::optional<std::string> FindShadowedSurvivor(const std::deque<pubsub::StoredMessage>& log,
+                                                common::TimeMicros horizon,
+                                                pubsub::Offset compact_end);
+
+class InvariantOracle : public pubsub::BrokerObserver, public watch::WatchSystemObserver {
+ public:
+  explicit InvariantOracle(sim::Simulator* sim) : sim_(sim) {}
+
+  InvariantOracle(const InvariantOracle&) = delete;
+  InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+  // -- Registration (each installs this oracle as the component's observer) ----
+
+  void ObserveBroker(pubsub::Broker* broker);
+  void ObserveWatchSystem(watch::WatchSystem* system);
+  void ObserveCache(const cache::WatchCacheFleet* fleet) { fleet_ = fleet; }
+  void ObserveReplication(const replication::PointInTimeChecker* checker,
+                          const replication::TargetStore* target) {
+    repl_checker_ = checker;
+    repl_target_ = target;
+  }
+
+  // -- Checks ------------------------------------------------------------------
+
+  // Continuous invariants; callable at any instant.
+  void Check();
+  // Continuous + completeness invariants; call only after faults are healed
+  // and the schedule has drained (writers stopped, deliveries flushed).
+  void CheckQuiesced();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t checks_run() const { return checks_run_; }
+  // One line per violation, for logs and failure messages.
+  std::string Report() const;
+
+  // -- BrokerObserver ----------------------------------------------------------
+
+  void OnRebalance(const pubsub::GroupId& group, std::uint64_t generation,
+                   const std::vector<pubsub::MemberId>& members,
+                   const std::map<pubsub::PartitionId, pubsub::MemberId>& assignment) override;
+  void OnSeek(const pubsub::GroupId& group, pubsub::PartitionId partition,
+              pubsub::Offset offset) override;
+
+  // -- WatchSystemObserver -----------------------------------------------------
+
+  void OnIngest(const common::ChangeEvent& event) override;
+  void OnSessionStart(std::uint64_t session_id, const common::KeyRange& range,
+                      common::Version start_version) override;
+  void OnDeliver(std::uint64_t session_id, const common::ChangeEvent& event) override;
+  void OnResync(std::uint64_t session_id) override;
+  void OnSoftStateCrash() override;
+
+ private:
+  // Shadow state for one live watch session: the events it is still owed.
+  struct SessionTrack {
+    common::KeyRange range;
+    common::Version start_version = 0;
+    std::deque<common::ChangeEvent> expected;
+    std::uint64_t delivered = 0;
+  };
+
+  struct GroupTrack {
+    std::string topic;
+    std::uint64_t generation = 0;
+    std::vector<pubsub::MemberId> last_members;
+    bool saw_rebalance = false;
+  };
+
+  struct LogTrack {
+    pubsub::Offset first = 0;
+    pubsub::Offset end = 0;
+  };
+
+  void AddViolation(std::string invariant, std::string detail);
+  void CheckBroker();
+  void CheckWatch();
+
+  sim::Simulator* sim_;
+  pubsub::Broker* broker_ = nullptr;
+  watch::WatchSystem* watch_ = nullptr;
+  const cache::WatchCacheFleet* fleet_ = nullptr;
+  const replication::PointInTimeChecker* repl_checker_ = nullptr;
+  const replication::TargetStore* repl_target_ = nullptr;
+
+  // Watch shadow state.
+  std::vector<common::ChangeEvent> ingest_history_;
+  std::map<std::uint64_t, SessionTrack> sessions_;
+
+  // Broker shadow state.
+  std::map<pubsub::GroupId, GroupTrack> groups_;
+  // Committed-offset floor per (group, partition); lowered only by OnSeek.
+  std::map<pubsub::GroupId, std::map<pubsub::PartitionId, pubsub::Offset>> committed_floor_;
+  std::map<std::string, std::map<pubsub::PartitionId, LogTrack>> log_tracks_;
+
+  // Progress-frontier floor per probed range (low + '\0' + high).
+  std::map<std::string, common::Version> frontier_floor_;
+
+  std::vector<Violation> violations_;
+  std::set<std::string> seen_;  // Dedup key: invariant + detail.
+  std::uint64_t checks_run_ = 0;
+
+  static constexpr std::size_t kMaxViolations = 64;
+};
+
+}  // namespace oracle
+
+#endif  // SRC_ORACLE_INVARIANT_ORACLE_H_

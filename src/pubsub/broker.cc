@@ -94,12 +94,24 @@ Offset Broker::FirstOffset(const std::string& topic, PartitionId partition) cons
   return it->second.partitions[partition]->first_offset();
 }
 
-std::uint64_t Broker::JoinGroup(const GroupId& group, const std::string& topic,
-                                const MemberId& member) {
+common::Result<std::uint64_t> Broker::JoinGroup(const GroupId& group, const std::string& topic,
+                                                const MemberId& member) {
   Group& g = groups_[group];
-  g.topic = topic;
-  g.members[member] = sim_->Now();
-  Rebalance(g);
+  if (g.topic.empty()) {
+    g.topic = topic;
+  } else if (g.topic != topic) {
+    // A group's topic binding is immutable: letting a late joiner rewrite it
+    // would silently repoint every member's assignment at a different log.
+    return common::Status::FailedPrecondition("group '" + group + "' consumes topic '" +
+                                              g.topic + "', not '" + topic + "'");
+  }
+  const auto [it, inserted] = g.members.insert_or_assign(member, sim_->Now());
+  (void)it;
+  if (inserted) {
+    Rebalance(group, g);
+  }
+  // A rejoin by a present member is heartbeat-equivalent: bumping the
+  // generation here would invalidate every member's AssignedPartitions.
   return g.generation;
 }
 
@@ -109,7 +121,7 @@ void Broker::LeaveGroup(const GroupId& group, const MemberId& member) {
     return;
   }
   if (it->second.members.erase(member) > 0) {
-    Rebalance(it->second);
+    Rebalance(group, it->second);
   }
 }
 
@@ -152,6 +164,9 @@ void Broker::CommitOffset(const GroupId& group, PartitionId partition, Offset of
 
 void Broker::SeekGroup(const GroupId& group, PartitionId partition, Offset offset) {
   groups_[group].committed[partition] = offset;  // May rewind: that is the point.
+  if (observer_ != nullptr) {
+    observer_->OnSeek(group, partition, offset);
+  }
 }
 
 void Broker::SeekGroupToTime(const GroupId& group, const std::string& topic,
@@ -161,17 +176,13 @@ void Broker::SeekGroupToTime(const GroupId& group, const std::string& topic,
     return;
   }
   for (PartitionId p = 0; p < it->second.config.partitions; ++p) {
-    const PartitionLog& log = *it->second.partitions[p];
     // First retained message at or after the timestamp; if everything is
     // older, land at the end (nothing replays).
-    Offset target = log.end_offset();
-    for (const StoredMessage& m : log.Read(log.first_offset())) {
-      if (m.message.publish_time >= timestamp) {
-        target = m.offset;
-        break;
-      }
-    }
+    const Offset target = it->second.partitions[p]->OffsetAtOrAfter(timestamp);
     groups_[group].committed[p] = target;
+    if (observer_ != nullptr) {
+      observer_->OnSeek(group, p, target);
+    }
   }
 }
 
@@ -262,29 +273,78 @@ void Broker::SweepDeadMembers() {
       }
     }
     if (changed) {
-      Rebalance(group);
+      Rebalance(id, group);
     }
   }
 }
 
-void Broker::Rebalance(Group& group) {
+void Broker::Rebalance(const GroupId& id, Group& group) {
   ++group.generation;
   group.assignment.clear();
   auto topic = topics_.find(group.topic);
-  if (topic == topics_.end() || group.members.empty()) {
-    return;
+  if (topic != topics_.end() && !group.members.empty()) {
+    // Range assignment: contiguous partition blocks over sorted members
+    // (std::map iteration is already sorted, giving determinism).
+    std::vector<MemberId> members;
+    members.reserve(group.members.size());
+    for (const auto& [m, hb] : group.members) {
+      members.push_back(m);
+    }
+    const PartitionId n = topic->second.config.partitions;
+    for (PartitionId p = 0; p < n; ++p) {
+      group.assignment[p] = members[p % members.size()];
+    }
   }
-  // Range assignment: contiguous partition blocks over sorted members
-  // (std::map iteration is already sorted, giving determinism).
-  std::vector<MemberId> members;
-  members.reserve(group.members.size());
-  for (const auto& [m, hb] : group.members) {
-    members.push_back(m);
+  if (observer_ != nullptr) {
+    std::vector<MemberId> members;
+    members.reserve(group.members.size());
+    for (const auto& [m, hb] : group.members) {
+      members.push_back(m);
+    }
+    observer_->OnRebalance(id, group.generation, members, group.assignment);
   }
-  const PartitionId n = topic->second.config.partitions;
-  for (PartitionId p = 0; p < n; ++p) {
-    group.assignment[p] = members[p % members.size()];
+}
+
+std::vector<std::string> Broker::TopicNames() const {
+  std::vector<std::string> out;
+  out.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) {
+    out.push_back(name);
   }
+  return out;
+}
+
+std::vector<GroupId> Broker::GroupIds() const {
+  std::vector<GroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& [id, group] : groups_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+GroupView Broker::ViewGroup(const GroupId& group) const {
+  GroupView view;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return view;
+  }
+  view.topic = it->second.topic;
+  view.generation = it->second.generation;
+  for (const auto& [m, hb] : it->second.members) {
+    view.members.push_back(m);
+  }
+  view.assignment = it->second.assignment;
+  view.committed = it->second.committed;
+  return view;
+}
+
+const PartitionLog* Broker::Log(const std::string& topic, PartitionId partition) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return nullptr;
+  }
+  return it->second.partitions[partition].get();
 }
 
 }  // namespace pubsub

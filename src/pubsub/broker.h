@@ -32,6 +32,32 @@ struct PublishResult {
   Offset offset = 0;
 };
 
+// Harness-side observer of group-coordinator transitions, used by the
+// invariant oracle. Callbacks run synchronously inside the broker; they must
+// not re-enter the broker.
+class BrokerObserver {
+ public:
+  virtual ~BrokerObserver() = default;
+
+  // Fired after every rebalance with the group's new coordinator state.
+  virtual void OnRebalance(const GroupId& group, std::uint64_t generation,
+                           const std::vector<MemberId>& members,
+                           const std::map<PartitionId, MemberId>& assignment) = 0;
+
+  // Fired when an explicit seek rewrites a group's committed offset (the one
+  // legitimate non-monotonic committed-offset transition).
+  virtual void OnSeek(const GroupId& group, PartitionId partition, Offset offset) = 0;
+};
+
+// Read-only snapshot of one group's coordinator state (oracle introspection).
+struct GroupView {
+  std::string topic;
+  std::uint64_t generation = 0;
+  std::vector<MemberId> members;
+  std::map<PartitionId, MemberId> assignment;
+  std::map<PartitionId, Offset> committed;
+};
+
 class Broker {
  public:
   // `node` is the broker's network identity. Retention is enforced every
@@ -73,10 +99,14 @@ class Broker {
 
   // -- Consumer groups ----------------------------------------------------------
 
-  // Joins (or re-joins) a group consuming `topic`; triggers a rebalance.
-  // Returns the new group generation.
-  std::uint64_t JoinGroup(const GroupId& group, const std::string& topic,
-                          const MemberId& member);
+  // Joins (or re-joins) a group consuming `topic`. Returns the group
+  // generation. A *new* member triggers a rebalance; an already-present
+  // member's rejoin only refreshes its heartbeat (no generation bump, so
+  // other members' assignments stay valid). Joining an existing group with a
+  // different topic fails with kFailedPrecondition — the group's topic
+  // binding is immutable.
+  common::Result<std::uint64_t> JoinGroup(const GroupId& group, const std::string& topic,
+                                          const MemberId& member);
   void LeaveGroup(const GroupId& group, const MemberId& member);
 
   // Records member liveness; members that miss `session_timeout` are evicted
@@ -116,6 +146,16 @@ class Broker {
 
   void set_session_timeout(common::TimeMicros t) { session_timeout_ = t; }
 
+  // -- Oracle introspection (harness-only, not consumer-visible) ----------------
+
+  void set_observer(BrokerObserver* observer) { observer_ = observer; }
+  std::vector<std::string> TopicNames() const;
+  std::vector<GroupId> GroupIds() const;
+  // Snapshot of a group's coordinator state; empty view for unknown groups.
+  GroupView ViewGroup(const GroupId& group) const;
+  // Direct (read-only) access to a partition's log; nullptr if unknown.
+  const PartitionLog* Log(const std::string& topic, PartitionId partition) const;
+
  private:
   struct Topic {
     TopicConfig config;
@@ -135,7 +175,7 @@ class Broker {
 
   void EnforceRetention();
   void SweepDeadMembers();
-  void Rebalance(Group& group);
+  void Rebalance(const GroupId& id, Group& group);
   static std::uint64_t HashKey(const common::Key& key);
 
   sim::Simulator* sim_;
@@ -144,6 +184,7 @@ class Broker {
   common::TimeMicros session_timeout_ = 3 * common::kMicrosPerSecond;
   std::map<std::string, Topic> topics_;
   std::map<GroupId, Group> groups_;
+  BrokerObserver* observer_ = nullptr;
   std::unique_ptr<sim::PeriodicTask> maintenance_;
 };
 

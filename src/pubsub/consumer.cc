@@ -26,7 +26,7 @@ void GroupConsumer::Start() {
   }
   running_ = true;
   if (net_->Reachable(member_, broker_->node())) {
-    broker_->JoinGroup(group_, topic_, member_);
+    (void)broker_->JoinGroup(group_, topic_, member_);
   }
   poll_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
   heartbeat_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.heartbeat_period,
@@ -53,7 +53,7 @@ void GroupConsumer::OnCrash() {
 
 void GroupConsumer::OnRestart() {
   if (running_ && net_->Reachable(member_, broker_->node())) {
-    broker_->JoinGroup(group_, topic_, member_);
+    (void)broker_->JoinGroup(group_, topic_, member_);
   }
 }
 
@@ -72,7 +72,7 @@ void GroupConsumer::Poll() {
   std::vector<PartitionId> assigned = broker_->AssignedPartitions(group_, member_, generation);
   if (assigned.empty()) {
     // Possibly evicted (e.g. after a long outage): re-join.
-    broker_->JoinGroup(group_, topic_, member_);
+    (void)broker_->JoinGroup(group_, topic_, member_);
     return;
   }
   std::size_t budget = options_.max_poll_messages;

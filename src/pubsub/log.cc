@@ -5,26 +5,25 @@
 namespace pubsub {
 
 std::uint64_t PartitionLog::Compact(common::TimeMicros horizon) {
-  // Find, among messages older than the horizon, the last offset per key.
-  std::unordered_map<common::Key, Offset> last_old_offset;
+  // Kafka semantics: among messages older than the horizon, a record survives
+  // only if it is the newest record for its key *in the entire log* — a
+  // pre-horizon copy shadowed by any later record (before or after the
+  // horizon) is dropped. Scan the whole log for the newest offset per key.
+  std::unordered_map<common::Key, Offset> newest_offset;
+  bool any_old = false;
   for (const StoredMessage& m : log_) {
-    if (m.message.publish_time >= horizon) {
-      break;
-    }
-    last_old_offset[m.message.key] = m.offset;
+    newest_offset[m.message.key] = m.offset;
+    any_old = any_old || m.message.publish_time < horizon;
   }
-  if (last_old_offset.empty()) {
+  last_compaction_horizon_ = std::max(last_compaction_horizon_, horizon);
+  compact_end_offset_ = next_offset_;
+  if (!any_old) {
     return 0;
   }
   std::deque<StoredMessage> kept;
   std::uint64_t removed = 0;
   for (StoredMessage& m : log_) {
-    if (m.message.publish_time >= horizon) {
-      kept.push_back(std::move(m));
-      continue;
-    }
-    auto it = last_old_offset.find(m.message.key);
-    if (it != last_old_offset.end() && it->second == m.offset) {
+    if (m.message.publish_time >= horizon || newest_offset[m.message.key] == m.offset) {
       kept.push_back(std::move(m));
     } else {
       ++removed;
@@ -33,6 +32,18 @@ std::uint64_t PartitionLog::Compact(common::TimeMicros horizon) {
   log_ = std::move(kept);
   compacted_away_ += removed;
   return removed;
+}
+
+Offset PartitionLog::OffsetAtOrAfter(common::TimeMicros timestamp) const {
+  // Publish times are monotonic in offset order (they are stamped with the
+  // broker's simulated clock at append), so the first retained message at or
+  // after `timestamp` is the answer — no copy, no full scan past the match.
+  for (const StoredMessage& m : log_) {
+    if (m.message.publish_time >= timestamp) {
+      return m.offset;
+    }
+  }
+  return end_offset();
 }
 
 }  // namespace pubsub

@@ -75,17 +75,31 @@ class PartitionLog {
     return dropped;
   }
 
-  // Compaction: for messages published before `horizon`, keeps only the last
-  // message per key (later messages keep every version). Returns the number
-  // of messages removed. Offsets of surviving messages are unchanged, so the
-  // log acquires offset gaps — indistinguishable, to a reader, from normal
-  // consumption.
+  // Compaction: for messages published before `horizon`, keeps only the
+  // newest record per key across the whole log (Kafka semantics: a pre-horizon
+  // copy shadowed by any later record is dropped; messages at/after the
+  // horizon keep every version). Returns the number of messages removed.
+  // Offsets of surviving messages are unchanged, so the log acquires offset
+  // gaps — indistinguishable, to a reader, from normal consumption.
   std::uint64_t Compact(common::TimeMicros horizon);
+
+  // First retained offset whose publish time is >= `timestamp`, or
+  // end_offset() if every retained message is older. Publish times are
+  // monotonic in offset order, so this is the seek-to-time target.
+  Offset OffsetAtOrAfter(common::TimeMicros timestamp) const;
 
   // Harness-only accounting (not part of the consumer-visible API).
   std::uint64_t gced() const { return gced_; }
   std::uint64_t compacted_away() const { return compacted_away_; }
   std::uint64_t silent_skips() const { return silent_skips_; }
+
+  // Harness-only introspection for the invariant oracle: the retained
+  // messages, the highest horizon Compact has been run with, and the log end
+  // offset as of that compaction (records appended later may legitimately
+  // shadow pre-horizon survivors until the next compaction pass).
+  const std::deque<StoredMessage>& entries() const { return log_; }
+  common::TimeMicros last_compaction_horizon() const { return last_compaction_horizon_; }
+  Offset compact_end_offset() const { return compact_end_offset_; }
 
  private:
   void EnforceSizeCap() {
@@ -104,6 +118,8 @@ class PartitionLog {
   std::uint64_t gced_ = 0;
   std::uint64_t compacted_away_ = 0;
   mutable std::uint64_t silent_skips_ = 0;
+  common::TimeMicros last_compaction_horizon_ = 0;
+  Offset compact_end_offset_ = 0;
 };
 
 }  // namespace pubsub

@@ -17,6 +17,7 @@ class WatchSystem::Handle : public WatchHandle {
     if (auto s = session_.lock()) {
       s->state = SessionState::kDead;
       s->callback = nullptr;
+      s->in_flight = 0;  // Leaving kLive: pending deliveries drop at dispatch.
     }
   }
 
@@ -52,6 +53,9 @@ bool WatchSystem::Reachable(const Session& session) const {
 
 void WatchSystem::Append(const ChangeEvent& event) {
   window_.Append(event, sim_->Now());
+  if (observer_ != nullptr) {
+    observer_->OnIngest(event);
+  }
   for (auto& [id, session] : sessions_) {
     if (session->state != SessionState::kLive) {
       continue;
@@ -74,22 +78,31 @@ void WatchSystem::DeliverEvent(const std::shared_ptr<Session>& session,
                                const ChangeEvent& event) {
   ++session->in_flight;
   sim_->After(options_.delivery_latency, [this, session, event] {
-    if (session->in_flight > 0) {
-      --session->in_flight;
-    }
     if (session->state != SessionState::kLive || session->callback == nullptr) {
-      return;  // Cancelled or resynced while in flight.
+      return;  // Cancelled or resynced while in flight; counter already reset.
     }
+    // The counter is exact for live sessions: every scheduled delivery either
+    // fires here or was discounted when the session left kLive.
+    assert(session->in_flight > 0 && "in-flight delivery counter underflow");
+    --session->in_flight;
     if (!Reachable(*session)) {
       // Stream broken: the watcher re-watches from its last applied version
       // when it recovers. Nothing is silently skipped.
-      session->state = SessionState::kDead;
-      ++sessions_broken_;
+      BreakSession(session);
       return;
     }
     ++events_delivered_;
+    if (observer_ != nullptr) {
+      observer_->OnDeliver(session->id, event);
+    }
     session->callback->OnEvent(event);
   });
+}
+
+void WatchSystem::BreakSession(const std::shared_ptr<Session>& session) {
+  session->state = SessionState::kDead;
+  session->in_flight = 0;
+  ++sessions_broken_;
 }
 
 void WatchSystem::ForceResync(const std::shared_ptr<Session>& session) {
@@ -97,6 +110,13 @@ void WatchSystem::ForceResync(const std::shared_ptr<Session>& session) {
     return;
   }
   session->state = SessionState::kResyncing;
+  // Leaving kLive: in-flight deliveries will drop at dispatch, so they are
+  // discounted now — otherwise the counter leaks and the session-table
+  // hygiene sweep can never reclaim the session.
+  session->in_flight = 0;
+  if (observer_ != nullptr) {
+    observer_->OnResync(session->id);
+  }
   sim_->After(options_.delivery_latency, [this, session] {
     session->state = SessionState::kDead;
     if (session->callback == nullptr || !Reachable(*session)) {
@@ -128,8 +148,7 @@ void WatchSystem::PumpProgress() {
         return;
       }
       if (!Reachable(*session)) {
-        session->state = SessionState::kDead;
-        ++sessions_broken_;
+        BreakSession(session);
         return;
       }
       session->callback->OnProgress(event);
@@ -161,10 +180,15 @@ std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key
   session->watcher_node = std::move(watcher_node);
   session->last_progress = version;
   sessions_.emplace(session->id, session);
+  if (observer_ != nullptr) {
+    observer_->OnSessionStart(session->id, session->range, session->start_version);
+  }
 
-  // Opportunistic session-table hygiene: drop dead sessions.
+  // Opportunistic session-table hygiene: drop dead sessions. Dead sessions
+  // always have in_flight == 0 (reset on leaving kLive); any pending delivery
+  // closures hold their own shared_ptr, so erasure is safe.
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second->state == SessionState::kDead && it->second->in_flight == 0) {
+    if (it->second->state == SessionState::kDead) {
       it = sessions_.erase(it);
     } else {
       ++it;
@@ -187,10 +211,20 @@ std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key
 void WatchSystem::CrashSoftState() {
   window_.Clear();
   tracker_.Clear();
+  if (observer_ != nullptr) {
+    observer_->OnSoftStateCrash();
+  }
   for (auto& [id, session] : sessions_) {
     if (session->state == SessionState::kLive) {
       ForceResync(session);
     }
+  }
+}
+
+void WatchSystem::VisitSessions(const std::function<void(const SessionInfo&)>& fn) const {
+  for (const auto& [id, session] : sessions_) {
+    fn(SessionInfo{session->id, session->range, session->start_version,
+                   session->state == SessionState::kLive, session->in_flight});
   }
 }
 

@@ -22,6 +22,7 @@
 #define SRC_WATCH_WATCH_SYSTEM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,28 @@
 #include "watch/retained_window.h"
 
 namespace watch {
+
+// Harness-side observer of the watch system's ingest/delivery plane, used by
+// the invariant oracle to replicate the no-gap contract independently.
+// Callbacks run synchronously on the ingest/dispatch path; they must not
+// re-enter the watch system.
+class WatchSystemObserver {
+ public:
+  virtual ~WatchSystemObserver() = default;
+
+  // An event entered the retained window (before any session dispatch).
+  virtual void OnIngest(const ChangeEvent& event) = 0;
+  // A session was created (before replay begins).
+  virtual void OnSessionStart(std::uint64_t session_id, const common::KeyRange& range,
+                              common::Version start_version) = 0;
+  // An event reached a session's callback.
+  virtual void OnDeliver(std::uint64_t session_id, const ChangeEvent& event) = 0;
+  // A session left the live state because a resync was initiated; no further
+  // events will be delivered on it.
+  virtual void OnResync(std::uint64_t session_id) = 0;
+  // All soft state (window + progress frontier) was dropped.
+  virtual void OnSoftStateCrash() = 0;
+};
 
 struct WatchSystemOptions {
   RetainedWindow::Options window;
@@ -101,6 +124,20 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
   std::size_t active_sessions() const;
   std::size_t retained_events() const { return window_.size(); }
 
+  // -- Oracle introspection --------------------------------------------------------
+
+  void set_observer(WatchSystemObserver* observer) { observer_ = observer; }
+
+  // Read-only view of one session's bookkeeping state.
+  struct SessionInfo {
+    std::uint64_t id = 0;
+    common::KeyRange range;
+    common::Version start_version = 0;
+    bool live = false;
+    std::size_t in_flight = 0;
+  };
+  void VisitSessions(const std::function<void(const SessionInfo&)>& fn) const;
+
  private:
   enum class SessionState : std::uint8_t { kLive, kResyncing, kDead };
 
@@ -111,6 +148,9 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
     WatchCallback* callback = nullptr;
     sim::NodeId watcher_node;  // Empty: local.
     SessionState state = SessionState::kLive;
+    // Scheduled-but-undelivered events. Exact while the session is kLive;
+    // reset to zero the moment the session leaves kLive (pending deliveries
+    // are then unaccounted and drop at dispatch time).
     std::size_t in_flight = 0;
     common::Version last_progress = 0;
   };
@@ -120,6 +160,7 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
   bool Reachable(const Session& session) const;
   void DeliverEvent(const std::shared_ptr<Session>& session, const ChangeEvent& event);
   void ForceResync(const std::shared_ptr<Session>& session);
+  void BreakSession(const std::shared_ptr<Session>& session);
   void PumpProgress();
 
   sim::Simulator* sim_;
@@ -133,6 +174,7 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
   std::uint64_t events_delivered_ = 0;
   std::uint64_t resyncs_sent_ = 0;
   std::uint64_t sessions_broken_ = 0;
+  WatchSystemObserver* observer_ = nullptr;
   std::unique_ptr<sim::PeriodicTask> progress_task_;
 };
 

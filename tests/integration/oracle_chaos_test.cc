@@ -1,0 +1,69 @@
+// Seeded smoke test for the chaos sweep: a handful of full-stack runs under
+// the invariant oracle must come back clean. bench_chaos_sweep runs the wide
+// (50+ seed) version of this; ctest keeps a fast always-on slice.
+#include "oracle/chaos.h"
+
+#include <gtest/gtest.h>
+
+namespace oracle {
+namespace {
+
+class ChaosSweepSmokeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweepSmokeTest, SeededSweepIsViolationFree) {
+  ChaosSweep sweep;
+  const SweepResult result = sweep.Run(GetParam());
+  std::string report;
+  for (const Violation& v : result.violations) {
+    report += "[" + v.invariant + "] " + v.detail + "\n";
+  }
+  EXPECT_TRUE(result.ok()) << report;
+  // The run actually exercised the stack: writes committed, watch deliveries
+  // flowed, and the oracle checked more than once.
+  EXPECT_GT(result.stats.commits, 0u);
+  EXPECT_GT(result.stats.watch_events_delivered, 0u);
+  EXPECT_GT(result.stats.checks, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepSmokeTest, ::testing::Values(1u, 2u, 3u));
+
+TEST(ChaosSweepTest, SameSeedReproducesExactly) {
+  ChaosSweep sweep;
+  const SweepResult a = sweep.Run(7);
+  const SweepResult b = sweep.Run(7);
+  EXPECT_EQ(a.stats.commits, b.stats.commits);
+  EXPECT_EQ(a.stats.watch_events_delivered, b.stats.watch_events_delivered);
+  EXPECT_EQ(a.stats.watch_resyncs, b.stats.watch_resyncs);
+  EXPECT_EQ(a.stats.broker_gced, b.stats.broker_gced);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(ChaosSweepTest, ScheduleIsDeterministicAndHealsInWindow) {
+  ChaosOptions options;
+  ChaosSweep sweep(options);
+  const auto schedule = sweep.MakeSchedule(42);
+  const auto again = sweep.MakeSchedule(42);
+  ASSERT_EQ(schedule.size(), options.events);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].kind, again[i].kind);
+    EXPECT_EQ(schedule[i].at, again[i].at);
+    EXPECT_EQ(schedule[i].arg, again[i].arg);
+    // Every outage heals before the fault window closes, so quiesce holds
+    // regardless of which events a shrink deletes.
+    EXPECT_LE(schedule[i].at + schedule[i].duration, options.fault_window);
+    if (i > 0) {
+      EXPECT_GE(schedule[i].at, schedule[i - 1].at);
+    }
+  }
+}
+
+TEST(ChaosSweepTest, ShrinkOfCleanScheduleIsIdentity) {
+  ChaosSweep sweep;
+  const auto schedule = sweep.MakeSchedule(3);
+  const SweepResult result = sweep.Shrink(3, schedule);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.schedule.size(), schedule.size());
+}
+
+}  // namespace
+}  // namespace oracle

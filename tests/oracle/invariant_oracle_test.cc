@@ -1,0 +1,201 @@
+#include "oracle/invariant_oracle.h"
+
+#include <deque>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "pubsub/broker.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/watch_system.h"
+
+namespace oracle {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+
+common::ChangeEvent Ev(const std::string& key, common::Version v) {
+  return common::ChangeEvent{key, common::Mutation::Put("v" + std::to_string(v)), v, true};
+}
+
+pubsub::StoredMessage Stored(pubsub::Offset offset, const std::string& key,
+                             common::TimeMicros published) {
+  return pubsub::StoredMessage{offset, pubsub::Message{key, "v", published}};
+}
+
+bool HasViolation(const InvariantOracle& oracle, const std::string& invariant) {
+  for (const Violation& v : oracle.violations()) {
+    if (v.invariant == invariant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class InvariantOracleTest : public ::testing::Test {
+ protected:
+  InvariantOracleTest() : net_(&sim_, {.base = 0, .jitter = 0}), oracle_(&sim_) {}
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  InvariantOracle oracle_;
+};
+
+// -- FindShadowedSurvivor (pure predicate behind log-compaction-shadow) --------
+
+TEST_F(InvariantOracleTest, ShadowedSurvivorDetected) {
+  // The buggy Compact kept offset 2 ("latest old copy of a") even though
+  // offset 3 shadows it. The predicate must flag that exact leftover.
+  std::deque<pubsub::StoredMessage> log;
+  log.push_back(Stored(1, "b", 20));
+  log.push_back(Stored(2, "a", 30));  // Shadowed by offset 3 — must be gone.
+  log.push_back(Stored(3, "a", 90));
+  auto found = FindShadowedSurvivor(log, /*horizon=*/50, /*compact_end=*/4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_NE(found->find("offset 2"), std::string::npos);
+}
+
+TEST_F(InvariantOracleTest, CompactionCleanLogHasNoShadowedSurvivor) {
+  std::deque<pubsub::StoredMessage> log;
+  log.push_back(Stored(1, "b", 20));
+  log.push_back(Stored(3, "a", 90));
+  EXPECT_FALSE(FindShadowedSurvivor(log, /*horizon=*/50, /*compact_end=*/4).has_value());
+  // Records appended after the compaction pass (offset >= compact_end) are
+  // exempt until the next pass, even if they shadow a pre-horizon record.
+  log.push_back(Stored(4, "b", 95));
+  EXPECT_FALSE(FindShadowedSurvivor(log, /*horizon=*/50, /*compact_end=*/4).has_value());
+  // Once a pass has seen offset 4, offset 1 counts as shadowed.
+  EXPECT_TRUE(FindShadowedSurvivor(log, /*horizon=*/50, /*compact_end=*/5).has_value());
+  EXPECT_FALSE(FindShadowedSurvivor(log, /*horizon=*/0, /*compact_end=*/5).has_value());
+}
+
+// -- Group-coordinator invariants ----------------------------------------------
+
+TEST_F(InvariantOracleTest, SpuriousRebalanceFlagged) {
+  const std::vector<pubsub::MemberId> members = {"m1", "m2"};
+  const std::map<pubsub::PartitionId, pubsub::MemberId> assignment = {{0, "m1"}, {1, "m2"}};
+  oracle_.OnRebalance("g", 1, members, assignment);
+  EXPECT_TRUE(oracle_.ok());
+  // The old JoinGroup bug: a rejoin by an already-present member bumped the
+  // generation and re-ran assignment with identical membership.
+  oracle_.OnRebalance("g", 2, members, assignment);
+  EXPECT_TRUE(HasViolation(oracle_, "group-spurious-rebalance"));
+}
+
+TEST_F(InvariantOracleTest, MembershipChangeRebalanceAccepted) {
+  oracle_.OnRebalance("g", 1, {"m1"}, {{0, "m1"}});
+  oracle_.OnRebalance("g", 2, {"m1", "m2"}, {{0, "m1"}, {1, "m2"}});
+  oracle_.OnRebalance("g", 3, {"m2"}, {{0, "m2"}, {1, "m2"}});
+  EXPECT_TRUE(oracle_.ok()) << oracle_.Report();
+}
+
+TEST_F(InvariantOracleTest, GenerationRegressionAndNonMemberOwnerFlagged) {
+  oracle_.OnRebalance("g", 5, {"m1"}, {{0, "m1"}});
+  oracle_.OnRebalance("g", 4, {"m1", "m2"}, {{0, "ghost"}});
+  EXPECT_TRUE(HasViolation(oracle_, "group-generation-monotonic"));
+  EXPECT_TRUE(HasViolation(oracle_, "group-assignment-soundness"));
+}
+
+// -- Watch no-gap shadow stream ------------------------------------------------
+
+TEST_F(InvariantOracleTest, SkippedDeliveryIsAGap) {
+  oracle_.OnSessionStart(7, common::KeyRange::All(), 0);
+  oracle_.OnIngest(Ev("a", 1));
+  oracle_.OnIngest(Ev("b", 2));
+  oracle_.OnDeliver(7, Ev("b", 2));  // "a"@1 silently skipped.
+  EXPECT_TRUE(HasViolation(oracle_, "watch-no-gap"));
+}
+
+TEST_F(InvariantOracleTest, InOrderDeliveryIsClean) {
+  oracle_.OnIngest(Ev("a", 1));  // Pre-session history, replayed to the session.
+  oracle_.OnSessionStart(7, common::KeyRange{"a", "m"}, 0);
+  oracle_.OnIngest(Ev("b", 2));
+  oracle_.OnIngest(Ev("z", 3));  // Out of range: not owed.
+  oracle_.OnDeliver(7, Ev("a", 1));
+  oracle_.OnDeliver(7, Ev("b", 2));
+  EXPECT_TRUE(oracle_.ok()) << oracle_.Report();
+}
+
+TEST_F(InvariantOracleTest, ResyncDischargesOwedEvents) {
+  oracle_.OnSessionStart(7, common::KeyRange::All(), 0);
+  oracle_.OnIngest(Ev("a", 1));
+  oracle_.OnResync(7);  // Loud fallback: the watcher re-snapshots.
+  oracle_.OnDeliver(7, Ev("a", 1));  // Post-resync delivery is itself a bug.
+  EXPECT_TRUE(HasViolation(oracle_, "watch-no-gap"));
+}
+
+// -- End-to-end against the real broker ----------------------------------------
+
+TEST_F(InvariantOracleTest, RealBrokerHappyPathIsClean) {
+  pubsub::Broker broker(&sim_, &net_);
+  oracle_.ObserveBroker(&broker);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 4}).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(broker.Publish("t", pubsub::Message{"k" + std::to_string(i % 5), "v",
+                                                    sim_.Now()}).ok());
+    sim_.RunUntil(sim_.Now() + 1 * kMs);
+  }
+  ASSERT_TRUE(broker.JoinGroup("g", "t", "m1").ok());
+  oracle_.Check();
+  ASSERT_TRUE(broker.JoinGroup("g", "t", "m2").ok());
+  oracle_.Check();
+  broker.CommitOffset("g", 0, 2);
+  broker.CommitOffset("g", 0, 4);
+  oracle_.Check();
+  broker.LeaveGroup("g", "m1");
+  oracle_.Check();
+  EXPECT_TRUE(oracle_.ok()) << oracle_.Report();
+  EXPECT_GE(oracle_.checks_run(), 4u);
+}
+
+TEST_F(InvariantOracleTest, SeekRewindIsNotACommittedRegression) {
+  pubsub::Broker broker(&sim_, &net_);
+  oracle_.ObserveBroker(&broker);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(broker.Publish("t", pubsub::Message{"k", "v", (i + 1) * 10}).ok());
+  }
+  ASSERT_TRUE(broker.JoinGroup("g", "t", "m1").ok());
+  broker.CommitOffset("g", 0, 8);
+  oracle_.Check();
+  // An explicit seek is the one legitimate rewind; the oracle lowers its floor.
+  broker.SeekGroupToTime("g", "t", /*timestamp=*/35);
+  oracle_.Check();
+  EXPECT_TRUE(oracle_.ok()) << oracle_.Report();
+  // But an unexplained rewind is still flagged. CommitOffset itself is
+  // monotonic, so the only rewind path is a seek — detach the observer so
+  // this one happens behind the oracle's back.
+  broker.CommitOffset("g", 0, 7);
+  oracle_.Check();  // Raises the oracle's committed floor to 7.
+  broker.set_observer(nullptr);
+  broker.SeekGroup("g", 0, 5);
+  oracle_.Check();
+  EXPECT_TRUE(HasViolation(oracle_, "group-committed-monotonic"));
+}
+
+TEST_F(InvariantOracleTest, RealWatchSystemHappyPathIsClean) {
+  watch::WatchSystem ws(&sim_, &net_, "watch");
+  oracle_.ObserveWatchSystem(&ws);
+
+  class NullCallback : public watch::WatchCallback {
+   public:
+    void OnEvent(const watch::ChangeEvent&) override {}
+    void OnProgress(const watch::ProgressEvent&) override {}
+    void OnResync() override {}
+  } cb;
+
+  auto handle = ws.Watch("", "", 0, &cb);
+  for (common::Version v = 1; v <= 10; ++v) {
+    ws.Append(Ev("k" + std::to_string(v % 3), v));
+    ws.Progress(common::ProgressEvent{common::KeyRange::All(), v});
+    sim_.RunUntil(sim_.Now() + 2 * kMs);
+    oracle_.Check();
+  }
+  sim_.RunUntil(sim_.Now() + 100 * kMs);
+  oracle_.CheckQuiesced();
+  EXPECT_TRUE(oracle_.ok()) << oracle_.Report();
+}
+
+}  // namespace
+}  // namespace oracle

@@ -86,15 +86,15 @@ TEST_F(BrokerTest, RetentionEnforcedPeriodically) {
 
 TEST_F(BrokerTest, GroupJoinAssignsAllPartitions) {
   ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 4}).ok());
-  const std::uint64_t gen = broker_.JoinGroup("g", "t", "m1");
+  const std::uint64_t gen = *broker_.JoinGroup("g", "t", "m1");
   auto assigned = broker_.AssignedPartitions("g", "m1", gen);
   EXPECT_EQ(assigned.size(), 4u);
 }
 
 TEST_F(BrokerTest, RebalanceSplitsPartitionsAcrossMembers) {
   ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 4}).ok());
-  broker_.JoinGroup("g", "t", "m1");
-  const std::uint64_t gen = broker_.JoinGroup("g", "t", "m2");
+  (void)broker_.JoinGroup("g", "t", "m1");
+  const std::uint64_t gen = *broker_.JoinGroup("g", "t", "m2");
   auto a1 = broker_.AssignedPartitions("g", "m1", gen);
   auto a2 = broker_.AssignedPartitions("g", "m2", gen);
   EXPECT_EQ(a1.size(), 2u);
@@ -103,15 +103,15 @@ TEST_F(BrokerTest, RebalanceSplitsPartitionsAcrossMembers) {
 
 TEST_F(BrokerTest, StaleGenerationGetsNothing) {
   ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 2}).ok());
-  const std::uint64_t old_gen = broker_.JoinGroup("g", "t", "m1");
-  broker_.JoinGroup("g", "t", "m2");  // Bumps generation.
+  const std::uint64_t old_gen = *broker_.JoinGroup("g", "t", "m1");
+  (void)broker_.JoinGroup("g", "t", "m2");  // Bumps generation.
   EXPECT_TRUE(broker_.AssignedPartitions("g", "m1", old_gen).empty());
 }
 
 TEST_F(BrokerTest, LeaveGroupReassigns) {
   ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 2}).ok());
-  broker_.JoinGroup("g", "t", "m1");
-  broker_.JoinGroup("g", "t", "m2");
+  (void)broker_.JoinGroup("g", "t", "m1");
+  (void)broker_.JoinGroup("g", "t", "m2");
   broker_.LeaveGroup("g", "m2");
   const std::uint64_t gen = broker_.GroupGeneration("g");
   EXPECT_EQ(broker_.AssignedPartitions("g", "m1", gen).size(), 2u);
@@ -120,8 +120,8 @@ TEST_F(BrokerTest, LeaveGroupReassigns) {
 TEST_F(BrokerTest, DeadMemberEvictedAfterSessionTimeout) {
   ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 2}).ok());
   broker_.set_session_timeout(1 * common::kMicrosPerSecond);
-  broker_.JoinGroup("g", "t", "m1");
-  broker_.JoinGroup("g", "t", "m2");
+  (void)broker_.JoinGroup("g", "t", "m1");
+  (void)broker_.JoinGroup("g", "t", "m2");
   // m1 heartbeats; m2 goes silent.
   for (int i = 1; i <= 10; ++i) {
     sim_.At(i * 300 * common::kMicrosPerMilli, [this] { broker_.Heartbeat("g", "m1"); });
@@ -130,6 +130,44 @@ TEST_F(BrokerTest, DeadMemberEvictedAfterSessionTimeout) {
   const std::uint64_t gen = broker_.GroupGeneration("g");
   EXPECT_EQ(broker_.AssignedPartitions("g", "m1", gen).size(), 2u);
   EXPECT_TRUE(broker_.AssignedPartitions("g", "m2", gen).empty());
+}
+
+TEST_F(BrokerTest, JoinGroupWithDifferentTopicRejected) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 2}).ok());
+  ASSERT_TRUE(broker_.CreateTopic("other", {.partitions = 2}).ok());
+  const std::uint64_t gen = *broker_.JoinGroup("g", "t", "m1");
+  // A late joiner naming a different topic must not hijack the group.
+  auto res = broker_.JoinGroup("g", "other", "m2");
+  EXPECT_EQ(res.status().code(), common::StatusCode::kFailedPrecondition);
+  // The original binding and assignment are untouched.
+  EXPECT_EQ(broker_.GroupGeneration("g"), gen);
+  EXPECT_EQ(broker_.AssignedPartitions("g", "m1", gen).size(), 2u);
+  EXPECT_TRUE(broker_.AssignedPartitions("g", "m2", gen).empty());
+}
+
+TEST_F(BrokerTest, RejoinByPresentMemberKeepsGeneration) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 4}).ok());
+  (void)broker_.JoinGroup("g", "t", "m1");
+  const std::uint64_t gen = *broker_.JoinGroup("g", "t", "m2");
+  // A heartbeat-style rejoin must not invalidate everyone's assignments.
+  EXPECT_EQ(*broker_.JoinGroup("g", "t", "m1"), gen);
+  EXPECT_EQ(broker_.GroupGeneration("g"), gen);
+  EXPECT_EQ(broker_.AssignedPartitions("g", "m1", gen).size(), 2u);
+  EXPECT_EQ(broker_.AssignedPartitions("g", "m2", gen).size(), 2u);
+}
+
+TEST_F(BrokerTest, RejoinRefreshesHeartbeat) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 1}).ok());
+  broker_.set_session_timeout(1 * common::kMicrosPerSecond);
+  (void)broker_.JoinGroup("g", "t", "m1");
+  // Rejoins (not Heartbeat calls) keep m1 alive across the sweep cadence.
+  for (int i = 1; i <= 10; ++i) {
+    sim_.At(i * 300 * common::kMicrosPerMilli,
+            [this] { (void)broker_.JoinGroup("g", "t", "m1"); });
+  }
+  sim_.RunUntil(3 * common::kMicrosPerSecond);
+  const std::uint64_t gen = broker_.GroupGeneration("g");
+  EXPECT_EQ(broker_.AssignedPartitions("g", "m1", gen).size(), 1u);
 }
 
 TEST_F(BrokerTest, CommittedOffsetsMonotonic) {
@@ -175,6 +213,31 @@ TEST_F(BrokerTest, SeekToTimeLandsOnFirstMessageAtOrAfter) {
   EXPECT_EQ(broker_.CommittedOffset("g", 0), 1u);  // The "late" message.
   broker_.SeekGroupToTime("g", "t", 500);          // Future: nothing replays.
   EXPECT_EQ(broker_.CommittedOffset("g", 0), 2u);
+}
+
+TEST_F(BrokerTest, SeekToTimeMatchesFullScanEquivalent) {
+  ASSERT_TRUE(broker_.CreateTopic("t", {.partitions = 2}).ok());
+  for (int i = 0; i < 20; ++i) {
+    sim_.RunUntil((i + 1) * 10);
+    broker_.Publish("t", Message{"k" + std::to_string(i % 5), "v", 0},
+                    static_cast<PartitionId>(i % 2));
+  }
+  for (common::TimeMicros ts : {0, 55, 101, 150, 200, 999}) {
+    broker_.SeekGroupToTime("g", "t", ts);
+    for (PartitionId p = 0; p < 2; ++p) {
+      // Reference: the first retained message at or after ts, by full read.
+      auto all = broker_.Fetch("t", p, 0, 0);
+      ASSERT_TRUE(all.ok());
+      Offset want = broker_.EndOffset("t", p);
+      for (const StoredMessage& m : *all) {
+        if (m.message.publish_time >= ts) {
+          want = m.offset;
+          break;
+        }
+      }
+      EXPECT_EQ(broker_.CommittedOffset("g", p), want) << "ts=" << ts << " p=" << p;
+    }
+  }
 }
 
 TEST_F(BrokerTest, SeekBelowRetainedHistorySilentlyLandsAtEarliest) {

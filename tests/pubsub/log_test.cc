@@ -83,17 +83,33 @@ TEST(PartitionLogTest, SizeCapTruncatesHead) {
 
 TEST(PartitionLogTest, CompactionKeepsLatestPerKeyBeforeHorizon) {
   PartitionLog log({});
-  log.Append(Msg("a", "a1", 10));  // offset 0 — compacted away.
-  log.Append(Msg("b", "b1", 20));  // offset 1 — kept (latest old "b").
-  log.Append(Msg("a", "a2", 30));  // offset 2 — kept (latest old "a").
+  log.Append(Msg("a", "a1", 10));  // offset 0 — shadowed by offset 3.
+  log.Append(Msg("b", "b1", 20));  // offset 1 — kept (newest "b" anywhere).
+  log.Append(Msg("a", "a2", 30));  // offset 2 — shadowed by offset 3 too.
   log.Append(Msg("a", "a3", 90));  // offset 3 — kept (inside window).
   const std::uint64_t removed = log.Compact(/*horizon=*/50);
-  EXPECT_EQ(removed, 1u);
+  // Kafka semantics: a pre-horizon copy shadowed by ANY newer record — even
+  // one inside the compaction window — is dropped.
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(log.compacted_away(), 2u);
   auto msgs = log.Read(0);
-  ASSERT_EQ(msgs.size(), 3u);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].offset, 1u);
+  EXPECT_EQ(msgs[1].offset, 3u);
+}
+
+TEST(PartitionLogTest, CompactionDropsPreHorizonRecordShadowedInWindow) {
+  PartitionLog log({});
+  log.Append(Msg("k", "stale", 10));   // offset 0 — old copy of "k".
+  log.Append(Msg("x", "other", 15));   // offset 1 — only copy of "x".
+  log.Append(Msg("k", "fresh", 80));   // offset 2 — newer "k", inside window.
+  EXPECT_EQ(log.Compact(/*horizon=*/50), 1u);
+  auto msgs = log.Read(0);
+  ASSERT_EQ(msgs.size(), 2u);
   EXPECT_EQ(msgs[0].offset, 1u);
   EXPECT_EQ(msgs[1].offset, 2u);
-  EXPECT_EQ(msgs[2].offset, 3u);
+  // A second pass at the same horizon finds nothing more to drop.
+  EXPECT_EQ(log.Compact(/*horizon=*/50), 0u);
 }
 
 TEST(PartitionLogTest, CompactionCreatesUndetectableOffsetGaps) {
@@ -117,6 +133,30 @@ TEST(PartitionLogTest, CompactionIdempotentWhenClean) {
   EXPECT_EQ(log.Compact(100), 0u);
   EXPECT_EQ(log.Compact(100), 0u);
   EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(PartitionLogTest, OffsetAtOrAfterScansRetainedMessages) {
+  PartitionLog log({});
+  log.Append(Msg("a", "1", 100));  // offset 0.
+  log.Append(Msg("b", "2", 200));  // offset 1.
+  log.Append(Msg("c", "3", 300));  // offset 2.
+  EXPECT_EQ(log.OffsetAtOrAfter(0), 0u);
+  EXPECT_EQ(log.OffsetAtOrAfter(100), 0u);
+  EXPECT_EQ(log.OffsetAtOrAfter(150), 1u);
+  EXPECT_EQ(log.OffsetAtOrAfter(300), 2u);
+  EXPECT_EQ(log.OffsetAtOrAfter(999), log.end_offset());  // All older: no replay.
+}
+
+TEST(PartitionLogTest, OffsetAtOrAfterHonorsGcAndEmptyLog) {
+  PartitionLog log({});
+  EXPECT_EQ(log.OffsetAtOrAfter(0), 0u);  // Empty: end offset.
+  for (int i = 0; i < 5; ++i) {
+    log.Append(Msg("k", "v", i * 100));  // publish times 0..400.
+  }
+  log.GcBefore(250);  // Offsets 0-2 gone.
+  // A timestamp inside the GCed prefix lands at the earliest retained message.
+  EXPECT_EQ(log.OffsetAtOrAfter(50), 3u);
+  EXPECT_EQ(log.OffsetAtOrAfter(400), 4u);
 }
 
 TEST(PartitionLogTest, EmptyLogEdgeCases) {

@@ -307,5 +307,92 @@ TEST_P(WatchNoGapPropertyTest, NoSilentGaps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WatchNoGapPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 25));
 
+// -- In-flight accounting regressions -----------------------------------------
+//
+// The in-flight counter must be exact: incremented per scheduled delivery,
+// decremented per arrival, and reset the moment a session leaves kLive. The
+// old code decremented unconditionally on arrival, so deliveries still in the
+// pipe when a resync/cancel reset the session underflowed the counter.
+
+TEST_F(WatchSystemTest, CancelWithDeliveriesInFlightResetsCounter) {
+  auto ws = Make({.delivery_latency = 50 * kMs});
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", 0, &cb);
+  ws->Append(Put("a", 1));
+  ws->Append(Put("a", 2));  // Two deliveries now in flight.
+  handle->Cancel();
+  ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+    EXPECT_FALSE(info.live);
+    EXPECT_EQ(info.in_flight, 0u);
+  });
+  // The in-flight deliveries arrive, find the session cancelled, and drop
+  // without touching (underflowing) the counter.
+  sim_.RunUntil(500 * kMs);
+  EXPECT_TRUE(cb.events.empty());
+  ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+    EXPECT_EQ(info.in_flight, 0u);
+  });
+}
+
+TEST_F(WatchSystemTest, BacklogResyncWithDeliveriesInFlightResetsCounter) {
+  auto ws = Make({.delivery_latency = 50 * kMs, .max_session_backlog = 3});
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", 0, &cb);
+  for (common::Version v = 1; v <= 10; ++v) {
+    ws->Append(Put("a", v));  // Overflows the backlog mid-burst.
+  }
+  // The session left kLive with deliveries still in the pipe; the counter is
+  // reset immediately, not when the stragglers arrive.
+  ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+    EXPECT_FALSE(info.live);
+    EXPECT_EQ(info.in_flight, 0u);
+  });
+  sim_.RunUntil(2000 * kMs);
+  EXPECT_EQ(cb.resyncs, 1);
+  EXPECT_TRUE(cb.events.empty());
+  ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+    EXPECT_EQ(info.in_flight, 0u);
+  });
+}
+
+TEST_F(WatchSystemTest, BrokenSessionResetsInFlight) {
+  auto ws = Make({.delivery_latency = 50 * kMs});
+  net_.AddNode("pod1");
+  RecordingCallback cb;
+  auto handle = ws->WatchFrom("", "", 0, &cb, "pod1");
+  ws->Append(Put("a", 1));
+  ws->Append(Put("a", 2));
+  net_.SetUp("pod1", false);  // Node dies with two deliveries in flight.
+  sim_.RunUntil(500 * kMs);
+  EXPECT_EQ(ws->sessions_broken(), 1u);
+  ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+    EXPECT_FALSE(info.live);
+    EXPECT_EQ(info.in_flight, 0u);
+  });
+  EXPECT_TRUE(cb.events.empty());
+}
+
+TEST_F(WatchSystemTest, InFlightCounterStaysExactAcrossChurn) {
+  auto ws = Make({.delivery_latency = 20 * kMs, .max_session_backlog = 4});
+  RecordingCallback cb1;
+  RecordingCallback cb2;
+  auto h1 = ws->Watch("", "m", 0, &cb1);
+  auto h2 = ws->Watch("m", "", 0, &cb2);
+  for (common::Version v = 1; v <= 30; ++v) {
+    ws->Append(Put(v % 2 == 0 ? "a" : "z", v));
+    if (v == 12) ws->CrashSoftState();  // Forces both sessions to resync.
+    // Invariant at every step: only live sessions carry in-flight deliveries.
+    ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+      if (!info.live) EXPECT_EQ(info.in_flight, 0u);
+    });
+    sim_.RunUntil(sim_.Now() + 5 * kMs);
+  }
+  sim_.RunUntil(sim_.Now() + 1000 * kMs);
+  ws->VisitSessions([](const WatchSystem::SessionInfo& info) {
+    EXPECT_EQ(info.in_flight, 0u);
+  });
+  EXPECT_GE(cb1.resyncs + cb2.resyncs, 2);
+}
+
 }  // namespace
 }  // namespace watch
