@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/json.h"
 #include "bench/table.h"
 #include "cdc/feeds.h"
 #include "common/rng.h"
@@ -186,7 +187,7 @@ void AddRow(bench::Table& table, const std::string& quadrant, const Result& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E9: the Figure 3 quadrants — one consumer protocol, four deployments\n");
   std::printf("%d writes over %llu keys; identical MaterializedRange consumer in each run\n",
               kWrites, static_cast<unsigned long long>(kKeys));
@@ -198,6 +199,19 @@ int main() {
   AddRow(table, "ingest-store   + built-in watch", IngestBuiltIn());
   AddRow(table, "ingest-store   + external watch", IngestExternal());
   table.Print();
+
+  if (const auto json_path = bench::JsonPathFlag(argc, argv)) {
+    bench::Json doc = bench::Json::Object();
+    doc["bench"] = "bench_quadrants";
+    doc["writes"] = static_cast<std::int64_t>(kWrites);
+    doc["keys"] = static_cast<std::int64_t>(kKeys);
+    doc["table"] = bench::TableJson(table);
+    if (!doc.WriteFile(*json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path->c_str());
+  }
 
   std::printf(
       "\nShape check: all four quadrants converge with the same consumer code and the same\n"

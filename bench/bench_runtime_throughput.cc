@@ -1,0 +1,327 @@
+// R1: throughput scaling of the sharded concurrent runtime.
+//
+// Drives P producer threads, C consumer-group members, and W watchers against
+// the runtime at 1, 2, 4, and 8 shards and reports aggregate msgs/sec,
+// p50/p99 watch delivery latency (wall clock, producer -> watcher callback),
+// and scaling efficiency relative to the 1-shard run. Producers hit both
+// planes: every iteration publishes one message to the broker (TryPublish
+// with retry-on-kUnavailable) and ingests one change event into the watch
+// plane (TryIngest, same backpressure discipline), so a "message" below is
+// one publish + one ingest.
+//
+// Scaling expectations depend on the host: on a single hardware thread the
+// shards time-slice one core and the curve is flat (the run still validates
+// the backpressure accounting); on a 4+-core machine throughput should rise
+// monotonically 1 -> 4 shards. The JSON output records hardware_concurrency
+// so BENCH_runtime.json is interpretable either way.
+//
+//   ./bench_runtime_throughput [--messages=N] [--producers=P] [--consumers=C]
+//                              [--watchers=W] [--json=PATH]
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json.h"
+#include "bench/table.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "runtime/concurrent_broker.h"
+#include "runtime/concurrent_watch.h"
+#include "runtime/shard_pool.h"
+#include "watch/api.h"
+
+namespace {
+
+constexpr pubsub::PartitionId kPartitions = 8;
+
+std::int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Watcher callback: every event's payload carries the producer's send
+// timestamp; the delta lands in a shared (thread-safe) histogram.
+class LatencyCallback : public watch::WatchCallback {
+ public:
+  LatencyCallback(common::Histogram* latency, std::atomic<std::int64_t>* delivered)
+      : latency_(latency), delivered_(delivered) {}
+
+  void OnEvent(const common::ChangeEvent& event) override {
+    const std::int64_t sent = std::strtoll(event.mutation.value.c_str(), nullptr, 10);
+    latency_->Record(static_cast<double>(NowNanos() - sent) / 1000.0);  // us
+    delivered_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnProgress(const common::ProgressEvent&) override {}
+  void OnResync() override { resyncs_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::int64_t resyncs() const { return resyncs_.load(); }
+
+ private:
+  common::Histogram* latency_;
+  std::atomic<std::int64_t>* delivered_;
+  std::atomic<std::int64_t> resyncs_{0};
+};
+
+struct RunResult {
+  std::size_t shards = 0;
+  double elapsed_sec = 0;
+  std::int64_t messages = 0;  // publishes == ingests
+  std::int64_t publish_retries = 0;
+  std::int64_t ingest_retries = 0;
+  std::int64_t delivered = 0;
+  std::int64_t consumed = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double msgs_per_sec = 0;
+};
+
+// Key prefixes spread uniformly over 'a'..'z'; both the shard splits and the
+// watcher ranges cut this space, so watchers are affinitized to contiguous
+// slices and their union always covers every key regardless of shard count.
+common::Key SplitPoint(std::size_t i, std::size_t n) {
+  return common::Key(1, static_cast<char>('a' + (26 * i) / n));
+}
+
+RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers,
+                  int per_producer) {
+  runtime::RuntimeOptions options;
+  options.shards = shards;
+  options.queue_capacity = 8192;
+  options.max_batch = 256;
+  for (std::size_t s = 1; s < shards; ++s) {
+    options.watch_splits.push_back(SplitPoint(s, shards));
+  }
+  runtime::ShardPool pool(options);
+  runtime::ConcurrentBroker broker(&pool);
+  runtime::ConcurrentWatchService watch(&pool);
+  pool.Start();
+  if (!broker.CreateTopic("bench", {.partitions = kPartitions}).ok()) {
+    std::abort();
+  }
+
+  common::Histogram& latency = pool.metrics().histogram("delivery_latency_us");
+  std::atomic<std::int64_t> delivered{0};
+
+  std::vector<std::unique_ptr<LatencyCallback>> callbacks;
+  std::vector<std::unique_ptr<watch::WatchHandle>> handles;
+  for (int w = 0; w < watchers; ++w) {
+    const auto i = static_cast<std::size_t>(w);
+    const auto n = static_cast<std::size_t>(watchers);
+    const common::Key low = i == 0 ? common::Key() : SplitPoint(i, n);
+    const common::Key high = i + 1 == n ? common::Key() : SplitPoint(i + 1, n);
+    callbacks.push_back(std::make_unique<LatencyCallback>(&latency, &delivered));
+    handles.push_back(watch.Watch(low, high, 0, callbacks.back().get()));
+  }
+
+  // Consumer-group members: poll assigned partitions, commit as they go.
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> consumed{0};
+  std::vector<std::thread> consumer_threads;
+  for (int c = 0; c < consumers; ++c) {
+    const std::string member = "consumer-" + std::to_string(c);
+    if (!broker.JoinGroup("bench-group", "bench", member).ok()) {
+      std::abort();
+    }
+  }
+  for (int c = 0; c < consumers; ++c) {
+    consumer_threads.emplace_back([&, c] {
+      const std::string member = "consumer-" + std::to_string(c);
+      std::map<pubsub::PartitionId, pubsub::Offset> next;
+      bool final_pass = false;
+      while (true) {
+        const bool stopping = stop.load(std::memory_order_relaxed);
+        broker.Heartbeat("bench-group", member);
+        const auto assigned = broker.AssignedPartitions(
+            "bench-group", member, broker.GroupGeneration("bench-group"));
+        std::int64_t got = 0;
+        for (const pubsub::PartitionId p : assigned) {
+          auto batch = broker.Fetch("bench", p, next[p], 512);
+          if (!batch.ok() || batch->empty()) {
+            continue;
+          }
+          got += static_cast<std::int64_t>(batch->size());
+          next[p] = batch->back().offset + 1;
+          broker.CommitOffset("bench-group", p, next[p]);
+        }
+        consumed.fetch_add(got, std::memory_order_relaxed);
+        if (stopping) {
+          if (got == 0 && final_pass) {
+            break;  // Drained: two consecutive empty passes after stop.
+          }
+          final_pass = got == 0;
+        } else if (got == 0) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::atomic<std::int64_t> publish_retries{0};
+  std::atomic<std::int64_t> ingest_retries{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producer_threads;
+  for (int t = 0; t < producers; ++t) {
+    producer_threads.emplace_back([&, t] {
+      common::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < per_producer; ++i) {
+        const common::Key key =
+            common::Key(1, static_cast<char>('a' + rng.Below(26))) + std::to_string(rng.Below(997));
+        // Publish plane: retry through backpressure, counting each bounce.
+        while (!broker.TryPublish("bench", {key, "m", 0}).ok()) {
+          publish_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        // Watch plane: the payload is the send timestamp for latency.
+        common::ChangeEvent event;
+        event.key = key;
+        event.mutation = common::Mutation::Put(std::to_string(NowNanos()));
+        event.version = static_cast<common::Version>(t) * 100000000 + i + 1;
+        while (!watch.TryIngest(event).ok()) {
+          ingest_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producer_threads) {
+    t.join();
+  }
+  pool.Quiesce();  // Every accepted publish/ingest is applied and delivered.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  stop.store(true);
+  for (auto& t : consumer_threads) {
+    t.join();
+  }
+  pool.Stop();
+  handles.clear();
+
+  RunResult r;
+  r.shards = shards;
+  r.elapsed_sec = std::chrono::duration<double>(elapsed).count();
+  r.messages = static_cast<std::int64_t>(producers) * per_producer;
+  r.publish_retries = publish_retries.load();
+  r.ingest_retries = ingest_retries.load();
+  r.delivered = delivered.load();
+  r.consumed = consumed.load();
+  r.p50_us = latency.Percentile(50);
+  r.p99_us = latency.Percentile(99);
+  r.msgs_per_sec = static_cast<double>(r.messages) / r.elapsed_sec;
+
+  // Loud-failure audit: everything accepted must be accounted for.
+  std::int64_t appended = 0;
+  for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+    appended += static_cast<std::int64_t>(
+        pool.core(broker.OwnerShard(p)).broker->EndOffset("bench", p));
+  }
+  std::int64_t resyncs = 0;
+  for (const auto& cb : callbacks) {
+    resyncs += cb->resyncs();
+  }
+  if (appended != r.messages || resyncs != 0) {
+    std::fprintf(stderr, "accounting failure: appended=%lld messages=%lld resyncs=%lld\n",
+                 static_cast<long long>(appended), static_cast<long long>(r.messages),
+                 static_cast<long long>(resyncs));
+    std::abort();
+  }
+  return r;
+}
+
+std::int64_t IntFlag(int argc, char** argv, const std::string& name, std::int64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtoll(arg.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int per_producer = static_cast<int>(IntFlag(argc, argv, "messages", 10000));
+  const int producers = static_cast<int>(IntFlag(argc, argv, "producers", 4));
+  const int consumers = static_cast<int>(IntFlag(argc, argv, "consumers", 4));
+  const int watchers = static_cast<int>(IntFlag(argc, argv, "watchers", 4));
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("R1: runtime throughput scaling — %d producers x %d msgs, %d consumers, %d watchers\n",
+              producers, per_producer, consumers, watchers);
+  std::printf("host hardware_concurrency: %u%s\n", cores,
+              cores < 4 ? " (scaling curve will be flat below 4 cores)" : "");
+
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  std::vector<RunResult> results;
+  for (const std::size_t shards : shard_counts) {
+    results.push_back(RunOnce(shards, producers, consumers, watchers, per_producer));
+    const RunResult& r = results.back();
+    std::printf("  %zu shard(s): %.0f msgs/sec (%.2fs)\n", shards, r.msgs_per_sec,
+                r.elapsed_sec);
+  }
+
+  const double base = results.front().msgs_per_sec;
+  bench::Table table("Runtime throughput scaling (publish + ingest per message)",
+                     {"shards", "msgs/sec", "p50_us", "p99_us", "delivered", "consumed",
+                      "retries", "speedup", "efficiency"});
+  for (const RunResult& r : results) {
+    const double speedup = r.msgs_per_sec / base;
+    table.AddRow({bench::I(r.shards), bench::F(r.msgs_per_sec, 0), bench::F(r.p50_us, 1),
+                  bench::F(r.p99_us, 1), bench::I(static_cast<std::uint64_t>(r.delivered)),
+                  bench::I(static_cast<std::uint64_t>(r.consumed)),
+                  bench::I(static_cast<std::uint64_t>(r.publish_retries + r.ingest_retries)),
+                  bench::F(speedup, 2),
+                  bench::F(speedup / static_cast<double>(r.shards), 2)});
+  }
+  table.Print();
+
+  if (const auto json_path = bench::JsonPathFlag(argc, argv)) {
+    bench::Json doc = bench::Json::Object();
+    doc["bench"] = "bench_runtime_throughput";
+    doc["hardware_concurrency"] = static_cast<std::int64_t>(cores);
+    doc["producers"] = producers;
+    doc["consumers"] = consumers;
+    doc["watchers"] = watchers;
+    doc["messages_per_producer"] = per_producer;
+    bench::Json& runs = doc["runs"] = bench::Json::Array();
+    for (const RunResult& r : results) {
+      bench::Json& run = runs.Append(bench::Json::Object());
+      run["shards"] = static_cast<std::int64_t>(r.shards);
+      run["elapsed_sec"] = r.elapsed_sec;
+      run["msgs_per_sec"] = r.msgs_per_sec;
+      run["p50_us"] = r.p50_us;
+      run["p99_us"] = r.p99_us;
+      run["messages"] = r.messages;
+      run["delivered"] = r.delivered;
+      run["consumed"] = r.consumed;
+      run["publish_retries"] = r.publish_retries;
+      run["ingest_retries"] = r.ingest_retries;
+      run["speedup_vs_1_shard"] = r.msgs_per_sec / base;
+      run["efficiency"] = r.msgs_per_sec / base / static_cast<double>(r.shards);
+    }
+    doc["table"] = bench::TableJson(table);
+    if (!doc.WriteFile(*json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path->c_str());
+  }
+
+  std::printf(
+      "\nShape check: accepted == appended on every run (the backpressure contract is\n"
+      "loud, never lossy). Scaling toward the ROADMAP north star needs >= 4 hardware\n"
+      "threads; below that the shards time-slice one core.\n");
+  return 0;
+}

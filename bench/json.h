@@ -1,0 +1,200 @@
+// Machine-readable output for the experiment harness: a minimal JSON value
+// type (insertion-ordered objects, deterministic number formatting) plus
+// helpers to convert bench::Table rows and parse the shared --json=<path>
+// flag. This starts the perf trajectory — benches emit the same results they
+// print, as JSON a tracking script can diff run over run (BENCH_*.json at the
+// repo root).
+#ifndef BENCH_JSON_H_
+#define BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/table.h"
+
+namespace bench {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}                // NOLINT
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}          // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                 // NOLINT
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}        // NOLINT
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}       // NOLINT
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT
+  Json(const char* v) : Json(std::string(v)) {}                 // NOLINT
+
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  // Object field access; inserts (preserving insertion order) when absent.
+  Json& operator[](const std::string& key) {
+    kind_ = Kind::kObject;
+    for (auto& [k, v] : fields_) {
+      if (k == key) {
+        return v;
+      }
+    }
+    fields_.emplace_back(key, Json());
+    return fields_.back().second;
+  }
+
+  // Array append; returns the appended element for in-place building.
+  Json& Append(Json value) {
+    kind_ = Kind::kArray;
+    items_.push_back(std::move(value));
+    return items_.back();
+  }
+
+  std::string Dump(int indent = 2) const {
+    std::string out;
+    DumpTo(out, indent, 0);
+    out += '\n';
+    return out;
+  }
+
+  bool WriteFile(const std::string& path, int indent = 2) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    const std::string text = Dump(indent);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static void Escape(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void FormatNumber(std::string& out, double v) {
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+      out += buf;
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+  }
+
+  void DumpTo(std::string& out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    switch (kind_) {
+      case Kind::kNull: out += "null"; break;
+      case Kind::kBool: out += bool_ ? "true" : "false"; break;
+      case Kind::kNumber: FormatNumber(out, number_); break;
+      case Kind::kString: Escape(out, string_); break;
+      case Kind::kArray: {
+        if (items_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          out += pad;
+          items_[i].DumpTo(out, indent, depth + 1);
+          out += i + 1 < items_.size() ? ",\n" : "\n";
+        }
+        out += close_pad + "]";
+        break;
+      }
+      case Kind::kObject: {
+        if (fields_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+          out += pad;
+          Escape(out, fields_[i].first);
+          out += ": ";
+          fields_[i].second.DumpTo(out, indent, depth + 1);
+          out += i + 1 < fields_.size() ? ",\n" : "\n";
+        }
+        out += close_pad + "}";
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+// A table as JSON: {"title": ..., "columns": [...], "rows": [{col: cell}]}.
+// Cells stay strings — the table is the printed artifact; benches put typed
+// numbers in their own JSON sections.
+inline Json TableJson(const Table& table) {
+  Json j = Json::Object();
+  j["title"] = table.title();
+  Json& cols = j["columns"] = Json::Array();
+  for (const std::string& c : table.columns()) {
+    cols.Append(c);
+  }
+  Json& rows = j["rows"] = Json::Array();
+  for (const auto& row : table.rows()) {
+    Json& r = rows.Append(Json::Object());
+    for (std::size_t c = 0; c < table.columns().size(); ++c) {
+      r[table.columns()[c]] = c < row.size() ? row[c] : "";
+    }
+  }
+  return j;
+}
+
+// Shared --json=<path> flag: every bench that opts in writes its results to
+// the given path in addition to printing tables.
+inline std::optional<std::string> JsonPathFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      return arg.substr(7);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_JSON_H_

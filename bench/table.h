@@ -17,6 +17,10 @@ class Table {
 
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   void Print() const {
     std::vector<std::size_t> widths(columns_.size());
     for (std::size_t c = 0; c < columns_.size(); ++c) {
@@ -46,10 +50,12 @@ class Table {
     std::string line;
     for (std::size_t c = 0; c < widths.size(); ++c) {
       std::string cell = c < cells.size() ? cells[c] : "";
-      cell.resize(widths[c], ' ');
-      line += cell;
       if (c + 1 < widths.size()) {
+        cell.resize(widths[c], ' ');  // Last column stays unpadded: no trailing spaces.
+        line += cell;
         line += " | ";
+      } else {
+        line += cell;
       }
     }
     std::printf("%s\n", line.c_str());

@@ -146,6 +146,11 @@ class Broker {
 
   void set_session_timeout(common::TimeMicros t) { session_timeout_ = t; }
 
+  // The deterministic key hash behind kByKeyHash routing. Public so routing
+  // layers (e.g. runtime::ConcurrentBroker) can pick the same partition the
+  // broker would.
+  static std::uint64_t HashKey(const common::Key& key);
+
   // -- Oracle introspection (harness-only, not consumer-visible) ----------------
 
   void set_observer(BrokerObserver* observer) { observer_ = observer; }
@@ -176,7 +181,6 @@ class Broker {
   void EnforceRetention();
   void SweepDeadMembers();
   void Rebalance(const GroupId& id, Group& group);
-  static std::uint64_t HashKey(const common::Key& key);
 
   sim::Simulator* sim_;
   sim::Network* net_;

@@ -1,0 +1,252 @@
+#include "runtime/concurrent_broker.h"
+
+#include <utility>
+
+namespace runtime {
+
+ConcurrentBroker::ConcurrentBroker(ShardPool* pool) : pool_(pool) {
+  common::MetricsRegistry& metrics = pool_->metrics();
+  publish_accepted_ = &metrics.counter("runtime.publish_accepted");
+  publish_rejected_ = &metrics.counter("runtime.publish_rejected");
+  heartbeat_dropped_ = &metrics.counter("runtime.heartbeat_dropped");
+}
+
+ConcurrentBroker::TopicState* ConcurrentBroker::FindTopic(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+const ConcurrentBroker::TopicState* ConcurrentBroker::FindTopic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+common::Status ConcurrentBroker::CreateTopic(const std::string& topic,
+                                             pubsub::TopicConfig config) {
+  {
+    std::lock_guard<std::mutex> lock(topics_mu_);
+    if (topics_.count(topic) > 0) {
+      return common::Status::AlreadyExists(topic);
+    }
+  }
+  common::Status status = common::Status::Ok();
+  pool_->RunFenced([&] {
+    for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
+      common::Status st = pool_->core(s).broker->CreateTopic(topic, config);
+      if (!st.ok()) {
+        status = st;  // All shards see identical state, so any failure repeats.
+      }
+    }
+  });
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(topics_mu_);
+    auto state = std::make_unique<TopicState>();
+    state->config = config;
+    topics_.emplace(topic, std::move(state));
+  }
+  return status;
+}
+
+bool ConcurrentBroker::HasTopic(const std::string& topic) const {
+  return FindTopic(topic) != nullptr;
+}
+
+pubsub::PartitionId ConcurrentBroker::PartitionCount(const std::string& topic) const {
+  const TopicState* state = FindTopic(topic);
+  return state == nullptr ? 0 : state->config.partitions;
+}
+
+common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Message msg,
+                                            std::optional<pubsub::PartitionId> partition,
+                                            common::TimeMicros* retry_after) {
+  TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  pubsub::PartitionId p;
+  if (partition.has_value()) {
+    if (*partition >= state->config.partitions) {
+      return common::Status::InvalidArgument("partition out of range");
+    }
+    p = *partition;
+  } else if (!msg.key.empty()) {
+    p = static_cast<pubsub::PartitionId>(pubsub::Broker::HashKey(msg.key) %
+                                         state->config.partitions);
+  } else {
+    p = static_cast<pubsub::PartitionId>(
+        state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
+  }
+  const std::size_t shard = OwnerShard(p);
+  pubsub::Broker* broker = pool_->core(shard).broker.get();
+  const bool posted = pool_->TryPost(shard, [broker, topic, msg = std::move(msg), p]() mutable {
+    // Cannot fail: the topic exists on every shard and p is range-checked.
+    (void)broker->Publish(topic, std::move(msg), p);
+  });
+  if (!posted) {
+    publish_rejected_->Increment();
+    if (retry_after != nullptr) {
+      *retry_after = pool_->options().retry_after;
+    }
+    return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                       " saturated; retry after " +
+                                       std::to_string(pool_->options().retry_after) + "us");
+  }
+  publish_accepted_->Increment();
+  return common::Status::Ok();
+}
+
+common::Result<pubsub::PublishResult> ConcurrentBroker::PublishSync(
+    const std::string& topic, pubsub::Message msg, std::optional<pubsub::PartitionId> partition) {
+  TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  pubsub::PartitionId p;
+  if (partition.has_value()) {
+    if (*partition >= state->config.partitions) {
+      return common::Status::InvalidArgument("partition out of range");
+    }
+    p = *partition;
+  } else if (!msg.key.empty()) {
+    p = static_cast<pubsub::PartitionId>(pubsub::Broker::HashKey(msg.key) %
+                                         state->config.partitions);
+  } else {
+    p = static_cast<pubsub::PartitionId>(
+        state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
+  }
+  auto result = pool_->RunOn(OwnerShard(p), [&](ShardCore& core) {
+    return core.broker->Publish(topic, std::move(msg), p);
+  });
+  if (result.ok()) {
+    publish_accepted_->Increment();
+  }
+  return result;
+}
+
+common::Result<std::vector<pubsub::StoredMessage>> ConcurrentBroker::Fetch(
+    const std::string& topic, pubsub::PartitionId partition, pubsub::Offset offset,
+    std::size_t max) {
+  const TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (partition >= state->config.partitions) {
+    return common::Status::InvalidArgument("partition out of range");
+  }
+  return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
+    return core.broker->Fetch(topic, partition, offset, max);
+  });
+}
+
+pubsub::Offset ConcurrentBroker::EndOffset(const std::string& topic,
+                                           pubsub::PartitionId partition) {
+  return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
+    return core.broker->EndOffset(topic, partition);
+  });
+}
+
+pubsub::Offset ConcurrentBroker::FirstOffset(const std::string& topic,
+                                             pubsub::PartitionId partition) {
+  return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
+    return core.broker->FirstOffset(topic, partition);
+  });
+}
+
+common::Result<std::uint64_t> ConcurrentBroker::JoinGroup(const pubsub::GroupId& group,
+                                                          const std::string& topic,
+                                                          const pubsub::MemberId& member) {
+  // Membership is replicated: every shard's coordinator applies the same join
+  // and derives the same deterministic rebalance, so any shard can answer
+  // assignment queries and per-partition commit checks stay local.
+  std::optional<common::Result<std::uint64_t>> result;
+  pool_->RunFenced([&] {
+    for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
+      auto r = pool_->core(s).broker->JoinGroup(group, topic, member);
+      if (s == 0 || !r.ok()) {
+        result = r;
+      }
+    }
+  });
+  return *result;
+}
+
+void ConcurrentBroker::LeaveGroup(const pubsub::GroupId& group, const pubsub::MemberId& member) {
+  pool_->RunFenced([&] {
+    for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
+      pool_->core(s).broker->LeaveGroup(group, member);
+    }
+  });
+}
+
+void ConcurrentBroker::Heartbeat(const pubsub::GroupId& group, const pubsub::MemberId& member) {
+  for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
+    pubsub::Broker* broker = pool_->core(s).broker.get();
+    if (!pool_->TryPost(s, [broker, group, member] { broker->Heartbeat(group, member); })) {
+      heartbeat_dropped_->Increment();
+    }
+  }
+}
+
+std::vector<pubsub::PartitionId> ConcurrentBroker::AssignedPartitions(
+    const pubsub::GroupId& group, const pubsub::MemberId& member, std::uint64_t generation) {
+  return pool_->RunOn(0, [&](ShardCore& core) {
+    return core.broker->AssignedPartitions(group, member, generation);
+  });
+}
+
+std::uint64_t ConcurrentBroker::GroupGeneration(const pubsub::GroupId& group) {
+  return pool_->RunOn(0,
+                      [&](ShardCore& core) { return core.broker->GroupGeneration(group); });
+}
+
+void ConcurrentBroker::CommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                                    pubsub::Offset offset) {
+  pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
+    core.broker->CommitOffset(group, partition, offset);
+  });
+}
+
+pubsub::Offset ConcurrentBroker::CommittedOffset(const pubsub::GroupId& group,
+                                                 pubsub::PartitionId partition) {
+  return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
+    return core.broker->CommittedOffset(group, partition);
+  });
+}
+
+std::uint64_t ConcurrentBroker::TotalBacklog(const pubsub::GroupId& group,
+                                             const std::string& topic) {
+  std::uint64_t total = 0;
+  pool_->RunFenced([&] {
+    for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
+      // Each shard contributes only its owned partitions (the others are
+      // empty locally), so the fenced sum is exact.
+      total += pool_->core(s).broker->GroupBacklog(group, topic);
+    }
+  });
+  return total;
+}
+
+void ConcurrentBroker::SeekGroupToTime(const pubsub::GroupId& group, const std::string& topic,
+                                       common::TimeMicros timestamp) {
+  const TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return;
+  }
+  const pubsub::PartitionId partitions = state->config.partitions;
+  pool_->RunFenced([&] {
+    for (pubsub::PartitionId p = 0; p < partitions; ++p) {
+      // Read the seek target from the partition's owning shard, then write
+      // the committed offset on the same shard (commits are owner-local).
+      pubsub::Broker* owner = pool_->core(OwnerShard(p)).broker.get();
+      const pubsub::PartitionLog* log = owner->Log(topic, p);
+      if (log == nullptr) {
+        continue;
+      }
+      owner->SeekGroup(group, p, log->OffsetAtOrAfter(timestamp));
+    }
+  });
+}
+
+}  // namespace runtime

@@ -1,0 +1,137 @@
+// ConcurrentBroker: thread-safe facade over the per-shard Brokers of a
+// ShardPool. Routing discipline:
+//
+//   * partition p of every topic is owned by shard p % shards — publishes,
+//     fetches, and offset reads for p run only on that shard's core;
+//   * group *membership* (join / leave / heartbeat) is replicated to every
+//     shard as a fenced multi-shard task, so each shard's coordinator derives
+//     the identical deterministic assignment and generation;
+//   * group *commits* are per-partition state and live with the partition's
+//     owning shard, keeping the committed-offset-vs-log invariants local.
+//
+// Backpressure: TryPublish is the fire-and-forget hot path — when the owning
+// shard's queue is full it returns kUnavailable with a retry-after hint and
+// the rejection is counted (runtime.publish_rejected). Accepted publishes are
+// never dropped: every accepted message is appended by the owning shard.
+// Synchronous calls (fetch, commit, joins) block instead, which is their form
+// of backpressure.
+#ifndef SRC_RUNTIME_CONCURRENT_BROKER_H_
+#define SRC_RUNTIME_CONCURRENT_BROKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "pubsub/broker.h"
+#include "pubsub/types.h"
+#include "runtime/shard_pool.h"
+
+namespace runtime {
+
+class ConcurrentBroker {
+ public:
+  explicit ConcurrentBroker(ShardPool* pool);
+
+  ConcurrentBroker(const ConcurrentBroker&) = delete;
+  ConcurrentBroker& operator=(const ConcurrentBroker&) = delete;
+
+  std::size_t OwnerShard(pubsub::PartitionId partition) const {
+    return partition % pool_->shard_count();
+  }
+
+  // -- Topics (fenced: created on every shard) ---------------------------------
+
+  common::Status CreateTopic(const std::string& topic, pubsub::TopicConfig config);
+  bool HasTopic(const std::string& topic) const;
+  pubsub::PartitionId PartitionCount(const std::string& topic) const;
+
+  // -- Publishing ---------------------------------------------------------------
+
+  // Fire-and-forget publish with explicit backpressure. Routing mirrors
+  // Broker::Publish: explicit partition, else key hash, else round robin (the
+  // facade keeps the round-robin cursor since the shard brokers each see only
+  // their own partitions). On kUnavailable, `retry_after` (if non-null)
+  // receives the suggested backoff in microseconds.
+  common::Status TryPublish(const std::string& topic, pubsub::Message msg,
+                            std::optional<pubsub::PartitionId> partition = std::nullopt,
+                            common::TimeMicros* retry_after = nullptr);
+
+  // Synchronous publish: blocks through backpressure and returns the assigned
+  // partition/offset. For tests and low-rate callers.
+  common::Result<pubsub::PublishResult> PublishSync(
+      const std::string& topic, pubsub::Message msg,
+      std::optional<pubsub::PartitionId> partition = std::nullopt);
+
+  // -- Fetching (synchronous, runs on the partition's owner shard) -------------
+
+  common::Result<std::vector<pubsub::StoredMessage>> Fetch(const std::string& topic,
+                                                           pubsub::PartitionId partition,
+                                                           pubsub::Offset offset,
+                                                           std::size_t max);
+  pubsub::Offset EndOffset(const std::string& topic, pubsub::PartitionId partition);
+  pubsub::Offset FirstOffset(const std::string& topic, pubsub::PartitionId partition);
+
+  // -- Consumer groups ----------------------------------------------------------
+
+  // Fenced: the join lands on every shard's coordinator; returns the (shared)
+  // new generation.
+  common::Result<std::uint64_t> JoinGroup(const pubsub::GroupId& group, const std::string& topic,
+                                          const pubsub::MemberId& member);
+  // Fenced, like JoinGroup.
+  void LeaveGroup(const pubsub::GroupId& group, const pubsub::MemberId& member);
+
+  // Best-effort: posted to every shard; a saturated shard's heartbeat is
+  // dropped and counted (runtime.heartbeat_dropped) — liveness is naturally
+  // re-established by the next beat.
+  void Heartbeat(const pubsub::GroupId& group, const pubsub::MemberId& member);
+
+  std::vector<pubsub::PartitionId> AssignedPartitions(const pubsub::GroupId& group,
+                                                      const pubsub::MemberId& member,
+                                                      std::uint64_t generation);
+  std::uint64_t GroupGeneration(const pubsub::GroupId& group);
+
+  // Commits run on the partition's owner shard (synchronous).
+  void CommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                    pubsub::Offset offset);
+  pubsub::Offset CommittedOffset(const pubsub::GroupId& group, pubsub::PartitionId partition);
+
+  // -- Cross-shard reads / the §3.3 seek surface (fenced) -----------------------
+
+  // Consumer lag summed across all owning shards.
+  std::uint64_t TotalBacklog(const pubsub::GroupId& group, const std::string& topic);
+
+  // Seek-to-time needs every partition's log (owner shards) and writes every
+  // partition's committed offset — the canonical fenced multi-shard task.
+  void SeekGroupToTime(const pubsub::GroupId& group, const std::string& topic,
+                       common::TimeMicros timestamp);
+
+ private:
+  struct TopicState {
+    pubsub::TopicConfig config;
+    std::atomic<std::uint64_t> round_robin{0};
+  };
+
+  // nullptr when unknown. The returned pointer is stable (topics are never
+  // removed).
+  TopicState* FindTopic(const std::string& topic);
+  const TopicState* FindTopic(const std::string& topic) const;
+
+  ShardPool* pool_;
+  common::Counter* publish_accepted_;
+  common::Counter* publish_rejected_;
+  common::Counter* heartbeat_dropped_;
+
+  mutable std::mutex topics_mu_;
+  std::map<std::string, std::unique_ptr<TopicState>> topics_;
+};
+
+}  // namespace runtime
+
+#endif  // SRC_RUNTIME_CONCURRENT_BROKER_H_

@@ -1,0 +1,172 @@
+#include "runtime/shard_pool.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace runtime {
+
+ShardPool::ShardPool(RuntimeOptions options, common::MetricsRegistry* metrics)
+    : options_(std::move(options)) {
+  if (options_.shards == 0) {
+    options_.shards = 1;
+  }
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<common::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  tasks_run_ = &metrics_->counter("runtime.tasks_run");
+  batches_run_ = &metrics_->counter("runtime.batches_run");
+  post_rejected_ = &metrics_->counter("runtime.post_rejected");
+
+  cores_.reserve(options_.shards);
+  queues_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    auto core = std::make_unique<ShardCore>();
+    core->sim = std::make_unique<sim::Simulator>(options_.seed + s);
+    core->net = std::make_unique<sim::Network>(core->sim.get());
+    core->broker = std::make_unique<pubsub::Broker>(core->sim.get(), core->net.get(),
+                                                    "broker-" + std::to_string(s));
+    watch::WatchSystemOptions wopts;
+    wopts.window = options_.window;
+    wopts.delivery_latency = 0;   // Deliveries flush at each batch boundary.
+    wopts.progress_period = 0;    // Progress pumping needs tick > 0; disabled.
+    wopts.max_session_backlog = options_.max_session_backlog;
+    core->watch = std::make_unique<watch::WatchSystem>(core->sim.get(), /*net=*/nullptr,
+                                                       "watch-" + std::to_string(s), wopts);
+    cores_.push_back(std::move(core));
+    queues_.push_back(std::make_unique<MpscQueue<Task>>(options_.queue_capacity));
+  }
+}
+
+ShardPool::~ShardPool() { Stop(); }
+
+void ShardPool::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  workers_.reserve(cores_.size());
+  for (std::size_t s = 0; s < cores_.size(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+void ShardPool::Stop() {
+  if (!running_) {
+    return;
+  }
+  for (auto& queue : queues_) {
+    queue->Close();
+  }
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  running_ = false;
+}
+
+void ShardPool::FlushSim(ShardCore& core) {
+  // Advance the shard clock by the configured tick and run everything due,
+  // including the zero-latency delivery chains scheduled by the batch just
+  // executed. With tick == 0 this runs exactly the events at the current
+  // instant, so periodic maintenance stays pending and runs are
+  // deterministic.
+  core.sim->RunUntil(core.sim->Now() + options_.tick);
+}
+
+void ShardPool::WorkerLoop(std::size_t shard) {
+  ShardCore& core = *cores_[shard];
+  MpscQueue<Task>& queue = *queues_[shard];
+  std::vector<Task> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    batch.clear();
+    const std::size_t n = queue.PopBatch(batch, options_.max_batch);
+    if (n == 0) {
+      break;  // Closed and drained.
+    }
+    for (Task& task : batch) {
+      task();
+    }
+    FlushSim(core);
+    tasks_run_->Increment(static_cast<std::int64_t>(n));
+    batches_run_->Increment();
+  }
+  FlushSim(core);
+}
+
+bool ShardPool::TryPost(std::size_t shard, Task task) {
+  if (!running_ || !queues_[shard]->TryPush(std::move(task))) {
+    post_rejected_->Increment();
+    return false;
+  }
+  return true;
+}
+
+void ShardPool::Post(std::size_t shard, Task task) {
+  if (!running_ || !queues_[shard]->Push(std::move(task))) {
+    // Stopped pool: the cores are single-threaded again; run inline.
+    task();
+    cores_[shard]->sim->RunUntil(cores_[shard]->sim->Now() + options_.tick);
+  }
+}
+
+void ShardPool::RunFenced(const std::function<void()>& fn) {
+  std::lock_guard<std::mutex> serialize(fence_mu_);
+  if (!running_) {
+    fn();
+    for (auto& core : cores_) {
+      FlushSim(*core);
+    }
+    return;
+  }
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t arrived = 0;
+    bool released = false;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  const std::size_t n = cores_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    // Blocking push: a fence must land even on a saturated shard. No deadlock
+    // cycle is possible — fences are serialized and workers always drain.
+    Post(s, [barrier, n] {
+      std::unique_lock<std::mutex> lock(barrier->mu);
+      if (++barrier->arrived == n) {
+        barrier->cv.notify_all();
+      }
+      barrier->cv.wait(lock, [&] { return barrier->released; });
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(barrier->mu);
+    barrier->cv.wait(lock, [&] { return barrier->arrived == n; });
+  }
+  // Every worker is parked inside the barrier wait; the barrier mutex
+  // ordering makes their prior writes visible here and our writes visible to
+  // them on release. Tasks earlier in a worker's current batch have run but
+  // their zero-latency deliveries may not be flushed yet — flush before
+  // handing the cores to fn so it sees settled state.
+  for (auto& core : cores_) {
+    FlushSim(*core);
+  }
+  fn();
+  for (auto& core : cores_) {
+    FlushSim(*core);
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier->mu);
+    barrier->released = true;
+  }
+  barrier->cv.notify_all();
+}
+
+void ShardPool::Quiesce() {
+  // With producers stopped, a fence observes every queue drained up to the
+  // fence task and flushes all simulators (RunFenced flushes around fn).
+  RunFenced([] {});
+}
+
+}  // namespace runtime

@@ -1,0 +1,178 @@
+// ShardPool: the shard-per-core concurrent execution layer. Each shard owns a
+// complete single-threaded core — its own deterministic Simulator, Network,
+// Broker, and WatchSystem — and a worker thread that drains a bounded MPSC
+// task queue in batches, then flushes the shard's simulator so zero-latency
+// deliveries scheduled by those tasks run before the next batch.
+//
+// The design keeps the deterministic heart of the library untouched: no core
+// component grows a lock. Instead, *ownership* is the synchronization
+// discipline — a shard's core is touched only by (a) its worker thread while
+// running, (b) any thread while the pool is stopped or not yet started, or
+// (c) the caller of RunFenced while every worker is parked at the fence.
+// Cross-shard operations (topic creation, group membership, multi-range
+// watches, seek-to-time, quiesce) are expressed as fenced multi-shard tasks.
+//
+// Backpressure is explicit and loud: TryPost fails when a shard's queue is
+// full (callers surface kUnavailable with a retry-after hint and the
+// rejection is counted in the MetricsRegistry); Post blocks, which is the
+// synchronous callers' form of backpressure. Nothing is silently dropped.
+#ifndef SRC_RUNTIME_SHARD_POOL_H_
+#define SRC_RUNTIME_SHARD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "runtime/mpsc_queue.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "watch/retained_window.h"
+#include "watch/watch_system.h"
+
+namespace runtime {
+
+using Task = std::function<void()>;
+
+struct RuntimeOptions {
+  // Number of shards (worker threads). Each owns a disjoint set of broker
+  // partitions (partition p -> shard p % shards) and a contiguous watch
+  // key-range (see ConcurrentWatchService).
+  std::size_t shards = 4;
+  // Per-shard task queue bound; the backpressure threshold.
+  std::size_t queue_capacity = 4096;
+  // Max tasks drained per batch (amortizes queue locking and sim flushing).
+  std::size_t max_batch = 256;
+  // Simulated time advanced per batch. 0 keeps every shard clock at 0, which
+  // makes runs bit-deterministic for the equivalence tests (periodic
+  // maintenance like retention GC then never fires; size-capped retention
+  // still applies on the append path). Nonzero ticks enable time-based
+  // retention and progress pumping at the cost of batch-dependent timestamps.
+  common::TimeMicros tick = 0;
+  // Retry hint handed to rejected publishers/ingesters, in microseconds.
+  common::TimeMicros retry_after = 100;
+  // Base seed; shard s runs its core at seed + s.
+  std::uint64_t seed = 1;
+  // Watch sessions lagging more than this many undelivered events get a loud
+  // OnResync instead of an unbounded queue (0 disables).
+  std::size_t max_session_backlog = 4096;
+  // Per-shard retained window configuration for the watch plane.
+  watch::RetainedWindow::Options window{};
+  // Watch key-space split points, ascending, size shards-1: shard s owns
+  // [splits[s-1], splits[s]) with implicit "" sentinels at both ends. Empty:
+  // an even split of the single-byte prefix space.
+  std::vector<common::Key> watch_splits;
+};
+
+// One shard's single-threaded core. All members are confined to the shard's
+// worker thread per the ownership discipline above.
+struct ShardCore {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<pubsub::Broker> broker;
+  std::unique_ptr<watch::WatchSystem> watch;
+};
+
+class ShardPool {
+ public:
+  // `metrics` may be null, in which case the pool owns a registry. The
+  // registry must be the thread-safe common::MetricsRegistry (it is hit from
+  // every shard and every producer).
+  explicit ShardPool(RuntimeOptions options, common::MetricsRegistry* metrics = nullptr);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  // Spawns the worker threads. Cores may be configured freely (observers,
+  // topics for tests) before Start.
+  void Start();
+
+  // Closes every queue, drains remaining tasks, joins the workers. After Stop
+  // the cores are plain single-threaded objects again (safe to inspect from
+  // the calling thread). Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+  std::size_t shard_count() const { return cores_.size(); }
+  const RuntimeOptions& options() const { return options_; }
+  common::MetricsRegistry& metrics() { return *metrics_; }
+
+  // Non-blocking enqueue; false when the shard is saturated (counted as
+  // runtime.post_rejected) or the pool is stopped.
+  bool TryPost(std::size_t shard, Task task);
+
+  // Blocking enqueue. If the pool is stopped, runs the task inline on the
+  // calling thread (the cores are then single-threaded-safe by definition).
+  void Post(std::size_t shard, Task task);
+
+  // Runs `fn(core)` on the shard's worker thread and returns its result,
+  // blocking the caller until done. Backpressure is the wait itself.
+  template <typename Fn>
+  auto RunOn(std::size_t shard, Fn&& fn) -> std::invoke_result_t<Fn&, ShardCore&> {
+    using R = std::invoke_result_t<Fn&, ShardCore&>;
+    ShardCore& core = *cores_[shard];
+    std::promise<R> done;
+    auto fut = done.get_future();
+    Post(shard, [&fn, &core, &done] {
+      if constexpr (std::is_void_v<R>) {
+        fn(core);
+        done.set_value();
+      } else {
+        done.set_value(fn(core));
+      }
+    });
+    return fut.get();
+  }
+
+  // Fenced multi-shard task: parks every worker at a barrier, runs `fn` on
+  // the calling thread — which may then touch any core via core(i), including
+  // cross-shard reads and writes — and releases the workers. Every task
+  // posted before the fence has executed (and its zero-latency deliveries
+  // have been flushed) by the time `fn` runs on a given shard's core only if
+  // it was in a completed batch; Quiesce() additionally flushes each shard's
+  // simulator inside the fence. Fences are serialized among themselves.
+  void RunFenced(const std::function<void()>& fn);
+
+  // Drains all queues and flushes every shard's simulator. Call with external
+  // producers stopped; afterwards (or after Stop) harness-side inspection of
+  // the cores is race-free and the invariant oracle may run.
+  void Quiesce();
+
+  // The shard's core. Safe from the shard's own tasks, inside RunFenced, or
+  // while the pool is not running. The returned reference is stable.
+  ShardCore& core(std::size_t shard) { return *cores_[shard]; }
+  const ShardCore& core(std::size_t shard) const { return *cores_[shard]; }
+
+  std::size_t queue_depth(std::size_t shard) const { return queues_[shard]->size(); }
+
+ private:
+  void WorkerLoop(std::size_t shard);
+  void FlushSim(ShardCore& core);
+
+  RuntimeOptions options_;
+  std::unique_ptr<common::MetricsRegistry> owned_metrics_;
+  common::MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<ShardCore>> cores_;
+  std::vector<std::unique_ptr<MpscQueue<Task>>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex fence_mu_;  // Serializes fences so two fences cannot interleave.
+  bool running_ = false;
+
+  // Hot counters, resolved once at construction.
+  common::Counter* tasks_run_ = nullptr;
+  common::Counter* batches_run_ = nullptr;
+  common::Counter* post_rejected_ = nullptr;
+};
+
+}  // namespace runtime
+
+#endif  // SRC_RUNTIME_SHARD_POOL_H_

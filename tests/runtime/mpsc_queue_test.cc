@@ -1,0 +1,133 @@
+#include "runtime/mpsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace runtime {
+namespace {
+
+TEST(MpscQueueTest, FifoSingleProducer) {
+  MpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.TryPush(i));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(out, 16), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MpscQueueTest, TryPushFailsWhenFullAndRecovers) {
+  MpscQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // The backpressure edge.
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(out, 1), 1u);  // Batch bound respected: one popped.
+  EXPECT_EQ(out, std::vector<int>{1});
+  EXPECT_TRUE(q.TryPush(3));  // Space freed.
+  out.clear();
+  EXPECT_EQ(q.PopBatch(out, 8), 2u);
+  EXPECT_EQ(out, (std::vector<int>{2, 3}));
+}
+
+TEST(MpscQueueTest, CloseDrainsRemainderThenSignalsExit) {
+  MpscQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_FALSE(q.Push(3));
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(out, 8), 2u);  // Remainder drains.
+  EXPECT_EQ(q.PopBatch(out, 8), 0u);  // Closed-and-drained: consumer exits.
+}
+
+TEST(MpscQueueTest, BlockingPushWaitsForSpace) {
+  MpscQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(1));
+    pushed = true;
+  });
+  // The producer must be parked while the queue is full. (A sleep can only
+  // produce a false pass, never a false failure.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(out, 1), 1u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  out.clear();
+  EXPECT_EQ(q.PopBatch(out, 1), 1u);
+  EXPECT_EQ(out, std::vector<int>{1});
+}
+
+TEST(MpscQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  MpscQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(0));
+  std::thread producer([&] { EXPECT_FALSE(q.Push(1)); });  // Full, then closed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+}
+
+// The accounting property the runtime's backpressure contract is built on:
+// with P producers pushing concurrently, every push that returned true is
+// drained exactly once, and each producer's items drain in its push order.
+TEST(MpscQueueTest, MultiProducerExactCountAndPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10000;
+  MpscQueue<std::pair<int, int>> q(64);  // {producer, sequence}
+
+  std::vector<std::vector<int>> drained(kProducers);
+  std::thread consumer([&] {
+    std::vector<std::pair<int, int>> batch;
+    std::size_t total = 0;
+    while (true) {
+      batch.clear();
+      const std::size_t n = q.PopBatch(batch, 128);
+      if (n == 0) {
+        break;
+      }
+      total += n;
+      for (const auto& [producer, seq] : batch) {
+        drained[static_cast<std::size_t>(producer)].push_back(seq);
+      }
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(kProducers) * kPerProducer);
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push({p, i}));
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  consumer.join();
+
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(drained[p].size(), static_cast<std::size_t>(kPerProducer));
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(drained[p][static_cast<std::size_t>(i)], i)
+          << "producer " << p << " reordered";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace runtime
