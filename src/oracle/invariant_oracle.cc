@@ -53,7 +53,9 @@ std::optional<std::string> FindShadowedSurvivor(const std::deque<pubsub::StoredM
 
 void InvariantOracle::ObserveBroker(pubsub::Broker* broker) {
   broker_ = broker;
-  broker_->set_observer(this);
+  // AddObserver (not set_observer) so a durability journal can observe the
+  // same broker alongside the oracle.
+  broker_->AddObserver(this);
 }
 
 void InvariantOracle::ObserveWatchSystem(watch::WatchSystem* system) {
@@ -125,6 +127,21 @@ void InvariantOracle::OnSeek(const pubsub::GroupId& group, pubsub::PartitionId p
                              pubsub::Offset offset) {
   // A seek is the one legitimate committed-offset rewind: lower the floor.
   committed_floor_[group][partition] = offset;
+}
+
+void InvariantOracle::OnCommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                                     pubsub::Offset offset) {
+  // Eager monotonicity check at the faulting call (Check() re-verifies
+  // against the same floor later).
+  pubsub::Offset& floor = committed_floor_[group][partition];
+  if (offset < floor) {
+    std::ostringstream os;
+    os << "group " << group << " partition " << partition << " committed offset regressed "
+       << floor << " -> " << offset << " without a seek";
+    AddViolation("group-committed-monotonic", os.str());
+  } else {
+    floor = offset;
+  }
 }
 
 // -- Watch hooks ---------------------------------------------------------------

@@ -103,6 +103,8 @@ class InvariantOracle : public pubsub::BrokerObserver, public watch::WatchSystem
                    const std::map<pubsub::PartitionId, pubsub::MemberId>& assignment) override;
   void OnSeek(const pubsub::GroupId& group, pubsub::PartitionId partition,
               pubsub::Offset offset) override;
+  void OnCommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                      pubsub::Offset offset) override;
 
   // -- WatchSystemObserver -----------------------------------------------------
 

@@ -159,13 +159,18 @@ std::uint64_t Broker::GroupGeneration(const GroupId& group) const {
 void Broker::CommitOffset(const GroupId& group, PartitionId partition, Offset offset) {
   Group& g = groups_[group];
   Offset& committed = g.committed[partition];
-  committed = std::max(committed, offset);
+  if (offset > committed) {
+    committed = offset;
+    for (BrokerObserver* o : observers_) {
+      o->OnCommitOffset(group, partition, committed);
+    }
+  }
 }
 
 void Broker::SeekGroup(const GroupId& group, PartitionId partition, Offset offset) {
   groups_[group].committed[partition] = offset;  // May rewind: that is the point.
-  if (observer_ != nullptr) {
-    observer_->OnSeek(group, partition, offset);
+  for (BrokerObserver* o : observers_) {
+    o->OnSeek(group, partition, offset);
   }
 }
 
@@ -180,8 +185,8 @@ void Broker::SeekGroupToTime(const GroupId& group, const std::string& topic,
     // older, land at the end (nothing replays).
     const Offset target = it->second.partitions[p]->OffsetAtOrAfter(timestamp);
     groups_[group].committed[p] = target;
-    if (observer_ != nullptr) {
-      observer_->OnSeek(group, p, target);
+    for (BrokerObserver* o : observers_) {
+      o->OnSeek(group, p, target);
     }
   }
 }
@@ -295,13 +300,15 @@ void Broker::Rebalance(const GroupId& id, Group& group) {
       group.assignment[p] = members[p % members.size()];
     }
   }
-  if (observer_ != nullptr) {
+  if (!observers_.empty()) {
     std::vector<MemberId> members;
     members.reserve(group.members.size());
     for (const auto& [m, hb] : group.members) {
       members.push_back(m);
     }
-    observer_->OnRebalance(id, group.generation, members, group.assignment);
+    for (BrokerObserver* o : observers_) {
+      o->OnRebalance(id, group.generation, members, group.assignment);
+    }
   }
 }
 
@@ -345,6 +352,29 @@ const PartitionLog* Broker::Log(const std::string& topic, PartitionId partition)
     return nullptr;
   }
   return it->second.partitions[partition].get();
+}
+
+const TopicConfig* Broker::TopicConfigFor(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second.config;
+}
+
+PartitionLog* Broker::MutableLog(const std::string& topic, PartitionId partition) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return nullptr;
+  }
+  return it->second.partitions[partition].get();
+}
+
+void Broker::RestoreGroupState(const GroupId& group, const std::string& topic,
+                               PartitionId partition, Offset committed) {
+  Group& g = groups_[group];
+  if (g.topic.empty()) {
+    g.topic = topic;
+  }
+  const Offset end = EndOffset(topic, partition);
+  g.committed[partition] = std::min(committed, end);
 }
 
 }  // namespace pubsub

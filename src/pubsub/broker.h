@@ -6,6 +6,7 @@
 #ifndef SRC_PUBSUB_BROKER_H_
 #define SRC_PUBSUB_BROKER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -33,8 +34,8 @@ struct PublishResult {
 };
 
 // Harness-side observer of group-coordinator transitions, used by the
-// invariant oracle. Callbacks run synchronously inside the broker; they must
-// not re-enter the broker.
+// invariant oracle and the WAL journal. Callbacks run synchronously inside
+// the broker; they must not re-enter the broker.
 class BrokerObserver {
  public:
   virtual ~BrokerObserver() = default;
@@ -47,6 +48,14 @@ class BrokerObserver {
   // Fired when an explicit seek rewrites a group's committed offset (the one
   // legitimate non-monotonic committed-offset transition).
   virtual void OnSeek(const GroupId& group, PartitionId partition, Offset offset) = 0;
+
+  // Fired when a commit advances a group's committed offset, with the
+  // post-merge value. Default no-op so existing observers are unaffected.
+  virtual void OnCommitOffset(const GroupId& group, PartitionId partition, Offset offset) {
+    (void)group;
+    (void)partition;
+    (void)offset;
+  }
 };
 
 // Read-only snapshot of one group's coordinator state (oracle introspection).
@@ -153,13 +162,42 @@ class Broker {
 
   // -- Oracle introspection (harness-only, not consumer-visible) ----------------
 
-  void set_observer(BrokerObserver* observer) { observer_ = observer; }
+  // Replaces the whole observer set with `observer` (nullptr clears). Kept
+  // for single-observer callers; layered harnesses (oracle + journal) use
+  // Add/RemoveObserver instead.
+  void set_observer(BrokerObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) {
+      observers_.push_back(observer);
+    }
+  }
+  void AddObserver(BrokerObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(BrokerObserver* observer) {
+    observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                     observers_.end());
+  }
   std::vector<std::string> TopicNames() const;
   std::vector<GroupId> GroupIds() const;
   // Snapshot of a group's coordinator state; empty view for unknown groups.
   GroupView ViewGroup(const GroupId& group) const;
   // Direct (read-only) access to a partition's log; nullptr if unknown.
   const PartitionLog* Log(const std::string& topic, PartitionId partition) const;
+  // Config of an existing topic; nullptr if unknown.
+  const TopicConfig* TopicConfigFor(const std::string& topic) const;
+
+  // -- Durability hooks (harness/journal-only) ----------------------------------
+
+  // Mutable partition access so a journal can attach PartitionLog callbacks
+  // and drive Restore* replay; nullptr if unknown.
+  PartitionLog* MutableLog(const std::string& topic, PartitionId partition);
+
+  // Recovery-only: re-applies a journaled committed offset. Group membership
+  // and generations are deliberately soft state (members re-join after a
+  // restart, Kafka-style), so only the topic binding and committed offsets
+  // are restored. The committed value is clamped to the partition's end
+  // offset as a guard against a journal that outran message durability.
+  void RestoreGroupState(const GroupId& group, const std::string& topic, PartitionId partition,
+                         Offset committed);
 
  private:
   struct Topic {
@@ -188,7 +226,7 @@ class Broker {
   common::TimeMicros session_timeout_ = 3 * common::kMicrosPerSecond;
   std::map<std::string, Topic> topics_;
   std::map<GroupId, Group> groups_;
-  BrokerObserver* observer_ = nullptr;
+  std::vector<BrokerObserver*> observers_;
   std::unique_ptr<sim::PeriodicTask> maintenance_;
 };
 

@@ -17,20 +17,26 @@ std::uint64_t PartitionLog::Compact(common::TimeMicros horizon) {
   }
   last_compaction_horizon_ = std::max(last_compaction_horizon_, horizon);
   compact_end_offset_ = next_offset_;
-  if (!any_old) {
-    return 0;
-  }
-  std::deque<StoredMessage> kept;
   std::uint64_t removed = 0;
-  for (StoredMessage& m : log_) {
-    if (m.message.publish_time >= horizon || newest_offset[m.message.key] == m.offset) {
-      kept.push_back(std::move(m));
-    } else {
-      ++removed;
+  if (any_old) {
+    std::deque<StoredMessage> kept;
+    for (StoredMessage& m : log_) {
+      if (m.message.publish_time >= horizon || newest_offset[m.message.key] == m.offset) {
+        kept.push_back(std::move(m));
+      } else {
+        ++removed;
+      }
     }
+    log_ = std::move(kept);
+    compacted_away_ += removed;
   }
-  log_ = std::move(kept);
-  compacted_away_ += removed;
+  // Fire even when nothing was removed: the pass still advanced the
+  // compaction bookkeeping the invariant oracle reads, and a journal must
+  // replay that. Compaction is deterministic given log state and horizon, so
+  // the journaled record only needs the horizon.
+  if (retention_cb_) {
+    retention_cb_(RetentionEvent{RetentionEvent::Kind::kCompact, horizon, first_offset(), removed});
+  }
   return removed;
 }
 

@@ -16,21 +16,47 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "pubsub/types.h"
 
 namespace pubsub {
 
+// Fired whenever retained history shrinks, so a durability layer can mirror
+// the exact trim/compact decision into its journal. `first_offset` is the
+// post-event first retained offset.
+struct RetentionEvent {
+  enum class Kind { kGcBefore, kSizeCap, kCompact };
+  Kind kind;
+  common::TimeMicros horizon = 0;  // kGcBefore / kCompact only.
+  Offset first_offset = 0;
+  std::uint64_t removed = 0;
+};
+
 class PartitionLog {
  public:
+  using AppendCallback = std::function<void(const StoredMessage&)>;
+  using RetentionCallback = std::function<void(const RetentionEvent&)>;
+
   explicit PartitionLog(RetentionPolicy policy) : policy_(policy) {}
+
+  // Observation hooks for the WAL journal. The append callback fires before
+  // any size-cap trim its append may trigger, so a journal sees the op order
+  // exactly as it happened. Not fired by the Restore* replay APIs.
+  void set_append_callback(AppendCallback cb) { append_cb_ = std::move(cb); }
+  void set_retention_callback(RetentionCallback cb) { retention_cb_ = std::move(cb); }
 
   // Appends a message, returning its offset.
   Offset Append(Message msg) {
     log_.push_back(StoredMessage{next_offset_++, std::move(msg)});
+    const Offset offset = log_.back().offset;
+    if (append_cb_) {
+      append_cb_(log_.back());
+    }
     EnforceSizeCap();
-    return log_.back().offset;
+    return offset;
   }
 
   // First offset still present (== end_offset() when empty after GC).
@@ -72,6 +98,9 @@ class PartitionLog {
       ++dropped;
     }
     gced_ += dropped;
+    if (dropped > 0 && retention_cb_) {
+      retention_cb_(RetentionEvent{RetentionEvent::Kind::kGcBefore, horizon, first_offset(), dropped});
+    }
     return dropped;
   }
 
@@ -101,14 +130,59 @@ class PartitionLog {
   common::TimeMicros last_compaction_horizon() const { return last_compaction_horizon_; }
   Offset compact_end_offset() const { return compact_end_offset_; }
 
+  // -- Recovery-only replay APIs (see wal::PartitionJournal) -------------------
+  //
+  // These mutate state without firing callbacks and without enforcing the
+  // size cap: during journal replay every trim is driven by a journaled
+  // record, so policy must not be re-applied on top.
+
+  // Re-applies a journaled append. Offsets arrive in append order.
+  void RestoreAppend(Offset offset, Message msg) {
+    log_.push_back(StoredMessage{offset, std::move(msg)});
+    next_offset_ = offset + 1;
+  }
+
+  // Drops retained messages with offset < `first` (counted into gced_). If
+  // `first` is beyond end_offset() — every append up to it was dropped with
+  // its wal segment — the log advances to start empty at `first`.
+  std::uint64_t TrimTo(Offset first) {
+    std::uint64_t dropped = 0;
+    while (!log_.empty() && log_.front().offset < first) {
+      log_.pop_front();
+      ++dropped;
+    }
+    gced_ += dropped;
+    if (first > next_offset_) {
+      next_offset_ = first;
+    }
+    return dropped;
+  }
+
+  // Overwrites harness accounting and compaction bookkeeping with
+  // snapshot-record values, superseding whatever partial replay accumulated.
+  void RestoreAccounting(std::uint64_t gced, std::uint64_t compacted_away,
+                         std::uint64_t silent_skips, common::TimeMicros last_compaction_horizon,
+                         Offset compact_end_offset) {
+    gced_ = gced;
+    compacted_away_ = compacted_away;
+    silent_skips_ = silent_skips;
+    last_compaction_horizon_ = last_compaction_horizon;
+    compact_end_offset_ = compact_end_offset;
+  }
+
  private:
   void EnforceSizeCap() {
     if (policy_.max_messages == 0) {
       return;
     }
+    std::uint64_t dropped = 0;
     while (log_.size() > policy_.max_messages) {
       log_.pop_front();
       ++gced_;
+      ++dropped;
+    }
+    if (dropped > 0 && retention_cb_) {
+      retention_cb_(RetentionEvent{RetentionEvent::Kind::kSizeCap, 0, first_offset(), dropped});
     }
   }
 
@@ -120,6 +194,8 @@ class PartitionLog {
   mutable std::uint64_t silent_skips_ = 0;
   common::TimeMicros last_compaction_horizon_ = 0;
   Offset compact_end_offset_ = 0;
+  AppendCallback append_cb_;
+  RetentionCallback retention_cb_;
 };
 
 }  // namespace pubsub

@@ -9,6 +9,21 @@ ConcurrentBroker::ConcurrentBroker(ShardPool* pool) : pool_(pool) {
   publish_accepted_ = &metrics.counter("runtime.publish_accepted");
   publish_rejected_ = &metrics.counter("runtime.publish_rejected");
   heartbeat_dropped_ = &metrics.counter("runtime.heartbeat_dropped");
+
+  // Durable mode: a recovered pool may already hold topics (replayed from the
+  // shard journals). Seed the facade's routing map from shard 0 — every shard
+  // recovers the identical topic set.
+  if (pool_->options().durable_vfs != nullptr) {
+    pool_->RunOn(0, [this](ShardCore& core) {
+      std::lock_guard<std::mutex> lock(topics_mu_);
+      for (const std::string& name : core.broker->TopicNames()) {
+        const pubsub::TopicConfig* config = core.broker->TopicConfigFor(name);
+        auto state = std::make_unique<TopicState>();
+        state->config = *config;
+        topics_.emplace(name, std::move(state));
+      }
+    });
+  }
 }
 
 ConcurrentBroker::TopicState* ConcurrentBroker::FindTopic(const std::string& topic) {
@@ -34,7 +49,11 @@ common::Status ConcurrentBroker::CreateTopic(const std::string& topic,
   common::Status status = common::Status::Ok();
   pool_->RunFenced([&] {
     for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
-      common::Status st = pool_->core(s).broker->CreateTopic(topic, config);
+      ShardCore& core = pool_->core(s);
+      // Durable mode routes through the journal so the topic record is on
+      // disk before the topic accepts publishes.
+      common::Status st = core.journal != nullptr ? core.journal->CreateTopic(topic, config)
+                                                  : core.broker->CreateTopic(topic, config);
       if (!st.ok()) {
         status = st;  // All shards see identical state, so any failure repeats.
       }

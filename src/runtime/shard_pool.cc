@@ -34,6 +34,16 @@ ShardPool::ShardPool(RuntimeOptions options, common::MetricsRegistry* metrics)
     wopts.max_session_backlog = options_.max_session_backlog;
     core->watch = std::make_unique<watch::WatchSystem>(core->sim.get(), /*net=*/nullptr,
                                                        "watch-" + std::to_string(s), wopts);
+    if (options_.durable_vfs != nullptr) {
+      auto journal = wal::BrokerJournal::Open(options_.durable_vfs,
+                                              options_.durable_dir + "/shard-" + std::to_string(s),
+                                              options_.durable, metrics_, core->broker.get());
+      if (journal.ok()) {
+        core->journal = std::move(journal.value());
+      } else {
+        core->durable_recovery_status = journal.status();
+      }
+    }
     cores_.push_back(std::move(core));
     queues_.push_back(std::make_unique<MpscQueue<Task>>(options_.queue_capacity));
   }
@@ -161,6 +171,18 @@ void ShardPool::RunFenced(const std::function<void()>& fn) {
     barrier->released = true;
   }
   barrier->cv.notify_all();
+}
+
+common::Status ShardPool::durable_status() const {
+  for (const auto& core : cores_) {
+    if (!core->durable_recovery_status.ok()) {
+      return core->durable_recovery_status;
+    }
+    if (core->journal != nullptr && !core->journal->status().ok()) {
+      return core->journal->status();
+    }
+  }
+  return common::Status::Ok();
 }
 
 void ShardPool::Quiesce() {

@@ -35,6 +35,7 @@
 #include "runtime/mpsc_queue.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "wal/broker_journal.h"
 #include "watch/retained_window.h"
 #include "watch/watch_system.h"
 
@@ -70,6 +71,15 @@ struct RuntimeOptions {
   // [splits[s-1], splits[s]) with implicit "" sentinels at both ends. Empty:
   // an even split of the single-byte prefix space.
   std::vector<common::Key> watch_splits;
+  // Durable mode: when non-null, each shard's broker is backed by a
+  // wal::BrokerJournal at "<durable_dir>/shard-<s>" — topics, messages,
+  // retention decisions, and committed offsets are journaled, and a pool
+  // built over an existing journal recovers the broker state before Start.
+  // The Vfs must outlive the pool and be thread-safe (FaultVfs and PosixVfs
+  // both are). Recovery failures are sticky: see durable_status().
+  wal::Vfs* durable_vfs = nullptr;
+  std::string durable_dir = "wal";
+  wal::BrokerJournalOptions durable{};
 };
 
 // One shard's single-threaded core. All members are confined to the shard's
@@ -79,6 +89,12 @@ struct ShardCore {
   std::unique_ptr<sim::Network> net;
   std::unique_ptr<pubsub::Broker> broker;
   std::unique_ptr<watch::WatchSystem> watch;
+  // Durable mode only (RuntimeOptions::durable_vfs): the broker's journal,
+  // already recovered. Confined to the shard like the rest of the core.
+  std::unique_ptr<wal::BrokerJournal> journal;
+  // Non-OK when the journal failed to open/recover (the shard then runs
+  // without durability; harnesses should treat this as fatal).
+  common::Status durable_recovery_status;
 };
 
 class ShardPool {
@@ -105,6 +121,11 @@ class ShardPool {
   std::size_t shard_count() const { return cores_.size(); }
   const RuntimeOptions& options() const { return options_; }
   common::MetricsRegistry& metrics() { return *metrics_; }
+
+  // Durable mode health: the first recovery failure or sticky journal write
+  // failure across all shards (Ok in non-durable mode). Call while stopped,
+  // quiesced, or inside a fence.
+  common::Status durable_status() const;
 
   // Non-blocking enqueue; false when the shard is saturated (counted as
   // runtime.post_rejected) or the pool is stopped.

@@ -106,6 +106,19 @@ common::Result<common::Version> MvccStore::Commit(Transaction txn) {
   return version;
 }
 
+void MvccStore::RestoreCommit(const CommitRecord& record) {
+  for (const common::ChangeEvent& change : record.changes) {
+    std::vector<Cell>& history = cells_[change.key];
+    if (change.mutation.kind == common::MutationKind::kPut) {
+      history.push_back(Cell{record.version, change.mutation.value});
+    } else {
+      history.push_back(Cell{record.version, std::nullopt});
+    }
+  }
+  oracle_.AdvanceTo(record.version);
+  ++committed_txns_;
+}
+
 void MvccStore::AdvanceGcWatermark(common::Version version) {
   if (version <= gc_watermark_) {
     return;

@@ -137,6 +137,13 @@ class MvccStore {
     observers_.push_back(std::move(observer));
   }
 
+  // -- Recovery (see wal::StoreJournal) ----------------------------------------
+
+  // Re-applies a journaled commit record at its original version without
+  // notifying observers (downstreams recover from their own journals). The
+  // oracle fast-forwards so future commits allocate past replayed history.
+  void RestoreCommit(const CommitRecord& record);
+
   // -- Introspection -----------------------------------------------------------
 
   std::size_t KeyCount() const { return cells_.size(); }

@@ -16,6 +16,14 @@ class TimestampOracle {
   // The most recently allocated version (kNoVersion if none).
   common::Version last() const { return last_; }
 
+  // Recovery-only: fast-forwards the oracle so versions replayed from a
+  // journal are never re-issued. Never moves backwards.
+  void AdvanceTo(common::Version version) {
+    if (version > last_) {
+      last_ = version;
+    }
+  }
+
  private:
   common::Version last_ = common::kNoVersion;
 };

@@ -1,0 +1,206 @@
+#include "wal/broker_journal.h"
+
+#include "wal/record_codec.h"
+
+namespace wal {
+
+namespace {
+
+enum MetaRecordType : std::uint8_t {
+  kTopic = 1,
+  kCommit = 2,
+  kSeek = 3,
+};
+
+common::Status BadRecord(const char* what) {
+  return common::Status::Internal(std::string("malformed broker journal record: ") + what);
+}
+
+}  // namespace
+
+BrokerJournal::BrokerJournal(Vfs* vfs, std::string dir, BrokerJournalOptions options,
+                             common::MetricsRegistry* metrics, pubsub::Broker* broker)
+    : vfs_(vfs), dir_(std::move(dir)), options_(options), metrics_(metrics), broker_(broker) {}
+
+BrokerJournal::~BrokerJournal() {
+  if (observing_) {
+    broker_->RemoveObserver(this);
+  }
+  // Partition journals detach their own callbacks.
+}
+
+common::Result<std::unique_ptr<BrokerJournal>> BrokerJournal::Open(
+    Vfs* vfs, std::string dir, BrokerJournalOptions options, common::MetricsRegistry* metrics,
+    pubsub::Broker* broker) {
+  std::unique_ptr<BrokerJournal> journal(
+      new BrokerJournal(vfs, std::move(dir), options, metrics, broker));
+  auto meta = Log::Open(
+      vfs, journal->dir_ + "/meta", options.meta_log, metrics,
+      [&journal](std::uint64_t, std::string_view payload) {
+        return journal->ReplayMeta(payload);
+      },
+      &journal->meta_recovery_stats_);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  journal->meta_ = std::move(meta.value());
+  broker->AddObserver(journal.get());
+  journal->observing_ = true;
+  return journal;
+}
+
+std::string BrokerJournal::PartitionDir(const std::string& topic,
+                                        pubsub::PartitionId partition) const {
+  return dir_ + "/t-" + topic + "/p-" + std::to_string(partition);
+}
+
+common::Status BrokerJournal::OpenPartitionJournals(const std::string& topic,
+                                                    pubsub::PartitionId partitions) {
+  for (pubsub::PartitionId p = 0; p < partitions; ++p) {
+    pubsub::PartitionLog* log = broker_->MutableLog(topic, p);
+    if (log == nullptr) {
+      return common::Status::Internal("no partition log for " + topic + "/" + std::to_string(p));
+    }
+    auto opened =
+        PartitionJournal::Open(vfs_, PartitionDir(topic, p), options_.partition, metrics_, log);
+    if (!opened.ok()) {
+      return opened.status();
+    }
+    partitions_.emplace(std::make_pair(topic, p), std::move(opened.value()));
+  }
+  return common::Status::Ok();
+}
+
+common::Status BrokerJournal::ReplayMeta(std::string_view payload) {
+  RecordReader reader(payload);
+  std::uint8_t tag = 0;
+  if (!reader.ReadU8(&tag)) {
+    return BadRecord("empty payload");
+  }
+  switch (tag) {
+    case kTopic: {
+      std::string topic;
+      pubsub::TopicConfig config;
+      std::uint32_t partitions = 0;
+      std::uint8_t compacted = 0;
+      if (!reader.ReadBytes(&topic) || !reader.ReadU32(&partitions) ||
+          !reader.ReadI64(&config.retention.retention) ||
+          !reader.ReadU64(&config.retention.max_messages) || !reader.ReadU8(&compacted) ||
+          !reader.ReadI64(&config.retention.compaction_window) || !reader.Done()) {
+        return BadRecord("topic");
+      }
+      config.partitions = partitions;
+      config.retention.compacted = compacted != 0;
+      RETURN_IF_ERROR(broker_->CreateTopic(topic, config));
+      // Replaying the partition journals here — before any later kCommit
+      // record for this topic — means committed offsets always clamp against
+      // fully recovered logs.
+      return OpenPartitionJournals(topic, config.partitions);
+    }
+    case kCommit:
+    case kSeek: {
+      std::string group;
+      std::string topic;
+      std::uint32_t partition = 0;
+      std::uint64_t offset = 0;
+      if (!reader.ReadBytes(&group) || !reader.ReadBytes(&topic) || !reader.ReadU32(&partition) ||
+          !reader.ReadU64(&offset) || !reader.Done()) {
+        return BadRecord(tag == kCommit ? "commit" : "seek");
+      }
+      broker_->RestoreGroupState(group, topic, partition, offset);
+      return common::Status::Ok();
+    }
+    default:
+      return BadRecord("unknown tag");
+  }
+}
+
+common::Status BrokerJournal::CreateTopic(const std::string& topic, pubsub::TopicConfig config) {
+  if (broker_->HasTopic(topic)) {
+    // Check before journaling: a duplicate kTopic record would make every
+    // future replay fail on the broker's AlreadyExists.
+    return common::Status::AlreadyExists(topic);
+  }
+  std::string record;
+  PutU8(&record, kTopic);
+  PutBytes(&record, topic);
+  PutU32(&record, config.partitions);
+  PutI64(&record, config.retention.retention);
+  PutU64(&record, config.retention.max_messages);
+  PutU8(&record, config.retention.compacted ? 1 : 0);
+  PutI64(&record, config.retention.compaction_window);
+  auto appended = meta_->Append(record);
+  if (!appended.ok()) {
+    return appended.status();
+  }
+  RETURN_IF_ERROR(broker_->CreateTopic(topic, config));
+  return OpenPartitionJournals(topic, config.partitions);
+}
+
+void BrokerJournal::NoteFailure(const common::Status& status) {
+  if (status_.ok()) {
+    status_ = status;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("wal.journal.append_errors").Increment();
+  }
+}
+
+void BrokerJournal::JournalOffsetRecord(std::uint8_t tag, const pubsub::GroupId& group,
+                                        pubsub::PartitionId partition, pubsub::Offset offset) {
+  // ViewGroup is a const read; the observer contract only forbids re-entering
+  // the broker's write path.
+  const std::string topic = broker_->ViewGroup(group).topic;
+  std::string record;
+  PutU8(&record, tag);
+  PutBytes(&record, group);
+  PutBytes(&record, topic);
+  PutU32(&record, partition);
+  PutU64(&record, offset);
+  auto appended = meta_->Append(record);
+  if (!appended.ok()) {
+    NoteFailure(appended.status());
+  }
+}
+
+void BrokerJournal::OnRebalance(const pubsub::GroupId&, std::uint64_t,
+                                const std::vector<pubsub::MemberId>&,
+                                const std::map<pubsub::PartitionId, pubsub::MemberId>&) {
+  // Membership and assignments are soft state; nothing to journal.
+}
+
+void BrokerJournal::OnSeek(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                           pubsub::Offset offset) {
+  JournalOffsetRecord(kSeek, group, partition, offset);
+}
+
+void BrokerJournal::OnCommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                                   pubsub::Offset offset) {
+  JournalOffsetRecord(kCommit, group, partition, offset);
+}
+
+common::Status BrokerJournal::status() const {
+  if (!status_.ok()) {
+    return status_;
+  }
+  for (const auto& [key, journal] : partitions_) {
+    if (!journal->status().ok()) {
+      return journal->status();
+    }
+  }
+  return common::Status::Ok();
+}
+
+RecoveryStats BrokerJournal::recovery_stats() const {
+  RecoveryStats total = meta_recovery_stats_;
+  for (const auto& [key, journal] : partitions_) {
+    const RecoveryStats& s = journal->recovery_stats();
+    total.segments_scanned += s.segments_scanned;
+    total.records_replayed += s.records_replayed;
+    total.torn_tail_bytes += s.torn_tail_bytes;
+    total.torn_tail_frames += s.torn_tail_frames;
+  }
+  return total;
+}
+
+}  // namespace wal

@@ -1,0 +1,108 @@
+// BrokerJournal: WAL-backed durability for a whole pubsub::Broker.
+//
+// Layout under `dir`:
+//   meta/              one wal::Log of broker-level records:
+//                        kTopic  — topic name + TopicConfig
+//                        kCommit — group, topic, partition, committed offset
+//                        kSeek   — group, topic, partition, offset (rewinds)
+//   t-<topic>/p-<N>/   one PartitionJournal per partition
+//
+// Recovery replays the meta log in order: a kTopic record recreates the
+// topic and opens (and replays) its partition journals, so by the time any
+// kCommit/kSeek record for that topic replays, the partition logs hold their
+// final recovered end offsets and Broker::RestoreGroupState can clamp
+// against them. Group membership, generations, and assignments are
+// deliberately NOT journaled — like Kafka, members are soft state that
+// re-joins after a restart; only the topic binding and committed offsets
+// survive.
+//
+// Route topic creation through CreateTopic() (runtime::ConcurrentBroker does
+// this in durable mode) so the topic record is durable before the topic
+// accepts publishes. Commits and seeks are captured automatically via
+// BrokerObserver.
+#ifndef SRC_WAL_BROKER_JOURNAL_H_
+#define SRC_WAL_BROKER_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "pubsub/broker.h"
+#include "wal/partition_journal.h"
+
+namespace wal {
+
+struct BrokerJournalOptions {
+  PartitionJournalOptions partition;
+  LogOptions meta_log;
+};
+
+class BrokerJournal : public pubsub::BrokerObserver {
+ public:
+  // Opens the journal at `dir` and replays it into `broker` (which must be
+  // freshly constructed: no topics, no groups). On return the journal is
+  // attached as a broker observer and every partition log has its journal
+  // callbacks installed.
+  static common::Result<std::unique_ptr<BrokerJournal>> Open(Vfs* vfs, std::string dir,
+                                                             BrokerJournalOptions options,
+                                                             common::MetricsRegistry* metrics,
+                                                             pubsub::Broker* broker);
+
+  ~BrokerJournal() override;
+
+  BrokerJournal(const BrokerJournal&) = delete;
+  BrokerJournal& operator=(const BrokerJournal&) = delete;
+
+  // Journals the topic (durably) and then creates it on the broker, wiring a
+  // PartitionJournal to every partition.
+  common::Status CreateTopic(const std::string& topic, pubsub::TopicConfig config);
+
+  // First sticky failure across the meta log and every partition journal.
+  common::Status status() const;
+
+  // Aggregated recovery accounting (meta log + partition journals).
+  RecoveryStats recovery_stats() const;
+
+  // -- BrokerObserver ----------------------------------------------------------
+
+  void OnRebalance(const pubsub::GroupId& group, std::uint64_t generation,
+                   const std::vector<pubsub::MemberId>& members,
+                   const std::map<pubsub::PartitionId, pubsub::MemberId>& assignment) override;
+  void OnSeek(const pubsub::GroupId& group, pubsub::PartitionId partition,
+              pubsub::Offset offset) override;
+  void OnCommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                      pubsub::Offset offset) override;
+
+ private:
+  BrokerJournal(Vfs* vfs, std::string dir, BrokerJournalOptions options,
+                common::MetricsRegistry* metrics, pubsub::Broker* broker);
+
+  common::Status ReplayMeta(std::string_view payload);
+  common::Status OpenPartitionJournals(const std::string& topic, pubsub::PartitionId partitions);
+  std::string PartitionDir(const std::string& topic, pubsub::PartitionId partition) const;
+  void JournalOffsetRecord(std::uint8_t tag, const pubsub::GroupId& group,
+                           pubsub::PartitionId partition, pubsub::Offset offset);
+  void NoteFailure(const common::Status& status);
+
+  Vfs* vfs_;
+  std::string dir_;
+  BrokerJournalOptions options_;
+  common::MetricsRegistry* metrics_;
+  pubsub::Broker* broker_;
+  std::unique_ptr<Log> meta_;
+  RecoveryStats meta_recovery_stats_;
+  // (topic, partition) -> journal.
+  std::map<std::pair<std::string, pubsub::PartitionId>, std::unique_ptr<PartitionJournal>>
+      partitions_;
+  common::Status status_;
+  bool observing_ = false;
+};
+
+}  // namespace wal
+
+#endif  // SRC_WAL_BROKER_JOURNAL_H_

@@ -1,0 +1,55 @@
+// CRC32C (Castagnoli) for WAL frame integrity. Table-driven software
+// implementation, deterministic across platforms. Stored CRCs are masked
+// (LevelDB-style) so a CRC computed over bytes that themselves contain CRCs
+// does not degenerate.
+#ifndef SRC_WAL_CRC32C_H_
+#define SRC_WAL_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wal {
+
+namespace internal {
+
+constexpr std::array<std::uint32_t, 256> BuildCrc32cTable() {
+  // Reflected Castagnoli polynomial.
+  constexpr std::uint32_t kPoly = 0x82f63b78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = BuildCrc32cTable();
+
+}  // namespace internal
+
+inline std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (char c : data) {
+    crc = internal::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// Rotate-and-offset mask applied to CRCs before storing them in frames.
+inline std::uint32_t MaskCrc(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline std::uint32_t UnmaskCrc(std::uint32_t masked) {
+  const std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace wal
+
+#endif  // SRC_WAL_CRC32C_H_

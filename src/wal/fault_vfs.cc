@@ -1,0 +1,245 @@
+#include "wal/fault_vfs.h"
+
+#include <algorithm>
+
+namespace wal {
+
+namespace {
+
+common::Status CrashedStatus() {
+  return common::Status::Unavailable("fault vfs is crashed; Restart() to recover");
+}
+
+}  // namespace
+
+// Handles hold a shared_ptr to the node so Remove cannot dangle them; every
+// operation re-enters the owning Vfs for fault scheduling and crash checks.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultVfs* vfs, std::shared_ptr<FaultVfs::Node> node)
+      : vfs_(vfs), node_(std::move(node)) {}
+
+  common::Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (vfs_->crashed_) {
+      return CrashedStatus();
+    }
+    const std::uint64_t index = vfs_->append_calls_++;
+    if (vfs_->options_.crash_at_append >= 0 &&
+        index == static_cast<std::uint64_t>(vfs_->options_.crash_at_append)) {
+      // Torn write: a seeded byte prefix of the data reaches the cache, then
+      // the process dies mid-call.
+      const std::uint64_t keep = vfs_->rng_.Below(data.size() + 1);
+      node_->data.append(data.substr(0, static_cast<std::size_t>(keep)));
+      vfs_->crashed_ = true;
+      return common::Status::Unavailable("injected crash at append #" + std::to_string(index));
+    }
+    node_->data.append(data);
+    return common::Status::Ok();
+  }
+
+  common::Status Sync() override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (vfs_->crashed_) {
+      return CrashedStatus();
+    }
+    if (vfs_->options_.fail_sync_prob > 0.0 &&
+        vfs_->rng_.Bernoulli(vfs_->options_.fail_sync_prob)) {
+      ++vfs_->failed_syncs_;
+      return common::Status::Unavailable("injected fsync failure");
+    }
+    node_->synced = node_->data.size();
+    return common::Status::Ok();
+  }
+
+  common::Status Close() override { return common::Status::Ok(); }
+
+ private:
+  FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::Node> node_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(const FaultVfs* vfs, std::shared_ptr<FaultVfs::Node> node)
+      : vfs_(vfs), node_(std::move(node)) {}
+
+  common::Result<std::size_t> Read(std::uint64_t offset, std::size_t n,
+                                   char* scratch) const override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (offset >= node_->data.size() || n == 0) {
+      return static_cast<std::size_t>(0);
+    }
+    std::size_t avail = std::min(n, node_->data.size() - static_cast<std::size_t>(offset));
+    if (avail > 1 && vfs_->options_.short_read_prob > 0.0 &&
+        vfs_->rng_.Bernoulli(vfs_->options_.short_read_prob)) {
+      // Short read: strictly fewer bytes than available, but never zero
+      // (zero means EOF to callers).
+      avail = 1 + static_cast<std::size_t>(vfs_->rng_.Below(avail - 1));
+    }
+    node_->data.copy(scratch, avail, static_cast<std::size_t>(offset));
+    return avail;
+  }
+
+  common::Result<std::uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    return static_cast<std::uint64_t>(node_->data.size());
+  }
+
+ private:
+  const FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::Node> node_;
+};
+
+FaultVfs::FaultVfs(FaultOptions options) : options_(options), rng_(options.seed) {}
+
+std::shared_ptr<FaultVfs::Node> FaultVfs::FindNode(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+common::Result<std::unique_ptr<WritableFile>> FaultVfs::OpenAppend(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  auto node = FindNode(path);
+  if (node == nullptr) {
+    node = std::make_shared<Node>();
+    files_[path] = node;
+  }
+  return std::unique_ptr<WritableFile>(new FaultWritableFile(this, std::move(node)));
+}
+
+common::Result<std::unique_ptr<RandomAccessFile>> FaultVfs::OpenRead(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  auto node = FindNode(path);
+  if (node == nullptr) {
+    return common::Status::NotFound(path);
+  }
+  return std::unique_ptr<RandomAccessFile>(new FaultRandomAccessFile(this, std::move(node)));
+}
+
+common::Status FaultVfs::CreateDirs(const std::string&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Directories are implicit in the flat path map.
+  return crashed_ ? CrashedStatus() : common::Status::Ok();
+}
+
+common::Result<std::vector<std::string>> FaultVfs::ListDir(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  const std::string prefix = path.empty() || path.back() == '/' ? path : path + "/";
+  std::vector<std::string> names;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {  // Direct children only.
+      names.push_back(rest);
+    }
+  }
+  return names;  // Map iteration is already sorted.
+}
+
+common::Status FaultVfs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  return files_.erase(path) > 0 ? common::Status::Ok() : common::Status::NotFound(path);
+}
+
+common::Status FaultVfs::Truncate(const std::string& path, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  auto node = FindNode(path);
+  if (node == nullptr) {
+    return common::Status::NotFound(path);
+  }
+  if (size < node->data.size()) {
+    node->data.resize(static_cast<std::size_t>(size));
+    node->synced = std::min(node->synced, node->data.size());
+  }
+  return common::Status::Ok();
+}
+
+bool FaultVfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+void FaultVfs::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+void FaultVfs::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.lose_unsynced_on_crash && crashed_) {
+    for (auto& [path, node] : files_) {
+      // The kernel flushed a seeded amount of the un-synced tail. (Corruption
+      // through MutableContents may have shrunk the file below its synced
+      // size; clamp first.)
+      node->synced = std::min(node->synced, node->data.size());
+      const std::size_t tail = node->data.size() - node->synced;
+      const std::size_t kept =
+          node->synced + static_cast<std::size_t>(rng_.Below(static_cast<std::uint64_t>(tail) + 1));
+      node->data.resize(kept);
+    }
+  }
+  // Whatever survived the crash is on stable storage now.
+  for (auto& [path, node] : files_) {
+    node->synced = node->data.size();
+  }
+  crashed_ = false;
+}
+
+bool FaultVfs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::uint64_t FaultVfs::append_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_calls_;
+}
+
+std::uint64_t FaultVfs::failed_syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_syncs_;
+}
+
+std::string* FaultVfs::MutableContents(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = FindNode(path);
+  return node == nullptr ? nullptr : &node->data;
+}
+
+std::uint64_t FaultVfs::SyncedSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = FindNode(path);
+  // Shrinking the file through MutableContents clamps the durable prefix.
+  return node == nullptr ? 0 : std::min(node->synced, node->data.size());
+}
+
+std::vector<std::string> FaultVfs::Paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, node] : files_) {
+    out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace wal

@@ -1,0 +1,113 @@
+// FaultVfs: a deterministic in-memory Vfs with seeded fault injection — the
+// crash-recovery harness's filesystem. It models the two-tier durability of a
+// real OS: appended bytes land in the "page cache" (visible to reads), Sync
+// promotes them to the durable prefix, and a crash may tear the in-flight
+// write and (optionally) drop everything above the durable prefix.
+//
+// Faults, all driven by one seeded Rng so a (seed, schedule) pair replays
+// byte-identically:
+//  * crash_at_append = N — the Nth Append call (0-based, counted across all
+//    files) persists only a seeded prefix of its data (a torn write), then
+//    the Vfs enters the crashed state: every subsequent append, sync, and
+//    open fails with kUnavailable until Restart();
+//  * fail_sync_prob — each Sync independently fails (durable prefix
+//    unchanged), modeling fsync returning EIO;
+//  * short_read_prob — each Read returns fewer bytes than requested,
+//    exercising callers' read loops;
+//  * lose_unsynced_on_crash — on Restart after a crash, each file keeps its
+//    durable prefix plus a seeded portion of the un-synced tail (the kernel
+//    may or may not have flushed it).
+//
+// Test hooks expose raw file bytes for the corruption matrix (bit flips,
+// mid-frame truncation, duplicated tail frames).
+//
+// Thread safety: all operations take one internal mutex, so a FaultVfs may
+// back every shard of a durable-mode ShardPool. Fault schedules are only
+// deterministic when calls arrive in a deterministic order (single-threaded
+// harnesses; the crash sweeps).
+#ifndef SRC_WAL_FAULT_VFS_H_
+#define SRC_WAL_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "wal/vfs.h"
+
+namespace wal {
+
+struct FaultOptions {
+  std::uint64_t seed = 1;
+  // Append call index (0-based, across all files) at which to inject a torn
+  // write and crash. -1 disables.
+  std::int64_t crash_at_append = -1;
+  double fail_sync_prob = 0.0;
+  double short_read_prob = 0.0;
+  bool lose_unsynced_on_crash = false;
+};
+
+class FaultVfs : public Vfs {
+ public:
+  explicit FaultVfs(FaultOptions options = {});
+
+  // -- Vfs ---------------------------------------------------------------------
+
+  common::Result<std::unique_ptr<WritableFile>> OpenAppend(const std::string& path) override;
+  common::Result<std::unique_ptr<RandomAccessFile>> OpenRead(
+      const std::string& path) const override;
+  common::Status CreateDirs(const std::string& path) override;
+  common::Result<std::vector<std::string>> ListDir(const std::string& path) const override;
+  common::Status Remove(const std::string& path) override;
+  common::Status Truncate(const std::string& path, std::uint64_t size) override;
+  bool Exists(const std::string& path) const override;
+
+  // -- Crash control ------------------------------------------------------------
+
+  // Immediate crash with no torn write (a power cut between writes).
+  void Crash();
+  // Leaves the crashed state and applies the durability model: with
+  // lose_unsynced_on_crash, each file is cut back to its durable prefix plus
+  // a seeded slice of the un-synced tail. Whatever survives is then durable.
+  void Restart();
+  bool crashed() const;
+
+  // -- Accounting / test hooks ---------------------------------------------------
+
+  // Total Append calls observed (the crash sweep's schedule domain).
+  std::uint64_t append_calls() const;
+  std::uint64_t failed_syncs() const;
+
+  // Raw bytes of `path` for corruption injection; nullptr if absent. The
+  // pointer is invalidated by Remove. Mutating through it models on-disk
+  // corruption (the durable prefix is clamped to the new size).
+  std::string* MutableContents(const std::string& path);
+  std::uint64_t SyncedSize(const std::string& path) const;
+  std::vector<std::string> Paths() const;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  struct Node {
+    std::string data;
+    std::size_t synced = 0;
+  };
+
+  std::shared_ptr<Node> FindNode(const std::string& path) const;
+
+  FaultOptions options_;
+  mutable std::mutex mu_;
+  mutable common::Rng rng_;
+  std::map<std::string, std::shared_ptr<Node>> files_;
+  bool crashed_ = false;
+  std::uint64_t append_calls_ = 0;
+  std::uint64_t failed_syncs_ = 0;
+};
+
+}  // namespace wal
+
+#endif  // SRC_WAL_FAULT_VFS_H_

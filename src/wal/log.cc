@@ -1,0 +1,257 @@
+#include "wal/log.h"
+
+#include <cstdio>
+
+#include "wal/crc32c.h"
+#include "wal/record_codec.h"
+
+namespace wal {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 16;  // crc(4) + len(4) + index(8).
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".wal";
+
+std::string SegmentName(std::uint64_t first_index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg-%020llu.wal",
+                static_cast<unsigned long long>(first_index));
+  return buf;
+}
+
+// Parses "seg-<20 digits>.wal"; false for anything else.
+bool ParseSegmentName(const std::string& name, std::uint64_t* first_index) {
+  const std::size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const std::size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() != prefix + 20 + suffix || name.compare(0, prefix, kSegmentPrefix) != 0 ||
+      name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix; i < prefix + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  *first_index = value;
+  return true;
+}
+
+std::uint32_t FrameCrc(std::string_view index_and_payload) { return Crc32c(index_and_payload); }
+
+}  // namespace
+
+Log::Log(Vfs* vfs, std::string dir, LogOptions options, common::MetricsRegistry* metrics)
+    : vfs_(vfs), dir_(std::move(dir)), options_(options), metrics_(metrics) {}
+
+void Log::Count(const std::string& name, std::int64_t delta) {
+  if (metrics_ != nullptr) {
+    metrics_->counter(name).Increment(delta);
+  }
+}
+
+std::string Log::SegmentPath(std::uint64_t first_index) const {
+  return dir_ + "/" + SegmentName(first_index);
+}
+
+common::Result<std::unique_ptr<Log>> Log::Open(Vfs* vfs, std::string dir, LogOptions options,
+                                               common::MetricsRegistry* metrics,
+                                               const ReplayFn& replay, RecoveryStats* stats) {
+  RETURN_IF_ERROR(vfs->CreateDirs(dir));
+  auto names = vfs->ListDir(dir);
+  if (!names.ok()) {
+    return names.status();
+  }
+
+  std::unique_ptr<Log> log(new Log(vfs, std::move(dir), options, metrics));
+  RecoveryStats local_stats;
+
+  std::vector<std::uint64_t> firsts;
+  for (const auto& name : names.value()) {
+    std::uint64_t first_index = 0;
+    if (!ParseSegmentName(name, &first_index)) {
+      log->Count("wal.recovery.rejected_segments", 1);
+      return common::Status::Internal("unexpected file in wal dir: " + name);
+    }
+    firsts.push_back(first_index);  // ListDir sorts; zero-padding keeps numeric order.
+  }
+
+  std::uint64_t expected = firsts.empty() ? 0 : firsts.front();
+  for (std::size_t seg_no = 0; seg_no < firsts.size(); ++seg_no) {
+    const bool sealed = seg_no + 1 < firsts.size();
+    const std::string path = log->SegmentPath(firsts[seg_no]);
+    if (firsts[seg_no] != expected) {
+      // A whole segment's worth of records is missing or misnamed.
+      log->Count("wal.recovery.rejected_segments", 1);
+      return common::Status::Internal("wal segment " + path + " starts at index " +
+                                      std::to_string(firsts[seg_no]) + ", expected " +
+                                      std::to_string(expected));
+    }
+    auto contents = ReadFileToString(*vfs, path);
+    if (!contents.ok()) {
+      return contents.status();
+    }
+    const std::string& data = contents.value();
+    ++local_stats.segments_scanned;
+
+    Segment seg;
+    seg.first_index = firsts[seg_no];
+    std::size_t pos = 0;
+    bool truncated = false;
+    std::string reject;
+    while (pos < data.size()) {
+      std::string_view frame_error;
+      std::uint64_t index = 0;
+      std::size_t frame_bytes = 0;
+      if (data.size() - pos < kFrameHeaderBytes) {
+        frame_error = "truncated frame header";
+      } else {
+        const std::uint32_t stored_crc = UnmaskCrc(DecodeU32(data.data() + pos));
+        const std::uint32_t len = DecodeU32(data.data() + pos + 4);
+        index = DecodeU64(data.data() + pos + 8);
+        if (data.size() - pos - kFrameHeaderBytes < len) {
+          frame_error = "truncated frame payload";
+        } else if (FrameCrc(std::string_view(data.data() + pos + 8, 8 + len)) != stored_crc) {
+          frame_error = "crc mismatch";
+        } else {
+          frame_bytes = kFrameHeaderBytes + len;
+        }
+      }
+
+      if (frame_error.empty() && index > expected) {
+        // An interior record is missing. Skipping it would silently lose
+        // data, so this is always fatal — even in the active segment.
+        log->Count("wal.recovery.rejected_segments", 1);
+        return common::Status::Internal("wal gap in " + path + ": found index " +
+                                        std::to_string(index) + ", expected " +
+                                        std::to_string(expected));
+      }
+
+      if (!frame_error.empty() || index < expected) {
+        const std::string what =
+            !frame_error.empty() ? std::string(frame_error)
+                                 : "duplicate frame (index " + std::to_string(index) + ")";
+        if (sealed) {
+          // Sealed segments were fully synced before any later write, so
+          // this cannot be a crash artifact; reject loudly.
+          log->Count("wal.recovery.rejected_segments", 1);
+          return common::Status::Internal("corrupt sealed wal segment " + path + " at byte " +
+                                          std::to_string(pos) + ": " + what);
+        }
+        // Active segment: a torn or retried final write. Truncate the tail
+        // at the last valid frame; nothing after it is replayed.
+        local_stats.torn_tail_bytes += data.size() - pos;
+        local_stats.torn_tail_frames += 1;
+        RETURN_IF_ERROR(vfs->Truncate(path, pos));
+        truncated = true;
+        break;
+      }
+
+      const std::string_view payload(data.data() + pos + kFrameHeaderBytes,
+                                     frame_bytes - kFrameHeaderBytes);
+      RETURN_IF_ERROR(replay(index, payload));
+      ++local_stats.records_replayed;
+      ++expected;
+      pos += frame_bytes;
+    }
+    seg.end_index = expected;
+    seg.bytes = truncated ? pos : data.size();
+    log->segments_.push_back(seg);
+  }
+
+  log->next_index_ = expected;
+  if (log->segments_.empty()) {
+    log->segments_.push_back(Segment{log->next_index_, log->next_index_, 0});
+  }
+  RETURN_IF_ERROR(log->OpenActiveForAppend());
+
+  if (metrics != nullptr) {
+    metrics->counter("wal.recovery.torn_tail_bytes")
+        .Increment(static_cast<std::int64_t>(local_stats.torn_tail_bytes));
+    metrics->counter("wal.recovery.torn_tail_frames")
+        .Increment(static_cast<std::int64_t>(local_stats.torn_tail_frames));
+    metrics->counter("wal.recovery.records_replayed")
+        .Increment(static_cast<std::int64_t>(local_stats.records_replayed));
+  }
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return log;
+}
+
+common::Status Log::OpenActiveForAppend() {
+  auto file = vfs_->OpenAppend(SegmentPath(segments_.back().first_index));
+  if (!file.ok()) {
+    return file.status();
+  }
+  active_file_ = std::move(file.value());
+  return common::Status::Ok();
+}
+
+common::Status Log::RotateIfNeeded() {
+  if (segments_.back().bytes < options_.segment_bytes) {
+    return common::Status::Ok();
+  }
+  // Seal: sync then close, so sealed segments are fully durable before any
+  // later write. Recovery relies on this to treat sealed anomalies as
+  // corruption rather than crash artifacts.
+  RETURN_IF_ERROR(active_file_->Sync());
+  RETURN_IF_ERROR(active_file_->Close());
+  segments_.push_back(Segment{next_index_, next_index_, 0});
+  return OpenActiveForAppend();
+}
+
+common::Result<std::uint64_t> Log::Append(std::string_view payload) {
+  RETURN_IF_ERROR(RotateIfNeeded());
+  const std::uint64_t index = next_index_;
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  std::string index_bytes;
+  PutU64(&index_bytes, index);
+  std::uint32_t crc = Crc32c(index_bytes);
+  crc = Crc32c(payload, crc);
+  PutU32(&frame, MaskCrc(crc));
+  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  frame += index_bytes;
+  frame.append(payload);
+
+  RETURN_IF_ERROR(active_file_->Append(frame));
+  segments_.back().bytes += frame.size();
+  segments_.back().end_index = index + 1;
+  next_index_ = index + 1;
+  if (options_.sync_every_append) {
+    RETURN_IF_ERROR(active_file_->Sync());
+  }
+  Count("wal.appends", 1);
+  return index;
+}
+
+common::Status Log::Sync() { return active_file_->Sync(); }
+
+common::Result<std::uint64_t> Log::DropSealedSegmentsBefore(std::uint64_t index) {
+  std::uint64_t dropped = 0;
+  while (segments_.size() > 1 && segments_.front().end_index <= index) {
+    RETURN_IF_ERROR(vfs_->Remove(SegmentPath(segments_.front().first_index)));
+    segments_.erase(segments_.begin());
+    ++dropped;
+  }
+  Count("wal.gc.segments_dropped", static_cast<std::int64_t>(dropped));
+  return dropped;
+}
+
+std::uint64_t Log::active_segment_first_index() const { return segments_.back().first_index; }
+
+std::vector<SegmentInfo> Log::Segments() const {
+  std::vector<SegmentInfo> out;
+  out.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    out.push_back(SegmentInfo{segments_[i].first_index, segments_[i].end_index,
+                              segments_[i].bytes, i + 1 < segments_.size()});
+  }
+  return out;
+}
+
+}  // namespace wal

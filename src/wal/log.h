@@ -1,0 +1,136 @@
+// wal::Log — a durable segmented write-ahead log of opaque records over a
+// pluggable Vfs.
+//
+// Frame format (all integers little-endian):
+//
+//   [u32 masked_crc32c][u32 payload_len][u64 record_index][payload bytes]
+//
+// The CRC covers the record_index bytes plus the payload and is stored
+// masked (crc32c.h) so frames whose payloads embed CRCs stay robust. The
+// record_index is the global, gapless sequence number of the record; it is
+// what lets recovery distinguish a duplicated tail frame (index < expected,
+// a retried write) from an interior gap (index > expected, lost data).
+//
+// Segment lifecycle: records append to the highest-numbered segment file,
+// `seg-<first_index %020llu>.wal`. When the active segment reaches
+// `segment_bytes` it is synced and sealed, and the next append opens a new
+// segment named by its first record index. Sealed segments are immutable and
+// fully durable (the seal sync ran before any later append), so GC can drop
+// a prefix of them wholesale via DropSealedSegmentsBefore once their records
+// are superseded by a durable snapshot record — the caller's responsibility.
+//
+// Recovery (Open) replays every segment in index order and enforces:
+//  * filename / first-record-index agreement and cross-segment continuity;
+//  * sealed segments must be perfect — any bad CRC, truncated frame,
+//    duplicate, or gap is corruption and Open fails loudly (kInternal),
+//    counting `wal.recovery.rejected_segments`;
+//  * the active (last) segment may end in garbage — a torn final write. The
+//    tail is truncated at the first invalid frame and counted
+//    (`wal.recovery.torn_tail_bytes` / `torn_tail_frames`). A frame whose
+//    index is below the expected one truncates the tail the same way (a
+//    replayed retry); an index above the expected one is a gap and fails
+//    loudly even in the active segment;
+//  * recovery never skips an interior frame: nothing after the first invalid
+//    frame of the active segment is replayed, and sealed segments reject.
+#ifndef SRC_WAL_LOG_H_
+#define SRC_WAL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "wal/vfs.h"
+
+namespace wal {
+
+struct LogOptions {
+  // Rotation threshold: the active segment seals once its size reaches this.
+  std::uint64_t segment_bytes = 64 * 1024;
+  // Sync after every append. The crash sweeps rely on this: an acked append
+  // is durable, so recovered state can be compared against acked state.
+  bool sync_every_append = true;
+};
+
+struct SegmentInfo {
+  std::uint64_t first_index = 0;  // Index of the segment's first record.
+  std::uint64_t end_index = 0;    // One past the last record in the segment.
+  std::uint64_t bytes = 0;
+  bool sealed = false;
+};
+
+struct RecoveryStats {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t torn_tail_bytes = 0;   // Active-segment bytes truncated.
+  std::uint64_t torn_tail_frames = 0;  // Invalid/duplicate frames dropped with them.
+};
+
+class Log {
+ public:
+  // Called once per recovered record, in index order. A non-OK return aborts
+  // recovery and fails Open.
+  using ReplayFn = std::function<common::Status(std::uint64_t index, std::string_view payload)>;
+
+  // Opens (creating `dir` if needed) and replays existing segments through
+  // `replay`. `metrics` may be nullptr. `stats` (optional) receives recovery
+  // accounting.
+  static common::Result<std::unique_ptr<Log>> Open(Vfs* vfs, std::string dir, LogOptions options,
+                                                   common::MetricsRegistry* metrics,
+                                                   const ReplayFn& replay,
+                                                   RecoveryStats* stats = nullptr);
+
+  // Appends one record; returns its index. With sync_every_append the record
+  // is durable on return.
+  common::Result<std::uint64_t> Append(std::string_view payload);
+
+  // Durability barrier for all previously appended records.
+  common::Status Sync();
+
+  // Drops the prefix of sealed segments whose records all have index <
+  // `index`. Never touches the active segment. The caller must have made a
+  // superseding snapshot record durable first. Returns the number of
+  // segments removed.
+  common::Result<std::uint64_t> DropSealedSegmentsBefore(std::uint64_t index);
+
+  // Index the next Append will assign.
+  std::uint64_t next_index() const { return next_index_; }
+  // First index of the segment the next Append lands in (the active segment,
+  // or the one rotation is about to create).
+  std::uint64_t active_segment_first_index() const;
+
+  std::vector<SegmentInfo> Segments() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Segment {
+    std::uint64_t first_index = 0;
+    std::uint64_t end_index = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Log(Vfs* vfs, std::string dir, LogOptions options, common::MetricsRegistry* metrics);
+
+  std::string SegmentPath(std::uint64_t first_index) const;
+  common::Status OpenActiveForAppend();
+  common::Status RotateIfNeeded();
+  void Count(const std::string& name, std::int64_t delta);
+
+  Vfs* vfs_;
+  std::string dir_;
+  LogOptions options_;
+  common::MetricsRegistry* metrics_;
+
+  std::vector<Segment> segments_;  // Ordered by first_index; back() is active.
+  std::unique_ptr<WritableFile> active_file_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace wal
+
+#endif  // SRC_WAL_LOG_H_

@@ -1,0 +1,179 @@
+#include "wal/posix_vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace wal {
+
+namespace {
+
+common::Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return common::Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  common::Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return common::Status::FailedPrecondition("file closed: " + path_);
+    }
+    std::size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("write", path_);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return common::Status::Ok();
+  }
+
+  common::Status Sync() override {
+    if (fd_ < 0) {
+      return common::Status::FailedPrecondition("file closed: " + path_);
+    }
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync", path_);
+    }
+    return common::Status::Ok();
+  }
+
+  common::Status Close() override {
+    if (fd_ < 0) {
+      return common::Status::Ok();
+    }
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    return rc == 0 ? common::Status::Ok() : ErrnoStatus("close", path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  common::Result<std::size_t> Read(std::uint64_t offset, std::size_t n,
+                                   char* scratch) const override {
+    const ssize_t got = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) {
+        return static_cast<std::size_t>(0);  // Transient; caller loops.
+      }
+      return ErrnoStatus("pread", path_);
+    }
+    return static_cast<std::size_t>(got);
+  }
+
+  common::Result<std::uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return ErrnoStatus("fstat", path_);
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+common::Result<std::unique_ptr<WritableFile>> PosixVfs::OpenAppend(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open(append)", path);
+  }
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+}
+
+common::Result<std::unique_ptr<RandomAccessFile>> PosixVfs::OpenRead(
+    const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? common::Status::NotFound(path) : ErrnoStatus("open(read)", path);
+  }
+  return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(fd, path));
+}
+
+common::Status PosixVfs::CreateDirs(const std::string& path) {
+  // mkdir -p: create each component; EEXIST is fine.
+  std::string partial;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty() && partial != "/") {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return ErrnoStatus("mkdir", partial);
+        }
+      }
+    }
+    if (i < path.size()) {
+      partial.push_back(path[i]);
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<std::string>> PosixVfs::ListDir(const std::string& path) const {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return ErrnoStatus("opendir", path);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    struct stat st;
+    if (::stat((path + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+common::Status PosixVfs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("unlink", path);
+  }
+  return common::Status::Ok();
+}
+
+common::Status PosixVfs::Truncate(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return common::Status::Ok();
+}
+
+bool PosixVfs::Exists(const std::string& path) const {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace wal

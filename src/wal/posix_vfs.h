@@ -1,0 +1,27 @@
+// PosixVfs: the real-file Vfs backend — open/write/fsync/pread/readdir.
+// This is what a deployment runs on; tests mostly use FaultVfs and keep one
+// PosixVfs smoke suite so the syscall path stays honest.
+#ifndef SRC_WAL_POSIX_VFS_H_
+#define SRC_WAL_POSIX_VFS_H_
+
+#include <string>
+
+#include "wal/vfs.h"
+
+namespace wal {
+
+class PosixVfs : public Vfs {
+ public:
+  common::Result<std::unique_ptr<WritableFile>> OpenAppend(const std::string& path) override;
+  common::Result<std::unique_ptr<RandomAccessFile>> OpenRead(
+      const std::string& path) const override;
+  common::Status CreateDirs(const std::string& path) override;
+  common::Result<std::vector<std::string>> ListDir(const std::string& path) const override;
+  common::Status Remove(const std::string& path) override;
+  common::Status Truncate(const std::string& path, std::uint64_t size) override;
+  bool Exists(const std::string& path) const override;
+};
+
+}  // namespace wal
+
+#endif  // SRC_WAL_POSIX_VFS_H_

@@ -1,0 +1,134 @@
+// Little-endian record encoding helpers shared by the WAL frame format and
+// the journal record payloads. Writers append to a std::string; RecordReader
+// is bounds-checked and sticky-failing, so malformed payloads (from disk
+// corruption) surface as a clean decode failure instead of UB.
+#ifndef SRC_WAL_RECORD_CODEC_H_
+#define SRC_WAL_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wal {
+
+inline void PutU8(std::string* dst, std::uint8_t v) { dst->push_back(static_cast<char>(v)); }
+
+inline void PutU32(std::string* dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+inline void PutU64(std::string* dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+inline void PutI64(std::string* dst, std::int64_t v) {
+  PutU64(dst, static_cast<std::uint64_t>(v));
+}
+
+// Length-prefixed bytes.
+inline void PutBytes(std::string* dst, std::string_view s) {
+  PutU32(dst, static_cast<std::uint32_t>(s.size()));
+  dst->append(s);
+}
+
+inline std::uint32_t DecodeU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t DecodeU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(std::uint8_t* out) {
+    if (!Need(1)) {
+      return false;
+    }
+    *out = static_cast<std::uint8_t>(static_cast<unsigned char>(data_[pos_]));
+    pos_ += 1;
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t* out) {
+    if (!Need(4)) {
+      return false;
+    }
+    *out = DecodeU32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t* out) {
+    if (!Need(8)) {
+      return false;
+    }
+    *out = DecodeU64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadI64(std::int64_t* out) {
+    std::uint64_t raw = 0;
+    if (!ReadU64(&raw)) {
+      return false;
+    }
+    *out = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool ReadBytes(std::string_view* out) {
+    std::uint32_t len = 0;
+    if (!ReadU32(&len) || !Need(len)) {
+      return false;
+    }
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool ReadBytes(std::string* out) {
+    std::string_view view;
+    if (!ReadBytes(&view)) {
+      return false;
+    }
+    out->assign(view);
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  // True when every byte decoded cleanly with none left over.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wal
+
+#endif  // SRC_WAL_RECORD_CODEC_H_

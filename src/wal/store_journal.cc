@@ -1,0 +1,103 @@
+#include "wal/store_journal.h"
+
+#include <utility>
+
+#include "wal/record_codec.h"
+
+namespace wal {
+
+namespace {
+
+constexpr std::uint8_t kCommitTag = 1;
+
+common::Status BadRecord(const char* what) {
+  return common::Status::Internal(std::string("malformed store journal record: ") + what);
+}
+
+}  // namespace
+
+StoreJournal::StoreJournal(common::MetricsRegistry* metrics, storage::MvccStore* store)
+    : metrics_(metrics), store_(store), alive_(std::make_shared<bool>(true)) {}
+
+StoreJournal::~StoreJournal() { *alive_ = false; }
+
+common::Result<std::unique_ptr<StoreJournal>> StoreJournal::Open(Vfs* vfs, std::string dir,
+                                                                 LogOptions options,
+                                                                 common::MetricsRegistry* metrics,
+                                                                 storage::MvccStore* store) {
+  std::unique_ptr<StoreJournal> journal(new StoreJournal(metrics, store));
+  auto opened = Log::Open(
+      vfs, std::move(dir), options, metrics,
+      [&journal](std::uint64_t, std::string_view payload) { return journal->Replay(payload); },
+      &journal->recovery_stats_);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  journal->wal_ = std::move(opened.value());
+
+  store->AddCommitObserver(
+      [j = journal.get(), alive = journal->alive_](const storage::CommitRecord& record) {
+        if (*alive) {
+          j->OnCommit(record);
+        }
+      });
+  return journal;
+}
+
+common::Status StoreJournal::Replay(std::string_view payload) {
+  RecordReader reader(payload);
+  std::uint8_t tag = 0;
+  if (!reader.ReadU8(&tag) || tag != kCommitTag) {
+    return BadRecord("unknown tag");
+  }
+  storage::CommitRecord record;
+  std::uint32_t changes = 0;
+  if (!reader.ReadU64(&record.version) || !reader.ReadU32(&changes)) {
+    return BadRecord("commit header");
+  }
+  record.changes.reserve(changes);
+  for (std::uint32_t i = 0; i < changes; ++i) {
+    common::ChangeEvent event;
+    std::uint8_t kind = 0;
+    std::uint8_t txn_last = 0;
+    std::string value;
+    if (!reader.ReadBytes(&event.key) || !reader.ReadU8(&kind) || !reader.ReadBytes(&value) ||
+        !reader.ReadU8(&txn_last)) {
+      return BadRecord("change event");
+    }
+    event.mutation = kind == 0 ? common::Mutation::Put(std::move(value))
+                               : common::Mutation::Delete();
+    event.version = record.version;
+    event.txn_last = txn_last != 0;
+    record.changes.push_back(std::move(event));
+  }
+  if (!reader.Done()) {
+    return BadRecord("trailing bytes");
+  }
+  store_->RestoreCommit(record);
+  return common::Status::Ok();
+}
+
+void StoreJournal::OnCommit(const storage::CommitRecord& record) {
+  std::string payload;
+  PutU8(&payload, kCommitTag);
+  PutU64(&payload, record.version);
+  PutU32(&payload, static_cast<std::uint32_t>(record.changes.size()));
+  for (const common::ChangeEvent& event : record.changes) {
+    PutBytes(&payload, event.key);
+    PutU8(&payload, event.mutation.kind == common::MutationKind::kPut ? 0 : 1);
+    PutBytes(&payload, event.mutation.value);
+    PutU8(&payload, event.txn_last ? 1 : 0);
+  }
+  auto appended = wal_->Append(payload);
+  if (!appended.ok()) {
+    if (status_.ok()) {
+      status_ = appended.status();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("wal.journal.append_errors").Increment();
+    }
+  }
+}
+
+}  // namespace wal

@@ -1,0 +1,61 @@
+// StoreJournal: WAL-backed durability for storage::MvccStore commit records.
+//
+// Every CommitRecord the store emits (via its CDC observer hook) is encoded
+// as one journaled record; recovery replays them through
+// MvccStore::RestoreCommit, which re-applies the cells at their original
+// versions (without re-notifying observers) and fast-forwards the timestamp
+// oracle past replayed history.
+//
+// MvccStore observers cannot be detached, so the journal hands the store a
+// callback guarded by a shared liveness flag; destroying the journal flips
+// the flag and the callback becomes a no-op.
+#ifndef SRC_WAL_STORE_JOURNAL_H_
+#define SRC_WAL_STORE_JOURNAL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/mvcc_store.h"
+#include "wal/log.h"
+
+namespace wal {
+
+class StoreJournal {
+ public:
+  // Opens the journal at `dir`, replays history into `store` (which must be
+  // freshly constructed), then subscribes to its commits.
+  static common::Result<std::unique_ptr<StoreJournal>> Open(Vfs* vfs, std::string dir,
+                                                            LogOptions options,
+                                                            common::MetricsRegistry* metrics,
+                                                            storage::MvccStore* store);
+
+  ~StoreJournal();
+
+  StoreJournal(const StoreJournal&) = delete;
+  StoreJournal& operator=(const StoreJournal&) = delete;
+
+  // Sticky first write failure (Ok while healthy).
+  common::Status status() const { return status_; }
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  Log& wal_log() { return *wal_; }
+
+ private:
+  StoreJournal(common::MetricsRegistry* metrics, storage::MvccStore* store);
+
+  common::Status Replay(std::string_view payload);
+  void OnCommit(const storage::CommitRecord& record);
+
+  common::MetricsRegistry* metrics_;
+  storage::MvccStore* store_;
+  std::unique_ptr<Log> wal_;
+  common::Status status_;
+  RecoveryStats recovery_stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace wal
+
+#endif  // SRC_WAL_STORE_JOURNAL_H_

@@ -1,0 +1,96 @@
+// Vfs: the pluggable filesystem boundary under the write-ahead log. Two
+// implementations ship with the library: PosixVfs (real files, real fsync)
+// and FaultVfs (deterministic in-memory files with seeded fault injection —
+// torn writes, failed fsyncs, short reads, crash-at-write-N). Everything
+// above this interface — framing, segmentation, recovery — is identical
+// against both, which is what lets the crash sweeps prove the recovery path
+// rather than a test double of it.
+//
+// Contract notes:
+//  * Append is the only write primitive; a crashing append may persist any
+//    byte prefix of the data (a torn write). Recovery must tolerate that.
+//  * Sync makes every previously appended byte durable; until then a crash
+//    may drop un-synced bytes (FaultVfs models this behind an option).
+//  * Read may return fewer bytes than requested ("short read") even away
+//    from EOF; callers must loop. 0 bytes means EOF.
+#ifndef SRC_WAL_VFS_H_
+#define SRC_WAL_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wal {
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual common::Status Append(std::string_view data) = 0;
+  // Durability point: all previously appended bytes survive a crash.
+  virtual common::Status Sync() = 0;
+  virtual common::Status Close() = 0;
+};
+
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Reads up to `n` bytes at `offset` into `scratch`. Returns the number of
+  // bytes read, which may be short of `n`; 0 means EOF. Callers loop.
+  virtual common::Result<std::size_t> Read(std::uint64_t offset, std::size_t n,
+                                           char* scratch) const = 0;
+  virtual common::Result<std::uint64_t> Size() const = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // Opens (creating if absent) for appending.
+  virtual common::Result<std::unique_ptr<WritableFile>> OpenAppend(const std::string& path) = 0;
+  virtual common::Result<std::unique_ptr<RandomAccessFile>> OpenRead(
+      const std::string& path) const = 0;
+  // mkdir -p. Creating an existing directory is OK.
+  virtual common::Status CreateDirs(const std::string& path) = 0;
+  // Names (not paths) of regular files directly under `path`, sorted.
+  virtual common::Result<std::vector<std::string>> ListDir(const std::string& path) const = 0;
+  virtual common::Status Remove(const std::string& path) = 0;
+  virtual common::Status Truncate(const std::string& path, std::uint64_t size) = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+};
+
+// Whole-file read through the short-read-tolerant Read loop.
+inline common::Result<std::string> ReadFileToString(const Vfs& vfs, const std::string& path) {
+  auto file = vfs.OpenRead(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  auto size = (*file)->Size();
+  if (!size.ok()) {
+    return size.status();
+  }
+  std::string out;
+  out.resize(static_cast<std::size_t>(*size));
+  std::size_t at = 0;
+  while (at < out.size()) {
+    auto n = (*file)->Read(at, out.size() - at, out.data() + at);
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (*n == 0) {
+      out.resize(at);  // File shrank under us; return what exists.
+      break;
+    }
+    at += *n;
+  }
+  return out;
+}
+
+}  // namespace wal
+
+#endif  // SRC_WAL_VFS_H_

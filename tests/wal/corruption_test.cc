@@ -1,0 +1,235 @@
+// Corruption matrix for wal::Log recovery: {byte flip, mid-frame truncation,
+// duplicated tail frame} x {sealed segment, active segment}. Sealed segments
+// were fully synced before any later write, so every anomaly there is genuine
+// corruption and must reject loudly (kInternal + wal.recovery.rejected_segments).
+// The active segment's anomalies are crash artifacts: the tail truncates at
+// the last valid frame (counted in wal.recovery.torn_tail_*). In no case may
+// recovery silently skip an interior frame and keep replaying after it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "wal/fault_vfs.h"
+#include "wal/log.h"
+#include "wal/record_codec.h"
+
+namespace wal {
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 16;
+
+std::string SegmentName(std::uint64_t first_index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg-%020llu.wal",
+                static_cast<unsigned long long>(first_index));
+  return buf;
+}
+
+// Byte offsets where each frame of a well-formed segment begins, plus the
+// terminating end offset.
+std::vector<std::size_t> FrameBoundaries(const std::string& data) {
+  std::vector<std::size_t> bounds;
+  std::size_t pos = 0;
+  while (pos + kFrameHeaderBytes <= data.size()) {
+    bounds.push_back(pos);
+    pos += kFrameHeaderBytes + DecodeU32(data.data() + pos + 4);
+  }
+  bounds.push_back(pos);
+  return bounds;
+}
+
+enum class Fault { kByteFlip, kMidFrameTruncate, kDuplicateTailFrame };
+enum class Where { kSealed, kActive };
+
+const char* FaultName(Fault f) {
+  switch (f) {
+    case Fault::kByteFlip:
+      return "byte-flip";
+    case Fault::kMidFrameTruncate:
+      return "mid-frame-truncate";
+    case Fault::kDuplicateTailFrame:
+      return "duplicate-tail-frame";
+  }
+  return "?";
+}
+
+struct Workload {
+  FaultVfs vfs;
+  std::string sealed_path;
+  std::string active_path;
+  std::uint64_t total_records = 0;
+  std::uint64_t sealed_first = 0;   // First record index of the corrupted sealed segment.
+  std::uint64_t active_first = 0;   // First record index of the active segment.
+};
+
+// Builds a multi-segment log: several sealed segments plus a non-empty active
+// one. Returns the middle sealed segment and the active segment as corruption
+// targets.
+void BuildWorkload(Workload* w) {
+  LogOptions options;
+  options.segment_bytes = 128;
+  auto log = Log::Open(&w->vfs, "log", options, nullptr,
+                       [](std::uint64_t, std::string_view) { return common::Status::Ok(); });
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*log)->Append("record-" + std::to_string(i) + "-payload").ok());
+  }
+  const auto segments = (*log)->Segments();
+  ASSERT_GT(segments.size(), 3u);
+  ASSERT_GT(segments.back().end_index, segments.back().first_index);  // Active non-empty.
+  w->total_records = 40;
+  w->sealed_first = segments[segments.size() / 2].first_index;
+  w->active_first = segments.back().first_index;
+  w->sealed_path = "log/" + SegmentName(w->sealed_first);
+  w->active_path = "log/" + SegmentName(w->active_first);
+}
+
+void Corrupt(Workload* w, Fault fault, Where where) {
+  const std::string& path = where == Where::kSealed ? w->sealed_path : w->active_path;
+  std::string* data = w->vfs.MutableContents(path);
+  ASSERT_NE(data, nullptr);
+  const std::vector<std::size_t> bounds = FrameBoundaries(*data);
+  ASSERT_GT(bounds.size(), 2u);  // At least two complete frames.
+  switch (fault) {
+    case Fault::kByteFlip: {
+      // Flip a payload byte of the segment's second frame (interior for the
+      // sealed case; mid-segment for the active case).
+      const std::size_t frame = bounds[1];
+      (*data)[frame + kFrameHeaderBytes] ^= 0x40;
+      break;
+    }
+    case Fault::kMidFrameTruncate: {
+      // Cut the file in the middle of its final frame.
+      const std::size_t last = bounds[bounds.size() - 2];
+      data->resize(last + kFrameHeaderBytes + 2);
+      break;
+    }
+    case Fault::kDuplicateTailFrame: {
+      // A retried write appended the final frame twice.
+      const std::size_t last = bounds[bounds.size() - 2];
+      data->append(data->substr(last, bounds.back() - last));
+      break;
+    }
+  }
+}
+
+TEST(WalCorruptionMatrixTest, SealedAnomaliesRejectActiveTailsTruncate) {
+  for (Fault fault :
+       {Fault::kByteFlip, Fault::kMidFrameTruncate, Fault::kDuplicateTailFrame}) {
+    for (Where where : {Where::kSealed, Where::kActive}) {
+      SCOPED_TRACE(std::string(FaultName(fault)) + " in " +
+                   (where == Where::kSealed ? "sealed" : "active") + " segment");
+      Workload w;
+      BuildWorkload(&w);
+      if (HasFatalFailure()) {
+        return;
+      }
+      Corrupt(&w, fault, where);
+
+      common::MetricsRegistry metrics;
+      std::vector<std::uint64_t> replayed;
+      RecoveryStats stats;
+      LogOptions options;
+      options.segment_bytes = 128;
+      auto log = Log::Open(&w.vfs, "log", options, &metrics,
+                           [&replayed](std::uint64_t index, std::string_view) {
+                             replayed.push_back(index);
+                             return common::Status::Ok();
+                           },
+                           &stats);
+
+      // Replay must be a gapless prefix of the record sequence — a skipped
+      // interior frame would show up as a hole here.
+      for (std::size_t i = 0; i < replayed.size(); ++i) {
+        ASSERT_EQ(replayed[i], static_cast<std::uint64_t>(i)) << "interior frame skipped";
+      }
+
+      if (where == Where::kSealed) {
+        // Genuine corruption: loud reject, counted, nothing past the sealed
+        // segment's bad frame replayed.
+        ASSERT_FALSE(log.ok());
+        EXPECT_EQ(log.status().code(), common::StatusCode::kInternal);
+        EXPECT_EQ(metrics.counter("wal.recovery.rejected_segments").value(), 1);
+        EXPECT_EQ(metrics.counter("wal.recovery.torn_tail_frames").value(), 0);
+        EXPECT_LT(replayed.size(), w.total_records);
+      } else {
+        // Crash artifact in the active segment: truncate and carry on.
+        ASSERT_TRUE(log.ok()) << log.status().message();
+        EXPECT_EQ(metrics.counter("wal.recovery.rejected_segments").value(), 0);
+        EXPECT_EQ(stats.torn_tail_frames, 1u);
+        EXPECT_GT(stats.torn_tail_bytes, 0u);
+        EXPECT_EQ(metrics.counter("wal.recovery.torn_tail_frames").value(), 1);
+        switch (fault) {
+          case Fault::kByteFlip:
+            // Everything before the flipped (second) frame of the active
+            // segment survives; the flipped frame and all after it are gone.
+            EXPECT_EQ(replayed.size(), static_cast<std::size_t>(w.active_first) + 1);
+            break;
+          case Fault::kMidFrameTruncate:
+            EXPECT_EQ(replayed.size(), w.total_records - 1);
+            break;
+          case Fault::kDuplicateTailFrame:
+            // The duplicate is dropped; every real record survives.
+            EXPECT_EQ(replayed.size(), w.total_records);
+            break;
+        }
+        EXPECT_EQ((*log)->next_index(), replayed.size());
+
+        // The log is usable: appends resume at the truncation point and a
+        // second recovery is clean.
+        ASSERT_TRUE((*log)->Append("post-corruption").ok());
+        log->reset();
+        std::vector<std::uint64_t> replayed2;
+        RecoveryStats stats2;
+        auto again =
+            Log::Open(&w.vfs, "log", options, nullptr,
+                      [&replayed2](std::uint64_t index, std::string_view) {
+                        replayed2.push_back(index);
+                        return common::Status::Ok();
+                      },
+                      &stats2);
+        ASSERT_TRUE(again.ok());
+        EXPECT_EQ(replayed2.size(), replayed.size() + 1);
+        EXPECT_EQ(stats2.torn_tail_frames, 0u);
+      }
+    }
+  }
+}
+
+// Flipping a bit inside a frame *header* (the length field) must also be
+// caught — a bogus length can make the rest of the segment unparseable, which
+// in the active segment is a torn tail and in a sealed segment a rejection.
+TEST(WalCorruptionMatrixTest, HeaderCorruptionIsCaughtToo) {
+  for (Where where : {Where::kSealed, Where::kActive}) {
+    SCOPED_TRACE(where == Where::kSealed ? "sealed" : "active");
+    Workload w;
+    BuildWorkload(&w);
+    if (HasFatalFailure()) {
+      return;
+    }
+    const std::string& path = where == Where::kSealed ? w.sealed_path : w.active_path;
+    std::string* data = w.vfs.MutableContents(path);
+    const auto bounds = FrameBoundaries(*data);
+    (*data)[bounds[1] + 4] ^= 0x10;  // Length byte of the second frame.
+
+    common::MetricsRegistry metrics;
+    LogOptions options;
+    options.segment_bytes = 128;
+    auto log = Log::Open(&w.vfs, "log", options, &metrics,
+                         [](std::uint64_t, std::string_view) { return common::Status::Ok(); });
+    if (where == Where::kSealed) {
+      ASSERT_FALSE(log.ok());
+      EXPECT_EQ(log.status().code(), common::StatusCode::kInternal);
+      EXPECT_EQ(metrics.counter("wal.recovery.rejected_segments").value(), 1);
+    } else {
+      ASSERT_TRUE(log.ok()) << log.status().message();
+      EXPECT_EQ(metrics.counter("wal.recovery.torn_tail_frames").value(), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wal

@@ -1,0 +1,408 @@
+// Durable/in-memory equivalence (mirrors tests/runtime/equivalence_test.cc):
+// with a fault-free FaultVfs, a WAL-backed stack must behave byte-for-byte
+// like the plain in-memory stack — identical partition logs, offsets,
+// committed positions, and fetch/delivery sequences — and a recovery of that
+// stack must land on the same state and continue seamlessly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "oracle/invariant_oracle.h"
+#include "pubsub/broker.h"
+#include "pubsub/log.h"
+#include "runtime/concurrent_broker.h"
+#include "runtime/concurrent_watch.h"
+#include "runtime/shard_pool.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "wal/broker_journal.h"
+#include "wal/fault_vfs.h"
+#include "watch/watch_system.h"
+
+namespace wal {
+namespace {
+
+struct Stack {
+  sim::Simulator sim;
+  sim::Network net;
+  pubsub::Broker broker;
+
+  explicit Stack(std::uint64_t seed) : sim(seed), net(&sim), broker(&sim, &net, "broker") {}
+};
+
+void ExpectSameBrokerState(pubsub::Broker* got, pubsub::Broker* want,
+                           const std::vector<std::string>& topics) {
+  for (const std::string& topic : topics) {
+    ASSERT_TRUE(got->HasTopic(topic));
+    const pubsub::PartitionId partitions = want->PartitionCount(topic);
+    ASSERT_EQ(got->PartitionCount(topic), partitions);
+    for (pubsub::PartitionId p = 0; p < partitions; ++p) {
+      SCOPED_TRACE(topic + "/" + std::to_string(p));
+      const pubsub::PartitionLog* g = got->Log(topic, p);
+      const pubsub::PartitionLog* w = want->Log(topic, p);
+      ASSERT_NE(g, nullptr);
+      ASSERT_NE(w, nullptr);
+      EXPECT_EQ(g->entries(), w->entries());
+      EXPECT_EQ(g->first_offset(), w->first_offset());
+      EXPECT_EQ(g->end_offset(), w->end_offset());
+      EXPECT_EQ(g->gced(), w->gced());
+      EXPECT_EQ(g->compacted_away(), w->compacted_away());
+    }
+  }
+}
+
+// The shared seeded workload: mixed-routing publishes to a plain and a
+// size-capped topic, group joins, commits at end offsets, and one seek
+// rewind. Applied identically to both brokers; every step must agree.
+void RunPairedWorkload(pubsub::Broker* durable, BrokerJournal* journal, pubsub::Broker* memory) {
+  pubsub::TopicConfig plain;
+  plain.partitions = 3;
+  pubsub::TopicConfig capped;
+  capped.partitions = 1;
+  capped.retention.max_messages = 10;
+
+  ASSERT_TRUE(journal->CreateTopic("t", plain).ok());
+  ASSERT_TRUE(memory->CreateTopic("t", plain).ok());
+  ASSERT_TRUE(journal->CreateTopic("c", capped).ok());
+  ASSERT_TRUE(memory->CreateTopic("c", capped).ok());
+
+  for (const std::string member : {"m1", "m2"}) {
+    auto want = memory->JoinGroup("g", "t", member);
+    auto got = durable->JoinGroup("g", "t", member);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want);
+  }
+
+  common::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const bool to_capped = rng.Below(4) == 0;
+    const std::string topic = to_capped ? "c" : "t";
+    pubsub::Message msg;
+    msg.value = "v" + std::to_string(i);
+    msg.publish_time = 10 * i;
+    std::optional<pubsub::PartitionId> part;
+    switch (rng.Below(3)) {
+      case 0:
+        msg.key = "user-" + std::to_string(rng.Below(16));
+        break;
+      case 1:
+        part = static_cast<pubsub::PartitionId>(
+            rng.Below(to_capped ? 1 : plain.partitions));
+        break;
+      default:
+        break;  // Round robin.
+    }
+    const auto want = memory->Publish(topic, msg, part);
+    const auto got = durable->Publish(topic, msg, part);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->partition, want->partition) << "message " << i;
+    EXPECT_EQ(got->offset, want->offset) << "message " << i;
+  }
+
+  for (pubsub::PartitionId p = 0; p < plain.partitions; ++p) {
+    const pubsub::Offset end = memory->EndOffset("t", p);
+    ASSERT_EQ(durable->EndOffset("t", p), end);
+    memory->CommitOffset("g", p, end);
+    durable->CommitOffset("g", p, end);
+  }
+  // Seek partition 0 back — the one legitimate committed-offset rewind.
+  memory->SeekGroup("g", 0, 1);
+  durable->SeekGroup("g", 0, 1);
+
+  ASSERT_TRUE(journal->status().ok()) << journal->status().message();
+}
+
+TEST(WalEquivalenceTest, DurableBrokerMatchesInMemoryBrokerLive) {
+  FaultVfs vfs;
+  Stack memory(1);
+  Stack durable(1);
+  auto journal =
+      BrokerJournal::Open(&vfs, "wal", BrokerJournalOptions{}, nullptr, &durable.broker);
+  ASSERT_TRUE(journal.ok());
+  RunPairedWorkload(&durable.broker, journal->get(), &memory.broker);
+  if (HasFatalFailure()) {
+    return;
+  }
+
+  ExpectSameBrokerState(&durable.broker, &memory.broker, {"t", "c"});
+  for (pubsub::PartitionId p = 0; p < 3; ++p) {
+    EXPECT_EQ(durable.broker.CommittedOffset("g", p), memory.broker.CommittedOffset("g", p));
+  }
+  EXPECT_EQ(durable.broker.GroupBacklog("g", "t"), memory.broker.GroupBacklog("g", "t"));
+
+  // Fetch sequences (including the silent reset below retained history on the
+  // capped topic) agree too.
+  const auto want = memory.broker.Fetch("c", 0, 0, 100);
+  const auto got = durable.broker.Fetch("c", 0, 0, 100);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *want);
+  EXPECT_EQ(durable.broker.TotalSilentSkips("c"), memory.broker.TotalSilentSkips("c"));
+  EXPECT_EQ(durable.broker.TotalGced("c"), memory.broker.TotalGced("c"));
+}
+
+TEST(WalEquivalenceTest, RecoveredBrokerMatchesInMemoryBroker) {
+  FaultVfs vfs;
+  Stack memory(1);
+  {
+    Stack durable(1);
+    auto journal =
+        BrokerJournal::Open(&vfs, "wal", BrokerJournalOptions{}, nullptr, &durable.broker);
+    ASSERT_TRUE(journal.ok());
+    RunPairedWorkload(&durable.broker, journal->get(), &memory.broker);
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+
+  Stack recovered(2);
+  auto journal =
+      BrokerJournal::Open(&vfs, "wal", BrokerJournalOptions{}, nullptr, &recovered.broker);
+  ASSERT_TRUE(journal.ok()) << journal.status().message();
+  EXPECT_GT((*journal)->recovery_stats().records_replayed, 0u);
+
+  ExpectSameBrokerState(&recovered.broker, &memory.broker, {"t", "c"});
+  // Committed offsets (including the seek rewind) survive; membership is
+  // soft state and starts empty, Kafka-style.
+  const pubsub::GroupView got = recovered.broker.ViewGroup("g");
+  const pubsub::GroupView want = memory.broker.ViewGroup("g");
+  EXPECT_EQ(got.topic, want.topic);
+  EXPECT_EQ(got.committed, want.committed);
+  EXPECT_TRUE(got.members.empty());
+
+  // A re-joined consumer resumes from the recovered committed offset.
+  ASSERT_TRUE(recovered.broker.JoinGroup("g", "t", "m1").ok());
+  EXPECT_EQ(recovered.broker.CommittedOffset("g", 0), memory.broker.CommittedOffset("g", 0));
+
+  // The unmodified oracle is clean on the recovered stack.
+  oracle::InvariantOracle oracle(&recovered.sim);
+  oracle.ObserveBroker(&recovered.broker);
+  oracle.Check();
+  oracle.CheckQuiesced();
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+
+  // And the recovered broker keeps journaling: one more publish round-trips
+  // through yet another recovery.
+  auto published = recovered.broker.Publish("t", pubsub::Message{"", "after", 99999}, 0);
+  ASSERT_TRUE(published.ok());
+  ASSERT_TRUE((*journal)->status().ok());
+  journal->reset();
+  Stack again(3);
+  auto journal2 = BrokerJournal::Open(&vfs, "wal", BrokerJournalOptions{}, nullptr, &again.broker);
+  ASSERT_TRUE(journal2.ok());
+  EXPECT_EQ(again.broker.EndOffset("t", 0), published->offset + 1);
+}
+
+TEST(WalEquivalenceTest, DurableRuntimeFacadeMatchesInMemoryAndRecovers) {
+  constexpr std::size_t kShards = 2;
+  constexpr pubsub::PartitionId kPartitions = 4;
+  FaultVfs vfs;
+
+  runtime::RuntimeOptions durable_options;
+  durable_options.shards = kShards;
+  durable_options.durable_vfs = &vfs;
+  runtime::RuntimeOptions memory_options;
+  memory_options.shards = kShards;
+
+  pubsub::TopicConfig config;
+  config.partitions = kPartitions;
+
+  {
+    runtime::ShardPool dpool(durable_options);
+    runtime::ConcurrentBroker dbroker(&dpool);
+    runtime::ShardPool mpool(memory_options);
+    runtime::ConcurrentBroker mbroker(&mpool);
+    dpool.Start();
+    mpool.Start();
+    ASSERT_TRUE(dbroker.CreateTopic("t", config).ok());
+    ASSERT_TRUE(mbroker.CreateTopic("t", config).ok());
+    EXPECT_FALSE(dbroker.CreateTopic("t", config).ok());  // Duplicate still rejected.
+
+    ASSERT_TRUE(dbroker.JoinGroup("g", "t", "m1").ok());
+    ASSERT_TRUE(mbroker.JoinGroup("g", "t", "m1").ok());
+
+    common::Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+      pubsub::Message msg;
+      msg.value = "v" + std::to_string(i);
+      std::optional<pubsub::PartitionId> part;
+      if (rng.Below(2) == 0) {
+        msg.key = "user-" + std::to_string(rng.Below(32));
+      } else {
+        part = static_cast<pubsub::PartitionId>(rng.Below(kPartitions));
+      }
+      const auto want = mbroker.PublishSync("t", msg, part);
+      const auto got = dbroker.PublishSync("t", msg, part);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->partition, want->partition);
+      EXPECT_EQ(got->offset, want->offset);
+    }
+    for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+      const pubsub::Offset end = mbroker.EndOffset("t", p);
+      EXPECT_EQ(dbroker.EndOffset("t", p), end);
+      mbroker.CommitOffset("g", p, end);
+      dbroker.CommitOffset("g", p, end);
+    }
+    dpool.Quiesce();
+    mpool.Quiesce();
+    ASSERT_TRUE(dpool.durable_status().ok()) << dpool.durable_status().message();
+
+    for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+      const std::size_t owner = dbroker.OwnerShard(p);
+      EXPECT_EQ(dpool.core(owner).broker->Log("t", p)->entries(),
+                mpool.core(owner).broker->Log("t", p)->entries())
+          << "partition " << p;
+      EXPECT_EQ(dbroker.CommittedOffset("g", p), mbroker.CommittedOffset("g", p));
+    }
+    // "Crash" the durable deployment: stop it and bring up a fresh pool on
+    // the same vfs. The in-memory pool keeps running as the uninterrupted
+    // reference (pools do not restart; its cores are race-free to read while
+    // quiesced with no producers).
+    dpool.Stop();
+
+    runtime::ShardPool rpool(durable_options);
+    ASSERT_TRUE(rpool.durable_status().ok()) << rpool.durable_status().message();
+    runtime::ConcurrentBroker rbroker(&rpool);
+    // The facade's routing map is seeded from the recovered shard brokers.
+    EXPECT_TRUE(rbroker.HasTopic("t"));
+    EXPECT_EQ(rbroker.PartitionCount("t"), kPartitions);
+    for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+      const std::size_t owner = rbroker.OwnerShard(p);
+      EXPECT_EQ(rpool.core(owner).broker->Log("t", p)->entries(),
+                mpool.core(owner).broker->Log("t", p)->entries())
+          << "partition " << p << " after recovery";
+      EXPECT_EQ(rbroker.CommittedOffset("g", p), mbroker.CommittedOffset("g", p));
+      EXPECT_EQ(rbroker.EndOffset("t", p), mbroker.EndOffset("t", p));
+    }
+
+    // Continuation: keyed publishes land on the same partitions at the next
+    // offsets, on the recovered pool exactly as on the uninterrupted one.
+    rpool.Start();
+    for (int i = 0; i < 50; ++i) {
+      pubsub::Message msg;
+      msg.key = "cont-" + std::to_string(i);
+      msg.value = "w" + std::to_string(i);
+      const auto want = mbroker.PublishSync("t", msg, std::nullopt);
+      const auto got = rbroker.PublishSync("t", msg, std::nullopt);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->partition, want->partition);
+      EXPECT_EQ(got->offset, want->offset);
+    }
+    rpool.Quiesce();
+    mpool.Quiesce();
+    ASSERT_TRUE(rpool.durable_status().ok()) << rpool.durable_status().message();
+    for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+      const std::size_t owner = rbroker.OwnerShard(p);
+      EXPECT_EQ(rpool.core(owner).broker->Log("t", p)->entries(),
+                mpool.core(owner).broker->Log("t", p)->entries())
+          << "partition " << p << " after continuation";
+    }
+    rpool.Stop();
+    mpool.Stop();
+  }
+}
+
+// Callback recording delivered events (shard worker threads deliver, so
+// recording is mutex-guarded). Mirrors the runtime equivalence suite.
+class RecordingCallback : public watch::WatchCallback {
+ public:
+  void OnEvent(const common::ChangeEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+  void OnProgress(const common::ProgressEvent&) override {}
+  void OnResync() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++resyncs_;
+  }
+
+  std::vector<common::ChangeEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  int resyncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resyncs_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<common::ChangeEvent> events_;
+  int resyncs_ = 0;
+};
+
+TEST(WalEquivalenceTest, DurableModeDoesNotPerturbWatchDeliveries) {
+  constexpr std::size_t kShards = 2;
+  FaultVfs vfs;
+
+  runtime::RuntimeOptions durable_options;
+  durable_options.shards = kShards;
+  durable_options.watch_splits = {"m"};
+  durable_options.durable_vfs = &vfs;
+  runtime::RuntimeOptions memory_options;
+  memory_options.shards = kShards;
+  memory_options.watch_splits = {"m"};
+
+  runtime::ShardPool dpool(durable_options);
+  runtime::ConcurrentWatchService dwatch(&dpool);
+  runtime::ConcurrentBroker dbroker(&dpool);
+  runtime::ShardPool mpool(memory_options);
+  runtime::ConcurrentWatchService mwatch(&mpool);
+  dpool.Start();
+  mpool.Start();
+
+  // Sessions confined to one shard each: delivery sequences must be equal,
+  // not merely interleaving-equivalent.
+  RecordingCallback d_low, d_high, m_low, m_high;
+  auto h1 = dwatch.Watch("a", "m", 0, &d_low);
+  auto h2 = dwatch.Watch("m", "", 0, &d_high);
+  auto h3 = mwatch.Watch("a", "m", 0, &m_low);
+  auto h4 = mwatch.Watch("m", "", 0, &m_high);
+
+  // Broker traffic journals on the durable pool while watch events flow —
+  // durability work must not leak into the watch path.
+  pubsub::TopicConfig config;
+  config.partitions = 2;
+  ASSERT_TRUE(dbroker.CreateTopic("t", config).ok());
+
+  common::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    common::ChangeEvent event;
+    event.key = std::string(1, static_cast<char>('a' + rng.Below(20))) +
+                std::to_string(rng.Below(30));
+    event.mutation = rng.Below(10) == 0 ? common::Mutation::Delete()
+                                        : common::Mutation::Put("v" + std::to_string(i));
+    event.version = i + 1;
+    dwatch.Append(event);
+    mwatch.Append(event);
+    if (i % 5 == 0) {
+      ASSERT_TRUE(
+          dbroker.PublishSync("t", pubsub::Message{"k" + std::to_string(i), "v", 0}).ok());
+    }
+  }
+  dpool.Quiesce();
+  mpool.Quiesce();
+  ASSERT_TRUE(dpool.durable_status().ok());
+
+  EXPECT_EQ(d_low.resyncs(), 0);
+  EXPECT_EQ(d_high.resyncs(), 0);
+  EXPECT_EQ(d_low.events(), m_low.events());
+  EXPECT_EQ(d_high.events(), m_high.events());
+
+  dpool.Stop();
+  mpool.Stop();
+}
+
+}  // namespace
+}  // namespace wal

@@ -1,0 +1,154 @@
+// StoreJournal: MvccStore commits journal through the CDC observer hook and
+// recovery replays them at their original versions, fast-forwarding the
+// timestamp oracle so post-recovery commits never collide with history.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "storage/mvcc_store.h"
+#include "wal/fault_vfs.h"
+#include "wal/store_journal.h"
+
+namespace wal {
+namespace {
+
+TEST(StoreJournalTest, CommitsRecoverAtOriginalVersions) {
+  FaultVfs vfs;
+  common::Version v_mixed = common::kNoVersion;
+  common::Version v_latest = common::kNoVersion;
+  {
+    storage::MvccStore store;
+    auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &store);
+    ASSERT_TRUE(journal.ok());
+
+    store.Apply("a", common::Mutation::Put("1"));
+    store.Apply("b", common::Mutation::Put("2"));
+
+    // A multi-key transaction: one commit record, several changes.
+    storage::Transaction txn = store.Begin();
+    txn.Put("a", "3");
+    txn.Put("c", "4");
+    txn.Delete("b");
+    auto committed = store.Commit(std::move(txn));
+    ASSERT_TRUE(committed.ok());
+    v_mixed = *committed;
+
+    v_latest = store.Apply("d", common::Mutation::Put("5"));
+    ASSERT_TRUE((*journal)->status().ok());
+  }
+
+  storage::MvccStore recovered;
+  auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &recovered);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ((*journal)->recovery_stats().records_replayed, 4u);
+
+  EXPECT_EQ(recovered.LatestVersion(), v_latest);
+  EXPECT_EQ(recovered.CommittedTxns(), 4u);
+  EXPECT_EQ(*recovered.GetLatest("a"), "3");
+  EXPECT_EQ(recovered.GetLatest("b").status().code(), common::StatusCode::kNotFound);
+  EXPECT_EQ(*recovered.GetLatest("c"), "4");
+  EXPECT_EQ(*recovered.GetLatest("d"), "5");
+
+  // History recovered at the original versions: reading just below the mixed
+  // commit still sees the pre-transaction state.
+  EXPECT_EQ(*recovered.Get("a", v_mixed - 1), "1");
+  EXPECT_EQ(*recovered.Get("b", v_mixed - 1), "2");
+  EXPECT_EQ(recovered.Get("c", v_mixed - 1).status().code(), common::StatusCode::kNotFound);
+  EXPECT_EQ(recovered.KeyVersion("a"), v_mixed);
+}
+
+TEST(StoreJournalTest, PostRecoveryCommitsAllocateFreshVersions) {
+  FaultVfs vfs;
+  common::Version last = common::kNoVersion;
+  {
+    storage::MvccStore store;
+    auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &store);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 10; ++i) {
+      last = store.Apply("k" + std::to_string(i), common::Mutation::Put("v"));
+    }
+  }
+  storage::MvccStore recovered;
+  auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &recovered);
+  ASSERT_TRUE(journal.ok());
+  // The oracle advanced past replayed history: a new commit's version is
+  // strictly above everything recovered, and it journals like any other.
+  const common::Version fresh = recovered.Apply("new", common::Mutation::Put("x"));
+  EXPECT_GT(fresh, last);
+  ASSERT_TRUE((*journal)->status().ok());
+
+  journal->reset();
+  storage::MvccStore again;
+  auto journal2 = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &again);
+  ASSERT_TRUE(journal2.ok());
+  EXPECT_EQ(again.LatestVersion(), fresh);
+  EXPECT_EQ(*again.GetLatest("new"), "x");
+  EXPECT_EQ(again.CommittedTxns(), 11u);
+}
+
+TEST(StoreJournalTest, ReplayDoesNotNotifyObserversOrReJournal) {
+  FaultVfs vfs;
+  std::uint64_t wal_records = 0;
+  {
+    storage::MvccStore store;
+    auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &store);
+    ASSERT_TRUE(journal.ok());
+    store.Apply("a", common::Mutation::Put("1"));
+    store.Apply("b", common::Mutation::Put("2"));
+    wal_records = (*journal)->wal_log().next_index();
+  }
+  storage::MvccStore recovered;
+  std::vector<storage::CommitRecord> seen;
+  recovered.AddCommitObserver([&](const storage::CommitRecord& r) { seen.push_back(r); });
+  auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &recovered);
+  ASSERT_TRUE(journal.ok());
+  // Recovery is silent (downstreams replay their own journals) and must not
+  // append replayed commits back into the wal.
+  EXPECT_TRUE(seen.empty());
+  EXPECT_EQ((*journal)->wal_log().next_index(), wal_records);
+
+  // Live commits still reach both the observer and the journal.
+  recovered.Apply("c", common::Mutation::Put("3"));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ((*journal)->wal_log().next_index(), wal_records + 1);
+}
+
+TEST(StoreJournalTest, DestroyedJournalStopsObservingWithoutDangling) {
+  FaultVfs vfs;
+  storage::MvccStore store;
+  {
+    auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &store);
+    ASSERT_TRUE(journal.ok());
+    store.Apply("a", common::Mutation::Put("1"));
+  }
+  // The journal is gone but its observer registration survives behind the
+  // liveness flag: committing must not crash and must not journal.
+  store.Apply("b", common::Mutation::Put("2"));
+
+  storage::MvccStore recovered;
+  auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, nullptr, &recovered);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(recovered.CommittedTxns(), 1u);  // Only "a" was journaled.
+  EXPECT_EQ(recovered.GetLatest("b").status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(StoreJournalTest, WriteFailureGoesSticky) {
+  FaultVfs vfs;
+  common::MetricsRegistry metrics;
+  storage::MvccStore store;
+  auto journal = StoreJournal::Open(&vfs, "store", LogOptions{}, &metrics, &store);
+  ASSERT_TRUE(journal.ok());
+  store.Apply("a", common::Mutation::Put("1"));
+  ASSERT_TRUE((*journal)->status().ok());
+
+  vfs.Crash();
+  store.Apply("b", common::Mutation::Put("2"));
+  EXPECT_FALSE((*journal)->status().ok());
+  EXPECT_GE(metrics.counter("wal.journal.append_errors").value(), 1);
+}
+
+}  // namespace
+}  // namespace wal

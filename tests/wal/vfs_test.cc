@@ -1,0 +1,235 @@
+// Vfs backends: PosixVfs smoke tests (real syscalls) and the FaultVfs fault
+// model — torn writes at a scheduled append, failed fsyncs, short reads, and
+// the durable-prefix semantics of crash/restart.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wal/fault_vfs.h"
+#include "wal/posix_vfs.h"
+#include "wal/vfs.h"
+
+namespace wal {
+namespace {
+
+std::string TempPath(const std::string& leaf) {
+  return testing::TempDir() + "wal_vfs_test/" +
+         testing::UnitTest::GetInstance()->current_test_info()->name() + "/" + leaf;
+}
+
+TEST(PosixVfsTest, AppendSyncReadRoundTrip) {
+  PosixVfs vfs;
+  const std::string dir = TempPath("d");
+  ASSERT_TRUE(vfs.CreateDirs(dir).ok());
+  const std::string path = dir + "/file";
+  (void)vfs.Remove(path);  // TempDir persists across runs; start clean.
+
+  auto file = vfs.OpenAppend(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto contents = ReadFileToString(vfs, path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+
+  // Appending re-opens at the end.
+  auto again = vfs.OpenAppend(path);
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE((*again)->Append("!").ok());
+  ASSERT_TRUE((*again)->Close().ok());
+  EXPECT_EQ(*ReadFileToString(vfs, path), "hello world!");
+}
+
+TEST(PosixVfsTest, ListDirSortedRegularFilesOnly) {
+  PosixVfs vfs;
+  const std::string dir = TempPath("d");
+  ASSERT_TRUE(vfs.CreateDirs(dir).ok());
+  ASSERT_TRUE(vfs.CreateDirs(dir + "/subdir").ok());
+  for (const char* name : {"b.wal", "a.wal", "c.wal"}) {
+    auto f = vfs.OpenAppend(dir + "/" + name);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  auto names = vfs.ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a.wal", "b.wal", "c.wal"}));
+}
+
+TEST(PosixVfsTest, TruncateRemoveExists) {
+  PosixVfs vfs;
+  const std::string dir = TempPath("d");
+  ASSERT_TRUE(vfs.CreateDirs(dir).ok());
+  const std::string path = dir + "/file";
+  auto f = vfs.OpenAppend(path);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("0123456789").ok());
+  ASSERT_TRUE((*f)->Close().ok());
+
+  EXPECT_TRUE(vfs.Exists(path));
+  ASSERT_TRUE(vfs.Truncate(path, 4).ok());
+  EXPECT_EQ(*ReadFileToString(vfs, path), "0123");
+  ASSERT_TRUE(vfs.Remove(path).ok());
+  EXPECT_FALSE(vfs.Exists(path));
+  EXPECT_FALSE(vfs.OpenRead(path).ok());
+}
+
+TEST(FaultVfsTest, BehavesLikeAFilesystemWithoutFaults) {
+  FaultVfs vfs;
+  ASSERT_TRUE(vfs.CreateDirs("dir/nested").ok());
+  auto f = vfs.OpenAppend("dir/nested/file");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("abc").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  EXPECT_EQ(*ReadFileToString(vfs, "dir/nested/file"), "abc");
+
+  // ListDir returns direct children only.
+  auto g = vfs.OpenAppend("dir/top");
+  ASSERT_TRUE(g.ok());
+  auto names = vfs.ListDir("dir");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"top"}));
+  EXPECT_EQ(*vfs.ListDir("dir/nested"), (std::vector<std::string>{"file"}));
+}
+
+TEST(FaultVfsTest, CrashAtAppendTearsTheWriteAndFailsEverythingUntilRestart) {
+  FaultOptions options;
+  options.seed = 7;
+  options.crash_at_append = 2;  // Third append across all files.
+  FaultVfs vfs(options);
+
+  auto f = vfs.OpenAppend("f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("aaaa").ok());
+  ASSERT_TRUE((*f)->Append("bbbb").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  const auto torn = (*f)->Append("cccc");
+  EXPECT_EQ(torn.code(), common::StatusCode::kUnavailable);
+  EXPECT_TRUE(vfs.crashed());
+
+  // Everything fails while crashed.
+  EXPECT_EQ((*f)->Append("dddd").code(), common::StatusCode::kUnavailable);
+  EXPECT_EQ((*f)->Sync().code(), common::StatusCode::kUnavailable);
+  EXPECT_FALSE(vfs.OpenRead("f").ok());
+  EXPECT_FALSE(vfs.OpenAppend("f").ok());
+
+  vfs.Restart();
+  EXPECT_FALSE(vfs.crashed());
+  auto contents = ReadFileToString(vfs, "f");
+  ASSERT_TRUE(contents.ok());
+  // The torn append persisted a byte prefix of "cccc": 8..12 bytes total,
+  // starting with the two intact appends.
+  ASSERT_GE(contents->size(), 8u);
+  ASSERT_LE(contents->size(), 12u);
+  EXPECT_EQ(contents->substr(0, 8), "aaaabbbb");
+  for (std::size_t i = 8; i < contents->size(); ++i) {
+    EXPECT_EQ((*contents)[i], 'c');
+  }
+}
+
+TEST(FaultVfsTest, CrashAtAppendIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultOptions options;
+    options.seed = seed;
+    options.crash_at_append = 1;
+    FaultVfs vfs(options);
+    auto f = vfs.OpenAppend("f");
+    EXPECT_TRUE((*f)->Append("first").ok());
+    EXPECT_FALSE((*f)->Append("second-write").ok());
+    vfs.Restart();
+    return *ReadFileToString(vfs, "f");
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(FaultVfsTest, LoseUnsyncedOnCrashKeepsDurablePrefix) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultOptions options;
+    options.seed = seed;
+    options.lose_unsynced_on_crash = true;
+    FaultVfs vfs(options);
+    auto f = vfs.OpenAppend("f");
+    ASSERT_TRUE((*f)->Append("durable|").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Append("maybe-lost").ok());
+    vfs.Crash();
+    vfs.Restart();
+    auto contents = ReadFileToString(vfs, "f");
+    ASSERT_TRUE(contents.ok());
+    // The synced prefix always survives; the tail is a seeded prefix.
+    ASSERT_GE(contents->size(), 8u) << "seed " << seed;
+    EXPECT_EQ(contents->substr(0, 8), "durable|") << "seed " << seed;
+    EXPECT_EQ(vfs.SyncedSize("f"), contents->size()) << "seed " << seed;
+  }
+}
+
+TEST(FaultVfsTest, FailSyncProbabilityCountsFailures) {
+  FaultOptions options;
+  options.seed = 3;
+  options.fail_sync_prob = 0.5;
+  FaultVfs vfs(options);
+  auto f = vfs.OpenAppend("f");
+  int failed = 0;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE((*f)->Append("x").ok());
+    if (!(*f)->Sync().ok()) {
+      ++failed;
+    }
+  }
+  EXPECT_GT(failed, 0);
+  EXPECT_LT(failed, 64);
+  EXPECT_EQ(vfs.failed_syncs(), static_cast<std::uint64_t>(failed));
+  // A failed sync leaves the durable prefix where it was; a later successful
+  // sync catches up.
+  ASSERT_TRUE(ReadFileToString(vfs, "f").ok());
+}
+
+TEST(FaultVfsTest, ShortReadsNeverLoseBytesThroughTheReadLoop) {
+  FaultOptions options;
+  options.seed = 11;
+  options.short_read_prob = 0.9;
+  FaultVfs vfs(options);
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) {
+    payload += static_cast<char>('a' + i % 26);
+  }
+  auto f = vfs.OpenAppend("f");
+  ASSERT_TRUE((*f)->Append(payload).ok());
+  // The loop in ReadFileToString must reassemble the exact contents no
+  // matter how reads fragment.
+  auto contents = ReadFileToString(vfs, "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, payload);
+}
+
+TEST(FaultVfsTest, MutableContentsModelsOnDiskCorruption) {
+  FaultVfs vfs;
+  auto f = vfs.OpenAppend("f");
+  ASSERT_TRUE((*f)->Append("0123456789").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  std::string* raw = vfs.MutableContents("f");
+  ASSERT_NE(raw, nullptr);
+  (*raw)[3] = 'X';
+  raw->resize(6);
+  EXPECT_EQ(*ReadFileToString(vfs, "f"), "012X45");
+  EXPECT_EQ(vfs.SyncedSize("f"), 6u);  // Durable prefix clamped to the new size.
+  EXPECT_EQ(vfs.MutableContents("missing"), nullptr);
+}
+
+TEST(FaultVfsTest, RemoveAndTruncate) {
+  FaultVfs vfs;
+  auto f = vfs.OpenAppend("a/b");
+  ASSERT_TRUE((*f)->Append("0123456789").ok());
+  ASSERT_TRUE(vfs.Truncate("a/b", 4).ok());
+  EXPECT_EQ(*ReadFileToString(vfs, "a/b"), "0123");
+  ASSERT_TRUE(vfs.Remove("a/b").ok());
+  EXPECT_FALSE(vfs.Exists("a/b"));
+  EXPECT_EQ(vfs.Remove("a/b").code(), common::StatusCode::kNotFound);
+  EXPECT_EQ(vfs.Truncate("a/b", 0).code(), common::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wal
