@@ -34,6 +34,8 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/collector.h"
+#include "obs/trace.h"
 #include "pubsub/broker.h"
 #include "runtime/concurrent_broker.h"
 #include "runtime/concurrent_watch.h"
@@ -94,7 +96,7 @@ common::Key SplitPoint(std::size_t i, std::size_t n) {
 }
 
 RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers,
-                  int per_producer) {
+                  int per_producer, bool trace) {
   runtime::RuntimeOptions options;
   options.shards = shards;
   options.queue_capacity = 8192;
@@ -102,11 +104,23 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   for (std::size_t s = 1; s < shards; ++s) {
     options.watch_splits.push_back(SplitPoint(s, shards));
   }
+  // --trace: wire the obs collector and enable 1/64 admission sampling (the
+  // production tracing configuration); against a -DPUBSUB_OBS_NOOP build of
+  // this binary the throughput delta is the end-to-end cost of tracing.
+  common::MetricsRegistry trace_registry;
+  std::unique_ptr<obs::Collector> collector;
+  if (trace) {
+    collector = std::make_unique<obs::Collector>(&trace_registry,
+                                                 obs::CollectorOptions{.shards = shards});
+    options.obs = collector.get();
+    obs::SetTraceSampleEvery(64);
+    obs::SetTracingEnabled(true);
+  }
   runtime::ShardPool pool(options);
   runtime::ConcurrentBroker broker(&pool);
   runtime::ConcurrentWatchService watch(&pool);
   pool.Start();
-  if (!broker.CreateTopic("bench", {.partitions = kPartitions}).ok()) {
+  if (!broker.CreateTopic("bench", {.partitions = kPartitions, .retention = {}}).ok()) {
     std::abort();
   }
 
@@ -204,6 +218,10 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   for (auto& t : consumer_threads) {
     t.join();
   }
+  if (trace) {
+    obs::SetTracingEnabled(false);
+    obs::SetTraceSampleEvery(1);
+  }
   pool.Stop();
   handles.clear();
 
@@ -256,17 +274,29 @@ int main(int argc, char** argv) {
   const int producers = static_cast<int>(IntFlag(argc, argv, "producers", 4));
   const int consumers = static_cast<int>(IntFlag(argc, argv, "consumers", 4));
   const int watchers = static_cast<int>(IntFlag(argc, argv, "watchers", 4));
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      trace = true;
+    }
+  }
   const unsigned cores = std::thread::hardware_concurrency();
+#ifdef PUBSUB_OBS_NOOP
+  const bool noop_build = true;
+#else
+  const bool noop_build = false;
+#endif
 
-  std::printf("R1: runtime throughput scaling — %d producers x %d msgs, %d consumers, %d watchers\n",
-              producers, per_producer, consumers, watchers);
+  std::printf("R1: runtime throughput scaling — %d producers x %d msgs, %d consumers, %d watchers%s\n",
+              producers, per_producer, consumers, watchers,
+              trace ? (noop_build ? " [--trace, PUBSUB_OBS_NOOP build]" : " [--trace]") : "");
   std::printf("host hardware_concurrency: %u%s\n", cores,
               cores < 4 ? " (scaling curve will be flat below 4 cores)" : "");
 
   const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
   std::vector<RunResult> results;
   for (const std::size_t shards : shard_counts) {
-    results.push_back(RunOnce(shards, producers, consumers, watchers, per_producer));
+    results.push_back(RunOnce(shards, producers, consumers, watchers, per_producer, trace));
     const RunResult& r = results.back();
     std::printf("  %zu shard(s): %.0f msgs/sec (%.2fs)\n", shards, r.msgs_per_sec,
                 r.elapsed_sec);
@@ -291,6 +321,8 @@ int main(int argc, char** argv) {
     bench::Json doc = bench::Json::Object();
     doc["bench"] = "bench_runtime_throughput";
     doc["hardware_concurrency"] = static_cast<std::int64_t>(cores);
+    doc["traced"] = trace;
+    doc["pubsub_obs_noop_build"] = noop_build;
     doc["producers"] = producers;
     doc["consumers"] = consumers;
     doc["watchers"] = watchers;

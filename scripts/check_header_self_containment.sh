@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Header self-containment (IWYU-lite) check: every header under src/ must
+# compile on its own, so no header depends on what its includer happened to
+# include first. Each header is compiled as a standalone translation unit.
+#
+# Usage: scripts/check_header_self_containment.sh [compiler]
+# Exits non-zero listing every header that fails; quiet on success.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CXX="${1:-${CXX:-c++}}"
+STD="-std=c++20"
+INCLUDES="-Isrc"
+
+failures=0
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+while IFS= read -r header; do
+  tu="$tmpdir/tu.cc"
+  printf '#include "%s"\n' "${header#src/}" > "$tu"
+  if ! out=$("$CXX" $STD $INCLUDES -fsyntax-only "$tu" 2>&1); then
+    echo "NOT SELF-CONTAINED: $header"
+    echo "$out" | head -n 15
+    failures=$((failures + 1))
+  fi
+done < <(find src -name '*.h' | sort)
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures header(s) are not self-contained"
+  exit 1
+fi
+echo "all src/ headers are self-contained"

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tracing overhead: traced normal build vs -DPUBSUB_OBS_NOOP build of
+# bench_runtime_throughput, interleaved reps, median-of-pair deltas.
+#
+#   scripts/measure_tracing_overhead.sh [normal_build_dir] [noop_build_dir] [reps]
+#
+# Both build dirs must already contain bench/bench_runtime_throughput (the
+# noop dir configured with -DPUBSUB_OBS_NOOP=ON). Runs the two binaries back
+# to back so each pair sees the same host conditions, extracts the per-shard
+# msgs/sec, and reports the median over all (shard, rep) pairs of the
+# traced-vs-noop throughput delta. Exits nonzero above the 5% acceptance bar.
+set -euo pipefail
+
+NORMAL="${1:-build}"
+NOOP="${2:-build-noop}"
+REPS="${3:-5}"
+
+for d in "$NORMAL" "$NOOP"; do
+  if [[ ! -x "$d/bench/bench_runtime_throughput" ]]; then
+    echo "missing $d/bench/bench_runtime_throughput (configure + build first)" >&2
+    exit 2
+  fi
+done
+
+run() { # run <build_dir> -> one "shards msgs_per_sec" pair per line
+  "$1/bench/bench_runtime_throughput" --trace --messages=10000 2>/dev/null |
+    sed -n 's/^  \([0-9]*\) shard(s): \([0-9]*\) msgs\/sec.*/\1 \2/p'
+}
+
+pairs_file="$(mktemp)"
+trap 'rm -f "$pairs_file"' EXIT
+# Alternate which binary runs first so slow host drift (thermal throttling,
+# background load) cancels instead of biasing one side.
+for ((r = 0; r < REPS; ++r)); do
+  if ((r % 2 == 0)); then
+    paste <(run "$NORMAL") <(run "$NOOP") >> "$pairs_file"
+  else
+    paste <(run "$NOOP") <(run "$NORMAL") >> "$pairs_file.swapped"
+  fi
+done
+if [[ -s "$pairs_file.swapped" ]]; then
+  awk '{ print $3, $4, $1, $2 }' "$pairs_file.swapped" >> "$pairs_file"
+  rm -f "$pairs_file.swapped"
+fi
+
+deltas_file="$(mktemp)"
+trap 'rm -f "$pairs_file" "$deltas_file"' EXIT
+awk '
+  $1 != $3 { print "shard-count mismatch between runs" > "/dev/stderr"; exit 2 }
+  { delta = ($4 - $2) / $4 * 100.0; print delta
+    printf "  %s shards: traced %s vs noop %s msgs/sec (delta %.1f%%)\n", $1, $2, $4, delta \
+      > "/dev/stderr" }' "$pairs_file" | sort -n > "$deltas_file"
+
+# Median of the sorted per-pair deltas (portable awk: no asort).
+median="$(awk '{ v[NR] = $1 } END {
+  if (NR == 0) exit 2
+  if (NR % 2) print v[int(NR/2) + 1]; else print (v[NR/2] + v[NR/2 + 1]) / 2.0
+}' "$deltas_file")"
+printf 'tracing overhead (median of %d pairs, traced vs PUBSUB_OBS_NOOP build): %.1f%%\n' \
+  "$(wc -l < "$deltas_file")" "$median"
+awk -v m="$median" 'BEGIN { exit (m <= 5.0) ? 0 : 1 }'

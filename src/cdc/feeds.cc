@@ -1,6 +1,7 @@
 #include "cdc/feeds.h"
 
 #include "cdc/codec.h"
+#include "obs/trace.h"
 
 namespace cdc {
 
@@ -38,6 +39,14 @@ void CdcPubsubFeed::OnCommit(const storage::CommitRecord& record) {
       queue_.push_back(ev);
     }
   }
+  if (obs::TracingEnabled()) {
+    // Trace origin: the commit was observed by CDC.
+    for (common::ChangeEvent& ev : queue_) {
+      if (!ev.trace.considered()) {
+        ev.trace = obs::TraceContext::Start();
+      }
+    }
+  }
   sim_->After(options_.publish_latency, [this] { Pump(); });
 }
 
@@ -47,9 +56,12 @@ void CdcPubsubFeed::Pump() {
   }
   for (const common::ChangeEvent& ev : queue_) {
     // Keyed publish routes per-key to a stable partition; keyless round-robins.
-    auto res = broker_->Publish(
-        topic_, pubsub::Message{options_.keyed ? ev.key : common::Key(),
-                                EncodeChangeEvent(ev), 0});
+    pubsub::Message msg{options_.keyed ? ev.key : common::Key(), EncodeChangeEvent(ev), 0};
+    msg.trace = ev.trace;
+    if (msg.trace.active()) {
+      msg.trace.Stamp(obs::Stage::kFeed, obs::NowMicros());  // Handed to pubsub.
+    }
+    auto res = broker_->Publish(topic_, std::move(msg));
     if (!res.ok()) {
       return;  // Topic missing; keep the queue and retry.
     }
@@ -103,7 +115,16 @@ void CdcIngesterFeed::OnCommit(const storage::CommitRecord& record) {
         continue;
       }
       ++appended_;
-      sim_->After(shard.latency, [this, ev] { ingester_->Append(ev); });
+      common::ChangeEvent traced = ev;
+      if (obs::TracingEnabled()) {
+        if (!traced.trace.considered()) {
+          traced.trace = obs::TraceContext::Start();  // Origin: commit observed.
+        }
+        if (traced.trace.active()) {  // Sampled-out records skip the clock read.
+          traced.trace.Stamp(obs::Stage::kFeed, obs::NowMicros());  // Into the pipeline.
+        }
+      }
+      sim_->After(shard.latency, [this, traced] { ingester_->Append(traced); });
     }
     // Everything at or below this commit version has now been handed to the
     // shard's (FIFO) pipeline.

@@ -34,6 +34,18 @@ class Counter {
   std::atomic<std::int64_t> value_{0};
 };
 
+// A last-writer-wins sampled value (watermarks: delivery lag, queue depth).
+// Unlike Counter it records a level, not a rate; samplers overwrite it.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 // Bounded histogram: count / sum / max are exact; percentile queries read a
 // fixed-size reservoir (Vitter's algorithm R with a deterministically seeded
 // Rng). Below the reservoir bound every sample is retained, so percentiles
@@ -144,22 +156,29 @@ class MetricsRegistry {
     std::lock_guard<std::mutex> lock(mu_);
     return histograms_[name];
   }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
 
   // Quiesced-read iteration only: do not call concurrently with lookups that
   // may insert.
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
 
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     histograms_.clear();
+    gauges_.clear();
   }
 
  private:
   std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Gauge> gauges_;
 };
 
 }  // namespace common

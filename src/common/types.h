@@ -10,6 +10,8 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace common {
 
 // Keys are ordered byte strings; ranges over them are half-open [low, high).
@@ -126,8 +128,15 @@ struct ChangeEvent {
   Mutation mutation;
   Version version = kNoVersion;
   bool txn_last = true;
+  // Latency-tracing context (obs layer). Last member so aggregate
+  // initializers that omit it keep working; excluded from equality and from
+  // WAL serialization — tracing is measurement, not semantics.
+  obs::TraceContext trace{};
 
-  friend bool operator==(const ChangeEvent&, const ChangeEvent&) = default;
+  friend bool operator==(const ChangeEvent& a, const ChangeEvent& b) {
+    return a.key == b.key && a.mutation == b.mutation && a.version == b.version &&
+           a.txn_last == b.txn_last;
+  }
 };
 
 // A progress event: all change events affecting [low, high) have been supplied

@@ -1,0 +1,302 @@
+#include "obs/collector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace obs {
+namespace {
+
+// Minimal JSON string escaping for the exposition surface (names and causes
+// are ASCII identifiers in practice, but stay safe anyway).
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string FamilyPrefix(std::size_t family) {
+  // Family 0 is the aggregate; family s+1 is shard s.
+  if (family == 0) {
+    return "obs.";
+  }
+  return "obs.s" + std::to_string(family - 1) + ".";
+}
+
+}  // namespace
+
+Collector::Collector(common::MetricsRegistry* metrics, CollectorOptions options)
+    : metrics_(metrics), options_(options) {
+  pair_hist_.resize(options_.shards + 1);
+  for (auto& family : pair_hist_) {
+    for (auto& path : family) {
+      for (auto& row : path) {
+        row.fill(nullptr);
+      }
+    }
+  }
+  completed_counter_ = &metrics_->counter("obs.traces_completed");
+}
+
+common::Histogram* Collector::PairHistogram(std::size_t family, Path path, std::size_t from,
+                                            std::size_t to) {
+  common::Histogram*& slot = pair_hist_[family][static_cast<std::size_t>(path)][from][to];
+  if (slot == nullptr) {
+    const std::string name = FamilyPrefix(family) + PathName(path) + "." +
+                             StageName(static_cast<Stage>(from)) + "_to_" +
+                             StageName(static_cast<Stage>(to)) + "_us";
+    slot = &metrics_->histogram(name);
+  }
+  return slot;
+}
+
+void Collector::Complete(Path path, const TraceContext& trace, std::size_t shard) {
+  if (!trace.active()) {
+    return;
+  }
+  // Collect the stamped stages in stage order; bridge over unstamped ones.
+  std::array<std::size_t, kStageCount> stamped{};
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (trace.at[s] != 0) {
+      stamped[n++] = s;
+    }
+  }
+  if (n < 2) {
+    return;  // Nothing to measure.
+  }
+  const std::int64_t total = trace.at[stamped[n - 1]] - trace.at[stamped[0]];
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool shard_in_range = shard < options_.shards;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t from = stamped[i];
+    const std::size_t to = stamped[i + 1];
+    // Clock skew / same-tick stamps can produce tiny negatives; clamp so the
+    // histograms stay interpretable.
+    const double d =
+        static_cast<double>(std::max<std::int64_t>(0, trace.at[to] - trace.at[from]));
+    PairHistogram(0, path, from, to)->Record(d);
+    if (shard_in_range) {
+      PairHistogram(shard + 1, path, from, to)->Record(d);
+    }
+  }
+  // End-to-end (first stamped → last stamped). With exactly two stamped
+  // stages the consecutive-pair loop above already recorded this pair.
+  if (n > 2) {
+    const double d = static_cast<double>(std::max<std::int64_t>(0, total));
+    PairHistogram(0, path, stamped[0], stamped[n - 1])->Record(d);
+    if (shard_in_range) {
+      PairHistogram(shard + 1, path, stamped[0], stamped[n - 1])->Record(d);
+    }
+  }
+  ++traces_completed_;
+  completed_counter_->Increment();
+
+  // Worst-K sampler: `worst_` stays sorted ascending by total.
+  if (options_.worst_traces > 0) {
+    if (worst_.size() < options_.worst_traces || total > worst_.front().total_us) {
+      TraceRecord rec;
+      rec.path = path;
+      rec.id = trace.id;
+      rec.shard = shard;
+      rec.total_us = total;
+      rec.at = trace.at;
+      auto pos = std::lower_bound(
+          worst_.begin(), worst_.end(), total,
+          [](const TraceRecord& r, std::int64_t t) { return r.total_us < t; });
+      worst_.insert(pos, rec);
+      if (worst_.size() > options_.worst_traces) {
+        worst_.erase(worst_.begin());
+      }
+    }
+  }
+}
+
+void Collector::LogEvent(EventKind kind, std::string cause, std::string detail,
+                         std::size_t shard) {
+  metrics_->counter(std::string("obs.event.") + EventKindName(kind) + "." + cause).Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  ObsEvent ev;
+  ev.seq = next_event_seq_++;
+  ev.kind = kind;
+  ev.cause = std::move(cause);
+  ev.detail = std::move(detail);
+  ev.shard = shard;
+  ev.t_us = NowMicros();
+  events_.push_back(std::move(ev));
+  while (events_.size() > options_.max_events) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+}
+
+std::uint64_t Collector::traces_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_completed_;
+}
+
+std::vector<ObsEvent> Collector::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ObsEvent>(events_.begin(), events_.end());
+}
+
+std::vector<TraceRecord> Collector::WorstTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRecord> out(worst_.rbegin(), worst_.rend());  // Slowest first.
+  return out;
+}
+
+Snapshot Collector::TakeSnapshot() const {
+  Snapshot snap;
+  // Stage-pair histograms: walk the cached pointer tables so we only report
+  // families that were actually fed (quiesced-read contract).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t family = 0; family < pair_hist_.size(); ++family) {
+      for (std::size_t p = 0; p < kPathCount; ++p) {
+        for (std::size_t from = 0; from < kStageCount; ++from) {
+          for (std::size_t to = from + 1; to < kStageCount; ++to) {
+            const common::Histogram* h = pair_hist_[family][p][from][to];
+            if (h == nullptr || h->count() == 0) {
+              continue;
+            }
+            StageLatency sl;
+            sl.path = PathName(static_cast<Path>(p));
+            sl.from = StageName(static_cast<Stage>(from));
+            sl.to = StageName(static_cast<Stage>(to));
+            sl.shard = family == 0 ? -1 : static_cast<int>(family - 1);
+            sl.count = h->count();
+            sl.p50_us = h->Percentile(50);
+            sl.p99_us = h->Percentile(99);
+            sl.p999_us = h->Percentile(99.9);
+            sl.max_us = h->Max();
+            sl.mean_us = h->Mean();
+            snap.stages.push_back(std::move(sl));
+          }
+        }
+      }
+    }
+    snap.events.assign(events_.begin(), events_.end());
+    snap.worst.assign(worst_.rbegin(), worst_.rend());
+    snap.traces_completed = traces_completed_;
+    snap.events_dropped = events_dropped_;
+  }
+  for (const auto& [name, c] : metrics_->counters()) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  for (const auto& [name, g] : metrics_->gauges()) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  return snap;
+}
+
+std::string Snapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"traces_completed\": " << traces_completed
+      << ",\n  \"events_dropped\": " << events_dropped << ",\n  \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageLatency& s = stages[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"path\": ";
+    AppendJsonString(out, s.path);
+    out << ", \"from\": ";
+    AppendJsonString(out, s.from);
+    out << ", \"to\": ";
+    AppendJsonString(out, s.to);
+    out << ", \"shard\": " << s.shard << ", \"count\": " << s.count
+        << ", \"p50_us\": " << s.p50_us << ", \"p99_us\": " << s.p99_us
+        << ", \"p999_us\": " << s.p999_us << ", \"max_us\": " << s.max_us
+        << ", \"mean_us\": " << s.mean_us << "}";
+  }
+  out << (stages.empty() ? "]" : "\n  ]") << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    AppendJsonString(out, counters[i].first);
+    out << ": " << counters[i].second;
+  }
+  out << (counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    ";
+    AppendJsonString(out, gauges[i].first);
+    out << ": " << gauges[i].second;
+  }
+  out << (gauges.empty() ? "}" : "\n  }") << ",\n  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ObsEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"seq\": " << e.seq << ", \"kind\": ";
+    AppendJsonString(out, EventKindName(e.kind));
+    out << ", \"cause\": ";
+    AppendJsonString(out, e.cause);
+    out << ", \"detail\": ";
+    AppendJsonString(out, e.detail);
+    out << ", \"shard\": " << e.shard << ", \"t_us\": " << e.t_us << "}";
+  }
+  out << (events.empty() ? "]" : "\n  ]") << ",\n  \"worst_traces\": [";
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    const TraceRecord& w = worst[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"path\": ";
+    AppendJsonString(out, PathName(w.path));
+    out << ", \"id\": " << w.id << ", \"shard\": " << w.shard
+        << ", \"total_us\": " << w.total_us << ", \"stages\": {";
+    bool first = true;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      if (w.at[s] == 0) {
+        continue;
+      }
+      if (!first) {
+        out << ", ";
+      }
+      first = false;
+      AppendJsonString(out, StageName(static_cast<Stage>(s)));
+      out << ": " << w.at[s];
+    }
+    out << "}}";
+  }
+  out << (worst.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+std::string Snapshot::ToText() const {
+  std::ostringstream out;
+  out << "obs snapshot: " << traces_completed << " traces completed, " << events.size()
+      << " events (" << events_dropped << " dropped), " << worst.size() << " worst traces\n";
+  for (const StageLatency& s : stages) {
+    out << "  " << s.path << " " << s.from << "->" << s.to;
+    if (s.shard >= 0) {
+      out << " [s" << s.shard << "]";
+    }
+    out << ": n=" << s.count << " p50=" << s.p50_us << "us p99=" << s.p99_us
+        << "us p99.9=" << s.p999_us << "us max=" << s.max_us << "us\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out << "  gauge " << name << "=" << v << "\n";
+  }
+  for (const ObsEvent& e : events) {
+    out << "  event #" << e.seq << " " << EventKindName(e.kind) << " cause=" << e.cause
+        << " detail=" << e.detail << " shard=" << e.shard << "\n";
+  }
+  for (const TraceRecord& w : worst) {
+    out << "  worst " << PathName(w.path) << " id=" << w.id << " total=" << w.total_us
+        << "us\n";
+  }
+  return out.str();
+}
+
+std::string DumpJson(const Collector& collector) { return collector.TakeSnapshot().ToJson(); }
+
+}  // namespace obs

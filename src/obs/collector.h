@@ -1,0 +1,159 @@
+// obs::Collector — the sink half of the tracing layer. Components hand it
+// completed TraceContexts and lifecycle events; it turns them into
+//
+//   * per-stage latency histograms in the shared common::MetricsRegistry,
+//     one family per shard ("obs.s3.watch.append_to_deliver_us") plus an
+//     aggregate family ("obs.watch.append_to_deliver_us");
+//   * a bounded resync/rebalance event log with causes (why did a session
+//     leave the live state? why did a group rebalance?), mirrored into
+//     per-cause counters;
+//   * a bounded slow-trace sampler retaining the K worst end-to-end traces
+//     with their full stage breakdowns;
+//   * on demand, an obs::Snapshot — a quiesced read of all of the above —
+//     with text and JSON expositions.
+//
+// Thread safety: Complete() and LogEvent() may be called from any thread
+// (histograms and counters are the thread-safe common::Metrics types; the
+// event log and sampler take small internal mutexes). TakeSnapshot() may run
+// concurrently too, but exact values are only guaranteed when the system is
+// quiesced (the registry iteration contract).
+#ifndef SRC_OBS_COLLECTOR_H_
+#define SRC_OBS_COLLECTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/trace.h"
+
+namespace obs {
+
+// The two delivery pipelines a trace can complete on.
+enum class Path : std::uint8_t { kPubsub = 0, kWatch = 1 };
+inline constexpr std::size_t kPathCount = 2;
+
+inline const char* PathName(Path p) { return p == Path::kPubsub ? "pubsub" : "watch"; }
+
+// Lifecycle events worth a log line, not just a counter bump.
+enum class EventKind : std::uint8_t { kResync, kRebalance, kSessionBreak, kSoftStateCrash };
+
+inline const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kResync: return "resync";
+    case EventKind::kRebalance: return "rebalance";
+    case EventKind::kSessionBreak: return "session_break";
+    case EventKind::kSoftStateCrash: return "soft_state_crash";
+  }
+  return "?";
+}
+
+struct ObsEvent {
+  std::uint64_t seq = 0;  // Monotonic across the collector's lifetime.
+  EventKind kind = EventKind::kResync;
+  std::string cause;   // e.g. "window_floor", "backlog_overflow", "member_join".
+  std::string detail;  // Free-form: session id, group id, generation.
+  std::size_t shard = 0;
+  std::int64_t t_us = 0;  // obs::NowMicros() at log time.
+};
+
+// A completed end-to-end trace as retained by the slow sampler.
+struct TraceRecord {
+  Path path = Path::kPubsub;
+  std::uint64_t id = 0;
+  std::size_t shard = 0;
+  std::int64_t total_us = 0;
+  std::array<std::int64_t, kStageCount> at{};
+};
+
+// One stage-pair latency summary inside a Snapshot.
+struct StageLatency {
+  std::string path;  // "pubsub" | "watch".
+  std::string from;  // Stage names, e.g. "origin" → "append".
+  std::string to;
+  int shard = -1;  // -1: the aggregate family.
+  std::uint64_t count = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0, max_us = 0, mean_us = 0;
+};
+
+struct Snapshot {
+  std::vector<StageLatency> stages;  // Only pairs with count > 0.
+  std::vector<std::pair<std::string, std::int64_t>> counters;  // Full registry.
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<ObsEvent> events;       // Oldest first.
+  std::vector<TraceRecord> worst;     // Slowest first.
+  std::uint64_t traces_completed = 0;
+  std::uint64_t events_dropped = 0;   // Log-bound overflow (oldest evicted).
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+struct CollectorOptions {
+  std::size_t shards = 1;        // Per-shard histogram families s0..s{n-1}.
+  std::size_t worst_traces = 8;  // K of the slow-trace sampler.
+  std::size_t max_events = 256;  // Event-log bound (oldest evicted, counted).
+};
+
+class Collector {
+ public:
+  explicit Collector(common::MetricsRegistry* metrics, CollectorOptions options = {});
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  // Feeds a completed trace: consecutive stamped stages become histogram
+  // samples (unstamped stages are bridged over), the first→last delta is the
+  // end-to-end total, and the slow sampler keeps it if it is among the K
+  // worst. Inactive traces are ignored. `shard` beyond options.shards clamps
+  // to the aggregate family only.
+  void Complete(Path path, const TraceContext& trace, std::size_t shard = 0);
+
+  // Logs a lifecycle event and bumps "obs.event.<kind>.<cause>".
+  void LogEvent(EventKind kind, std::string cause, std::string detail, std::size_t shard = 0);
+
+  common::MetricsRegistry& metrics() { return *metrics_; }
+  const CollectorOptions& options() const { return options_; }
+
+  std::uint64_t traces_completed() const;
+  std::vector<ObsEvent> Events() const;       // Oldest first.
+  std::vector<TraceRecord> WorstTraces() const;  // Slowest first.
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  // Histogram pointer for a (path, from, to) pair in the given family
+  // (shard + 1; family 0 is the aggregate). Pointers resolved lazily under
+  // mu_ and cached — registry references are stable.
+  common::Histogram* PairHistogram(std::size_t family, Path path, std::size_t from,
+                                   std::size_t to);
+
+  common::MetricsRegistry* metrics_;
+  CollectorOptions options_;
+
+  mutable std::mutex mu_;  // Guards the caches, event log, and sampler.
+  // [family][path][from][to] → histogram; family 0 aggregate, s+1 per shard.
+  std::vector<std::array<std::array<std::array<common::Histogram*, kStageCount>, kStageCount>,
+                         kPathCount>>
+      pair_hist_;
+  std::deque<ObsEvent> events_;
+  std::uint64_t next_event_seq_ = 1;
+  std::uint64_t events_dropped_ = 0;
+  std::vector<TraceRecord> worst_;  // Sorted ascending by total_us.
+  std::uint64_t traces_completed_ = 0;
+
+  common::Counter* completed_counter_;
+};
+
+// Convenience: snapshot → JSON in one call (the exposition surface harnesses
+// and benches dump).
+std::string DumpJson(const Collector& collector);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_COLLECTOR_H_

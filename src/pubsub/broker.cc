@@ -61,6 +61,14 @@ common::Result<PublishResult> Broker::Publish(const std::string& topic, Message 
     t.next_round_robin = (t.next_round_robin + 1) % t.config.partitions;
   }
   msg.publish_time = sim_->Now();
+  if (obs::TracingEnabled()) {
+    if (!msg.trace.considered()) {
+      msg.trace = obs::TraceContext::Start();  // Origin: publish accepted.
+    }
+    if (msg.trace.active()) {  // Sampled-out records skip the clock read.
+      msg.trace.Stamp(obs::Stage::kAppend, obs::NowMicros());
+    }
+  }
   const Offset offset = t.partitions[p]->Append(std::move(msg));
   return PublishResult{p, offset};
 }
@@ -75,7 +83,14 @@ common::Result<std::vector<StoredMessage>> Broker::Fetch(const std::string& topi
   if (partition >= it->second.config.partitions) {
     return common::Status::InvalidArgument("partition out of range");
   }
-  return it->second.partitions[partition]->Read(offset, max);
+  auto messages = it->second.partitions[partition]->Read(offset, max);
+  if (obs::TracingEnabled() && !messages.empty()) {  // Empty polls skip the clock read.
+    const std::int64_t now = obs::NowMicros();
+    for (StoredMessage& sm : messages) {
+      sm.message.trace.Stamp(obs::Stage::kFetch, now);  // Handed to consumer.
+    }
+  }
+  return messages;
 }
 
 Offset Broker::EndOffset(const std::string& topic, PartitionId partition) const {
@@ -108,7 +123,7 @@ common::Result<std::uint64_t> Broker::JoinGroup(const GroupId& group, const std:
   const auto [it, inserted] = g.members.insert_or_assign(member, sim_->Now());
   (void)it;
   if (inserted) {
-    Rebalance(group, g);
+    Rebalance(group, g, "member_join");
   }
   // A rejoin by a present member is heartbeat-equivalent: bumping the
   // generation here would invalidate every member's AssignedPartitions.
@@ -121,7 +136,7 @@ void Broker::LeaveGroup(const GroupId& group, const MemberId& member) {
     return;
   }
   if (it->second.members.erase(member) > 0) {
-    Rebalance(group, it->second);
+    Rebalance(group, it->second, "member_leave");
   }
 }
 
@@ -278,14 +293,20 @@ void Broker::SweepDeadMembers() {
       }
     }
     if (changed) {
-      Rebalance(id, group);
+      Rebalance(id, group, "member_eviction");
     }
   }
 }
 
-void Broker::Rebalance(const GroupId& id, Group& group) {
+void Broker::Rebalance(const GroupId& id, Group& group, const char* cause) {
   ++group.generation;
   group.assignment.clear();
+  if (obs_ != nullptr) {
+    obs_->LogEvent(obs::EventKind::kRebalance, cause,
+                   "group=" + id + " gen=" + std::to_string(group.generation) +
+                       " members=" + std::to_string(group.members.size()),
+                   obs_shard_);
+  }
   auto topic = topics_.find(group.topic);
   if (topic != topics_.end() && !group.members.empty()) {
     // Range assignment: contiguous partition blocks over sorted members

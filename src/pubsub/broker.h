@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/collector.h"
 #include "pubsub/log.h"
 #include "pubsub/types.h"
 #include "sim/network.h"
@@ -155,6 +156,15 @@ class Broker {
 
   void set_session_timeout(common::TimeMicros t) { session_timeout_ = t; }
 
+  // Attaches the observability collector (nullptr detaches). The broker
+  // stamps trace stages on messages it appends/serves and logs rebalances
+  // with their causes. `shard` tags the collector's per-shard histogram
+  // family when the broker runs inside a ShardPool core.
+  void set_obs(obs::Collector* obs, std::size_t shard = 0) {
+    obs_ = obs;
+    obs_shard_ = shard;
+  }
+
   // The deterministic key hash behind kByKeyHash routing. Public so routing
   // layers (e.g. runtime::ConcurrentBroker) can pick the same partition the
   // broker would.
@@ -218,7 +228,7 @@ class Broker {
 
   void EnforceRetention();
   void SweepDeadMembers();
-  void Rebalance(const GroupId& id, Group& group);
+  void Rebalance(const GroupId& id, Group& group, const char* cause);
 
   sim::Simulator* sim_;
   sim::Network* net_;
@@ -228,6 +238,8 @@ class Broker {
   std::map<GroupId, Group> groups_;
   std::vector<BrokerObserver*> observers_;
   std::unique_ptr<sim::PeriodicTask> maintenance_;
+  obs::Collector* obs_ = nullptr;
+  std::size_t obs_shard_ = 0;
 };
 
 }  // namespace pubsub

@@ -86,8 +86,18 @@ void GroupConsumer::Poll() {
       continue;
     }
     for (const StoredMessage& m : *batch) {
+      // Trace stamps happen on a local copy: the stored message is shared
+      // log state and deliver/ack times are per-consumer.
+      obs::TraceContext trace = m.message.trace;
+      trace.Stamp(obs::Stage::kDeliver, trace.active() ? obs::NowMicros() : 0);
       bool ack = handler_(p, m);
       if (ack) {
+        if (trace.active()) {
+          trace.Stamp(obs::Stage::kAck, obs::NowMicros());
+          if (options_.obs != nullptr) {
+            options_.obs->Complete(obs::Path::kPubsub, trace, options_.obs_shard);
+          }
+        }
         ++delivered_;
         delivered_bytes_ += m.message.key.size() + m.message.value.size();
         broker_->CommitOffset(group_, p, m.offset + 1);

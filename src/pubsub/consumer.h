@@ -40,6 +40,11 @@ struct ConsumerOptions {
   // make progress. 0 disables redelivery limiting.
   std::uint32_t max_redeliveries = 0;
   std::string dead_letter_topic;
+  // Observability sink: when set, the consumer stamps deliver/ack stages on
+  // traced messages and completes their pubsub-path traces into the
+  // collector (tagged with `obs_shard`'s histogram family).
+  obs::Collector* obs = nullptr;
+  std::size_t obs_shard = 0;
 };
 
 // Returns true to acknowledge; false leaves the message uncommitted for

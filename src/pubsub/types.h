@@ -18,8 +18,14 @@ struct Message {
   common::Key key;     // Routing / compaction key (may be empty).
   common::Value value; // Opaque payload.
   common::TimeMicros publish_time = 0;
+  // Latency-tracing context (obs layer). Last member so aggregate
+  // initializers that omit it keep working; excluded from equality and from
+  // WAL serialization — tracing is measurement, not semantics.
+  obs::TraceContext trace{};
 
-  friend bool operator==(const Message&, const Message&) = default;
+  friend bool operator==(const Message& a, const Message& b) {
+    return a.key == b.key && a.value == b.value && a.publish_time == b.publish_time;
+  }
 };
 
 struct StoredMessage {

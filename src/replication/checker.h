@@ -14,8 +14,11 @@
 #ifndef SRC_REPLICATION_CHECKER_H_
 #define SRC_REPLICATION_CHECKER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/types.h"
 #include "replication/target_store.h"

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace runtime {
 
 ConcurrentBroker::ConcurrentBroker(ShardPool* pool) : pool_(pool) {
@@ -98,6 +100,10 @@ common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Me
         state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
   }
   const std::size_t shard = OwnerShard(p);
+  if (obs::TracingEnabled() && !msg.trace.considered()) {
+    // Origin here (not on the shard) so origin→append covers the queue wait.
+    msg.trace = obs::TraceContext::Start();
+  }
   pubsub::Broker* broker = pool_->core(shard).broker.get();
   const bool posted = pool_->TryPost(shard, [broker, topic, msg = std::move(msg), p]() mutable {
     // Cannot fail: the topic exists on every shard and p is range-checked.
@@ -134,6 +140,9 @@ common::Result<pubsub::PublishResult> ConcurrentBroker::PublishSync(
   } else {
     p = static_cast<pubsub::PartitionId>(
         state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
+  }
+  if (obs::TracingEnabled() && !msg.trace.considered()) {
+    msg.trace = obs::TraceContext::Start();
   }
   auto result = pool_->RunOn(OwnerShard(p), [&](ShardCore& core) {
     return core.broker->Publish(topic, std::move(msg), p);

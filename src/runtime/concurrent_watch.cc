@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
 #include "watch/watch_system.h"
 
 namespace runtime {
@@ -150,7 +151,12 @@ common::Status ConcurrentWatchService::TryIngest(const common::ChangeEvent& even
                                                  common::TimeMicros* retry_after) {
   const std::size_t shard = OwnerShard(event.key);
   watch::WatchSystem* system = pool_->core(shard).watch.get();
-  if (!pool_->TryPost(shard, [system, event] { system->Append(event); })) {
+  common::ChangeEvent traced = event;
+  if (obs::TracingEnabled() && !traced.trace.considered()) {
+    // Origin here (not on the shard) so origin→append covers the queue wait.
+    traced.trace = obs::TraceContext::Start();
+  }
+  if (!pool_->TryPost(shard, [system, traced = std::move(traced)] { system->Append(traced); })) {
     ingest_rejected_->Increment();
     if (retry_after != nullptr) {
       *retry_after = pool_->options().retry_after;
@@ -166,7 +172,11 @@ common::Status ConcurrentWatchService::TryIngest(const common::ChangeEvent& even
 void ConcurrentWatchService::Append(const common::ChangeEvent& event) {
   const std::size_t shard = OwnerShard(event.key);
   watch::WatchSystem* system = pool_->core(shard).watch.get();
-  pool_->Post(shard, [system, event] { system->Append(event); });
+  common::ChangeEvent traced = event;
+  if (obs::TracingEnabled() && !traced.trace.considered()) {
+    traced.trace = obs::TraceContext::Start();
+  }
+  pool_->Post(shard, [system, traced = std::move(traced)] { system->Append(traced); });
   ingest_accepted_->Increment();
 }
 

@@ -1,5 +1,6 @@
 #include "runtime/shard_pool.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 
@@ -34,6 +35,10 @@ ShardPool::ShardPool(RuntimeOptions options, common::MetricsRegistry* metrics)
     wopts.max_session_backlog = options_.max_session_backlog;
     core->watch = std::make_unique<watch::WatchSystem>(core->sim.get(), /*net=*/nullptr,
                                                        "watch-" + std::to_string(s), wopts);
+    if (options_.obs != nullptr) {
+      core->broker->set_obs(options_.obs, s);
+      core->watch->set_obs(options_.obs, s);
+    }
     if (options_.durable_vfs != nullptr) {
       auto journal = wal::BrokerJournal::Open(options_.durable_vfs,
                                               options_.durable_dir + "/shard-" + std::to_string(s),
@@ -188,7 +193,43 @@ common::Status ShardPool::durable_status() const {
 void ShardPool::Quiesce() {
   // With producers stopped, a fence observes every queue drained up to the
   // fence task and flushes all simulators (RunFenced flushes around fn).
-  RunFenced([] {});
+  RunFenced([this] { SampleObsGauges(); });
+}
+
+void ShardPool::SampleObsGauges() {
+  if (options_.obs == nullptr) {
+    return;
+  }
+  common::MetricsRegistry& m = options_.obs->metrics();
+  std::uint64_t total_backlog = 0;
+  std::uint64_t max_lag = 0;
+  for (std::size_t s = 0; s < cores_.size(); ++s) {
+    ShardCore& core = *cores_[s];
+    const std::string prefix = "obs.s" + std::to_string(s) + ".";
+    std::uint64_t shard_backlog = 0;
+    for (const pubsub::GroupId& group : core.broker->GroupIds()) {
+      const pubsub::GroupView view = core.broker->ViewGroup(group);
+      shard_backlog += core.broker->GroupBacklog(group, view.topic);
+    }
+    m.gauge(prefix + "pubsub.group_backlog").Set(static_cast<std::int64_t>(shard_backlog));
+    total_backlog += shard_backlog;
+
+    const common::Version maxv = core.watch->MaxIngestedVersion();
+    std::uint64_t shard_lag = 0;
+    core.watch->VisitSessions([&](const watch::WatchSystem::SessionInfo& info) {
+      if (!info.live) {
+        return;
+      }
+      const std::uint64_t lag = maxv > info.last_progress ? maxv - info.last_progress : 0;
+      shard_lag = std::max(shard_lag, lag);
+    });
+    m.gauge(prefix + "watch.max_session_lag").Set(static_cast<std::int64_t>(shard_lag));
+    max_lag = std::max(max_lag, shard_lag);
+
+    m.gauge(prefix + "queue_depth").Set(static_cast<std::int64_t>(queue_depth(s)));
+  }
+  m.gauge("obs.pubsub.group_backlog").Set(static_cast<std::int64_t>(total_backlog));
+  m.gauge("obs.watch.max_session_lag").Set(static_cast<std::int64_t>(max_lag));
 }
 
 }  // namespace runtime

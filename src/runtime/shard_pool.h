@@ -31,6 +31,7 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "obs/collector.h"
 #include "pubsub/broker.h"
 #include "runtime/mpsc_queue.h"
 #include "sim/network.h"
@@ -80,6 +81,12 @@ struct RuntimeOptions {
   wal::Vfs* durable_vfs = nullptr;
   std::string durable_dir = "wal";
   wal::BrokerJournalOptions durable{};
+  // Observability collector: when non-null every shard's broker and watch
+  // system stamp trace stages / log lifecycle events into it (tagged with the
+  // shard index), and SampleObsGauges() publishes delivery-lag watermarks.
+  // Must outlive the pool; its registry should be the pool's registry so one
+  // snapshot covers both.
+  obs::Collector* obs = nullptr;
 };
 
 // One shard's single-threaded core. All members are confined to the shard's
@@ -165,8 +172,17 @@ class ShardPool {
 
   // Drains all queues and flushes every shard's simulator. Call with external
   // producers stopped; afterwards (or after Stop) harness-side inspection of
-  // the cores is race-free and the invariant oracle may run.
+  // the cores is race-free and the invariant oracle may run. With an obs
+  // collector attached, also refreshes the delivery-lag gauges.
   void Quiesce();
+
+  // Publishes delivery-lag watermark gauges into the obs collector's
+  // registry: per-shard and aggregate consumer-group backlog (log end minus
+  // committed), per-shard max watch-session progress lag (MaxIngestedVersion
+  // minus last_progress), and per-shard task-queue depth. No-op without a
+  // collector. Call only while stopped, inside RunFenced, or from Quiesce —
+  // it reads every core.
+  void SampleObsGauges();
 
   // The shard's core. Safe from the shard's own tasks, inside RunFenced, or
   // while the pool is not running. The returned reference is stable.

@@ -20,7 +20,10 @@ class RetainedWindow {
  public:
   struct Options {
     std::size_t max_events = 100000;     // 0: unbounded.
-    common::TimeMicros max_age = 0;      // 0: no age limit (trimmed by TrimBefore).
+    // 0: no age limit. Otherwise every Append trims events ingested more
+    // than max_age before `now` (callers can also trim on their own clock
+    // via TrimOlderThan).
+    common::TimeMicros max_age = 0;
   };
 
   RetainedWindow() = default;
@@ -33,7 +36,8 @@ class RetainedWindow {
 
   // Adds an event (versions must be non-decreasing across Append calls for
   // events of the same key; cross-key interleaving at equal versions is
-  // fine). Trims by count.
+  // fine). Trims by count and — when Options::max_age is set — by age,
+  // raising the serve-from floor so aged-out positions resync loudly.
   void Append(const common::ChangeEvent& event, common::TimeMicros now) {
     events_.push_back(StampedEvent{event, now});
     if (event.version > max_version_) {
@@ -43,6 +47,9 @@ class RetainedWindow {
       while (events_.size() > options_.max_events) {
         DropFront();
       }
+    }
+    if (options_.max_age > 0 && now >= options_.max_age) {
+      TrimOlderThan(now - options_.max_age);
     }
   }
 

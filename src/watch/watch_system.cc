@@ -51,7 +51,13 @@ bool WatchSystem::Reachable(const Session& session) const {
   return net_->Reachable(node_, session.watcher_node);
 }
 
-void WatchSystem::Append(const ChangeEvent& event) {
+void WatchSystem::Append(const ChangeEvent& raw) {
+  // Traced events get the ingest stamp on a local copy so the window and all
+  // downstream deliveries carry it; untraced events pass through unchanged.
+  ChangeEvent event = raw;
+  if (event.trace.active()) {
+    event.trace.Stamp(obs::Stage::kAppend, obs::NowMicros());
+  }
   window_.Append(event, sim_->Now());
   if (observer_ != nullptr) {
     observer_->OnIngest(event);
@@ -67,7 +73,7 @@ void WatchSystem::Append(const ChangeEvent& event) {
         session->in_flight >= options_.max_session_backlog) {
       // Lagging consumer: tell it to resync instead of queueing unboundedly —
       // the paper's "better treatment of backlogs" (Section 4.4).
-      ForceResync(session);
+      ForceResync(session, "backlog_overflow");
       continue;
     }
     DeliverEvent(session, event);
@@ -77,7 +83,9 @@ void WatchSystem::Append(const ChangeEvent& event) {
 void WatchSystem::DeliverEvent(const std::shared_ptr<Session>& session,
                                const ChangeEvent& event) {
   ++session->in_flight;
-  sim_->After(options_.delivery_latency, [this, session, event] {
+  // Init-capture: a plain by-value capture of a `const&` parameter yields a
+  // const copy, and delivery-side stamping needs a mutable one.
+  sim_->After(options_.delivery_latency, [this, session, event = event]() mutable {
     if (session->state != SessionState::kLive || session->callback == nullptr) {
       return;  // Cancelled or resynced while in flight; counter already reset.
     }
@@ -95,7 +103,16 @@ void WatchSystem::DeliverEvent(const std::shared_ptr<Session>& session,
     if (observer_ != nullptr) {
       observer_->OnDeliver(session->id, event);
     }
+    if (event.trace.active()) {
+      event.trace.Stamp(obs::Stage::kDeliver, obs::NowMicros());
+    }
     session->callback->OnEvent(event);
+    if (event.trace.active()) {
+      event.trace.Stamp(obs::Stage::kAck, obs::NowMicros());  // Callback returned.
+      if (obs_ != nullptr) {
+        obs_->Complete(obs::Path::kWatch, event.trace, obs_shard_);
+      }
+    }
   });
 }
 
@@ -103,11 +120,19 @@ void WatchSystem::BreakSession(const std::shared_ptr<Session>& session) {
   session->state = SessionState::kDead;
   session->in_flight = 0;
   ++sessions_broken_;
+  if (obs_ != nullptr) {
+    obs_->LogEvent(obs::EventKind::kSessionBreak, "unreachable",
+                   "session=" + std::to_string(session->id), obs_shard_);
+  }
 }
 
-void WatchSystem::ForceResync(const std::shared_ptr<Session>& session) {
+void WatchSystem::ForceResync(const std::shared_ptr<Session>& session, const char* cause) {
   if (session->state != SessionState::kLive) {
     return;
+  }
+  if (obs_ != nullptr) {
+    obs_->LogEvent(obs::EventKind::kResync, cause, "session=" + std::to_string(session->id),
+                   obs_shard_);
   }
   session->state = SessionState::kResyncing;
   // Leaving kLive: in-flight deliveries will drop at dispatch, so they are
@@ -195,9 +220,15 @@ std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key
     }
   }
 
+  // Enforce the age bound at join time too: Append only trims when events
+  // arrive, so on a quiescent window an aged-out position could otherwise
+  // replay stale history instead of resyncing.
+  if (options_.window.max_age > 0) {
+    window_.TrimOlderThan(sim_->Now() - options_.window.max_age);
+  }
   if (!window_.CanServeFrom(version)) {
     // The requested version predates retained history: resync, loudly.
-    ForceResync(session);
+    ForceResync(session, "window_floor");
     return std::make_unique<Handle>(session);
   }
   // Replay buffered events the watcher has not seen, then go live. Replay and
@@ -214,9 +245,13 @@ void WatchSystem::CrashSoftState() {
   if (observer_ != nullptr) {
     observer_->OnSoftStateCrash();
   }
+  if (obs_ != nullptr) {
+    obs_->LogEvent(obs::EventKind::kSoftStateCrash, "crash",
+                   "sessions=" + std::to_string(sessions_.size()), obs_shard_);
+  }
   for (auto& [id, session] : sessions_) {
     if (session->state == SessionState::kLive) {
-      ForceResync(session);
+      ForceResync(session, "soft_state_crash");
     }
   }
 }
@@ -224,7 +259,8 @@ void WatchSystem::CrashSoftState() {
 void WatchSystem::VisitSessions(const std::function<void(const SessionInfo&)>& fn) const {
   for (const auto& [id, session] : sessions_) {
     fn(SessionInfo{session->id, session->range, session->start_version,
-                   session->state == SessionState::kLive, session->in_flight});
+                   session->state == SessionState::kLive, session->in_flight,
+                   session->last_progress});
   }
 }
 

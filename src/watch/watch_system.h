@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/collector.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "watch/api.h"
@@ -128,6 +129,16 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
 
   void set_observer(WatchSystemObserver* observer) { observer_ = observer; }
 
+  // Attaches the observability collector (nullptr detaches). The system
+  // stamps ingest/deliver/ack trace stages on events and logs resyncs,
+  // session breaks, and soft-state crashes with their causes. `shard` tags
+  // the collector's per-shard histogram family when this system runs inside
+  // a ShardPool core.
+  void set_obs(obs::Collector* obs, std::size_t shard = 0) {
+    obs_ = obs;
+    obs_shard_ = shard;
+  }
+
   // Read-only view of one session's bookkeeping state.
   struct SessionInfo {
     std::uint64_t id = 0;
@@ -135,6 +146,9 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
     common::Version start_version = 0;
     bool live = false;
     std::size_t in_flight = 0;
+    // Highest progress frontier notified to the session; with
+    // MaxIngestedVersion() this gives the session's delivery-lag watermark.
+    common::Version last_progress = 0;
   };
   void VisitSessions(const std::function<void(const SessionInfo&)>& fn) const;
 
@@ -159,7 +173,9 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
 
   bool Reachable(const Session& session) const;
   void DeliverEvent(const std::shared_ptr<Session>& session, const ChangeEvent& event);
-  void ForceResync(const std::shared_ptr<Session>& session);
+  // `cause` feeds the obs event log: "backlog_overflow", "window_floor",
+  // "window_age", "soft_state_crash".
+  void ForceResync(const std::shared_ptr<Session>& session, const char* cause);
   void BreakSession(const std::shared_ptr<Session>& session);
   void PumpProgress();
 
@@ -175,6 +191,8 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
   std::uint64_t resyncs_sent_ = 0;
   std::uint64_t sessions_broken_ = 0;
   WatchSystemObserver* observer_ = nullptr;
+  obs::Collector* obs_ = nullptr;
+  std::size_t obs_shard_ = 0;
   std::unique_ptr<sim::PeriodicTask> progress_task_;
 };
 

@@ -21,40 +21,63 @@ class ConvergenceTracker {
  public:
   ConvergenceTracker(sim::Simulator* sim, storage::MvccStore* store) : sim_(sim) {
     store->AddCommitObserver([this](const storage::CommitRecord& record) {
+      // Two passes per commit: desired-state puts first, then actual-state
+      // puts. A commit carrying both for one entity is then handled
+      // deterministically (the actual is judged against that commit's
+      // desired) regardless of the change order inside the record.
       for (const common::ChangeEvent& ev : record.changes) {
-        if (ev.mutation.kind != common::MutationKind::kPut) {
+        if (ev.mutation.kind != common::MutationKind::kPut || !IsDesiredKey(ev.key)) {
           continue;
         }
         auto id = EntityIdOf(ev.key);
         if (!id.has_value()) {
           continue;
         }
-        if (IsDesiredKey(ev.key)) {
-          Pending& p = pending_[*id];
-          p.desired = ev.mutation.value;
-          p.changed_at = sim_->Now();
-          p.converged = false;
-          auto decoded = DecodeDesired(ev.mutation.value);
-          p.priority = decoded.has_value() ? decoded->priority : 0;
-        } else if (IsActualKey(ev.key)) {
-          auto it = pending_.find(*id);
-          if (it == pending_.end() || it->second.converged) {
-            continue;
-          }
-          // Converged only if the applied actual matches the CURRENT desired
-          // (a stale execution does not count).
-          auto desired = DecodeDesired(it->second.desired);
-          if (desired.has_value() && ev.mutation.value == desired->config) {
-            it->second.converged = true;
-            const double latency_ms =
-                static_cast<double>(sim_->Now() - it->second.changed_at) /
-                common::kMicrosPerMilli;
-            latency_.Record(latency_ms);
-            by_priority_[it->second.priority].Record(latency_ms);
-            ++converged_;
-          } else {
-            ++stale_executions_;
-          }
+        Pending& p = pending_[*id];
+        p.desired = ev.mutation.value;
+        p.changed_at = sim_->Now();
+        p.converged = false;
+        auto decoded = DecodeDesired(ev.mutation.value);
+        p.priority = decoded.has_value() ? decoded->priority : 0;
+      }
+      for (const common::ChangeEvent& ev : record.changes) {
+        if (ev.mutation.kind != common::MutationKind::kPut || !IsActualKey(ev.key)) {
+          continue;
+        }
+        auto id = EntityIdOf(ev.key);
+        if (!id.has_value()) {
+          continue;
+        }
+        auto it = pending_.find(*id);
+        if (it == pending_.end()) {
+          // Actual-before-desired ordering: the execution result arrived
+          // before any observed desired put. Not staleness — count it so
+          // harnesses can detect the reordering instead of losing it.
+          ++unmatched_actuals_;
+          continue;
+        }
+        if (it->second.converged) {
+          continue;
+        }
+        auto desired = DecodeDesired(it->second.desired);
+        if (!desired.has_value()) {
+          // Undecodable desired value: a measurement failure, not a stale
+          // execution — keep the counters honest by splitting them.
+          ++decode_failures_;
+          continue;
+        }
+        // Converged only if the applied actual matches the CURRENT desired
+        // (a stale execution does not count).
+        if (ev.mutation.value == desired->config) {
+          it->second.converged = true;
+          const double latency_ms =
+              static_cast<double>(sim_->Now() - it->second.changed_at) /
+              common::kMicrosPerMilli;
+          latency_.Record(latency_ms);
+          by_priority_[it->second.priority].Record(latency_ms);
+          ++converged_;
+        } else {
+          ++stale_executions_;
         }
       }
     });
@@ -75,7 +98,12 @@ class ConvergenceTracker {
   }
 
   std::uint64_t converged() const { return converged_; }
+  // Decodable actuals that matched an out-of-date desired value.
   std::uint64_t stale_executions() const { return stale_executions_; }
+  // Actuals judged against an undecodable desired value.
+  std::uint64_t decode_failures() const { return decode_failures_; }
+  // Actuals observed before any desired put for their entity.
+  std::uint64_t unmatched_actuals() const { return unmatched_actuals_; }
   const common::Histogram& latency_ms() const { return latency_; }
   const std::map<std::uint32_t, common::Histogram>& latency_by_priority() const {
     return by_priority_;
@@ -95,6 +123,8 @@ class ConvergenceTracker {
   std::map<std::uint32_t, common::Histogram> by_priority_;
   std::uint64_t converged_ = 0;
   std::uint64_t stale_executions_ = 0;
+  std::uint64_t decode_failures_ = 0;
+  std::uint64_t unmatched_actuals_ = 0;
 };
 
 }  // namespace workqueue

@@ -1,0 +1,168 @@
+// Observability under the concurrent runtime (designed to also run under
+// TSan): tracing across producer threads and shard workers, per-shard
+// histogram families, delivery-lag gauges sampled at quiesce, and the
+// guarantee that tracing never perturbs the runtime's exact accounting.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "obs/collector.h"
+#include "obs/trace.h"
+#include "runtime/concurrent_broker.h"
+#include "runtime/concurrent_watch.h"
+#include "runtime/shard_pool.h"
+
+namespace runtime {
+namespace {
+
+class CountingCallback : public watch::WatchCallback {
+ public:
+  void OnEvent(const common::ChangeEvent&) override { events.fetch_add(1); }
+  void OnProgress(const common::ProgressEvent&) override {}
+  void OnResync() override { resyncs.fetch_add(1); }
+
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<int> resyncs{0};
+};
+
+class ObsRuntimeTest : public ::testing::Test {
+ protected:
+  ~ObsRuntimeTest() override { obs::SetTracingEnabled(false); }
+};
+
+TEST_F(ObsRuntimeTest, WatchPathTracedAcrossThreadsWithExactAccounting) {
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 500;
+  constexpr std::size_t kShards = 2;
+
+  common::MetricsRegistry registry;
+  obs::Collector collector(&registry, {.shards = kShards});
+  RuntimeOptions options;
+  options.shards = kShards;
+  options.obs = &collector;
+  options.watch_splits = {"e"};  // Keys a*..d* on shard 0, e*..h* on shard 1.
+  ShardPool pool(options, &registry);
+  ConcurrentWatchService watch(&pool);
+  pool.Start();
+
+  CountingCallback cb;
+  auto handle = watch.Watch(common::Key(), common::Key(), 0, &cb);
+
+  obs::SetTracingEnabled(true);
+  std::atomic<std::int64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        common::ChangeEvent event;
+        event.key = std::string(1, static_cast<char>('a' + (i % 8))) + std::to_string(t);
+        event.mutation = common::Mutation::Put("v");
+        event.version = static_cast<common::Version>(t) * 1000000 + i + 1;
+        if (watch.TryIngest(event).ok()) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  pool.Quiesce();
+  pool.Stop();
+
+  // Tracing changed nothing semantically: exact delivery accounting holds.
+  ASSERT_EQ(cb.resyncs.load(), 0);
+  EXPECT_EQ(cb.events.load(), static_cast<std::uint64_t>(accepted.load()));
+  // Every delivered event completed a watch-path trace.
+  EXPECT_EQ(collector.traces_completed(), static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(registry.histogram("obs.watch.origin_to_ack_us").count(),
+            static_cast<std::size_t>(accepted.load()));
+  // Per-shard families partition the aggregate.
+  const std::size_t s0 = registry.histogram("obs.s0.watch.append_to_deliver_us").count();
+  const std::size_t s1 = registry.histogram("obs.s1.watch.append_to_deliver_us").count();
+  EXPECT_EQ(s0 + s1, static_cast<std::size_t>(accepted.load()));
+  EXPECT_GT(s0, 0u);  // The key spread covers both shards.
+  EXPECT_GT(s1, 0u);
+  // The worst-trace sampler retained complete stage breakdowns.
+  auto worst = collector.WorstTraces();
+  ASSERT_FALSE(worst.empty());
+  EXPECT_GT(worst[0].at[static_cast<std::size_t>(obs::Stage::kAck)], 0);
+}
+
+TEST_F(ObsRuntimeTest, QuiesceSamplesBacklogLagAndQueueDepthGauges) {
+  constexpr std::size_t kShards = 2;
+  common::MetricsRegistry registry;
+  obs::Collector collector(&registry, {.shards = kShards});
+  RuntimeOptions options;
+  options.shards = kShards;
+  options.obs = &collector;
+  ShardPool pool(options, &registry);
+  ConcurrentBroker broker(&pool);
+  ConcurrentWatchService watch(&pool);
+  pool.Start();
+
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+  ASSERT_TRUE(broker.JoinGroup("g", "t", "m1").ok());
+  // The fenced join rebalanced every shard's coordinator, with a cause.
+  EXPECT_EQ(registry.counter("obs.event.rebalance.member_join").value(),
+            static_cast<std::int64_t>(kShards));
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(broker
+                    .PublishSync("t", {"k" + std::to_string(i), "m", 0},
+                                 static_cast<pubsub::PartitionId>(i % 2))
+                    .ok());
+  }
+  broker.CommitOffset("g", 0, 3);  // Shard 0 backlog: 5-3; shard 1: all 5.
+
+  CountingCallback cb;
+  auto handle = watch.Watch(common::Key(), common::Key(), 0, &cb);
+  for (common::Version v = 1; v <= 6; ++v) {
+    watch.Append(common::ChangeEvent{"k" + std::to_string(v), common::Mutation::Put("v"),
+                                     v, true});
+  }
+  pool.Quiesce();  // Samples the gauges inside the fence.
+  pool.Stop();
+
+  EXPECT_EQ(registry.gauge("obs.pubsub.group_backlog").value(), 7);
+  EXPECT_EQ(registry.gauge("obs.s0.pubsub.group_backlog").value(), 2);
+  EXPECT_EQ(registry.gauge("obs.s1.pubsub.group_backlog").value(), 5);
+  // No progress was ever fed, so the session's lag is the ingest frontier.
+  EXPECT_EQ(registry.gauge("obs.watch.max_session_lag").value(), 6);
+  EXPECT_EQ(registry.gauge("obs.s0.queue_depth").value(), 0);
+  EXPECT_EQ(registry.gauge("obs.s1.queue_depth").value(), 0);
+  // The snapshot surfaces everything in one quiesced read.
+  const std::string json = obs::DumpJson(collector);
+  EXPECT_NE(json.find("obs.pubsub.group_backlog"), std::string::npos);
+  EXPECT_NE(json.find("member_join"), std::string::npos);
+}
+
+TEST_F(ObsRuntimeTest, TracingDisabledLeavesRuntimeRecordsUntraced) {
+  common::MetricsRegistry registry;
+  obs::Collector collector(&registry, {.shards = 1});
+  RuntimeOptions options;
+  options.shards = 1;
+  options.obs = &collector;
+  ShardPool pool(options, &registry);
+  ConcurrentWatchService watch(&pool);
+  pool.Start();
+  CountingCallback cb;
+  auto handle = watch.Watch(common::Key(), common::Key(), 0, &cb);
+  ASSERT_TRUE(
+      watch.TryIngest(common::ChangeEvent{"k", common::Mutation::Put("v"), 1, true}).ok());
+  pool.Quiesce();
+  pool.Stop();
+  EXPECT_EQ(cb.events.load(), 1u);
+  EXPECT_EQ(collector.traces_completed(), 0u);
+  EXPECT_TRUE(collector.TakeSnapshot().stages.empty());
+}
+
+}  // namespace
+}  // namespace runtime

@@ -1,0 +1,397 @@
+// Tests for the observability layer: TraceContext semantics, Collector
+// histogram/event/sampler behaviour, trace-exclusion from record equality,
+// and end-to-end stage coverage on both delivery paths in the simulated
+// (single-threaded) composition.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdc/feeds.h"
+#include "common/metrics.h"
+#include "common/types.h"
+#include "obs/collector.h"
+#include "obs/trace.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "watch/watch_system.h"
+
+namespace obs {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+
+// Every test must leave the global tracing flag off: the rest of the suite
+// (determinism / equivalence tests) assumes untraced records.
+class ObsTest : public ::testing::Test {
+ protected:
+  ~ObsTest() override { SetTracingEnabled(false); }
+};
+
+// -- TraceContext ---------------------------------------------------------------
+
+TEST_F(ObsTest, DefaultContextIsInactiveAndStampsAreNoOps) {
+  TraceContext t;
+  EXPECT_FALSE(t.active());
+  t.Stamp(Stage::kAppend, 123);
+  EXPECT_EQ(t.stamp(Stage::kAppend), 0);
+}
+
+TEST_F(ObsTest, StartIsInactiveWhileTracingDisabled) {
+  SetTracingEnabled(false);
+  EXPECT_FALSE(TracingEnabled());
+  EXPECT_FALSE(TraceContext::Start().active());
+}
+
+TEST_F(ObsTest, StartStampsOriginAndAllocatesUniqueIds) {
+  SetTracingEnabled(true);
+  TraceContext a = TraceContext::Start();
+  TraceContext b = TraceContext::Start();
+  ASSERT_TRUE(a.active());
+  ASSERT_TRUE(b.active());
+  EXPECT_NE(a.id, b.id);
+  EXPECT_GT(a.stamp(Stage::kOrigin), 0);
+  a.Stamp(Stage::kDeliver, a.stamp(Stage::kOrigin) + 5);
+  EXPECT_EQ(a.stamp(Stage::kDeliver), a.stamp(Stage::kOrigin) + 5);
+}
+
+// -- Equality excludes the trace -------------------------------------------------
+
+TEST_F(ObsTest, ChangeEventEqualityIgnoresTrace) {
+  common::ChangeEvent a{"k", common::Mutation::Put("v"), 3, true};
+  common::ChangeEvent b = a;
+  b.trace.id = 42;
+  b.trace.at[0] = 12345;
+  EXPECT_EQ(a, b);  // Tracing is measurement, not semantics.
+  b.version = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(ObsTest, MessageEqualityIgnoresTrace) {
+  pubsub::Message a{"k", "payload", 7};
+  pubsub::Message b = a;
+  b.trace.id = 42;
+  EXPECT_EQ(a, b);
+  b.value = "other";
+  EXPECT_FALSE(a == b);
+}
+
+// -- Collector ------------------------------------------------------------------
+
+// An active trace with chosen stamps (no global flag needed).
+TraceContext ManualTrace(std::uint64_t id,
+                         std::initializer_list<std::pair<Stage, std::int64_t>> stamps) {
+  TraceContext t;
+  t.id = id;
+  for (const auto& [stage, at] : stamps) {
+    t.Stamp(stage, at);
+  }
+  return t;
+}
+
+TEST_F(ObsTest, CompleteRecordsConsecutivePairsBridgingUnstampedStages) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  // kFeed and kFetch unstamped: the watch path bridges straight over them.
+  collector.Complete(Path::kWatch, ManualTrace(1, {{Stage::kOrigin, 100},
+                                                   {Stage::kAppend, 150},
+                                                   {Stage::kDeliver, 400},
+                                                   {Stage::kAck, 450}}));
+  EXPECT_EQ(collector.traces_completed(), 1u);
+  EXPECT_EQ(registry.counter("obs.traces_completed").value(), 1);
+  auto& pair = registry.histogram("obs.watch.origin_to_append_us");
+  ASSERT_EQ(pair.count(), 1u);
+  EXPECT_DOUBLE_EQ(pair.Max(), 50.0);
+  EXPECT_EQ(registry.histogram("obs.watch.append_to_deliver_us").count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.histogram("obs.watch.append_to_deliver_us").Max(), 250.0);
+  auto& e2e = registry.histogram("obs.watch.origin_to_ack_us");
+  ASSERT_EQ(e2e.count(), 1u);
+  EXPECT_DOUBLE_EQ(e2e.Max(), 350.0);
+}
+
+TEST_F(ObsTest, TwoStageTraceIsNotDoubleCounted) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  // With exactly two stamps the pair IS the end-to-end: one sample, not two.
+  collector.Complete(Path::kPubsub,
+                     ManualTrace(1, {{Stage::kOrigin, 10}, {Stage::kAck, 30}}));
+  EXPECT_EQ(registry.histogram("obs.pubsub.origin_to_ack_us").count(), 1u);
+}
+
+TEST_F(ObsTest, InactiveAndSingleStampTracesAreIgnored) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  collector.Complete(Path::kPubsub, TraceContext{});
+  collector.Complete(Path::kPubsub, ManualTrace(1, {{Stage::kOrigin, 10}}));
+  EXPECT_EQ(collector.traces_completed(), 0u);
+  EXPECT_TRUE(collector.TakeSnapshot().stages.empty());
+}
+
+TEST_F(ObsTest, NegativeDeltasClampToZero) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  collector.Complete(Path::kPubsub, ManualTrace(1, {{Stage::kOrigin, 100},
+                                                    {Stage::kAppend, 90},  // Skewed.
+                                                    {Stage::kAck, 120}}));
+  EXPECT_DOUBLE_EQ(registry.histogram("obs.pubsub.origin_to_append_us").Max(), 0.0);
+}
+
+TEST_F(ObsTest, ShardFamiliesRecordAlongsideAggregate) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry, {.shards = 2});
+  collector.Complete(Path::kPubsub,
+                     ManualTrace(1, {{Stage::kOrigin, 10}, {Stage::kAppend, 20}}),
+                     /*shard=*/1);
+  EXPECT_EQ(registry.histogram("obs.pubsub.origin_to_append_us").count(), 1u);
+  EXPECT_EQ(registry.histogram("obs.s1.pubsub.origin_to_append_us").count(), 1u);
+  EXPECT_EQ(registry.histogram("obs.s0.pubsub.origin_to_append_us").count(), 0u);
+}
+
+TEST_F(ObsTest, OutOfRangeShardClampsToAggregateOnly) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry, {.shards = 1});
+  collector.Complete(Path::kPubsub,
+                     ManualTrace(1, {{Stage::kOrigin, 10}, {Stage::kAppend, 20}}),
+                     /*shard=*/5);
+  EXPECT_EQ(registry.histogram("obs.pubsub.origin_to_append_us").count(), 1u);
+  for (const auto& [name, h] : registry.histograms()) {
+    EXPECT_EQ(name.find("obs.s5."), std::string::npos) << name;
+  }
+}
+
+TEST_F(ObsTest, WorstTraceSamplerKeepsKSlowestSortedSlowestFirst) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry, {.worst_traces = 2});
+  const std::int64_t totals[] = {10, 30, 20, 5, 25};
+  std::uint64_t id = 1;
+  for (std::int64_t total : totals) {
+    // A stamp of 0 means "stage not reached", so anchor origin at t=1.
+    collector.Complete(Path::kWatch,
+                       ManualTrace(id++, {{Stage::kOrigin, 1}, {Stage::kAck, 1 + total}}));
+  }
+  auto worst = collector.WorstTraces();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].total_us, 30);
+  EXPECT_EQ(worst[1].total_us, 25);
+  EXPECT_EQ(collector.traces_completed(), 5u);
+}
+
+TEST_F(ObsTest, EventLogIsBoundedAndCountsDropsAndCauses) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry, {.max_events = 2});
+  collector.LogEvent(EventKind::kResync, "window_floor", "session=1");
+  collector.LogEvent(EventKind::kResync, "window_floor", "session=2");
+  collector.LogEvent(EventKind::kRebalance, "member_join", "group=g", 1);
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);  // Oldest evicted.
+  EXPECT_EQ(events[0].seq, 2u);
+  EXPECT_EQ(events[1].cause, "member_join");
+  EXPECT_EQ(events[1].shard, 1u);
+  EXPECT_EQ(registry.counter("obs.event.resync.window_floor").value(), 2);
+  EXPECT_EQ(registry.counter("obs.event.rebalance.member_join").value(), 1);
+  EXPECT_EQ(collector.TakeSnapshot().events_dropped, 1u);
+}
+
+TEST_F(ObsTest, SnapshotExposesStagesGaugesEventsAndJson) {
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  registry.gauge("obs.watch.max_session_lag").Set(17);
+  collector.Complete(Path::kPubsub, ManualTrace(1, {{Stage::kOrigin, 10},
+                                                    {Stage::kAppend, 50},
+                                                    {Stage::kAck, 110}}));
+  collector.LogEvent(EventKind::kSoftStateCrash, "crash", "sessions=3");
+  Snapshot snap = collector.TakeSnapshot();
+  EXPECT_EQ(snap.traces_completed, 1u);
+  ASSERT_FALSE(snap.stages.empty());
+  bool saw_aggregate = false;
+  bool saw_shard0 = false;
+  for (const auto& s : snap.stages) {
+    if (s.path == "pubsub" && s.from == "origin" && s.to == "append") {
+      (s.shard == -1 ? saw_aggregate : saw_shard0) = true;
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_DOUBLE_EQ(s.p50_us, 40.0);
+    }
+  }
+  EXPECT_TRUE(saw_aggregate);  // Aggregate family plus the shard-0 family.
+  EXPECT_TRUE(saw_shard0);
+  bool saw_gauge = false;
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "obs.watch.max_session_lag") {
+      saw_gauge = true;
+      EXPECT_EQ(v, 17);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"traces_completed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"origin\""), std::string::npos);
+  EXPECT_NE(json.find("\"soft_state_crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"worst_traces\""), std::string::npos);
+  EXPECT_NE(json.find("obs.watch.max_session_lag"), std::string::npos);
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("pubsub origin->append"), std::string::npos);
+  EXPECT_NE(text.find("cause=crash"), std::string::npos);
+  EXPECT_EQ(DumpJson(collector), collector.TakeSnapshot().ToJson());
+}
+
+// -- Gauge (common::Metrics addition) --------------------------------------------
+
+TEST_F(ObsTest, GaugeIsLastWriterWinsAndResettable) {
+  common::MetricsRegistry registry;
+  common::Gauge& g = registry.gauge("lag");
+  EXPECT_EQ(g.value(), 0);
+  g.Set(42);
+  g.Set(7);  // A level, not a rate: overwrites.
+  EXPECT_EQ(g.value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(registry.gauges().size(), 1u);
+  registry.Reset();
+  EXPECT_TRUE(registry.gauges().empty());
+}
+
+// -- Simulated end-to-end: pubsub path -------------------------------------------
+
+TEST_F(ObsTest, PubsubPathTracedThroughPublishAppendFetchDeliverAck) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  pubsub::Broker broker(&sim, &net);
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  broker.set_obs(&collector);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+
+  pubsub::ConsumerOptions options;
+  options.obs = &collector;
+  pubsub::GroupConsumer consumer(
+      &sim, &net, &broker, "g", "t", "m1",
+      [](pubsub::PartitionId, const pubsub::StoredMessage&) { return true; }, options);
+  consumer.Start();
+
+  SetTracingEnabled(true);
+  constexpr int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(broker.Publish("t", {"k" + std::to_string(i), "m", 0}).ok());
+  }
+  sim.RunUntil(2000 * kMs);
+  EXPECT_EQ(consumer.delivered(), static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(collector.traces_completed(), static_cast<std::uint64_t>(kMessages));
+  // Every stage pair of the pubsub pipeline was exercised.
+  for (const char* name :
+       {"obs.pubsub.origin_to_append_us", "obs.pubsub.append_to_fetch_us",
+        "obs.pubsub.fetch_to_deliver_us", "obs.pubsub.deliver_to_ack_us",
+        "obs.pubsub.origin_to_ack_us"}) {
+    EXPECT_EQ(registry.histogram(name).count(), static_cast<std::size_t>(kMessages))
+        << name;
+  }
+  // A rebalance with a cause was logged when the member joined.
+  auto events = collector.Events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].kind, EventKind::kRebalance);
+  EXPECT_EQ(events[0].cause, "member_join");
+}
+
+TEST_F(ObsTest, UntracedPubsubRunRecordsNothing) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  pubsub::Broker broker(&sim, &net);
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  broker.set_obs(&collector);
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+  pubsub::ConsumerOptions options;
+  options.obs = &collector;
+  pubsub::GroupConsumer consumer(
+      &sim, &net, &broker, "g", "t", "m1",
+      [](pubsub::PartitionId, const pubsub::StoredMessage&) { return true; }, options);
+  consumer.Start();
+  ASSERT_TRUE(broker.Publish("t", {"k", "m", 0}).ok());  // Tracing off.
+  sim.RunUntil(1000 * kMs);
+  EXPECT_EQ(consumer.delivered(), 1u);
+  EXPECT_EQ(collector.traces_completed(), 0u);
+  EXPECT_TRUE(collector.TakeSnapshot().stages.empty());
+}
+
+// -- Simulated end-to-end: watch path --------------------------------------------
+
+class CountingCallback : public watch::WatchCallback {
+ public:
+  void OnEvent(const common::ChangeEvent& event) override { events.push_back(event); }
+  void OnProgress(const common::ProgressEvent&) override {}
+  void OnResync() override { ++resyncs; }
+
+  std::vector<common::ChangeEvent> events;
+  int resyncs = 0;
+};
+
+TEST_F(ObsTest, WatchPathTracedThroughCommitFeedAppendDeliverAck) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  storage::MvccStore store;
+  watch::WatchSystem ws(&sim, &net, "watch", {.delivery_latency = 1 * kMs});
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  ws.set_obs(&collector);
+  cdc::CdcIngesterFeed feed(&sim, &store, nullptr, &ws, {});
+
+  CountingCallback cb;
+  auto handle = ws.Watch("", "", 0, &cb);
+
+  SetTracingEnabled(true);
+  constexpr int kCommits = 10;
+  for (int i = 0; i < kCommits; ++i) {
+    store.Apply("k" + std::to_string(i), common::Mutation::Put("v"));
+  }
+  sim.RunUntil(1000 * kMs);
+  ASSERT_EQ(cb.events.size(), static_cast<std::size_t>(kCommits));
+  EXPECT_EQ(collector.traces_completed(), static_cast<std::uint64_t>(kCommits));
+  for (const char* name :
+       {"obs.watch.origin_to_feed_us", "obs.watch.feed_to_append_us",
+        "obs.watch.append_to_deliver_us", "obs.watch.deliver_to_ack_us",
+        "obs.watch.origin_to_ack_us"}) {
+    EXPECT_EQ(registry.histogram(name).count(), static_cast<std::size_t>(kCommits))
+        << name;
+  }
+  // The slow sampler retained real traces with full stage breakdowns.
+  auto worst = collector.WorstTraces();
+  ASSERT_FALSE(worst.empty());
+  EXPECT_EQ(worst[0].path, Path::kWatch);
+  EXPECT_GT(worst[0].at[static_cast<std::size_t>(Stage::kAck)], 0);
+}
+
+TEST_F(ObsTest, WatchLifecycleEventsCarryCauses) {
+  sim::Simulator sim;
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  watch::WatchSystem ws(&sim, &net, "watch", {.window = {.max_events = 2}});
+  common::MetricsRegistry registry;
+  Collector collector(&registry);
+  ws.set_obs(&collector);
+
+  for (common::Version v = 1; v <= 10; ++v) {
+    ws.Append(common::ChangeEvent{"k", common::Mutation::Put("v"), v, true});
+  }
+  CountingCallback below;
+  auto h1 = ws.Watch("", "", 1, &below);  // Below the retained floor.
+  CountingCallback live;
+  auto h2 = ws.Watch("", "", 10, &live);
+  ws.CrashSoftState();
+  sim.RunUntil(100 * kMs);
+
+  EXPECT_EQ(registry.counter("obs.event.resync.window_floor").value(), 1);
+  EXPECT_EQ(registry.counter("obs.event.soft_state_crash.crash").value(), 1);
+  EXPECT_EQ(registry.counter("obs.event.resync.soft_state_crash").value(), 1);
+  bool saw_floor = false;
+  for (const auto& ev : collector.Events()) {
+    if (ev.kind == EventKind::kResync && ev.cause == "window_floor") {
+      saw_floor = true;
+    }
+  }
+  EXPECT_TRUE(saw_floor);
+}
+
+}  // namespace
+}  // namespace obs

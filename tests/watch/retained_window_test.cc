@@ -84,5 +84,43 @@ TEST(RetainedWindowTest, MaxVersionTracksHighestSeen) {
   EXPECT_EQ(w.MaxVersion(), 5u);
 }
 
+// Regression: Options::max_age used to be accepted but never enforced — only
+// explicit TrimOlderThan calls aged events out, so a window configured with an
+// age bound silently retained (and replayed) arbitrarily old history.
+TEST(RetainedWindowTest, AppendEnforcesMaxAge) {
+  RetainedWindow w(RetainedWindow::Options{.max_age = 100});
+  w.Append(Ev("k", 1), /*now=*/0);
+  w.Append(Ev("k", 2), /*now=*/50);
+  EXPECT_EQ(w.size(), 2u);  // Both within the age bound at t=50.
+  w.Append(Ev("k", 3), /*now=*/130);  // v1 is now 130us old: aged out.
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.MinRetainedVersion(), 2u);
+  EXPECT_FALSE(w.CanServeFrom(0));  // v1 is gone — resync, not stale replay.
+  EXPECT_TRUE(w.CanServeFrom(1));
+}
+
+TEST(RetainedWindowTest, AppendKeepsEventExactlyAtAgeBound) {
+  RetainedWindow w(RetainedWindow::Options{.max_age = 100});
+  w.Append(Ev("k", 1), /*now=*/0);
+  w.Append(Ev("k", 2), /*now=*/100);  // v1 is exactly max_age old: retained.
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.MinRetainedVersion(), 0u);
+}
+
+// Clear followed by ingest at a version below the pre-clear maximum (e.g. a
+// rebuilt feed replaying from an older snapshot) must not lower the floor:
+// positions between the new event and the pre-clear frontier still have gaps.
+TEST(RetainedWindowTest, ClearThenAppendAtLowerVersionKeepsFloor) {
+  RetainedWindow w;
+  w.Append(Ev("k", 10), 0);
+  w.Clear();
+  EXPECT_EQ(w.MinRetainedVersion(), 11u);
+  w.Append(Ev("j", 5), 0);
+  EXPECT_EQ(w.MinRetainedVersion(), 11u);  // Floor never regresses.
+  EXPECT_EQ(w.MaxVersion(), 10u);          // Frontier never regresses either.
+  EXPECT_FALSE(w.CanServeFrom(7));         // Events 8..10 were wiped.
+  EXPECT_TRUE(w.CanServeFrom(10));         // The pre-clear frontier is safe.
+}
+
 }  // namespace
 }  // namespace watch

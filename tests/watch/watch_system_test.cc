@@ -394,5 +394,91 @@ TEST_F(WatchSystemTest, InFlightCounterStaysExactAcrossChurn) {
   EXPECT_GE(cb1.resyncs + cb2.resyncs, 2);
 }
 
+// -- Window age-bound regressions ----------------------------------------------
+//
+// WatchSystemOptions::window.max_age used to be accepted but never enforced:
+// no code called the age trim, so a watcher joining at an old version was
+// silently replayed arbitrarily stale history instead of resyncing.
+
+TEST_F(WatchSystemTest, AgedOutJoinOnQuiescentWindowResyncs) {
+  auto ws = Make({.window = {.max_age = 100 * kMs}});
+  ws->Append(Put("a", 1));
+  ws->Append(Put("a", 2));
+  // Nothing else is ingested: Append-time trimming never runs, so only the
+  // join-time trim can age these events out.
+  sim_.RunUntil(500 * kMs);
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", 0, &cb);
+  sim_.RunUntil(510 * kMs);
+  EXPECT_EQ(cb.resyncs, 1);
+  EXPECT_TRUE(cb.events.empty());  // Stale history is never replayed.
+  EXPECT_FALSE(handle->active());
+}
+
+TEST_F(WatchSystemTest, AppendAgesOutOldEventsAndRaisesFloor) {
+  auto ws = Make({.window = {.max_age = 100 * kMs}});
+  ws->Append(Put("a", 1));  // t = 0.
+  sim_.RunUntil(200 * kMs);
+  ws->Append(Put("a", 2));  // Trims v1 (200ms old, bound is 100ms).
+  EXPECT_EQ(ws->retained_events(), 1u);
+  EXPECT_EQ(ws->MinRetainedVersion(), 2u);
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", 0, &cb);  // Would need the aged-out v1.
+  sim_.RunUntil(250 * kMs);
+  EXPECT_EQ(cb.resyncs, 1);
+  EXPECT_TRUE(cb.events.empty());
+}
+
+TEST_F(WatchSystemTest, FreshJoinWithinAgeBoundReplaysNormally) {
+  auto ws = Make({.window = {.max_age = 100 * kMs}});
+  ws->Append(Put("a", 1));
+  sim_.RunUntil(50 * kMs);  // Still inside the age bound.
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", 0, &cb);
+  sim_.RunUntil(60 * kMs);
+  EXPECT_EQ(cb.resyncs, 0);
+  ASSERT_EQ(cb.events.size(), 1u);
+  EXPECT_EQ(cb.events[0].version, 1u);
+}
+
+// -- Live-edge joins across soft-state loss --------------------------------------
+
+TEST_F(WatchSystemTest, LiveEdgeJoinAfterCrashNoReplayNoSpuriousResync) {
+  auto ws = Make();
+  ws->Append(Put("a", 1));
+  ws->Append(Put("a", 2));
+  ws->CrashSoftState();
+  sim_.RunUntil(10 * kMs);
+  // A live-edge join (kMaxVersion) has no snapshot to be stale relative to:
+  // it must come up live even though the window was just wiped.
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", common::kMaxVersion, &cb);
+  sim_.RunUntil(20 * kMs);
+  EXPECT_EQ(cb.resyncs, 0);
+  EXPECT_TRUE(cb.events.empty());  // No pre-crash replay.
+  EXPECT_TRUE(handle->active());
+  ws->Append(Put("a", 3));
+  sim_.RunUntil(30 * kMs);
+  ASSERT_EQ(cb.events.size(), 1u);
+  EXPECT_EQ(cb.events[0].version, 3u);
+}
+
+TEST_F(WatchSystemTest, LiveEdgeJoinOnAgedOutWindowComesUpLive) {
+  auto ws = Make({.window = {.max_age = 100 * kMs}});
+  ws->Append(Put("a", 1));
+  sim_.RunUntil(500 * kMs);  // Everything in the window is aged out.
+  RecordingCallback cb;
+  auto handle = ws->Watch("", "", common::kMaxVersion, &cb);
+  sim_.RunUntil(510 * kMs);
+  // The age trim raises the floor but never moves the frontier, so a
+  // live-edge join sits exactly at the floor: live, no resync, no replay.
+  EXPECT_EQ(cb.resyncs, 0);
+  EXPECT_TRUE(cb.events.empty());
+  EXPECT_TRUE(handle->active());
+  ws->Append(Put("a", 2));
+  sim_.RunUntil(520 * kMs);
+  ASSERT_EQ(cb.events.size(), 1u);
+}
+
 }  // namespace
 }  // namespace watch

@@ -1,0 +1,75 @@
+// Regression tests for workqueue::ConvergenceTracker counter semantics:
+//
+//  * an actual-state put with no pending desired entry used to be silently
+//    ignored — now counted as unmatched_actuals();
+//  * an undecodable desired value used to be conflated with staleness in
+//    stale_executions() — now counted as decode_failures();
+//  * a commit carrying both desired and actual for one entity used to depend
+//    on the record's change order (std::map order puts ".../actual" before
+//    ".../desired", so the actual was dropped and the entity looked stuck) —
+//    now handled deterministically via a desired-first pass.
+#include "workqueue/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "storage/mvcc_store.h"
+#include "workqueue/types.h"
+
+namespace workqueue {
+namespace {
+
+using common::Mutation;
+
+class TrackerRegressionTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  storage::MvccStore store_;
+};
+
+TEST_F(TrackerRegressionTest, ActualBeforeDesiredIsCountedNotSilentlyIgnored) {
+  ConvergenceTracker tracker(&sim_, &store_);
+  // Execution output observed before any desired put for the entity (e.g. a
+  // tracker attached mid-run).
+  store_.Apply(ActualKey(1), Mutation::Put("cfg"));
+  EXPECT_EQ(tracker.unmatched_actuals(), 1u);
+  EXPECT_EQ(tracker.stale_executions(), 0u);
+  EXPECT_EQ(tracker.decode_failures(), 0u);
+  EXPECT_EQ(tracker.converged(), 0u);
+}
+
+TEST_F(TrackerRegressionTest, UndecodableDesiredIsADecodeFailureNotStaleness) {
+  ConvergenceTracker tracker(&sim_, &store_);
+  store_.Apply(DesiredKey(2), Mutation::Put("not-a-desired-encoding"));
+  store_.Apply(ActualKey(2), Mutation::Put("whatever"));
+  EXPECT_EQ(tracker.decode_failures(), 1u);
+  EXPECT_EQ(tracker.stale_executions(), 0u);
+  EXPECT_EQ(tracker.converged(), 0u);
+}
+
+TEST_F(TrackerRegressionTest, StaleExecutionStillCountsAsStale) {
+  ConvergenceTracker tracker(&sim_, &store_);
+  store_.Apply(DesiredKey(3), Mutation::Put(EncodeDesired(0, "new")));
+  store_.Apply(ActualKey(3), Mutation::Put("old"));  // Mismatch: stale.
+  EXPECT_EQ(tracker.stale_executions(), 1u);
+  EXPECT_EQ(tracker.decode_failures(), 0u);
+  EXPECT_EQ(tracker.unmatched_actuals(), 0u);
+}
+
+TEST_F(TrackerRegressionTest, SameCommitDesiredAndActualConvergesDeterministically) {
+  ConvergenceTracker tracker(&sim_, &store_);
+  // One transaction writes both rows. Transaction buffers writes in key
+  // order, so ".../actual" precedes ".../desired" in the commit record — the
+  // ordering that used to drop the actual and leave the entity "stuck".
+  storage::Transaction txn = store_.Begin();
+  txn.Put(DesiredKey(4), EncodeDesired(1, "cfg-x"));
+  txn.Put(ActualKey(4), "cfg-x");
+  ASSERT_TRUE(store_.Commit(std::move(txn)).ok());
+  EXPECT_EQ(tracker.converged(), 1u);
+  EXPECT_EQ(tracker.StuckEntities(), 0u);
+  EXPECT_EQ(tracker.unmatched_actuals(), 0u);
+  EXPECT_EQ(tracker.stale_executions(), 0u);
+}
+
+}  // namespace
+}  // namespace workqueue
