@@ -22,8 +22,21 @@
 // facade, so this bench stamps kDeliver/kAck and completes the trace exactly
 // the way pubsub::Consumer::Poll does — the bench is the consumer endpoint.
 //
+// The consumer side of the pubsub plane runs in one of two modes
+// (--consumer-mode=event|periodic, default event):
+//
+//   event:    each partition is owned by one shard-resident Subscription —
+//             the owning shard pushes appends into the handoff buffer at
+//             append time (stamping kFetch microseconds after kAppend) and
+//             rings the consumer's doorbell; consumers drain on wakeup.
+//   periodic: the pre-subscription loop — consumers poll Fetch through the
+//             facade, so every fetch queues behind the publish storm on the
+//             owning shard. This is the baseline whose append->fetch p50
+//             sits in the tens of milliseconds under load.
+//
 //   ./bench_latency_profile [--messages=N] [--producers=P] [--consumers=C]
-//                           [--watchers=W] [--sample=N] [--json=PATH]
+//                           [--watchers=W] [--sample=N] [--reps=N]
+//                           [--consumer-mode=event|periodic] [--json=PATH]
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -50,6 +63,7 @@
 #include "runtime/concurrent_broker.h"
 #include "runtime/concurrent_watch.h"
 #include "runtime/shard_pool.h"
+#include "runtime/subscription.h"
 #include "watch/api.h"
 
 namespace {
@@ -92,11 +106,13 @@ common::Key SplitPoint(std::size_t i, std::size_t n) {
 }
 
 RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers,
-                  int per_producer, bool tracing, std::uint64_t sample_every) {
+                  int per_producer, bool tracing, std::uint64_t sample_every,
+                  bool event_consumers) {
   runtime::RuntimeOptions options;
   options.shards = shards;
   options.queue_capacity = 8192;
   options.max_batch = 256;
+  options.event_driven = event_consumers;
   for (std::size_t s = 1; s < shards; ++s) {
     options.watch_splits.push_back(SplitPoint(s, shards));
   }
@@ -131,16 +147,99 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   obs::SetTraceSampleEvery(sample_every);
   obs::SetTracingEnabled(tracing);
 
-  // Consumer-group members: poll assigned partitions, stamping deliver/ack and
-  // completing each traced message the way pubsub::Consumer::Poll does. A
-  // member evicted under load gets its partitions re-fetched by another member
-  // from that member's own cursor, so a shared per-partition watermark keeps
-  // each message's trace from completing twice.
   std::atomic<bool> stop{false};
   std::atomic<std::int64_t> consumed{0};
   std::array<std::atomic<pubsub::Offset>, kPartitions> trace_watermark{};
   std::vector<std::thread> consumer_threads;
-  for (int c = 0; c < consumers; ++c) {
+  // Event mode: each partition is drained through one shard-resident
+  // Subscription with a static owner thread (partition p -> thread p mod C).
+  // Exclusive ownership makes trace completion exactly-once without the
+  // periodic path's watermark, and commits ride the owner shard's queue.
+  std::vector<std::unique_ptr<runtime::Subscription>> subs;
+  if (event_consumers) {
+    for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+      subs.push_back(broker.Subscribe("bench", p, 0));
+      if (subs.back() == nullptr) {
+        std::abort();
+      }
+    }
+    for (int c = 0; c < consumers; ++c) {
+      consumer_threads.emplace_back([&, c] {
+        struct Owned {
+          pubsub::PartitionId partition;
+          runtime::Subscription* sub;
+          pubsub::Offset drained = 0;
+          pubsub::Offset committed = 0;
+        };
+        std::vector<Owned> owned;
+        for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+          if (static_cast<int>(p) % consumers == c) {
+            owned.push_back({p, subs[p].get(), 0});
+          }
+        }
+        if (owned.empty()) {
+          return;
+        }
+        std::vector<pubsub::StoredMessage> batch;
+        const auto drain_one = [&](Owned& o) -> std::int64_t {
+          batch.clear();
+          if (o.sub->PollBatch(&batch, 512) == 0) {
+            return 0;
+          }
+          for (const pubsub::StoredMessage& m : batch) {
+            obs::TraceContext trace = m.message.trace;
+            if (!trace.active()) {
+              continue;
+            }
+            trace.Stamp(obs::Stage::kDeliver, obs::NowMicros());
+            trace.Stamp(obs::Stage::kAck, obs::NowMicros());
+            collector.Complete(obs::Path::kPubsub, trace, broker.OwnerShard(o.partition));
+          }
+          o.drained = batch.back().offset + 1;
+          // Commit coarsely: a commit task per small drained batch would
+          // contend with the publish storm on the owner shard's queue.
+          if (o.drained - o.committed >= 1024) {
+            broker.CommitOffsetAsync("bench-group", o.partition, o.drained);
+            o.committed = o.drained;
+          }
+          return static_cast<std::int64_t>(batch.size());
+        };
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::int64_t got = 0;
+          for (Owned& o : owned) {
+            got += drain_one(o);
+          }
+          consumed.fetch_add(got, std::memory_order_relaxed);
+          if (got == 0) {
+            (void)owned.front().sub->Wait(/*timeout_us=*/1000);
+          }
+        }
+        // stop is set only after Quiesce, so the end offsets are final: drain
+        // the handoffs to them so every admitted trace completes.
+        for (Owned& o : owned) {
+          const pubsub::Offset target = broker.EndOffset("bench", o.partition);
+          while (o.drained < target) {
+            const std::int64_t got = drain_one(o);
+            consumed.fetch_add(got, std::memory_order_relaxed);
+            if (got == 0) {
+              (void)o.sub->Wait(/*timeout_us=*/1000);
+            }
+          }
+          if (o.committed < o.drained) {
+            broker.CommitOffsetAsync("bench-group", o.partition, o.drained);
+            o.committed = o.drained;
+          }
+        }
+      });
+    }
+  }
+  // Periodic mode: consumer-group members poll assigned partitions through
+  // the facade, stamping deliver/ack and completing each traced message the
+  // way pubsub::Consumer::Poll does. A member evicted under load gets its
+  // partitions re-fetched by another member from that member's own cursor, so
+  // a shared per-partition watermark keeps each message's trace from
+  // completing twice.
+  for (int c = 0; !event_consumers && c < consumers; ++c) {
     consumer_threads.emplace_back([&, c] {
       const std::string member = "consumer-" + std::to_string(c);
       std::map<pubsub::PartitionId, pubsub::Offset> next;
@@ -228,14 +327,16 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
     t.join();
   }
   pool.Quiesce();  // Every accepted publish/ingest is applied and delivered.
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-
   stop.store(true);
   for (auto& t : consumer_threads) {
     t.join();
   }
+  // The clock stops only after the pubsub consumers drained everything: both
+  // consumer modes are charged for the same end-to-end work.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
   obs::SetTracingEnabled(false);
   obs::SetTraceSampleEvery(1);
+  subs.clear();  // Cancel shard-side waiters while the pool still runs.
   pool.Stop();
   handles.clear();
 
@@ -323,6 +424,18 @@ std::int64_t IntFlag(int argc, char** argv, const std::string& name, std::int64_
   return fallback;
 }
 
+std::string StringFlag(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
 // The aggregate (shard == -1) stage rows of a snapshot, for one path.
 std::vector<obs::StageLatency> AggregateStages(const obs::Snapshot& snapshot,
                                                const std::string& path) {
@@ -345,6 +458,12 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(IntFlag(argc, argv, "reps", 5));
   const auto sample_every =
       static_cast<std::uint64_t>(IntFlag(argc, argv, "sample", 64));
+  const std::string consumer_mode = StringFlag(argc, argv, "consumer-mode", "event");
+  if (consumer_mode != "event" && consumer_mode != "periodic") {
+    std::fprintf(stderr, "--consumer-mode must be event or periodic\n");
+    return 1;
+  }
+  const bool event_consumers = consumer_mode == "event";
   const unsigned cores = std::thread::hardware_concurrency();
 #ifdef PUBSUB_OBS_NOOP
   const bool noop_build = true;
@@ -353,9 +472,9 @@ int main(int argc, char** argv) {
 #endif
 
   std::printf(
-      "O2/L1: per-stage latency profile — %d producers x %d msgs, %d consumers, %d watchers, "
-      "1/%llu sampling\n",
-      producers, per_producer, consumers, watchers,
+      "O2/L1: per-stage latency profile — %d producers x %d msgs, %d consumers (%s), "
+      "%d watchers, 1/%llu sampling\n",
+      producers, per_producer, consumers, consumer_mode.c_str(), watchers,
       static_cast<unsigned long long>(sample_every));
   std::printf("host hardware_concurrency: %u; PUBSUB_OBS_NOOP build: %s\n", cores,
               noop_build ? "yes (tracing compiled out; stage tables will be empty)" : "no");
@@ -390,10 +509,10 @@ int main(int argc, char** argv) {
   for (const std::size_t shards : shard_counts) {
     GridPoint p;
     for (int r = 0; r < reps; ++r) {
-      RunResult off =
-          RunOnce(shards, producers, consumers, watchers, per_producer, false, sample_every);
-      RunResult on =
-          RunOnce(shards, producers, consumers, watchers, per_producer, true, sample_every);
+      RunResult off = RunOnce(shards, producers, consumers, watchers, per_producer, false,
+                              sample_every, event_consumers);
+      RunResult on = RunOnce(shards, producers, consumers, watchers, per_producer, true,
+                             sample_every, event_consumers);
       p.off_reps.push_back(off.msgs_per_sec);
       p.on_reps.push_back(on.msgs_per_sec);
       if (r == 0 || off.msgs_per_sec > p.off.msgs_per_sec) {
@@ -461,6 +580,7 @@ int main(int argc, char** argv) {
     doc["pubsub_obs_noop_build"] = noop_build;
     doc["producers"] = producers;
     doc["consumers"] = consumers;
+    doc["consumer_mode"] = consumer_mode;
     doc["watchers"] = watchers;
     doc["messages_per_producer"] = per_producer;
     doc["trace_sample_every"] = sample_every;

@@ -88,13 +88,19 @@ void InvariantOracle::OnRebalance(const pubsub::GroupId& group, std::uint64_t ge
                                   const std::map<pubsub::PartitionId, pubsub::MemberId>&
                                       assignment) {
   GroupTrack& track = groups_[group];
+  std::set<pubsub::PartitionId> partitions;
+  for (const auto& [partition, owner] : assignment) {
+    partitions.insert(partition);
+  }
   if (track.saw_rebalance) {
     if (generation <= track.generation) {
       std::ostringstream os;
       os << "group " << group << " generation went " << track.generation << " -> " << generation;
       AddViolation("group-generation-monotonic", os.str());
     }
-    if (members == track.last_members) {
+    // A rebalance needs a cause: either membership changed or the topic
+    // changed shape (partition growth re-spreads the same members).
+    if (members == track.last_members && partitions == track.last_partitions) {
       std::ostringstream os;
       os << "group " << group << " rebalanced to generation " << generation
          << " with unchanged membership (" << members.size()
@@ -105,6 +111,7 @@ void InvariantOracle::OnRebalance(const pubsub::GroupId& group, std::uint64_t ge
   track.saw_rebalance = true;
   track.generation = generation;
   track.last_members = members;
+  track.last_partitions = std::move(partitions);
 
   // Assignment soundness: every owner is a member. (Coverage of all
   // partitions is checked against the broker's topic config in CheckBroker,

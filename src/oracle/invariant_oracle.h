@@ -128,6 +128,9 @@ class InvariantOracle : public pubsub::BrokerObserver, public watch::WatchSystem
     std::string topic;
     std::uint64_t generation = 0;
     std::vector<pubsub::MemberId> last_members;
+    // Partition keys of the last assignment: a rebalance with unchanged
+    // membership is legitimate iff the topic changed shape (partition growth).
+    std::set<pubsub::PartitionId> last_partitions;
     bool saw_rebalance = false;
   };
 

@@ -31,6 +31,107 @@ common::Status Broker::CreateTopic(const std::string& topic, TopicConfig config)
   return common::Status::Ok();
 }
 
+common::Status Broker::AddPartitions(const std::string& topic, PartitionId additional) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (additional == 0) {
+    return common::Status::InvalidArgument("additional partitions must be > 0");
+  }
+  Topic& t = it->second;
+  t.partitions.reserve(t.partitions.size() + additional);
+  for (PartitionId p = 0; p < additional; ++p) {
+    t.partitions.push_back(std::make_unique<PartitionLog>(t.config.retention));
+  }
+  t.config.partitions += additional;
+  // The topic changed shape: every bound group rebalances now so the new
+  // partitions have owners (leaving them unowned until the next membership
+  // change would violate assignment coverage).
+  for (auto& [id, group] : groups_) {
+    if (group.topic == topic && !group.members.empty()) {
+      Rebalance(id, group, "partition_growth");
+    }
+  }
+  return common::Status::Ok();
+}
+
+Broker::WaitTicket Broker::WaitForAppend(const std::string& topic, PartitionId partition,
+                                         Offset offset, std::function<void()> fn) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return 0;
+  }
+  if (it->second.partitions[partition]->end_offset() > offset) {
+    // Already satisfied: fire as an immediate event, no registration. The
+    // caller's check-then-park loop treats this like any other wakeup.
+    sim_->After(0, std::move(fn));
+    return 0;
+  }
+  const WaitTicket ticket = next_wait_ticket_++;
+  waiter_index_.emplace(ticket, Waiter{topic, partition, offset, GroupId(), std::move(fn)});
+  append_waiters_[{topic, partition}].emplace(ticket, offset);
+  return ticket;
+}
+
+Broker::WaitTicket Broker::WaitForRebalance(const GroupId& group, std::function<void()> fn) {
+  const WaitTicket ticket = next_wait_ticket_++;
+  waiter_index_.emplace(ticket, Waiter{std::string(), 0, 0, group, std::move(fn)});
+  rebalance_waiters_[group].insert(ticket);
+  return ticket;
+}
+
+bool Broker::CancelWait(WaitTicket ticket) {
+  auto it = waiter_index_.find(ticket);
+  if (it == waiter_index_.end()) {
+    return false;
+  }
+  const Waiter& w = it->second;
+  if (!w.topic.empty()) {
+    auto p = append_waiters_.find({w.topic, w.partition});
+    if (p != append_waiters_.end()) {
+      p->second.erase(ticket);
+      if (p->second.empty()) {
+        append_waiters_.erase(p);
+      }
+    }
+  } else {
+    auto g = rebalance_waiters_.find(w.group);
+    if (g != rebalance_waiters_.end()) {
+      g->second.erase(ticket);
+      if (g->second.empty()) {
+        rebalance_waiters_.erase(g);
+      }
+    }
+  }
+  waiter_index_.erase(it);
+  return true;
+}
+
+void Broker::NotifyAppendWaiters(const std::string& topic, PartitionId partition, Offset end) {
+  auto it = append_waiters_.find({topic, partition});
+  if (it == append_waiters_.end()) {
+    return;
+  }
+  // Collect first (firing order = ticket order, deterministic), then erase:
+  // a fired callback runs later as its own event and may re-register.
+  std::vector<WaitTicket> due;
+  for (const auto& [ticket, offset] : it->second) {
+    if (offset < end) {
+      due.push_back(ticket);
+    }
+  }
+  for (const WaitTicket ticket : due) {
+    auto w = waiter_index_.find(ticket);
+    sim_->After(0, std::move(w->second.fn));
+    waiter_index_.erase(w);
+    it->second.erase(ticket);
+  }
+  if (it->second.empty()) {
+    append_waiters_.erase(it);
+  }
+}
+
 std::uint64_t Broker::HashKey(const common::Key& key) {
   // FNV-1a: deterministic across platforms.
   std::uint64_t h = 14695981039346656037ULL;
@@ -70,12 +171,24 @@ common::Result<PublishResult> Broker::Publish(const std::string& topic, Message 
     }
   }
   const Offset offset = t.partitions[p]->Append(std::move(msg));
+  NotifyAppendWaiters(topic, p, t.partitions[p]->end_offset());
   return PublishResult{p, offset};
 }
 
 common::Result<std::vector<StoredMessage>> Broker::Fetch(const std::string& topic,
                                                          PartitionId partition, Offset offset,
                                                          std::size_t max) const {
+  std::vector<StoredMessage> messages;
+  auto appended = FetchInto(topic, partition, offset, max, &messages);
+  if (!appended.ok()) {
+    return appended.status();
+  }
+  return messages;
+}
+
+common::Result<std::size_t> Broker::FetchInto(const std::string& topic, PartitionId partition,
+                                              Offset offset, std::size_t max,
+                                              std::vector<StoredMessage>* out) const {
   auto it = topics_.find(topic);
   if (it == topics_.end()) {
     return common::Status::NotFound("no such topic: " + topic);
@@ -83,14 +196,15 @@ common::Result<std::vector<StoredMessage>> Broker::Fetch(const std::string& topi
   if (partition >= it->second.config.partitions) {
     return common::Status::InvalidArgument("partition out of range");
   }
-  auto messages = it->second.partitions[partition]->Read(offset, max);
-  if (obs::TracingEnabled() && !messages.empty()) {  // Empty polls skip the clock read.
+  const std::size_t before = out->size();
+  const std::size_t appended = it->second.partitions[partition]->ReadInto(offset, max, out);
+  if (obs::TracingEnabled() && appended != 0) {  // Empty polls skip the clock read.
     const std::int64_t now = obs::NowMicros();
-    for (StoredMessage& sm : messages) {
-      sm.message.trace.Stamp(obs::Stage::kFetch, now);  // Handed to consumer.
+    for (std::size_t i = before; i < out->size(); ++i) {
+      (*out)[i].message.trace.Stamp(obs::Stage::kFetch, now);  // Handed to consumer.
     }
   }
-  return messages;
+  return appended;
 }
 
 Offset Broker::EndOffset(const std::string& topic, PartitionId partition) const {
@@ -330,6 +444,16 @@ void Broker::Rebalance(const GroupId& id, Group& group, const char* cause) {
     for (BrokerObserver* o : observers_) {
       o->OnRebalance(id, group.generation, members, group.assignment);
     }
+  }
+  // Wake parked rebalance waiters (one-shot, immediate events, ticket order).
+  auto waiters = rebalance_waiters_.find(id);
+  if (waiters != rebalance_waiters_.end()) {
+    for (const WaitTicket ticket : waiters->second) {
+      auto w = waiter_index_.find(ticket);
+      sim_->After(0, std::move(w->second.fn));
+      waiter_index_.erase(w);
+    }
+    rebalance_waiters_.erase(waiters);
   }
 }
 

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -95,6 +96,13 @@ class Broker {
   common::Result<PublishResult> Publish(const std::string& topic, Message msg,
                                         std::optional<PartitionId> partition = std::nullopt);
 
+  // Grows an existing topic by `additional` empty partitions (the autosharder
+  // / operator "scale out the topic" path). Existing partitions and offsets
+  // are untouched. Every group bound to the topic rebalances immediately so
+  // the new partitions have owners (cause "partition_growth"); free consumers
+  // are expected to re-discover partitions on their next poll.
+  common::Status AddPartitions(const std::string& topic, PartitionId additional);
+
   // -- Fetching -----------------------------------------------------------------
 
   // Reads up to `max` messages from `offset`. Silently resumes at the
@@ -104,8 +112,37 @@ class Broker {
                                                    PartitionId partition, Offset offset,
                                                    std::size_t max) const;
 
+  // Allocation-free Fetch for hot pollers (the runtime's shard-side pump):
+  // appends up to `max` messages into `*out`, reusing its capacity, and
+  // returns the number appended. Same reset and trace-stamping semantics.
+  common::Result<std::size_t> FetchInto(const std::string& topic, PartitionId partition,
+                                        Offset offset, std::size_t max,
+                                        std::vector<StoredMessage>* out) const;
+
   Offset EndOffset(const std::string& topic, PartitionId partition) const;
   Offset FirstOffset(const std::string& topic, PartitionId partition) const;
+
+  // -- Long-poll wakeups (the event-driven delivery subsystem) ------------------
+  //
+  // Instead of sleeping on a poll timer, an event-driven consumer parks a
+  // wakeup on the broker: WaitForAppend registers `fn` to run — as an
+  // immediate simulator event, preserving deterministic ordering — as soon as
+  // `partition` holds a message at or past `offset` (end_offset > offset).
+  // If data is already available the wakeup fires immediately. Wakeups are
+  // one-shot: a fired waiter is deregistered and must re-arm. Returns 0 (no
+  // registration) for an unknown topic/partition; CancelWait on a fired or
+  // unknown ticket is a harmless no-op returning false.
+  using WaitTicket = std::uint64_t;
+  WaitTicket WaitForAppend(const std::string& topic, PartitionId partition, Offset offset,
+                           std::function<void()> fn);
+  // Fires (one-shot, as an immediate event) on the group's next rebalance —
+  // how an event-driven group consumer learns its assignment changed without
+  // polling for the generation. Always registers, even for a group that does
+  // not exist yet (a joining member may park before its join lands).
+  WaitTicket WaitForRebalance(const GroupId& group, std::function<void()> fn);
+  bool CancelWait(WaitTicket ticket);
+  // Outstanding registrations (tests/leak checks).
+  std::size_t PendingWaiters() const { return waiter_index_.size(); }
 
   // -- Consumer groups ----------------------------------------------------------
 
@@ -229,6 +266,20 @@ class Broker {
   void EnforceRetention();
   void SweepDeadMembers();
   void Rebalance(const GroupId& id, Group& group, const char* cause);
+  // Fires (and deregisters) every append waiter on (topic, partition) whose
+  // target offset is now available, i.e. offset < end.
+  void NotifyAppendWaiters(const std::string& topic, PartitionId partition, Offset end);
+
+  // One parked long-poll wakeup. Exactly one of the two keys is meaningful:
+  // data waiters carry (topic, partition, offset); rebalance waiters carry
+  // the group id.
+  struct Waiter {
+    std::string topic;
+    PartitionId partition = 0;
+    Offset offset = 0;
+    GroupId group;
+    std::function<void()> fn;
+  };
 
   sim::Simulator* sim_;
   sim::Network* net_;
@@ -240,6 +291,13 @@ class Broker {
   std::unique_ptr<sim::PeriodicTask> maintenance_;
   obs::Collector* obs_ = nullptr;
   std::size_t obs_shard_ = 0;
+  // The waiter registry. waiter_index_ owns the waiters; the per-partition
+  // and per-group maps index into it by ticket so the append hot path only
+  // touches its own partition's parked set.
+  std::map<WaitTicket, Waiter> waiter_index_;
+  std::map<std::pair<std::string, PartitionId>, std::map<WaitTicket, Offset>> append_waiters_;
+  std::map<GroupId, std::set<WaitTicket>> rebalance_waiters_;
+  WaitTicket next_wait_ticket_ = 1;
 };
 
 }  // namespace pubsub

@@ -1,5 +1,7 @@
 #include "pubsub/consumer.h"
 
+#include <set>
+
 namespace pubsub {
 
 GroupConsumer::GroupConsumer(sim::Simulator* sim, sim::Network* net, Broker* broker,
@@ -18,17 +20,51 @@ GroupConsumer::GroupConsumer(sim::Simulator* sim, sim::Network* net, Broker* bro
   }
 }
 
-GroupConsumer::~GroupConsumer() = default;
+GroupConsumer::~GroupConsumer() {
+  // Neutralize any parked wakeups / in-flight pump events without the side
+  // effects of Stop() (leaving the group is an explicit act, not teardown).
+  *alive_ = false;
+  CancelWaits();
+}
+
+std::function<void()> GroupConsumer::WakeFn() {
+  auto alive = alive_;
+  return [this, alive] {
+    if (*alive) {
+      Pump();
+    }
+  };
+}
+
+void GroupConsumer::SchedulePump(common::TimeMicros delay) { sim_->After(delay, WakeFn()); }
+
+void GroupConsumer::CancelWaits() {
+  for (Broker::WaitTicket ticket : wait_tickets_) {
+    (void)broker_->CancelWait(ticket);
+  }
+  wait_tickets_.clear();
+}
 
 void GroupConsumer::Start() {
   if (running_) {
     return;
   }
   running_ = true;
+  *alive_ = false;  // Orphan callbacks from a previous Start/Stop cycle.
+  alive_ = std::make_shared<bool>(true);
   if (net_->Reachable(member_, broker_->node())) {
     (void)broker_->JoinGroup(group_, topic_, member_);
   }
-  poll_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
+  if (options_.event_driven) {
+    // The periodic slot becomes a coarse safety-net sweep: it catches any
+    // wakeup path that forgot to ring and resumes after outages heal.
+    poll_task_ =
+        std::make_unique<sim::PeriodicTask>(sim_, options_.heartbeat_period, [this] { Pump(); });
+    SchedulePump(0);
+  } else {
+    poll_task_ =
+        std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
+  }
   heartbeat_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.heartbeat_period,
                                                         [this] { SendHeartbeat(); });
 }
@@ -38,6 +74,8 @@ void GroupConsumer::Stop() {
     return;
   }
   running_ = false;
+  *alive_ = false;
+  CancelWaits();
   poll_task_.reset();
   heartbeat_task_.reset();
   if (net_->Reachable(member_, broker_->node())) {
@@ -47,13 +85,18 @@ void GroupConsumer::Stop() {
 
 void GroupConsumer::OnCrash() {
   // Node is already marked down by the injector; in-memory delivery state is
-  // lost (anything delivered-but-uncommitted will be redelivered).
+  // lost (anything delivered-but-uncommitted will be redelivered). Parked
+  // wakeups die with the process image.
   delivery_attempts_.clear();
+  CancelWaits();
 }
 
 void GroupConsumer::OnRestart() {
   if (running_ && net_->Reachable(member_, broker_->node())) {
     (void)broker_->JoinGroup(group_, topic_, member_);
+    if (options_.event_driven) {
+      SchedulePump(0);
+    }
   }
 }
 
@@ -64,12 +107,86 @@ void GroupConsumer::SendHeartbeat() {
   broker_->Heartbeat(group_, member_);
 }
 
+void GroupConsumer::PruneStaleDeliveryState(std::uint64_t generation,
+                                            const std::vector<PartitionId>& assigned) {
+  if (generation == last_seen_generation_) {
+    return;
+  }
+  last_seen_generation_ = generation;
+  const std::set<PartitionId> owned(assigned.begin(), assigned.end());
+  for (auto it = delivery_attempts_.begin(); it != delivery_attempts_.end();) {
+    if (owned.count(it->first) == 0) {
+      it = delivery_attempts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool GroupConsumer::DrainPartition(PartitionId partition, std::size_t* budget) {
+  const Offset committed = broker_->CommittedOffset(group_, partition);
+  auto batch = broker_->Fetch(topic_, partition, committed, *budget);
+  if (!batch.ok()) {
+    return false;
+  }
+  Offset commit_to = committed;
+  bool nack_blocked = false;
+  for (const StoredMessage& m : *batch) {
+    // Trace stamps happen on a local copy: the stored message is shared
+    // log state and deliver/ack times are per-consumer.
+    obs::TraceContext trace = m.message.trace;
+    trace.Stamp(obs::Stage::kDeliver, trace.active() ? obs::NowMicros() : 0);
+    const bool ack = handler_(partition, m);
+    if (ack) {
+      if (trace.active()) {
+        trace.Stamp(obs::Stage::kAck, obs::NowMicros());
+        if (options_.obs != nullptr) {
+          options_.obs->Complete(obs::Path::kPubsub, trace, options_.obs_shard);
+        }
+      }
+      ++delivered_;
+      delivered_bytes_ += m.message.key.size() + m.message.value.size();
+      commit_to = m.offset + 1;
+      delivery_attempts_[partition].erase(m.offset);
+      --*budget;
+      continue;
+    }
+    // Nack: leave uncommitted so it is redelivered, unless the redelivery
+    // budget is exhausted — then dead-letter (or drop) and move on.
+    std::uint32_t& attempts = delivery_attempts_[partition][m.offset];
+    ++attempts;
+    if (options_.max_redeliveries > 0 && attempts >= options_.max_redeliveries) {
+      if (!options_.dead_letter_topic.empty()) {
+        // The dead-letter record is a *new* publish, not a continuation of
+        // the failed delivery: reset the trace so the broker starts a fresh
+        // one, instead of double-counting the original's feed/append stages.
+        Message dead = m.message;
+        dead.trace = obs::TraceContext{};
+        (void)broker_->Publish(options_.dead_letter_topic, std::move(dead));
+      }
+      ++dead_lettered_;
+      commit_to = m.offset + 1;
+      delivery_attempts_[partition].erase(m.offset);
+      continue;
+    }
+    nack_blocked = true;
+    break;  // Head-of-line: retry this partition from the nack later.
+  }
+  // One commit per drained batch (not per message): same committed frontier,
+  // a fraction of the coordinator/journal traffic.
+  if (commit_to > committed) {
+    broker_->CommitOffset(group_, partition, commit_to);
+  }
+  return nack_blocked;
+}
+
 void GroupConsumer::Poll() {
   if (!running_ || !net_->Reachable(member_, broker_->node())) {
     return;
   }
   const std::uint64_t generation = broker_->GroupGeneration(group_);
   std::vector<PartitionId> assigned = broker_->AssignedPartitions(group_, member_, generation);
+  PruneStaleDeliveryState(generation, assigned);
   if (assigned.empty()) {
     // Possibly evicted (e.g. after a long outage): re-join.
     (void)broker_->JoinGroup(group_, topic_, member_);
@@ -80,46 +197,65 @@ void GroupConsumer::Poll() {
     if (budget == 0) {
       break;
     }
-    const Offset committed = broker_->CommittedOffset(group_, p);
-    auto batch = broker_->Fetch(topic_, p, committed, budget);
-    if (!batch.ok()) {
+    DrainPartition(p, &budget);
+  }
+}
+
+void GroupConsumer::Pump() {
+  if (!running_ || !options_.event_driven) {
+    return;
+  }
+  // Re-arm from scratch each round: any still-parked tickets are stale (a
+  // wakeup already fired, or the safety net got here first), so a spurious
+  // extra pump is at worst a no-op fetch.
+  CancelWaits();
+  if (!net_->Reachable(member_, broker_->node())) {
+    return;  // The safety-net sweep retries after the outage heals.
+  }
+  const std::uint64_t generation = broker_->GroupGeneration(group_);
+  std::vector<PartitionId> assigned = broker_->AssignedPartitions(group_, member_, generation);
+  PruneStaleDeliveryState(generation, assigned);
+  if (assigned.empty()) {
+    (void)broker_->JoinGroup(group_, topic_, member_);
+    // Park on the group: the join's own rebalance (or a later one, once the
+    // coordinator admits us) pumps again.
+    wait_tickets_.push_back(broker_->WaitForRebalance(group_, WakeFn()));
+    return;
+  }
+  std::size_t budget = options_.max_poll_messages;
+  std::set<PartitionId> blocked;
+  for (PartitionId p : assigned) {
+    if (budget == 0) {
+      break;
+    }
+    if (DrainPartition(p, &budget)) {
+      blocked.insert(p);
+    }
+  }
+  if (budget == 0) {
+    // Batch cap hit with data likely remaining: yield and re-pump as a fresh
+    // immediate event so co-scheduled work at this instant interleaves.
+    SchedulePump(0);
+    return;
+  }
+  // Caught up: park a data wakeup on every assigned partition plus a
+  // rebalance wakeup on the group. A nack-blocked partition has data
+  // available *now* — a data waiter would fire immediately and spin at this
+  // instant — so it instead retries on the poll_period redelivery timer,
+  // keeping event-driven redelivery pacing identical to periodic mode.
+  for (PartitionId p : assigned) {
+    if (blocked.count(p) > 0) {
       continue;
     }
-    for (const StoredMessage& m : *batch) {
-      // Trace stamps happen on a local copy: the stored message is shared
-      // log state and deliver/ack times are per-consumer.
-      obs::TraceContext trace = m.message.trace;
-      trace.Stamp(obs::Stage::kDeliver, trace.active() ? obs::NowMicros() : 0);
-      bool ack = handler_(p, m);
-      if (ack) {
-        if (trace.active()) {
-          trace.Stamp(obs::Stage::kAck, obs::NowMicros());
-          if (options_.obs != nullptr) {
-            options_.obs->Complete(obs::Path::kPubsub, trace, options_.obs_shard);
-          }
-        }
-        ++delivered_;
-        delivered_bytes_ += m.message.key.size() + m.message.value.size();
-        broker_->CommitOffset(group_, p, m.offset + 1);
-        delivery_attempts_[p].erase(m.offset);
-        --budget;
-        continue;
-      }
-      // Nack: leave uncommitted so it is redelivered, unless the redelivery
-      // budget is exhausted — then dead-letter (or drop) and move on.
-      std::uint32_t& attempts = delivery_attempts_[p][m.offset];
-      ++attempts;
-      if (options_.max_redeliveries > 0 && attempts >= options_.max_redeliveries) {
-        if (!options_.dead_letter_topic.empty()) {
-          (void)broker_->Publish(options_.dead_letter_topic, m.message);
-        }
-        ++dead_lettered_;
-        broker_->CommitOffset(group_, p, m.offset + 1);
-        delivery_attempts_[p].erase(m.offset);
-        continue;
-      }
-      break;  // Head-of-line: retry this partition from the nack next poll.
+    const Broker::WaitTicket ticket =
+        broker_->WaitForAppend(topic_, p, broker_->CommittedOffset(group_, p), WakeFn());
+    if (ticket != 0) {
+      wait_tickets_.push_back(ticket);
     }
+  }
+  wait_tickets_.push_back(broker_->WaitForRebalance(group_, WakeFn()));
+  if (!blocked.empty()) {
+    SchedulePump(options_.poll_period);
   }
 }
 
@@ -139,18 +275,50 @@ FreeConsumer::FreeConsumer(sim::Simulator* sim, sim::Network* net, Broker* broke
   }
 }
 
-FreeConsumer::~FreeConsumer() = default;
+FreeConsumer::~FreeConsumer() {
+  *alive_ = false;
+  CancelWaits();
+}
+
+std::function<void()> FreeConsumer::WakeFn() {
+  auto alive = alive_;
+  return [this, alive] {
+    if (*alive) {
+      Pump();
+    }
+  };
+}
+
+void FreeConsumer::SchedulePump(common::TimeMicros delay) { sim_->After(delay, WakeFn()); }
+
+void FreeConsumer::CancelWaits() {
+  for (Broker::WaitTicket ticket : wait_tickets_) {
+    (void)broker_->CancelWait(ticket);
+  }
+  wait_tickets_.clear();
+}
 
 void FreeConsumer::Start() {
   if (running_) {
     return;
   }
   running_ = true;
-  poll_task_ = std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+  if (options_.event_driven) {
+    poll_task_ =
+        std::make_unique<sim::PeriodicTask>(sim_, options_.heartbeat_period, [this] { Pump(); });
+    SchedulePump(0);
+  } else {
+    poll_task_ =
+        std::make_unique<sim::PeriodicTask>(sim_, options_.poll_period, [this] { Poll(); });
+  }
 }
 
 void FreeConsumer::Stop() {
   running_ = false;
+  *alive_ = false;
+  CancelWaits();
   poll_task_.reset();
 }
 
@@ -163,34 +331,84 @@ std::uint64_t FreeConsumer::Backlog() const {
   return backlog;
 }
 
-void FreeConsumer::Poll() {
-  if (!running_ || !net_->Reachable(node_, broker_->node())) {
+void FreeConsumer::DiscoverPartitions() {
+  const PartitionId n = broker_->PartitionCount(topic_);
+  if (n == 0) {
     return;
   }
-  if (!positions_initialized_) {
-    // Discover partitions on first contact with the broker.
-    const PartitionId n = broker_->PartitionCount(topic_);
-    for (PartitionId p = 0; p < n; ++p) {
-      positions_[p] = start_at_ == StartAt::kEarliest ? broker_->FirstOffset(topic_, p)
-                                                      : broker_->EndOffset(topic_, p);
+  for (PartitionId p = 0; p < n; ++p) {
+    if (positions_.count(p) > 0) {
+      continue;
     }
-    positions_initialized_ = n > 0;
+    positions_[p] = (!initial_discovery_done_ && start_at_ == StartAt::kLatest)
+                        ? broker_->EndOffset(topic_, p)
+                        : broker_->FirstOffset(topic_, p);
   }
-  std::size_t budget = options_.max_poll_messages;
+  initial_discovery_done_ = true;
+}
+
+void FreeConsumer::Drain(std::size_t* budget) {
   for (auto& [partition, position] : positions_) {
-    if (budget == 0) {
+    if (*budget == 0) {
       break;
     }
-    auto batch = broker_->Fetch(topic_, partition, position, budget);
+    auto batch = broker_->Fetch(topic_, partition, position, *budget);
     if (!batch.ok()) {
       continue;
     }
     for (const StoredMessage& m : *batch) {
+      // Stamp deliver/ack on a local copy, exactly like GroupConsumer: the
+      // stored message is shared log state. A free consumer owns its cursor,
+      // so the handler's verdict never gates progress — delivery *is* the
+      // acknowledgement.
+      obs::TraceContext trace = m.message.trace;
+      trace.Stamp(obs::Stage::kDeliver, trace.active() ? obs::NowMicros() : 0);
       (void)handler_(partition, m);
+      if (trace.active()) {
+        trace.Stamp(obs::Stage::kAck, obs::NowMicros());
+        if (options_.obs != nullptr) {
+          options_.obs->Complete(obs::Path::kPubsub, trace, options_.obs_shard);
+        }
+      }
       ++delivered_;
       delivered_bytes_ += m.message.key.size() + m.message.value.size();
       position = m.offset + 1;
-      --budget;
+      --*budget;
+    }
+  }
+}
+
+void FreeConsumer::Poll() {
+  if (!running_ || !net_->Reachable(node_, broker_->node())) {
+    return;
+  }
+  DiscoverPartitions();
+  std::size_t budget = options_.max_poll_messages;
+  Drain(&budget);
+}
+
+void FreeConsumer::Pump() {
+  if (!running_ || !options_.event_driven) {
+    return;
+  }
+  CancelWaits();
+  if (!net_->Reachable(node_, broker_->node())) {
+    return;  // Safety-net sweep retries after the outage heals.
+  }
+  DiscoverPartitions();
+  std::size_t budget = options_.max_poll_messages;
+  Drain(&budget);
+  if (budget == 0) {
+    SchedulePump(0);
+    return;
+  }
+  // Caught up: park a wakeup per known partition. Partitions added while
+  // parked have no waiter yet — the safety-net sweep discovers them.
+  for (const auto& [partition, position] : positions_) {
+    const Broker::WaitTicket ticket =
+        broker_->WaitForAppend(topic_, partition, position, WakeFn());
+    if (ticket != 0) {
+      wait_tickets_.push_back(ticket);
     }
   }
 }

@@ -10,6 +10,16 @@
 //    entire feed, which is the non-scalable fallback Section 3.2.2 describes
 //    cache servers using.
 //
+// Both support two delivery modes, selected by ConsumerOptions::event_driven:
+//
+//  * periodic (default) — the classic poll loop: fetch every poll_period.
+//    Latency floors at ~poll_period/2 regardless of load.
+//  * event-driven — drain immediately while data is available, then park a
+//    long-poll wakeup on the broker (WaitForAppend / WaitForRebalance) and a
+//    coarse heartbeat-period sweep as a safety net. Delivery *sequences* are
+//    identical to periodic mode (same log order, same ack gating); only the
+//    simulated times differ.
+//
 // Both are simulated-network nodes: while a consumer's node is down or
 // partitioned from the broker it makes no progress, and its backlog grows.
 #ifndef SRC_PUBSUB_CONSUMER_H_
@@ -40,6 +50,11 @@ struct ConsumerOptions {
   // make progress. 0 disables redelivery limiting.
   std::uint32_t max_redeliveries = 0;
   std::string dead_letter_topic;
+  // Event-driven delivery: instead of sleeping poll_period between fetches,
+  // drain while data is available and park a broker wakeup when caught up
+  // (heartbeat_period acts as the safety-net sweep; nacked head-of-line
+  // messages still retry on poll_period so redelivery pacing is unchanged).
+  bool event_driven = false;
   // Observability sink: when set, the consumer stamps deliver/ack stages on
   // traced messages and completes their pubsub-path traces into the
   // collector (tagged with `obs_shard`'s histogram family).
@@ -77,7 +92,24 @@ class GroupConsumer {
   std::uint64_t dead_lettered() const { return dead_lettered_; }
 
  private:
-  void Poll();
+  void Poll();                                      // Periodic mode.
+  void Pump();                                      // Event-driven mode.
+  // Fetches one batch from the partition's committed offset, delivers it,
+  // and commits once for the whole drained batch. Returns true if the
+  // partition is head-of-line blocked on a nacked message (data available
+  // but not deliverable until the redelivery retry).
+  bool DrainPartition(PartitionId partition, std::size_t* budget);
+  // On a generation change, drops redelivery counters for partitions this
+  // member no longer owns — they describe the *previous* owner epoch, and
+  // keeping them would fast-forward a later re-assignment of the same
+  // partition straight to the dead-letter path.
+  void PruneStaleDeliveryState(std::uint64_t generation,
+                               const std::vector<PartitionId>& assigned);
+  void CancelWaits();
+  // A pump callback guarded against use after Stop()/destruction (parked
+  // wakeups and scheduled events can outlive this object).
+  std::function<void()> WakeFn();
+  void SchedulePump(common::TimeMicros delay);
   void SendHeartbeat();
 
   sim::Simulator* sim_;
@@ -90,10 +122,13 @@ class GroupConsumer {
   ConsumerOptions options_;
 
   bool running_ = false;
+  std::uint64_t last_seen_generation_ = 0;
   std::map<PartitionId, std::map<Offset, std::uint32_t>> delivery_attempts_;
   std::uint64_t delivered_ = 0;
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t dead_lettered_ = 0;
+  std::vector<Broker::WaitTicket> wait_tickets_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::unique_ptr<sim::PeriodicTask> poll_task_;
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
 };
@@ -119,7 +154,18 @@ class FreeConsumer {
   std::uint64_t Backlog() const;
 
  private:
-  void Poll();
+  void Poll();                        // Periodic mode.
+  void Pump();                        // Event-driven mode.
+  void Drain(std::size_t* budget);
+  // Adopts partitions this consumer has not seen yet. Runs on *every* poll:
+  // topics grow (Broker::AddPartitions), and a one-shot discovery would
+  // silently never fetch the new partitions. Partitions present at first
+  // contact honour start_at_; later arrivals are consumed from their first
+  // offset ("latest" predates a partition that did not exist yet).
+  void DiscoverPartitions();
+  void CancelWaits();
+  std::function<void()> WakeFn();
+  void SchedulePump(common::TimeMicros delay);
 
   sim::Simulator* sim_;
   sim::Network* net_;
@@ -131,10 +177,12 @@ class FreeConsumer {
   StartAt start_at_;
 
   bool running_ = false;
-  bool positions_initialized_ = false;
+  bool initial_discovery_done_ = false;
   std::map<PartitionId, Offset> positions_;
   std::uint64_t delivered_ = 0;
   std::uint64_t delivered_bytes_ = 0;
+  std::vector<Broker::WaitTicket> wait_tickets_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::unique_ptr<sim::PeriodicTask> poll_task_;
 };
 

@@ -14,6 +14,7 @@
 #ifndef SRC_PUBSUB_LOG_H_
 #define SRC_PUBSUB_LOG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -70,23 +71,36 @@ class PartitionLog {
   // message (the Kafka reset behaviour). `max` == 0 means unlimited.
   std::vector<StoredMessage> Read(Offset from, std::size_t max = 0) const {
     std::vector<StoredMessage> out;
-    for (const StoredMessage& m : log_) {
-      if (m.offset < from) {
-        continue;
-      }
-      out.push_back(m);
-      if (max != 0 && out.size() >= max) {
+    ReadInto(from, max, &out);
+    return out;
+  }
+
+  // Allocation-free Read for hot pollers: appends up to `max` messages into
+  // `*out` (not cleared), reusing its capacity. Returns the number appended.
+  std::size_t ReadInto(Offset from, std::size_t max, std::vector<StoredMessage>* out) const {
+    const std::size_t before = out->size();
+    // Offsets are sorted but not dense (compaction leaves gaps), so position
+    // by binary search rather than scanning from the retained head — an
+    // event-driven pump fetching small batches per wakeup would otherwise
+    // pay O(retained log) per fetch.
+    auto it = std::lower_bound(
+        log_.begin(), log_.end(), from,
+        [](const StoredMessage& m, Offset offset) { return m.offset < offset; });
+    for (; it != log_.end(); ++it) {
+      out->push_back(*it);
+      if (max != 0 && out->size() - before >= max) {
         break;
       }
     }
-    if (!out.empty() && out.front().offset > from) {
+    const std::size_t appended = out->size() - before;
+    if (appended != 0 && (*out)[before].offset > from) {
       // Reader fell below retained history; it cannot observe this, but the
       // harness can.
-      silent_skips_ += out.front().offset - from;
-    } else if (out.empty() && from < first_offset()) {
+      silent_skips_ += (*out)[before].offset - from;
+    } else if (appended == 0 && from < first_offset()) {
       silent_skips_ += first_offset() - from;
     }
-    return out;
+    return appended;
   }
 
   // Time-based retention: drops messages published before `horizon`.

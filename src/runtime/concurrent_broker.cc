@@ -182,6 +182,35 @@ pubsub::Offset ConcurrentBroker::FirstOffset(const std::string& topic,
   });
 }
 
+std::unique_ptr<Subscription> ConcurrentBroker::Subscribe(const std::string& topic,
+                                                          pubsub::PartitionId partition,
+                                                          pubsub::Offset start,
+                                                          SubscriptionOptions options) {
+  const TopicState* state = FindTopic(topic);
+  if (state == nullptr || partition >= state->config.partitions) {
+    return nullptr;
+  }
+  const std::size_t shard = OwnerShard(partition);
+  auto shared = std::make_shared<Subscription::Shared>();
+  shared->broker = pool_->core(shard).broker.get();
+  shared->topic = topic;
+  shared->partition = partition;
+  shared->cursor = start;
+  shared->handoff_capacity = options.handoff_capacity == 0 ? 1 : options.handoff_capacity;
+  shared->shard_batch = options.shard_batch == 0 ? 1 : options.shard_batch;
+  shared->wake_coalesce_us = options.wake_coalesce_us;
+  shared->poll_period = pool_->options().subscription_poll_period;
+  shared->event_driven = pool_->options().event_driven;
+  shared->wakeup_latency = &pool_->metrics().histogram("runtime.wakeup_latency_us");
+  shared->rings = &pool_->metrics().counter("runtime.doorbell_rings");
+  auto sub = std::unique_ptr<Subscription>(new Subscription(pool_, shard, shared));
+  if (shared->event_driven) {
+    // First pump adopts the backlog (if any) and parks the shard-side waiter.
+    pool_->Post(shard, [shared] { Subscription::PumpShard(shared); });
+  }
+  return sub;
+}
+
 common::Result<std::uint64_t> ConcurrentBroker::JoinGroup(const pubsub::GroupId& group,
                                                           const std::string& topic,
                                                           const pubsub::MemberId& member) {
@@ -234,6 +263,14 @@ void ConcurrentBroker::CommitOffset(const pubsub::GroupId& group, pubsub::Partit
   pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
     core.broker->CommitOffset(group, partition, offset);
   });
+}
+
+void ConcurrentBroker::CommitOffsetAsync(const pubsub::GroupId& group,
+                                         pubsub::PartitionId partition, pubsub::Offset offset) {
+  const std::size_t shard = OwnerShard(partition);
+  pubsub::Broker* broker = pool_->core(shard).broker.get();
+  pool_->Post(shard,
+              [broker, group, partition, offset] { broker->CommitOffset(group, partition, offset); });
 }
 
 pubsub::Offset ConcurrentBroker::CommittedOffset(const pubsub::GroupId& group,

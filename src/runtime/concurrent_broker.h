@@ -32,6 +32,7 @@
 #include "pubsub/broker.h"
 #include "pubsub/types.h"
 #include "runtime/shard_pool.h"
+#include "runtime/subscription.h"
 
 namespace runtime {
 
@@ -78,6 +79,17 @@ class ConcurrentBroker {
   pubsub::Offset EndOffset(const std::string& topic, pubsub::PartitionId partition);
   pubsub::Offset FirstOffset(const std::string& topic, pubsub::PartitionId partition);
 
+  // -- Subscriptions (the event-driven consume path) ---------------------------
+
+  // Opens a cursor on one partition starting at `start`. In event-driven
+  // pools (RuntimeOptions::event_driven) the owner shard pushes appends into
+  // the subscription's handoff buffer and rings its doorbell; otherwise the
+  // subscription polls synchronously. Returns nullptr for an unknown topic
+  // or out-of-range partition. The subscription must not outlive the pool.
+  std::unique_ptr<Subscription> Subscribe(const std::string& topic,
+                                          pubsub::PartitionId partition, pubsub::Offset start,
+                                          SubscriptionOptions options = {});
+
   // -- Consumer groups ----------------------------------------------------------
 
   // Fenced: the join lands on every shard's coordinator; returns the (shared)
@@ -100,6 +112,11 @@ class ConcurrentBroker {
   // Commits run on the partition's owner shard (synchronous).
   void CommitOffset(const pubsub::GroupId& group, pubsub::PartitionId partition,
                     pubsub::Offset offset);
+  // Fire-and-forget commit for batched event-driven consumers: rides the
+  // owner shard's queue without a reply future. Uses the blocking push, so an
+  // accepted commit is never dropped; saturation surfaces as caller wait.
+  void CommitOffsetAsync(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                         pubsub::Offset offset);
   pubsub::Offset CommittedOffset(const pubsub::GroupId& group, pubsub::PartitionId partition);
 
   // -- Cross-shard reads / the §3.3 seek surface (fenced) -----------------------

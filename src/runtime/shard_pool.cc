@@ -230,6 +230,12 @@ void ShardPool::SampleObsGauges() {
   }
   m.gauge("obs.pubsub.group_backlog").Set(static_cast<std::int64_t>(total_backlog));
   m.gauge("obs.watch.max_session_lag").Set(static_cast<std::int64_t>(max_lag));
+  // Doorbell wakeup latency (data available on a shard → consumer drained
+  // it), from the subscriptions' shared histogram. Zero until a subscription
+  // has delivered through a wakeup.
+  const common::Histogram& wakeup = metrics_->histogram("runtime.wakeup_latency_us");
+  m.gauge("obs.runtime.wakeup_p50_us").Set(static_cast<std::int64_t>(wakeup.Percentile(50)));
+  m.gauge("obs.runtime.wakeup_p99_us").Set(static_cast<std::int64_t>(wakeup.Percentile(99)));
 }
 
 }  // namespace runtime

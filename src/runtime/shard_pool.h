@@ -61,6 +61,15 @@ struct RuntimeOptions {
   common::TimeMicros tick = 0;
   // Retry hint handed to rejected publishers/ingesters, in microseconds.
   common::TimeMicros retry_after = 100;
+  // Event-driven delivery for runtime subscriptions: the owner shard pushes
+  // appended messages into the subscription's handoff buffer at append time
+  // and rings the consumer's doorbell (see runtime/subscription.h). When
+  // false, subscriptions run the classic client-driven poll loop instead —
+  // same API, same delivery sequences, poll-period latency floor — which the
+  // equivalence suites exercise against event mode.
+  bool event_driven = true;
+  // Poll cadence (host time) of periodic-mode subscriptions.
+  common::TimeMicros subscription_poll_period = 1000;
   // Base seed; shard s runs its core at seed + s.
   std::uint64_t seed = 1;
   // Watch sessions lagging more than this many undelivered events get a loud

@@ -1,0 +1,260 @@
+#include "runtime/subscription.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace runtime {
+
+namespace {
+
+std::int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Subscription::~Subscription() {
+  auto self = shared_;
+  {
+    std::lock_guard<std::mutex> lock(self->mu);
+    self->detached = true;
+  }
+  self->bell.Signal();  // Unpark a consumer blocked in Wait on another thread.
+  if (self->event_driven) {
+    // Stand the shard side down on its own thread. A wakeup already in
+    // flight is harmless: its closure owns `self` and checks `detached`.
+    pool_->Post(shard_, [self] {
+      std::lock_guard<std::mutex> lock(self->mu);
+      if (self->ticket != 0) {
+        (void)self->broker->CancelWait(self->ticket);
+        self->ticket = 0;
+      }
+    });
+  }
+}
+
+bool Subscription::event_driven() const { return shared_->event_driven; }
+
+pubsub::Offset Subscription::cursor() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->cursor;
+}
+
+std::uint64_t Subscription::wakeups() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->wakeups;
+}
+
+void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
+  Shared& s = *shared;
+  std::size_t space;
+  pubsub::Offset cursor;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.detached) {
+      return;
+    }
+    s.ticket = 0;  // A fired waiter is already deregistered broker-side.
+    space = s.handoff_capacity - s.buffer.size();
+    cursor = s.cursor;
+    if (space == 0) {
+      s.stalled = true;  // Consumer's drain below the watermark resumes us.
+      return;
+    }
+  }
+  bool pushed_any = false;
+  for (;;) {
+    // Fetch outside the lock: the broker is shard-confined, the buffer is
+    // not, and neither needs the other's protection. The scratch vector is
+    // shard-confined too, so the hot caught-up path (one pump per append)
+    // never allocates.
+    const std::size_t want = std::min(space, s.shard_batch);
+    s.scratch.clear();
+    auto fetched = s.broker->FetchInto(s.topic, s.partition, cursor, want, &s.scratch);
+    if (!fetched.ok() || *fetched == 0) {
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.detached) {
+        return;
+      }
+      const bool was_empty = s.buffer.empty();
+      if (was_empty) {
+        s.buffer.swap(s.scratch);  // O(1); capacities circulate between lanes.
+      } else {
+        for (pubsub::StoredMessage& m : s.scratch) {
+          s.buffer.push_back(std::move(m));
+        }
+      }
+      cursor = s.cursor = s.buffer.back().offset + 1;
+      pushed_any = true;
+      if (was_empty && s.data_ready_at_us < 0) {
+        s.data_ready_at_us = SteadyMicros();
+      }
+      space = s.handoff_capacity - s.buffer.size();
+      if (space == 0) {
+        s.stalled = true;
+        break;
+      }
+    }
+    if (*fetched < want) {
+      // Short batch means the log is drained (appends run on this same shard
+      // thread, so none landed meanwhile): skip the empty terminator fetch.
+      break;
+    }
+  }
+  if (pushed_any) {
+    // Interrupt moderation: a push after a quiet stream rings at once (idle
+    // wakeup latency is one futex from the append); within the coalesce
+    // window after a ring the consumer is either awake and draining or due
+    // for its bounded re-check park, so further rings would only buy context
+    // switches. Each wakeup then drains a window's worth of messages instead
+    // of one push's worth. A half-full buffer rings through the window (the
+    // NIC rx-frames companion to the rx-usecs timer): a parked consumer must
+    // not sleep out its park while a refilled lane sits ready to swap.
+    bool ring;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      const std::int64_t now = SteadyMicros();
+      ring = s.wake_coalesce_us <= 0 || now - s.last_ring_us >= s.wake_coalesce_us ||
+             s.buffer.size() >= s.handoff_capacity / 2;
+      if (ring) {
+        s.last_ring_us = now;
+      }
+    }
+    if (ring) {
+      s.bell.Signal();
+      if (s.rings != nullptr) {
+        s.rings->Increment();
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.detached || s.stalled) {
+    return;
+  }
+  // Caught up: re-arm on the shard broker. If data landed between the last
+  // fetch and here (same thread, so it cannot have), WaitForAppend would
+  // fire an immediate pump; either way no append is missed.
+  auto self = shared;
+  s.ticket = s.broker->WaitForAppend(s.topic, s.partition, s.cursor,
+                                     [self] { PumpShard(self); });
+}
+
+std::size_t Subscription::PollBatch(std::vector<pubsub::StoredMessage>* out, std::size_t max) {
+  Shared& s = *shared_;
+  if (max == 0) {
+    return 0;
+  }
+  if (!s.event_driven) {
+    // Client-driven periodic mode: one synchronous fetch on the owner shard
+    // (the pre-subscription consume path, kept for equivalence testing).
+    pubsub::Offset cursor;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      cursor = s.cursor;
+    }
+    auto batch = pool_->RunOn(shard_, [&](ShardCore& core) {
+      return core.broker->Fetch(s.topic, s.partition, cursor, max);
+    });
+    if (!batch.ok() || batch->empty()) {
+      return 0;
+    }
+    const std::size_t n = batch->size();
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.cursor = batch->back().offset + 1;
+    }
+    for (pubsub::StoredMessage& m : *batch) {
+      out->push_back(std::move(m));
+    }
+    return n;
+  }
+  std::size_t n = 0;
+  for (;;) {
+    while (n < max && local_pos_ < local_.size()) {
+      out->push_back(std::move(local_[local_pos_]));
+      ++local_pos_;
+      ++n;
+    }
+    if (n == max) {
+      return n;
+    }
+    // Local lane exhausted: take the shard lane in one O(1) swap, so the
+    // shard's pump never waits behind a per-message drain loop.
+    local_.clear();
+    local_pos_ = 0;
+    bool resume = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.buffer.empty()) {
+        return n;
+      }
+      local_.swap(s.buffer);
+      if (s.data_ready_at_us >= 0) {
+        if (s.wakeup_latency != nullptr) {
+          s.wakeup_latency->Record(
+              static_cast<double>(std::max<std::int64_t>(0, SteadyMicros() - s.data_ready_at_us)));
+        }
+        s.data_ready_at_us = -1;
+      }
+      if (s.stalled) {
+        s.stalled = false;
+        resume = true;
+      }
+    }
+    if (resume) {
+      auto self = shared_;
+      pool_->Post(shard_, [self] { PumpShard(self); });
+    }
+  }
+}
+
+bool Subscription::Wait(common::TimeMicros timeout_us) {
+  Shared& s = *shared_;
+  if (!s.event_driven) {
+    std::this_thread::sleep_for(std::chrono::microseconds(s.poll_period));
+    return true;
+  }
+  // Each park is bounded by a re-check sweep, so a ring held back by wake
+  // coalescing (or any forgotten signal) delays this waiter by at most one
+  // sweep instead of stranding it.
+  constexpr common::TimeMicros kSweepParkUs = 5000;
+  if (local_pos_ < local_.size()) {
+    return true;  // Undrained messages already on the consumer's own lane.
+  }
+  const std::int64_t start = SteadyMicros();
+  bool parked = false;
+  for (;;) {
+    const std::uint64_t seen = s.bell.Epoch();
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.buffer.empty()) {
+        if (parked) {
+          ++s.wakeups;
+        }
+        return true;
+      }
+      if (s.detached) {
+        return false;
+      }
+    }
+    common::TimeMicros park = kSweepParkUs;
+    if (timeout_us > 0) {
+      const std::int64_t left = timeout_us - (SteadyMicros() - start);
+      if (left <= 0) {
+        return false;
+      }
+      park = std::min<common::TimeMicros>(park, left);
+    }
+    (void)s.bell.WaitPast(seen, park);
+    parked = true;
+  }
+}
+
+}  // namespace runtime

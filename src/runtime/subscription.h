@@ -1,0 +1,154 @@
+// Subscription: the event-driven consume path of the concurrent runtime.
+//
+// The polling consume path pays the ingress queue twice per batch: a fetch
+// task rides the owner shard's MPSC queue behind every queued publish, and
+// the reply rides a future back. Under load that queue wait — not the log —
+// dominates append→fetch latency (~queue_capacity × per-task cost). A
+// Subscription removes the round trip entirely: the *shard* owns the read
+// cursor. A waiter parked on the shard broker (Broker::WaitForAppend) fires
+// at append time, the shard fetches the new messages into a bounded handoff
+// buffer while still on its own thread — stamping the trace's fetch stage
+// micro­seconds after the append — and rings a host-side Doorbell the
+// consumer thread parks on.
+//
+// Flow control: the handoff buffer is bounded. When it fills, the shard
+// stops fetching (stalls) instead of queueing unboundedly; the consumer's
+// next drain below the half-full watermark posts a resume. Nothing is
+// dropped, nothing is unbounded — the backpressure posture of the task
+// queues, applied to the egress lane.
+//
+// Modes. A Subscription created while RuntimeOptions::event_driven is false
+// runs the classic client-driven loop instead (PollBatch issues a synchronous
+// fetch on the owner shard; Wait sleeps the poll period), so equivalence
+// suites can assert both modes deliver identical sequences through one API.
+//
+// Threading: one consumer thread per Subscription (the doorbell's MPSC-like
+// contract); the shard side runs only on the owner shard's worker. All
+// shared state lives behind one mutex in a shared_ptr'd block, so a wakeup
+// in flight during teardown is harmless.
+#ifndef SRC_RUNTIME_SUBSCRIPTION_H_
+#define SRC_RUNTIME_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "pubsub/broker.h"
+#include "pubsub/types.h"
+#include "runtime/doorbell.h"
+#include "runtime/shard_pool.h"
+
+namespace runtime {
+
+struct SubscriptionOptions {
+  // Handoff bound (messages) on the shard-side lane; the consumer's
+  // swapped-out lane can briefly hold one more laneful, so total in-flight
+  // is bounded by 2x this.
+  std::size_t handoff_capacity = 8192;
+  // Max messages the shard fetches per pump round (amortizes lock traffic
+  // without monopolizing the shard).
+  std::size_t shard_batch = 256;
+  // Doorbell interrupt moderation: after a ring, further pushes stay silent
+  // for this window (the consumer is draining, or its bounded park times out
+  // and finds them). The first push after a quiet stream always rings
+  // immediately, so idle-stream wakeup latency is unaffected; under
+  // sustained load this bounds wakeup context switches to ~1/window instead
+  // of one per drain cycle. 0 rings on every empty→nonempty push.
+  common::TimeMicros wake_coalesce_us = 500;
+};
+
+class Subscription {
+ public:
+  ~Subscription();
+
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  // Drains up to `max` messages into `out` (appended), in partition log
+  // order. Event mode pops the handoff buffer and resumes a stalled shard;
+  // periodic mode fetches synchronously from the owner shard. Returns the
+  // number appended.
+  std::size_t PollBatch(std::vector<pubsub::StoredMessage>* out, std::size_t max);
+
+  // Event mode: parks on the doorbell until data is buffered or `timeout_us`
+  // elapses; returns true if data is waiting. timeout_us <= 0 waits until
+  // data arrives. Parks are internally bounded (a re-check sweep every few
+  // milliseconds) so a ring held back by wake coalescing — or any forgotten
+  // signal — delays a waiter, never strands it. Periodic mode: sleeps the
+  // pool's subscription poll period and returns true (poll to find out).
+  bool Wait(common::TimeMicros timeout_us);
+
+  bool event_driven() const;
+  // Next offset the shard (event) / consumer (periodic) will fetch.
+  pubsub::Offset cursor() const;
+  // Parks that ended with data available (event mode).
+  std::uint64_t wakeups() const;
+
+ private:
+  friend class ConcurrentBroker;
+
+  // State shared by the consumer thread and the owner shard's worker; kept
+  // alive by every closure that can still run (shard waiter callbacks,
+  // posted resume/cancel tasks), so teardown never races a late wakeup.
+  struct Shared {
+    // Immutable after Subscribe.
+    pubsub::Broker* broker = nullptr;  // Owner shard's core broker.
+    std::string topic;
+    pubsub::PartitionId partition = 0;
+    std::size_t handoff_capacity = 8192;
+    std::size_t shard_batch = 256;
+    common::TimeMicros wake_coalesce_us = 500;
+    common::TimeMicros poll_period = 1000;
+    bool event_driven = true;
+    common::Histogram* wakeup_latency = nullptr;  // runtime.wakeup_latency_us
+    common::Counter* rings = nullptr;             // runtime.doorbell_rings
+
+    Doorbell bell;
+
+    std::mutex mu;
+    // Shard-side handoff lane. The consumer takes the whole lane in one O(1)
+    // swap (see Subscription::local_) so its time under `mu` never scales
+    // with batch size — a consumer draining 512 messages must not block the
+    // owner shard's pump mid-publish-storm.
+    std::vector<pubsub::StoredMessage> buffer;
+    pubsub::Offset cursor = 0;
+    bool stalled = false;   // Shard paused on a full buffer; consumer resumes.
+    bool detached = false;  // Subscription destroyed; shard side stands down.
+    std::uint64_t wakeups = 0;
+    // Host-time mark of the empty→nonempty transition; -1 when unset. The
+    // consumer's first drain after it measures doorbell wakeup latency.
+    std::int64_t data_ready_at_us = -1;
+    // Host-time mark of the last doorbell ring (0 = never): the moderation
+    // clock for wake_coalesce_us.
+    std::int64_t last_ring_us = 0;
+    pubsub::Broker::WaitTicket ticket = 0;  // Shard-confined.
+    // Shard-confined fetch scratch: when caught up, every append fires one
+    // pump, so the fetch path must not allocate per call. Capacity circulates
+    // scratch → buffer → local_ and back through the two swaps.
+    std::vector<pubsub::StoredMessage> scratch;
+  };
+
+  Subscription(ShardPool* pool, std::size_t shard, std::shared_ptr<Shared> shared)
+      : pool_(pool), shard_(shard), shared_(std::move(shared)) {}
+
+  // Runs on the owner shard's worker only: fetches available messages into
+  // the handoff buffer, rings the bell, and re-arms the append waiter (or
+  // stalls on a full buffer).
+  static void PumpShard(const std::shared_ptr<Shared>& shared);
+
+  ShardPool* pool_;
+  std::size_t shard_;
+  std::shared_ptr<Shared> shared_;
+  // Consumer-side lane (consumer thread only, no lock): the last swapped-out
+  // shard lane, drained from local_pos_.
+  std::vector<pubsub::StoredMessage> local_;
+  std::size_t local_pos_ = 0;
+};
+
+}  // namespace runtime
+
+#endif  // SRC_RUNTIME_SUBSCRIPTION_H_

@@ -1,0 +1,88 @@
+// Doorbell: the deterministic wakeup primitive behind event-driven delivery.
+//
+// A task parks a callback on the doorbell; Signal() wakes every parked waiter
+// by scheduling it as an *immediate* event on the simulator (delay 0, at the
+// current simulated instant). Because the simulator breaks time ties by
+// schedule order, waiters run in park order and a signaled doorbell preserves
+// the exact determinism of the event queue — a wakeup is just another event.
+//
+// Semantics are edge-triggered and single-shot: Signal() consumes the parked
+// set; a waiter that wants further wakeups re-parks from its callback. There
+// is no level state ("signaled while nobody parked" is dropped), so users
+// must follow the check-then-park discipline:
+//
+//   1. consume everything currently available;
+//   2. if nothing remains, Park();
+//   3. the producer makes data available, then Signals.
+//
+// In a discrete-event simulation steps 1-3 cannot interleave, so the classic
+// lost-wakeup race is structurally impossible — but a *forgotten* signal
+// (producer path that doesn't ring) is still a hang, which is why consumers
+// built on this keep a coarse periodic timer as a safety net.
+#ifndef SRC_SIM_DOORBELL_H_
+#define SRC_SIM_DOORBELL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sim {
+
+class Doorbell {
+ public:
+  using Ticket = std::uint64_t;
+
+  explicit Doorbell(Simulator* sim) : sim_(sim) {}
+
+  Doorbell(const Doorbell&) = delete;
+  Doorbell& operator=(const Doorbell&) = delete;
+
+  // Parks `fn` until the next Signal(). Returns a ticket for Cancel.
+  Ticket Park(std::function<void()> fn) {
+    const Ticket ticket = next_ticket_++;
+    parked_.emplace_back(ticket, std::move(fn));
+    return ticket;
+  }
+
+  // Unparks a waiter; true if it was still parked (not yet signaled).
+  bool Cancel(Ticket ticket) {
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+      if (it->first == ticket) {
+        parked_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Wakes every currently parked waiter, each as an immediate simulator event
+  // in park order. Waiters parked from inside a woken callback are *not*
+  // swept into this signal — they wait for the next one.
+  void Signal() {
+    if (parked_.empty()) {
+      return;
+    }
+    std::vector<std::pair<Ticket, std::function<void()>>> waiters;
+    waiters.swap(parked_);
+    for (auto& [ticket, fn] : waiters) {
+      sim_->After(0, std::move(fn));
+    }
+    ++signals_;
+  }
+
+  std::size_t parked() const { return parked_.size(); }
+  std::uint64_t signals() const { return signals_; }
+
+ private:
+  Simulator* sim_;
+  Ticket next_ticket_ = 1;
+  std::vector<std::pair<Ticket, std::function<void()>>> parked_;
+  std::uint64_t signals_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_DOORBELL_H_

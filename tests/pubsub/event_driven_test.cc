@@ -1,0 +1,515 @@
+// Tests for the event-driven delivery subsystem (broker long-poll waiters,
+// doorbell-driven consumer pumps) and regression tests for the consumer-path
+// bugs fixed alongside it:
+//
+//   * FreeConsumer one-shot partition discovery (partitions added after the
+//     first poll were silently never fetched);
+//   * GroupConsumer redelivery counters surviving rebalances for partitions
+//     the member no longer owns;
+//   * dead-letter publishes forwarding the original message's TraceContext;
+//   * FreeConsumer stamping neither deliver nor ack (free-consumer traces
+//     never completed into the collector).
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/collector.h"
+#include "obs/trace.h"
+#include "oracle/invariant_oracle.h"
+#include "pubsub/broker.h"
+#include "pubsub/consumer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pubsub {
+namespace {
+
+constexpr common::TimeMicros kMs = common::kMicrosPerMilli;
+constexpr common::TimeMicros kSec = common::kMicrosPerSecond;
+
+struct ScopedTracing {
+  explicit ScopedTracing(bool on) { obs::SetTracingEnabled(on); }
+  ~ScopedTracing() { obs::SetTracingEnabled(false); }
+};
+
+class EventDrivenTest : public ::testing::Test {
+ protected:
+  EventDrivenTest() : net_(&sim_, {.base = 0, .jitter = 0}), broker_(&sim_, &net_) {
+    EXPECT_TRUE(broker_.CreateTopic("t", {.partitions = 4}).ok());
+  }
+
+  void PublishN(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          broker_.Publish("t", Message{"key" + std::to_string(i), "v" + std::to_string(i), 0})
+              .ok());
+    }
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  Broker broker_;
+};
+
+// -- Broker waiter registry ----------------------------------------------------
+
+TEST_F(EventDrivenTest, WaitForAppendFiresImmediatelyWhenDataAvailable) {
+  PublishN(1);
+  int fired = 0;
+  const auto ticket = broker_.WaitForAppend("t", 0, 0, [&] { ++fired; });
+  EXPECT_EQ(ticket, 0u);  // Data available: no registration, immediate event.
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(broker_.PendingWaiters(), 0u);
+}
+
+TEST_F(EventDrivenTest, WaitForAppendParksUntilPublishAndIsOneShot) {
+  int fired = 0;
+  const auto ticket = broker_.WaitForAppend("t", 0, broker_.EndOffset("t", 0), [&] { ++fired; });
+  EXPECT_NE(ticket, 0u);
+  EXPECT_EQ(broker_.PendingWaiters(), 1u);
+  sim_.RunUntil(100 * kMs);
+  EXPECT_EQ(fired, 0);  // Nothing published: still parked.
+
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "a", 0}, 0).ok());
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(broker_.PendingWaiters(), 0u);  // Consumed.
+
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "b", 0}, 0).ok());
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 1);  // One-shot: no re-fire without re-arm.
+}
+
+TEST_F(EventDrivenTest, WaitForAppendOnOtherPartitionStaysParked) {
+  int fired = 0;
+  (void)broker_.WaitForAppend("t", 1, broker_.EndOffset("t", 1), [&] { ++fired; });
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "a", 0}, 0).ok());  // Partition 0.
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(broker_.PendingWaiters(), 1u);
+}
+
+TEST_F(EventDrivenTest, CancelWaitPreventsWakeup) {
+  int fired = 0;
+  const auto ticket = broker_.WaitForAppend("t", 0, broker_.EndOffset("t", 0), [&] { ++fired; });
+  EXPECT_TRUE(broker_.CancelWait(ticket));
+  EXPECT_FALSE(broker_.CancelWait(ticket));  // Idempotent no-op.
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "a", 0}, 0).ok());
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(broker_.PendingWaiters(), 0u);
+}
+
+TEST_F(EventDrivenTest, WaitForRebalanceFiresOnMembershipChange) {
+  int fired = 0;
+  (void)broker_.WaitForRebalance("g", [&] { ++fired; });
+  ASSERT_TRUE(broker_.JoinGroup("g", "t", "m1").ok());
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(broker_.PendingWaiters(), 0u);
+}
+
+// -- Partition growth ----------------------------------------------------------
+
+TEST_F(EventDrivenTest, AddPartitionsGrowsTopicAndRebalancesGroups) {
+  ASSERT_TRUE(broker_.JoinGroup("g", "t", "m1").ok());
+  const std::uint64_t gen_before = broker_.GroupGeneration("g");
+  ASSERT_TRUE(broker_.AddPartitions("t", 2).ok());
+  EXPECT_EQ(broker_.PartitionCount("t"), 6u);
+  EXPECT_GT(broker_.GroupGeneration("g"), gen_before);
+  // The sole member owns every partition, including the new ones.
+  const GroupView view = broker_.ViewGroup("g");
+  EXPECT_EQ(view.assignment.size(), 6u);
+  // The new partitions accept publishes.
+  EXPECT_TRUE(broker_.Publish("t", Message{"", "new", 0}, 5).ok());
+  EXPECT_EQ(broker_.EndOffset("t", 5), 1u);
+}
+
+TEST_F(EventDrivenTest, AddPartitionsRejectsUnknownTopic) {
+  EXPECT_FALSE(broker_.AddPartitions("nope", 1).ok());
+}
+
+// -- Regression: FreeConsumer one-shot partition discovery ---------------------
+
+TEST_F(EventDrivenTest, FreeConsumerDiscoversPartitionsAddedAfterStart) {
+  std::map<PartitionId, std::vector<std::string>> got;
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId p, const StoredMessage& m) {
+                    got[p].push_back(m.message.value);
+                    return true;
+                  });
+  fc.Start();
+  PublishN(4);
+  sim_.RunUntil(500 * kMs);  // Initial discovery done, feed drained.
+  ASSERT_EQ(fc.delivered(), 4u);
+
+  // Grow the topic and publish to a partition that did not exist at the
+  // consumer's first poll. Before the fix, discovery ran exactly once and
+  // the new partition was silently never fetched — a full-feed consumer
+  // losing data with Backlog() blind to it.
+  ASSERT_TRUE(broker_.AddPartitions("t", 1).ok());
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "late", 0}, 4).ok());
+  sim_.RunUntil(2 * kSec);
+  ASSERT_EQ(got.count(4), 1u);
+  EXPECT_EQ(got[4], std::vector<std::string>{"late"});
+  EXPECT_EQ(fc.delivered(), 5u);
+  EXPECT_EQ(fc.Backlog(), 0u);
+}
+
+TEST_F(EventDrivenTest, FreeConsumerFromLatestTakesLatePartitionsFromTheStart) {
+  PublishN(8);
+  sim_.RunUntil(100 * kMs);
+  std::vector<std::string> got;
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage& m) {
+                    got.push_back(m.message.value);
+                    return true;
+                  },
+                  {}, FreeConsumer::StartAt::kLatest);
+  fc.Start();
+  sim_.RunUntil(300 * kMs);
+  EXPECT_TRUE(got.empty());  // kLatest: history skipped.
+
+  // "Latest" predates a partition that did not exist yet: a late-added
+  // partition is consumed from its first offset, nothing skipped.
+  ASSERT_TRUE(broker_.AddPartitions("t", 1).ok());
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "first-on-new", 0}, 4).ok());
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(got, std::vector<std::string>{"first-on-new"});
+}
+
+// -- Regression: redelivery counters across rebalances -------------------------
+
+TEST_F(EventDrivenTest, RedeliveryCountsResetWhenPartitionMovesAway) {
+  ASSERT_TRUE(broker_.CreateTopic("one", {.partitions = 1}).ok());
+  ASSERT_TRUE(broker_.CreateTopic("dlq", {.partitions = 1}).ok());
+  int b_nacks = 0;
+  int a_nacks = 0;
+  // Member ids sort "a" < "b", so once "a" joins, the single partition moves
+  // to it; when "a" leaves, the partition returns to "b".
+  GroupConsumer cb(&sim_, &net_, &broker_, "g", "one", "b",
+                   [&](PartitionId, const StoredMessage&) {
+                     ++b_nacks;
+                     return false;
+                   },
+                   {.max_redeliveries = 3, .dead_letter_topic = "dlq"});
+  GroupConsumer ca(&sim_, &net_, &broker_, "g", "one", "a",
+                   [&](PartitionId, const StoredMessage&) {
+                     ++a_nacks;
+                     return false;
+                   },
+                   {.max_redeliveries = 3, .dead_letter_topic = "dlq"});
+  cb.Start();
+  ASSERT_TRUE(broker_.Publish("one", Message{"", "poison", 0}, 0).ok());
+  // Two failed deliveries on "b" (poll_period 50ms), then the partition is
+  // taken over by "a" for one failed delivery, then handed back.
+  sim_.RunUntil(120 * kMs);
+  ASSERT_EQ(b_nacks, 2);
+  ca.Start();
+  sim_.RunUntil(180 * kMs);
+  ASSERT_GE(a_nacks, 1);
+  ca.Stop();
+  sim_.RunUntil(2 * kSec);
+
+  // Ownership epochs: on regaining the partition "b" must start a fresh
+  // redelivery count (3 more attempts before dead-lettering), not resume at
+  // the stale pre-rebalance count (which dead-letters after 1).
+  EXPECT_EQ(b_nacks, 2 + 3);
+  EXPECT_EQ(cb.dead_lettered(), 1u);
+}
+
+// -- Regression: dead-letter trace forwarding ----------------------------------
+
+TEST_F(EventDrivenTest, DeadLetterRecordStartsFreshTrace) {
+  ScopedTracing tracing(true);
+  ASSERT_TRUE(broker_.CreateTopic("dlq", {.partitions = 1}).ok());
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) { return false; },
+                  {.max_redeliveries = 2, .dead_letter_topic = "dlq"});
+  c.Start();
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "poison", 0}, 0).ok());
+  sim_.RunUntil(2 * kSec);
+  ASSERT_EQ(c.dead_lettered(), 1u);
+
+  auto orig = broker_.Fetch("t", 0, 0, 1);
+  auto dlq = broker_.Fetch("dlq", 0, 0, 1);
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(dlq.ok());
+  ASSERT_EQ(orig->size(), 1u);
+  ASSERT_EQ(dlq->size(), 1u);
+  const obs::TraceContext& original = (*orig)[0].message.trace;
+  const obs::TraceContext& forwarded = (*dlq)[0].message.trace;
+  ASSERT_TRUE(original.active());
+  ASSERT_TRUE(forwarded.active());
+  // The dead-letter record is a fresh publish with its own trace. Before the
+  // fix it carried the original's id and stamps, so the DLQ delivery
+  // completed the same trace a second time with origin→append spanning the
+  // whole nack saga.
+  EXPECT_NE(forwarded.id, original.id);
+  EXPECT_GE(forwarded.stamp(obs::Stage::kOrigin), original.stamp(obs::Stage::kOrigin));
+}
+
+// -- Regression: FreeConsumer deliver/ack stamping -----------------------------
+
+TEST_F(EventDrivenTest, FreeConsumerCompletesTracesIntoCollector) {
+  ScopedTracing tracing(true);
+  common::MetricsRegistry metrics;
+  obs::Collector collector(&metrics);
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage&) { return true; },
+                  {.obs = &collector});
+  fc.Start();
+  PublishN(5);
+  sim_.RunUntil(1 * kSec);
+  ASSERT_EQ(fc.delivered(), 5u);
+  // Before the fix FreeConsumer stamped neither deliver nor ack and never
+  // completed traces: the entire free-consumer path was invisible to obs.
+  EXPECT_EQ(collector.traces_completed(), 5u);
+}
+
+// -- Batched offset commits ----------------------------------------------------
+
+struct CommitCounter : public BrokerObserver {
+  int commits = 0;
+  void OnRebalance(const GroupId&, std::uint64_t, const std::vector<MemberId>&,
+                   const std::map<PartitionId, MemberId>&) override {}
+  void OnSeek(const GroupId&, PartitionId, Offset) override {}
+  void OnCommitOffset(const GroupId&, PartitionId, Offset) override { ++commits; }
+};
+
+TEST_F(EventDrivenTest, CommitsOncePerDrainedBatchNotPerMessage) {
+  ASSERT_TRUE(broker_.CreateTopic("one", {.partitions = 1}).ok());
+  CommitCounter counter;
+  broker_.AddObserver(&counter);
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "one", "m1",
+                  [&](PartitionId, const StoredMessage&) { return true; });
+  c.Start();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(broker_.Publish("one", Message{"", "v" + std::to_string(i), 0}, 0).ok());
+  }
+  sim_.RunUntil(60 * kMs);  // One poll drains all 50 (max_poll_messages 100).
+  ASSERT_EQ(c.delivered(), 50u);
+  EXPECT_EQ(counter.commits, 1);
+  EXPECT_EQ(broker_.CommittedOffset("g", 0), 50u);
+  broker_.RemoveObserver(&counter);
+}
+
+// -- Event-driven delivery -----------------------------------------------------
+
+TEST_F(EventDrivenTest, EventDrivenDeliversWithoutPollTimers) {
+  // Poll and heartbeat periods far beyond the horizon: only broker wakeups
+  // can drive delivery. Every message must still arrive, at its publish
+  // instant (zero simulated delivery latency).
+  std::vector<common::TimeMicros> delivered_at;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) {
+                    delivered_at.push_back(sim_.Now());
+                    return true;
+                  },
+                  {.poll_period = 5 * kSec, .heartbeat_period = 10 * kSec, .event_driven = true});
+  c.Start();
+  for (int i = 0; i < 10; ++i) {
+    sim_.After((100 + 10 * i) * kMs,
+               [this, i] { (void)broker_.Publish("t", Message{"", "v" + std::to_string(i), 0}); });
+  }
+  sim_.RunUntil(1500 * kMs);
+  ASSERT_EQ(delivered_at.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(delivered_at[i], (100 + 10 * i) * kMs) << i;
+  }
+  EXPECT_EQ(broker_.GroupBacklog("g", "t"), 0u);
+}
+
+TEST_F(EventDrivenTest, EventDrivenFreeConsumerDeliversImmediately) {
+  std::vector<common::TimeMicros> delivered_at;
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage&) {
+                    delivered_at.push_back(sim_.Now());
+                    return true;
+                  },
+                  {.poll_period = 5 * kSec, .heartbeat_period = 10 * kSec, .event_driven = true});
+  fc.Start();
+  sim_.After(250 * kMs, [this] { (void)broker_.Publish("t", Message{"", "x", 0}); });
+  sim_.RunUntil(1 * kSec);
+  ASSERT_EQ(delivered_at.size(), 1u);
+  EXPECT_EQ(delivered_at[0], 250 * kMs);
+}
+
+TEST_F(EventDrivenTest, LateJoinerIsWokenByRebalanceNotTimers) {
+  std::map<std::string, int> per_member;
+  auto handler = [&per_member](const std::string& who) {
+    return [&per_member, who](PartitionId, const StoredMessage&) {
+      ++per_member[who];
+      return true;
+    };
+  };
+  ConsumerOptions opts{
+      .poll_period = 5 * kSec, .heartbeat_period = 10 * kSec, .event_driven = true};
+  GroupConsumer c1(&sim_, &net_, &broker_, "g", "t", "m1", handler("m1"), opts);
+  GroupConsumer c2(&sim_, &net_, &broker_, "g", "t", "m2", handler("m2"), opts);
+  c1.Start();
+  sim_.RunUntil(100 * kMs);
+  c2.Start();  // Rebalance wakeup re-pumps m1 with its shrunken assignment.
+  sim_.RunUntil(200 * kMs);
+  PublishN(40);
+  sim_.RunUntil(1 * kSec);
+  EXPECT_EQ(per_member["m1"] + per_member["m2"], 40);
+  EXPECT_GT(per_member["m1"], 0);
+  EXPECT_GT(per_member["m2"], 0);
+  EXPECT_EQ(broker_.GroupBacklog("g", "t"), 0u);
+}
+
+TEST_F(EventDrivenTest, EventDrivenNackRetriesOnPollPeriodNotInstantly) {
+  // A nacked head-of-line message must not wake the consumer at the same
+  // instant forever (data is still "available" at the committed offset); it
+  // retries on the poll_period redelivery timer, like periodic mode.
+  int attempts = 0;
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) {
+                    ++attempts;
+                    return false;
+                  },
+                  {.poll_period = 50 * kMs,
+                   .heartbeat_period = 10 * kSec,  // Park the safety net: isolate the retry timer.
+                   .event_driven = true});
+  c.Start();
+  ASSERT_TRUE(broker_.Publish("t", Message{"", "poison", 0}, 0).ok());
+  sim_.RunUntil(1 * kSec);
+  // First delivery at publish time, then ~one per poll_period. A spin would
+  // hang RunUntil; a forgotten retry would stop at 1.
+  EXPECT_GE(attempts, 15);
+  EXPECT_LE(attempts, 25);
+}
+
+TEST_F(EventDrivenTest, StopCancelsParkedWaiters) {
+  GroupConsumer c(&sim_, &net_, &broker_, "g", "t", "m1",
+                  [&](PartitionId, const StoredMessage&) { return true; },
+                  {.event_driven = true});
+  FreeConsumer fc(&sim_, &net_, &broker_, "t", "fc1",
+                  [&](PartitionId, const StoredMessage&) { return true; },
+                  {.event_driven = true});
+  c.Start();
+  fc.Start();
+  PublishN(8);
+  sim_.RunUntil(500 * kMs);
+  EXPECT_GT(broker_.PendingWaiters(), 0u);  // Caught up and parked.
+  c.Stop();
+  fc.Stop();
+  EXPECT_EQ(broker_.PendingWaiters(), 0u);  // No leaked registrations.
+  PublishN(4);
+  sim_.RunUntil(1 * kSec);  // Late publishes must not wake stopped consumers.
+  EXPECT_EQ(c.delivered(), 8u);
+  EXPECT_EQ(fc.delivered(), 8u);
+}
+
+// -- Mode equivalence ----------------------------------------------------------
+
+struct GroupRun {
+  std::map<PartitionId, std::vector<std::string>> sequence;  // Acked, in order.
+  std::uint64_t delivered = 0;
+  std::uint64_t backlog = 0;
+  bool oracle_ok = false;
+  std::string oracle_report;
+};
+
+// One deterministic group scenario — staggered publishes, two members, a
+// deterministic nack on every fifth message, a mid-run partition growth —
+// run under either delivery mode.
+GroupRun RunGroupScenario(bool event_driven) {
+  sim::Simulator sim(42);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  Broker broker(&sim, &net);
+  oracle::InvariantOracle oracle(&sim);
+  oracle.ObserveBroker(&broker);
+  EXPECT_TRUE(broker.CreateTopic("t", {.partitions = 4}).ok());
+
+  GroupRun run;
+  std::set<std::string> nacked_once;
+  auto handler = [&](PartitionId p, const StoredMessage& m) {
+    const std::string& v = m.message.value;
+    if (m.offset % 5 == 0 && nacked_once.insert(v).second) {
+      return false;  // Deterministic: first delivery of every fifth offset.
+    }
+    run.sequence[p].push_back(v);
+    return true;
+  };
+  ConsumerOptions opts;
+  opts.event_driven = event_driven;
+  GroupConsumer c1(&sim, &net, &broker, "g", "t", "m1", handler, opts);
+  GroupConsumer c2(&sim, &net, &broker, "g", "t", "m2", handler, opts);
+  c1.Start();
+  c2.Start();
+  for (int i = 0; i < 60; ++i) {
+    sim.After((10 + 7 * i) * kMs, [&broker, i] {
+      (void)broker.Publish("t", Message{"key" + std::to_string(i % 8), "v" + std::to_string(i), 0});
+    });
+  }
+  sim.After(300 * kMs, [&broker] { EXPECT_TRUE(broker.AddPartitions("t", 2).ok()); });
+  sim.RunUntil(5 * kSec);
+  oracle.Check();
+  run.delivered = c1.delivered() + c2.delivered();
+  run.backlog = broker.GroupBacklog("g", "t");
+  run.oracle_ok = oracle.ok();
+  run.oracle_report = oracle.Report();
+  c1.Stop();
+  c2.Stop();
+  return run;
+}
+
+TEST(EventDrivenEquivalence, GroupDeliverySequencesMatchPeriodicMode) {
+  const GroupRun periodic = RunGroupScenario(false);
+  const GroupRun event = RunGroupScenario(true);
+  ASSERT_TRUE(periodic.oracle_ok) << periodic.oracle_report;
+  ASSERT_TRUE(event.oracle_ok) << event.oracle_report;
+  EXPECT_EQ(periodic.delivered, 60u);
+  EXPECT_EQ(event.delivered, 60u);
+  EXPECT_EQ(periodic.backlog, 0u);
+  EXPECT_EQ(event.backlog, 0u);
+  // The modes must deliver the identical per-partition sequences — event
+  // driving changes *when* deliveries happen, never *what* or in what order.
+  EXPECT_EQ(periodic.sequence, event.sequence);
+}
+
+std::map<PartitionId, std::vector<std::string>> RunFreeScenario(bool event_driven) {
+  sim::Simulator sim(7);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  Broker broker(&sim, &net);
+  EXPECT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+  std::map<PartitionId, std::vector<std::string>> sequence;
+  ConsumerOptions opts;
+  opts.event_driven = event_driven;
+  FreeConsumer fc(&sim, &net, &broker, "t", "fc1",
+                  [&](PartitionId p, const StoredMessage& m) {
+                    sequence[p].push_back(m.message.value);
+                    return true;
+                  },
+                  opts);
+  fc.Start();
+  for (int i = 0; i < 30; ++i) {
+    sim.After((5 + 11 * i) * kMs, [&broker, i] {
+      (void)broker.Publish("t", Message{"", "v" + std::to_string(i), 0},
+                           static_cast<PartitionId>(i % 3 == 0 ? 0 : i % 2));
+    });
+  }
+  sim.After(200 * kMs, [&broker] { EXPECT_TRUE(broker.AddPartitions("t", 1).ok()); });
+  sim.After(400 * kMs,
+            [&broker] { (void)broker.Publish("t", Message{"", "late", 0}, 2); });
+  sim.RunUntil(5 * kSec);
+  EXPECT_EQ(fc.Backlog(), 0u);
+  fc.Stop();
+  return sequence;
+}
+
+TEST(EventDrivenEquivalence, FreeConsumerSequencesMatchPeriodicMode) {
+  const auto periodic = RunFreeScenario(false);
+  const auto event = RunFreeScenario(true);
+  ASSERT_EQ(periodic.size(), 3u);
+  EXPECT_EQ(periodic, event);
+}
+
+}  // namespace
+}  // namespace pubsub

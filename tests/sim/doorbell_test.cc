@@ -1,0 +1,100 @@
+#include "sim/doorbell.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace sim {
+namespace {
+
+TEST(DoorbellTest, SignalWakesParkedWaiterAsImmediateEvent) {
+  Simulator sim;
+  Doorbell bell(&sim);
+  bool woke = false;
+  bell.Park([&] { woke = true; });
+  EXPECT_EQ(bell.parked(), 1u);
+
+  bell.Signal();
+  EXPECT_FALSE(woke);  // Scheduled, not run inline.
+  sim.RunUntil(sim.Now());
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(bell.parked(), 0u);
+  EXPECT_EQ(bell.signals(), 1u);
+}
+
+TEST(DoorbellTest, WaitersRunInParkOrder) {
+  Simulator sim;
+  Doorbell bell(&sim);
+  std::vector<int> order;
+  bell.Park([&] { order.push_back(1); });
+  bell.Park([&] { order.push_back(2); });
+  bell.Park([&] { order.push_back(3); });
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DoorbellTest, SignalIsSingleShot) {
+  Simulator sim;
+  Doorbell bell(&sim);
+  int wakeups = 0;
+  bell.Park([&] { ++wakeups; });
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_EQ(wakeups, 1);
+
+  // The waiter was consumed: a second signal finds nobody parked.
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_EQ(bell.signals(), 1u);  // Empty signals are not counted.
+}
+
+TEST(DoorbellTest, SignalWithNobodyParkedIsDropped) {
+  Simulator sim;
+  Doorbell bell(&sim);
+  bell.Signal();  // No level state: this ring is lost by design.
+  int wakeups = 0;
+  bell.Park([&] { ++wakeups; });
+  sim.RunUntil(sim.Now() + 1000);
+  EXPECT_EQ(wakeups, 0);  // Must wait for the *next* signal.
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_EQ(wakeups, 1);
+}
+
+TEST(DoorbellTest, CancelUnparks) {
+  Simulator sim;
+  Doorbell bell(&sim);
+  bool woke = false;
+  const Doorbell::Ticket t = bell.Park([&] { woke = true; });
+  EXPECT_TRUE(bell.Cancel(t));
+  EXPECT_FALSE(bell.Cancel(t));  // Already gone.
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(bell.parked(), 0u);
+}
+
+TEST(DoorbellTest, ReparkFromCallbackWaitsForNextSignal) {
+  Simulator sim;
+  Doorbell bell(&sim);
+  int wakeups = 0;
+  std::function<void()> waiter = [&] {
+    ++wakeups;
+    bell.Park(waiter);  // Re-arm: must not be swept into the same signal.
+  };
+  bell.Park(waiter);
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_EQ(bell.parked(), 1u);
+  bell.Signal();
+  sim.RunUntil(sim.Now());
+  EXPECT_EQ(wakeups, 2);
+}
+
+}  // namespace
+}  // namespace sim
