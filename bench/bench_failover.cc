@@ -1,0 +1,378 @@
+// bench_failover: the §3.3 durability-anomaly experiment, measured.
+//
+// Each run boots a WAL-durable broker (leader) replicated to a follower over
+// the jittery sim network (RF 2: quorum ack means the pair has the record),
+// publishes on a fixed cadence, and hard-crashes the leader — storage and
+// network — right after publish #K. A detection delay later the follower is
+// promoted (FailoverController), the promoted tree is reopened as a fresh
+// broker, and a replacement follower is streamed back up to restore the
+// replication factor.
+//
+// For every run the bench accounts BOTH ack modes from the same traffic
+// (acks are accounting, not admission — the data flow is identical):
+//
+//   leader-only  acked = everything durable on the leader at crash time.
+//                The in-flight replication tail is LOST at promotion; the
+//                bench reports that loss per run instead of hiding it.
+//   quorum       acked = WalShipper::QuorumAckedNext at crash time. The
+//                promoted follower provably retains this prefix, so
+//                acked-record loss must be ZERO on every run.
+//
+// FailoverController::CheckPromotion replays both WAL trees post-mortem and
+// its quorum-mode violations (plus any snapshot-containment violation from
+// either mode) feed an InvariantOracle: a single violation fails the bench
+// with a nonzero exit, which is how CI consumes `--smoke`.
+//
+// Sweep: seeds x crash points. Output: per-run table + BENCH_failover.json.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "bench/table.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "oracle/invariant_oracle.h"
+#include "pubsub/broker.h"
+#include "pubsub/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "wal/broker_journal.h"
+#include "wal/fault_vfs.h"
+#include "wal/log.h"
+#include "wal/replication/catch_up_syncer.h"
+#include "wal/replication/failover_controller.h"
+#include "wal/replication/options.h"
+#include "wal/replication/wal_shipper.h"
+
+namespace {
+
+constexpr common::TimeMicros kPublishPeriod = 100;  // One publish per 100us.
+constexpr common::TimeMicros kDetectionDelay = 5'000;
+constexpr common::TimeMicros kStart = 1'000;
+constexpr pubsub::PartitionId kPartitions = 2;
+
+struct ModeOutcome {
+  std::uint64_t acked_total = 0;    // Sum of acked cursors across logs at crash.
+  std::uint64_t acked_lost = 0;     // Acked records missing after promotion.
+  std::uint64_t violations = 0;     // CheckPromotion violations for this mode.
+};
+
+struct RunResult {
+  std::uint64_t seed = 0;
+  int crash_at = 0;               // Publish count completed before the crash.
+  std::uint64_t leader_total = 0; // Leader durable records (all logs) at crash.
+  std::uint64_t promoted_total = 0;
+  ModeOutcome leader_only;
+  ModeOutcome quorum;
+  std::uint64_t phantom_records = 0;
+  std::uint64_t payload_mismatches = 0;
+  std::int64_t promotion_gap_us = 0;
+  std::int64_t catch_up_us = -1;  // Replacement follower restore time; -1 = timeout.
+  std::int64_t force_resyncs = 0;
+  bool ok = true;                 // Oracle clean (quorum loss + containment).
+};
+
+std::uint64_t SumValues(const std::map<std::string, std::uint64_t>& m) {
+  std::uint64_t total = 0;
+  for (const auto& [id, v] : m) {
+    total += v;
+  }
+  return total;
+}
+
+RunResult RunOne(std::uint64_t seed, int crash_at, oracle::InvariantOracle* harness_oracle) {
+  RunResult r;
+  r.seed = seed;
+  r.crash_at = crash_at;
+
+  sim::Simulator sim(seed);
+  sim::Network net(&sim, {.base = 200, .jitter = 300});
+  common::MetricsRegistry metrics;
+
+  wal::replication::ReplicationOptions ropts;
+  ropts.replication_factor = 2;
+
+  wal::FaultVfs leader_vfs;
+  wal::FaultVfs follower_vfs;
+  wal::FaultVfs replacement_vfs;
+  wal::replication::CatchUpSyncer follower(&sim, &net, "f1", &follower_vfs, "f1", &metrics,
+                                           ropts);
+
+  pubsub::Broker broker(&sim, &net, "broker");
+  auto journal =
+      wal::BrokerJournal::Open(&leader_vfs, "leader", {}, &metrics, &broker);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "journal open failed: %s\n", journal.status().message().c_str());
+    r.ok = false;
+    return r;
+  }
+  auto shipper = std::make_unique<wal::replication::WalShipper>(&sim, &net, "leader",
+                                                                &metrics, ropts);
+  shipper->AddFollower(&follower);
+  const auto track = [&shipper](const std::string& id, wal::Log* log) {
+    shipper->Track(id, log);
+  };
+  journal.value()->VisitLogs(track);
+  journal.value()->set_log_created_callback(track);
+  if (!journal.value()->CreateTopic("t", {.partitions = kPartitions}).ok()) {
+    r.ok = false;
+    return r;
+  }
+
+  // Publish every kPublishPeriod until the crash point; the K-th publish has
+  // its replication frame in flight when the leader dies an instant later.
+  for (int i = 0; i < crash_at; ++i) {
+    sim.At(kStart + i * kPublishPeriod, [&broker, i, seed] {
+      (void)broker.Publish(
+          "t", {"", "v" + std::to_string(i) + "-s" + std::to_string(seed), 0},
+          static_cast<pubsub::PartitionId>(i % kPartitions));
+    });
+  }
+  const common::TimeMicros crash_time = kStart + (crash_at - 1) * kPublishPeriod + 1;
+  sim.RunUntil(crash_time);
+
+  // -- Crash. Snapshot both acked accountings at this instant. ----------------
+  std::map<std::string, std::uint64_t> leader_acked;
+  journal.value()->VisitLogs([&leader_acked](const std::string& id, wal::Log* log) {
+    leader_acked[id] = log->next_index();
+  });
+  const std::map<std::string, std::uint64_t> quorum_acked = shipper->QuorumAckedNextAll();
+  const std::vector<std::string> log_ids = shipper->log_ids();
+  leader_vfs.Crash();
+  net.SetUp("leader", false);
+
+  // Detection delay, then promote the (only) live follower.
+  sim.RunUntil(crash_time + kDetectionDelay);
+  shipper->Detach();
+  auto picked = wal::replication::FailoverController::PickMostCaughtUp({&follower});
+  if (!picked.ok()) {
+    r.ok = false;
+    return r;
+  }
+  follower.DetachLeader();
+  follower.ReleaseLogs();
+  const common::TimeMicros promoted_time = sim.Now();
+  r.promotion_gap_us = promoted_time - crash_time;
+
+  // -- Forensics: replay both trees, check each ack mode's contract. ----------
+  leader_vfs.Restart();
+  const auto check_mode = [&](const std::map<std::string, std::uint64_t>& acked) {
+    return wal::replication::FailoverController::CheckPromotion(
+        &leader_vfs, "leader", &follower_vfs, "f1", log_ids, acked);
+  };
+  const wal::replication::PromotionCheck leader_check = check_mode(leader_acked);
+  const wal::replication::PromotionCheck quorum_check = check_mode(quorum_acked);
+
+  r.leader_total = SumValues(leader_acked);
+  r.leader_only = {SumValues(leader_acked), leader_check.acked_records_lost,
+                   static_cast<std::uint64_t>(leader_check.violations.size())};
+  r.quorum = {SumValues(quorum_acked), quorum_check.acked_records_lost,
+              static_cast<std::uint64_t>(quorum_check.violations.size())};
+  r.phantom_records = quorum_check.phantom_records;
+  r.payload_mismatches = quorum_check.payload_mismatches;
+
+  // The quorum contract is unconditional; leader-only acked loss is the
+  // measured anomaly, so only its containment violations reach the oracle.
+  for (const auto& [invariant, detail] : quorum_check.violations) {
+    harness_oracle->ReportExternalViolation(invariant, detail);
+    r.ok = false;
+  }
+  for (const auto& [invariant, detail] : leader_check.violations) {
+    if (invariant != "failover-acked-prefix") {
+      harness_oracle->ReportExternalViolation(invariant, detail);
+      r.ok = false;
+    }
+  }
+
+  // -- Reopen the promoted tree and restore the replication factor. -----------
+  pubsub::Broker broker2(&sim, &net, "broker2");
+  auto journal2 = wal::BrokerJournal::Open(&follower_vfs, "f1", {}, &metrics, &broker2);
+  if (!journal2.ok()) {
+    harness_oracle->ReportExternalViolation(
+        "failover-promoted-reopen", "seed " + std::to_string(seed) + ": " +
+                                        journal2.status().message());
+    r.ok = false;
+    return r;
+  }
+  std::uint64_t promoted_total = 0;
+  journal2.value()->VisitLogs([&promoted_total](const std::string&, wal::Log* log) {
+    promoted_total += log->next_index();
+  });
+  r.promoted_total = promoted_total;
+
+  wal::replication::CatchUpSyncer replacement(&sim, &net, "f2", &replacement_vfs, "f2",
+                                              &metrics, ropts);
+  auto shipper2 = std::make_unique<wal::replication::WalShipper>(&sim, &net, "leader2",
+                                                                 &metrics, ropts);
+  journal2.value()->VisitLogs([&shipper2](const std::string& id, wal::Log* log) {
+    shipper2->Track(id, log);
+  });
+  shipper2->AddFollower(&replacement);
+  const common::TimeMicros restore_start = sim.Now();
+  const common::TimeMicros restore_deadline = restore_start + 5 * common::kMicrosPerSecond;
+  while (sim.Now() < restore_deadline &&
+         replacement.TotalNextIndex() < promoted_total) {
+    sim.RunUntil(sim.Now() + common::kMicrosPerMilli);
+  }
+  if (replacement.TotalNextIndex() >= promoted_total) {
+    r.catch_up_us = sim.Now() - restore_start;
+  } else {
+    harness_oracle->ReportExternalViolation(
+        "failover-restore-timeout",
+        "seed " + std::to_string(seed) + ": replacement follower stalled at " +
+            std::to_string(replacement.TotalNextIndex()) + "/" +
+            std::to_string(promoted_total));
+    r.ok = false;
+  }
+  r.force_resyncs = metrics.counter("wal.repl.force_resyncs").value();
+
+  // Teardown order: shippers detach from the logs they track before the
+  // owning journals go away.
+  shipper2.reset();
+  shipper.reset();
+  return r;
+}
+
+// `--json=PATH` writes PATH; bare `--json` writes the canonical
+// BENCH_failover.json in the current directory.
+std::optional<std::string> JsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return std::string("BENCH_failover.json");
+    }
+  }
+  return bench::JsonPathFlag(argc, argv);
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t IntFlag(int argc, char** argv, const std::string& name, std::int64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtoll(arg.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const int seeds = static_cast<int>(IntFlag(argc, argv, "seeds", smoke ? 3 : 30));
+  const std::vector<int> crash_points =
+      smoke ? std::vector<int>{5, 40} : std::vector<int>{5, 25, 60, 120, 200};
+
+  // One harness-level sim seeds the oracle; runs report violations into it.
+  sim::Simulator harness_sim(1);
+  oracle::InvariantOracle oracle(&harness_sim);
+
+  bench::Table table("Leader crash + failover (RF 2, crash after publish #K)",
+                     {"seed", "crash_at", "leader_acked", "quorum_acked", "promoted",
+                      "lost(leader-only)", "lost(quorum)", "gap_us", "restore_us"});
+  std::vector<RunResult> runs;
+  std::uint64_t total_leader_lost = 0;
+  std::uint64_t max_leader_lost = 0;
+  std::uint64_t total_quorum_lost = 0;
+  std::uint64_t runs_with_leader_loss = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    for (const int k : crash_points) {
+      RunResult r = RunOne(static_cast<std::uint64_t>(s), k, &oracle);
+      total_leader_lost += r.leader_only.acked_lost;
+      max_leader_lost = std::max(max_leader_lost, r.leader_only.acked_lost);
+      total_quorum_lost += r.quorum.acked_lost;
+      runs_with_leader_loss += r.leader_only.acked_lost > 0 ? 1 : 0;
+      table.AddRow({std::to_string(r.seed), std::to_string(r.crash_at),
+                    std::to_string(r.leader_only.acked_total),
+                    std::to_string(r.quorum.acked_total), std::to_string(r.promoted_total),
+                    std::to_string(r.leader_only.acked_lost),
+                    std::to_string(r.quorum.acked_lost), std::to_string(r.promotion_gap_us),
+                    std::to_string(r.catch_up_us)});
+      runs.push_back(r);
+    }
+  }
+  table.Print();
+
+  const std::size_t n = runs.size();
+  std::printf("\nruns=%zu  leader-only: lost %" PRIu64 " records across %" PRIu64
+              "/%zu runs (max %" PRIu64 " per run)\n",
+              n, total_leader_lost, runs_with_leader_loss, n, max_leader_lost);
+  std::printf("quorum: lost %" PRIu64 " records (must be 0)  oracle: %s (%zu violations)\n",
+              total_quorum_lost, oracle.ok() ? "CLEAN" : "VIOLATED",
+              oracle.violations().size());
+  for (const auto& v : oracle.violations()) {
+    std::printf("  VIOLATION %s: %s\n", v.invariant.c_str(), v.detail.c_str());
+  }
+
+  if (const auto json_path = JsonPath(argc, argv)) {
+    bench::Json doc = bench::Json::Object();
+    doc["bench"] = "failover";
+    doc["config"] = bench::Json::Object();
+    doc["config"]["replication_factor"] = std::uint64_t{2};
+    doc["config"]["seeds"] = std::int64_t{seeds};
+    bench::Json& points = doc["config"]["crash_points"] = bench::Json::Array();
+    for (const int k : crash_points) {
+      points.Append(std::int64_t{k});
+    }
+    doc["config"]["publish_period_us"] = std::int64_t{kPublishPeriod};
+    doc["config"]["net_latency_us"] = bench::Json::Object();
+    doc["config"]["net_latency_us"]["base"] = std::int64_t{200};
+    doc["config"]["net_latency_us"]["jitter"] = std::int64_t{300};
+    doc["config"]["detection_delay_us"] = std::int64_t{kDetectionDelay};
+    doc["config"]["smoke"] = smoke;
+
+    bench::Json& rows = doc["runs"] = bench::Json::Array();
+    for (const RunResult& r : runs) {
+      bench::Json& row = rows.Append(bench::Json::Object());
+      row["seed"] = r.seed;
+      row["crash_at_publish"] = std::int64_t{r.crash_at};
+      row["leader_durable_records"] = r.leader_total;
+      row["promoted_records"] = r.promoted_total;
+      bench::Json& modes = row["ack_modes"] = bench::Json::Object();
+      for (const auto& [name, mode] :
+           {std::pair<const char*, const ModeOutcome*>{"leader_only", &r.leader_only},
+            std::pair<const char*, const ModeOutcome*>{"quorum", &r.quorum}}) {
+        bench::Json& m = modes[name] = bench::Json::Object();
+        m["acked_records"] = mode->acked_total;
+        m["acked_records_lost"] = mode->acked_lost;
+        m["violations"] = mode->violations;
+      }
+      row["phantom_records"] = r.phantom_records;
+      row["payload_mismatches"] = r.payload_mismatches;
+      row["promotion_gap_us"] = r.promotion_gap_us;
+      row["restore_rf_us"] = r.catch_up_us;
+      row["force_resyncs"] = r.force_resyncs;
+      row["ok"] = r.ok;
+    }
+
+    bench::Json& summary = doc["summary"] = bench::Json::Object();
+    summary["runs"] = static_cast<std::uint64_t>(n);
+    summary["leader_only_acked_lost_total"] = total_leader_lost;
+    summary["leader_only_acked_lost_max"] = max_leader_lost;
+    summary["leader_only_runs_with_loss"] = runs_with_leader_loss;
+    summary["quorum_acked_lost_total"] = total_quorum_lost;
+    summary["oracle_violations"] = static_cast<std::uint64_t>(oracle.violations().size());
+    summary["oracle_clean"] = oracle.ok();
+    doc.WriteFile(*json_path);
+    std::printf("\nwrote %s\n", json_path->c_str());
+  }
+
+  return (oracle.ok() && total_quorum_lost == 0) ? 0 : 1;
+}

@@ -90,6 +90,13 @@ class InvariantOracle : public pubsub::BrokerObserver, public watch::WatchSystem
   // and the schedule has drained (writers stopped, deliveries flushed).
   void CheckQuiesced();
 
+  // Records a violation detected by an external checker (e.g. the WAL
+  // replication failover check, which the oracle cannot observe directly
+  // without a layering inversion). Deduped like internal violations.
+  void ReportExternalViolation(std::string invariant, std::string detail) {
+    AddViolation(std::move(invariant), std::move(detail));
+  }
+
   bool ok() const { return violations_.empty(); }
   const std::vector<Violation>& violations() const { return violations_; }
   std::uint64_t checks_run() const { return checks_run_; }

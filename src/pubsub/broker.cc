@@ -14,6 +14,19 @@ Broker::Broker(sim::Simulator* sim, sim::Network* net, sim::NodeId node,
   });
 }
 
+Broker::~Broker() {
+  // Fire (don't drop) every parked waiter: a registered wakeup must always
+  // run exactly once, even when the registry dies first. The callbacks run
+  // as immediate events on the (longer-lived) simulator and re-check state
+  // themselves — the standard contract for every waker in this codebase.
+  for (auto& [ticket, waiter] : waiter_index_) {
+    sim_->After(0, std::move(waiter.fn));
+  }
+  waiter_index_.clear();
+  append_waiters_.clear();
+  rebalance_waiters_.clear();
+}
+
 common::Status Broker::CreateTopic(const std::string& topic, TopicConfig config) {
   if (topics_.count(topic) > 0) {
     return common::Status::AlreadyExists(topic);
@@ -28,6 +41,30 @@ common::Status Broker::CreateTopic(const std::string& topic, TopicConfig config)
     t.partitions.push_back(std::make_unique<PartitionLog>(config.retention));
   }
   topics_.emplace(topic, std::move(t));
+  return common::Status::Ok();
+}
+
+common::Status Broker::RemoveTopic(const std::string& topic) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  // Fire every append waiter parked on the topic's partitions before the
+  // registry entries vanish: long-pollers must wake and observe the removal
+  // (their re-check finds the topic gone), never hang on a dead partition.
+  for (auto w = append_waiters_.begin(); w != append_waiters_.end();) {
+    if (w->first.first != topic) {
+      ++w;
+      continue;
+    }
+    for (const auto& [ticket, offset] : w->second) {
+      auto entry = waiter_index_.find(ticket);
+      sim_->After(0, std::move(entry->second.fn));
+      waiter_index_.erase(entry);
+    }
+    w = append_waiters_.erase(w);
+  }
+  topics_.erase(it);
   return common::Status::Ok();
 }
 

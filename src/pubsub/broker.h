@@ -79,11 +79,25 @@ class Broker {
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
 
+  // Teardown fires every still-parked long-poll waiter (append and
+  // rebalance) as an immediate simulator event, so event-driven consumers
+  // parked on this broker wake, re-check, and discover the broker is gone
+  // instead of hanging forever. The simulator must outlive the broker (it
+  // does wherever brokers are built: harnesses and ShardCore both destroy
+  // the broker before the sim).
+  ~Broker();
+
   const sim::NodeId& node() const { return node_; }
 
   // -- Topics -----------------------------------------------------------------
 
   common::Status CreateTopic(const std::string& topic, TopicConfig config);
+  // Removes a topic (topic delete / failover re-point). Every append waiter
+  // parked on any of its partitions fires immediately — the resync signal;
+  // wakers re-check and observe the topic is gone — and every group bound to
+  // the topic keeps its (now dangling) soft state for the members to discover
+  // on their next join. kNotFound for unknown topics.
+  common::Status RemoveTopic(const std::string& topic);
   bool HasTopic(const std::string& topic) const { return topics_.count(topic) > 0; }
   PartitionId PartitionCount(const std::string& topic) const {
     auto it = topics_.find(topic);

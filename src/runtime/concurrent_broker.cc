@@ -1,5 +1,6 @@
 #include "runtime/concurrent_broker.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/trace.h"
@@ -100,23 +101,39 @@ common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Me
         state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
   }
   const std::size_t shard = OwnerShard(p);
+  // Every kUnavailable exit populates retry_after with a nonzero microsecond
+  // backoff — a zero (or untouched) hint makes callers retry-spin.
+  const common::TimeMicros backoff =
+      std::max<common::TimeMicros>(1, pool_->options().retry_after);
+  if (pool_->ShardFailingOver(shard)) {
+    publish_rejected_->Increment();
+    if (retry_after != nullptr) {
+      *retry_after = backoff;
+    }
+    return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                       " failing over; retry after " + std::to_string(backoff) +
+                                       "us");
+  }
   if (obs::TracingEnabled() && !msg.trace.considered()) {
     // Origin here (not on the shard) so origin→append covers the queue wait.
     msg.trace = obs::TraceContext::Start();
   }
-  pubsub::Broker* broker = pool_->core(shard).broker.get();
-  const bool posted = pool_->TryPost(shard, [broker, topic, msg = std::move(msg), p]() mutable {
-    // Cannot fail: the topic exists on every shard and p is range-checked.
-    (void)broker->Publish(topic, std::move(msg), p);
-  });
+  // Resolve the shard broker inside the task: a failover between enqueue and
+  // execution replaces core(shard).broker, and a pointer captured here would
+  // dangle.
+  const bool posted =
+      pool_->TryPost(shard, [pool = pool_, shard, topic, msg = std::move(msg), p]() mutable {
+        // Cannot fail: the topic exists on every shard and p is range-checked.
+        (void)pool->core(shard).broker->Publish(topic, std::move(msg), p);
+      });
   if (!posted) {
     publish_rejected_->Increment();
     if (retry_after != nullptr) {
-      *retry_after = pool_->options().retry_after;
+      *retry_after = backoff;
     }
     return common::Status::Unavailable("shard " + std::to_string(shard) +
-                                       " saturated; retry after " +
-                                       std::to_string(pool_->options().retry_after) + "us");
+                                       " saturated; retry after " + std::to_string(backoff) +
+                                       "us");
   }
   publish_accepted_->Increment();
   return common::Status::Ok();
@@ -192,7 +209,8 @@ std::unique_ptr<Subscription> ConcurrentBroker::Subscribe(const std::string& top
   }
   const std::size_t shard = OwnerShard(partition);
   auto shared = std::make_shared<Subscription::Shared>();
-  shared->broker = pool_->core(shard).broker.get();
+  shared->pool = pool_;
+  shared->shard = shard;
   shared->topic = topic;
   shared->partition = partition;
   shared->cursor = start;
@@ -239,8 +257,9 @@ void ConcurrentBroker::LeaveGroup(const pubsub::GroupId& group, const pubsub::Me
 
 void ConcurrentBroker::Heartbeat(const pubsub::GroupId& group, const pubsub::MemberId& member) {
   for (std::size_t s = 0; s < pool_->shard_count(); ++s) {
-    pubsub::Broker* broker = pool_->core(s).broker.get();
-    if (!pool_->TryPost(s, [broker, group, member] { broker->Heartbeat(group, member); })) {
+    if (!pool_->TryPost(s, [pool = pool_, s, group, member] {
+          pool->core(s).broker->Heartbeat(group, member);
+        })) {
       heartbeat_dropped_->Increment();
     }
   }
@@ -268,9 +287,9 @@ void ConcurrentBroker::CommitOffset(const pubsub::GroupId& group, pubsub::Partit
 void ConcurrentBroker::CommitOffsetAsync(const pubsub::GroupId& group,
                                          pubsub::PartitionId partition, pubsub::Offset offset) {
   const std::size_t shard = OwnerShard(partition);
-  pubsub::Broker* broker = pool_->core(shard).broker.get();
-  pool_->Post(shard,
-              [broker, group, partition, offset] { broker->CommitOffset(group, partition, offset); });
+  pool_->Post(shard, [pool = pool_, shard, group, partition, offset] {
+    pool->core(shard).broker->CommitOffset(group, partition, offset);
+  });
 }
 
 pubsub::Offset ConcurrentBroker::CommittedOffset(const pubsub::GroupId& group,

@@ -58,8 +58,10 @@ class ConcurrentBroker {
   // Fire-and-forget publish with explicit backpressure. Routing mirrors
   // Broker::Publish: explicit partition, else key hash, else round robin (the
   // facade keeps the round-robin cursor since the shard brokers each see only
-  // their own partitions). On kUnavailable, `retry_after` (if non-null)
-  // receives the suggested backoff in microseconds.
+  // their own partitions). On EVERY kUnavailable return — shard saturated or
+  // failing over — `retry_after` (if non-null) receives a nonzero suggested
+  // backoff in MICROSECONDS; callers may sleep it verbatim without a
+  // zero-spin guard.
   common::Status TryPublish(const std::string& topic, pubsub::Message msg,
                             std::optional<pubsub::PartitionId> partition = std::nullopt,
                             common::TimeMicros* retry_after = nullptr);

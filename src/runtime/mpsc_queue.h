@@ -32,7 +32,8 @@ class MpscQueue {
 
   // Non-blocking push; false when the queue is full or closed. This is the
   // backpressure edge: the caller turns false into kUnavailable + retry-after.
-  bool TryPush(T item) {
+  // On failure `item` is untouched — the caller still owns a valid value.
+  bool TryPush(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || count_ == ring_.size()) {
@@ -45,10 +46,16 @@ class MpscQueue {
     return true;
   }
 
+  // Lvalue overload: copies, leaving the caller's value untouched either way.
+  bool TryPush(const T& item) {
+    T copy = item;
+    return TryPush(std::move(copy));
+  }
+
   // Blocking push; waits while full. False only if the queue is (or becomes)
-  // closed. Used by synchronous operations, whose callers accept waiting as
-  // their form of backpressure.
-  bool Push(T item) {
+  // closed, in which case `item` is untouched and the caller may still run
+  // it (ShardPool's inline fallback relies on this).
+  bool Push(T&& item) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_full_.wait(lock, [this] { return closed_ || count_ < ring_.size(); });
@@ -60,6 +67,12 @@ class MpscQueue {
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  // Lvalue overload of the blocking push (copies).
+  bool Push(const T& item) {
+    T copy = item;
+    return Push(std::move(copy));
   }
 
   // Pops up to `max` items into `out` (appended), blocking until at least one
@@ -92,6 +105,13 @@ class MpscQueue {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  // Reverses Close so a stopped pool can Start again. Only call with no
+  // consumer attached (between Stop and Start).
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
   }
 
   std::size_t size() const {

@@ -40,27 +40,46 @@ ShardPool::ShardPool(RuntimeOptions options, common::MetricsRegistry* metrics)
       core->watch->set_obs(options_.obs, s);
     }
     if (options_.durable_vfs != nullptr) {
-      auto journal = wal::BrokerJournal::Open(options_.durable_vfs,
-                                              options_.durable_dir + "/shard-" + std::to_string(s),
-                                              options_.durable, metrics_, core->broker.get());
+      const std::string shard_dir = options_.durable_dir + "/shard-" + std::to_string(s);
+      auto journal = wal::BrokerJournal::Open(options_.durable_vfs, shard_dir, options_.durable,
+                                              metrics_, core->broker.get());
       if (journal.ok()) {
         core->journal = std::move(journal.value());
+        if (options_.replication_factor > 1) {
+          wal::replication::ReplicationOptions ropts;
+          ropts.replication_factor = options_.replication_factor;
+          ropts.ack_mode = options_.ack_mode;
+          // Follower logs rotate like the leader's so a promoted tree hands
+          // BrokerJournal::Open a familiarly-shaped directory.
+          ropts.log_options = [durable = options_.durable](const std::string& id) {
+            return id == "meta" ? durable.meta_log : durable.partition.log;
+          };
+          core->replication = std::make_unique<wal::replication::ReplicaSet>(
+              core->sim.get(), options_.durable_vfs, shard_dir, "repl-" + std::to_string(s),
+              metrics_, std::move(ropts));
+          core->replication->AttachLeader(core->journal.get());
+        }
       } else {
         core->durable_recovery_status = journal.status();
       }
     }
     cores_.push_back(std::move(core));
     queues_.push_back(std::make_unique<MpscQueue<Task>>(options_.queue_capacity));
+    failing_over_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
 }
 
 ShardPool::~ShardPool() { Stop(); }
 
 void ShardPool::Start() {
-  if (running_) {
+  std::lock_guard<std::recursive_mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
     return;
   }
-  running_ = true;
+  for (auto& queue : queues_) {
+    queue->Reopen();
+  }
+  running_.store(true, std::memory_order_release);
   workers_.reserve(cores_.size());
   for (std::size_t s = 0; s < cores_.size(); ++s) {
     workers_.emplace_back([this, s] { WorkerLoop(s); });
@@ -68,7 +87,14 @@ void ShardPool::Start() {
 }
 
 void ShardPool::Stop() {
-  if (!running_) {
+  // The whole transition — close, join, flip running_ — happens under
+  // lifecycle_mu_, so Post's inline fallback (which takes the same lock)
+  // can never run a task on the caller's thread while a worker is still
+  // draining its queue. Before this, a Push that lost the race with Close
+  // fell back to inline execution concurrent with the worker — the
+  // stall/teardown race runtime/subscription_test.cc pins down.
+  std::lock_guard<std::recursive_mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) {
     return;
   }
   for (auto& queue : queues_) {
@@ -78,7 +104,7 @@ void ShardPool::Stop() {
     worker.join();
   }
   workers_.clear();
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void ShardPool::FlushSim(ShardCore& core) {
@@ -112,7 +138,7 @@ void ShardPool::WorkerLoop(std::size_t shard) {
 }
 
 bool ShardPool::TryPost(std::size_t shard, Task task) {
-  if (!running_ || !queues_[shard]->TryPush(std::move(task))) {
+  if (!running_.load(std::memory_order_acquire) || !queues_[shard]->TryPush(std::move(task))) {
     post_rejected_->Increment();
     return false;
   }
@@ -120,16 +146,26 @@ bool ShardPool::TryPost(std::size_t shard, Task task) {
 }
 
 void ShardPool::Post(std::size_t shard, Task task) {
-  if (!running_ || !queues_[shard]->Push(std::move(task))) {
-    // Stopped pool: the cores are single-threaded again; run inline.
-    task();
-    cores_[shard]->sim->RunUntil(cores_[shard]->sim->Now() + options_.tick);
+  if (running_.load(std::memory_order_acquire) && queues_[shard]->Push(std::move(task))) {
+    return;
   }
+  // Stopped pool — or a push that lost the race with Stop closing the
+  // queues. Serialize with the Stop transition before running inline: once
+  // lifecycle_mu_ is ours, the workers have been joined (or never started)
+  // and the cores are single-threaded again.
+  std::lock_guard<std::recursive_mutex> lifecycle(lifecycle_mu_);
+  task();
+  cores_[shard]->sim->RunUntil(cores_[shard]->sim->Now() + options_.tick);
 }
 
 void ShardPool::RunFenced(const std::function<void()>& fn) {
   std::lock_guard<std::mutex> serialize(fence_mu_);
-  if (!running_) {
+  // Hold the lifecycle for the fence's whole span: a Stop racing the fence
+  // would otherwise close the queues under the barrier Posts and strand the
+  // first barrier task inline on this thread, waiting for peers that can
+  // never arrive.
+  std::lock_guard<std::recursive_mutex> lifecycle(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) {
     fn();
     for (auto& core : cores_) {
       FlushSim(*core);
@@ -188,6 +224,52 @@ common::Status ShardPool::durable_status() const {
     }
   }
   return common::Status::Ok();
+}
+
+common::Status ShardPool::FailoverShard(std::size_t shard) {
+  common::Status result;
+  RunFenced([&] {
+    ShardCore& core = *cores_[shard];
+    if (core.journal == nullptr || core.replication == nullptr) {
+      result = common::Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                                  " has no replicated journal");
+      return;
+    }
+    failing_over_[shard]->store(true, std::memory_order_release);
+    auto promoted_dir = core.replication->Promote();
+    if (!promoted_dir.ok()) {
+      failing_over_[shard]->store(false, std::memory_order_release);
+      result = promoted_dir.status();
+      return;
+    }
+    // Build the replacement before destroying the old pair: ~Broker fires
+    // every parked waiter as an immediate sim event, and those wakeups
+    // re-resolve the shard's broker through the pool — they must find the
+    // new one.
+    std::unique_ptr<pubsub::Broker> old_broker = std::move(core.broker);
+    std::unique_ptr<wal::BrokerJournal> old_journal = std::move(core.journal);
+    core.broker = std::make_unique<pubsub::Broker>(core.sim.get(), core.net.get(),
+                                                   "broker-" + std::to_string(shard));
+    if (options_.obs != nullptr) {
+      core.broker->set_obs(options_.obs, shard);
+    }
+    auto journal = wal::BrokerJournal::Open(options_.durable_vfs, promoted_dir.value(),
+                                            options_.durable, metrics_, core.broker.get());
+    if (journal.ok()) {
+      core.journal = std::move(journal.value());
+      core.replication->AttachLeader(core.journal.get());
+    } else {
+      core.durable_recovery_status = journal.status();
+      result = journal.status();
+    }
+    // The journal observes the broker it was opened with: detach it first.
+    old_journal.reset();
+    old_broker.reset();  // Parked waiters fire here; RunFenced's post-fn
+                         // flush runs them against the new broker.
+    failing_over_[shard]->store(false, std::memory_order_release);
+    metrics_->counter("runtime.failovers").Increment();
+  });
+  return result;
 }
 
 void ShardPool::Quiesce() {

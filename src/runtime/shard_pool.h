@@ -19,10 +19,12 @@
 #ifndef SRC_RUNTIME_SHARD_POOL_H_
 #define SRC_RUNTIME_SHARD_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -37,6 +39,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "wal/broker_journal.h"
+#include "wal/replication/replica_set.h"
 #include "watch/retained_window.h"
 #include "watch/watch_system.h"
 
@@ -90,6 +93,16 @@ struct RuntimeOptions {
   wal::Vfs* durable_vfs = nullptr;
   std::string durable_dir = "wal";
   wal::BrokerJournalOptions durable{};
+  // WAL replication (durable mode only): total copies of each shard's
+  // journal, leader included. > 1 gives every shard a
+  // wal::replication::ReplicaSet — replication_factor-1 follower WAL trees at
+  // "<durable_dir>/shard-<s>-replica-<k>" fed over a private zero-latency
+  // transport — and enables ShardPool::FailoverShard. 1 disables replication.
+  std::size_t replication_factor = 1;
+  // Durability accounting mode for the failover oracle/bench: which prefix
+  // counts as acked (see wal::replication::AckMode). Publishes themselves
+  // stay fire-and-forget either way.
+  wal::replication::AckMode ack_mode = wal::replication::AckMode::kQuorum;
   // Observability collector: when non-null every shard's broker and watch
   // system stamp trace stages / log lifecycle events into it (tagged with the
   // shard index), and SampleObsGauges() publishes delivery-lag watermarks.
@@ -108,6 +121,10 @@ struct ShardCore {
   // Durable mode only (RuntimeOptions::durable_vfs): the broker's journal,
   // already recovered. Confined to the shard like the rest of the core.
   std::unique_ptr<wal::BrokerJournal> journal;
+  // Replicated durable mode only (replication_factor > 1). Declared after
+  // the journal so destruction detaches the shipper before the journal's
+  // logs die.
+  std::unique_ptr<wal::replication::ReplicaSet> replication;
   // Non-OK when the journal failed to open/recover (the shard then runs
   // without durability; harnesses should treat this as fatal).
   common::Status durable_recovery_status;
@@ -133,7 +150,7 @@ class ShardPool {
   // the calling thread). Idempotent.
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
   std::size_t shard_count() const { return cores_.size(); }
   const RuntimeOptions& options() const { return options_; }
   common::MetricsRegistry& metrics() { return *metrics_; }
@@ -142,6 +159,21 @@ class ShardPool {
   // failure across all shards (Ok in non-durable mode). Call while stopped,
   // quiesced, or inside a fence.
   common::Status durable_status() const;
+
+  // Replicated durable mode only: fails the shard's current durable leader
+  // over to its most caught-up follower, mid-traffic. Runs fenced: the old
+  // broker+journal are torn down (parked waiters fire and re-arm against the
+  // replacement), the promoted follower's WAL tree is recovered into a fresh
+  // broker — truncating any unacked torn tail — and the surviving followers
+  // re-point at the new leader. Producers racing the fence see kUnavailable
+  // with a retry hint (ShardFailingOver). kFailedPrecondition without
+  // replication; otherwise the recovery status of the promoted tree.
+  common::Status FailoverShard(std::size_t shard);
+
+  // True while FailoverShard is tearing the shard's broker down; lock-free.
+  bool ShardFailingOver(std::size_t shard) const {
+    return failing_over_[shard]->load(std::memory_order_acquire);
+  }
 
   // Non-blocking enqueue; false when the shard is saturated (counted as
   // runtime.post_rejected) or the pool is stopped.
@@ -210,8 +242,17 @@ class ShardPool {
   std::vector<std::unique_ptr<ShardCore>> cores_;
   std::vector<std::unique_ptr<MpscQueue<Task>>> queues_;
   std::vector<std::thread> workers_;
+  // One flag per shard; set inside FailoverShard's fence so concurrent
+  // producers can observe the teardown without touching the core.
+  std::vector<std::unique_ptr<std::atomic<bool>>> failing_over_;
   std::mutex fence_mu_;  // Serializes fences so two fences cannot interleave.
-  bool running_ = false;
+  // Guards the running/stopped transition. Post's inline fallback holds it
+  // so a task can never run on the caller's thread while workers are still
+  // draining during Stop (the stall/teardown race). Recursive because a
+  // fenced fn (running on the caller's thread, lock held) may legitimately
+  // Post and hit the same fallback. Workers never take this lock.
+  std::recursive_mutex lifecycle_mu_;
+  std::atomic<bool> running_{false};
 
   // Hot counters, resolved once at construction.
   common::Counter* tasks_run_ = nullptr;

@@ -30,7 +30,7 @@ Subscription::~Subscription() {
     pool_->Post(shard_, [self] {
       std::lock_guard<std::mutex> lock(self->mu);
       if (self->ticket != 0) {
-        (void)self->broker->CancelWait(self->ticket);
+        (void)self->pool->core(self->shard).broker->CancelWait(self->ticket);
         self->ticket = 0;
       }
     });
@@ -51,14 +51,20 @@ std::uint64_t Subscription::wakeups() const {
 
 void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
   Shared& s = *shared;
+  // Re-resolve the shard's current broker: after a failover this is the
+  // replacement, and the waiter wakeup that brought us here was fired by the
+  // old broker's teardown — re-arming below continues the stream seamlessly.
+  pubsub::Broker* broker = s.pool->core(s.shard).broker.get();
   std::size_t space;
   pubsub::Offset cursor;
   {
     std::lock_guard<std::mutex> lock(s.mu);
+    // A fired waiter is already deregistered broker-side; clear before the
+    // detached check so teardown never cancels a recycled ticket id.
+    s.ticket = 0;
     if (s.detached) {
       return;
     }
-    s.ticket = 0;  // A fired waiter is already deregistered broker-side.
     space = s.handoff_capacity - s.buffer.size();
     cursor = s.cursor;
     if (space == 0) {
@@ -74,7 +80,7 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     // never allocates.
     const std::size_t want = std::min(space, s.shard_batch);
     s.scratch.clear();
-    auto fetched = s.broker->FetchInto(s.topic, s.partition, cursor, want, &s.scratch);
+    auto fetched = broker->FetchInto(s.topic, s.partition, cursor, want, &s.scratch);
     if (!fetched.ok() || *fetched == 0) {
       break;
     }
@@ -142,8 +148,8 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
   // fetch and here (same thread, so it cannot have), WaitForAppend would
   // fire an immediate pump; either way no append is missed.
   auto self = shared;
-  s.ticket = s.broker->WaitForAppend(s.topic, s.partition, s.cursor,
-                                     [self] { PumpShard(self); });
+  s.ticket = broker->WaitForAppend(s.topic, s.partition, s.cursor,
+                                   [self] { PumpShard(self); });
 }
 
 std::size_t Subscription::PollBatch(std::vector<pubsub::StoredMessage>* out, std::size_t max) {

@@ -95,8 +95,13 @@ class Subscription {
   // alive by every closure that can still run (shard waiter callbacks,
   // posted resume/cancel tasks), so teardown never races a late wakeup.
   struct Shared {
-    // Immutable after Subscribe.
-    pubsub::Broker* broker = nullptr;  // Owner shard's core broker.
+    // Immutable after Subscribe. The owner shard's broker is deliberately
+    // NOT cached here: a failover replaces the shard's broker, so every
+    // shard-side touch re-resolves it through pool->core(shard) — always on
+    // the shard's own thread (or inline/fenced with the workers parked),
+    // where that access is legal.
+    ShardPool* pool = nullptr;
+    std::size_t shard = 0;
     std::string topic;
     pubsub::PartitionId partition = 0;
     std::size_t handoff_capacity = 8192;

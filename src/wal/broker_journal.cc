@@ -66,9 +66,21 @@ common::Status BrokerJournal::OpenPartitionJournals(const std::string& topic,
     if (!opened.ok()) {
       return opened.status();
     }
-    partitions_.emplace(std::make_pair(topic, p), std::move(opened.value()));
+    auto [it, inserted] =
+        partitions_.emplace(std::make_pair(topic, p), std::move(opened.value()));
+    if (log_created_) {
+      log_created_("t-" + topic + "/p-" + std::to_string(p), &it->second->wal_log());
+    }
   }
   return common::Status::Ok();
+}
+
+void BrokerJournal::VisitLogs(
+    const std::function<void(const std::string& id, Log* log)>& fn) const {
+  fn("meta", meta_.get());
+  for (const auto& [key, journal] : partitions_) {
+    fn("t-" + key.first + "/p-" + std::to_string(key.second), &journal->wal_log());
+  }
 }
 
 common::Status BrokerJournal::ReplayMeta(std::string_view payload) {

@@ -24,6 +24,7 @@
 #define SRC_WAL_BROKER_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +69,18 @@ class BrokerJournal : public pubsub::BrokerObserver {
   // Aggregated recovery accounting (meta log + partition journals).
   RecoveryStats recovery_stats() const;
 
+  // Visits every underlying wal::Log with a stable id: "meta" for the meta
+  // log, "t-<topic>/p-<N>" for each partition log (the id doubles as the
+  // log's directory relative to the journal root). Replication uses this to
+  // attach shippers to an already-open journal.
+  void VisitLogs(const std::function<void(const std::string& id, Log* log)>& fn) const;
+
+  // Fired whenever a new partition log opens after this call (topic created
+  // at runtime). Not fired for logs that already existed — use VisitLogs for
+  // those. nullptr clears.
+  using LogCreatedFn = std::function<void(const std::string& id, Log* log)>;
+  void set_log_created_callback(LogCreatedFn fn) { log_created_ = std::move(fn); }
+
   // -- BrokerObserver ----------------------------------------------------------
 
   void OnRebalance(const pubsub::GroupId& group, std::uint64_t generation,
@@ -101,6 +114,7 @@ class BrokerJournal : public pubsub::BrokerObserver {
       partitions_;
   common::Status status_;
   bool observing_ = false;
+  LogCreatedFn log_created_;
 };
 
 }  // namespace wal

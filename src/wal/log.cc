@@ -1,5 +1,6 @@
 #include "wal/log.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "wal/crc32c.h"
@@ -55,6 +56,8 @@ void Log::Count(const std::string& name, std::int64_t delta) {
 std::string Log::SegmentPath(std::uint64_t first_index) const {
   return dir_ + "/" + SegmentName(first_index);
 }
+
+std::string Log::SegmentFileName(std::uint64_t first_index) { return SegmentName(first_index); }
 
 common::Result<std::unique_ptr<Log>> Log::Open(Vfs* vfs, std::string dir, LogOptions options,
                                                common::MetricsRegistry* metrics,
@@ -226,20 +229,124 @@ common::Result<std::uint64_t> Log::Append(std::string_view payload) {
     RETURN_IF_ERROR(active_file_->Sync());
   }
   Count("wal.appends", 1);
+  if (append_observer_) {
+    append_observer_(index, payload);
+  }
   return index;
 }
 
 common::Status Log::Sync() { return active_file_->Sync(); }
 
 common::Result<std::uint64_t> Log::DropSealedSegmentsBefore(std::uint64_t index) {
+  // Open readers pin the segments at or past their cursor: reclaiming a
+  // sealed segment a catch-up stream still holds a cursor into would turn
+  // its next read into silent loss. Clamp the drop point to the slowest
+  // reader instead, and count the clamp so operators see GC being held back.
+  std::uint64_t effective = index;
+  for (const LogReader* reader : readers_) {
+    effective = std::min(effective, reader->next_index());
+  }
   std::uint64_t dropped = 0;
-  while (segments_.size() > 1 && segments_.front().end_index <= index) {
+  std::uint64_t pinned = 0;
+  while (segments_.size() > 1 && segments_.front().end_index <= effective) {
     RETURN_IF_ERROR(vfs_->Remove(SegmentPath(segments_.front().first_index)));
     segments_.erase(segments_.begin());
     ++dropped;
   }
+  // Segments that would have been dropped but for a reader's pin.
+  for (const Segment& seg : segments_) {
+    if (segments_.size() > 1 && seg.end_index <= index && &seg != &segments_.back()) {
+      ++pinned;
+    }
+  }
   Count("wal.gc.segments_dropped", static_cast<std::int64_t>(dropped));
+  Count("wal.gc.segments_pinned", static_cast<std::int64_t>(pinned));
   return dropped;
+}
+
+std::unique_ptr<LogReader> Log::OpenReader(std::uint64_t from_index) {
+  const std::uint64_t from = std::max(from_index, oldest_retained_index());
+  std::unique_ptr<LogReader> reader(new LogReader(this, from));
+  readers_.push_back(reader.get());
+  return reader;
+}
+
+LogReader::~LogReader() {
+  auto& readers = log_->readers_;
+  readers.erase(std::remove(readers.begin(), readers.end(), this), readers.end());
+}
+
+common::Status LogReader::LoadSegmentContaining(std::uint64_t index) {
+  if (index < log_->oldest_retained_index()) {
+    // The cursor's segment is gone. OpenReader pins against GC, so this only
+    // happens for a cursor positioned below the retained prefix out of band;
+    // the caller must force-resync from current state.
+    return common::Status::NotFound("wal reader outrun by gc: index " + std::to_string(index) +
+                                    " < oldest retained " +
+                                    std::to_string(log_->oldest_retained_index()));
+  }
+  const Log::Segment* seg = nullptr;
+  for (const Log::Segment& s : log_->segments_) {
+    if (index >= s.first_index && index < s.end_index) {
+      seg = &s;
+      break;
+    }
+  }
+  if (seg == nullptr) {
+    return common::Status::Internal("wal reader: no segment holds index " +
+                                    std::to_string(index));
+  }
+  auto contents = ReadFileToString(*log_->vfs_, log_->SegmentPath(seg->first_index));
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  cached_ = std::move(contents.value());
+  cached_first_ = seg->first_index;
+  cached_pos_ = 0;
+  cache_valid_ = true;
+  // Walk frames from the segment head to the cursor (frames are variable
+  // length, so there is no random access by index).
+  std::uint64_t at = seg->first_index;
+  while (at < index) {
+    if (cached_.size() - cached_pos_ < kFrameHeaderBytes) {
+      return common::Status::Internal("wal reader: truncated frame while seeking in " +
+                                      log_->SegmentPath(seg->first_index));
+    }
+    const std::uint32_t len = DecodeU32(cached_.data() + cached_pos_ + 4);
+    cached_pos_ += kFrameHeaderBytes + len;
+    ++at;
+  }
+  return common::Status::Ok();
+}
+
+common::Result<bool> LogReader::Next(std::uint64_t* index, std::string* payload) {
+  if (next_index_ >= log_->next_index()) {
+    return false;  // Caught up; more records may land later.
+  }
+  // (Re)load when the cursor left the cached segment or the cached parse of
+  // the active segment is exhausted but the log has more records (the active
+  // file grew, or rotation moved the cursor's record to a new segment).
+  const bool in_cached_segment =
+      cache_valid_ && next_index_ >= cached_first_ && cached_pos_ < cached_.size();
+  if (!in_cached_segment) {
+    RETURN_IF_ERROR(LoadSegmentContaining(next_index_));
+  }
+  if (cached_.size() - cached_pos_ < kFrameHeaderBytes) {
+    return common::Status::Internal("wal reader: truncated frame header in segment " +
+                                    std::to_string(cached_first_));
+  }
+  const std::uint32_t len = DecodeU32(cached_.data() + cached_pos_ + 4);
+  const std::uint64_t frame_index = DecodeU64(cached_.data() + cached_pos_ + 8);
+  if (cached_.size() - cached_pos_ - kFrameHeaderBytes < len || frame_index != next_index_) {
+    return common::Status::Internal("wal reader: unexpected frame (index " +
+                                    std::to_string(frame_index) + ", want " +
+                                    std::to_string(next_index_) + ")");
+  }
+  *index = next_index_;
+  payload->assign(cached_.data() + cached_pos_ + kFrameHeaderBytes, len);
+  cached_pos_ += kFrameHeaderBytes + len;
+  ++next_index_;
+  return true;
 }
 
 std::uint64_t Log::active_segment_first_index() const { return segments_.back().first_index; }

@@ -70,11 +70,18 @@ struct RecoveryStats {
   std::uint64_t torn_tail_frames = 0;  // Invalid/duplicate frames dropped with them.
 };
 
+class LogReader;
+
 class Log {
  public:
   // Called once per recovered record, in index order. A non-OK return aborts
   // recovery and fails Open.
   using ReplayFn = std::function<common::Status(std::uint64_t index, std::string_view payload)>;
+
+  // Called after every durable Append with the record's index and payload —
+  // the replication shipper's live-tail hook. Runs synchronously inside
+  // Append; must not re-enter the log.
+  using AppendObserver = std::function<void(std::uint64_t index, std::string_view payload)>;
 
   // Opens (creating `dir` if needed) and replays existing segments through
   // `replay`. `metrics` may be nullptr. `stats` (optional) receives recovery
@@ -93,21 +100,43 @@ class Log {
 
   // Drops the prefix of sealed segments whose records all have index <
   // `index`. Never touches the active segment. The caller must have made a
-  // superseding snapshot record durable first. Returns the number of
-  // segments removed.
+  // superseding snapshot record durable first. Segments still referenced by
+  // an open LogReader are pinned: the drop point is silently clamped to the
+  // slowest reader's cursor (counted as wal.gc.segments_pinned), so a
+  // catch-up stream can never have its segment reclaimed underneath it.
+  // Returns the number of segments removed.
   common::Result<std::uint64_t> DropSealedSegmentsBefore(std::uint64_t index);
+
+  // Opens a sequential reader positioned at `from_index` (clamped up to the
+  // oldest retained record). While a reader is open, the segments at or past
+  // its cursor are pinned against DropSealedSegmentsBefore — destroy readers
+  // promptly. Readers are cheap; they share the log's Vfs and never block
+  // appends.
+  std::unique_ptr<LogReader> OpenReader(std::uint64_t from_index);
+
+  // Fired after every durable append (replication live tail). nullptr clears.
+  void set_append_observer(AppendObserver fn) { append_observer_ = std::move(fn); }
 
   // Index the next Append will assign.
   std::uint64_t next_index() const { return next_index_; }
+  // Smallest record index still on disk (first segment's first record).
+  std::uint64_t oldest_retained_index() const { return segments_.front().first_index; }
   // First index of the segment the next Append lands in (the active segment,
   // or the one rotation is about to create).
   std::uint64_t active_segment_first_index() const;
 
   std::vector<SegmentInfo> Segments() const;
 
+  // File name of the segment whose first record is `first_index`
+  // ("seg-<index %020llu>.wal"); replication's force-resync uses it to read
+  // and re-create segment files byte-for-byte.
+  static std::string SegmentFileName(std::uint64_t first_index);
+
   const std::string& dir() const { return dir_; }
+  Vfs* vfs() const { return vfs_; }
 
  private:
+  friend class LogReader;
   struct Segment {
     std::uint64_t first_index = 0;
     std::uint64_t end_index = 0;
@@ -129,6 +158,44 @@ class Log {
   std::vector<Segment> segments_;  // Ordered by first_index; back() is active.
   std::unique_ptr<WritableFile> active_file_;
   std::uint64_t next_index_ = 0;
+  AppendObserver append_observer_;
+  std::vector<LogReader*> readers_;  // Open readers; their cursors pin GC.
+};
+
+// Sequential record cursor over a Log. Next() yields records in index order,
+// re-reading the active segment as it grows; it returns false (no record)
+// once caught up with the log's end — call again after more appends. A
+// cursor can only fall behind the retained prefix if it was *opened* below
+// it (OpenReader clamps, but a concurrent out-of-band Remove could race);
+// that surfaces loudly as kNotFound, the caller's cue to force-resync.
+class LogReader {
+ public:
+  ~LogReader();
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  // Reads the record at the cursor into *index/*payload and advances.
+  // Returns true on a record, false when caught up with the log's end.
+  common::Result<bool> Next(std::uint64_t* index, std::string* payload);
+
+  // Index of the record the next Next() will return.
+  std::uint64_t next_index() const { return next_index_; }
+
+ private:
+  friend class Log;
+  LogReader(Log* log, std::uint64_t from) : log_(log), next_index_(from) {}
+
+  common::Status LoadSegmentContaining(std::uint64_t index);
+
+  Log* log_;
+  std::uint64_t next_index_ = 0;
+  // One segment's raw bytes, cached; reloaded when the cursor leaves it or
+  // the active segment has grown past the cached parse.
+  bool cache_valid_ = false;
+  std::uint64_t cached_first_ = 0;  // Cached segment's first record index.
+  std::string cached_;
+  std::size_t cached_pos_ = 0;
 };
 
 }  // namespace wal

@@ -1,0 +1,101 @@
+#include "wal/replication/failover_controller.h"
+
+#include <memory>
+
+#include "wal/log.h"
+
+namespace wal {
+namespace replication {
+
+namespace {
+
+// Reads every record of the log at `dir` into an index->payload map. Opening
+// mutates like recovery would (creates the dir if absent, truncates a torn
+// active tail) — acceptable for post-mortem forensics, identical to what a
+// real restart of that node would observe.
+common::Result<std::map<std::uint64_t, std::string>> ReadAllRecords(Vfs* vfs,
+                                                                    const std::string& dir) {
+  std::map<std::uint64_t, std::string> records;
+  auto log = Log::Open(vfs, dir, LogOptions{}, nullptr,
+                       [&records](std::uint64_t index, std::string_view payload) {
+                         records.emplace(index, std::string(payload));
+                         return common::Status::Ok();
+                       });
+  if (!log.ok()) {
+    return log.status();
+  }
+  return records;
+}
+
+}  // namespace
+
+common::Result<CatchUpSyncer*> FailoverController::PickMostCaughtUp(
+    const std::vector<CatchUpSyncer*>& followers) {
+  CatchUpSyncer* best = nullptr;
+  for (CatchUpSyncer* candidate : followers) {
+    if (candidate == nullptr || candidate->crashed()) {
+      continue;
+    }
+    if (best == nullptr || candidate->TotalNextIndex() > best->TotalNextIndex() ||
+        (candidate->TotalNextIndex() == best->TotalNextIndex() &&
+         candidate->node() < best->node())) {
+      best = candidate;
+    }
+  }
+  if (best == nullptr) {
+    return common::Status::Unavailable("no live follower to promote");
+  }
+  return best;
+}
+
+PromotionCheck FailoverController::CheckPromotion(
+    Vfs* old_leader_vfs, const std::string& old_root, Vfs* promoted_vfs,
+    const std::string& promoted_root, const std::vector<std::string>& log_ids,
+    const std::map<std::string, std::uint64_t>& acked_next) {
+  PromotionCheck check;
+  auto violate = [&check](const char* invariant, std::string detail) {
+    check.violations.emplace_back(invariant, std::move(detail));
+  };
+
+  for (const std::string& id : log_ids) {
+    auto old_records = ReadAllRecords(old_leader_vfs, old_root + "/" + id);
+    auto new_records = ReadAllRecords(promoted_vfs, promoted_root + "/" + id);
+    if (!old_records.ok() || !new_records.ok()) {
+      violate("failover-forensic-read",
+              id + ": " +
+                  (!old_records.ok() ? old_records.status().ToString()
+                                     : new_records.status().ToString()));
+      continue;
+    }
+    const auto& old_log = old_records.value();
+    const auto& new_log = new_records.value();
+    const std::uint64_t old_next = old_log.empty() ? 0 : old_log.rbegin()->first + 1;
+    const std::uint64_t new_next = new_log.empty() ? 0 : new_log.rbegin()->first + 1;
+
+    if (new_next > old_next) {
+      check.phantom_records += new_next - old_next;
+      violate("failover-snapshot-containment",
+              id + ": promoted log ends at " + std::to_string(new_next) +
+                  ", old leader only had " + std::to_string(old_next));
+    }
+    for (const auto& [index, payload] : new_log) {
+      auto it = old_log.find(index);
+      if (it != old_log.end() && it->second != payload) {
+        ++check.payload_mismatches;
+        violate("failover-snapshot-containment",
+                id + ": payload divergence at index " + std::to_string(index));
+      }
+    }
+    auto acked = acked_next.find(id);
+    if (acked != acked_next.end() && new_next < acked->second) {
+      check.acked_records_lost += acked->second - new_next;
+      violate("failover-acked-prefix",
+              id + ": acked through " + std::to_string(acked->second) +
+                  " but promoted log ends at " + std::to_string(new_next));
+    }
+  }
+  return check;
+}
+
+}  // namespace replication
+}  // namespace wal

@@ -1,0 +1,68 @@
+// FailoverController: promotion policy and the oracle-facing promotion
+// check.
+//
+// Promotion picks the most caught-up live follower (largest total durable
+// cursor across its logs; ties break toward the smallest node id for
+// determinism). Under quorum ack this choice is what makes the §3.3
+// guarantee hold: the best follower is at least as long as the (quorum-1)-th
+// best, which by definition bounds the quorum-acked prefix.
+//
+// CheckPromotion is the invariant oracle for a completed failover. It reads
+// both WAL trees back post-mortem (the old leader's Vfs must be restarted
+// first — this is forensic disk access, and Log::Open will truncate a torn
+// active tail exactly as recovery would) and asserts, per log:
+//
+//   failover-acked-prefix       every acked record survived promotion
+//                               (promoted cursor >= acked cursor);
+//   failover-snapshot-containment  the promoted log is a prefix of the old
+//                               leader's durable log — no phantom records
+//                               the old leader never had, no payload
+//                               divergence at any shared index.
+//
+// Violations are returned as (invariant, detail) pairs; feed them to
+// oracle::InvariantOracle::ReportExternalViolation to fail a harness run.
+#ifndef SRC_WAL_REPLICATION_FAILOVER_CONTROLLER_H_
+#define SRC_WAL_REPLICATION_FAILOVER_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/replication/catch_up_syncer.h"
+#include "wal/vfs.h"
+
+namespace wal {
+namespace replication {
+
+struct PromotionCheck {
+  std::uint64_t acked_records_lost = 0;  // Acked indexes missing post-promotion.
+  std::uint64_t phantom_records = 0;     // Promoted records the old leader lacked.
+  std::uint64_t payload_mismatches = 0;  // Shared indexes with divergent bytes.
+  std::vector<std::pair<std::string, std::string>> violations;  // (invariant, detail).
+
+  bool ok() const { return violations.empty(); }
+};
+
+class FailoverController {
+ public:
+  // The promotion policy. Considers only non-crashed followers; kUnavailable
+  // if none qualify.
+  static common::Result<CatchUpSyncer*> PickMostCaughtUp(
+      const std::vector<CatchUpSyncer*>& followers);
+
+  // Post-mortem failover oracle (see file comment). `acked_next` maps log id
+  // to the cursor the chosen ack mode had acknowledged at crash time; ids
+  // absent from the map are checked for containment only.
+  static PromotionCheck CheckPromotion(Vfs* old_leader_vfs, const std::string& old_root,
+                                       Vfs* promoted_vfs, const std::string& promoted_root,
+                                       const std::vector<std::string>& log_ids,
+                                       const std::map<std::string, std::uint64_t>& acked_next);
+};
+
+}  // namespace replication
+}  // namespace wal
+
+#endif  // SRC_WAL_REPLICATION_FAILOVER_CONTROLLER_H_

@@ -1,0 +1,104 @@
+#include "wal/replication/replica_set.h"
+
+#include <algorithm>
+
+#include "wal/replication/failover_controller.h"
+
+namespace wal {
+namespace replication {
+
+ReplicaSet::ReplicaSet(sim::Simulator* sim, Vfs* vfs, std::string root_dir,
+                       std::string node_prefix, common::MetricsRegistry* metrics,
+                       ReplicationOptions options)
+    : sim_(sim),
+      vfs_(vfs),
+      root_dir_(std::move(root_dir)),
+      node_prefix_(std::move(node_prefix)),
+      metrics_(metrics),
+      options_(std::move(options)),
+      net_(sim, sim::LatencyModel{0, 0}) {
+  const std::size_t follower_count =
+      options_.replication_factor > 0 ? options_.replication_factor - 1 : 0;
+  for (std::size_t k = 0; k < follower_count; ++k) {
+    followers_.push_back(std::make_unique<CatchUpSyncer>(
+        sim_, &net_, node_prefix_ + "-r" + std::to_string(k), vfs_,
+        root_dir_ + "-replica-" + std::to_string(k), metrics_, options_));
+  }
+}
+
+ReplicaSet::~ReplicaSet() { DetachLeader(); }
+
+void ReplicaSet::AttachLeader(BrokerJournal* journal) {
+  DetachLeader();
+  journal_ = journal;
+  const sim::NodeId leader_node = node_prefix_ + "-leader-" + std::to_string(generation_);
+  ++generation_;
+  shipper_ = std::make_unique<WalShipper>(sim_, &net_, leader_node, metrics_, options_);
+  journal->VisitLogs(
+      [this](const std::string& id, Log* log) { shipper_->Track(id, log); });
+  journal->set_log_created_callback(
+      [this](const std::string& id, Log* log) { shipper_->Track(id, log); });
+  for (auto& follower : followers_) {
+    shipper_->AddFollower(follower.get());
+  }
+}
+
+void ReplicaSet::DetachLeader() {
+  if (journal_ != nullptr) {
+    journal_->set_log_created_callback(nullptr);
+    journal_ = nullptr;
+  }
+  if (shipper_ != nullptr) {
+    net_.SetUp(shipper_->node(), false);
+    for (auto& follower : followers_) {
+      follower->DetachLeader();
+    }
+    shipper_.reset();  // Detaches observers and closes pinned readers.
+  }
+}
+
+common::Result<std::string> ReplicaSet::Promote() {
+  DetachLeader();
+  std::vector<CatchUpSyncer*> candidates;
+  candidates.reserve(followers_.size());
+  for (auto& follower : followers_) {
+    candidates.push_back(follower.get());
+  }
+  auto picked = FailoverController::PickMostCaughtUp(candidates);
+  if (!picked.ok()) {
+    return picked.status();
+  }
+  CatchUpSyncer* promoted = picked.value();
+  promoted->ReleaseLogs();
+  net_.SetUp(promoted->node(), false);  // Stale in-flight frames must drop.
+  const std::string dir = promoted->root_dir();
+  auto it = std::find_if(followers_.begin(), followers_.end(),
+                         [promoted](const std::unique_ptr<CatchUpSyncer>& f) {
+                           return f.get() == promoted;
+                         });
+  retired_.push_back(std::move(*it));
+  followers_.erase(it);
+  if (metrics_ != nullptr) {
+    metrics_->counter("wal.repl.promotions").Increment();
+  }
+  return dir;
+}
+
+std::map<std::string, std::uint64_t> ReplicaSet::QuorumAckedNext() const {
+  if (shipper_ == nullptr) {
+    return {};
+  }
+  return shipper_->QuorumAckedNextAll();
+}
+
+std::vector<CatchUpSyncer*> ReplicaSet::followers() {
+  std::vector<CatchUpSyncer*> out;
+  out.reserve(followers_.size());
+  for (auto& follower : followers_) {
+    out.push_back(follower.get());
+  }
+  return out;
+}
+
+}  // namespace replication
+}  // namespace wal

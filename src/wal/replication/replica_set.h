@@ -1,0 +1,93 @@
+// ReplicaSet: packages WAL replication for one durable runtime shard.
+//
+// Owns replication_factor-1 CatchUpSyncer followers (rooted at
+// `<root_dir>-replica-<k>` on the same Vfs as the shard's journal) plus a
+// private zero-latency sim::Network for the replication traffic — zero
+// latency keeps the frames inside the same FlushSim window as the append
+// that produced them, which is what the shard pool's tick=0 event model
+// requires (see ShardPool::FlushSim).
+//
+// AttachLeader() points the set at a (re)opened BrokerJournal: a fresh
+// WalShipper tracks the journal's meta and partition logs (including logs
+// created later, via the journal's log-created callback) and syncs every
+// follower. Promote() runs the failover hand-off: detach from the dead
+// leader, pick the most caught-up follower, release its log handles, and
+// return its root dir for the caller to BrokerJournal::Open as the new
+// durable root — the replay there truncates any unacked torn tail (the
+// promotion truncation contract). The promoted follower retires; the
+// effective replication factor drops by one per failover.
+//
+// Declare a ReplicaSet member AFTER the journal it attaches to (so it
+// detaches first on destruction), or call DetachLeader() before the journal
+// dies.
+#ifndef SRC_WAL_REPLICATION_REPLICA_SET_H_
+#define SRC_WAL_REPLICATION_REPLICA_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "sim/network.h"
+#include "wal/broker_journal.h"
+#include "wal/replication/catch_up_syncer.h"
+#include "wal/replication/wal_shipper.h"
+#include "wal/vfs.h"
+
+namespace wal {
+namespace replication {
+
+class ReplicaSet {
+ public:
+  ReplicaSet(sim::Simulator* sim, Vfs* vfs, std::string root_dir, std::string node_prefix,
+             common::MetricsRegistry* metrics, ReplicationOptions options);
+  ~ReplicaSet();
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  // Starts shipping `journal`'s logs to the followers. The journal must
+  // outlive the attachment (call DetachLeader before destroying it).
+  void AttachLeader(BrokerJournal* journal);
+  // Stops shipping, takes the leader node down (stray in-flight acks drop),
+  // and releases every tracked log. Idempotent.
+  void DetachLeader();
+
+  // Failover: promotes the most caught-up live follower and returns its root
+  // dir — the new durable root to BrokerJournal::Open. Implies
+  // DetachLeader(). kUnavailable when no live follower remains.
+  common::Result<std::string> Promote();
+
+  // Quorum-acked durable cursor per log id (empty when detached).
+  std::map<std::string, std::uint64_t> QuorumAckedNext() const;
+
+  bool attached() const { return shipper_ != nullptr; }
+  WalShipper* shipper() { return shipper_.get(); }
+  std::vector<CatchUpSyncer*> followers();
+  const ReplicationOptions& options() const { return options_; }
+
+ private:
+  sim::Simulator* sim_;
+  Vfs* vfs_;
+  std::string root_dir_;
+  std::string node_prefix_;
+  common::MetricsRegistry* metrics_;
+  ReplicationOptions options_;
+  sim::Network net_;  // Private zero-latency replication transport.
+
+  BrokerJournal* journal_ = nullptr;
+  std::unique_ptr<WalShipper> shipper_;
+  std::vector<std::unique_ptr<CatchUpSyncer>> followers_;
+  // Promoted followers, kept alive so stray in-flight closures holding their
+  // pointers stay valid (their nodes are down, so nothing is delivered).
+  std::vector<std::unique_ptr<CatchUpSyncer>> retired_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace replication
+}  // namespace wal
+
+#endif  // SRC_WAL_REPLICATION_REPLICA_SET_H_

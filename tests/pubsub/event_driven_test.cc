@@ -104,6 +104,65 @@ TEST_F(EventDrivenTest, CancelWaitPreventsWakeup) {
   EXPECT_EQ(broker_.PendingWaiters(), 0u);
 }
 
+TEST_F(EventDrivenTest, RemoveTopicFiresParkedWaiters) {
+  // Regression: waiters parked on a partition that was then removed with its
+  // topic never fired — the registry entry was erased with the topic and the
+  // long-poller hung forever. Teardown must wake them so their re-check can
+  // observe the removal.
+  int fired = 0;
+  const auto ticket = broker_.WaitForAppend("t", 0, broker_.EndOffset("t", 0), [&] { ++fired; });
+  ASSERT_NE(ticket, 0u);
+  ASSERT_EQ(broker_.PendingWaiters(), 1u);
+
+  ASSERT_TRUE(broker_.RemoveTopic("t").ok());
+  EXPECT_EQ(broker_.PendingWaiters(), 0u);
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 1) << "waiter on removed topic was never fired";
+  EXPECT_FALSE(broker_.HasTopic("t"));
+  // The fired ticket is dead: cancelling it is a harmless no-op.
+  EXPECT_FALSE(broker_.CancelWait(ticket));
+}
+
+TEST_F(EventDrivenTest, RemoveTopicLeavesOtherTopicsWaitersParked) {
+  ASSERT_TRUE(broker_.CreateTopic("u", {.partitions = 1}).ok());
+  int fired_t = 0;
+  int fired_u = 0;
+  (void)broker_.WaitForAppend("t", 0, broker_.EndOffset("t", 0), [&] { ++fired_t; });
+  (void)broker_.WaitForAppend("u", 0, broker_.EndOffset("u", 0), [&] { ++fired_u; });
+  ASSERT_EQ(broker_.PendingWaiters(), 2u);
+
+  ASSERT_TRUE(broker_.RemoveTopic("t").ok());
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired_t, 1);
+  EXPECT_EQ(fired_u, 0);  // Unrelated topic's waiter stays parked.
+  EXPECT_EQ(broker_.PendingWaiters(), 1u);
+
+  ASSERT_TRUE(broker_.Publish("u", Message{"", "a", 0}, 0).ok());
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired_u, 1);
+}
+
+TEST_F(EventDrivenTest, RemoveTopicRejectsUnknownTopic) {
+  EXPECT_EQ(broker_.RemoveTopic("nope").code(), common::StatusCode::kNotFound);
+}
+
+TEST_F(EventDrivenTest, BrokerDestructionFiresParkedWaiters) {
+  // Same bug at whole-broker granularity: a failover tears down the shard's
+  // broker while subscriptions hold parked waiters. Destruction must fire
+  // them (the wakeup re-resolves the shard's *new* broker and re-arms there).
+  int fired = 0;
+  {
+    Broker doomed(&sim_, &net_);
+    ASSERT_TRUE(doomed.CreateTopic("d", {.partitions = 1}).ok());
+    (void)doomed.WaitForAppend("d", 0, doomed.EndOffset("d", 0), [&] { ++fired; });
+    ASSERT_EQ(doomed.PendingWaiters(), 1u);
+    sim_.RunUntil(100 * kMs);
+    ASSERT_EQ(fired, 0);  // Parked; nothing published.
+  }
+  sim_.RunUntil(sim_.Now());
+  EXPECT_EQ(fired, 1) << "waiter parked on destroyed broker was never fired";
+}
+
 TEST_F(EventDrivenTest, WaitForRebalanceFiresOnMembershipChange) {
   int fired = 0;
   (void)broker_.WaitForRebalance("g", [&] { ++fired; });

@@ -109,6 +109,38 @@ TEST(RuntimeStressTest, TryPublishRejectsDeterministicallyWhenShardSaturated) {
   EXPECT_EQ(pool.metrics().counter("runtime.publish_rejected").value(), 1);
 }
 
+TEST(RuntimeStressTest, RetryAfterHintIsAlwaysNonzeroMicroseconds) {
+  // Regression: with RuntimeOptions::retry_after misconfigured to 0, a
+  // saturated shard's kUnavailable carried retry_after == 0 — callers that
+  // sleep the hint verbatim (every retry loop in this file) spun a busy loop
+  // against the full queue. Every kUnavailable path must clamp the hint to a
+  // nonzero microsecond count.
+  RuntimeOptions options;
+  options.shards = 1;
+  options.queue_capacity = 2;
+  options.retry_after = 0;  // Misconfiguration under test.
+  ShardPool pool(options);
+  ConcurrentBroker broker(&pool);
+  pool.Start();
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Post(0, [gate] { gate.wait(); });
+  while (pool.queue_depth(0) != 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(broker.TryPublish("t", {"", "a", 0}, 0).ok());
+  ASSERT_TRUE(broker.TryPublish("t", {"", "b", 0}, 0).ok());
+  common::TimeMicros retry_after = 0;
+  const common::Status status = broker.TryPublish("t", {"", "c", 0}, 0, &retry_after);
+  EXPECT_EQ(status.code(), common::StatusCode::kUnavailable);
+  EXPECT_GT(retry_after, 0) << "kUnavailable carried a zero retry hint";
+  release.set_value();
+  pool.Quiesce();
+  pool.Stop();
+}
+
 // Watch callback for stress runs: records (key, version) pairs, counts
 // resyncs, and fails the test if anything is delivered after a resync (the
 // W4 half of the runtime contract).

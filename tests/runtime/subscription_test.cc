@@ -162,6 +162,83 @@ TEST(SubscriptionTest, CommitOffsetAsyncLandsOnOwnerShard) {
   pool.Stop();
 }
 
+// -- Teardown races (regressions) ---------------------------------------------
+
+TEST(SubscriptionTest, TeardownAfterStopCancelsInlineWithoutCrashing) {
+  // Regression: the destructor posts a cancel task to the owner shard. With
+  // the pool already stopped the queue is closed and the post falls back to
+  // running inline — but the old queue took tasks by value, so the failed
+  // push left the caller's std::function moved-from and the fallback invoked
+  // an empty function (std::bad_function_call). The push must leave the task
+  // intact on failure.
+  ShardPool pool({.shards = 1, .event_driven = true});
+  ConcurrentBroker broker(&pool);
+  pool.Start();
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+  auto sub = broker.Subscribe("t", 0, 0);
+  ASSERT_NE(sub, nullptr);
+  pool.Quiesce();  // Let the shard-side pump arm its append waiter.
+  pool.Stop();
+  sub.reset();  // Cancel runs inline against the parked shard.
+  pool.RunOn(0, [](ShardCore& core) {
+    EXPECT_EQ(core.broker->PendingWaiters(), 0u);
+    return 0;
+  });
+}
+
+TEST(SubscriptionTest, TeardownConcurrentWithStopIsSafe) {
+  // Regression: a Subscription destroyed on one thread while another thread
+  // Stops the pool raced the queue close/worker join — the destructor's
+  // cancel task could be pushed to a closing queue or run inline against a
+  // worker mid-join. Run the race repeatedly; TSan (CI) judges the interleavings.
+  for (int round = 0; round < 25; ++round) {
+    ShardPool pool({.shards = 1, .event_driven = true});
+    ConcurrentBroker broker(&pool);
+    pool.Start();
+    ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+    auto sub = broker.Subscribe("t", 0, 0);
+    ASSERT_NE(sub, nullptr);
+    for (int i = 0; i < 8; ++i) {
+      (void)broker.TryPublish("t", {"", "v", 0}, 0);
+    }
+    std::thread destroyer([&] { sub.reset(); });
+    pool.Stop();
+    destroyer.join();
+  }
+}
+
+TEST(SubscriptionTest, TeardownRacingStallResumeLeavesNoWaiters) {
+  // Regression: destroying a stalled subscription just after a drain posted
+  // its resume left the resume pump racing the cancel — the pump could
+  // re-arm a waiter for a subscription already gone (leaked registration) or
+  // cancel a ticket re-issued to someone else. After teardown the shard
+  // broker must hold no waiters.
+  for (int round = 0; round < 20; ++round) {
+    ShardPool pool({.shards = 1, .event_driven = true});
+    ConcurrentBroker broker(&pool);
+    pool.Start();
+    ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 1}).ok());
+    auto sub = broker.Subscribe("t", 0, 0, {.handoff_capacity = 16, .shard_batch = 8});
+    ASSERT_NE(sub, nullptr);
+    for (int i = 0; i < 200; ++i) {
+      common::TimeMicros backoff = 0;
+      while (!broker.TryPublish("t", {"", "v" + std::to_string(i), 0}, 0, &backoff).ok()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
+    }
+    std::vector<pubsub::StoredMessage> got;
+    (void)sub->Wait(/*timeout_us=*/50 * 1000);
+    (void)sub->PollBatch(&got, 8);  // Likely posts a resume for the stalled pump.
+    sub.reset();                    // Races the resume.
+    pool.Quiesce();
+    pool.RunOn(0, [](ShardCore& core) {
+      EXPECT_EQ(core.broker->PendingWaiters(), 0u) << "teardown leaked an append waiter";
+      return 0;
+    });
+    pool.Stop();
+  }
+}
+
 // Both delivery modes, same routed input → identical per-partition sequences
 // through the same Subscription API. Event driving changes when messages
 // move, never what or in what order.

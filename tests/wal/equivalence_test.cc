@@ -404,5 +404,78 @@ TEST(WalEquivalenceTest, DurableModeDoesNotPerturbWatchDeliveries) {
   mpool.Stop();
 }
 
+TEST(WalEquivalenceTest, ReplicatedFailoverMatchesSingleCopyBaseline) {
+  // A replicated durable runtime that fails every shard over mid-workload
+  // must deliver exactly what a single-copy durable runtime delivers for the
+  // same input: identical per-partition sequences, end offsets, and
+  // committed offsets. Replication and promotion are durability plumbing —
+  // they must be invisible to the delivered stream.
+  constexpr std::size_t kShards = 2;
+  constexpr pubsub::PartitionId kPartitions = 4;
+  constexpr int kMessages = 300;
+
+  struct Outcome {
+    std::vector<std::vector<std::string>> sequences = decltype(sequences)(kPartitions);
+    std::vector<pubsub::Offset> committed = decltype(committed)(kPartitions, 0);
+  };
+  auto run = [&](FaultVfs* vfs, bool replicated) {
+    runtime::RuntimeOptions options;
+    options.shards = kShards;
+    options.durable_vfs = vfs;
+    options.replication_factor = replicated ? 2 : 1;
+    runtime::ShardPool pool(options);
+    runtime::ConcurrentBroker broker(&pool);
+    pool.Start();
+    pubsub::TopicConfig config;
+    config.partitions = kPartitions;
+    EXPECT_TRUE(broker.CreateTopic("t", config).ok());
+    EXPECT_TRUE(broker.JoinGroup("g", "t", "m1").ok());
+
+    common::Rng rng(23);
+    for (int i = 0; i < kMessages; ++i) {
+      if (replicated && i == kMessages / 2) {
+        for (std::size_t s = 0; s < kShards; ++s) {
+          EXPECT_TRUE(pool.FailoverShard(s).ok()) << pool.durable_status().message();
+        }
+      }
+      pubsub::Message msg;
+      msg.value = "v" + std::to_string(i);
+      std::optional<pubsub::PartitionId> part;
+      if (rng.Below(2) == 0) {
+        msg.key = "user-" + std::to_string(rng.Below(32));
+      } else {
+        part = static_cast<pubsub::PartitionId>(rng.Below(kPartitions));
+      }
+      EXPECT_TRUE(broker.PublishSync("t", msg, part).ok()) << "message " << i;
+    }
+    Outcome out;
+    for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+      const pubsub::Offset end = broker.EndOffset("t", p);
+      broker.CommitOffset("g", p, end);
+      auto batch = broker.Fetch("t", p, 0, kMessages);
+      EXPECT_TRUE(batch.ok());
+      if (batch.ok()) {
+        for (const pubsub::StoredMessage& m : *batch) {
+          out.sequences[p].push_back(m.message.value);
+        }
+      }
+      out.committed[p] = broker.CommittedOffset("g", p);
+    }
+    pool.Quiesce();
+    EXPECT_TRUE(pool.durable_status().ok()) << pool.durable_status().message();
+    pool.Stop();
+    return out;
+  };
+
+  FaultVfs baseline_vfs;
+  FaultVfs replicated_vfs;
+  const Outcome baseline = run(&baseline_vfs, /*replicated=*/false);
+  const Outcome failed_over = run(&replicated_vfs, /*replicated=*/true);
+  for (pubsub::PartitionId p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(failed_over.sequences[p], baseline.sequences[p]) << "partition " << p;
+    EXPECT_EQ(failed_over.committed[p], baseline.committed[p]) << "partition " << p;
+  }
+}
+
 }  // namespace
 }  // namespace wal

@@ -325,6 +325,143 @@ TEST(WalLogTest, DropSealedSegmentsBeforeNeverTouchesActiveOrPartialSegments) {
   EXPECT_EQ((*reopened)->next_index(), 21u);
 }
 
+TEST(WalLogReaderTest, ReaderStreamsAcrossRotationAndLiveTail) {
+  FaultVfs vfs;
+  LogOptions options;
+  options.segment_bytes = 64;
+  std::vector<Record> none;
+  auto log = OpenCollecting(&vfs, "log", options, nullptr, &none);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE((*log)->Append("payload-" + std::to_string(i)).ok());
+  }
+  ASSERT_GT((*log)->Segments().size(), 2u);
+
+  auto reader = (*log)->OpenReader(0);
+  std::uint64_t index = 0;
+  std::string payload;
+  for (int i = 0; i < 12; ++i) {
+    auto more = reader->Next(&index, &payload);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(index, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(payload, "payload-" + std::to_string(i));
+  }
+  auto caught_up = reader->Next(&index, &payload);
+  ASSERT_TRUE(caught_up.ok());
+  EXPECT_FALSE(*caught_up);
+
+  // The active segment grows under the open reader; Next picks it up.
+  ASSERT_TRUE((*log)->Append("late").ok());
+  auto more = reader->Next(&index, &payload);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(index, 12u);
+  EXPECT_EQ(payload, "late");
+}
+
+TEST(WalLogReaderTest, OpenReaderPinsSealedSegmentsAgainstGc) {
+  // Regression: GC used to honor DropSealedSegmentsBefore unconditionally, so
+  // a sealed segment could vanish under an open reader's cursor — the
+  // catch-up stream's next read became silent loss. Readers must pin.
+  FaultVfs vfs;
+  common::MetricsRegistry metrics;
+  LogOptions options;
+  options.segment_bytes = 64;
+  std::vector<Record> none;
+  auto log = OpenCollecting(&vfs, "log", options, &metrics, &none);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*log)->Append("payload-" + std::to_string(i)).ok());
+  }
+  const auto before = (*log)->Segments();
+  ASSERT_GT(before.size(), 3u);
+
+  auto reader = (*log)->OpenReader(0);
+  auto dropped = (*log)->DropSealedSegmentsBefore((*log)->next_index());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 0u) << "GC reclaimed a segment pinned by an open reader";
+  EXPECT_GT(metrics.counter("wal.gc.segments_pinned").value(), 0);
+  EXPECT_EQ((*log)->oldest_retained_index(), 0u);
+
+  // Every record is still readable through the pinned prefix.
+  std::uint64_t index = 0;
+  std::string payload;
+  for (int i = 0; i < 20; ++i) {
+    auto more = reader->Next(&index, &payload);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(payload, "payload-" + std::to_string(i));
+  }
+
+  // Closing the reader releases the pin; the same GC call now reclaims.
+  reader.reset();
+  dropped = (*log)->DropSealedSegmentsBefore((*log)->next_index());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, before.size() - 1);
+  EXPECT_EQ((*log)->Segments().size(), 1u);
+}
+
+TEST(WalLogReaderTest, SlowestReaderGovernsTheGcClamp) {
+  FaultVfs vfs;
+  LogOptions options;
+  options.segment_bytes = 64;
+  std::vector<Record> none;
+  auto log = OpenCollecting(&vfs, "log", options, nullptr, &none);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*log)->Append("r" + std::to_string(i)).ok());
+  }
+  auto slow = (*log)->OpenReader(0);
+  auto fast = (*log)->OpenReader(0);
+  std::uint64_t index = 0;
+  std::string payload;
+  while (true) {
+    auto more = fast->Next(&index, &payload);
+    ASSERT_TRUE(more.ok());
+    if (!*more) {
+      break;
+    }
+  }
+  auto dropped = (*log)->DropSealedSegmentsBefore((*log)->next_index());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 0u);  // The slow reader at index 0 pins everything.
+
+  slow.reset();
+  dropped = (*log)->DropSealedSegmentsBefore((*log)->next_index());
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(*dropped, 0u);  // The caught-up reader pins nothing sealed.
+}
+
+TEST(WalLogReaderTest, OpenReaderBelowRetainedPrefixClampsToOldest) {
+  FaultVfs vfs;
+  LogOptions options;
+  options.segment_bytes = 64;
+  std::vector<Record> none;
+  auto log = OpenCollecting(&vfs, "log", options, nullptr, &none);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*log)->Append("r" + std::to_string(i)).ok());
+  }
+  auto dropped = (*log)->DropSealedSegmentsBefore((*log)->next_index());
+  ASSERT_TRUE(dropped.ok());
+  ASSERT_GT(*dropped, 0u);
+  const std::uint64_t oldest = (*log)->oldest_retained_index();
+  ASSERT_GT(oldest, 0u);
+
+  // Asking for the reclaimed prefix yields the oldest retained record, not a
+  // silent gap: the caller can compare next_index() to its request and
+  // force-resync if the clamp is unacceptable.
+  auto reader = (*log)->OpenReader(0);
+  EXPECT_EQ(reader->next_index(), oldest);
+  std::uint64_t index = 0;
+  std::string payload;
+  auto more = reader->Next(&index, &payload);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(index, oldest);
+}
+
 TEST(WalLogTest, ReplayErrorAbortsOpen) {
   FaultVfs vfs;
   {
