@@ -1,0 +1,315 @@
+#include "net/messages.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace net {
+
+namespace {
+
+// Sequence counts are bounded so a structurally valid but hostile count
+// cannot force a huge reserve before element decoding fails naturally. The
+// frame payload bound is the real limit; this only caps the pre-reserve.
+constexpr std::uint32_t kMaxReserve = 4096;
+
+void EncodeMessage(const pubsub::Message& m, Writer& w) {
+  w.Str(m.key);
+  w.Str(m.value);
+  w.I64(m.publish_time);
+}
+
+bool DecodeMessage(Reader& r, pubsub::Message* m) {
+  return r.Str(&m->key) && r.Str(&m->value) && r.I64(&m->publish_time);
+}
+
+void EncodeStored(const pubsub::StoredMessage& m, Writer& w) {
+  w.U64(m.offset);
+  EncodeMessage(m.message, w);
+}
+
+bool DecodeStored(Reader& r, pubsub::StoredMessage* m) {
+  return r.U64(&m->offset) && DecodeMessage(r, &m->message);
+}
+
+void EncodeChange(const common::ChangeEvent& e, Writer& w) {
+  w.Str(e.key);
+  w.U8(static_cast<std::uint8_t>(e.mutation.kind));
+  w.Str(e.mutation.value);
+  w.U64(e.version);
+  w.Bool(e.txn_last);
+}
+
+bool DecodeChange(Reader& r, common::ChangeEvent* e) {
+  std::uint8_t kind = 0;
+  if (!r.Str(&e->key) || !r.U8(&kind) || !r.Str(&e->mutation.value) || !r.U64(&e->version) ||
+      !r.Bool(&e->txn_last)) {
+    return false;
+  }
+  if (kind > static_cast<std::uint8_t>(common::MutationKind::kDelete)) {
+    return false;
+  }
+  e->mutation.kind = static_cast<common::MutationKind>(kind);
+  return true;
+}
+
+}  // namespace
+
+void Encode(const HelloRequest& m, std::string* out) {
+  Writer w(out);
+  w.U32(m.wire_version);
+  w.Str(m.client_name);
+}
+
+bool Decode(std::string_view payload, HelloRequest* m) {
+  Reader r(payload);
+  return r.U32(&m->wire_version) && r.Str(&m->client_name) && r.AtEnd();
+}
+
+void Encode(const HelloResponse& m, std::string* out) {
+  Writer w(out);
+  w.U32(m.wire_version);
+  w.I64(m.heartbeat_interval_us);
+  w.U32(m.heartbeat_misses);
+  w.U32(m.max_payload);
+  w.Str(m.server_name);
+}
+
+bool Decode(std::string_view payload, HelloResponse* m) {
+  Reader r(payload);
+  return r.U32(&m->wire_version) && r.I64(&m->heartbeat_interval_us) &&
+         r.U32(&m->heartbeat_misses) && r.U32(&m->max_payload) && r.Str(&m->server_name) &&
+         r.AtEnd();
+}
+
+void Encode(const ErrorBody& m, std::string* out) {
+  Writer w(out);
+  w.U32(m.code);
+  w.I64(m.retry_after_us);
+  w.Str(m.message);
+}
+
+bool Decode(std::string_view payload, ErrorBody* m) {
+  Reader r(payload);
+  return r.U32(&m->code) && r.I64(&m->retry_after_us) && r.Str(&m->message) && r.AtEnd();
+}
+
+void Encode(const CreateTopicRequest& m, std::string* out) {
+  Writer w(out);
+  w.Str(m.topic);
+  w.U32(m.config.partitions);
+  w.I64(m.config.retention.retention);
+  w.U64(m.config.retention.max_messages);
+  w.Bool(m.config.retention.compacted);
+  w.I64(m.config.retention.compaction_window);
+}
+
+bool Decode(std::string_view payload, CreateTopicRequest* m) {
+  Reader r(payload);
+  return r.Str(&m->topic) && r.U32(&m->config.partitions) &&
+         r.I64(&m->config.retention.retention) && r.U64(&m->config.retention.max_messages) &&
+         r.Bool(&m->config.retention.compacted) &&
+         r.I64(&m->config.retention.compaction_window) && r.AtEnd();
+}
+
+void Encode(const PublishRequest& m, std::string* out) {
+  Writer w(out);
+  w.Str(m.topic);
+  w.U8(static_cast<std::uint8_t>(m.ack));
+  w.Bool(m.has_partition);
+  w.U32(m.partition);
+  w.Str(m.key);
+  w.Str(m.value);
+  w.I64(m.publish_time);
+}
+
+bool Decode(std::string_view payload, PublishRequest* m) {
+  Reader r(payload);
+  std::uint8_t ack = 0;
+  if (!(r.Str(&m->topic) && r.U8(&ack) && r.Bool(&m->has_partition) && r.U32(&m->partition) &&
+        r.Str(&m->key) && r.Str(&m->value) && r.I64(&m->publish_time) && r.AtEnd())) {
+    return false;
+  }
+  if (ack > static_cast<std::uint8_t>(PublishAck::kOffset)) {
+    return false;
+  }
+  m->ack = static_cast<PublishAck>(ack);
+  return true;
+}
+
+void Encode(const PublishResponse& m, std::string* out) {
+  Writer w(out);
+  w.Bool(m.has_offset);
+  w.U32(m.partition);
+  w.U64(m.offset);
+}
+
+bool Decode(std::string_view payload, PublishResponse* m) {
+  Reader r(payload);
+  return r.Bool(&m->has_offset) && r.U32(&m->partition) && r.U64(&m->offset) && r.AtEnd();
+}
+
+void Encode(const FetchRequest& m, std::string* out) {
+  Writer w(out);
+  w.Str(m.topic);
+  w.U32(m.partition);
+  w.U64(m.offset);
+  w.U32(m.max);
+}
+
+bool Decode(std::string_view payload, FetchRequest* m) {
+  Reader r(payload);
+  return r.Str(&m->topic) && r.U32(&m->partition) && r.U64(&m->offset) && r.U32(&m->max) &&
+         r.AtEnd();
+}
+
+void Encode(const MessageBatch& m, std::string* out) {
+  Writer w(out);
+  w.U32(static_cast<std::uint32_t>(m.messages.size()));
+  for (const pubsub::StoredMessage& s : m.messages) {
+    EncodeStored(s, w);
+  }
+}
+
+bool Decode(std::string_view payload, MessageBatch* m) {
+  Reader r(payload);
+  std::uint32_t n = 0;
+  if (!r.U32(&n)) {
+    return false;
+  }
+  m->messages.clear();
+  m->messages.reserve(std::min(n, kMaxReserve));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pubsub::StoredMessage s;
+    if (!DecodeStored(r, &s)) {
+      return false;
+    }
+    m->messages.push_back(std::move(s));
+  }
+  return r.AtEnd();
+}
+
+void Encode(const SubscribeRequest& m, std::string* out) {
+  Writer w(out);
+  w.Str(m.topic);
+  w.U32(m.partition);
+  w.U64(m.start);
+  w.U32(m.max_batch);
+}
+
+bool Decode(std::string_view payload, SubscribeRequest* m) {
+  Reader r(payload);
+  return r.Str(&m->topic) && r.U32(&m->partition) && r.U64(&m->start) && r.U32(&m->max_batch) &&
+         r.AtEnd();
+}
+
+void Encode(const CommitRequest& m, std::string* out) {
+  Writer w(out);
+  w.Str(m.group);
+  w.U32(m.partition);
+  w.U64(m.offset);
+  w.U8(static_cast<std::uint8_t>(m.mode));
+}
+
+bool Decode(std::string_view payload, CommitRequest* m) {
+  Reader r(payload);
+  std::uint8_t mode = 0;
+  if (!(r.Str(&m->group) && r.U32(&m->partition) && r.U64(&m->offset) && r.U8(&mode) &&
+        r.AtEnd())) {
+    return false;
+  }
+  if (mode > static_cast<std::uint8_t>(CommitMode::kQuery)) {
+    return false;
+  }
+  m->mode = static_cast<CommitMode>(mode);
+  return true;
+}
+
+void Encode(const CommitResponse& m, std::string* out) {
+  Writer w(out);
+  w.Bool(m.has_committed);
+  w.U64(m.committed);
+}
+
+bool Decode(std::string_view payload, CommitResponse* m) {
+  Reader r(payload);
+  return r.Bool(&m->has_committed) && r.U64(&m->committed) && r.AtEnd();
+}
+
+void Encode(const WatchRequest& m, std::string* out) {
+  Writer w(out);
+  w.Str(m.low);
+  w.Str(m.high);
+  w.U64(m.version);
+}
+
+bool Decode(std::string_view payload, WatchRequest* m) {
+  Reader r(payload);
+  return r.Str(&m->low) && r.Str(&m->high) && r.U64(&m->version) && r.AtEnd();
+}
+
+void Encode(const WatchPush& m, std::string* out) {
+  Writer w(out);
+  w.U32(static_cast<std::uint32_t>(m.items.size()));
+  for (const WatchItem& item : m.items) {
+    w.U8(static_cast<std::uint8_t>(item.kind));
+    switch (item.kind) {
+      case WatchItem::Kind::kEvent:
+        EncodeChange(item.event, w);
+        break;
+      case WatchItem::Kind::kProgress:
+        w.Str(item.progress.range.low);
+        w.Str(item.progress.range.high);
+        w.U64(item.progress.version);
+        break;
+      case WatchItem::Kind::kResync:
+        break;
+    }
+  }
+}
+
+bool Decode(std::string_view payload, WatchPush* m) {
+  Reader r(payload);
+  std::uint32_t n = 0;
+  if (!r.U32(&n)) {
+    return false;
+  }
+  m->items.clear();
+  m->items.reserve(std::min(n, kMaxReserve));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WatchItem item;
+    std::uint8_t kind = 0;
+    if (!r.U8(&kind) || kind > static_cast<std::uint8_t>(WatchItem::Kind::kResync)) {
+      return false;
+    }
+    item.kind = static_cast<WatchItem::Kind>(kind);
+    switch (item.kind) {
+      case WatchItem::Kind::kEvent:
+        if (!DecodeChange(r, &item.event)) {
+          return false;
+        }
+        break;
+      case WatchItem::Kind::kProgress:
+        if (!r.Str(&item.progress.range.low) || !r.Str(&item.progress.range.high) ||
+            !r.U64(&item.progress.version)) {
+          return false;
+        }
+        break;
+      case WatchItem::Kind::kResync:
+        break;
+    }
+    m->items.push_back(std::move(item));
+  }
+  return r.AtEnd();
+}
+
+void Encode(const HeartbeatBody& m, std::string* out) {
+  Writer w(out);
+  w.I64(m.t_us);
+}
+
+bool Decode(std::string_view payload, HeartbeatBody* m) {
+  Reader r(payload);
+  return r.I64(&m->t_us) && r.AtEnd();
+}
+
+}  // namespace net

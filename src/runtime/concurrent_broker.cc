@@ -80,6 +80,24 @@ pubsub::PartitionId ConcurrentBroker::PartitionCount(const std::string& topic) c
   return state == nullptr ? 0 : state->config.partitions;
 }
 
+common::Result<pubsub::PartitionId> ConcurrentBroker::RoutePartition(
+    TopicState* state, const pubsub::Message& msg,
+    const std::optional<pubsub::PartitionId>& partition) {
+  if (partition.has_value()) {
+    if (*partition >= state->config.partitions) {
+      return common::Status::InvalidArgument("partition out of range");
+    }
+    return *partition;
+  }
+  if (!msg.key.empty()) {
+    return static_cast<pubsub::PartitionId>(pubsub::Broker::HashKey(msg.key) %
+                                            state->config.partitions);
+  }
+  return static_cast<pubsub::PartitionId>(state->round_robin.fetch_add(
+                                              1, std::memory_order_relaxed) %
+                                          state->config.partitions);
+}
+
 common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Message msg,
                                             std::optional<pubsub::PartitionId> partition,
                                             common::TimeMicros* retry_after) {
@@ -87,19 +105,11 @@ common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Me
   if (state == nullptr) {
     return common::Status::NotFound("no such topic: " + topic);
   }
-  pubsub::PartitionId p;
-  if (partition.has_value()) {
-    if (*partition >= state->config.partitions) {
-      return common::Status::InvalidArgument("partition out of range");
-    }
-    p = *partition;
-  } else if (!msg.key.empty()) {
-    p = static_cast<pubsub::PartitionId>(pubsub::Broker::HashKey(msg.key) %
-                                         state->config.partitions);
-  } else {
-    p = static_cast<pubsub::PartitionId>(
-        state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
+  auto routed = RoutePartition(state, msg, partition);
+  if (!routed.ok()) {
+    return routed.status();
   }
+  const pubsub::PartitionId p = *routed;
   const std::size_t shard = OwnerShard(p);
   // Every kUnavailable exit populates retry_after with a nonzero microsecond
   // backoff — a zero (or untouched) hint makes callers retry-spin.
@@ -145,19 +155,11 @@ common::Result<pubsub::PublishResult> ConcurrentBroker::PublishSync(
   if (state == nullptr) {
     return common::Status::NotFound("no such topic: " + topic);
   }
-  pubsub::PartitionId p;
-  if (partition.has_value()) {
-    if (*partition >= state->config.partitions) {
-      return common::Status::InvalidArgument("partition out of range");
-    }
-    p = *partition;
-  } else if (!msg.key.empty()) {
-    p = static_cast<pubsub::PartitionId>(pubsub::Broker::HashKey(msg.key) %
-                                         state->config.partitions);
-  } else {
-    p = static_cast<pubsub::PartitionId>(
-        state->round_robin.fetch_add(1, std::memory_order_relaxed) % state->config.partitions);
+  auto routed = RoutePartition(state, msg, partition);
+  if (!routed.ok()) {
+    return routed.status();
   }
+  const pubsub::PartitionId p = *routed;
   if (obs::TracingEnabled() && !msg.trace.considered()) {
     msg.trace = obs::TraceContext::Start();
   }
@@ -168,6 +170,54 @@ common::Result<pubsub::PublishResult> ConcurrentBroker::PublishSync(
     publish_accepted_->Increment();
   }
   return result;
+}
+
+common::Status ConcurrentBroker::TryPublishAsync(
+    const std::string& topic, pubsub::Message msg, std::optional<pubsub::PartitionId> partition,
+    common::TimeMicros* retry_after,
+    std::function<void(common::Result<pubsub::PublishResult>)> done) {
+  TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  auto routed = RoutePartition(state, msg, partition);
+  if (!routed.ok()) {
+    return routed.status();
+  }
+  const pubsub::PartitionId p = *routed;
+  const std::size_t shard = OwnerShard(p);
+  const common::TimeMicros backoff =
+      std::max<common::TimeMicros>(1, pool_->options().retry_after);
+  if (pool_->ShardFailingOver(shard)) {
+    publish_rejected_->Increment();
+    if (retry_after != nullptr) {
+      *retry_after = backoff;
+    }
+    return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                       " failing over; retry after " + std::to_string(backoff) +
+                                       "us");
+  }
+  if (obs::TracingEnabled() && !msg.trace.considered()) {
+    msg.trace = obs::TraceContext::Start();
+  }
+  // Broker resolved inside the task (failover may swap it); the append and
+  // the completion both run on the owner shard's thread.
+  const bool posted = pool_->TryPost(
+      shard, [pool = pool_, shard, topic, msg = std::move(msg), p,
+              done = std::move(done)]() mutable {
+        done(pool->core(shard).broker->Publish(topic, std::move(msg), p));
+      });
+  if (!posted) {
+    publish_rejected_->Increment();
+    if (retry_after != nullptr) {
+      *retry_after = backoff;
+    }
+    return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                       " saturated; retry after " + std::to_string(backoff) +
+                                       "us");
+  }
+  publish_accepted_->Increment();
+  return common::Status::Ok();
 }
 
 common::Result<std::vector<pubsub::StoredMessage>> ConcurrentBroker::Fetch(
@@ -183,6 +233,35 @@ common::Result<std::vector<pubsub::StoredMessage>> ConcurrentBroker::Fetch(
   return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
     return core.broker->Fetch(topic, partition, offset, max);
   });
+}
+
+common::Status ConcurrentBroker::TryFetchAsync(
+    const std::string& topic, pubsub::PartitionId partition, pubsub::Offset offset,
+    std::size_t max, common::TimeMicros* retry_after,
+    std::function<void(common::Result<std::vector<pubsub::StoredMessage>>)> done) {
+  const TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (partition >= state->config.partitions) {
+    return common::Status::InvalidArgument("partition out of range");
+  }
+  const std::size_t shard = OwnerShard(partition);
+  const bool posted = pool_->TryPost(
+      shard, [pool = pool_, shard, topic, partition, offset, max, done = std::move(done)] {
+        done(pool->core(shard).broker->Fetch(topic, partition, offset, max));
+      });
+  if (!posted) {
+    const common::TimeMicros backoff =
+        std::max<common::TimeMicros>(1, pool_->options().retry_after);
+    if (retry_after != nullptr) {
+      *retry_after = backoff;
+    }
+    return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                       " saturated; retry after " + std::to_string(backoff) +
+                                       "us");
+  }
+  return common::Status::Ok();
 }
 
 pubsub::Offset ConcurrentBroker::EndOffset(const std::string& topic,
@@ -297,6 +376,35 @@ pubsub::Offset ConcurrentBroker::CommittedOffset(const pubsub::GroupId& group,
   return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) {
     return core.broker->CommittedOffset(group, partition);
   });
+}
+
+common::Status ConcurrentBroker::TryCommitAsync(const pubsub::GroupId& group,
+                                                pubsub::PartitionId partition,
+                                                std::optional<pubsub::Offset> commit_offset,
+                                                common::TimeMicros* retry_after,
+                                                std::function<void(pubsub::Offset)> done) {
+  const std::size_t shard = OwnerShard(partition);
+  const bool posted = pool_->TryPost(
+      shard, [pool = pool_, shard, group, partition, commit_offset, done = std::move(done)] {
+        pubsub::Broker* broker = pool->core(shard).broker.get();
+        if (commit_offset.has_value()) {
+          broker->CommitOffset(group, partition, *commit_offset);
+        }
+        if (done) {
+          done(broker->CommittedOffset(group, partition));
+        }
+      });
+  if (!posted) {
+    const common::TimeMicros backoff =
+        std::max<common::TimeMicros>(1, pool_->options().retry_after);
+    if (retry_after != nullptr) {
+      *retry_after = backoff;
+    }
+    return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                       " saturated; retry after " + std::to_string(backoff) +
+                                       "us");
+  }
+  return common::Status::Ok();
 }
 
 std::uint64_t ConcurrentBroker::TotalBacklog(const pubsub::GroupId& group,

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,12 +73,34 @@ class ConcurrentBroker {
       const std::string& topic, pubsub::Message msg,
       std::optional<pubsub::PartitionId> partition = std::nullopt);
 
+  // Non-blocking acked publish (the network front-end's offset-ack path):
+  // routes like TryPublish, but once the append executes on the owner shard
+  // `done` is invoked — on that shard's worker thread — with the assigned
+  // partition/offset. Backpressure is synchronous and loud exactly like
+  // TryPublish: on kUnavailable (queue full / failing over) `done` is never
+  // called and `retry_after` receives a nonzero backoff. `done` must not
+  // block (it runs inside the shard's task batch).
+  common::Status TryPublishAsync(
+      const std::string& topic, pubsub::Message msg,
+      std::optional<pubsub::PartitionId> partition, common::TimeMicros* retry_after,
+      std::function<void(common::Result<pubsub::PublishResult>)> done);
+
   // -- Fetching (synchronous, runs on the partition's owner shard) -------------
 
   common::Result<std::vector<pubsub::StoredMessage>> Fetch(const std::string& topic,
                                                            pubsub::PartitionId partition,
                                                            pubsub::Offset offset,
                                                            std::size_t max);
+
+  // Non-blocking fetch for event-loop callers (pubsubd): the read runs on
+  // the partition's owner shard and `done` is invoked there with the batch.
+  // kUnavailable + retry_after when the shard queue is full (`done` never
+  // called); kNotFound/kInvalidArgument for bad topic/partition. `done`
+  // must not block.
+  common::Status TryFetchAsync(
+      const std::string& topic, pubsub::PartitionId partition, pubsub::Offset offset,
+      std::size_t max, common::TimeMicros* retry_after,
+      std::function<void(common::Result<std::vector<pubsub::StoredMessage>>)> done);
   pubsub::Offset EndOffset(const std::string& topic, pubsub::PartitionId partition);
   pubsub::Offset FirstOffset(const std::string& topic, pubsub::PartitionId partition);
 
@@ -121,6 +144,18 @@ class ConcurrentBroker {
                          pubsub::Offset offset);
   pubsub::Offset CommittedOffset(const pubsub::GroupId& group, pubsub::PartitionId partition);
 
+  // Non-blocking commit / committed-offset read for event-loop callers
+  // (pubsubd's COMMIT verb). One task on the partition's owner shard applies
+  // the commit (when `commit_offset` is set) and then reads the committed
+  // offset — so a read-back can never observe the pre-commit value — and
+  // invokes `done` (may be null) with it on the shard's thread. kUnavailable
+  // + retry_after when the shard queue is full; `done` is then never called
+  // and nothing was committed.
+  common::Status TryCommitAsync(const pubsub::GroupId& group, pubsub::PartitionId partition,
+                                std::optional<pubsub::Offset> commit_offset,
+                                common::TimeMicros* retry_after,
+                                std::function<void(pubsub::Offset)> done);
+
   // -- Cross-shard reads / the §3.3 seek surface (fenced) -----------------------
 
   // Consumer lag summed across all owning shards.
@@ -141,6 +176,12 @@ class ConcurrentBroker {
   // removed).
   TopicState* FindTopic(const std::string& topic);
   const TopicState* FindTopic(const std::string& topic) const;
+
+  // Shared routing discipline of every publish path: explicit partition
+  // (range-checked), else key hash, else the facade's round-robin cursor.
+  common::Result<pubsub::PartitionId> RoutePartition(
+      TopicState* state, const pubsub::Message& msg,
+      const std::optional<pubsub::PartitionId>& partition);
 
   ShardPool* pool_;
   common::Counter* publish_accepted_;

@@ -49,6 +49,22 @@ std::uint64_t Subscription::wakeups() const {
   return shared_->wakeups;
 }
 
+void Subscription::SetReadyHook(std::function<void()> hook) {
+  std::function<void()> fire;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->ready_hook = std::move(hook);
+    // Data buffered before the hook existed would otherwise never announce
+    // itself (the pump only rings on new pushes).
+    if (shared_->ready_hook && !shared_->buffer.empty()) {
+      fire = shared_->ready_hook;
+    }
+  }
+  if (fire) {
+    fire();
+  }
+}
+
 void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
   Shared& s = *shared;
   // Re-resolve the shard's current broker: after a failover this is the
@@ -124,6 +140,7 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     // NIC rx-frames companion to the rx-usecs timer): a parked consumer must
     // not sleep out its park while a refilled lane sits ready to swap.
     bool ring;
+    std::function<void()> hook;
     {
       std::lock_guard<std::mutex> lock(s.mu);
       const std::int64_t now = SteadyMicros();
@@ -131,12 +148,16 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
              s.buffer.size() >= s.handoff_capacity / 2;
       if (ring) {
         s.last_ring_us = now;
+        hook = s.ready_hook;
       }
     }
     if (ring) {
       s.bell.Signal();
       if (s.rings != nullptr) {
         s.rings->Increment();
+      }
+      if (hook) {
+        hook();  // Socket-writer handoff: nudge the event-loop consumer.
       }
     }
   }

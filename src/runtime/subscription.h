@@ -30,6 +30,7 @@
 #define SRC_RUNTIME_SUBSCRIPTION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -88,6 +89,20 @@ class Subscription {
   // Parks that ended with data available (event mode).
   std::uint64_t wakeups() const;
 
+  // Socket-writer handoff (the network front-end's consume discipline): the
+  // hook runs — on the owner shard's worker thread — whenever the doorbell
+  // rings, i.e. whenever buffered data became available to PollBatch. An
+  // event-loop consumer that cannot park in Wait() registers a hook that
+  // nudges its own wakeup primitive (pubsubd writes a self-pipe) and then
+  // drains with PollBatch on its own thread. If data is already buffered at
+  // registration time the hook fires once immediately (on the caller's
+  // thread), closing the subscribe-then-attach window. The hook must be
+  // cheap and must not call back into the Subscription. Event mode only;
+  // pass nullptr to detach. NOTE: combine with wake_coalesce_us == 0 —
+  // a hook-driven consumer never runs Wait()'s bounded re-check sweep, so
+  // a coalesced (suppressed) ring would strand buffered data.
+  void SetReadyHook(std::function<void()> hook);
+
  private:
   friend class ConcurrentBroker;
 
@@ -130,6 +145,8 @@ class Subscription {
     // Host-time mark of the last doorbell ring (0 = never): the moderation
     // clock for wake_coalesce_us.
     std::int64_t last_ring_us = 0;
+    // Ready hook (see SetReadyHook); invoked right after each bell ring.
+    std::function<void()> ready_hook;
     pubsub::Broker::WaitTicket ticket = 0;  // Shard-confined.
     // Shard-confined fetch scratch: when caught up, every append fires one
     // pump, so the fetch path must not allocate per call. Capacity circulates
