@@ -48,7 +48,13 @@ common::Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
 Client::Client(net::Fd fd, ClientOptions options)
     : fd_(std::move(fd)),
       options_(std::move(options)),
-      decoder_(options_.max_payload) {}
+      decoder_(options_.max_payload) {
+  // Offered version, bounded to what this build can actually frame; the
+  // HELLO response may negotiate it further down.
+  wire_version_ = std::min<std::uint32_t>(
+      std::max<std::uint32_t>(options_.wire_version, net::kMinProtocolVersion),
+      net::kProtocolVersion);
+}
 
 Client::~Client() {
   if (beat_thread_.joinable()) {
@@ -67,6 +73,7 @@ Client::~Client() {
 
 common::Status Client::Handshake() {
   net::HelloRequest req;
+  req.wire_version = wire_version_;
   req.client_name = options_.client_name;
   std::string payload;
   net::Encode(req, &payload);
@@ -82,6 +89,11 @@ common::Status Client::Handshake() {
     MarkBroken("malformed HELLO response");
     return BrokenStatus();
   }
+  if (hello_.wire_version < net::kMinProtocolVersion) {
+    MarkBroken("server negotiated unsupported version " + std::to_string(hello_.wire_version));
+    return BrokenStatus();
+  }
+  wire_version_ = std::min(wire_version_, hello_.wire_version);
   return common::Status::Ok();
 }
 
@@ -129,7 +141,8 @@ common::Status Client::SendFrame(net::Verb verb, std::uint64_t request_id,
     return BrokenStatus();
   }
   std::string frame;
-  net::EncodeFrame(frame, verb, request_id, payload);
+  net::EncodeFrame(frame, verb, request_id, payload,
+                   static_cast<std::uint8_t>(wire_version_));
   std::lock_guard<std::mutex> lock(write_mu_);
   const common::Status st = net::WriteAll(fd_.get(), frame.data(), frame.size());
   if (!st.ok()) {
@@ -281,7 +294,11 @@ common::Status Client::CreateTopic(const std::string& topic, const pubsub::Topic
 
 common::Status Client::Publish(const std::string& topic, common::Key key, common::Value value,
                                std::optional<pubsub::PartitionId> partition, net::PublishAck ack,
-                               pubsub::PublishResult* result, common::TimeMicros publish_time) {
+                               pubsub::PublishResult* result, common::TimeMicros publish_time,
+                               pubsub::Headers headers) {
+  if (!headers.empty() && wire_version_ < 2) {
+    return common::Status::InvalidArgument("record headers require protocol v2");
+  }
   net::PublishRequest req;
   req.topic = topic;
   req.ack = ack;
@@ -290,6 +307,7 @@ common::Status Client::Publish(const std::string& topic, common::Key key, common
   req.key = std::move(key);
   req.value = std::move(value);
   req.publish_time = publish_time;
+  req.headers = std::move(headers);
   std::string payload;
   net::Encode(req, &payload);
 
@@ -340,7 +358,7 @@ common::Result<std::vector<pubsub::StoredMessage>> Client::Fetch(const std::stri
     const common::Status st = Call(net::Verb::kFetch, NextId(), payload, &response, &retry_after);
     if (st.ok()) {
       net::MessageBatch batch;
-      if (!net::Decode(response, &batch)) {
+      if (!net::Decode(response, &batch, wire_version_)) {
         MarkBroken("malformed FETCH response");
         return BrokenStatus();
       }
@@ -387,12 +405,20 @@ common::Result<pubsub::Offset> Client::Commit(const pubsub::GroupId& group,
 common::Result<std::unique_ptr<Subscription>> Client::Subscribe(const std::string& topic,
                                                                 pubsub::PartitionId partition,
                                                                 pubsub::Offset start,
-                                                                std::uint32_t max_batch) {
+                                                                std::uint32_t max_batch,
+                                                                std::optional<pubsub::Filter> filter) {
+  if (filter.has_value() && wire_version_ < 2) {
+    return common::Status::InvalidArgument("filtered subscribe requires protocol v2");
+  }
   net::SubscribeRequest req;
   req.topic = topic;
   req.partition = partition;
   req.start = start;
   req.max_batch = max_batch;
+  if (filter.has_value()) {
+    req.has_filter = true;
+    req.filter = std::move(*filter);
+  }
   std::string payload;
   net::Encode(req, &payload);
   const std::uint64_t rid = NextId();
@@ -414,6 +440,26 @@ common::Result<std::unique_ptr<Watch>> Client::Watch(common::Key low, common::Ke
   req.low = std::move(low);
   req.high = std::move(high);
   req.version = version;
+  return OpenWatch(req);
+}
+
+common::Result<std::unique_ptr<Watch>> Client::WatchFiltered(pubsub::Filter filter,
+                                                             common::Version version) {
+  if (wire_version_ < 2) {
+    return common::Status::InvalidArgument("filtered watch requires protocol v2");
+  }
+  net::WatchRequest req;
+  // low/high restate the filter's range so a range-only server (or a future
+  // downleveled path) still scopes the stream correctly.
+  req.low = filter.range.low;
+  req.high = filter.range.high;
+  req.version = version;
+  req.has_filter = true;
+  req.filter = std::move(filter);
+  return OpenWatch(req);
+}
+
+common::Result<std::unique_ptr<Watch>> Client::OpenWatch(const net::WatchRequest& req) {
   std::string payload;
   net::Encode(req, &payload);
   const std::uint64_t rid = NextId();
@@ -489,7 +535,7 @@ std::size_t Subscription::Poll(std::vector<pubsub::StoredMessage>* out, std::siz
     pending_pos_ = 0;
     if (!state_->payloads.empty()) {
       net::MessageBatch batch;
-      const bool ok = net::Decode(state_->payloads.front(), &batch);
+      const bool ok = net::Decode(state_->payloads.front(), &batch, client_->wire_version_);
       state_->payloads.pop_front();
       if (!ok) {
         client_->MarkBroken("malformed DELIVER payload");

@@ -39,12 +39,17 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "pubsub/broker.h"  // PublishResult, GroupId.
+#include "pubsub/filter.h"
 #include "pubsub/types.h"
 
 namespace client {
 
 struct ClientOptions {
   std::string client_name = "client";
+  // Protocol version offered in HELLO; the session speaks
+  // min(this, server). Set to 1 to exercise the v1 (filter-less,
+  // header-less) wire shape against a v2 server.
+  std::uint32_t wire_version = net::kProtocolVersion;
   // Decoder bound for server→client frames.
   std::size_t max_payload = net::kMaxPayload;
   // Background keepalive (beats at half the server's advertised interval).
@@ -74,6 +79,8 @@ class Client {
 
   // The server's HELLO contract (heartbeat interval, payload bound, name).
   const net::HelloResponse& server_hello() const { return hello_; }
+  // The version this session actually speaks: min(offered, server's HELLO).
+  std::uint32_t wire_version() const { return wire_version_; }
   // True once the connection has failed; every call then returns
   // kFailedPrecondition without touching the socket.
   bool broken() const { return broken_; }
@@ -89,7 +96,8 @@ class Client {
                          std::optional<pubsub::PartitionId> partition = std::nullopt,
                          net::PublishAck ack = net::PublishAck::kAccept,
                          pubsub::PublishResult* result = nullptr,
-                         common::TimeMicros publish_time = 0);
+                         common::TimeMicros publish_time = 0,
+                         pubsub::Headers headers = {});
 
   common::Result<std::vector<pubsub::StoredMessage>> Fetch(const std::string& topic,
                                                            pubsub::PartitionId partition,
@@ -103,16 +111,23 @@ class Client {
                                         net::CommitMode mode = net::CommitMode::kCommit);
 
   // Opens a server-pushed delivery stream. The subscription must not outlive
-  // the client.
-  common::Result<std::unique_ptr<Subscription>> Subscribe(const std::string& topic,
-                                                          pubsub::PartitionId partition,
-                                                          pubsub::Offset start,
-                                                          std::uint32_t max_batch = 256);
+  // the client. `filter` (v2 sessions only) asks the broker to deliver only
+  // matching records — the O(matching) fanout path; on a v1 session a filter
+  // is refused client-side (kInvalidArgument) rather than silently dropped.
+  common::Result<std::unique_ptr<Subscription>> Subscribe(
+      const std::string& topic, pubsub::PartitionId partition, pubsub::Offset start,
+      std::uint32_t max_batch = 256, std::optional<pubsub::Filter> filter = std::nullopt);
 
   // Opens a watch stream ([low, high) from `version`). Must not outlive the
   // client. (Qualified return type: the method name shadows the class.)
   common::Result<std::unique_ptr<::client::Watch>> Watch(common::Key low, common::Key high,
                                                          common::Version version);
+
+  // Filtered watch (v2 sessions only): the filter's range is the watch range
+  // and its prefix narrows delivery broker-side. Header predicates are
+  // refused by the server (change events carry no headers).
+  common::Result<std::unique_ptr<::client::Watch>> WatchFiltered(pubsub::Filter filter,
+                                                                 common::Version version);
 
   // Synchronous liveness round trip; returns the measured RTT.
   common::Result<common::TimeMicros> Ping();
@@ -136,6 +151,7 @@ class Client {
 
   common::Status Handshake();
   void StartHeartbeats();
+  common::Result<std::unique_ptr<::client::Watch>> OpenWatch(const net::WatchRequest& req);
 
   // Sends one frame (serialized with the heartbeat thread).
   common::Status SendFrame(net::Verb verb, std::uint64_t request_id, const std::string& payload);
@@ -168,6 +184,7 @@ class Client {
   ClientOptions options_;
   net::FrameDecoder decoder_;
   net::HelloResponse hello_;
+  std::uint32_t wire_version_ = net::kProtocolVersion;  // Negotiated in HELLO.
 
   std::uint64_t next_id_ = 1;
   std::atomic<bool> broken_{false};

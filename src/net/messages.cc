@@ -12,23 +12,97 @@ namespace {
 // frame payload bound is the real limit; this only caps the pre-reserve.
 constexpr std::uint32_t kMaxReserve = 4096;
 
-void EncodeMessage(const pubsub::Message& m, Writer& w) {
+void EncodeHeaders(const pubsub::Headers& headers, Writer& w) {
+  w.U32(static_cast<std::uint32_t>(headers.size()));
+  for (const auto& [name, value] : headers) {
+    w.Str(name);
+    w.Str(value);
+  }
+}
+
+bool DecodeHeaders(Reader& r, pubsub::Headers* headers) {
+  std::uint32_t n = 0;
+  if (!r.U32(&n)) {
+    return false;
+  }
+  headers->clear();
+  headers->reserve(std::min(n, kMaxReserve));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::string value;
+    if (!r.Str(&name) || !r.Str(&value)) {
+      return false;
+    }
+    headers->emplace_back(std::move(name), std::move(value));
+  }
+  return true;
+}
+
+// v2 messages always carry a header block (count may be zero); v1 never does.
+void EncodeMessage(const pubsub::Message& m, Writer& w, std::uint32_t wire_version) {
   w.Str(m.key);
   w.Str(m.value);
   w.I64(m.publish_time);
+  if (wire_version >= 2) {
+    EncodeHeaders(m.headers, w);
+  }
 }
 
-bool DecodeMessage(Reader& r, pubsub::Message* m) {
-  return r.Str(&m->key) && r.Str(&m->value) && r.I64(&m->publish_time);
+bool DecodeMessage(Reader& r, pubsub::Message* m, std::uint32_t wire_version) {
+  if (!r.Str(&m->key) || !r.Str(&m->value) || !r.I64(&m->publish_time)) {
+    return false;
+  }
+  if (wire_version >= 2) {
+    return DecodeHeaders(r, &m->headers);
+  }
+  m->headers.clear();
+  return true;
 }
 
-void EncodeStored(const pubsub::StoredMessage& m, Writer& w) {
+void EncodeStored(const pubsub::StoredMessage& m, Writer& w, std::uint32_t wire_version) {
   w.U64(m.offset);
-  EncodeMessage(m.message, w);
+  EncodeMessage(m.message, w, wire_version);
 }
 
-bool DecodeStored(Reader& r, pubsub::StoredMessage* m) {
-  return r.U64(&m->offset) && DecodeMessage(r, &m->message);
+bool DecodeStored(Reader& r, pubsub::StoredMessage* m, std::uint32_t wire_version) {
+  return r.U64(&m->offset) && DecodeMessage(r, &m->message, wire_version);
+}
+
+// Filter block: range low/high (empty high = unbounded, mirroring KeyRange),
+// prefix, then the header conjunction. Op bytes outside the enum are a
+// malformation, not a soft skip.
+void EncodeFilter(const pubsub::Filter& f, Writer& w) {
+  w.Str(f.range.low);
+  w.Str(f.range.high);
+  w.Str(f.key_prefix);
+  w.U32(static_cast<std::uint32_t>(f.headers.size()));
+  for (const pubsub::HeaderPredicate& p : f.headers) {
+    w.Str(p.name);
+    w.U8(static_cast<std::uint8_t>(p.op));
+    w.Str(p.value);
+  }
+}
+
+bool DecodeFilter(Reader& r, pubsub::Filter* f) {
+  std::uint32_t n = 0;
+  if (!r.Str(&f->range.low) || !r.Str(&f->range.high) || !r.Str(&f->key_prefix) || !r.U32(&n)) {
+    return false;
+  }
+  f->headers.clear();
+  f->headers.reserve(std::min(n, kMaxReserve));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pubsub::HeaderPredicate p;
+    std::uint8_t op = 0;
+    if (!r.Str(&p.name) || !r.U8(&op) || !r.Str(&p.value)) {
+      return false;
+    }
+    if (op > static_cast<std::uint8_t>(pubsub::HeaderPredicate::Op::kNe)) {
+      return false;
+    }
+    p.op = static_cast<pubsub::HeaderPredicate::Op>(op);
+    f->headers.push_back(std::move(p));
+  }
+  return true;
 }
 
 void EncodeChange(const common::ChangeEvent& e, Writer& w) {
@@ -120,20 +194,27 @@ void Encode(const PublishRequest& m, std::string* out) {
   w.Str(m.key);
   w.Str(m.value);
   w.I64(m.publish_time);
+  if (!m.headers.empty()) {
+    EncodeHeaders(m.headers, w);
+  }
 }
 
 bool Decode(std::string_view payload, PublishRequest* m) {
   Reader r(payload);
   std::uint8_t ack = 0;
   if (!(r.Str(&m->topic) && r.U8(&ack) && r.Bool(&m->has_partition) && r.U32(&m->partition) &&
-        r.Str(&m->key) && r.Str(&m->value) && r.I64(&m->publish_time) && r.AtEnd())) {
+        r.Str(&m->key) && r.Str(&m->value) && r.I64(&m->publish_time))) {
     return false;
   }
   if (ack > static_cast<std::uint8_t>(PublishAck::kOffset)) {
     return false;
   }
   m->ack = static_cast<PublishAck>(ack);
-  return true;
+  m->headers.clear();
+  if (!r.AtEnd() && !DecodeHeaders(r, &m->headers)) {
+    return false;
+  }
+  return r.AtEnd();
 }
 
 void Encode(const PublishResponse& m, std::string* out) {
@@ -162,15 +243,15 @@ bool Decode(std::string_view payload, FetchRequest* m) {
          r.AtEnd();
 }
 
-void Encode(const MessageBatch& m, std::string* out) {
+void Encode(const MessageBatch& m, std::string* out, std::uint32_t wire_version) {
   Writer w(out);
   w.U32(static_cast<std::uint32_t>(m.messages.size()));
   for (const pubsub::StoredMessage& s : m.messages) {
-    EncodeStored(s, w);
+    EncodeStored(s, w, wire_version);
   }
 }
 
-bool Decode(std::string_view payload, MessageBatch* m) {
+bool Decode(std::string_view payload, MessageBatch* m, std::uint32_t wire_version) {
   Reader r(payload);
   std::uint32_t n = 0;
   if (!r.U32(&n)) {
@@ -180,7 +261,7 @@ bool Decode(std::string_view payload, MessageBatch* m) {
   m->messages.reserve(std::min(n, kMaxReserve));
   for (std::uint32_t i = 0; i < n; ++i) {
     pubsub::StoredMessage s;
-    if (!DecodeStored(r, &s)) {
+    if (!DecodeStored(r, &s, wire_version)) {
       return false;
     }
     m->messages.push_back(std::move(s));
@@ -194,12 +275,26 @@ void Encode(const SubscribeRequest& m, std::string* out) {
   w.U32(m.partition);
   w.U64(m.start);
   w.U32(m.max_batch);
+  if (m.has_filter) {
+    w.Bool(true);
+    EncodeFilter(m.filter, w);
+  }
 }
 
 bool Decode(std::string_view payload, SubscribeRequest* m) {
   Reader r(payload);
-  return r.Str(&m->topic) && r.U32(&m->partition) && r.U64(&m->start) && r.U32(&m->max_batch) &&
-         r.AtEnd();
+  if (!(r.Str(&m->topic) && r.U32(&m->partition) && r.U64(&m->start) && r.U32(&m->max_batch))) {
+    return false;
+  }
+  m->has_filter = false;
+  m->filter = pubsub::Filter{};
+  if (r.AtEnd()) {
+    return true;  // v1 shape: no filter block.
+  }
+  if (!r.Bool(&m->has_filter) || !m->has_filter) {
+    return false;  // A present block with a false flag is a malformation.
+  }
+  return DecodeFilter(r, &m->filter) && r.AtEnd();
 }
 
 void Encode(const CommitRequest& m, std::string* out) {
@@ -240,11 +335,26 @@ void Encode(const WatchRequest& m, std::string* out) {
   w.Str(m.low);
   w.Str(m.high);
   w.U64(m.version);
+  if (m.has_filter) {
+    w.Bool(true);
+    EncodeFilter(m.filter, w);
+  }
 }
 
 bool Decode(std::string_view payload, WatchRequest* m) {
   Reader r(payload);
-  return r.Str(&m->low) && r.Str(&m->high) && r.U64(&m->version) && r.AtEnd();
+  if (!(r.Str(&m->low) && r.Str(&m->high) && r.U64(&m->version))) {
+    return false;
+  }
+  m->has_filter = false;
+  m->filter = pubsub::Filter{};
+  if (r.AtEnd()) {
+    return true;  // v1 shape: no filter block.
+  }
+  if (!r.Bool(&m->has_filter) || !m->has_filter) {
+    return false;
+  }
+  return DecodeFilter(r, &m->filter) && r.AtEnd();
 }
 
 void Encode(const WatchPush& m, std::string* out) {

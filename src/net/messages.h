@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "net/wire.h"
+#include "pubsub/filter.h"
 #include "pubsub/types.h"
 
 namespace net {
@@ -73,6 +74,10 @@ struct PublishRequest {
   common::Key key;
   common::Value value;
   common::TimeMicros publish_time = 0;
+  // v2: record headers, encoded as an optional trailing block (count + pairs)
+  // present only when non-empty. A v1 payload simply ends after publish_time,
+  // so old clients round-trip unchanged and decode as headerless.
+  pubsub::Headers headers;
 };
 
 struct PublishResponse {
@@ -88,7 +93,9 @@ struct FetchRequest {
   std::uint32_t max = 0;
 };
 
-// FETCH responses and DELIVER pushes share one batch shape.
+// FETCH responses and DELIVER pushes share one batch shape. The batch codec
+// is version-parameterized: v2 sessions carry each message's header block
+// (count + pairs, always present, possibly zero), v1 sessions omit it.
 struct MessageBatch {
   std::vector<pubsub::StoredMessage> messages;
 };
@@ -103,6 +110,11 @@ struct SubscribeRequest {
   pubsub::PartitionId partition = 0;
   pubsub::Offset start = 0;
   std::uint32_t max_batch = 256;
+  // v2: optional trailing filter block. Encoded only when has_filter; a v1
+  // payload ends after max_batch and decodes as unfiltered. Servers reject a
+  // filter arriving on a session that negotiated v1.
+  bool has_filter = false;
+  pubsub::Filter filter;
 };
 
 // -- Commit --------------------------------------------------------------------
@@ -132,6 +144,11 @@ struct WatchRequest {
   common::Key low;
   common::Key high;
   common::Version version = 0;
+  // v2: optional trailing filter block (same shape as SubscribeRequest's).
+  // The filter's range must agree with low/high when present; encoders set
+  // low/high from filter.range so v1 servers still honor the range part.
+  bool has_filter = false;
+  pubsub::Filter filter;
 };
 
 // One element of a WATCH_PUSH frame: a change event, a range progress
@@ -166,7 +183,8 @@ void Encode(const CreateTopicRequest& m, std::string* out);
 void Encode(const PublishRequest& m, std::string* out);
 void Encode(const PublishResponse& m, std::string* out);
 void Encode(const FetchRequest& m, std::string* out);
-void Encode(const MessageBatch& m, std::string* out);
+void Encode(const MessageBatch& m, std::string* out,
+            std::uint32_t wire_version = kProtocolVersion);
 void Encode(const SubscribeRequest& m, std::string* out);
 void Encode(const CommitRequest& m, std::string* out);
 void Encode(const CommitResponse& m, std::string* out);
@@ -181,7 +199,8 @@ bool Decode(std::string_view payload, CreateTopicRequest* m);
 bool Decode(std::string_view payload, PublishRequest* m);
 bool Decode(std::string_view payload, PublishResponse* m);
 bool Decode(std::string_view payload, FetchRequest* m);
-bool Decode(std::string_view payload, MessageBatch* m);
+bool Decode(std::string_view payload, MessageBatch* m,
+            std::uint32_t wire_version = kProtocolVersion);
 bool Decode(std::string_view payload, SubscribeRequest* m);
 bool Decode(std::string_view payload, CommitRequest* m);
 bool Decode(std::string_view payload, CommitResponse* m);

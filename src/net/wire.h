@@ -37,7 +37,12 @@
 namespace net {
 
 inline constexpr std::uint16_t kMagic = 0x5053;  // "PS".
-inline constexpr std::uint8_t kProtocolVersion = 1;
+// v1: original frame set. v2 adds optional content-filter blocks to
+// SUBSCRIBE/WATCH, record headers on PUBLISH, and per-message headers in
+// DELIVER/FETCH batches. The decoder accepts the whole range; each session
+// speaks min(client, server) as negotiated in HELLO.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 24;
 // Absolute payload ceiling; servers may negotiate a smaller bound in HELLO.
 inline constexpr std::size_t kMaxPayload = 16u << 20;
@@ -90,6 +95,10 @@ inline const char* VerbName(Verb v) {
 // immediately (net/messages.h) rather than retaining the view.
 struct Frame {
   Verb verb = Verb::kHello;
+  // Header version byte, in [kMinProtocolVersion, kProtocolVersion]. The
+  // dispatcher reads it off the first (HELLO) frame to pin the session's
+  // negotiated version.
+  std::uint8_t version = kProtocolVersion;
   std::uint64_t request_id = 0;
   std::string_view payload;
 };
@@ -135,12 +144,14 @@ inline std::uint64_t GetU64(const char* p) {
 }
 
 // Appends a complete frame (header + payload) to `out`. The payload must fit
-// kMaxPayload; callers enforce any tighter negotiated bound.
+// kMaxPayload; callers enforce any tighter negotiated bound. `version` is
+// the header version byte — sessions speaking a downlevel negotiated
+// version pass it explicitly.
 inline void EncodeFrame(std::string& out, Verb verb, std::uint64_t request_id,
-                        std::string_view payload) {
+                        std::string_view payload, std::uint8_t version = kProtocolVersion) {
   const std::size_t header_at = out.size();
   PutU16(out, kMagic);
-  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(verb));
   PutU32(out, static_cast<std::uint32_t>(payload.size()));
   PutU64(out, request_id);

@@ -25,6 +25,7 @@ Broker::~Broker() {
   waiter_index_.clear();
   append_waiters_.clear();
   rebalance_waiters_.clear();
+  interests_.clear();
 }
 
 common::Status Broker::CreateTopic(const std::string& topic, TopicConfig config) {
@@ -37,8 +38,10 @@ common::Status Broker::CreateTopic(const std::string& topic, TopicConfig config)
   Topic t;
   t.config = config;
   t.partitions.reserve(config.partitions);
+  t.interest.reserve(config.partitions);
   for (PartitionId p = 0; p < config.partitions; ++p) {
     t.partitions.push_back(std::make_unique<PartitionLog>(config.retention));
+    t.interest.push_back(std::make_unique<InterestIndex>());
   }
   topics_.emplace(topic, std::move(t));
   return common::Status::Ok();
@@ -64,6 +67,21 @@ common::Status Broker::RemoveTopic(const std::string& topic) {
     }
     w = append_waiters_.erase(w);
   }
+  // Filtered interests on the topic die with it: parked match waiters fire
+  // (wakers re-check and find the topic gone) and registrations are dropped
+  // — the per-partition index itself is destroyed with the Topic.
+  for (auto in = interests_.begin(); in != interests_.end();) {
+    if (in->second.topic != topic) {
+      ++in;
+      continue;
+    }
+    if (in->second.ticket != 0) {
+      auto entry = waiter_index_.find(in->second.ticket);
+      sim_->After(0, std::move(entry->second.fn));
+      waiter_index_.erase(entry);
+    }
+    in = interests_.erase(in);
+  }
   topics_.erase(it);
   return common::Status::Ok();
 }
@@ -78,8 +96,10 @@ common::Status Broker::AddPartitions(const std::string& topic, PartitionId addit
   }
   Topic& t = it->second;
   t.partitions.reserve(t.partitions.size() + additional);
+  t.interest.reserve(t.interest.size() + additional);
   for (PartitionId p = 0; p < additional; ++p) {
     t.partitions.push_back(std::make_unique<PartitionLog>(t.config.retention));
+    t.interest.push_back(std::make_unique<InterestIndex>());
   }
   t.config.partitions += additional;
   // The topic changed shape: every bound group rebalances now so the new
@@ -106,14 +126,14 @@ Broker::WaitTicket Broker::WaitForAppend(const std::string& topic, PartitionId p
     return 0;
   }
   const WaitTicket ticket = next_wait_ticket_++;
-  waiter_index_.emplace(ticket, Waiter{topic, partition, offset, GroupId(), std::move(fn)});
+  waiter_index_.emplace(ticket, Waiter{topic, partition, offset, GroupId(), 0, std::move(fn)});
   append_waiters_[{topic, partition}].emplace(ticket, offset);
   return ticket;
 }
 
 Broker::WaitTicket Broker::WaitForRebalance(const GroupId& group, std::function<void()> fn) {
   const WaitTicket ticket = next_wait_ticket_++;
-  waiter_index_.emplace(ticket, Waiter{std::string(), 0, 0, group, std::move(fn)});
+  waiter_index_.emplace(ticket, Waiter{std::string(), 0, 0, group, 0, std::move(fn)});
   rebalance_waiters_[group].insert(ticket);
   return ticket;
 }
@@ -124,7 +144,12 @@ bool Broker::CancelWait(WaitTicket ticket) {
     return false;
   }
   const Waiter& w = it->second;
-  if (!w.topic.empty()) {
+  if (w.interest != 0) {
+    auto in = interests_.find(w.interest);
+    if (in != interests_.end() && in->second.ticket == ticket) {
+      in->second.ticket = 0;
+    }
+  } else if (!w.topic.empty()) {
     auto p = append_waiters_.find({w.topic, w.partition});
     if (p != append_waiters_.end()) {
       p->second.erase(ticket);
@@ -209,7 +234,163 @@ common::Result<PublishResult> Broker::Publish(const std::string& topic, Message 
   }
   const Offset offset = t.partitions[p]->Append(std::move(msg));
   NotifyAppendWaiters(topic, p, t.partitions[p]->end_offset());
+  DispatchInterests(t, p);
   return PublishResult{p, offset};
+}
+
+void Broker::DispatchInterests(Topic& t, PartitionId partition) {
+  InterestIndex& idx = *t.interest[partition];
+  if (idx.subscriber_count() == 0) {
+    return;
+  }
+  const auto& entries = t.partitions[partition]->entries();
+  if (entries.empty()) {
+    return;  // A zero-size cap can drop the record at append time.
+  }
+  const StoredMessage& sm = entries.back();
+  const std::uint64_t scanned_before = idx.lanes_scanned();
+  const std::uint64_t matched_before = idx.lanes_matched();
+  std::uint64_t woken = 0;
+  bool matched_any = false;
+  idx.Match(sm.message.key, sm.message.headers, [&](InterestIndex::SubscriberId id) {
+    matched_any = true;
+    auto it = interests_.find(id);
+    if (it == interests_.end()) {
+      return;
+    }
+    Interest& interest = it->second;
+    // Only a parked waiter whose target offset has arrived wakes; a consumer
+    // mid-catch-up (no parked waiter) will meet this record via its filtered
+    // fetch cursor instead.
+    if (interest.ticket == 0 || sm.offset < interest.wait_offset) {
+      return;
+    }
+    auto w = waiter_index_.find(interest.ticket);
+    sim_->After(0, std::move(w->second.fn));
+    waiter_index_.erase(w);
+    interest.ticket = 0;
+    ++woken;
+  });
+  if (fanout_wakeups_ != nullptr) {
+    fanout_wakeups_->Increment(static_cast<std::int64_t>(woken));
+    fanout_lanes_scanned_->Increment(
+        static_cast<std::int64_t>(idx.lanes_scanned() - scanned_before));
+    fanout_lanes_matched_->Increment(
+        static_cast<std::int64_t>(idx.lanes_matched() - matched_before));
+    if (matched_any) {
+      fanout_appends_matched_->Increment();
+    }
+  }
+}
+
+Broker::InterestId Broker::AddInterest(const std::string& topic, PartitionId partition,
+                                       Filter filter) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return 0;
+  }
+  const InterestId id = next_interest_++;
+  it->second.interest[partition]->Add(id, std::move(filter));
+  interests_.emplace(id, Interest{topic, partition, 0, 0});
+  return id;
+}
+
+bool Broker::RemoveInterest(InterestId id) {
+  auto it = interests_.find(id);
+  if (it == interests_.end()) {
+    return false;
+  }
+  Interest& interest = it->second;
+  if (interest.ticket != 0) {
+    waiter_index_.erase(interest.ticket);  // Cancel without firing.
+  }
+  auto t = topics_.find(interest.topic);
+  if (t != topics_.end() && interest.partition < t->second.config.partitions) {
+    t->second.interest[interest.partition]->Remove(id);
+  }
+  interests_.erase(it);
+  return true;
+}
+
+Broker::WaitTicket Broker::WaitForMatch(InterestId id, Offset offset, std::function<void()> fn) {
+  auto in = interests_.find(id);
+  if (in == interests_.end()) {
+    return 0;
+  }
+  Interest& interest = in->second;
+  auto t = topics_.find(interest.topic);
+  if (t == topics_.end() || interest.partition >= t->second.config.partitions) {
+    return 0;
+  }
+  const PartitionLog& log = *t->second.partitions[interest.partition];
+  const Filter* filter = t->second.interest[interest.partition]->FilterOf(id);
+  if (filter != nullptr && log.end_offset() > offset) {
+    // A matching record may already be retained at or past `offset`: fire
+    // immediately with no registration, mirroring WaitForAppend. The common
+    // caller parks only once caught up, so this probe is usually empty.
+    std::vector<StoredMessage> probe;
+    Offset next = offset;
+    if (log.ScanInto(
+            offset, 1, 0,
+            [filter](const StoredMessage& m) { return filter->Matches(m.message); }, &probe,
+            &next) > 0) {
+      sim_->After(0, std::move(fn));
+      return 0;
+    }
+  }
+  if (interest.ticket != 0) {
+    waiter_index_.erase(interest.ticket);  // Re-park replaces the old wakeup.
+  }
+  const WaitTicket ticket = next_wait_ticket_++;
+  waiter_index_.emplace(
+      ticket, Waiter{interest.topic, interest.partition, offset, GroupId(), id, std::move(fn)});
+  interest.ticket = ticket;
+  interest.wait_offset = offset;
+  return ticket;
+}
+
+common::Result<std::size_t> Broker::FetchFilteredInto(const std::string& topic,
+                                                      PartitionId partition, Offset offset,
+                                                      std::size_t max, std::size_t max_scan,
+                                                      const Filter& filter,
+                                                      std::vector<StoredMessage>* out,
+                                                      Offset* next_offset,
+                                                      std::uint64_t* scanned) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (partition >= it->second.config.partitions) {
+    return common::Status::InvalidArgument("partition out of range");
+  }
+  const std::size_t before = out->size();
+  std::uint64_t examined = 0;
+  const std::size_t appended = it->second.partitions[partition]->ScanInto(
+      offset, max, max_scan,
+      [&filter](const StoredMessage& m) { return filter.Matches(m.message); }, out, next_offset,
+      &examined);
+  if (scanned != nullptr) {
+    *scanned += examined;
+  }
+  if (fanout_fetch_scanned_ != nullptr) {
+    fanout_fetch_scanned_->Increment(static_cast<std::int64_t>(examined));
+    fanout_fetch_matched_->Increment(static_cast<std::int64_t>(appended));
+  }
+  if (obs::TracingEnabled() && appended != 0) {
+    const std::int64_t now = obs::NowMicros();
+    for (std::size_t i = before; i < out->size(); ++i) {
+      (*out)[i].message.trace.Stamp(obs::Stage::kFetch, now);  // Handed to consumer.
+    }
+  }
+  return appended;
+}
+
+const InterestIndex* Broker::Interests(const std::string& topic, PartitionId partition) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.config.partitions) {
+    return nullptr;
+  }
+  return it->second.interest[partition].get();
 }
 
 common::Result<std::vector<StoredMessage>> Broker::Fetch(const std::string& topic,

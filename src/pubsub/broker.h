@@ -20,6 +20,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/collector.h"
+#include "pubsub/filter.h"
+#include "pubsub/interest_index.h"
 #include "pubsub/log.h"
 #include "pubsub/types.h"
 #include "sim/network.h"
@@ -136,6 +138,52 @@ class Broker {
   Offset EndOffset(const std::string& topic, PartitionId partition) const;
   Offset FirstOffset(const std::string& topic, PartitionId partition) const;
 
+  // -- Filtered subscriptions (the interest-index fanout subsystem) -------------
+  //
+  // A filtered consumer registers its interest — (topic, partition, Filter) —
+  // once, then parks one-shot WaitForMatch wakeups against it. Appends are
+  // dispatched through the partition's InterestIndex, so only consumers whose
+  // filters match the appended record wake: append-time fanout work is
+  // O(matching subscriptions), not O(all sessions). Catch-up reads go through
+  // FetchFilteredInto, which evaluates the filter broker-side and returns
+  // only matching records plus a scan-resume cursor.
+
+  using InterestId = std::uint64_t;
+  using WaitTicket = std::uint64_t;  // Shared with the long-poll wakeups below.
+
+  // Registers a filter; returns 0 for an unknown topic/partition. An
+  // interest survives until RemoveInterest (or topic removal). Interests
+  // with identical canonical filters share one index lane (subgrouping).
+  InterestId AddInterest(const std::string& topic, PartitionId partition, Filter filter);
+  // Deregisters, cancelling any parked WaitForMatch wakeup without firing
+  // it. Returns false for unknown ids (harmless after topic removal).
+  bool RemoveInterest(InterestId id);
+  // Parks `fn` (one-shot, fired as an immediate event) until a record at or
+  // past `offset` matching the interest's filter is appended. If such a
+  // record is already retained, fires immediately and returns 0, mirroring
+  // WaitForAppend. Tickets share WaitForAppend's namespace: CancelWait works
+  // on them and broker teardown fires them. At most one wakeup is parked per
+  // interest; a re-park replaces (cancels) the previous one.
+  WaitTicket WaitForMatch(InterestId id, Offset offset, std::function<void()> fn);
+  // Filtered FetchInto: appends up to `max` records matching `filter`
+  // starting at `offset`, examining at most `max_scan` records (0:
+  // unbounded) so one selective fetch cannot stall on a long non-matching
+  // run. `*next_offset` receives the scan-resume cursor — it advances past
+  // scanned non-matching records, so zero matches still makes progress.
+  // `*scanned` (optional) accumulates records examined.
+  common::Result<std::size_t> FetchFilteredInto(const std::string& topic, PartitionId partition,
+                                                Offset offset, std::size_t max,
+                                                std::size_t max_scan, const Filter& filter,
+                                                std::vector<StoredMessage>* out,
+                                                Offset* next_offset,
+                                                std::uint64_t* scanned = nullptr) const;
+  // Outstanding interest registrations (tests/leak checks, the filtered
+  // analogue of PendingWaiters).
+  std::size_t PendingInterests() const { return interests_.size(); }
+  // Read-only view of a partition's interest index (oracle/bench
+  // introspection); nullptr if unknown.
+  const InterestIndex* Interests(const std::string& topic, PartitionId partition) const;
+
   // -- Long-poll wakeups (the event-driven delivery subsystem) ------------------
   //
   // Instead of sleeping on a poll timer, an event-driven consumer parks a
@@ -146,7 +194,6 @@ class Broker {
   // one-shot: a fired waiter is deregistered and must re-arm. Returns 0 (no
   // registration) for an unknown topic/partition; CancelWait on a fired or
   // unknown ticket is a harmless no-op returning false.
-  using WaitTicket = std::uint64_t;
   WaitTicket WaitForAppend(const std::string& topic, PartitionId partition, Offset offset,
                            std::function<void()> fn);
   // Fires (one-shot, as an immediate event) on the group's next rebalance —
@@ -214,6 +261,22 @@ class Broker {
   void set_obs(obs::Collector* obs, std::size_t shard = 0) {
     obs_ = obs;
     obs_shard_ = shard;
+    if (obs != nullptr) {
+      common::MetricsRegistry& m = obs->metrics();
+      fanout_wakeups_ = &m.counter("fanout.wakeups");
+      fanout_appends_matched_ = &m.counter("fanout.appends_matched");
+      fanout_lanes_scanned_ = &m.counter("fanout.lanes_scanned");
+      fanout_lanes_matched_ = &m.counter("fanout.lanes_matched");
+      fanout_fetch_scanned_ = &m.counter("fanout.fetch_scanned");
+      fanout_fetch_matched_ = &m.counter("fanout.fetch_matched");
+    } else {
+      fanout_wakeups_ = nullptr;
+      fanout_appends_matched_ = nullptr;
+      fanout_lanes_scanned_ = nullptr;
+      fanout_lanes_matched_ = nullptr;
+      fanout_fetch_scanned_ = nullptr;
+      fanout_fetch_matched_ = nullptr;
+    }
   }
 
   // The deterministic key hash behind kByKeyHash routing. Public so routing
@@ -264,6 +327,8 @@ class Broker {
   struct Topic {
     TopicConfig config;
     std::vector<std::unique_ptr<PartitionLog>> partitions;
+    // Parallel to `partitions`: the per-partition filtered-interest index.
+    std::vector<std::unique_ptr<InterestIndex>> interest;
     PartitionId next_round_robin = 0;
   };
 
@@ -284,15 +349,29 @@ class Broker {
   // target offset is now available, i.e. offset < end.
   void NotifyAppendWaiters(const std::string& topic, PartitionId partition, Offset end);
 
-  // One parked long-poll wakeup. Exactly one of the two keys is meaningful:
-  // data waiters carry (topic, partition, offset); rebalance waiters carry
-  // the group id.
+  // Fires parked WaitForMatch wakeups whose filters match the record just
+  // appended to (topic, partition) — the O(matching) append fanout path.
+  void DispatchInterests(Topic& t, PartitionId partition);
+
+  // One parked long-poll wakeup. Exactly one key is meaningful: data waiters
+  // carry (topic, partition, offset); rebalance waiters carry the group id;
+  // filtered match waiters carry an interest id (plus topic/partition for
+  // observability).
   struct Waiter {
     std::string topic;
     PartitionId partition = 0;
     Offset offset = 0;
     GroupId group;
+    InterestId interest = 0;
     std::function<void()> fn;
+  };
+
+  // One registered filtered interest and its (at most one) parked wakeup.
+  struct Interest {
+    std::string topic;
+    PartitionId partition = 0;
+    WaitTicket ticket = 0;  // Parked WaitForMatch ticket; 0 = none.
+    Offset wait_offset = 0;
   };
 
   sim::Simulator* sim_;
@@ -312,6 +391,17 @@ class Broker {
   std::map<std::pair<std::string, PartitionId>, std::map<WaitTicket, Offset>> append_waiters_;
   std::map<GroupId, std::set<WaitTicket>> rebalance_waiters_;
   WaitTicket next_wait_ticket_ = 1;
+  // Filtered-interest registry; ids are globally unique across the broker so
+  // they double as InterestIndex subscriber ids.
+  std::map<InterestId, Interest> interests_;
+  InterestId next_interest_ = 1;
+  // Fanout metric counters, resolved once in set_obs (nullptr when no obs).
+  common::Counter* fanout_wakeups_ = nullptr;
+  common::Counter* fanout_appends_matched_ = nullptr;
+  common::Counter* fanout_lanes_scanned_ = nullptr;
+  common::Counter* fanout_lanes_matched_ = nullptr;
+  common::Counter* fanout_fetch_scanned_ = nullptr;
+  common::Counter* fanout_fetch_matched_ = nullptr;
 };
 
 }  // namespace pubsub

@@ -1,0 +1,143 @@
+// pubsub::Filter: a broker-side interest description for filtered
+// subscriptions and watches. A filter is the conjunction of three parts —
+// a key range (half-open, common::KeyRange semantics), a key prefix, and a
+// small conjunctive predicate over record headers — and a record matches
+// when every part holds. Filters are evaluated where the record is appended
+// (the broker), not at the edge: the paper's §3 complaint is that pubsub
+// systems promise selective delivery but implement it as deliver-everything,
+// filter-client-side, which collapses under fanout. The InterestIndex
+// (interest_index.h) turns a population of filters into O(matching) lookup;
+// identical filters (canonical form) share one delivery lane (subgrouping).
+//
+// Header-only on purpose: the watch layer and the wire codecs use the type
+// without needing a pubsub link dependency.
+#ifndef SRC_PUBSUB_FILTER_H_
+#define SRC_PUBSUB_FILTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "pubsub/types.h"
+
+namespace pubsub {
+
+// One header predicate. kExists matches any record carrying the header;
+// kEq/kNe compare against the header's value and both require the header to
+// be present (an absent header matches neither — absence is tested with the
+// conjunction's shape, not per-predicate negation). Duplicate header names
+// resolve to the first occurrence, matching Headers' ordered semantics.
+struct HeaderPredicate {
+  enum class Op : std::uint8_t { kExists = 0, kEq = 1, kNe = 2 };
+
+  std::string name;
+  Op op = Op::kEq;
+  std::string value;  // Ignored for kExists.
+
+  bool Matches(const Headers& headers) const {
+    for (const auto& [n, v] : headers) {
+      if (n != name) {
+        continue;
+      }
+      switch (op) {
+        case Op::kExists:
+          return true;
+        case Op::kEq:
+          return v == value;
+        case Op::kNe:
+          return v != value;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  friend bool operator==(const HeaderPredicate&, const HeaderPredicate&) = default;
+  friend bool operator<(const HeaderPredicate& a, const HeaderPredicate& b) {
+    if (a.name != b.name) return a.name < b.name;
+    if (a.op != b.op) return a.op < b.op;
+    return a.value < b.value;
+  }
+};
+
+struct Filter {
+  common::KeyRange range = common::KeyRange::All();
+  std::string key_prefix;                  // Empty: no prefix constraint.
+  std::vector<HeaderPredicate> headers;    // Conjunction; empty: no constraint.
+
+  bool MatchesKey(std::string_view key) const {
+    return range.Contains(key) && key.substr(0, key_prefix.size()) == key_prefix;
+  }
+
+  bool Matches(std::string_view key, const Headers& record_headers) const {
+    if (!MatchesKey(key)) {
+      return false;
+    }
+    for (const HeaderPredicate& p : headers) {
+      if (!p.Matches(record_headers)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Matches(const Message& msg) const { return Matches(msg.key, msg.headers); }
+
+  // True when the filter constrains nothing (every record matches).
+  bool MatchesEverything() const {
+    return range.Covers(common::KeyRange::All()) && key_prefix.empty() && headers.empty();
+  }
+
+  // The single key this filter's range selects, if the range is exactly
+  // KeyRange::Single(k) — the exact-key hash-lane classification.
+  std::optional<std::string> ExactKey() const {
+    if (range.unbounded_above() || range.high.size() != range.low.size() + 1 ||
+        range.high.back() != '\0' ||
+        std::string_view(range.high).substr(0, range.low.size()) != range.low) {
+      return std::nullopt;
+    }
+    return range.low;
+  }
+
+  // Sorts and dedups the header conjunction so equal filters have equal
+  // representations — the precondition for subgrouping (shared lanes).
+  void Canonicalize() {
+    std::sort(headers.begin(), headers.end());
+    headers.erase(std::unique(headers.begin(), headers.end()), headers.end());
+  }
+
+  // Unambiguous byte encoding of the canonical form, used as the shared-lane
+  // dedup key. Length-prefixed fields so no two distinct filters collide.
+  std::string CanonicalKey() const {
+    Filter c = *this;
+    c.Canonicalize();
+    std::string out;
+    auto put = [&out](std::string_view s) {
+      const std::uint32_t n = static_cast<std::uint32_t>(s.size());
+      out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+      out.append(s.data(), s.size());
+    };
+    put(c.range.low);
+    out.push_back(c.range.unbounded_above() ? 1 : 0);
+    put(c.range.high);
+    put(c.key_prefix);
+    const std::uint32_t preds = static_cast<std::uint32_t>(c.headers.size());
+    out.append(reinterpret_cast<const char*>(&preds), sizeof(preds));
+    for (const HeaderPredicate& p : c.headers) {
+      put(p.name);
+      out.push_back(static_cast<char>(p.op));
+      put(p.value);
+    }
+    return out;
+  }
+
+  friend bool operator==(const Filter&, const Filter&) = default;
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_FILTER_H_

@@ -1,0 +1,218 @@
+#include "pubsub/interest_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pubsub {
+
+InterestIndex::InterestIndex() : ranges_(std::vector<LaneId>{}) {}
+
+void InterestIndex::Add(SubscriberId id, Filter filter) {
+  assert(id != 0);
+  if (members_.count(id) > 0) {
+    return;  // Caller bug; keep the first registration rather than corrupt.
+  }
+  filter.Canonicalize();
+  std::string canonical = filter.CanonicalKey();
+  auto shared = lane_by_canonical_.find(canonical);
+  if (shared != lane_by_canonical_.end()) {
+    // Subgrouping: an identical interest joins the existing lane.
+    lanes_[shared->second].members.push_back(id);
+    members_.emplace(id, shared->second);
+    return;
+  }
+  const LaneId lane_id = next_lane_++;
+  Lane lane;
+  lane.filter = std::move(filter);
+  lane.canonical = canonical;
+  lane.members.push_back(id);
+  InsertLaneHome(lane_id, lane);
+  lane_by_canonical_.emplace(std::move(canonical), lane_id);
+  lanes_.emplace(lane_id, std::move(lane));
+  members_.emplace(id, lane_id);
+}
+
+bool InterestIndex::Remove(SubscriberId id) {
+  auto member = members_.find(id);
+  if (member == members_.end()) {
+    return false;
+  }
+  const LaneId lane_id = member->second;
+  members_.erase(member);
+  Lane& lane = lanes_[lane_id];
+  lane.members.erase(std::remove(lane.members.begin(), lane.members.end(), id),
+                     lane.members.end());
+  if (!lane.members.empty()) {
+    return true;
+  }
+  // Last member out: dismantle the shared lane everywhere it is indexed.
+  RemoveLaneHome(lane_id, lane);
+  lane_by_canonical_.erase(lane.canonical);
+  lanes_.erase(lane_id);
+  return true;
+}
+
+void InterestIndex::InsertLaneHome(LaneId lane_id, Lane& lane) {
+  if (auto exact = lane.filter.ExactKey(); exact.has_value()) {
+    lane.home = Home::kExact;
+    lane.home_key = *exact;
+    exact_[lane.home_key].push_back(lane_id);
+    return;
+  }
+  if (!lane.filter.key_prefix.empty()) {
+    lane.home = Home::kPrefix;
+    lane.home_key = lane.filter.key_prefix;
+    TrieNode* node = &trie_root_;
+    ++node->subtree_lanes;
+    for (char c : lane.home_key) {
+      std::unique_ptr<TrieNode>& child = node->children[c];
+      if (child == nullptr) {
+        child = std::make_unique<TrieNode>();
+      }
+      node = child.get();
+      ++node->subtree_lanes;
+    }
+    node->lanes.push_back(lane_id);
+    return;
+  }
+  if (!lane.filter.range.Covers(common::KeyRange::All())) {
+    lane.home = Home::kRange;
+    // An empty range matches nothing and covers no segment: the lane exists
+    // (members are registered) but is never a stabbing candidate.
+    ranges_.Transform(lane.filter.range, [lane_id](const std::vector<LaneId>& v) {
+      std::vector<LaneId> next = v;
+      next.push_back(lane_id);
+      return next;
+    });
+    return;
+  }
+  lane.home = Home::kBroad;
+  broad_.push_back(lane_id);
+}
+
+void InterestIndex::RemoveLaneHome(LaneId lane_id, const Lane& lane) {
+  switch (lane.home) {
+    case Home::kExact: {
+      auto it = exact_.find(lane.home_key);
+      if (it != exact_.end()) {
+        it->second.erase(std::remove(it->second.begin(), it->second.end(), lane_id),
+                         it->second.end());
+        if (it->second.empty()) {
+          exact_.erase(it);
+        }
+      }
+      return;
+    }
+    case Home::kPrefix: {
+      // Walk the prefix path decrementing subtree counts, then prune the
+      // deepest now-empty suffix so churn does not leak trie nodes.
+      std::vector<TrieNode*> path{&trie_root_};
+      TrieNode* node = &trie_root_;
+      for (char c : lane.home_key) {
+        auto child = node->children.find(c);
+        if (child == node->children.end()) {
+          return;  // Unreachable when Add/Remove are paired.
+        }
+        node = child->second.get();
+        path.push_back(node);
+      }
+      node->lanes.erase(std::remove(node->lanes.begin(), node->lanes.end(), lane_id),
+                        node->lanes.end());
+      for (TrieNode* n : path) {
+        --n->subtree_lanes;
+      }
+      for (std::size_t depth = lane.home_key.size(); depth > 0; --depth) {
+        TrieNode* child = path[depth];
+        if (child->subtree_lanes != 0) {
+          break;
+        }
+        path[depth - 1]->children.erase(lane.home_key[depth - 1]);
+      }
+      return;
+    }
+    case Home::kRange:
+      ranges_.Transform(lane.filter.range, [lane_id](const std::vector<LaneId>& v) {
+        std::vector<LaneId> next = v;
+        next.erase(std::remove(next.begin(), next.end(), lane_id), next.end());
+        return next;
+      });
+      return;
+    case Home::kBroad:
+      broad_.erase(std::remove(broad_.begin(), broad_.end(), lane_id), broad_.end());
+      return;
+  }
+}
+
+void InterestIndex::VisitLane(LaneId lane_id, std::string_view key, const Headers& headers,
+                              const std::function<void(SubscriberId)>& fn) {
+  auto it = lanes_.find(lane_id);
+  if (it == lanes_.end()) {
+    return;  // fn removed this lane's last member earlier in the same Match.
+  }
+  ++lanes_scanned_;
+  if (!it->second.filter.Matches(key, headers)) {
+    return;
+  }
+  ++lanes_matched_;
+  // Fan out over a copy: fn may call Remove (a watcher resyncing mid-match),
+  // which mutates — or destroys — this very lane.
+  member_scratch_ = it->second.members;
+  for (const SubscriberId id : member_scratch_) {
+    ++subscribers_matched_;
+    fn(id);
+  }
+}
+
+void InterestIndex::Match(std::string_view key, const Headers& headers,
+                          const std::function<void(SubscriberId)>& fn) {
+  // Collect candidates per home, then evaluate in deterministic lane order —
+  // a lane id can appear in only one home, so no dedup pass is needed.
+  scratch_.clear();
+  if (auto exact = exact_.find(std::string(key)); exact != exact_.end()) {
+    scratch_.insert(scratch_.end(), exact->second.begin(), exact->second.end());
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const LaneId lane : scratch_) {
+    VisitLane(lane, key, headers, fn);
+  }
+
+  scratch_.clear();
+  const TrieNode* node = &trie_root_;
+  scratch_.insert(scratch_.end(), node->lanes.begin(), node->lanes.end());
+  for (char c : key) {
+    auto child = node->children.find(c);
+    if (child == node->children.end()) {
+      break;
+    }
+    node = child->second.get();
+    scratch_.insert(scratch_.end(), node->lanes.begin(), node->lanes.end());
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const LaneId lane : scratch_) {
+    VisitLane(lane, key, headers, fn);
+  }
+
+  scratch_ = ranges_.Get(key);  // Stabbing query: the segment covering `key`.
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const LaneId lane : scratch_) {
+    VisitLane(lane, key, headers, fn);
+  }
+
+  scratch_ = broad_;  // Copy: fn may unsubscribe mid-visit.
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const LaneId lane : scratch_) {
+    VisitLane(lane, key, headers, fn);
+  }
+}
+
+const Filter* InterestIndex::FilterOf(SubscriberId id) const {
+  auto member = members_.find(id);
+  if (member == members_.end()) {
+    return nullptr;
+  }
+  auto lane = lanes_.find(member->second);
+  return lane == lanes_.end() ? nullptr : &lane->second.filter;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,137 @@
+// InterestIndex: the append-time fanout structure behind filtered
+// subscriptions. A population of pubsub::Filters is indexed so that matching
+// a record touches O(matching lanes + log) state instead of scanning every
+// subscription — the difference between a broker that survives 100k
+// filtered sessions and one that pays all of them on every append.
+//
+// Structure (each filter is classified into exactly one home):
+//
+//   * exact lanes  — filters whose range selects a single key
+//                    (KeyRange::Single): a hash map key → lanes.
+//   * prefix trie  — filters with a non-empty key prefix: lanes hang off the
+//                    trie node for their prefix; a lookup walks the record
+//                    key's char path and collects lanes at every node.
+//   * range map    — bounded/offset key ranges: an IntervalMap whose segment
+//                    values are the lane lists covering that segment, so a
+//                    stabbing query is one ordered-map lookup.
+//   * broad lanes  — filters with no key constraint at all (range == All and
+//                    no prefix, e.g. header-only predicates): scanned on
+//                    every append. These are the price of content-only
+//                    filters; the matched-vs-scanned stats make them visible.
+//
+// Subgrouping: filters with identical canonical form share one lane
+// (refcounted members). A lane's filter is evaluated once per record
+// regardless of member count — identical interests cost one residual check,
+// and delivery fans out along the shared lane.
+//
+// Candidate lanes from any home are residually verified against the full
+// filter (range ∩ prefix ∩ header conjunction), so classification is purely
+// an efficiency decision and can never change match semantics. The property
+// suite (tests/pubsub/filter_property_test.cc) holds Match ≡ brute force
+// over every subscriber.
+//
+// Thread model: externally synchronized. Inside the broker the index is
+// shard-confined like every other broker structure.
+#ifndef SRC_PUBSUB_INTEREST_INDEX_H_
+#define SRC_PUBSUB_INTEREST_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval_map.h"
+#include "pubsub/filter.h"
+#include "pubsub/types.h"
+
+namespace pubsub {
+
+class InterestIndex {
+ public:
+  using SubscriberId = std::uint64_t;
+  using LaneId = std::uint64_t;
+
+  InterestIndex();
+
+  // Registers `id` (caller-allocated, non-zero, unique) under `filter`.
+  // Filters equal after canonicalization join the same shared lane.
+  void Add(SubscriberId id, Filter filter);
+
+  // Deregisters; the shared lane is dismantled when its last member leaves.
+  // Returns false for unknown ids (harmless no-op).
+  bool Remove(SubscriberId id);
+
+  // Visits every subscriber whose filter matches (key, headers). Each shared
+  // lane's filter is evaluated once; matching lanes fan out to their members
+  // in registration order. Lanes are visited in a deterministic home order
+  // (exact, prefix, range, broad), each home in lane-id order.
+  void Match(std::string_view key, const Headers& headers,
+             const std::function<void(SubscriberId)>& fn);
+
+  // The registered filter, or nullptr for unknown ids.
+  const Filter* FilterOf(SubscriberId id) const;
+
+  std::size_t subscriber_count() const { return members_.size(); }
+  std::size_t lane_count() const { return lanes_.size(); }
+  std::size_t broad_lane_count() const { return broad_.size(); }
+
+  // Cumulative match-work accounting: lanes whose filters were evaluated vs
+  // lanes that matched vs subscriber deliveries. scanned == matched means the
+  // index only ever touched work it delivered (the O(matching) claim);
+  // scanned >> matched means the population degenerated toward a full scan
+  // (broad filters, pathological prefixes).
+  std::uint64_t lanes_scanned() const { return lanes_scanned_; }
+  std::uint64_t lanes_matched() const { return lanes_matched_; }
+  std::uint64_t subscribers_matched() const { return subscribers_matched_; }
+
+ private:
+  enum class Home : std::uint8_t { kExact, kPrefix, kRange, kBroad };
+
+  struct Lane {
+    Filter filter;
+    std::string canonical;
+    Home home = Home::kBroad;
+    std::string home_key;  // Exact key or prefix; empty for range/broad.
+    std::vector<SubscriberId> members;
+  };
+
+  struct TrieNode {
+    std::map<char, std::unique_ptr<TrieNode>> children;
+    std::vector<LaneId> lanes;      // Lanes whose prefix ends here.
+    std::size_t subtree_lanes = 0;  // Lanes at or below; prunes empty paths.
+  };
+
+  void InsertLaneHome(LaneId lane_id, Lane& lane);
+  void RemoveLaneHome(LaneId lane_id, const Lane& lane);
+  // Evaluates one candidate lane against the record, fanning out on match.
+  void VisitLane(LaneId lane_id, std::string_view key, const Headers& headers,
+                 const std::function<void(SubscriberId)>& fn);
+
+  std::unordered_map<LaneId, Lane> lanes_;
+  std::unordered_map<std::string, LaneId> lane_by_canonical_;
+  std::unordered_map<SubscriberId, LaneId> members_;
+
+  std::unordered_map<std::string, std::vector<LaneId>> exact_;
+  TrieNode trie_root_;
+  common::IntervalMap<std::vector<LaneId>> ranges_;
+  std::vector<LaneId> broad_;
+
+  LaneId next_lane_ = 1;
+  std::uint64_t lanes_scanned_ = 0;
+  std::uint64_t lanes_matched_ = 0;
+  std::uint64_t subscribers_matched_ = 0;
+  // Match-scratch: candidate lane ids collected per call, reused.
+  std::vector<LaneId> scratch_;
+  // Fanout scratch: the matched lane's member list is copied here before fn
+  // runs, so fn may unsubscribe (mutating the lane) without invalidating the
+  // iteration.
+  std::vector<SubscriberId> member_scratch_;
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_INTEREST_INDEX_H_

@@ -103,6 +103,52 @@ class PartitionLog {
     return appended;
   }
 
+  // Predicate-filtered ReadInto for the filtered-subscription catch-up path:
+  // scans forward from `from`, appending messages satisfying `pred` into
+  // `*out`, until `max` matches are appended, `max_scan` records have been
+  // examined (0: unbounded), or the log ends. `*next_offset` is set to the
+  // offset after the last scanned record — the cursor resume point — so a
+  // filter matching nothing still makes scan progress. Returns the number of
+  // matches appended; `*scanned` (optional) counts records examined. Shares
+  // ReadInto's silent-reset accounting when `from` fell below retention.
+  std::size_t ScanInto(Offset from, std::size_t max, std::size_t max_scan,
+                       const std::function<bool(const StoredMessage&)>& pred,
+                       std::vector<StoredMessage>* out, Offset* next_offset,
+                       std::uint64_t* scanned = nullptr) const {
+    const std::size_t before = out->size();
+    auto it = std::lower_bound(
+        log_.begin(), log_.end(), from,
+        [](const StoredMessage& m, Offset offset) { return m.offset < offset; });
+    if (it != log_.end() && it->offset > from) {
+      silent_skips_ += it->offset - from;
+    } else if (it == log_.end() && from < first_offset()) {
+      silent_skips_ += first_offset() - from;
+    }
+    std::uint64_t examined = 0;
+    Offset next = std::max(from, first_offset());
+    for (; it != log_.end(); ++it) {
+      if (max_scan != 0 && examined >= max_scan) {
+        break;
+      }
+      ++examined;
+      next = it->offset + 1;
+      if (pred(*it)) {
+        out->push_back(*it);
+        if (max != 0 && out->size() - before >= max) {
+          break;
+        }
+      }
+    }
+    if (it == log_.end()) {
+      next = next_offset_;  // Scanned to the live edge.
+    }
+    *next_offset = std::max(next, from);
+    if (scanned != nullptr) {
+      *scanned += examined;
+    }
+    return out->size() - before;
+  }
+
   // Time-based retention: drops messages published before `horizon`.
   // Returns the number of messages garbage collected.
   std::uint64_t GcBefore(common::TimeMicros horizon) {

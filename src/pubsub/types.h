@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -14,17 +16,24 @@ namespace pubsub {
 using Offset = std::uint64_t;
 using PartitionId = std::uint32_t;
 
+// Record headers: small, ordered name/value attributes carried alongside the
+// payload. The filtered-subscription predicates (pubsub::Filter) evaluate
+// over these broker-side; they ride the WAL and the wire with the message.
+using Headers = std::vector<std::pair<std::string, std::string>>;
+
 struct Message {
   common::Key key;     // Routing / compaction key (may be empty).
   common::Value value; // Opaque payload.
   common::TimeMicros publish_time = 0;
+  Headers headers;     // Attribute headers (filter predicates match these).
   // Latency-tracing context (obs layer). Last member so aggregate
   // initializers that omit it keep working; excluded from equality and from
   // WAL serialization — tracing is measurement, not semantics.
   obs::TraceContext trace{};
 
   friend bool operator==(const Message& a, const Message& b) {
-    return a.key == b.key && a.value == b.value && a.publish_time == b.publish_time;
+    return a.key == b.key && a.value == b.value && a.publish_time == b.publish_time &&
+           a.headers == b.headers;
   }
 };
 

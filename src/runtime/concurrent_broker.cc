@@ -296,6 +296,7 @@ std::unique_ptr<Subscription> ConcurrentBroker::Subscribe(const std::string& top
   shared->handoff_capacity = options.handoff_capacity == 0 ? 1 : options.handoff_capacity;
   shared->shard_batch = options.shard_batch == 0 ? 1 : options.shard_batch;
   shared->wake_coalesce_us = options.wake_coalesce_us;
+  shared->filter = std::move(options.filter);
   shared->poll_period = pool_->options().subscription_poll_period;
   shared->event_driven = pool_->options().event_driven;
   shared->wakeup_latency = &pool_->metrics().histogram("runtime.wakeup_latency_us");

@@ -195,7 +195,17 @@ void ConcurrentWatchService::Progress(const common::ProgressEvent& event) {
 std::unique_ptr<watch::WatchHandle> ConcurrentWatchService::Watch(
     common::Key low, common::Key high, common::Version version,
     watch::WatchCallback* callback) {
-  const common::KeyRange range{std::move(low), std::move(high)};
+  watch::Filter filter;
+  filter.range = common::KeyRange{std::move(low), std::move(high)};
+  return WatchFiltered(std::move(filter), version, callback);
+}
+
+std::unique_ptr<watch::WatchHandle> ConcurrentWatchService::WatchFiltered(
+    watch::Filter filter, common::Version version, watch::WatchCallback* callback) {
+  if (!filter.headers.empty()) {
+    return nullptr;  // Change events carry no headers; see WatchSystem.
+  }
+  const common::KeyRange range = filter.range;
   auto session = std::make_shared<LogicalSession>();
   session->user = callback;
   std::vector<std::shared_ptr<FanCallback>> fans;
@@ -208,10 +218,11 @@ std::unique_ptr<watch::WatchHandle> ConcurrentWatchService::Watch(
   }
 
   auto attach = [&](std::size_t s, ShardCore& core) {
-    const common::KeyRange slice = ShardRange(s).Intersect(range);
+    watch::Filter slice = filter;
+    slice.range = ShardRange(s).Intersect(range);
     auto fan = std::make_shared<FanCallback>(this, session);
     session->shards.push_back(s);
-    session->subs.push_back(core.watch->Watch(slice.low, slice.high, version, fan.get()));
+    session->subs.push_back(core.watch->WatchFiltered(std::move(slice), version, fan.get()));
     fans.push_back(std::move(fan));
   };
 

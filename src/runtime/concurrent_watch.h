@@ -34,6 +34,7 @@
 #include "common/types.h"
 #include "runtime/shard_pool.h"
 #include "watch/api.h"
+#include "watch/filter.h"
 
 namespace runtime {
 
@@ -74,6 +75,14 @@ class ConcurrentWatchService : public watch::Watchable, public watch::Ingester {
   std::unique_ptr<watch::WatchHandle> Watch(common::Key low, common::Key high,
                                             common::Version version,
                                             watch::WatchCallback* callback) override;
+
+  // Filtered watch: the filter's range picks the owning shards; each
+  // sub-session carries the filter with its range clipped to the shard's
+  // slice. Header predicates are rejected (nullptr) — change events carry no
+  // headers. Progress notifications stay range-scoped: the content filter
+  // narrows event delivery, not frontier advancement.
+  std::unique_ptr<watch::WatchHandle> WatchFiltered(watch::Filter filter, common::Version version,
+                                                    watch::WatchCallback* callback);
 
   // -- Aggregated introspection (fenced) ----------------------------------------
 

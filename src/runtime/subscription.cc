@@ -15,6 +15,10 @@ std::int64_t SteadyMicros() {
       .count();
 }
 
+// Records a filtered pump examines per fetch round before taking a breath
+// (cursor progress is committed between rounds).
+constexpr std::size_t kFilteredScanChunk = 4096;
+
 }  // namespace
 
 Subscription::~Subscription() {
@@ -29,10 +33,19 @@ Subscription::~Subscription() {
     // flight is harmless: its closure owns `self` and checks `detached`.
     pool_->Post(shard_, [self] {
       std::lock_guard<std::mutex> lock(self->mu);
+      pubsub::Broker* broker = self->pool->core(self->shard).broker.get();
       if (self->ticket != 0) {
-        (void)self->pool->core(self->shard).broker->CancelWait(self->ticket);
+        (void)broker->CancelWait(self->ticket);
         self->ticket = 0;
       }
+      // Drop the filtered-interest registration — but only if it lives on
+      // the shard's *current* broker; a registration on a broker that
+      // failover already destroyed died with it.
+      if (self->interest_id != 0 && self->interest_broker == broker) {
+        (void)broker->RemoveInterest(self->interest_id);
+      }
+      self->interest_id = 0;
+      self->interest_broker = nullptr;
     });
   }
 }
@@ -89,6 +102,14 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     }
   }
   bool pushed_any = false;
+  const bool filtered = s.filter.has_value();
+  if (filtered && s.interest_broker != broker) {
+    // First pump, or failover swapped the shard's broker (the registration
+    // died with the old instance): register the interest here so append-time
+    // dispatch and WaitForMatch know this subscription's filter.
+    s.interest_id = broker->AddInterest(s.topic, s.partition, *s.filter);
+    s.interest_broker = broker;
+  }
   for (;;) {
     // Fetch outside the lock: the broker is shard-confined, the buffer is
     // not, and neither needs the other's protection. The scratch vector is
@@ -96,9 +117,38 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     // never allocates.
     const std::size_t want = std::min(space, s.shard_batch);
     s.scratch.clear();
-    auto fetched = broker->FetchInto(s.topic, s.partition, cursor, want, &s.scratch);
-    if (!fetched.ok() || *fetched == 0) {
-      break;
+    std::size_t got = 0;
+    pubsub::Offset next = cursor;
+    if (filtered) {
+      // Bounded scan per round: a selective filter crossing a long
+      // non-matching run advances its cursor chunk by chunk instead of
+      // monopolizing the shard in one call.
+      auto fetched = broker->FetchFilteredInto(s.topic, s.partition, cursor, want,
+                                               kFilteredScanChunk, *s.filter, &s.scratch, &next);
+      if (!fetched.ok()) {
+        break;
+      }
+      got = *fetched;
+      if (got == 0 && next == cursor) {
+        break;  // No progress: caught up to the live edge.
+      }
+    } else {
+      auto fetched = broker->FetchInto(s.topic, s.partition, cursor, want, &s.scratch);
+      if (!fetched.ok() || *fetched == 0) {
+        break;
+      }
+      got = *fetched;
+      next = s.scratch.back().offset + 1;
+    }
+    if (got == 0) {
+      // Filtered scan advanced past non-matching records without a match:
+      // commit the cursor progress and keep scanning.
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.detached) {
+        return;
+      }
+      cursor = s.cursor = std::max(s.cursor, next);
+      continue;
     }
     {
       std::lock_guard<std::mutex> lock(s.mu);
@@ -113,7 +163,9 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
           s.buffer.push_back(std::move(m));
         }
       }
-      cursor = s.cursor = s.buffer.back().offset + 1;
+      // Filtered scans can advance the cursor past the last *matching*
+      // record, so take the scan cursor, not back().offset + 1.
+      cursor = s.cursor = std::max(next, s.buffer.back().offset + 1);
       pushed_any = true;
       if (was_empty && s.data_ready_at_us < 0) {
         s.data_ready_at_us = SteadyMicros();
@@ -124,7 +176,7 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
         break;
       }
     }
-    if (*fetched < want) {
+    if (!filtered && got < want) {
       // Short batch means the log is drained (appends run on this same shard
       // thread, so none landed meanwhile): skip the empty terminator fetch.
       break;
@@ -166,11 +218,16 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     return;
   }
   // Caught up: re-arm on the shard broker. If data landed between the last
-  // fetch and here (same thread, so it cannot have), WaitForAppend would
-  // fire an immediate pump; either way no append is missed.
+  // fetch and here (same thread, so it cannot have), the wait would fire an
+  // immediate pump; either way no append is missed. Filtered subscriptions
+  // park on WaitForMatch, so only a matching append wakes this pump.
   auto self = shared;
-  s.ticket = broker->WaitForAppend(s.topic, s.partition, s.cursor,
-                                   [self] { PumpShard(self); });
+  if (filtered) {
+    s.ticket = broker->WaitForMatch(s.interest_id, s.cursor, [self] { PumpShard(self); });
+  } else {
+    s.ticket = broker->WaitForAppend(s.topic, s.partition, s.cursor,
+                                     [self] { PumpShard(self); });
+  }
 }
 
 std::size_t Subscription::PollBatch(std::vector<pubsub::StoredMessage>* out, std::size_t max) {
@@ -186,18 +243,32 @@ std::size_t Subscription::PollBatch(std::vector<pubsub::StoredMessage>* out, std
       std::lock_guard<std::mutex> lock(s.mu);
       cursor = s.cursor;
     }
+    struct FetchOut {
+      std::vector<pubsub::StoredMessage> msgs;
+      pubsub::Offset next = 0;
+    };
     auto batch = pool_->RunOn(shard_, [&](ShardCore& core) {
-      return core.broker->Fetch(s.topic, s.partition, cursor, max);
+      FetchOut r;
+      r.next = cursor;
+      if (s.filter.has_value()) {
+        (void)core.broker->FetchFilteredInto(s.topic, s.partition, cursor, max, 0, *s.filter,
+                                             &r.msgs, &r.next);
+      } else {
+        (void)core.broker->FetchInto(s.topic, s.partition, cursor, max, &r.msgs);
+        if (!r.msgs.empty()) {
+          r.next = r.msgs.back().offset + 1;
+        }
+      }
+      return r;
     });
-    if (!batch.ok() || batch->empty()) {
-      return 0;
-    }
-    const std::size_t n = batch->size();
     {
       std::lock_guard<std::mutex> lock(s.mu);
-      s.cursor = batch->back().offset + 1;
+      // Filtered scans make cursor progress even on empty batches (they
+      // advance past non-matching records).
+      s.cursor = std::max(s.cursor, batch.next);
     }
-    for (pubsub::StoredMessage& m : *batch) {
+    const std::size_t n = batch.msgs.size();
+    for (pubsub::StoredMessage& m : batch.msgs) {
       out->push_back(std::move(m));
     }
     return n;

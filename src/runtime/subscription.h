@@ -33,12 +33,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/types.h"
 #include "pubsub/broker.h"
+#include "pubsub/filter.h"
 #include "pubsub/types.h"
 #include "runtime/doorbell.h"
 #include "runtime/shard_pool.h"
@@ -60,6 +62,12 @@ struct SubscriptionOptions {
   // sustained load this bounds wakeup context switches to ~1/window instead
   // of one per drain cycle. 0 rings on every empty→nonempty push.
   common::TimeMicros wake_coalesce_us = 500;
+  // Broker-side content filter. When set, the shard registers the filter as
+  // an interest on its broker: the pump fetches through the filtered scan
+  // path (only matching records reach the handoff buffer) and parks on
+  // WaitForMatch, so non-matching appends wake nobody — delivery work is
+  // O(matching), not O(all sessions).
+  std::optional<pubsub::Filter> filter;
 };
 
 class Subscription {
@@ -84,6 +92,8 @@ class Subscription {
   bool Wait(common::TimeMicros timeout_us);
 
   bool event_driven() const;
+  // The broker-side filter this subscription was created with, if any.
+  const std::optional<pubsub::Filter>& filter() const { return shared_->filter; }
   // Next offset the shard (event) / consumer (periodic) will fetch.
   pubsub::Offset cursor() const;
   // Parks that ended with data available (event mode).
@@ -124,6 +134,8 @@ class Subscription {
     common::TimeMicros wake_coalesce_us = 500;
     common::TimeMicros poll_period = 1000;
     bool event_driven = true;
+    // Broker-side content filter (immutable after Subscribe; empty = none).
+    std::optional<pubsub::Filter> filter;
     common::Histogram* wakeup_latency = nullptr;  // runtime.wakeup_latency_us
     common::Counter* rings = nullptr;             // runtime.doorbell_rings
 
@@ -148,6 +160,12 @@ class Subscription {
     // Ready hook (see SetReadyHook); invoked right after each bell ring.
     std::function<void()> ready_hook;
     pubsub::Broker::WaitTicket ticket = 0;  // Shard-confined.
+    // Filtered-interest registration, shard-confined. `interest_broker`
+    // remembers which broker instance holds the registration so the pump
+    // re-registers after a failover swaps the shard's broker (the old
+    // registration died with the old broker).
+    pubsub::Broker::InterestId interest_id = 0;
+    pubsub::Broker* interest_broker = nullptr;
     // Shard-confined fetch scratch: when caught up, every append fires one
     // pump, so the fetch path must not allocate per call. Capacity circulates
     // scratch → buffer → local_ and back through the two swaps.

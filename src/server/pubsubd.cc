@@ -146,6 +146,10 @@ struct Server::Session {
   std::size_t out_head = 0;
 
   bool hello_done = false;
+  // Negotiated wire version: min(client, server), pinned by HELLO. Every
+  // outbound frame and version-sensitive payload codec on this session uses
+  // it, so a v1 peer never sees a v2-only block.
+  std::uint8_t wire_version = net::kProtocolVersion;
   bool saw_goodbye = false;
   bool closing = false;  // Flush pending bytes, then close.
   bool dead = false;     // Torn down; reaped at end of the loop iteration.
@@ -500,7 +504,7 @@ void Server::SendFrame(Session& s, net::Verb verb, std::uint64_t request_id,
   if (s.dead) {
     return;
   }
-  net::EncodeFrame(s.out, verb, request_id, payload);
+  net::EncodeFrame(s.out, verb, request_id, payload, s.wire_version);
   frames_out_->Increment();
 }
 
@@ -540,7 +544,7 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
                   "frame_error:malformed_payload");
       return;
     }
-    if (req.wire_version != net::kProtocolVersion) {
+    if (req.wire_version < net::kMinProtocolVersion) {
       FailSession(s, frame.request_id,
                   common::Status::FailedPrecondition(
                       "protocol version mismatch: client " + std::to_string(req.wire_version) +
@@ -549,7 +553,13 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
       return;
     }
     s.hello_done = true;
+    // Speak min(client, server): a v1 client gets v1 frames and payloads; the
+    // frame header's version byte agrees with the payload's restatement for
+    // every client this codebase ships, and the payload is authoritative.
+    s.wire_version = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(req.wire_version, net::kProtocolVersion));
     net::HelloResponse resp;
+    resp.wire_version = s.wire_version;
     resp.heartbeat_interval_us = options_.heartbeat_interval_us;
     resp.heartbeat_misses = options_.heartbeat_misses;
     resp.max_payload = static_cast<std::uint32_t>(options_.max_payload);
@@ -595,10 +605,16 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
       if (!net::Decode(frame.payload, &req)) {
         break;
       }
+      if (!req.headers.empty() && s.wire_version < 2) {
+        SendError(s, frame.request_id,
+                  common::Status::InvalidArgument("record headers require protocol v2"), 0);
+        return;
+      }
       pubsub::Message msg;
       msg.key = std::move(req.key);
       msg.value = std::move(req.value);
       msg.publish_time = req.publish_time;
+      msg.headers = std::move(req.headers);
       std::optional<pubsub::PartitionId> partition;
       if (req.has_partition) {
         partition = req.partition;
@@ -652,9 +668,10 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
       const std::shared_ptr<NudgeGate> gate = gate_;
       const std::uint64_t sid = s.id;
       const std::uint64_t rid = frame.request_id;
+      const std::uint32_t wv = s.wire_version;
       const common::Status st = broker_->TryFetchAsync(
           req.topic, req.partition, req.offset, req.max, &retry_after,
-          [gate, sid, rid](common::Result<std::vector<pubsub::StoredMessage>> r) {
+          [gate, sid, rid, wv](common::Result<std::vector<pubsub::StoredMessage>> r) {
             std::lock_guard<std::mutex> lock(gate->mu);
             if (gate->server == nullptr) {
               return;
@@ -663,7 +680,7 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
               net::MessageBatch batch;
               batch.messages = std::move(*r);
               std::string payload;
-              net::Encode(batch, &payload);
+              net::Encode(batch, &payload, wv);
               gate->server->PushCompletion(sid, net::Verb::kFetch, rid, std::move(payload));
             } else {
               std::string payload;
@@ -688,11 +705,19 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
                   common::Status::AlreadyExists("stream id already in use"), 0);
         return;
       }
+      if (req.has_filter && s.wire_version < 2) {
+        SendError(s, frame.request_id,
+                  common::Status::InvalidArgument("filtered subscribe requires protocol v2"), 0);
+        return;
+      }
       runtime::SubscriptionOptions opts;
       opts.handoff_capacity = options_.subscription_handoff;
       // An event-loop consumer never parks in Wait(), so its re-check sweep
       // never runs: every ring must reach the hook (no coalescing).
       opts.wake_coalesce_us = 0;
+      if (req.has_filter) {
+        opts.filter = std::move(req.filter);
+      }
       auto sub = broker_->Subscribe(req.topic, req.partition, req.start, opts);
       if (sub == nullptr) {
         SendError(s, frame.request_id,
@@ -731,11 +756,31 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
                   common::Status::AlreadyExists("stream id already in use"), 0);
         return;
       }
+      if (req.has_filter && s.wire_version < 2) {
+        SendError(s, frame.request_id,
+                  common::Status::InvalidArgument("filtered watch requires protocol v2"), 0);
+        return;
+      }
       auto stream = std::make_unique<WatchStream>();
       stream->queue = std::make_shared<WatchQueue>();
       stream->fan = std::make_unique<WatchFan>(gate_, stream->queue, s.id,
                                                options_.max_watch_queue);
-      stream->handle = watch_->Watch(req.low, req.high, req.version, stream->fan.get());
+      if (req.has_filter) {
+        // low/high and the filter's range are encoded to agree; intersecting
+        // honors both if a foreign client ever disagrees.
+        watch::Filter filter = std::move(req.filter);
+        filter.range = common::KeyRange{req.low, req.high}.Intersect(filter.range);
+        stream->handle = watch_->WatchFiltered(std::move(filter), req.version, stream->fan.get());
+      } else {
+        stream->handle = watch_->Watch(req.low, req.high, req.version, stream->fan.get());
+      }
+      if (stream->handle == nullptr) {
+        // Header predicates: change events carry no headers (docs/FANOUT.md).
+        SendError(s, frame.request_id,
+                  common::Status::InvalidArgument("watch filters cannot use header predicates"),
+                  0);
+        return;
+      }
       s.watches.emplace(frame.request_id, std::move(stream));
       SendFrame(s, net::Verb::kWatch, frame.request_id, "");
       return;
@@ -835,7 +880,7 @@ void Server::PumpSubscriptions(Session& s) {
         break;
       }
       std::string payload;
-      net::Encode(batch, &payload);
+      net::Encode(batch, &payload, s.wire_version);
       SendFrame(s, net::Verb::kDeliver, rid, payload);
     }
   }

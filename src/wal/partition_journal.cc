@@ -86,7 +86,28 @@ common::Status PartitionJournal::Replay(std::uint64_t index, std::string_view pa
       std::uint64_t offset = 0;
       pubsub::Message msg;
       if (!reader.ReadU64(&offset) || !reader.ReadBytes(&msg.key) ||
-          !reader.ReadBytes(&msg.value) || !reader.ReadI64(&msg.publish_time) || !reader.Done()) {
+          !reader.ReadBytes(&msg.value) || !reader.ReadI64(&msg.publish_time)) {
+        return BadRecord("append");
+      }
+      // Record headers ride as an optional trailing block: absent in
+      // journals written before filtered subscriptions (and for records with
+      // no headers), so old journals replay with empty headers.
+      if (!reader.Done()) {
+        std::uint32_t n = 0;
+        if (!reader.ReadU32(&n)) {
+          return BadRecord("append");
+        }
+        msg.headers.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          std::string name;
+          std::string value;
+          if (!reader.ReadBytes(&name) || !reader.ReadBytes(&value)) {
+            return BadRecord("append");
+          }
+          msg.headers.emplace_back(std::move(name), std::move(value));
+        }
+      }
+      if (!reader.Done()) {
         return BadRecord("append");
       }
       log_->RestoreAppend(offset, std::move(msg));
@@ -186,6 +207,13 @@ void PartitionJournal::OnAppend(const pubsub::StoredMessage& msg) {
   PutBytes(&record, msg.message.key);
   PutBytes(&record, msg.message.value);
   PutI64(&record, msg.message.publish_time);
+  if (!msg.message.headers.empty()) {  // Trailing block; omitted when empty.
+    PutU32(&record, static_cast<std::uint32_t>(msg.message.headers.size()));
+    for (const auto& [name, value] : msg.message.headers) {
+      PutBytes(&record, name);
+      PutBytes(&record, value);
+    }
+  }
   const common::Status status = AppendRecord(record, msg.offset);
   if (!status.ok()) {
     NoteFailure(status);

@@ -62,21 +62,35 @@ void WatchSystem::Append(const ChangeEvent& raw) {
   if (observer_ != nullptr) {
     observer_->OnIngest(event);
   }
-  for (auto& [id, session] : sessions_) {
-    if (session->state != SessionState::kLive) {
-      continue;
+  // Dispatch through the interest index: only sessions whose filters match
+  // the key are visited, so a non-matching ingest costs O(index lookup), not
+  // O(sessions). Version/liveness checks stay per-session.
+  static const pubsub::Headers kNoHeaders;
+  std::vector<std::uint64_t> stale;
+  interest_.Match(event.key, kNoHeaders, [&](pubsub::InterestIndex::SubscriberId id) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      stale.push_back(id);  // Swept session: drop its index entry lazily.
+      return;
     }
-    if (!session->range.Contains(event.key) || event.version <= session->start_version) {
-      continue;
+    const std::shared_ptr<Session>& session = it->second;
+    if (session->state != SessionState::kLive) {
+      return;
+    }
+    if (event.version <= session->start_version) {
+      return;
     }
     if (options_.max_session_backlog > 0 &&
         session->in_flight >= options_.max_session_backlog) {
       // Lagging consumer: tell it to resync instead of queueing unboundedly —
       // the paper's "better treatment of backlogs" (Section 4.4).
       ForceResync(session, "backlog_overflow");
-      continue;
+      return;
     }
     DeliverEvent(session, event);
+  });
+  for (const std::uint64_t id : stale) {
+    interest_.Remove(id);
   }
 }
 
@@ -119,6 +133,7 @@ void WatchSystem::DeliverEvent(const std::shared_ptr<Session>& session,
 void WatchSystem::BreakSession(const std::shared_ptr<Session>& session) {
   session->state = SessionState::kDead;
   session->in_flight = 0;
+  interest_.Remove(session->id);
   ++sessions_broken_;
   if (obs_ != nullptr) {
     obs_->LogEvent(obs::EventKind::kSessionBreak, "unreachable",
@@ -137,8 +152,10 @@ void WatchSystem::ForceResync(const std::shared_ptr<Session>& session, const cha
   session->state = SessionState::kResyncing;
   // Leaving kLive: in-flight deliveries will drop at dispatch, so they are
   // discounted now — otherwise the counter leaks and the session-table
-  // hygiene sweep can never reclaim the session.
+  // hygiene sweep can never reclaim the session. The interest-index entry
+  // goes with it: a resyncing session must stop costing match work.
   session->in_flight = 0;
+  interest_.Remove(session->id);
   if (observer_ != nullptr) {
     observer_->OnResync(session->id);
   }
@@ -191,6 +208,26 @@ std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key
                                                     common::Version version,
                                                     WatchCallback* callback,
                                                     sim::NodeId watcher_node) {
+  Filter filter;
+  filter.range = common::KeyRange{std::move(low), std::move(high)};
+  return WatchFilteredFrom(std::move(filter), version, callback, std::move(watcher_node));
+}
+
+std::unique_ptr<WatchHandle> WatchSystem::WatchFiltered(Filter filter, common::Version version,
+                                                        WatchCallback* callback) {
+  return WatchFilteredFrom(std::move(filter), version, callback, sim::NodeId());
+}
+
+std::unique_ptr<WatchHandle> WatchSystem::WatchFilteredFrom(Filter filter,
+                                                            common::Version version,
+                                                            WatchCallback* callback,
+                                                            sim::NodeId watcher_node) {
+  if (!filter.headers.empty()) {
+    // ChangeEvents carry no headers: a header predicate could only ever
+    // match nothing. Fail loudly instead of opening a silently-empty stream.
+    return nullptr;
+  }
+  filter.Canonicalize();
   // version == kMaxVersion means "join at the live edge": no replay, no
   // resync — used by store-less intermediaries (e.g. WatchProxy) that have no
   // snapshot to recover from and only need a valid forward stream.
@@ -199,21 +236,25 @@ std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key
   }
   auto session = std::make_shared<Session>();
   session->id = next_session_id_++;
-  session->range = common::KeyRange{std::move(low), std::move(high)};
+  session->range = filter.range;
+  session->filter = std::move(filter);
   session->start_version = version;
   session->callback = callback;
   session->watcher_node = std::move(watcher_node);
   session->last_progress = version;
   sessions_.emplace(session->id, session);
+  interest_.Add(session->id, session->filter);
   if (observer_ != nullptr) {
     observer_->OnSessionStart(session->id, session->range, session->start_version);
   }
 
   // Opportunistic session-table hygiene: drop dead sessions. Dead sessions
   // always have in_flight == 0 (reset on leaving kLive); any pending delivery
-  // closures hold their own shared_ptr, so erasure is safe.
+  // closures hold their own shared_ptr, so erasure is safe. Index entries go
+  // with them (sessions cancelled via their handle never told us directly).
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second->state == SessionState::kDead) {
+      interest_.Remove(it->first);
       it = sessions_.erase(it);
     } else {
       ++it;
@@ -232,8 +273,13 @@ std::unique_ptr<WatchHandle> WatchSystem::WatchFrom(common::Key low, common::Key
     return std::make_unique<Handle>(session);
   }
   // Replay buffered events the watcher has not seen, then go live. Replay and
-  // live dispatch share the fixed delivery latency, so ordering holds.
+  // live dispatch share the fixed delivery latency, so ordering holds. The
+  // window query is range-scoped; the filter's residual (prefix) constraint
+  // applies on top.
   for (const ChangeEvent& event : window_.EventsAfter(session->range, version)) {
+    if (!session->filter.MatchesKey(event.key)) {
+      continue;
+    }
     DeliverEvent(session, event);
   }
   return std::make_unique<Handle>(session);

@@ -31,9 +31,11 @@
 
 #include "common/types.h"
 #include "obs/collector.h"
+#include "pubsub/interest_index.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "watch/api.h"
+#include "watch/filter.h"
 #include "watch/progress_tracker.h"
 #include "watch/retained_window.h"
 
@@ -104,6 +106,17 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
                                          common::Version version, WatchCallback* callback,
                                          sim::NodeId watcher_node) override;
 
+  // Filtered watches: the filter's key range plays the session-range role,
+  // and the prefix constraint is evaluated ingest-side through the interest
+  // index — a non-matching ingest touches no session state. Header
+  // predicates are rejected (nullptr): ChangeEvents carry no headers, so
+  // such a filter could only ever match nothing, silently.
+  std::unique_ptr<WatchHandle> WatchFiltered(Filter filter, common::Version version,
+                                             WatchCallback* callback);
+  std::unique_ptr<WatchHandle> WatchFilteredFrom(Filter filter, common::Version version,
+                                                 WatchCallback* callback,
+                                                 sim::NodeId watcher_node);
+
   // -- Soft-state lifecycle ------------------------------------------------------
 
   // Simulates losing the watch system's soft state (process restart, cache
@@ -124,6 +137,10 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
   std::uint64_t sessions_broken() const { return sessions_broken_; }
   std::size_t active_sessions() const;
   std::size_t retained_events() const { return window_.size(); }
+  // Interest-index occupancy (leak checks: must drop back as sessions die).
+  std::size_t interest_count() const { return interest_.subscriber_count(); }
+  std::size_t interest_lanes() const { return interest_.lane_count(); }
+  const pubsub::InterestIndex& interests() const { return interest_; }
 
   // -- Oracle introspection --------------------------------------------------------
 
@@ -157,7 +174,8 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
 
   struct Session {
     std::uint64_t id = 0;
-    common::KeyRange range;
+    common::KeyRange range;  // == filter.range (kept for range-scoped paths).
+    Filter filter;
     common::Version start_version = 0;
     WatchCallback* callback = nullptr;
     sim::NodeId watcher_node;  // Empty: local.
@@ -186,6 +204,11 @@ class WatchSystem : public NodeAwareWatchable, public Ingester {
   RetainedWindow window_;
   ProgressTracker tracker_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  // Ingest-side fanout index over every session's filter (session id =
+  // subscriber id): Append touches O(matching sessions), not all of them.
+  // Entries are removed when a session leaves kLive (resync/break) or is
+  // swept, so index occupancy tracks live sessions.
+  pubsub::InterestIndex interest_;
   std::uint64_t next_session_id_ = 1;
   std::uint64_t events_delivered_ = 0;
   std::uint64_t resyncs_sent_ = 0;

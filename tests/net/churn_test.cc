@@ -56,6 +56,16 @@ struct Harness {
     return pending;
   }
 
+  std::size_t PendingInterests() {
+    std::size_t pending = 0;
+    pool->RunFenced([&] {
+      for (std::size_t s = 0; s < pool->options().shards; ++s) {
+        pending += pool->core(s).broker->PendingInterests();
+      }
+    });
+    return pending;
+  }
+
   template <typename Pred>
   bool Eventually(Pred pred, std::int64_t deadline_us = 10'000'000) {
     for (std::int64_t waited = 0; waited < deadline_us; waited += 5000) {
@@ -191,6 +201,88 @@ TEST(ChurnTest, HalfOpenHandshakesAndInstantDisconnectsDoNotAccumulate) {
   auto c = client::Client::Connect("127.0.0.1", h.server->port());
   ASSERT_TRUE(c.ok());
   EXPECT_TRUE((*c)->Ping().ok());
+}
+
+TEST(ChurnTest, FilteredSessionsCutMidCatchUpLeaveNoInterestEntries) {
+  // A filtered subscription registers an entry in the broker's interest
+  // index (that's what makes its fanout O(matching)); a session killed
+  // abruptly mid-catch-up — filtered cursor still behind the log head, a
+  // WaitForMatch parked or a scan chunk in flight — must have that entry
+  // reaped with the session. A leaked interest is worse than a leaked
+  // waiter: every future append would pay for a dead subscriber forever.
+  ServerOptions so;
+  so.heartbeat_interval_us = 50'000;
+  so.heartbeat_misses = 3;
+  Harness h(so);
+  ASSERT_TRUE(h.broker->CreateTopic("filtered", {.partitions = 1}).ok());
+
+  // A backlog to catch up through: mostly non-matching keys, so the
+  // filtered cursor has real scanning to do when the session dies.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(h.broker
+                    ->PublishSync("filtered",
+                                  {.key = (i % 50 == 0 ? "hot" : "cold" + std::to_string(i)),
+                                   .value = "v" + std::to_string(i)},
+                                  0)
+                    .ok());
+  }
+
+  constexpr int kRounds = 4;
+  constexpr int kClientsPerRound = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::unique_ptr<client::Client>> doomed;
+    std::vector<std::unique_ptr<client::Subscription>> subs;
+    for (int i = 0; i < kClientsPerRound; ++i) {
+      auto c = client::Client::Connect("127.0.0.1", h.server->port(),
+                                       {.client_name = "doomed-filtered", .auto_heartbeat = false});
+      ASSERT_TRUE(c.ok()) << c.status().message();
+      pubsub::Filter f;
+      if (i % 2 == 0) {
+        f.range = common::KeyRange::Single("hot");
+      } else {
+        f.key_prefix = "hot";
+        f.headers.push_back({"absent", pubsub::HeaderPredicate::Op::kExists, ""});
+      }
+      auto sub = (*c)->Subscribe("filtered", 0, 0, 8, f);
+      ASSERT_TRUE(sub.ok()) << sub.status().message();
+      subs.push_back(std::move(*sub));
+      doomed.push_back(std::move(*c));
+    }
+    // The interests are registered shard-side before the kill — the
+    // reclamation below has to mean something.
+    ASSERT_TRUE(h.Eventually([&] { return h.PendingInterests() >= kClientsPerRound; }))
+        << h.PendingInterests() << " interests registered";
+    for (std::unique_ptr<client::Client>& c : doomed) {
+      c->KillConnectionForTest();
+    }
+    subs.clear();
+    doomed.clear();
+    // Dead-peer sweep reaps the sessions; the interest index must return to
+    // empty — no leaked entries, no leaked shared-lane refcounts holding
+    // lanes alive for dead subscribers.
+    ASSERT_TRUE(h.Eventually([&] { return h.PendingInterests() == 0; }))
+        << h.PendingInterests() << " interests leaked in round " << round;
+  }
+  ASSERT_TRUE(h.Eventually([&] { return h.PendingWaiters() == 0; }))
+      << h.PendingWaiters() << " waiters leaked";
+
+  // The index still serves a fresh filtered subscriber correctly after all
+  // that churn: exactly the 40 "hot" records, in order.
+  auto fresh = client::Client::Connect("127.0.0.1", h.server->port());
+  ASSERT_TRUE(fresh.ok());
+  pubsub::Filter hot;
+  hot.range = common::KeyRange::Single("hot");
+  auto sub = (*fresh)->Subscribe("filtered", 0, 0, 64, hot);
+  ASSERT_TRUE(sub.ok());
+  std::vector<pubsub::StoredMessage> got;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.size() < 40 && std::chrono::steady_clock::now() < deadline) {
+    (void)(*sub)->Poll(&got, 64, 100'000);
+  }
+  ASSERT_EQ(got.size(), 40u);
+  for (const pubsub::StoredMessage& sm : got) {
+    EXPECT_EQ(sm.message.key, "hot");
+  }
 }
 
 TEST(ChurnTest, StopWithLiveSessionsShutsDownCleanly) {

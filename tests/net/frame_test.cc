@@ -331,6 +331,179 @@ TEST(FrameTest, MessageCodecsRoundTrip) {
   }
 }
 
+TEST(FrameTest, FilterBlocksRoundTripAndV1ShapesStillDecode) {
+  // A v2 SUBSCRIBE with a full filter block round-trips every field.
+  SubscribeRequest in;
+  in.topic = "orders";
+  in.partition = 3;
+  in.start = 1000;
+  in.max_batch = 64;
+  in.has_filter = true;
+  in.filter.range = {"aa", "bz"};
+  in.filter.key_prefix = "b";
+  in.filter.headers.push_back({"region", pubsub::HeaderPredicate::Op::kEq, "eu"});
+  in.filter.headers.push_back({"tier", pubsub::HeaderPredicate::Op::kExists, ""});
+  std::string p;
+  Encode(in, &p);
+  SubscribeRequest out;
+  ASSERT_TRUE(Decode(p, &out));
+  ASSERT_TRUE(out.has_filter);
+  EXPECT_EQ(out.filter.range.low, "aa");
+  EXPECT_EQ(out.filter.range.high, "bz");
+  EXPECT_EQ(out.filter.key_prefix, "b");
+  ASSERT_EQ(out.filter.headers.size(), 2u);
+  EXPECT_EQ(out.filter.headers[0].name, "region");
+  EXPECT_EQ(out.filter.headers[0].op, pubsub::HeaderPredicate::Op::kEq);
+  EXPECT_EQ(out.filter.headers[0].value, "eu");
+  EXPECT_EQ(out.filter.headers[1].op, pubsub::HeaderPredicate::Op::kExists);
+
+  // The filterless encoding is the v1 shape: it must end at max_batch and
+  // decode as unfiltered (old clients and new servers agree byte for byte).
+  SubscribeRequest v1;
+  v1.topic = "orders";
+  std::string v1_bytes;
+  Encode(v1, &v1_bytes);
+  EXPECT_LT(v1_bytes.size(), p.size());
+  SubscribeRequest v1_out;
+  v1_out.has_filter = true;  // Must be reset by decode.
+  ASSERT_TRUE(Decode(v1_bytes, &v1_out));
+  EXPECT_FALSE(v1_out.has_filter);
+
+  // Same deal for WATCH and for PUBLISH's optional header block.
+  WatchRequest w;
+  w.low = "a";
+  w.high = "m";
+  w.version = 7;
+  w.has_filter = true;
+  w.filter.range = {"a", "m"};
+  w.filter.key_prefix = "ab";
+  p.clear();
+  Encode(w, &p);
+  WatchRequest wout;
+  ASSERT_TRUE(Decode(p, &wout));
+  ASSERT_TRUE(wout.has_filter);
+  EXPECT_EQ(wout.filter.key_prefix, "ab");
+  w.has_filter = false;
+  w.filter = {};
+  p.clear();
+  Encode(w, &p);
+  wout.has_filter = true;
+  ASSERT_TRUE(Decode(p, &wout));
+  EXPECT_FALSE(wout.has_filter);
+
+  PublishRequest pub;
+  pub.topic = "t";
+  pub.key = "k";
+  pub.value = "v";
+  pub.headers = {{"h0", "x"}, {"h1", "y"}};
+  p.clear();
+  Encode(pub, &p);
+  PublishRequest pout;
+  ASSERT_TRUE(Decode(p, &pout));
+  EXPECT_EQ(pout.headers, pub.headers);
+  pub.headers.clear();
+  p.clear();
+  Encode(pub, &p);
+  pout.headers = {{"stale", "stale"}};
+  ASSERT_TRUE(Decode(p, &pout));
+  EXPECT_TRUE(pout.headers.empty());
+}
+
+TEST(FrameTest, FilterFrameBitFlipsAndTruncationsNeverDecode) {
+  // The full fuzz demanded by the protocol: a SUBSCRIBE/WATCH frame carrying
+  // a filter block, with every byte bit-flipped — the frame CRCs must refuse
+  // all of them (no corrupted filter ever reaches the codec) — and every
+  // payload truncation must fail the codec, except the one prefix that IS
+  // the valid v1 shape, which must decode as unfiltered, never as a mangled
+  // filter.
+  SubscribeRequest sub;
+  sub.topic = "t";
+  sub.max_batch = 32;
+  sub.has_filter = true;
+  sub.filter.range = {"k0", "k9"};
+  sub.filter.key_prefix = "k";
+  sub.filter.headers.push_back({"h", pubsub::HeaderPredicate::Op::kNe, "x"});
+  std::string sub_payload;
+  Encode(sub, &sub_payload);
+
+  WatchRequest wreq;
+  wreq.low = "a";
+  wreq.high = "z";
+  wreq.has_filter = true;
+  wreq.filter.range = {"a", "z"};
+  wreq.filter.key_prefix = "ab";
+  std::string watch_payload;
+  Encode(wreq, &watch_payload);
+
+  for (const auto& [verb, payload] :
+       {std::pair<Verb, std::string>{Verb::kSubscribe, sub_payload},
+        std::pair<Verb, std::string>{Verb::kWatch, watch_payload}}) {
+    const std::string frame = OneFrame(verb, 11, payload);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string corrupt = frame;
+        corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+        FrameDecoder dec;
+        dec.Feed(corrupt);
+        Frame f;
+        if (dec.Next(&f) == FrameDecoder::Result::kFrame) {
+          ADD_FAILURE() << "flip at byte " << i << " bit " << bit << " yielded a frame";
+        }
+      }
+    }
+
+    // Payload truncations: every strict prefix either fails the codec or is
+    // exactly the v1 boundary (decodes with no filter). A truncation landing
+    // inside the filter block can never "shrink" into a smaller valid
+    // filter.
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::string_view prefix = std::string_view(payload).substr(0, cut);
+      if (verb == Verb::kSubscribe) {
+        SubscribeRequest out;
+        if (Decode(prefix, &out)) {
+          EXPECT_FALSE(out.has_filter) << "cut " << cut;
+        }
+      } else {
+        WatchRequest out;
+        if (Decode(prefix, &out)) {
+          EXPECT_FALSE(out.has_filter) << "cut " << cut;
+        }
+      }
+    }
+  }
+
+  // A present-but-false filter flag is a malformation, not "no filter":
+  // the only legal encodings are absence or Bool(true)+block.
+  SubscribeRequest plain;
+  plain.topic = "t";
+  std::string mangled;
+  Encode(plain, &mangled);
+  mangled.push_back('\0');  // Bool(false) where a filter block could start.
+  SubscribeRequest out;
+  EXPECT_FALSE(Decode(mangled, &out));
+
+  // Random slices of the filter block spliced onto a v1 payload: never a
+  // silent success with has_filter set from garbage.
+  common::Rng rng(0x51f7e2);
+  const std::size_t v1_len = mangled.size() - 1;
+  for (int round = 0; round < 300; ++round) {
+    std::string spliced = mangled.substr(0, v1_len);
+    const std::size_t n = 1 + rng.Below(sub_payload.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      spliced.push_back(static_cast<char>(rng.Below(256)));
+    }
+    SubscribeRequest sout;
+    if (Decode(spliced, &sout) && sout.has_filter) {
+      // Decoding random bytes as a filter is allowed only if it parsed
+      // fully and self-consistently — ops in range, exact end.
+      for (const pubsub::HeaderPredicate& pred : sout.filter.headers) {
+        EXPECT_LE(static_cast<int>(pred.op),
+                  static_cast<int>(pubsub::HeaderPredicate::Op::kNe));
+      }
+    }
+  }
+}
+
 TEST(FrameTest, MalformedPayloadsRejectLoudly) {
   // Trailing bytes, truncated strings, and out-of-range enums all fail the
   // codec — a schema mismatch is as terminal as a CRC miss.

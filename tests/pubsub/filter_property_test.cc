@@ -1,0 +1,412 @@
+// Property suite for pubsub::Filter and pubsub::InterestIndex: over seeded
+// random filter populations and record streams, InterestIndex::Match must
+// visit exactly the subscribers a brute-force scan of every filter would —
+// the index's classification (exact / prefix / range / broad homes,
+// shared-lane subgrouping) is an efficiency decision and can never change
+// match semantics. Failures are shrunk to a minimal filter-set + record
+// before reporting, so a red run prints a hand-checkable repro.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "pubsub/filter.h"
+#include "pubsub/interest_index.h"
+
+namespace {
+
+using pubsub::Filter;
+using pubsub::Headers;
+using pubsub::HeaderPredicate;
+using pubsub::InterestIndex;
+
+constexpr std::uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+
+// Tiny alphabets on purpose: collisions (prefix-vs-exact, shared boundary
+// keys, equal filters joining one lane) must be common, not freak events.
+std::string RandomKey(common::Rng& rng, std::size_t max_len = 4) {
+  const std::size_t len = rng.Below(max_len + 1);
+  std::string key;
+  for (std::size_t i = 0; i < len; ++i) {
+    key.push_back(static_cast<char>('a' + rng.Below(3)));
+  }
+  return key;
+}
+
+Headers RandomHeaders(common::Rng& rng) {
+  Headers headers;
+  const std::size_t n = rng.Below(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    headers.emplace_back(rng.Below(2) == 0 ? "h0" : "h1", rng.Below(2) == 0 ? "x" : "y");
+  }
+  return headers;
+}
+
+Filter RandomFilter(common::Rng& rng) {
+  Filter f;
+  switch (rng.Below(6)) {
+    case 0:  // Exact key (the hash-lane home).
+      f.range = common::KeyRange::Single(RandomKey(rng));
+      break;
+    case 1: {  // Bounded or half-bounded range, possibly empty.
+      f.range.low = RandomKey(rng);
+      f.range.high = rng.Below(4) == 0 ? std::string() : RandomKey(rng);
+      break;
+    }
+    case 2:  // Prefix-only (the trie home).
+      f.key_prefix = RandomKey(rng, 3);
+      break;
+    case 3:  // Range and prefix together (residual check must hold both).
+      f.range.low = RandomKey(rng);
+      f.range.high = rng.Below(2) == 0 ? std::string() : RandomKey(rng);
+      f.key_prefix = RandomKey(rng, 2);
+      break;
+    case 4:  // Match-everything / header-only (the broad home).
+      break;
+    default:
+      f.key_prefix = RandomKey(rng, 2);
+      break;
+  }
+  const std::size_t preds = rng.Below(3);
+  for (std::size_t i = 0; i < preds; ++i) {
+    HeaderPredicate p;
+    p.name = rng.Below(2) == 0 ? "h0" : "h1";
+    p.op = static_cast<HeaderPredicate::Op>(rng.Below(3));
+    p.value = rng.Below(2) == 0 ? "x" : "y";
+    f.headers.push_back(std::move(p));
+  }
+  return f;
+}
+
+struct Record {
+  std::string key;
+  Headers headers;
+};
+
+// A self-contained repro: the filter population (by subscriber id) plus one
+// record. `Mismatches` rebuilds a fresh index each time, so shrinking can
+// re-evaluate candidates cheaply and without cross-contamination.
+struct Repro {
+  std::vector<std::pair<InterestIndex::SubscriberId, Filter>> filters;
+  Record record;
+};
+
+std::set<InterestIndex::SubscriberId> BruteForce(const Repro& r) {
+  std::set<InterestIndex::SubscriberId> out;
+  for (const auto& [id, filter] : r.filters) {
+    if (filter.Matches(r.record.key, r.record.headers)) {
+      out.insert(id);
+    }
+  }
+  return out;
+}
+
+std::set<InterestIndex::SubscriberId> Indexed(const Repro& r) {
+  InterestIndex index;
+  for (const auto& [id, filter] : r.filters) {
+    index.Add(id, filter);
+  }
+  std::set<InterestIndex::SubscriberId> out;
+  index.Match(r.record.key, r.record.headers,
+              [&](InterestIndex::SubscriberId id) { out.insert(id); });
+  return out;
+}
+
+bool Mismatches(const Repro& r) { return Indexed(r) != BruteForce(r); }
+
+std::string OpName(HeaderPredicate::Op op) {
+  switch (op) {
+    case HeaderPredicate::Op::kExists: return "exists";
+    case HeaderPredicate::Op::kEq: return "eq";
+    case HeaderPredicate::Op::kNe: return "ne";
+  }
+  return "?";
+}
+
+std::string Dump(const Repro& r) {
+  std::ostringstream os;
+  os << "record key=\"" << r.record.key << "\" headers={";
+  for (const auto& [n, v] : r.record.headers) {
+    os << n << "=" << v << ",";
+  }
+  os << "}\n";
+  for (const auto& [id, f] : r.filters) {
+    os << "  filter id=" << id << " range=[\"" << f.range.low << "\",\"" << f.range.high
+       << "\") prefix=\"" << f.key_prefix << "\" preds={";
+    for (const HeaderPredicate& p : f.headers) {
+      os << p.name << " " << OpName(p.op) << " " << p.value << ",";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+// Greedy shrink: drop whole filters, then header predicates, then trim the
+// record, re-checking the mismatch after each candidate removal. The result
+// is locally minimal — removing any single remaining element makes the bug
+// disappear — which is what a human wants to stare at.
+Repro Shrink(Repro r) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < r.filters.size(); ++i) {
+      Repro candidate = r;
+      candidate.filters.erase(candidate.filters.begin() + static_cast<std::ptrdiff_t>(i));
+      if (Mismatches(candidate)) {
+        r = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) {
+      continue;
+    }
+    for (std::size_t i = 0; i < r.filters.size(); ++i) {
+      for (std::size_t j = 0; j < r.filters[i].second.headers.size(); ++j) {
+        Repro candidate = r;
+        candidate.filters[i].second.headers.erase(candidate.filters[i].second.headers.begin() +
+                                                  static_cast<std::ptrdiff_t>(j));
+        if (Mismatches(candidate)) {
+          r = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+      if (progress) {
+        break;
+      }
+    }
+    if (progress) {
+      continue;
+    }
+    for (std::size_t j = 0; j < r.record.headers.size(); ++j) {
+      Repro candidate = r;
+      candidate.record.headers.erase(candidate.record.headers.begin() +
+                                     static_cast<std::ptrdiff_t>(j));
+      if (Mismatches(candidate)) {
+        r = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) {
+      continue;
+    }
+    while (!r.record.key.empty()) {
+      Repro candidate = r;
+      candidate.record.key.pop_back();
+      if (!Mismatches(candidate)) {
+        break;
+      }
+      r = std::move(candidate);
+      progress = true;
+    }
+  }
+  return r;
+}
+
+void ExpectEquivalent(const Repro& r) {
+  const auto brute = BruteForce(r);
+  const auto indexed = Indexed(r);
+  if (indexed == brute) {
+    return;
+  }
+  const Repro minimal = Shrink(r);
+  ADD_FAILURE() << "InterestIndex::Match != brute force. Minimal repro:\n"
+                << Dump(minimal) << "brute={"
+                << [&] {
+                     std::ostringstream os;
+                     for (auto id : BruteForce(minimal)) os << id << ",";
+                     return os.str();
+                   }()
+                << "} indexed={" << [&] {
+                     std::ostringstream os;
+                     for (auto id : Indexed(minimal)) os << id << ",";
+                     return os.str();
+                   }() << "}";
+}
+
+TEST(FilterPropertyTest, RandomPopulationsMatchBruteForce) {
+  common::Rng rng(kSeed);
+  for (int round = 0; round < 200; ++round) {
+    Repro r;
+    const std::size_t nfilters = 1 + rng.Below(24);
+    for (std::size_t i = 0; i < nfilters; ++i) {
+      r.filters.emplace_back(i + 1, RandomFilter(rng));
+    }
+    for (int rec = 0; rec < 32; ++rec) {
+      r.record.key = RandomKey(rng);
+      r.record.headers = RandomHeaders(rng);
+      ExpectEquivalent(r);
+      if (::testing::Test::HasFailure()) {
+        return;  // One shrunk repro is worth more than a failure storm.
+      }
+    }
+  }
+}
+
+// Equivalence must survive churn: interleaved Add/Remove against a model
+// map, matching after every step. This exercises shared-lane refcounting
+// (identical filters joining/leaving one lane) and home dismantling.
+TEST(FilterPropertyTest, EquivalenceHoldsUnderChurn) {
+  common::Rng rng(kSeed ^ 0xc0ffee);
+  InterestIndex index;
+  std::map<InterestIndex::SubscriberId, Filter> model;
+  InterestIndex::SubscriberId next_id = 1;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t dice = rng.Below(10);
+    if (dice < 4 || model.empty()) {
+      Filter f = RandomFilter(rng);
+      index.Add(next_id, f);
+      model.emplace(next_id, std::move(f));
+      ++next_id;
+    } else if (dice < 7) {
+      auto it = model.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.Below(model.size())));
+      EXPECT_TRUE(index.Remove(it->first));
+      model.erase(it);
+    } else {
+      const std::string key = RandomKey(rng);
+      const Headers headers = RandomHeaders(rng);
+      std::set<InterestIndex::SubscriberId> expect;
+      for (const auto& [id, f] : model) {
+        if (f.Matches(key, headers)) {
+          expect.insert(id);
+        }
+      }
+      std::set<InterestIndex::SubscriberId> got;
+      index.Match(key, headers, [&](InterestIndex::SubscriberId id) { got.insert(id); });
+      ASSERT_EQ(got, expect) << "step " << step << " key=\"" << key << "\"";
+    }
+  }
+  EXPECT_EQ(index.subscriber_count(), model.size());
+  for (const auto& [id, f] : model) {
+    EXPECT_TRUE(index.Remove(id));
+  }
+  EXPECT_EQ(index.subscriber_count(), 0u);
+  EXPECT_EQ(index.lane_count(), 0u);
+  EXPECT_EQ(index.broad_lane_count(), 0u);
+}
+
+// -- Directed edge cases -------------------------------------------------------
+
+TEST(FilterPropertyTest, RangeBoundariesAreHalfOpen) {
+  Repro r;
+  Filter f;
+  f.range = common::KeyRange{"b", "c"};
+  r.filters.emplace_back(1, f);
+  for (const char* key : {"a", "az", "b", "bz", "bzzz", "c", "ca", "d", ""}) {
+    r.record = Record{key, {}};
+    ExpectEquivalent(r);
+  }
+  // Spot-check the semantics themselves, not just agreement.
+  EXPECT_FALSE(f.MatchesKey("a"));
+  EXPECT_TRUE(f.MatchesKey("b"));
+  EXPECT_TRUE(f.MatchesKey("bz"));
+  EXPECT_FALSE(f.MatchesKey("c"));
+}
+
+TEST(FilterPropertyTest, EmptyRangeMatchesNothingAndUnregistersCleanly) {
+  InterestIndex index;
+  Filter f;
+  f.range = common::KeyRange{"m", "a"};  // high < low: empty.
+  index.Add(7, f);
+  EXPECT_EQ(index.subscriber_count(), 1u);
+  std::size_t hits = 0;
+  for (const char* key : {"", "a", "m", "z"}) {
+    index.Match(key, {}, [&](InterestIndex::SubscriberId) { ++hits; });
+  }
+  EXPECT_EQ(hits, 0u);
+  EXPECT_TRUE(index.Remove(7));
+  EXPECT_EQ(index.lane_count(), 0u);
+}
+
+TEST(FilterPropertyTest, PrefixAndExactKeyCollide) {
+  Repro r;
+  Filter prefix;
+  prefix.key_prefix = "ab";
+  Filter exact;
+  exact.range = common::KeyRange::Single("ab");
+  r.filters.emplace_back(1, prefix);
+  r.filters.emplace_back(2, exact);
+  for (const char* key : {"ab", "abc", "a", "abab", "b", ""}) {
+    r.record = Record{key, {}};
+    ExpectEquivalent(r);
+  }
+  // "ab" hits both homes; "abc" only the trie.
+  Repro both = r;
+  both.record = Record{"ab", {}};
+  EXPECT_EQ(Indexed(both), (std::set<InterestIndex::SubscriberId>{1, 2}));
+  both.record = Record{"abc", {}};
+  EXPECT_EQ(Indexed(both), (std::set<InterestIndex::SubscriberId>{1}));
+}
+
+TEST(FilterPropertyTest, IdenticalFiltersShareOneLane) {
+  InterestIndex index;
+  Filter f;
+  f.key_prefix = "a";
+  HeaderPredicate p;
+  p.name = "h0";
+  p.op = HeaderPredicate::Op::kEq;
+  p.value = "x";
+  f.headers.push_back(p);
+  // Same canonical form in different pre-canonical orders.
+  Filter g = f;
+  g.headers.push_back(p);  // Duplicate predicate: canonicalization dedups.
+  index.Add(1, f);
+  index.Add(2, g);
+  EXPECT_EQ(index.subscriber_count(), 2u);
+  EXPECT_EQ(index.lane_count(), 1u);
+  std::set<InterestIndex::SubscriberId> got;
+  index.Match("aa", {{"h0", "x"}}, [&](InterestIndex::SubscriberId id) { got.insert(id); });
+  EXPECT_EQ(got, (std::set<InterestIndex::SubscriberId>{1, 2}));
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_EQ(index.lane_count(), 1u);  // Lane survives its other member.
+  EXPECT_TRUE(index.Remove(2));
+  EXPECT_EQ(index.lane_count(), 0u);
+}
+
+TEST(FilterPropertyTest, UnsubscribeDuringMatchIsSafe) {
+  // A match callback that removes subscribers (the watch layer resyncing a
+  // session mid-dispatch does exactly this) must not invalidate the fanout.
+  InterestIndex index;
+  Filter broad;  // Everything matches: all lanes are candidates.
+  index.Add(1, broad);
+  index.Add(2, broad);
+  index.Add(3, broad);
+  std::vector<InterestIndex::SubscriberId> visited;
+  index.Match("k", {}, [&](InterestIndex::SubscriberId id) {
+    visited.push_back(id);
+    index.Remove(2);  // Removing a sibling (or self) mid-fanout.
+    index.Remove(id);
+  });
+  // All members of the lane snapshot are visited even as the lane dies.
+  EXPECT_EQ(visited, (std::vector<InterestIndex::SubscriberId>{1, 2, 3}));
+  EXPECT_EQ(index.subscriber_count(), 0u);
+  EXPECT_EQ(index.lane_count(), 0u);
+}
+
+TEST(FilterPropertyTest, MatchedNeverExceedsScannedAndBroadIsVisible) {
+  common::Rng rng(kSeed ^ 0xbead);
+  InterestIndex index;
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    index.Add(id, RandomFilter(rng));
+  }
+  for (int i = 0; i < 256; ++i) {
+    index.Match(RandomKey(rng), RandomHeaders(rng), [](InterestIndex::SubscriberId) {});
+  }
+  EXPECT_LE(index.lanes_matched(), index.lanes_scanned());
+  EXPECT_GE(index.subscribers_matched(), index.lanes_matched());
+  // Broad lanes are scanned on every append: with any broad lanes present,
+  // scanned grows at least that fast.
+  EXPECT_GE(index.lanes_scanned(), 256u * index.broad_lane_count());
+}
+
+}  // namespace
