@@ -23,9 +23,19 @@
 // pushes at append time), so stopping the clock at Quiesce would credit the
 // periodic mode for consumer work it had merely deferred.
 //
+// Data-plane A/B (the lock-free ring + batched-publish work): --ring selects
+// the shard ingress ring (mutex | lockfree; default runs BOTH and tags each
+// row), --publish-batch=N stages N records per arena-backed PublishBatch
+// (0 = auto: 1 on the mutex ring, 512 on the lock-free ring — each ring's
+// intended posture), and --smoke runs a quick 1-shard publish-only A/B of
+// mutex-singles vs lockfree-batched and exits nonzero if the lock-free data
+// plane fails to beat the mutex baseline — the CI perf gate.
+//
 //   ./bench_runtime_throughput [--messages=N] [--producers=P] [--consumers=C]
 //                              [--watchers=W] [--consumer-mode=event|periodic]
-//                              [--json=PATH]
+//                              [--ring=mutex|lockfree] [--publish-batch=N]
+//                              [--smoke] [--json=PATH]
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -48,6 +58,7 @@
 #include "pubsub/broker.h"
 #include "runtime/concurrent_broker.h"
 #include "runtime/concurrent_watch.h"
+#include "runtime/publish_batch.h"
 #include "runtime/shard_pool.h"
 #include "runtime/subscription.h"
 #include "watch/api.h"
@@ -87,6 +98,8 @@ class LatencyCallback : public watch::WatchCallback {
 
 struct RunResult {
   std::size_t shards = 0;
+  bool lockfree = false;
+  int publish_batch = 1;
   double elapsed_sec = 0;
   std::int64_t messages = 0;  // publishes == ingests
   std::int64_t publish_retries = 0;
@@ -105,13 +118,20 @@ common::Key SplitPoint(std::size_t i, std::size_t n) {
   return common::Key(1, static_cast<char>('a' + (26 * i) / n));
 }
 
+// `lockfree` selects the shard ingress ring; `publish_batch` > 1 stages that
+// many records per arena-backed PublishBatch (one key per batch, so the batch
+// is a single shard group and its retry-on-kUnavailable is all-or-nothing);
+// `publish_only` drops the watch-plane ingest so a --smoke A/B measures the
+// pubsub data plane in isolation.
 RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers,
-                  int per_producer, bool trace, bool event_consumers) {
+                  int per_producer, bool trace, bool event_consumers, bool lockfree,
+                  int publish_batch, bool publish_only) {
   runtime::RuntimeOptions options;
   options.shards = shards;
   options.queue_capacity = 8192;
   options.max_batch = 256;
   options.event_driven = event_consumers;
+  options.lockfree_ring = lockfree;
   for (std::size_t s = 1; s < shards; ++s) {
     options.watch_splits.push_back(SplitPoint(s, shards));
   }
@@ -162,7 +182,7 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   // Event mode: static partition ownership (partition p -> thread p mod C),
   // one shard-resident subscription per partition, coarse async commits.
   std::vector<std::unique_ptr<runtime::Subscription>> subs;
-  if (event_consumers) {
+  if (event_consumers && consumers > 0) {
     // Throughput posture: widen the doorbell coalesce window to the waiter's
     // sweep park (5 ms). Rings then only pay for idle-edge latency; sustained
     // load is drained on sweep boundaries, so consumer wakeups — which
@@ -275,22 +295,53 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   for (int t = 0; t < producers; ++t) {
     producer_threads.emplace_back([&, t] {
       common::Rng rng(static_cast<std::uint64_t>(t) + 1);
-      for (int i = 0; i < per_producer; ++i) {
-        const common::Key key =
-            common::Key(1, static_cast<char>('a' + rng.Below(26))) + std::to_string(rng.Below(997));
-        // Publish plane: retry through backpressure, counting each bounce.
-        while (!broker.TryPublish("bench", {key, "m", 0}).ok()) {
-          publish_retries.fetch_add(1, std::memory_order_relaxed);
-          std::this_thread::yield();
-        }
+      const auto make_key = [&rng] {
+        return common::Key(1, static_cast<char>('a' + rng.Below(26))) +
+               std::to_string(rng.Below(997));
+      };
+      const auto ingest_one = [&](int i) {
         // Watch plane: the payload is the send timestamp for latency.
         common::ChangeEvent event;
-        event.key = key;
+        event.key = make_key();
         event.mutation = common::Mutation::Put(std::to_string(NowNanos()));
         event.version = static_cast<common::Version>(t) * 100000000 + i + 1;
         while (!watch.TryIngest(event).ok()) {
           ingest_retries.fetch_add(1, std::memory_order_relaxed);
           std::this_thread::yield();
+        }
+      };
+      if (publish_batch > 1) {
+        // Batched data plane: stage publish_batch records per arena batch.
+        // One key per batch keeps the whole batch on one partition (a single
+        // shard group), so a retry after kUnavailable cannot double-publish.
+        for (int i = 0; i < per_producer;) {
+          const int n = std::min(publish_batch, per_producer - i);
+          auto batch = std::make_shared<runtime::PublishBatch>(static_cast<std::size_t>(n));
+          const common::Key key = make_key();
+          for (int j = 0; j < n; ++j) {
+            batch->Add(key, "m");
+          }
+          while (!broker.TryPublishBatch("bench", batch).ok()) {
+            publish_retries.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+          }
+          if (!publish_only) {
+            for (int j = 0; j < n; ++j) {
+              ingest_one(i + j);
+            }
+          }
+          i += n;
+        }
+        return;
+      }
+      for (int i = 0; i < per_producer; ++i) {
+        // Publish plane: retry through backpressure, counting each bounce.
+        while (!broker.TryPublish("bench", {make_key(), "m", 0, {}}).ok()) {
+          publish_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        if (!publish_only) {
+          ingest_one(i);
         }
       }
     });
@@ -317,6 +368,8 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
 
   RunResult r;
   r.shards = shards;
+  r.lockfree = lockfree;
+  r.publish_batch = publish_batch;
   r.elapsed_sec = std::chrono::duration<double>(elapsed).count();
   r.messages = static_cast<std::int64_t>(producers) * per_producer;
   r.publish_retries = publish_retries.load();
@@ -364,27 +417,94 @@ int main(int argc, char** argv) {
   const int producers = static_cast<int>(IntFlag(argc, argv, "producers", 4));
   const int consumers = static_cast<int>(IntFlag(argc, argv, "consumers", 4));
   const int watchers = static_cast<int>(IntFlag(argc, argv, "watchers", 4));
+  const int publish_batch_flag = static_cast<int>(IntFlag(argc, argv, "publish-batch", 0));
   bool trace = false;
+  bool smoke = false;
   std::string consumer_mode = "event";
+  std::string ring = "both";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else if (arg.rfind("--consumer-mode=", 0) == 0) {
       consumer_mode = arg.substr(std::string("--consumer-mode=").size());
+    } else if (arg.rfind("--ring=", 0) == 0) {
+      ring = arg.substr(std::string("--ring=").size());
     }
   }
   if (consumer_mode != "event" && consumer_mode != "periodic") {
     std::fprintf(stderr, "--consumer-mode must be event or periodic\n");
     return 1;
   }
+  if (ring != "mutex" && ring != "lockfree" && ring != "both") {
+    std::fprintf(stderr, "--ring must be mutex or lockfree\n");
+    return 1;
+  }
   const bool event_consumers = consumer_mode == "event";
+  // --publish-batch=0 (auto) gives each ring its intended posture: singles on
+  // the mutex ring, 512-record arena batches on the lock-free ring. 512 and
+  // not less because each batch post that finds the shard worker parked pays
+  // a wake + context-switch round trip (~27us on a 1-core host); the batch
+  // must amortize that fixed cost as well as the per-record savings.
+  const auto batch_for = [publish_batch_flag](bool lockfree) {
+    return publish_batch_flag != 0 ? publish_batch_flag : (lockfree ? 512 : 1);
+  };
   const unsigned cores = std::thread::hardware_concurrency();
 #ifdef PUBSUB_OBS_NOOP
   const bool noop_build = true;
 #else
   const bool noop_build = false;
 #endif
+
+  if (smoke) {
+    // CI perf gate: 1-shard publish-only A/B — mutex ring with singles vs
+    // lock-free ring with its batched posture. Best-of-2 per side to absorb
+    // scheduler noise on small CI hosts; a lock-free result below the mutex
+    // baseline fails the build (the whole point of the new data plane).
+    const auto best_of = [&](bool lockfree) {
+      RunResult best;
+      for (int rep = 0; rep < 2; ++rep) {
+        RunResult r = RunOnce(1, producers, 0, 0, per_producer, false, event_consumers,
+                              lockfree, batch_for(lockfree), /*publish_only=*/true);
+        if (r.msgs_per_sec > best.msgs_per_sec) {
+          best = r;
+        }
+      }
+      return best;
+    };
+    std::printf("smoke: 1-shard publish-only A/B, %d producers x %d msgs\n", producers,
+                per_producer);
+    const RunResult mutex_r = best_of(false);
+    const RunResult lockfree_r = best_of(true);
+    const double gain = lockfree_r.msgs_per_sec / mutex_r.msgs_per_sec;
+    std::printf("  mutex ring   (batch=%d): %.0f msgs/sec\n", mutex_r.publish_batch,
+                mutex_r.msgs_per_sec);
+    std::printf("  lockfree ring (batch=%d): %.0f msgs/sec  (%.2fx)\n",
+                lockfree_r.publish_batch, lockfree_r.msgs_per_sec, gain);
+    if (const auto json_path = bench::JsonPathFlag(argc, argv)) {
+      bench::Json doc = bench::Json::Object();
+      doc["bench"] = "bench_runtime_throughput_smoke";
+      doc["hardware_concurrency"] = static_cast<std::int64_t>(cores);
+      doc["mutex_msgs_per_sec"] = mutex_r.msgs_per_sec;
+      doc["lockfree_msgs_per_sec"] = lockfree_r.msgs_per_sec;
+      doc["lockfree_gain"] = gain;
+      if (!doc.WriteFile(*json_path)) {
+        std::fprintf(stderr, "failed to write %s\n", json_path->c_str());
+        return 1;
+      }
+    }
+    if (lockfree_r.msgs_per_sec < mutex_r.msgs_per_sec) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: lock-free data plane (%.0f msgs/sec) regressed below the "
+                   "mutex baseline (%.0f msgs/sec)\n",
+                   lockfree_r.msgs_per_sec, mutex_r.msgs_per_sec);
+      return 1;
+    }
+    std::printf("smoke PASS\n");
+    return 0;
+  }
 
   std::printf(
       "R1: runtime throughput scaling — %d producers x %d msgs, %d consumers (%s), %d watchers%s\n",
@@ -393,23 +513,44 @@ int main(int argc, char** argv) {
   std::printf("host hardware_concurrency: %u%s\n", cores,
               cores < 4 ? " (scaling curve will be flat below 4 cores)" : "");
 
+  std::vector<bool> rings;
+  if (ring == "mutex") {
+    rings = {false};
+  } else if (ring == "lockfree") {
+    rings = {true};
+  } else {
+    rings = {false, true};  // Default: measure both, tag each row.
+  }
   const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
   std::vector<RunResult> results;
-  for (const std::size_t shards : shard_counts) {
-    results.push_back(
-        RunOnce(shards, producers, consumers, watchers, per_producer, trace, event_consumers));
-    const RunResult& r = results.back();
-    std::printf("  %zu shard(s): %.0f msgs/sec (%.2fs)\n", shards, r.msgs_per_sec,
-                r.elapsed_sec);
+  for (const bool lockfree : rings) {
+    for (const std::size_t shards : shard_counts) {
+      results.push_back(RunOnce(shards, producers, consumers, watchers, per_producer, trace,
+                                event_consumers, lockfree, batch_for(lockfree),
+                                /*publish_only=*/false));
+      const RunResult& r = results.back();
+      std::printf("  %s/batch=%d, %zu shard(s): %.0f msgs/sec (%.2fs)\n",
+                  lockfree ? "lockfree" : "mutex", r.publish_batch, shards, r.msgs_per_sec,
+                  r.elapsed_sec);
+    }
   }
 
-  const double base = results.front().msgs_per_sec;
-  bench::Table table("Runtime throughput scaling (publish + ingest per message)",
-                     {"shards", "msgs/sec", "p50_us", "p99_us", "delivered", "consumed",
-                      "retries", "speedup", "efficiency"});
+  // Speedup is relative to the same ring's 1-shard run (shard-scaling, not
+  // ring-vs-ring; the smoke A/B covers the latter).
+  std::map<bool, double> base;
   for (const RunResult& r : results) {
-    const double speedup = r.msgs_per_sec / base;
-    table.AddRow({bench::I(r.shards), bench::F(r.msgs_per_sec, 0), bench::F(r.p50_us, 1),
+    if (r.shards == 1) {
+      base[r.lockfree] = r.msgs_per_sec;
+    }
+  }
+  bench::Table table("Runtime throughput scaling (publish + ingest per message)",
+                     {"ring", "batch", "shards", "msgs/sec", "p50_us", "p99_us", "delivered",
+                      "consumed", "retries", "speedup", "efficiency"});
+  for (const RunResult& r : results) {
+    const double speedup = r.msgs_per_sec / base[r.lockfree];
+    table.AddRow({r.lockfree ? "lockfree" : "mutex",
+                  bench::I(static_cast<std::uint64_t>(r.publish_batch)), bench::I(r.shards),
+                  bench::F(r.msgs_per_sec, 0), bench::F(r.p50_us, 1),
                   bench::F(r.p99_us, 1), bench::I(static_cast<std::uint64_t>(r.delivered)),
                   bench::I(static_cast<std::uint64_t>(r.consumed)),
                   bench::I(static_cast<std::uint64_t>(r.publish_retries + r.ingest_retries)),
@@ -432,6 +573,8 @@ int main(int argc, char** argv) {
     bench::Json& runs = doc["runs"] = bench::Json::Array();
     for (const RunResult& r : results) {
       bench::Json& run = runs.Append(bench::Json::Object());
+      run["ring"] = std::string(r.lockfree ? "lockfree" : "mutex");
+      run["publish_batch"] = static_cast<std::int64_t>(r.publish_batch);
       run["shards"] = static_cast<std::int64_t>(r.shards);
       run["elapsed_sec"] = r.elapsed_sec;
       run["msgs_per_sec"] = r.msgs_per_sec;
@@ -442,8 +585,8 @@ int main(int argc, char** argv) {
       run["consumed"] = r.consumed;
       run["publish_retries"] = r.publish_retries;
       run["ingest_retries"] = r.ingest_retries;
-      run["speedup_vs_1_shard"] = r.msgs_per_sec / base;
-      run["efficiency"] = r.msgs_per_sec / base / static_cast<double>(r.shards);
+      run["speedup_vs_1_shard"] = r.msgs_per_sec / base[r.lockfree];
+      run["efficiency"] = r.msgs_per_sec / base[r.lockfree] / static_cast<double>(r.shards);
     }
     doc["table"] = bench::TableJson(table);
     if (!doc.WriteFile(*json_path)) {

@@ -1,0 +1,112 @@
+// Arena: a slab bump allocator for batch-scoped byte storage. A publish batch
+// stages its record payloads here — each Add claims contiguous bytes from the
+// current slab instead of constructing a per-message heap std::string — and
+// the whole batch's storage dies (or is recycled via Reset) in one step.
+//
+// Ownership discipline: the arena owns every byte it hands out; returned
+// pointers and string_views stay valid until Reset() or destruction. There is
+// no per-allocation free — that is the point. Not thread-safe: an arena
+// belongs to one producer (or one shard) at a time, exactly like the staging
+// buffers it backs.
+#ifndef SRC_COMMON_ARENA_H_
+#define SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace common {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  // `slab_bytes` is the granularity of growth; allocations larger than a slab
+  // get a dedicated slab of exactly their size.
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes == 0 ? 1 : slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Claims `n` contiguous bytes (n == 0 returns a non-null sentinel into the
+  // current slab). No alignment guarantee beyond byte — this is byte-payload
+  // storage, not object storage.
+  char* Allocate(std::size_t n) {
+    if (slabs_.empty() || used_ + n > slabs_.back().size) {
+      NewSlab(n);
+    }
+    char* p = slabs_.back().bytes.get() + used_;
+    used_ += n;
+    bytes_allocated_ += n;
+    return p;
+  }
+
+  // Copies `s` into the arena and returns a view over the copy.
+  std::string_view CopyString(std::string_view s) {
+    char* p = Allocate(s.size());
+    if (!s.empty()) {
+      std::memcpy(p, s.data(), s.size());
+    }
+    return std::string_view(p, s.size());
+  }
+
+  // Rewinds the arena, invalidating every outstanding pointer/view. The
+  // largest slab is retained and reused so a steady-state batch loop settles
+  // into zero allocations; the rest are freed.
+  void Reset() {
+    if (!slabs_.empty()) {
+      std::size_t largest = 0;
+      for (std::size_t i = 1; i < slabs_.size(); ++i) {
+        if (slabs_[i].size > slabs_[largest].size) {
+          largest = i;
+        }
+      }
+      Slab keep = std::move(slabs_[largest]);
+      slabs_.clear();
+      slabs_.push_back(std::move(keep));
+    }
+    used_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  // Total bytes handed out since construction/Reset.
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  // Bytes of slab storage currently held (capacity, not usage).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Slab& slab : slabs_) {
+      total += slab.size;
+    }
+    return total;
+  }
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<char[]> bytes;
+    std::size_t size = 0;
+  };
+
+  void NewSlab(std::size_t at_least) {
+    const std::size_t size = at_least > slab_bytes_ ? at_least : slab_bytes_;
+    Slab slab;
+    slab.bytes = std::make_unique<char[]>(size);
+    slab.size = size;
+    slabs_.push_back(std::move(slab));
+    used_ = 0;
+  }
+
+  std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t used_ = 0;  // Bump offset into slabs_.back().
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_ARENA_H_

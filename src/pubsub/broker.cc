@@ -194,7 +194,7 @@ void Broker::NotifyAppendWaiters(const std::string& topic, PartitionId partition
   }
 }
 
-std::uint64_t Broker::HashKey(const common::Key& key) {
+std::uint64_t Broker::HashKey(std::string_view key) {
   // FNV-1a: deterministic across platforms.
   std::uint64_t h = 14695981039346656037ULL;
   for (unsigned char c : key) {
@@ -236,6 +236,21 @@ common::Result<PublishResult> Broker::Publish(const std::string& topic, Message 
   NotifyAppendWaiters(topic, p, t.partitions[p]->end_offset());
   DispatchInterests(t, p);
   return PublishResult{p, offset};
+}
+
+common::Result<PublishResult> Broker::PublishSpan(const std::string& topic, std::string_view key,
+                                                  std::string_view value, const Headers* headers,
+                                                  std::optional<PartitionId> partition) {
+  // The one and only owned-Message construction for this record: the spans
+  // (typically arena slices staged by a producer batch) are materialized
+  // into log-owned strings here, at append.
+  Message msg;
+  msg.key.assign(key.data(), key.size());
+  msg.value.assign(value.data(), value.size());
+  if (headers != nullptr) {
+    msg.headers = *headers;
+  }
+  return Publish(topic, std::move(msg), partition);
 }
 
 void Broker::DispatchInterests(Topic& t, PartitionId partition) {
@@ -423,6 +438,26 @@ common::Result<std::size_t> Broker::FetchInto(const std::string& topic, Partitio
     }
   }
   return appended;
+}
+
+common::Result<std::size_t> Broker::FetchSpans(const std::string& topic, PartitionId partition,
+                                               Offset offset, std::size_t max,
+                                               std::vector<MessageSpan>* out, ReadPin* pin) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (partition >= it->second.config.partitions) {
+    return common::Status::InvalidArgument("partition out of range");
+  }
+  PartitionLog* log = it->second.partitions[partition].get();
+  if (pin != nullptr) {
+    // Pin before reading; rebinding an already-held pin on the same log
+    // overlaps the counts (new pin taken before the old releases), so the
+    // log never transiently applies deferred retention between batches.
+    *pin = ReadPin(log);
+  }
+  return log->ReadSpansInto(offset, max, out);
 }
 
 Offset Broker::EndOffset(const std::string& topic, PartitionId partition) const {

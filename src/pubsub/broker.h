@@ -14,6 +14,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -112,6 +113,16 @@ class Broker {
   common::Result<PublishResult> Publish(const std::string& topic, Message msg,
                                         std::optional<PartitionId> partition = std::nullopt);
 
+  // Span-staged publish: the arena-backed batch path hands the broker
+  // borrowed key/value views (slices of a producer's arena) and the owned
+  // Message strings are constructed exactly once, here at append — no
+  // intermediate per-message std::string on the producer side. `headers`
+  // is borrowed too (nullptr: none); copied at append like key/value.
+  common::Result<PublishResult> PublishSpan(const std::string& topic, std::string_view key,
+                                            std::string_view value,
+                                            const Headers* headers = nullptr,
+                                            std::optional<PartitionId> partition = std::nullopt);
+
   // Grows an existing topic by `additional` empty partitions (the autosharder
   // / operator "scale out the topic" path). Existing partitions and offsets
   // are untouched. Every group bound to the topic rebalances immediately so
@@ -134,6 +145,16 @@ class Broker {
   common::Result<std::size_t> FetchInto(const std::string& topic, PartitionId partition,
                                         Offset offset, std::size_t max,
                                         std::vector<StoredMessage>* out) const;
+
+  // Zero-copy Fetch: appends up to `max` borrowed MessageSpans into `*out`
+  // and (re)binds `*pin` to the partition's log, deferring retention
+  // reclamation until the pin is released — the views cannot dangle while
+  // the pin lives. Rebinding an already-held pin on the same log never lets
+  // the pin count touch zero, so deferred retention stays deferred across
+  // consecutive batches. No trace stamping: spans are borrows, not copies.
+  common::Result<std::size_t> FetchSpans(const std::string& topic, PartitionId partition,
+                                         Offset offset, std::size_t max,
+                                         std::vector<MessageSpan>* out, ReadPin* pin) const;
 
   Offset EndOffset(const std::string& topic, PartitionId partition) const;
   Offset FirstOffset(const std::string& topic, PartitionId partition) const;
@@ -281,8 +302,9 @@ class Broker {
 
   // The deterministic key hash behind kByKeyHash routing. Public so routing
   // layers (e.g. runtime::ConcurrentBroker) can pick the same partition the
-  // broker would.
-  static std::uint64_t HashKey(const common::Key& key);
+  // broker would. Takes a view so span-staged publishes route without
+  // materializing a key string.
+  static std::uint64_t HashKey(std::string_view key);
 
   // -- Oracle introspection (harness-only, not consumer-visible) ----------------
 

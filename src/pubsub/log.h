@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "pubsub/span.h"
 #include "pubsub/types.h"
 
 namespace pubsub {
@@ -103,6 +105,33 @@ class PartitionLog {
     return appended;
   }
 
+  // Zero-copy ReadInto: appends up to `max` MessageSpans viewing retained
+  // records into `*out` (not cleared). The views alias log-owned storage —
+  // the caller must hold a ReadPin on this log for as long as it touches
+  // them; the pin defers retention reclamation so the views cannot dangle.
+  // Same silent-reset semantics and accounting as ReadInto.
+  std::size_t ReadSpansInto(Offset from, std::size_t max, std::vector<MessageSpan>* out) const {
+    const std::size_t before = out->size();
+    auto it = std::lower_bound(
+        log_.begin(), log_.end(), from,
+        [](const StoredMessage& m, Offset offset) { return m.offset < offset; });
+    for (; it != log_.end(); ++it) {
+      const Message& m = it->message;
+      out->push_back(MessageSpan{it->offset, m.key, m.value, m.publish_time,
+                                 m.headers.empty() ? nullptr : &m.headers});
+      if (max != 0 && out->size() - before >= max) {
+        break;
+      }
+    }
+    const std::size_t appended = out->size() - before;
+    if (appended != 0 && (*out)[before].offset > from) {
+      silent_skips_ += (*out)[before].offset - from;
+    } else if (appended == 0 && from < first_offset()) {
+      silent_skips_ += first_offset() - from;
+    }
+    return appended;
+  }
+
   // Predicate-filtered ReadInto for the filtered-subscription catch-up path:
   // scans forward from `from`, appending messages satisfying `pred` into
   // `*out`, until `max` matches are appended, `max_scan` records have been
@@ -150,8 +179,14 @@ class PartitionLog {
   }
 
   // Time-based retention: drops messages published before `horizon`.
-  // Returns the number of messages garbage collected.
+  // Returns the number of messages garbage collected. While a ReadPin is
+  // held the drop is deferred (0 returned now); the last unpin applies the
+  // highest deferred horizon and fires the retention callback then.
   std::uint64_t GcBefore(common::TimeMicros horizon) {
+    if (pins_ > 0) {
+      pending_gc_horizon_ = std::max(pending_gc_horizon_, horizon);
+      return 0;
+    }
     std::uint64_t dropped = 0;
     while (!log_.empty() && log_.front().message.publish_time < horizon) {
       log_.pop_front();
@@ -170,6 +205,8 @@ class PartitionLog {
   // horizon keep every version). Returns the number of messages removed.
   // Offsets of surviving messages are unchanged, so the log acquires offset
   // gaps — indistinguishable, to a reader, from normal consumption.
+  // Deferred while pinned, like GcBefore: compaction rebuilds the deque and
+  // moves SSO-small strings, which would invalidate handed-out spans.
   std::uint64_t Compact(common::TimeMicros horizon);
 
   // First retained offset whose publish time is >= `timestamp`, or
@@ -181,6 +218,8 @@ class PartitionLog {
   std::uint64_t gced() const { return gced_; }
   std::uint64_t compacted_away() const { return compacted_away_; }
   std::uint64_t silent_skips() const { return silent_skips_; }
+  // Outstanding ReadPins (tests/leak checks).
+  int pins() const { return pins_; }
 
   // Harness-only introspection for the invariant oracle: the retained
   // messages, the highest horizon Compact has been run with, and the log end
@@ -231,8 +270,39 @@ class PartitionLog {
   }
 
  private:
+  friend class ReadPin;
+
+  void AddPin() { ++pins_; }
+  void ReleasePin() {
+    if (--pins_ > 0) {
+      return;
+    }
+    // Last pin dropped: apply the retention the pin deferred, in the order
+    // the policies normally run (time GC, then compaction, then size cap).
+    // Each re-checks pins_ == 0 implicitly by running the normal path, which
+    // fires the retention callbacks a journal mirrors.
+    if (pending_gc_horizon_ != 0) {
+      const common::TimeMicros horizon = pending_gc_horizon_;
+      pending_gc_horizon_ = 0;
+      GcBefore(horizon);
+    }
+    if (pending_compact_horizon_ != 0) {
+      const common::TimeMicros horizon = pending_compact_horizon_;
+      pending_compact_horizon_ = 0;
+      Compact(horizon);
+    }
+    if (pending_size_cap_) {
+      pending_size_cap_ = false;
+      EnforceSizeCap();
+    }
+  }
+
   void EnforceSizeCap() {
     if (policy_.max_messages == 0) {
+      return;
+    }
+    if (pins_ > 0) {
+      pending_size_cap_ = true;
       return;
     }
     std::uint64_t dropped = 0;
@@ -256,7 +326,28 @@ class PartitionLog {
   Offset compact_end_offset_ = 0;
   AppendCallback append_cb_;
   RetentionCallback retention_cb_;
+  // Span-read pin state: outstanding pins and the retention they deferred.
+  int pins_ = 0;
+  common::TimeMicros pending_gc_horizon_ = 0;
+  common::TimeMicros pending_compact_horizon_ = 0;
+  bool pending_size_cap_ = false;
 };
+
+inline ReadPin::ReadPin(PartitionLog* log) : log_(log) {
+  if (log_ != nullptr) {
+    log_->AddPin();
+  }
+}
+
+inline ReadPin::~ReadPin() { Release(); }
+
+inline void ReadPin::Release() {
+  if (log_ != nullptr) {
+    PartitionLog* log = log_;
+    log_ = nullptr;
+    log->ReleasePin();
+  }
+}
 
 }  // namespace pubsub
 

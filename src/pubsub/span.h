@@ -1,0 +1,67 @@
+// Zero-copy read views over a partition log. A fetch that returns
+// StoredMessage copies key, value, and headers per record; the span path
+// instead hands out string_views pointing directly into the retained log,
+// valid for as long as a ReadPin on that log is held. The pin is what makes
+// the borrow safe: while any pin is outstanding, retention reclamation
+// (time GC, size-cap trim, compaction) on the pinned log is deferred, so a
+// span can never dangle mid-read. The deferred work runs when the last pin
+// drops — retention is delayed by one read, never skipped.
+#ifndef SRC_PUBSUB_SPAN_H_
+#define SRC_PUBSUB_SPAN_H_
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "pubsub/types.h"
+
+namespace pubsub {
+
+class PartitionLog;
+
+// Borrowed view of one retained record. The views alias storage owned by the
+// PartitionLog; they are valid only while the ReadPin that produced them is
+// alive. Copying the span copies the views, not the data.
+struct MessageSpan {
+  Offset offset = 0;
+  std::string_view key;
+  std::string_view value;
+  common::TimeMicros publish_time = 0;
+  // Borrowed headers (nullptr when the record has none). Header name/value
+  // strings are owned by the log, like key/value.
+  const Headers* headers = nullptr;
+};
+
+// RAII retention guard. While alive, the pinned log defers GcBefore /
+// Compact / size-cap trims (they record their horizon and return 0); the
+// last pin to release applies the pending retention in one pass. Movable,
+// not copyable; a default-constructed pin guards nothing.
+class ReadPin {
+ public:
+  ReadPin() = default;
+  explicit ReadPin(PartitionLog* log);
+  ~ReadPin();
+
+  ReadPin(const ReadPin&) = delete;
+  ReadPin& operator=(const ReadPin&) = delete;
+  ReadPin(ReadPin&& other) noexcept : log_(other.log_) { other.log_ = nullptr; }
+  ReadPin& operator=(ReadPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      log_ = other.log_;
+      other.log_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool pinned() const { return log_ != nullptr; }
+  // Early unpin (idempotent); the destructor calls this.
+  void Release();
+
+ private:
+  PartitionLog* log_ = nullptr;
+};
+
+}  // namespace pubsub
+
+#endif  // SRC_PUBSUB_SPAN_H_

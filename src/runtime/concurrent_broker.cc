@@ -149,6 +149,77 @@ common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Me
   return common::Status::Ok();
 }
 
+common::Status ConcurrentBroker::TryPublishBatch(const std::string& topic,
+                                                 std::shared_ptr<PublishBatch> batch,
+                                                 common::TimeMicros* retry_after,
+                                                 std::size_t* accepted) {
+  if (accepted != nullptr) {
+    *accepted = 0;
+  }
+  if (batch == nullptr || batch->empty()) {
+    return common::Status::Ok();
+  }
+  TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  // Route every staged record, grouping (partition, staged-index) per owner
+  // shard. Staging order is kept within each group, which is what preserves
+  // per-producer FIFO per partition.
+  struct Routed {
+    pubsub::PartitionId partition;
+    std::size_t index;
+  };
+  std::map<std::size_t, std::vector<Routed>> groups;
+  const std::vector<PublishBatch::Staged>& staged = batch->staged();
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    pubsub::PartitionId p;
+    if (!staged[i].key.empty()) {
+      p = static_cast<pubsub::PartitionId>(pubsub::Broker::HashKey(staged[i].key) %
+                                           state->config.partitions);
+    } else {
+      p = static_cast<pubsub::PartitionId>(
+          state->round_robin.fetch_add(1, std::memory_order_relaxed) %
+          state->config.partitions);
+    }
+    groups[OwnerShard(p)].push_back(Routed{p, i});
+  }
+  const common::TimeMicros backoff =
+      std::max<common::TimeMicros>(1, pool_->options().retry_after);
+  for (auto& [shard, group] : groups) {
+    // Taken before the lambda steals `group`: the rejected branch still needs
+    // the count after a failed TryPost has consumed the moved-from vector.
+    const std::size_t group_size = group.size();
+    const bool rejected =
+        pool_->ShardFailingOver(shard) ||
+        !pool_->TryPost(shard, [pool = pool_, shard, topic, batch,
+                                group = std::move(group)] {
+          // One task appends the whole group; the owned Message is built
+          // once per record, here at append, from the batch's arena views.
+          pubsub::Broker* broker = pool->core(shard).broker.get();
+          const std::vector<PublishBatch::Staged>& records = batch->staged();
+          for (const Routed& r : group) {
+            const PublishBatch::Staged& s = records[r.index];
+            (void)broker->PublishSpan(topic, s.key, s.value, s.headers, r.partition);
+          }
+        });
+    if (rejected) {
+      publish_rejected_->Increment(static_cast<std::int64_t>(group_size));
+      if (retry_after != nullptr) {
+        *retry_after = backoff;
+      }
+      return common::Status::Unavailable("shard " + std::to_string(shard) +
+                                         " saturated; retry after " + std::to_string(backoff) +
+                                         "us");
+    }
+    publish_accepted_->Increment(static_cast<std::int64_t>(group_size));
+    if (accepted != nullptr) {
+      *accepted += group_size;
+    }
+  }
+  return common::Status::Ok();
+}
+
 common::Result<pubsub::PublishResult> ConcurrentBroker::PublishSync(
     const std::string& topic, pubsub::Message msg, std::optional<pubsub::PartitionId> partition) {
   TopicState* state = FindTopic(topic);
@@ -262,6 +333,32 @@ common::Status ConcurrentBroker::TryFetchAsync(
                                        "us");
   }
   return common::Status::Ok();
+}
+
+common::Result<std::size_t> ConcurrentBroker::FetchSpans(
+    const std::string& topic, pubsub::PartitionId partition, pubsub::Offset offset,
+    std::size_t max,
+    const std::function<void(const std::vector<pubsub::MessageSpan>&)>& consume) {
+  const TopicState* state = FindTopic(topic);
+  if (state == nullptr) {
+    return common::Status::NotFound("no such topic: " + topic);
+  }
+  if (partition >= state->config.partitions) {
+    return common::Status::InvalidArgument("partition out of range");
+  }
+  return pool_->RunOn(OwnerShard(partition), [&](ShardCore& core) -> common::Result<std::size_t> {
+    // Pin + read + consume all happen on the owner shard's thread, so the
+    // spans never cross a thread boundary and the pin's lifetime brackets
+    // every touch of the borrowed bytes.
+    std::vector<pubsub::MessageSpan> spans;
+    pubsub::ReadPin pin;
+    auto read = core.broker->FetchSpans(topic, partition, offset, max, &spans, &pin);
+    if (!read.ok()) {
+      return read.status();
+    }
+    consume(spans);
+    return *read;
+  });
 }
 
 pubsub::Offset ConcurrentBroker::EndOffset(const std::string& topic,

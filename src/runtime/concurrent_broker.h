@@ -31,7 +31,9 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "pubsub/broker.h"
+#include "pubsub/span.h"
 #include "pubsub/types.h"
+#include "runtime/publish_batch.h"
 #include "runtime/shard_pool.h"
 #include "runtime/subscription.h"
 
@@ -67,6 +69,23 @@ class ConcurrentBroker {
                             std::optional<pubsub::PartitionId> partition = std::nullopt,
                             common::TimeMicros* retry_after = nullptr);
 
+  // Batched fire-and-forget publish — the arena-backed hot path. Routes each
+  // staged record (key hash, else the facade's round-robin cursor), groups
+  // records by owner shard, and posts ONE ring task per involved shard; the
+  // task appends its whole group in staging order via Broker::PublishSpan,
+  // so per-producer order per partition is preserved and the per-message
+  // closure/queue cost is amortized over the group. Groups post in shard
+  // order and independently: on the first saturated (or failing-over) shard
+  // the remaining groups are NOT posted, kUnavailable is returned with
+  // `retry_after` set, and `*accepted` (optional) reports how many staged
+  // records earlier groups accepted. When one shard owns every record — the
+  // single-partition / keyed hot path this exists for — that makes the batch
+  // all-or-nothing. The batch is shared-owned by the posted tasks; do not
+  // mutate (Clear/Add) a successfully posted batch until its tasks drained.
+  common::Status TryPublishBatch(const std::string& topic, std::shared_ptr<PublishBatch> batch,
+                                 common::TimeMicros* retry_after = nullptr,
+                                 std::size_t* accepted = nullptr);
+
   // Synchronous publish: blocks through backpressure and returns the assigned
   // partition/offset. For tests and low-rate callers.
   common::Result<pubsub::PublishResult> PublishSync(
@@ -101,6 +120,17 @@ class ConcurrentBroker {
       const std::string& topic, pubsub::PartitionId partition, pubsub::Offset offset,
       std::size_t max, common::TimeMicros* retry_after,
       std::function<void(common::Result<std::vector<pubsub::StoredMessage>>)> done);
+  // Zero-copy fetch, executed on the partition's owner shard: `consume` runs
+  // on the shard's worker thread with borrowed MessageSpans viewing the
+  // partition log directly — no StoredMessage copies are made. A ReadPin is
+  // held for exactly the duration of the call (retention on that log is
+  // deferred meanwhile), so the spans are valid only inside `consume`; copy
+  // out (e.g. serialize onto a wire buffer) before returning. Returns the
+  // span count. `consume` must not block or re-enter the pool.
+  common::Result<std::size_t> FetchSpans(
+      const std::string& topic, pubsub::PartitionId partition, pubsub::Offset offset,
+      std::size_t max, const std::function<void(const std::vector<pubsub::MessageSpan>&)>& consume);
+
   pubsub::Offset EndOffset(const std::string& topic, pubsub::PartitionId partition);
   pubsub::Offset FirstOffset(const std::string& topic, pubsub::PartitionId partition);
 

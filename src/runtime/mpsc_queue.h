@@ -47,9 +47,41 @@ class MpscQueue {
   }
 
   // Lvalue overload: copies, leaving the caller's value untouched either way.
+  // The full/closed check runs before the copy is made, so a rejected push
+  // under saturation costs no allocation (the copy is paid only for an
+  // accepted item, and it lands directly in the ring slot).
   bool TryPush(const T& item) {
-    T copy = item;
-    return TryPush(std::move(copy));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ == ring_.size()) {
+        return false;
+      }
+      ring_[(head_ + count_) % ring_.size()] = item;
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // All-or-nothing batch push: accepts all `n` items (moved out) or none
+  // (items untouched). One lock acquisition and one consumer wakeup for the
+  // whole batch — the mutex ring's form of a batched slot claim.
+  bool TryPushBatch(T* items, std::size_t n) {
+    if (n == 0) {
+      return true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ + n > ring_.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ring_[(head_ + count_) % ring_.size()] = std::move(items[i]);
+        ++count_;
+      }
+    }
+    not_empty_.notify_one();
+    return true;
   }
 
   // Blocking push; waits while full. False only if the queue is (or becomes)
@@ -69,22 +101,40 @@ class MpscQueue {
     return true;
   }
 
-  // Lvalue overload of the blocking push (copies).
+  // Lvalue overload of the blocking push. Like TryPush, the closed check runs
+  // before the copy: a push rejected because the queue closed never pays for
+  // (or discards) a copy of the item.
   bool Push(const T& item) {
-    T copy = item;
-    return Push(std::move(copy));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] { return closed_ || count_ < ring_.size(); });
+      if (closed_) {
+        return false;
+      }
+      ring_[(head_ + count_) % ring_.size()] = item;
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
   }
 
   // Pops up to `max` items into `out` (appended), blocking until at least one
   // item is available or the queue is closed and empty. Returns the number
   // popped; 0 means closed-and-drained, i.e. the consumer should exit.
   std::size_t PopBatch(std::vector<T>& out, std::size_t max) {
+    // Reserve before taking the lock: push_back must never reallocate (or
+    // throw) inside the critical section.
+    out.reserve(out.size() + (max < ring_.size() ? max : ring_.size()));
     std::size_t popped = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [this] { return closed_ || count_ > 0; });
       while (popped < max && count_ > 0) {
         out.push_back(std::move(ring_[head_]));
+        // Reset the drained slot: a moved-from task may still pin captured
+        // state (shared_ptrs, payloads) until the slot is overwritten — an
+        // arbitrarily-later event on an idle queue.
+        ring_[head_] = T{};
         head_ = (head_ + 1) % ring_.size();
         --count_;
         ++popped;

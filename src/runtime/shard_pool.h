@@ -35,7 +35,7 @@
 #include "common/types.h"
 #include "obs/collector.h"
 #include "pubsub/broker.h"
-#include "runtime/mpsc_queue.h"
+#include "runtime/task_ring.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "wal/broker_journal.h"
@@ -45,8 +45,6 @@
 
 namespace runtime {
 
-using Task = std::function<void()>;
-
 struct RuntimeOptions {
   // Number of shards (worker threads). Each owns a disjoint set of broker
   // partitions (partition p -> shard p % shards) and a contiguous watch
@@ -54,6 +52,12 @@ struct RuntimeOptions {
   std::size_t shards = 4;
   // Per-shard task queue bound; the backpressure threshold.
   std::size_t queue_capacity = 4096;
+  // Shard ingress ring implementation: false selects the mutex+condvar
+  // MpscQueue, true the CAS-claimed LockFreeMpscQueue. Same contract either
+  // way (the equivalence suites prove identical delivery sequences); the
+  // lock-free ring trades the per-operation lock for a CAS and parks only on
+  // the empty/full edges. See docs/RUNTIME.md and BENCH_runtime.json.
+  bool lockfree_ring = false;
   // Max tasks drained per batch (amortizes queue locking and sim flushing).
   std::size_t max_batch = 256;
   // Simulated time advanced per batch. 0 keeps every shard clock at 0, which
@@ -179,6 +183,12 @@ class ShardPool {
   // runtime.post_rejected) or the pool is stopped.
   bool TryPost(std::size_t shard, Task task);
 
+  // Non-blocking all-or-nothing batch enqueue: one ring claim admits every
+  // task (preserving their order) or none. False — tasks untouched, one
+  // rejection counted — when the shard lacks space for the whole batch or
+  // the pool is stopped. The batched-publish ingress path.
+  bool TryPostBatch(std::size_t shard, Task* tasks, std::size_t n);
+
   // Blocking enqueue. If the pool is stopped, runs the task inline on the
   // calling thread (the cores are then single-threaded-safe by definition).
   void Post(std::size_t shard, Task task);
@@ -240,7 +250,7 @@ class ShardPool {
   std::unique_ptr<common::MetricsRegistry> owned_metrics_;
   common::MetricsRegistry* metrics_;
   std::vector<std::unique_ptr<ShardCore>> cores_;
-  std::vector<std::unique_ptr<MpscQueue<Task>>> queues_;
+  std::vector<std::unique_ptr<TaskRing>> queues_;
   std::vector<std::thread> workers_;
   // One flag per shard; set inside FailoverShard's fence so concurrent
   // producers can observe the teardown without touching the core.

@@ -200,20 +200,28 @@ common::Status PartitionJournal::AppendRecord(const std::string& record,
   return common::Status::Ok();
 }
 
-void PartitionJournal::OnAppend(const pubsub::StoredMessage& msg) {
-  std::string record;
-  PutU8(&record, kAppend);
-  PutU64(&record, msg.offset);
-  PutBytes(&record, msg.message.key);
-  PutBytes(&record, msg.message.value);
-  PutI64(&record, msg.message.publish_time);
-  if (!msg.message.headers.empty()) {  // Trailing block; omitted when empty.
-    PutU32(&record, static_cast<std::uint32_t>(msg.message.headers.size()));
-    for (const auto& [name, value] : msg.message.headers) {
-      PutBytes(&record, name);
-      PutBytes(&record, value);
+void PartitionJournal::EncodeAppend(std::string* record, pubsub::Offset offset,
+                                    std::string_view key, std::string_view value,
+                                    common::TimeMicros publish_time,
+                                    const pubsub::Headers* headers) {
+  PutU8(record, kAppend);
+  PutU64(record, offset);
+  PutBytes(record, key);
+  PutBytes(record, value);
+  PutI64(record, publish_time);
+  if (headers != nullptr && !headers->empty()) {  // Trailing block; omitted when empty.
+    PutU32(record, static_cast<std::uint32_t>(headers->size()));
+    for (const auto& [name, val] : *headers) {
+      PutBytes(record, name);
+      PutBytes(record, val);
     }
   }
+}
+
+void PartitionJournal::OnAppend(const pubsub::StoredMessage& msg) {
+  std::string record;
+  EncodeAppend(&record, msg.offset, msg.message.key, msg.message.value,
+               msg.message.publish_time, &msg.message.headers);
   const common::Status status = AppendRecord(record, msg.offset);
   if (!status.ok()) {
     NoteFailure(status);

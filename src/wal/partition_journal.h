@@ -74,6 +74,14 @@ class PartitionJournal {
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
   Log& wal_log() { return *wal_; }
 
+  // Encodes one append record into `*record` from borrowed spans — the
+  // journal's wire form never needs an owned Message, so span-staged publish
+  // paths (and OnAppend itself, viewing a StoredMessage) share one encoder.
+  // `headers` may be nullptr or empty; the trailing block is then omitted.
+  static void EncodeAppend(std::string* record, pubsub::Offset offset, std::string_view key,
+                           std::string_view value, common::TimeMicros publish_time,
+                           const pubsub::Headers* headers);
+
  private:
   PartitionJournal(Vfs* vfs, PartitionJournalOptions options, common::MetricsRegistry* metrics,
                    pubsub::PartitionLog* log);

@@ -1,0 +1,98 @@
+// Arena: the slab bump allocator backing publish-batch staging. The tests pin
+// the ownership discipline PublishBatch relies on: views stay valid (and
+// stable) until Reset, oversize allocations get dedicated slabs, and a
+// steady-state batch loop settles into zero heap growth because Reset retains
+// the largest slab.
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace common {
+namespace {
+
+TEST(ArenaTest, AllocationsAreContiguousWithinASlab) {
+  Arena arena(1024);
+  char* a = arena.Allocate(10);
+  char* b = arena.Allocate(20);
+  char* c = arena.Allocate(30);
+  ASSERT_NE(a, nullptr);
+  // Bump allocation: successive claims from one slab are adjacent.
+  EXPECT_EQ(b, a + 10);
+  EXPECT_EQ(c, b + 20);
+  EXPECT_EQ(arena.bytes_allocated(), 60u);
+  EXPECT_EQ(arena.slab_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), 1024u);
+}
+
+TEST(ArenaTest, CopyStringViewsSurviveLaterAllocations) {
+  Arena arena(64);  // Tiny slabs force growth mid-test.
+  std::vector<std::string_view> views;
+  std::vector<std::string> want;
+  for (int i = 0; i < 200; ++i) {
+    want.push_back("payload-" + std::to_string(i));
+    views.push_back(arena.CopyString(want.back()));
+  }
+  // Growth allocates NEW slabs; it never moves old ones, so every earlier
+  // view still reads back its bytes (the property staged batches depend on).
+  ASSERT_GT(arena.slab_count(), 1u);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], want[i]) << "view " << i;
+  }
+}
+
+TEST(ArenaTest, OversizeAllocationGetsADedicatedSlab) {
+  Arena arena(64);
+  arena.Allocate(10);
+  const std::string big(1000, 'x');
+  const std::string_view view = arena.CopyString(big);
+  EXPECT_EQ(view, big);
+  EXPECT_EQ(arena.slab_count(), 2u);
+  EXPECT_EQ(arena.bytes_reserved(), 64u + 1000u);
+  // The oversize slab became the current slab; small claims keep working.
+  EXPECT_EQ(arena.CopyString("tail"), "tail");
+}
+
+TEST(ArenaTest, EmptyAllocationIsNonNull) {
+  Arena arena(64);
+  EXPECT_NE(arena.Allocate(0), nullptr);
+  const std::string_view empty = arena.CopyString("");
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ArenaTest, ResetRetainsLargestSlabAndRecyclesIt) {
+  Arena arena(64);
+  arena.Allocate(50);
+  arena.CopyString(std::string(500, 'y'));  // Dedicated 500-byte slab.
+  arena.Allocate(30);
+  ASSERT_GE(arena.slab_count(), 2u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.slab_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), 500u);  // The largest slab survived.
+
+  // Steady state: a batch that fits the retained slab allocates no new slabs
+  // across Reset cycles — the zero-allocation loop PublishBatch::Clear runs.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(arena.CopyString("record"), "record");
+    }
+    EXPECT_EQ(arena.slab_count(), 1u) << "cycle " << cycle;
+    EXPECT_EQ(arena.bytes_reserved(), 500u) << "cycle " << cycle;
+    arena.Reset();
+  }
+}
+
+TEST(ArenaTest, ZeroSlabBytesIsClampedNotUb) {
+  Arena arena(0);
+  EXPECT_EQ(arena.CopyString("ab"), "ab");  // Oversize path from byte one.
+  EXPECT_EQ(arena.bytes_allocated(), 2u);
+}
+
+}  // namespace
+}  // namespace common

@@ -520,10 +520,16 @@ TEST(ServerTest, BackpressurePropagatesRetryAfterOverTheWire) {
   ASSERT_TRUE(c.ok());
   ASSERT_TRUE((*c)->CreateTopic("bp", {.partitions = 1}).ok());
 
+  std::atomic<bool> started{false};
   std::atomic<bool> release{false};
   h.pool->Post(0, [&] {
+    started.store(true, std::memory_order_release);
     while (!release.load(std::memory_order_acquire)) SleepUs(500);
   });
+  // Fill only once the stall task is running: filling earlier races with the
+  // worker's batched drain, which can scoop the whole queue (stall included)
+  // into its local batch and leave room for the publish below.
+  while (!started.load(std::memory_order_acquire)) SleepUs(100);
   while (h.pool->TryPost(0, [] {})) {
   }
 

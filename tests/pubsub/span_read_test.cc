@@ -1,0 +1,298 @@
+// Zero-copy span reads and the ReadPin retention guard. The contract under
+// test: ReadSpansInto returns views byte-identical to what ReadInto copies
+// (including the silent-reset accounting), and while a pin is held every
+// reclamation path — time GC, compaction, size-cap trim — defers instead of
+// invalidating outstanding spans, then runs (callbacks included) when the
+// last pin drops. Retention is delayed by one read, never skipped.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pubsub/broker.h"
+#include "pubsub/log.h"
+#include "pubsub/span.h"
+#include "pubsub/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace pubsub {
+namespace {
+
+Message Msg(const std::string& key, const std::string& value, common::TimeMicros t,
+            Headers headers = {}) {
+  Message m;
+  m.key = key;
+  m.value = value;
+  m.publish_time = t;
+  m.headers = std::move(headers);
+  return m;
+}
+
+TEST(SpanReadTest, SpansMirrorReadIntoExactly) {
+  PartitionLog log({});
+  log.Append(Msg("k0", "v0", 10));
+  log.Append(Msg("", "v1", 20, {{"h", "x"}, {"i", "y"}}));
+  log.Append(Msg("k2", "v2", 30));
+
+  std::vector<StoredMessage> copies;
+  std::vector<MessageSpan> spans;
+  ReadPin pin(&log);
+  ASSERT_EQ(log.ReadInto(0, 0, &copies), 3u);
+  ASSERT_EQ(log.ReadSpansInto(0, 0, &spans), 3u);
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    EXPECT_EQ(spans[i].offset, copies[i].offset);
+    EXPECT_EQ(spans[i].key, copies[i].message.key);
+    EXPECT_EQ(spans[i].value, copies[i].message.value);
+    EXPECT_EQ(spans[i].publish_time, copies[i].message.publish_time);
+    if (copies[i].message.headers.empty()) {
+      EXPECT_EQ(spans[i].headers, nullptr);
+    } else {
+      ASSERT_NE(spans[i].headers, nullptr);
+      EXPECT_EQ(*spans[i].headers, copies[i].message.headers);
+    }
+  }
+
+  // `max` truncates identically, `from` positions identically.
+  spans.clear();
+  EXPECT_EQ(log.ReadSpansInto(1, 1, &spans), 1u);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].offset, 1u);
+  EXPECT_EQ(spans[0].value, "v1");
+}
+
+TEST(SpanReadTest, SilentResetAccountingMatchesCopyPath) {
+  // Two identical logs, trimmed identically; one read via copies, one via
+  // spans. The silent-skip ledger (the paper's §3.1 hidden-loss counter) must
+  // advance the same way on both paths.
+  PartitionLog copy_log({});
+  PartitionLog span_log({});
+  for (int i = 0; i < 6; ++i) {
+    copy_log.Append(Msg("k", "v" + std::to_string(i), 10 * (i + 1)));
+    span_log.Append(Msg("k", "v" + std::to_string(i), 10 * (i + 1)));
+  }
+  EXPECT_EQ(copy_log.GcBefore(35), 3u);  // Offsets 0..2 gone.
+  EXPECT_EQ(span_log.GcBefore(35), 3u);
+
+  std::vector<StoredMessage> copies;
+  std::vector<MessageSpan> spans;
+  ReadPin pin(&span_log);
+  EXPECT_EQ(copy_log.ReadInto(0, 0, &copies), 3u);
+  EXPECT_EQ(span_log.ReadSpansInto(0, 0, &spans), 3u);
+  EXPECT_EQ(spans[0].offset, 3u);  // Silently repositioned, like the copy read.
+  EXPECT_EQ(span_log.silent_skips(), copy_log.silent_skips());
+  EXPECT_EQ(span_log.silent_skips(), 3u);
+
+  // Reading past the end with `from` below retention also matches.
+  copies.clear();
+  spans.clear();
+  EXPECT_EQ(copy_log.ReadInto(100, 0, &copies), 0u);
+  EXPECT_EQ(span_log.ReadSpansInto(100, 0, &spans), 0u);
+  EXPECT_EQ(span_log.silent_skips(), copy_log.silent_skips());
+}
+
+TEST(SpanReadTest, PinDefersTimeGcUntilRelease) {
+  PartitionLog log({});
+  std::vector<RetentionEvent> events;
+  log.set_retention_callback([&](const RetentionEvent& e) { events.push_back(e); });
+  log.Append(Msg("k0", "old-value-zero", 10));
+  log.Append(Msg("k1", "old-value-one", 20));
+  log.Append(Msg("k2", "new-value", 100));
+
+  std::vector<MessageSpan> spans;
+  {
+    ReadPin pin(&log);
+    EXPECT_EQ(log.pins(), 1);
+    ASSERT_EQ(log.ReadSpansInto(0, 0, &spans), 3u);
+
+    // GC under pin: deferred, loudly reported as "0 dropped now".
+    EXPECT_EQ(log.GcBefore(50), 0u);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_TRUE(events.empty());  // No callback until it actually runs.
+    // The spans the pin protects still read their bytes.
+    EXPECT_EQ(spans[0].value, "old-value-zero");
+    EXPECT_EQ(spans[1].value, "old-value-one");
+
+    // A higher horizon while still pinned wins (max, not last).
+    EXPECT_EQ(log.GcBefore(30), 0u);
+  }  // Pin drops: deferred GC runs with horizon 50.
+
+  EXPECT_EQ(log.pins(), 0);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.gced(), 2u);
+  EXPECT_EQ(log.first_offset(), 2u);
+  ASSERT_EQ(events.size(), 1u);  // The journal-facing callback fired on apply.
+  EXPECT_EQ(events[0].kind, RetentionEvent::Kind::kGcBefore);
+  EXPECT_EQ(events[0].horizon, 50);
+  EXPECT_EQ(events[0].removed, 2u);
+}
+
+TEST(SpanReadTest, PinDefersCompactionUntilRelease) {
+  PartitionLog log({});
+  std::vector<RetentionEvent> events;
+  log.set_retention_callback([&](const RetentionEvent& e) { events.push_back(e); });
+  log.Append(Msg("k", "stale-version", 10));
+  log.Append(Msg("k", "fresh-version", 20));
+
+  std::vector<MessageSpan> spans;
+  {
+    ReadPin pin(&log);
+    ASSERT_EQ(log.ReadSpansInto(0, 0, &spans), 2u);
+    // Compaction rebuilds the deque (moves SSO-small strings) — exactly what
+    // must not happen under outstanding spans.
+    EXPECT_EQ(log.Compact(50), 0u);
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(spans[0].value, "stale-version");
+  }
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.compacted_away(), 1u);
+  EXPECT_EQ(log.entries().front().message.value, "fresh-version");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, RetentionEvent::Kind::kCompact);
+}
+
+TEST(SpanReadTest, PinDefersSizeCapAndAppendsStaySafe) {
+  RetentionPolicy policy;
+  policy.max_messages = 2;
+  PartitionLog log(policy);
+  std::vector<RetentionEvent> events;
+  log.set_retention_callback([&](const RetentionEvent& e) { events.push_back(e); });
+  log.Append(Msg("k0", "value-zero", 10));
+  log.Append(Msg("k1", "value-one", 20));
+
+  std::vector<MessageSpan> spans;
+  {
+    ReadPin pin(&log);
+    ASSERT_EQ(log.ReadSpansInto(0, 0, &spans), 2u);
+    // Appends during a pinned read are allowed (deque push_back never moves
+    // existing elements); only the size-cap trim they trigger is deferred.
+    log.Append(Msg("k2", "value-two", 30));
+    log.Append(Msg("k3", "value-three", 40));
+    EXPECT_EQ(log.size(), 4u);  // Over cap, trim pending.
+    EXPECT_EQ(spans[0].value, "value-zero");
+    EXPECT_EQ(spans[1].value, "value-one");
+    EXPECT_TRUE(events.empty());
+  }
+  EXPECT_EQ(log.size(), 2u);  // Cap enforced at release.
+  EXPECT_EQ(log.first_offset(), 2u);
+  EXPECT_EQ(log.gced(), 2u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, RetentionEvent::Kind::kSizeCap);
+  EXPECT_EQ(events[0].removed, 2u);
+}
+
+TEST(SpanReadTest, RebindingAPinAcrossBatchesKeepsTheLogPinned) {
+  PartitionLog log({});
+  log.Append(Msg("k", "batch-one", 10));
+  log.Append(Msg("k", "batch-two", 20));
+
+  ReadPin pin(&log);
+  std::vector<MessageSpan> spans;
+  ASSERT_EQ(log.ReadSpansInto(0, 1, &spans), 1u);
+  EXPECT_EQ(log.GcBefore(100), 0u);  // Deferred under the first batch's pin.
+
+  // The consumer moves to its next batch: rebinding constructs the new pin
+  // BEFORE releasing the old one (move-assign), so the pin count never
+  // touches zero between batches and the deferred GC cannot fire mid-loop.
+  pin = ReadPin(&log);
+  EXPECT_EQ(log.pins(), 1);
+  EXPECT_EQ(log.size(), 2u);  // Still deferred.
+  spans.clear();
+  ASSERT_EQ(log.ReadSpansInto(1, 1, &spans), 1u);
+  EXPECT_EQ(spans[0].value, "batch-two");
+
+  pin.Release();
+  pin.Release();  // Idempotent.
+  EXPECT_EQ(log.pins(), 0);
+  EXPECT_EQ(log.size(), 0u);  // The horizon-100 GC finally ran.
+  EXPECT_EQ(log.gced(), 2u);
+}
+
+TEST(SpanReadTest, OverlappingPinsDeferUntilTheLastDrops) {
+  PartitionLog log({});
+  log.Append(Msg("k", "v", 10));
+
+  ReadPin a(&log);
+  ReadPin b(&log);
+  EXPECT_EQ(log.pins(), 2);
+  EXPECT_EQ(log.GcBefore(100), 0u);
+  a.Release();
+  EXPECT_EQ(log.size(), 1u);  // b still holds the log.
+  b.Release();
+  EXPECT_EQ(log.size(), 0u);
+
+  // Moved-from pins guard nothing; the moved-to pin carries the count.
+  ReadPin c(&log);
+  ReadPin d(std::move(c));
+  EXPECT_FALSE(c.pinned());
+  EXPECT_TRUE(d.pinned());
+  EXPECT_EQ(log.pins(), 1);
+  d.Release();
+  EXPECT_EQ(log.pins(), 0);
+}
+
+TEST(SpanReadTest, BrokerFetchSpansAndErrors) {
+  sim::Simulator sim(1);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  Broker broker(&sim, &net, "b");
+  ASSERT_TRUE(broker.CreateTopic("t", {.partitions = 2}).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(broker.Publish("t", Msg("key", "v" + std::to_string(i), 0), 1).ok());
+  }
+
+  std::vector<MessageSpan> spans;
+  ReadPin pin;
+  const auto n = broker.FetchSpans("t", 1, 1, 3, &spans, &pin);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_TRUE(pin.pinned());
+  EXPECT_EQ(broker.Log("t", 1)->pins(), 1);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].offset, 1u);
+  EXPECT_EQ(spans[0].value, "v1");
+  EXPECT_EQ(spans[2].value, "v3");
+  pin.Release();
+  EXPECT_EQ(broker.Log("t", 1)->pins(), 0);
+
+  spans.clear();
+  EXPECT_EQ(broker.FetchSpans("missing", 0, 0, 1, &spans, &pin).status().code(),
+            common::StatusCode::kNotFound);
+  EXPECT_EQ(broker.FetchSpans("t", 9, 0, 1, &spans, &pin).status().code(),
+            common::StatusCode::kInvalidArgument);
+  // A null pin is allowed for callers managing their own pin lifetime.
+  const auto unpinned = broker.FetchSpans("t", 1, 0, 1, &spans, nullptr);
+  ASSERT_TRUE(unpinned.ok());
+  EXPECT_EQ(*unpinned, 1u);
+}
+
+TEST(SpanReadTest, PublishSpanMatchesPublish) {
+  sim::Simulator sim(1);
+  sim::Network net(&sim, {.base = 0, .jitter = 0});
+  Broker ref(&sim, &net, "ref");
+  Broker got(&sim, &net, "got");
+  ASSERT_TRUE(ref.CreateTopic("t", {.partitions = 4}).ok());
+  ASSERT_TRUE(got.CreateTopic("t", {.partitions = 4}).ok());
+
+  const Headers headers = {{"content-type", "test"}};
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = i % 3 == 0 ? "" : "user-" + std::to_string(i % 7);
+    const std::string value = "v" + std::to_string(i);
+    const auto want = ref.Publish("t", Msg(key, value, 0, i % 2 ? headers : Headers{}));
+    const auto have = got.PublishSpan("t", key, value, i % 2 ? &headers : nullptr);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(have.ok());
+    // Same routing (key hash / round robin) and same assigned offset...
+    EXPECT_EQ(have->partition, want->partition) << "message " << i;
+    EXPECT_EQ(have->offset, want->offset) << "message " << i;
+  }
+  // ...and byte-identical logs: PublishSpan owns its copy at append time, so
+  // the borrowed-view input leaves no aliasing behind.
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(got.Log("t", p)->entries(), ref.Log("t", p)->entries()) << "partition " << p;
+  }
+}
+
+}  // namespace
+}  // namespace pubsub
