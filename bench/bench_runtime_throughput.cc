@@ -31,9 +31,21 @@
 // mutex-singles vs lockfree-batched and exits nonzero if the lock-free data
 // plane fails to beat the mutex baseline — the CI perf gate.
 //
+// Load modes: the default is the classic closed loop (producers retry
+// through backpressure as fast as the runtime admits — peak-capacity
+// measurement). --arrival-rate=N switches the publish plane to OPEN-LOOP
+// load: arrivals follow a virtual-time schedule fixed by the offered rate
+// (bench/loadgen.h — no coordinated omission, the schedule never
+// re-anchors), every arrival gets exactly one TryPublish, and a rejection
+// is counted as loss instead of silently retried. --theta sets the Zipf
+// skew of the open-loop key stream. bench_overload drives this mode past
+// saturation; here it makes the R1 scaling rows comparable at a fixed
+// offered rate.
+//
 //   ./bench_runtime_throughput [--messages=N] [--producers=P] [--consumers=C]
 //                              [--watchers=W] [--consumer-mode=event|periodic]
 //                              [--ring=mutex|lockfree] [--publish-batch=N]
+//                              [--arrival-rate=N] [--theta=F]
 //                              [--smoke] [--json=PATH]
 #include <algorithm>
 #include <atomic>
@@ -49,6 +61,7 @@
 #include <vector>
 
 #include "bench/json.h"
+#include "bench/loadgen.h"
 #include "bench/table.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -101,7 +114,9 @@ struct RunResult {
   bool lockfree = false;
   int publish_batch = 1;
   double elapsed_sec = 0;
-  std::int64_t messages = 0;  // publishes == ingests
+  std::int64_t messages = 0;  // Closed loop: publishes == ingests. Open loop: offered arrivals.
+  std::int64_t accepted = 0;  // == messages in closed loop; TryPublish oks in open loop.
+  std::int64_t publish_losses = 0;  // Open loop only: single-attempt rejections.
   std::int64_t publish_retries = 0;
   std::int64_t ingest_retries = 0;
   std::int64_t delivered = 0;
@@ -123,9 +138,14 @@ common::Key SplitPoint(std::size_t i, std::size_t n) {
 // is a single shard group and its retry-on-kUnavailable is all-or-nothing);
 // `publish_only` drops the watch-plane ingest so a --smoke A/B measures the
 // pubsub data plane in isolation.
+// `arrival_rate` > 0 switches the publish plane to open-loop mode: the rate
+// is split across producers, each following its own seeded virtual-time
+// schedule for per_producer arrivals with ONE TryPublish per arrival
+// (`theta` skews the keys); 0 is the classic closed loop.
 RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers,
                   int per_producer, bool trace, bool event_consumers, bool lockfree,
-                  int publish_batch, bool publish_only) {
+                  int publish_batch, bool publish_only, double arrival_rate = 0,
+                  double theta = 0) {
   runtime::RuntimeOptions options;
   options.shards = shards;
   options.queue_capacity = 8192;
@@ -290,6 +310,8 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
 
   std::atomic<std::int64_t> publish_retries{0};
   std::atomic<std::int64_t> ingest_retries{0};
+  std::atomic<std::int64_t> publish_losses{0};
+  std::atomic<std::int64_t> open_accepted{0};
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> producer_threads;
   for (int t = 0; t < producers; ++t) {
@@ -310,6 +332,35 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
           std::this_thread::yield();
         }
       };
+      if (arrival_rate > 0) {
+        // Open loop: one TryPublish per scheduled arrival; a rejection is
+        // loss, never a retry (retrying would re-close the loop). Ingest
+        // rides along per ACCEPTED publish so the watch plane still sees
+        // the same record stream, just thinned by the loss.
+        bench::OpenLoopGen gen({.rate_per_sec = arrival_rate / producers,
+                                .zipf_theta = theta,
+                                .key_space = 26 * 997,
+                                .seed = static_cast<std::uint64_t>(t) + 1});
+        const std::int64_t epoch_us = NowNanos() / 1000;
+        for (int i = 0; i < per_producer; ++i) {
+          const std::int64_t target = epoch_us + gen.NextDueUs();
+          const std::int64_t now = NowNanos() / 1000;
+          if (target - now > 150) {
+            // Ahead of schedule: sleep to the due time. Behind: fire now —
+            // the schedule never re-anchors (see bench/loadgen.h).
+            std::this_thread::sleep_for(std::chrono::microseconds(target - now - 100));
+          }
+          if (broker.TryPublish("bench", {bench::RankKey(gen.NextRank()), "m", 0, {}}).ok()) {
+            open_accepted.fetch_add(1, std::memory_order_relaxed);
+            if (!publish_only) {
+              ingest_one(i);
+            }
+          } else {
+            publish_losses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        return;
+      }
       if (publish_batch > 1) {
         // Batched data plane: stage publish_batch records per arena batch.
         // One key per batch keeps the whole batch on one partition (a single
@@ -372,13 +423,17 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   r.publish_batch = publish_batch;
   r.elapsed_sec = std::chrono::duration<double>(elapsed).count();
   r.messages = static_cast<std::int64_t>(producers) * per_producer;
+  r.accepted = arrival_rate > 0 ? open_accepted.load() : r.messages;
+  r.publish_losses = publish_losses.load();
   r.publish_retries = publish_retries.load();
   r.ingest_retries = ingest_retries.load();
   r.delivered = delivered.load();
   r.consumed = consumed.load();
   r.p50_us = latency.Percentile(50);
   r.p99_us = latency.Percentile(99);
-  r.msgs_per_sec = static_cast<double>(r.messages) / r.elapsed_sec;
+  // Open loop: goodput is what was ACCEPTED; offered arrivals that bounced
+  // are loss, not throughput.
+  r.msgs_per_sec = static_cast<double>(r.accepted) / r.elapsed_sec;
 
   // Loud-failure audit: everything accepted must be accounted for.
   std::int64_t appended = 0;
@@ -390,9 +445,9 @@ RunResult RunOnce(std::size_t shards, int producers, int consumers, int watchers
   for (const auto& cb : callbacks) {
     resyncs += cb->resyncs();
   }
-  if (appended != r.messages || resyncs != 0) {
-    std::fprintf(stderr, "accounting failure: appended=%lld messages=%lld resyncs=%lld\n",
-                 static_cast<long long>(appended), static_cast<long long>(r.messages),
+  if (appended != r.accepted || resyncs != 0) {
+    std::fprintf(stderr, "accounting failure: appended=%lld accepted=%lld resyncs=%lld\n",
+                 static_cast<long long>(appended), static_cast<long long>(r.accepted),
                  static_cast<long long>(resyncs));
     std::abort();
   }
@@ -410,6 +465,17 @@ std::int64_t IntFlag(int argc, char** argv, const std::string& name, std::int64_
   return fallback;
 }
 
+double DoubleFlag(int argc, char** argv, const std::string& name, double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtod(arg.c_str() + prefix.size(), nullptr);
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -418,6 +484,8 @@ int main(int argc, char** argv) {
   const int consumers = static_cast<int>(IntFlag(argc, argv, "consumers", 4));
   const int watchers = static_cast<int>(IntFlag(argc, argv, "watchers", 4));
   const int publish_batch_flag = static_cast<int>(IntFlag(argc, argv, "publish-batch", 0));
+  const double arrival_rate = DoubleFlag(argc, argv, "arrival-rate", 0);
+  const double theta = DoubleFlag(argc, argv, "theta", 0);
   bool trace = false;
   bool smoke = false;
   std::string consumer_mode = "event";
@@ -510,6 +578,11 @@ int main(int argc, char** argv) {
       "R1: runtime throughput scaling — %d producers x %d msgs, %d consumers (%s), %d watchers%s\n",
       producers, per_producer, consumers, consumer_mode.c_str(), watchers,
       trace ? (noop_build ? " [--trace, PUBSUB_OBS_NOOP build]" : " [--trace]") : "");
+  if (arrival_rate > 0) {
+    std::printf("load mode: open-loop, %.0f arrivals/sec offered, zipf theta %.2f "
+                "(one attempt per arrival; rejections are loss)\n",
+                arrival_rate, theta);
+  }
   std::printf("host hardware_concurrency: %u%s\n", cores,
               cores < 4 ? " (scaling curve will be flat below 4 cores)" : "");
 
@@ -527,7 +600,7 @@ int main(int argc, char** argv) {
     for (const std::size_t shards : shard_counts) {
       results.push_back(RunOnce(shards, producers, consumers, watchers, per_producer, trace,
                                 event_consumers, lockfree, batch_for(lockfree),
-                                /*publish_only=*/false));
+                                /*publish_only=*/false, arrival_rate, theta));
       const RunResult& r = results.back();
       std::printf("  %s/batch=%d, %zu shard(s): %.0f msgs/sec (%.2fs)\n",
                   lockfree ? "lockfree" : "mutex", r.publish_batch, shards, r.msgs_per_sec,
@@ -570,6 +643,14 @@ int main(int argc, char** argv) {
     doc["consumer_mode"] = consumer_mode;
     doc["watchers"] = watchers;
     doc["messages_per_producer"] = per_producer;
+    doc["load_mode"] = std::string(arrival_rate > 0 ? "open-loop" : "closed-loop");
+    if (arrival_rate > 0) {
+      doc["arrival_rate_per_sec"] = arrival_rate;
+      doc["zipf_theta"] = theta;
+      doc["methodology"] =
+          "poisson virtual-time schedule (bench/loadgen.h), one attempt per "
+          "arrival, rejections counted as loss; no coordinated omission";
+    }
     bench::Json& runs = doc["runs"] = bench::Json::Array();
     for (const RunResult& r : results) {
       bench::Json& run = runs.Append(bench::Json::Object());
@@ -581,6 +662,8 @@ int main(int argc, char** argv) {
       run["p50_us"] = r.p50_us;
       run["p99_us"] = r.p99_us;
       run["messages"] = r.messages;
+      run["accepted"] = r.accepted;
+      run["publish_losses"] = r.publish_losses;
       run["delivered"] = r.delivered;
       run["consumed"] = r.consumed;
       run["publish_retries"] = r.publish_retries;

@@ -1,0 +1,31 @@
+#include "bench/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bench {
+
+std::string RankKey(std::uint64_t rank) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%08llu", static_cast<unsigned long long>(rank));
+  return std::string(buf);
+}
+
+std::vector<double> OverloadRateLadder(double capacity, int points) {
+  points = std::max(points, 2);
+  capacity = std::max(capacity, 1.0);
+  // capacity/2 .. 4x capacity, geometric: the interesting knee (goodput
+  // flattens, loss takes off) sits near 1x wherever the host puts it.
+  const double lo = capacity / 2;
+  const double hi = capacity * 4;
+  const double step = std::pow(hi / lo, 1.0 / (points - 1));
+  std::vector<double> rates;
+  double r = lo;
+  for (int i = 0; i < points; ++i, r *= step) {
+    rates.push_back(std::floor(r));
+  }
+  return rates;
+}
+
+}  // namespace bench

@@ -1,0 +1,91 @@
+// Open-loop (arrival-rate-driven) load generation for the overload benches.
+//
+// Closed-loop drivers — N workers, each publishing as fast as the system
+// lets them — cannot measure overload: when the system slows down, the
+// drivers slow down WITH it, so offered load silently deflates to whatever
+// the system can absorb and the latency numbers only sample the moments the
+// system felt like serving. That feedback is the coordinated-omission trap:
+// the worst intervals contribute the fewest samples.
+//
+// An OpenLoopGen severs the feedback. Arrivals follow a VIRTUAL-TIME
+// schedule fixed by the offered rate before the system is ever touched:
+// arrival i is due at schedule time D_i regardless of how long arrival i-1
+// took to serve. The driver sleeps until D_i when ahead and fires
+// immediately (without re-anchoring the schedule) when behind, so a stalled
+// system faces a growing backlog of due arrivals — exactly what a real
+// producer population does. Latency is charged from D_i, not from the send,
+// so every microsecond a backlog adds is in the histogram.
+//
+// Key skew: NextRank() draws a Zipf(theta) rank in [0, key_space) — rank 0
+// hottest — which the overload benches map onto keys both to route
+// partitions and to feed the autosharder's hot-range detector.
+//
+// Determinism: the schedule and ranks derive only from (seed, rate, theta),
+// never from the clock, so two runs against different systems offer
+// byte-identical load.
+#ifndef BENCH_LOADGEN_H_
+#define BENCH_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bench {
+
+struct LoadgenOptions {
+  // Offered arrival rate for THIS generator, per second. Split the target
+  // rate across producer threads (each with its own seeded generator).
+  double rate_per_sec = 10000;
+  // Poisson process (exponential inter-arrivals) when true; a fixed-interval
+  // conveyor when false. Poisson is the default: bursts are part of offering
+  // load honestly.
+  bool poisson = true;
+  // Zipf skew of NextRank(): 0 = uniform, ~0.9 = hot-key heavy (the classic
+  // YCSB-ish setting), >1 = pathological single-key hotspot.
+  double zipf_theta = 0.0;
+  std::uint64_t key_space = 1024;
+  std::uint64_t seed = 1;
+};
+
+class OpenLoopGen {
+ public:
+  explicit OpenLoopGen(LoadgenOptions options)
+      : options_(options),
+        rng_(options.seed),
+        interval_us_(1e6 / (options.rate_per_sec > 0 ? options.rate_per_sec : 1)) {}
+
+  // Virtual due time (microseconds since the schedule epoch) of the next
+  // arrival. Strictly derived from the schedule — calling it late does not
+  // shift later arrivals (no re-anchoring, no omission).
+  std::int64_t NextDueUs() {
+    next_due_us_ += options_.poisson ? rng_.Exponential(interval_us_) : interval_us_;
+    return static_cast<std::int64_t>(next_due_us_);
+  }
+
+  // Zipf-skewed rank in [0, key_space); rank 0 is the hottest.
+  std::uint64_t NextRank() { return rng_.Zipf(options_.key_space, options_.zipf_theta); }
+
+  const LoadgenOptions& options() const { return options_; }
+
+ private:
+  LoadgenOptions options_;
+  common::Rng rng_;
+  double interval_us_;
+  double next_due_us_ = 0;
+};
+
+// Stable rank -> key mapping shared by the overload benches: zero-padded so
+// keys sort by rank and contiguous hot ranks form a contiguous hot key
+// RANGE — the shape sharding/autosharder detects and splits.
+std::string RankKey(std::uint64_t rank);
+
+// A geometric ladder of offered rates straddling `capacity` (measured or
+// estimated msgs/sec): from capacity/2 up past saturation to 4x capacity,
+// `points` rungs. The overload sweep's x axis.
+std::vector<double> OverloadRateLadder(double capacity, int points);
+
+}  // namespace bench
+
+#endif  // BENCH_LOADGEN_H_

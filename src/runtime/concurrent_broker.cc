@@ -111,10 +111,10 @@ common::Status ConcurrentBroker::TryPublish(const std::string& topic, pubsub::Me
   }
   const pubsub::PartitionId p = *routed;
   const std::size_t shard = OwnerShard(p);
-  // Every kUnavailable exit populates retry_after with a nonzero microsecond
-  // backoff — a zero (or untouched) hint makes callers retry-spin.
-  const common::TimeMicros backoff =
-      std::max<common::TimeMicros>(1, pool_->options().retry_after);
+  // Every kUnavailable exit populates retry_after with a nonzero, bounded,
+  // depth-scaled backoff — a zero (or untouched) hint makes callers
+  // retry-spin, an unbounded one strands them.
+  const common::TimeMicros backoff = pool_->RetryAfterHint(shard);
   if (pool_->ShardFailingOver(shard)) {
     publish_rejected_->Increment();
     if (retry_after != nullptr) {
@@ -184,8 +184,6 @@ common::Status ConcurrentBroker::TryPublishBatch(const std::string& topic,
     }
     groups[OwnerShard(p)].push_back(Routed{p, i});
   }
-  const common::TimeMicros backoff =
-      std::max<common::TimeMicros>(1, pool_->options().retry_after);
   for (auto& [shard, group] : groups) {
     // Taken before the lambda steals `group`: the rejected branch still needs
     // the count after a failed TryPost has consumed the moved-from vector.
@@ -204,6 +202,7 @@ common::Status ConcurrentBroker::TryPublishBatch(const std::string& topic,
           }
         });
     if (rejected) {
+      const common::TimeMicros backoff = pool_->RetryAfterHint(shard);
       publish_rejected_->Increment(static_cast<std::int64_t>(group_size));
       if (retry_after != nullptr) {
         *retry_after = backoff;
@@ -257,8 +256,7 @@ common::Status ConcurrentBroker::TryPublishAsync(
   }
   const pubsub::PartitionId p = *routed;
   const std::size_t shard = OwnerShard(p);
-  const common::TimeMicros backoff =
-      std::max<common::TimeMicros>(1, pool_->options().retry_after);
+  const common::TimeMicros backoff = pool_->RetryAfterHint(shard);
   if (pool_->ShardFailingOver(shard)) {
     publish_rejected_->Increment();
     if (retry_after != nullptr) {
@@ -323,8 +321,7 @@ common::Status ConcurrentBroker::TryFetchAsync(
         done(pool->core(shard).broker->Fetch(topic, partition, offset, max));
       });
   if (!posted) {
-    const common::TimeMicros backoff =
-        std::max<common::TimeMicros>(1, pool_->options().retry_after);
+    const common::TimeMicros backoff = pool_->RetryAfterHint(shard);
     if (retry_after != nullptr) {
       *retry_after = backoff;
     }
@@ -394,10 +391,15 @@ std::unique_ptr<Subscription> ConcurrentBroker::Subscribe(const std::string& top
   shared->shard_batch = options.shard_batch == 0 ? 1 : options.shard_batch;
   shared->wake_coalesce_us = options.wake_coalesce_us;
   shared->filter = std::move(options.filter);
+  shared->policy = options.slow_consumer;
   shared->poll_period = pool_->options().subscription_poll_period;
   shared->event_driven = pool_->options().event_driven;
   shared->wakeup_latency = &pool_->metrics().histogram("runtime.wakeup_latency_us");
   shared->rings = &pool_->metrics().counter("runtime.doorbell_rings");
+  shared->stall_count = &pool_->metrics().counter("runtime.slow_consumer.stalls");
+  shared->drop_count = &pool_->metrics().counter("runtime.slow_consumer.drops");
+  shared->disconnect_count = &pool_->metrics().counter("runtime.slow_consumer.disconnects");
+  shared->obs = pool_->options().obs;
   auto sub = std::unique_ptr<Subscription>(new Subscription(pool_, shard, shared));
   if (shared->event_driven) {
     // First pump adopts the backlog (if any) and parks the shard-side waiter.
@@ -493,8 +495,7 @@ common::Status ConcurrentBroker::TryCommitAsync(const pubsub::GroupId& group,
         }
       });
   if (!posted) {
-    const common::TimeMicros backoff =
-        std::max<common::TimeMicros>(1, pool_->options().retry_after);
+    const common::TimeMicros backoff = pool_->RetryAfterHint(shard);
     if (retry_after != nullptr) {
       *retry_after = backoff;
     }

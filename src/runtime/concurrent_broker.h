@@ -50,6 +50,10 @@ class ConcurrentBroker {
     return partition % pool_->shard_count();
   }
 
+  // The underlying pool (hint computation, shard-count queries by embedders
+  // like pubsubd that must not reach into facade internals).
+  ShardPool* pool() const { return pool_; }
+
   // -- Topics (fenced: created on every shard) ---------------------------------
 
   common::Status CreateTopic(const std::string& topic, pubsub::TopicConfig config);

@@ -3,8 +3,33 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace runtime {
+
+namespace {
+
+// Pins the calling thread to `cpu`; false when the platform has no affinity
+// support or the kernel refuses (cgroup cpuset, cpu offline). Callers treat
+// false as "run unpinned", never as fatal.
+bool PinCurrentThread(std::size_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace
 
 ShardPool::ShardPool(RuntimeOptions options, common::MetricsRegistry* metrics)
     : options_(std::move(options)) {
@@ -80,9 +105,25 @@ void ShardPool::Start() {
     queue->Reopen();
   }
   running_.store(true, std::memory_order_release);
+  pinned_shards_.store(0, std::memory_order_release);
+  // Pin only when every shard can own a distinct CPU: with fewer CPUs than
+  // shards, pinning would stack workers on the low cores and serialize the
+  // pool — worse than letting the scheduler spread them.
+  const std::size_t cpus = std::thread::hardware_concurrency();
+  const bool pin = options_.pin_shards && cpus >= cores_.size() && cpus > 0;
   workers_.reserve(cores_.size());
   for (std::size_t s = 0; s < cores_.size(); ++s) {
-    workers_.emplace_back([this, s] { WorkerLoop(s); });
+    workers_.emplace_back([this, s, pin] {
+      if (pin && PinCurrentThread(s)) {
+        pinned_shards_.fetch_add(1, std::memory_order_acq_rel);
+        metrics_->gauge("runtime.shards_pinned")
+            .Set(static_cast<std::int64_t>(pinned_shards_.load(std::memory_order_acquire)));
+      }
+      WorkerLoop(s);
+    });
+  }
+  if (!pin) {
+    metrics_->gauge("runtime.shards_pinned").Set(0);
   }
 }
 
@@ -135,6 +176,14 @@ void ShardPool::WorkerLoop(std::size_t shard) {
     batches_run_->Increment();
   }
   FlushSim(core);
+}
+
+common::TimeMicros ShardPool::RetryAfterHint(std::size_t shard) const {
+  const common::TimeMicros base = std::max<common::TimeMicros>(1, options_.retry_after);
+  const std::size_t cap = std::max<std::size_t>(1, options_.queue_capacity);
+  const std::size_t depth = std::min(queue_depth(shard), cap);
+  return base + (base * (kRetryHintMaxScale - 1)) * static_cast<common::TimeMicros>(depth) /
+                    static_cast<common::TimeMicros>(cap);
 }
 
 bool ShardPool::TryPost(std::size_t shard, Task task) {

@@ -60,6 +60,14 @@ struct RuntimeOptions {
   bool lockfree_ring = false;
   // Max tasks drained per batch (amortizes queue locking and sim flushing).
   std::size_t max_batch = 256;
+  // Pin shard s's worker thread to CPU s (pthread affinity). The point of
+  // shard-per-core: without pinning, the scheduler migrates workers and the
+  // scaling curve measures the scheduler, not the runtime. Graceful fallback:
+  // when the host has fewer CPUs than shards (oversubscribed — pinning would
+  // serialize shards behind each other), or the platform refuses the
+  // affinity call, the worker runs unpinned and the miss is visible in the
+  // runtime.shards_pinned gauge (== shard count when fully pinned).
+  bool pin_shards = false;
   // Simulated time advanced per batch. 0 keeps every shard clock at 0, which
   // makes runs bit-deterministic for the equivalence tests (periodic
   // maintenance like retention GC then never fires; size-capped retention
@@ -156,6 +164,9 @@ class ShardPool {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   std::size_t shard_count() const { return cores_.size(); }
+  // Workers currently pinned to a CPU (0 when pin_shards is off, the host is
+  // oversubscribed, or the platform refused). Mirrors runtime.shards_pinned.
+  std::size_t pinned_shards() const { return pinned_shards_.load(std::memory_order_acquire); }
   const RuntimeOptions& options() const { return options_; }
   common::MetricsRegistry& metrics() { return *metrics_; }
 
@@ -178,6 +189,20 @@ class ShardPool {
   bool ShardFailingOver(std::size_t shard) const {
     return failing_over_[shard]->load(std::memory_order_acquire);
   }
+
+  // Retry hint ceiling: a saturated shard's hint scales with ring depth up
+  // to this multiple of RuntimeOptions::retry_after, so hints stay bounded
+  // (a producer is never told to go away for unbounded time) while a full
+  // ring is never advertised as instantly retryable.
+  static constexpr common::TimeMicros kRetryHintMaxScale = 8;
+
+  // The backoff hint handed to rejected producers, in microseconds. Always
+  // in [1, kRetryHintMaxScale * max(1, retry_after)] — nonzero even when the
+  // configured retry_after is 0, because a zero hint makes hint-obeying
+  // clients either spin or give up (they read 0 as "no retry guidance").
+  // Scales linearly with the shard's current ring depth: an empty ring hints
+  // the base, a full ring the ceiling.
+  common::TimeMicros RetryAfterHint(std::size_t shard) const;
 
   // Non-blocking enqueue; false when the shard is saturated (counted as
   // runtime.post_rejected) or the pool is stopped.
@@ -255,6 +280,7 @@ class ShardPool {
   // One flag per shard; set inside FailoverShard's fence so concurrent
   // producers can observe the teardown without touching the core.
   std::vector<std::unique_ptr<std::atomic<bool>>> failing_over_;
+  std::atomic<std::size_t> pinned_shards_{0};
   std::mutex fence_mu_;  // Serializes fences so two fences cannot interleave.
   // Guards the running/stopped transition. Post's inline fallback holds it
   // so a task can never run on the caller's thread while workers are still

@@ -62,6 +62,25 @@ std::uint64_t Subscription::wakeups() const {
   return shared_->wakeups;
 }
 
+std::uint64_t Subscription::drops() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->drops;
+}
+
+bool Subscription::broken() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->broken;
+}
+
+const char* SlowConsumerPolicyName(SlowConsumerPolicy policy) {
+  switch (policy) {
+    case SlowConsumerPolicy::kBlock: return "block";
+    case SlowConsumerPolicy::kDropOldest: return "drop_oldest";
+    case SlowConsumerPolicy::kDisconnect: return "disconnect";
+  }
+  return "unknown";
+}
+
 void Subscription::SetReadyHook(std::function<void()> hook) {
   std::function<void()> fire;
   {
@@ -78,6 +97,30 @@ void Subscription::SetReadyHook(std::function<void()> hook) {
   }
 }
 
+void Subscription::FinishCut(const std::shared_ptr<Shared>& shared) {
+  Shared& s = *shared;
+  if (s.disconnect_count != nullptr) {
+    s.disconnect_count->Increment();
+  }
+  if (s.obs != nullptr) {
+    s.obs->LogEvent(obs::EventKind::kSessionBreak, "slow_consumer",
+                    "subscription " + s.topic + "/" + std::to_string(s.partition) +
+                        " handoff overflow",
+                    s.shard);
+  }
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    hook = s.ready_hook;
+  }
+  // Wake the consumer unconditionally (no coalescing): there may be no
+  // further ring, and a parked consumer must observe broken().
+  s.bell.Signal();
+  if (hook) {
+    hook();
+  }
+}
+
 void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
   Shared& s = *shared;
   // Re-resolve the shard's current broker: after a failover this is the
@@ -86,20 +129,63 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
   pubsub::Broker* broker = s.pool->core(s.shard).broker.get();
   std::size_t space;
   pubsub::Offset cursor;
+  bool cut = false;
   {
     std::lock_guard<std::mutex> lock(s.mu);
     // A fired waiter is already deregistered broker-side; clear before the
     // detached check so teardown never cancels a recycled ticket id.
     s.ticket = 0;
-    if (s.detached) {
+    if (s.detached || s.broken) {
       return;
     }
     space = s.handoff_capacity - s.buffer.size();
     cursor = s.cursor;
     if (space == 0) {
-      s.stalled = true;  // Consumer's drain below the watermark resumes us.
-      return;
+      switch (s.policy) {
+        case SlowConsumerPolicy::kBlock:
+          s.stalled = true;  // Consumer's drain below the watermark resumes us.
+          if (s.stall_count != nullptr) {
+            s.stall_count->Increment();
+          }
+          return;
+        case SlowConsumerPolicy::kDropOldest:
+          // Keep pumping; the evictions below the fetch make room. Fetch in
+          // shard_batch rounds like a non-full pump would.
+          space = s.shard_batch;
+          break;
+        case SlowConsumerPolicy::kDisconnect: {
+          // A fired waiter with no room is a genuine overflow only if data is
+          // actually pending past the cursor: a failover's broker teardown
+          // fires every parked waiter too, carrying no data — just the swap.
+          // Probe the shard's CURRENT broker before declaring the overflow
+          // terminal; a no-data fire falls through to re-arm on the
+          // replacement. (A buffer that merely *reached* capacity re-arms the
+          // same way — the consumer may still drain in time — so an
+          // idle-but-full subscription is never cut.)
+          bool pending;
+          if (s.filter.has_value()) {
+            std::vector<pubsub::StoredMessage> probe;
+            pubsub::Offset next = s.cursor;
+            auto fetched = broker->FetchFilteredInto(s.topic, s.partition, s.cursor, 1,
+                                                     kFilteredScanChunk, *s.filter, &probe,
+                                                     &next);
+            pending = fetched.ok() && *fetched > 0;
+          } else {
+            pending = broker->EndOffset(s.topic, s.partition) > s.cursor;
+          }
+          if (!pending) {
+            break;  // space stays 0: skip the fetch loop, re-arm below.
+          }
+          s.broken = true;
+          cut = true;
+          break;
+        }
+      }
     }
+  }
+  if (cut) {
+    FinishCut(shared);
+    return;
   }
   bool pushed_any = false;
   const bool filtered = s.filter.has_value();
@@ -116,6 +202,9 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     // shard-confined too, so the hot caught-up path (one pump per append)
     // never allocates.
     const std::size_t want = std::min(space, s.shard_batch);
+    if (want == 0) {
+      break;  // kDisconnect no-data fire with a full buffer: nothing to fetch.
+    }
     s.scratch.clear();
     std::size_t got = 0;
     pubsub::Offset next = cursor;
@@ -170,10 +259,34 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
       if (was_empty && s.data_ready_at_us < 0) {
         s.data_ready_at_us = SteadyMicros();
       }
+      if (s.policy == SlowConsumerPolicy::kDropOldest &&
+          s.buffer.size() > s.handoff_capacity) {
+        // The lane overflowed: evict from the front (oldest first) back to
+        // the bound. Every eviction is counted — loss is exact, never silent.
+        const std::size_t excess = s.buffer.size() - s.handoff_capacity;
+        s.buffer.erase(s.buffer.begin(),
+                       s.buffer.begin() + static_cast<std::ptrdiff_t>(excess));
+        s.drops += excess;
+        if (s.drop_count != nullptr) {
+          s.drop_count->Increment(static_cast<std::int64_t>(excess));
+        }
+      }
       space = s.handoff_capacity - s.buffer.size();
       if (space == 0) {
-        s.stalled = true;
-        break;
+        if (s.policy == SlowConsumerPolicy::kBlock) {
+          s.stalled = true;
+          if (s.stall_count != nullptr) {
+            s.stall_count->Increment();
+          }
+          break;
+        }
+        if (s.policy == SlowConsumerPolicy::kDisconnect) {
+          // Full but not yet overflowed: re-arm below with the buffer at
+          // capacity. If the consumer drains first, nothing happened; if the
+          // waiter fires first (more data, no room), the entry path cuts.
+          break;
+        }
+        space = s.shard_batch;  // kDropOldest: evictions keep making room.
       }
     }
     if (!filtered && got < want) {
@@ -214,7 +327,7 @@ void Subscription::PumpShard(const std::shared_ptr<Shared>& shared) {
     }
   }
   std::lock_guard<std::mutex> lock(s.mu);
-  if (s.detached || s.stalled) {
+  if (s.detached || s.stalled || s.broken) {
     return;
   }
   // Caught up: re-arm on the shard broker. If data landed between the last
@@ -338,7 +451,7 @@ bool Subscription::Wait(common::TimeMicros timeout_us) {
         }
         return true;
       }
-      if (s.detached) {
+      if (s.detached || s.broken) {
         return false;
       }
     }

@@ -11,11 +11,21 @@
 // micro­seconds after the append — and rings a host-side Doorbell the
 // consumer thread parks on.
 //
-// Flow control: the handoff buffer is bounded. When it fills, the shard
-// stops fetching (stalls) instead of queueing unboundedly; the consumer's
-// next drain below the half-full watermark posts a resume. Nothing is
-// dropped, nothing is unbounded — the backpressure posture of the task
-// queues, applied to the egress lane.
+// Flow control: the handoff buffer is bounded, and what happens when a slow
+// consumer fills it is a policy choice (SlowConsumerPolicy):
+//
+//   * kBlock (default) — the shard stops fetching (stalls); the consumer's
+//     next drain below the half-full watermark posts a resume. Nothing is
+//     dropped, nothing is unbounded — backpressure reaches the publisher.
+//   * kDropOldest — the shard keeps fetching and evicts the oldest buffered
+//     messages to make room. The consumer keeps up with the live edge at the
+//     cost of a gap; every evicted record is counted (drops() and
+//     runtime.slow_consumer.drops), so loss is exact, never silent.
+//   * kDisconnect — the overflow is terminal: the subscription breaks
+//     (broken() goes true, Wait returns false once drained), an obs
+//     kSessionBreak with cause "slow_consumer" is logged, and the shard
+//     stands down. The MigratoryData posture: a consumer too slow to keep up
+//     is isolated from the fanout path rather than allowed to stall it.
 //
 // Modes. A Subscription created while RuntimeOptions::event_driven is false
 // runs the classic client-driven loop instead (PollBatch issues a synchronous
@@ -39,6 +49,7 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "obs/collector.h"
 #include "pubsub/broker.h"
 #include "pubsub/filter.h"
 #include "pubsub/types.h"
@@ -46,6 +57,15 @@
 #include "runtime/shard_pool.h"
 
 namespace runtime {
+
+// What the owner shard does when a subscription's handoff buffer is full.
+// See the file header for the semantics of each arm; the policy matrix is
+// measured per-arm in bench_overload and pinned by the `overload` test suite
+// (kBlock loses nothing, kDropOldest's loss equals its drop counter,
+// kDisconnect surfaces a kSessionBreak with cause "slow_consumer").
+enum class SlowConsumerPolicy : std::uint8_t { kBlock, kDropOldest, kDisconnect };
+
+const char* SlowConsumerPolicyName(SlowConsumerPolicy policy);
 
 struct SubscriptionOptions {
   // Handoff bound (messages) on the shard-side lane; the consumer's
@@ -68,6 +88,8 @@ struct SubscriptionOptions {
   // WaitForMatch, so non-matching appends wake nobody — delivery work is
   // O(matching), not O(all sessions).
   std::optional<pubsub::Filter> filter;
+  // Full-handoff-buffer behavior; see SlowConsumerPolicy.
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
 };
 
 class Subscription {
@@ -98,6 +120,13 @@ class Subscription {
   pubsub::Offset cursor() const;
   // Parks that ended with data available (event mode).
   std::uint64_t wakeups() const;
+  // Messages evicted from the handoff buffer (kDropOldest only): the exact
+  // loss this subscription has taken. Always 0 under kBlock/kDisconnect.
+  std::uint64_t drops() const;
+  // True once a kDisconnect overflow cut this subscription. Buffered
+  // messages stay drainable; after they are gone Wait returns false and no
+  // new data will ever arrive — the consumer should tear down.
+  bool broken() const;
 
   // Socket-writer handoff (the network front-end's consume discipline): the
   // hook runs — on the owner shard's worker thread — whenever the doorbell
@@ -136,8 +165,13 @@ class Subscription {
     bool event_driven = true;
     // Broker-side content filter (immutable after Subscribe; empty = none).
     std::optional<pubsub::Filter> filter;
+    SlowConsumerPolicy policy = SlowConsumerPolicy::kBlock;
     common::Histogram* wakeup_latency = nullptr;  // runtime.wakeup_latency_us
     common::Counter* rings = nullptr;             // runtime.doorbell_rings
+    common::Counter* stall_count = nullptr;       // runtime.slow_consumer.stalls
+    common::Counter* drop_count = nullptr;        // runtime.slow_consumer.drops
+    common::Counter* disconnect_count = nullptr;  // runtime.slow_consumer.disconnects
+    obs::Collector* obs = nullptr;                // kSessionBreak on kDisconnect.
 
     Doorbell bell;
 
@@ -150,7 +184,9 @@ class Subscription {
     pubsub::Offset cursor = 0;
     bool stalled = false;   // Shard paused on a full buffer; consumer resumes.
     bool detached = false;  // Subscription destroyed; shard side stands down.
+    bool broken = false;    // kDisconnect overflow fired; terminal.
     std::uint64_t wakeups = 0;
+    std::uint64_t drops = 0;  // kDropOldest evictions, exact.
     // Host-time mark of the empty→nonempty transition; -1 when unset. The
     // consumer's first drain after it measures doorbell wakeup latency.
     std::int64_t data_ready_at_us = -1;
@@ -177,8 +213,11 @@ class Subscription {
 
   // Runs on the owner shard's worker only: fetches available messages into
   // the handoff buffer, rings the bell, and re-arms the append waiter (or
-  // stalls on a full buffer).
+  // applies the slow-consumer policy on a full buffer).
   static void PumpShard(const std::shared_ptr<Shared>& shared);
+  // kDisconnect finalizer (shard thread): counts the disconnect, logs the
+  // kSessionBreak, and wakes the consumer so it observes broken().
+  static void FinishCut(const std::shared_ptr<Shared>& shared);
 
   ShardPool* pool_;
   std::size_t shard_;

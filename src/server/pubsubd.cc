@@ -624,9 +624,16 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
         const std::shared_ptr<NudgeGate> gate = gate_;
         const std::uint64_t sid = s.id;
         const std::uint64_t rid = frame.request_id;
+        // A completion can surface kUnavailable too (it runs later, against
+        // whatever the shard has become); an ERROR carrying that code with a
+        // zero hint would tell a hint-obeying client "don't retry" while the
+        // shard is saturated. Capture the base hint now — ring depth at
+        // completion time is unknowable here, and the base keeps the bound.
+        const common::TimeMicros hint =
+            std::max<common::TimeMicros>(1, broker_->pool()->options().retry_after);
         const common::Status st = broker_->TryPublishAsync(
             req.topic, std::move(msg), partition, &retry_after,
-            [gate, sid, rid](common::Result<pubsub::PublishResult> r) {
+            [gate, sid, rid, hint](common::Result<pubsub::PublishResult> r) {
               std::lock_guard<std::mutex> lock(gate->mu);
               if (gate->server == nullptr) {
                 return;
@@ -636,9 +643,11 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
                 net::Encode(net::PublishResponse{true, r->partition, r->offset}, &payload);
                 gate->server->PushCompletion(sid, net::Verb::kPublish, rid, std::move(payload));
               } else {
+                const bool unavailable =
+                    r.status().code() == common::StatusCode::kUnavailable;
                 std::string payload;
-                net::Encode(net::ErrorBody{static_cast<std::uint32_t>(r.status().code()), 0,
-                                           r.status().message()},
+                net::Encode(net::ErrorBody{static_cast<std::uint32_t>(r.status().code()),
+                                           unavailable ? hint : 0, r.status().message()},
                             &payload);
                 gate->server->PushCompletion(sid, net::Verb::kError, rid, std::move(payload));
               }
@@ -669,9 +678,11 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
       const std::uint64_t sid = s.id;
       const std::uint64_t rid = frame.request_id;
       const std::uint32_t wv = s.wire_version;
+      const common::TimeMicros hint =
+          std::max<common::TimeMicros>(1, broker_->pool()->options().retry_after);
       const common::Status st = broker_->TryFetchAsync(
           req.topic, req.partition, req.offset, req.max, &retry_after,
-          [gate, sid, rid, wv](common::Result<std::vector<pubsub::StoredMessage>> r) {
+          [gate, sid, rid, wv, hint](common::Result<std::vector<pubsub::StoredMessage>> r) {
             std::lock_guard<std::mutex> lock(gate->mu);
             if (gate->server == nullptr) {
               return;
@@ -683,9 +694,11 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
               net::Encode(batch, &payload, wv);
               gate->server->PushCompletion(sid, net::Verb::kFetch, rid, std::move(payload));
             } else {
+              const bool unavailable =
+                  r.status().code() == common::StatusCode::kUnavailable;
               std::string payload;
-              net::Encode(net::ErrorBody{static_cast<std::uint32_t>(r.status().code()), 0,
-                                         r.status().message()},
+              net::Encode(net::ErrorBody{static_cast<std::uint32_t>(r.status().code()),
+                                         unavailable ? hint : 0, r.status().message()},
                           &payload);
               gate->server->PushCompletion(sid, net::Verb::kError, rid, std::move(payload));
             }
@@ -712,6 +725,7 @@ void Server::DispatchFrame(Session& s, const net::Frame& frame) {
       }
       runtime::SubscriptionOptions opts;
       opts.handoff_capacity = options_.subscription_handoff;
+      opts.slow_consumer = options_.slow_consumer;
       // An event-loop consumer never parks in Wait(), so its re-check sweep
       // never runs: every ring must reach the hook (no coalescing).
       opts.wake_coalesce_us = 0;
@@ -870,10 +884,15 @@ void Server::PumpSubscriptions(Session& s) {
   if (s.closing || s.subs.empty()) {
     return;
   }
+  std::uint64_t broken_rid = 0;
+  bool broken = false;
   for (auto& [rid, stream] : s.subs) {
-    // Session-level flow control: a backed-up socket stops draining, the
-    // subscription's bounded handoff lane fills, and the shard-side pump
-    // stalls — backpressure reaches the publisher with nothing dropped.
+    // Session-level flow control: a backed-up socket stops draining and the
+    // subscription's bounded handoff lane fills. What happens next is the
+    // slow-consumer policy: under kBlock the shard-side pump stalls and
+    // backpressure reaches the publisher with nothing dropped; under
+    // kDropOldest the lane evicts (counted) and the stream stays live;
+    // under kDisconnect the lane breaks and the session is torn down below.
     while (s.out.size() - s.out_head < options_.send_buffer_limit) {
       net::MessageBatch batch;
       if (stream.sub->PollBatch(&batch.messages, stream.max_batch) == 0) {
@@ -883,6 +902,19 @@ void Server::PumpSubscriptions(Session& s) {
       net::Encode(batch, &payload, s.wire_version);
       SendFrame(s, net::Verb::kDeliver, rid, payload);
     }
+    if (!broken && stream.sub->broken()) {
+      broken = true;
+      broken_rid = rid;
+    }
+  }
+  if (broken) {
+    // The runtime cut the lane (kDisconnect): no more data will ever flow on
+    // this stream. Disconnect the whole session, loudly — the final ERROR
+    // frame tells the peer why, and the teardown logs the kSessionBreak.
+    FailSession(s, broken_rid,
+                common::Status::ResourceExhausted(
+                    "slow consumer: subscription handoff overflowed"),
+                "slow_consumer");
   }
 }
 

@@ -79,6 +79,13 @@ struct ServerOptions {
   std::size_t max_watch_queue = 8192;
   // Handoff bound per remote subscription (runtime::SubscriptionOptions).
   std::size_t subscription_handoff = 8192;
+  // What a remote subscription does when its handoff lane overflows because
+  // the session's socket (and therefore its drain loop) cannot keep up.
+  // kBlock is the layered-flow-control default described above; kDropOldest
+  // trades a counted gap for a live stream; kDisconnect tears the whole
+  // session down with a kSessionBreak cause "slow_consumer" — the
+  // MigratoryData posture of isolating slow clients from the fanout path.
+  runtime::SlowConsumerPolicy slow_consumer = runtime::SlowConsumerPolicy::kBlock;
   // Lifecycle events (session breaks with causes) land here when non-null.
   obs::Collector* obs = nullptr;
 };

@@ -170,5 +170,57 @@ TEST(ShardPoolTest, DefaultTickKeepsClocksAtZeroForDeterminism) {
   EXPECT_EQ(pool.core(1).sim->Now(), 0);
 }
 
+TEST(ShardPoolTest, PinShardsFallsBackGracefullyWhenOversubscribed) {
+  // More shards than CPUs: pinning would serialize shards behind each other,
+  // so the pool must run unpinned — visibly (gauge and accessor at 0) — and
+  // still work.
+  RuntimeOptions o = SmallOptions(std::thread::hardware_concurrency() + 1);
+  o.pin_shards = true;
+  ShardPool pool(o);
+  pool.Start();
+  EXPECT_EQ(pool.pinned_shards(), 0u);
+  EXPECT_EQ(pool.metrics().gauge("runtime.shards_pinned").value(), 0);
+  std::atomic<int> ran{0};
+  for (std::size_t s = 0; s < pool.shard_count(); ++s) {
+    pool.Post(s, [&ran] { ran.fetch_add(1); });
+  }
+  pool.Quiesce();
+  EXPECT_EQ(ran.load(), static_cast<int>(pool.shard_count()));
+  pool.Stop();
+}
+
+TEST(ShardPoolTest, PinShardsPinsWorkersWhenCapacityAllows) {
+  RuntimeOptions o = SmallOptions(1);
+  o.pin_shards = true;
+  ShardPool pool(o);
+  pool.Start();
+  // Workers pin themselves before entering their loop; a task round trip
+  // proves the worker is past that point.
+  pool.RunOn(0, [](ShardCore&) { return 0; });
+#if defined(__linux__)
+  // One shard always fits: hardware_concurrency() >= 1.
+  EXPECT_EQ(pool.pinned_shards(), 1u);
+  EXPECT_EQ(pool.metrics().gauge("runtime.shards_pinned").value(), 1);
+#else
+  // Non-Linux: affinity is unsupported; the fallback is the contract.
+  EXPECT_EQ(pool.pinned_shards(), 0u);
+#endif
+  pool.Stop();
+  // Restart re-derives the pin decision from scratch.
+  pool.Start();
+  pool.RunOn(0, [](ShardCore&) { return 0; });
+#if defined(__linux__)
+  EXPECT_EQ(pool.pinned_shards(), 1u);
+#endif
+  pool.Stop();
+}
+
+TEST(ShardPoolTest, PinShardsOffByDefault) {
+  ShardPool pool(SmallOptions(1));
+  pool.Start();
+  EXPECT_EQ(pool.pinned_shards(), 0u);
+  pool.Stop();
+}
+
 }  // namespace
 }  // namespace runtime

@@ -101,7 +101,9 @@ TEST(RuntimeStressTest, TryPublishRejectsDeterministicallyWhenShardSaturated) {
   common::TimeMicros retry_after = 0;
   const common::Status status = broker.TryPublish("t", {"", "c", 0}, 0, &retry_after);
   EXPECT_EQ(status.code(), common::StatusCode::kUnavailable);
-  EXPECT_EQ(retry_after, options.retry_after);
+  // The hint scales with ring depth; a rejection implies a full ring, so it
+  // is deterministically the full-scale bound (see ShardPool::RetryAfterHint).
+  EXPECT_EQ(retry_after, ShardPool::kRetryHintMaxScale * options.retry_after);
   release.set_value();
   pool.Quiesce();
   pool.Stop();
